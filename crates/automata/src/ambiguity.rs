@@ -1,0 +1,180 @@
+//! Deciding unambiguity of NFAs.
+//!
+//! An NFA is *unambiguous* (a UFA) when every word has at most one accepting
+//! run. The decision is the classic self-product criterion: after trimming,
+//! the automaton is ambiguous iff the product automaton reaches a state pair
+//! `(p, q)` with `p ≠ q` that is both reachable from an initial pair and
+//! co-reachable from an accepting pair. This mirrors the role unambiguity
+//! plays for CFGs in the paper (UFA questions are surveyed in its
+//! introduction: [11], [16], [32]).
+
+use crate::nfa::{Nfa, State};
+use std::collections::BTreeSet;
+use ucfg_grammar::bignum::BigUint;
+
+/// Is the NFA unambiguous (every word has ≤ 1 accepting run)?
+pub fn is_unambiguous(nfa: &Nfa) -> bool {
+    let t = nfa.trimmed();
+    let n = t.state_count() as State;
+    if n == 0 {
+        return true;
+    }
+    let pair = |a: State, b: State| (a * n + b) as usize;
+    // Forward reachability over pairs.
+    let mut fwd = vec![false; (n * n) as usize];
+    let mut stack: Vec<(State, State)> = Vec::new();
+    for &a in t.initial_states() {
+        for &b in t.initial_states() {
+            if !fwd[pair(a, b)] {
+                fwd[pair(a, b)] = true;
+                stack.push((a, b));
+            }
+        }
+    }
+    while let Some((a, b)) = stack.pop() {
+        for sym in 0..t.alphabet().len() {
+            for &ta in t.successors(a, sym) {
+                for &tb in t.successors(b, sym) {
+                    if !fwd[pair(ta, tb)] {
+                        fwd[pair(ta, tb)] = true;
+                        stack.push((ta, tb));
+                    }
+                }
+            }
+        }
+    }
+    // Backward co-reachability over pairs.
+    let mut rev: Vec<Vec<(State, State)>> = vec![Vec::new(); (n * n) as usize];
+    for a in 0..n {
+        for b in 0..n {
+            for sym in 0..t.alphabet().len() {
+                for &ta in t.successors(a, sym) {
+                    for &tb in t.successors(b, sym) {
+                        rev[pair(ta, tb)].push((a, b));
+                    }
+                }
+            }
+        }
+    }
+    let mut bwd = vec![false; (n * n) as usize];
+    let mut stack: Vec<(State, State)> = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if t.is_accepting(a) && t.is_accepting(b) && !bwd[pair(a, b)] {
+                bwd[pair(a, b)] = true;
+                stack.push((a, b));
+            }
+        }
+    }
+    while let Some((a, b)) = stack.pop() {
+        for &(pa, pb) in &rev[pair(a, b)] {
+            if !bwd[pair(pa, pb)] {
+                bwd[pair(pa, pb)] = true;
+                stack.push((pa, pb));
+            }
+        }
+    }
+    // Ambiguous iff some off-diagonal pair is live in both directions.
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && fwd[pair(a, b)] && bwd[pair(a, b)] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The ambiguity degrees of all accepted words of a given length:
+/// `(word, #accepting runs)`, sorted by word. Exponential in `len`; for
+/// experiment-scale checks.
+pub fn ambiguity_profile(nfa: &Nfa, len: usize) -> Vec<(String, BigUint)> {
+    let words: BTreeSet<String> = nfa.accepted_words(len);
+    words.into_iter().map(|w| {
+        let c = nfa.run_count(&w);
+        (w, c)
+    }).collect()
+}
+
+/// Maximum ambiguity degree over accepted words of a given length.
+pub fn max_ambiguity(nfa: &Nfa, len: usize) -> BigUint {
+    ambiguity_profile(nfa, len)
+        .into_iter()
+        .map(|(_, c)| c)
+        .max()
+        .unwrap_or_else(BigUint::zero)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unambiguous_astar_b() -> Nfa {
+        let mut n = Nfa::new(&['a', 'b'], 2);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.add_transition(0, 'a', 0);
+        n.add_transition(0, 'b', 1);
+        n
+    }
+
+    fn ambiguous_double_path() -> Nfa {
+        let mut n = Nfa::new(&['a'], 3);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.set_accepting(2);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(0, 'a', 2);
+        n
+    }
+
+    #[test]
+    fn detects_unambiguous() {
+        assert!(is_unambiguous(&unambiguous_astar_b()));
+    }
+
+    #[test]
+    fn detects_ambiguous() {
+        assert!(!is_unambiguous(&ambiguous_double_path()));
+    }
+
+    #[test]
+    fn dead_branch_does_not_cause_ambiguity() {
+        // Second path never reaches acceptance → still unambiguous.
+        let mut n = Nfa::new(&['a'], 3);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(0, 'a', 2); // dead
+        assert!(is_unambiguous(&n));
+    }
+
+    #[test]
+    fn multiple_initials_can_be_ambiguous() {
+        let mut n = Nfa::new(&['a'], 2);
+        n.set_initial(0);
+        n.set_initial(1);
+        n.set_accepting(0);
+        n.set_accepting(1);
+        // "a" from 0→0? no transitions; ε accepted twice? runs on ε: both
+        // initial+accepting states give two runs of the empty word.
+        assert!(!is_unambiguous(&n));
+    }
+
+    #[test]
+    fn profile_and_max() {
+        let n = ambiguous_double_path();
+        let prof = ambiguity_profile(&n, 1);
+        assert_eq!(prof.len(), 1);
+        assert_eq!(prof[0].0, "a");
+        assert_eq!(prof[0].1.to_u64(), Some(2));
+        assert_eq!(max_ambiguity(&n, 1).to_u64(), Some(2));
+        assert_eq!(max_ambiguity(&n, 2).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn empty_automaton_unambiguous() {
+        let n = Nfa::new(&['a'], 0);
+        assert!(is_unambiguous(&n));
+    }
+}

@@ -1,0 +1,159 @@
+//! Conversions between automata and grammars.
+//!
+//! An NFA's right-linear grammar has one derivation per accepting run, so
+//! the conversion preserves ambiguity degrees exactly: a DFA (or any UFA)
+//! yields a uCFG. This is the bridge the experiments use to realise the
+//! generic CFG → uCFG upper bound of [20] (materialise the finite language,
+//! build its DAWG, read off the right-linear uCFG) and to compare automata
+//! sizes with grammar sizes on an equal footing.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use ucfg_grammar::{Grammar, GrammarBuilder};
+
+/// Errors from the automaton → grammar conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The automaton accepts ε, which an ε-free right-linear grammar cannot.
+    AcceptsEpsilon,
+}
+
+/// Right-linear grammar of an NFA (ε-free; derivations biject with
+/// accepting runs).
+///
+/// Non-terminals: one per useful state plus a fresh start. Rules:
+/// `S → Q_i` for each initial state, `Q_p → c Q_q` for each transition, and
+/// `Q_p → c` for each transition into an accepting state.
+pub fn nfa_to_grammar(nfa: &Nfa) -> Result<Grammar, ConvertError> {
+    let t = nfa.trimmed();
+    if t.initial_states().iter().any(|&s| t.is_accepting(s)) {
+        return Err(ConvertError::AcceptsEpsilon);
+    }
+    let mut b = GrammarBuilder::new(t.alphabet());
+    let start = b.nonterminal("S");
+    let states: Vec<_> =
+        (0..t.state_count()).map(|s| b.nonterminal(&format!("Q{s}"))).collect();
+    for &i in t.initial_states() {
+        let qi = states[i as usize];
+        b.rule(start, |r| r.n(qi));
+    }
+    let alphabet = t.alphabet().to_vec();
+    for p in 0..t.state_count() as u32 {
+        for (sym, &c) in alphabet.iter().enumerate() {
+            for &q in t.successors(p, sym) {
+                let qp = states[p as usize];
+                let qq = states[q as usize];
+                // Continue the run…
+                b.rule(qp, |r| r.t(c).n(qq));
+                // …or end it here if q is accepting.
+                if t.is_accepting(q) {
+                    b.rule(qp, |r| r.t(c));
+                }
+            }
+        }
+    }
+    Ok(ucfg_grammar::analysis::trim(&b.build(start)))
+}
+
+/// View a DFA as an NFA (used to reuse NFA algorithms and conversions).
+pub fn dfa_to_nfa(dfa: &Dfa) -> Nfa {
+    let mut n = Nfa::new(dfa.alphabet(), dfa.state_count() as u32);
+    n.set_initial(dfa.initial());
+    for s in 0..dfa.state_count() as u32 {
+        if dfa.is_accepting(s) {
+            n.set_accepting(s);
+        }
+        for (sym, &c) in dfa.alphabet().to_vec().iter().enumerate() {
+            if let Some(t) = dfa.step(s, sym) {
+                n.add_transition(s, c, t);
+            }
+        }
+    }
+    n
+}
+
+/// The right-linear grammar of a DFA. Because a DFA has at most one run per
+/// word, the result is always an *unambiguous* CFG.
+pub fn dfa_to_grammar(dfa: &Dfa) -> Result<Grammar, ConvertError> {
+    nfa_to_grammar(&dfa_to_nfa(dfa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dawg::dawg_of_words;
+    use ucfg_grammar::count::{decide_unambiguous, TreeCounter};
+    use ucfg_grammar::language::finite_language;
+
+    fn two_path_nfa() -> Nfa {
+        // "aa" accepted along two distinct runs.
+        let mut n = Nfa::new(&['a', 'b'], 4);
+        n.set_initial(0);
+        n.set_accepting(3);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(0, 'a', 2);
+        n.add_transition(1, 'a', 3);
+        n.add_transition(2, 'a', 3);
+        n
+    }
+
+    #[test]
+    fn grammar_language_matches_nfa() {
+        let n = two_path_nfa();
+        let g = nfa_to_grammar(&n).unwrap();
+        let lang = finite_language(&g).unwrap();
+        assert_eq!(lang.len(), 1);
+        assert!(lang.contains("aa"));
+    }
+
+    #[test]
+    fn derivations_match_runs() {
+        let n = two_path_nfa();
+        let g = nfa_to_grammar(&n).unwrap();
+        let counter = TreeCounter::new(&g).unwrap();
+        assert_eq!(counter.count_str("aa"), n.run_count("aa"));
+        assert_eq!(counter.count_str("aa").to_u64(), Some(2));
+    }
+
+    #[test]
+    fn dfa_grammar_is_unambiguous() {
+        let dawg = dawg_of_words(&['a', 'b'], ["ab", "abb", "ba", "bb"]);
+        let g = dfa_to_grammar(&dawg).unwrap();
+        assert!(decide_unambiguous(&g).is_unambiguous());
+        let lang = finite_language(&g).unwrap();
+        assert_eq!(lang.len(), 4);
+        for w in ["ab", "abb", "ba", "bb"] {
+            assert!(lang.contains(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn grammar_size_tracks_transitions() {
+        let dawg = dawg_of_words(&['a', 'b'], ["aab", "bab", "bbb"]);
+        let g = dfa_to_grammar(&dawg).unwrap();
+        let nfa = dfa_to_nfa(&dawg);
+        // Each transition contributes ≤ 3 to |G| (one binary rule + maybe a
+        // terminal rule), plus one unit rule per initial state.
+        assert!(g.size() <= 3 * nfa.transition_count() + nfa.initial_states().len());
+    }
+
+    #[test]
+    fn epsilon_rejected() {
+        let mut n = Nfa::new(&['a'], 1);
+        n.set_initial(0);
+        n.set_accepting(0);
+        assert_eq!(nfa_to_grammar(&n).unwrap_err(), ConvertError::AcceptsEpsilon);
+    }
+
+    #[test]
+    fn dfa_to_nfa_same_language() {
+        let dawg = dawg_of_words(&['a', 'b'], ["ab", "ba"]);
+        let n = dfa_to_nfa(&dawg);
+        for w in ["ab", "ba"] {
+            assert!(n.accepts(w));
+        }
+        for w in ["aa", "bb", "a", "aba"] {
+            assert!(!n.accepts(w));
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Degree-of-ambiguity classification for NFAs.
+//!
+//! Beyond the yes/no of [`crate::ambiguity`], the growth of the ambiguity
+//! function `amb(ℓ) = max_w,|w|=ℓ #accepting runs(w)` classifies automata
+//! into unambiguous / finitely / polynomially / exponentially ambiguous —
+//! the hierarchy from the unambiguity literature the paper's introduction
+//! surveys ([11], Weber–Seidl criteria):
+//!
+//! * **EDA** (∃ a state with two distinct loops on the same word — a
+//!   same-SCC off-diagonal pair in the self-product) ⇔ exponential
+//!   ambiguity;
+//! * **IDA** (∃ `p ≠ q` and `v` with `p →v p`, `p →v q`, `q →v q` —
+//!   detected in the triple product) ⇔ polynomial (unbounded) ambiguity;
+//! * neither ⇒ finite ambiguity (bounded by a constant).
+
+use crate::nfa::{Nfa, State};
+use std::collections::BTreeSet;
+
+/// The ambiguity classes, in increasing order of growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AmbiguityClass {
+    /// Every word has at most one accepting run.
+    Unambiguous,
+    /// `amb(ℓ) = O(1)` but some word has ≥ 2 runs.
+    Finite,
+    /// `amb(ℓ)` grows polynomially (IDA holds, EDA does not).
+    Polynomial,
+    /// `amb(ℓ)` grows exponentially (EDA holds).
+    Exponential,
+}
+
+/// Does the (trimmed) automaton satisfy the EDA criterion?
+pub fn has_eda(nfa: &Nfa) -> bool {
+    let t = nfa.trimmed();
+    let n = t.state_count() as State;
+    if n == 0 {
+        return false;
+    }
+    // Product graph on pairs; SCCs via iterative Tarjan.
+    let pair = |a: State, b: State| (a * n + b) as usize;
+    let total = (n * n) as usize;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for a in 0..n {
+        for b in 0..n {
+            for sym in 0..t.alphabet().len() {
+                for &ta in t.successors(a, sym) {
+                    for &tb in t.successors(b, sym) {
+                        adj[pair(a, b)].push(pair(ta, tb));
+                    }
+                }
+            }
+        }
+    }
+    let comp = scc(&adj);
+    // EDA ⇔ some SCC contains a diagonal pair (p,p) and an off-diagonal
+    // pair (r,s).
+    let mut has_diag = vec![false; total];
+    let mut has_off = vec![false; total];
+    for a in 0..n {
+        for b in 0..n {
+            let c = comp[pair(a, b)];
+            if a == b {
+                has_diag[c] = true;
+            } else {
+                has_off[c] = true;
+            }
+        }
+    }
+    // Only SCCs with at least one edge inside count as loops.
+    let mut has_loop = vec![false; total];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            if comp[v] == comp[w] {
+                has_loop[comp[v]] = true;
+            }
+        }
+    }
+    (0..total).any(|c| has_diag[c] && has_off[c] && has_loop[c])
+}
+
+/// Does the (trimmed) automaton satisfy the IDA criterion?
+pub fn has_ida(nfa: &Nfa) -> bool {
+    let t = nfa.trimmed();
+    let n = t.state_count() as State;
+    if n == 0 {
+        return false;
+    }
+    // Triple product: reachability from (p, p, q) to (p, q, q) for p ≠ q.
+    let trip = |a: State, b: State, c: State| ((a * n + b) * n + c) as usize;
+    let total = (n as usize).pow(3);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                for sym in 0..t.alphabet().len() {
+                    for &ta in t.successors(a, sym) {
+                        for &tb in t.successors(b, sym) {
+                            for &tc in t.successors(c, sym) {
+                                adj[trip(a, b, c)].push(trip(ta, tb, tc));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in 0..n {
+        for q in 0..n {
+            if p == q {
+                continue;
+            }
+            // BFS from (p, p, q) looking for (p, q, q).
+            let src = trip(p, p, q);
+            let dst = trip(p, q, q);
+            let mut seen = vec![false; total];
+            let mut stack = vec![src];
+            seen[src] = true;
+            let mut found = false;
+            while let Some(v) = stack.pop() {
+                if v == dst {
+                    found = true;
+                    break;
+                }
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            if found {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Classify the ambiguity growth of an NFA.
+pub fn classify(nfa: &Nfa) -> AmbiguityClass {
+    if crate::ambiguity::is_unambiguous(nfa) {
+        return AmbiguityClass::Unambiguous;
+    }
+    if has_eda(nfa) {
+        return AmbiguityClass::Exponential;
+    }
+    if has_ida(nfa) {
+        return AmbiguityClass::Polynomial;
+    }
+    AmbiguityClass::Finite
+}
+
+/// Empirical ambiguity profile: `max_w,|w|=ℓ #runs(w)` for
+/// `ℓ ∈ 0..=max_len` (exponential scan; used to validate the
+/// classification on small automata).
+pub fn ambiguity_growth(nfa: &Nfa, max_len: usize) -> Vec<u64> {
+    let alphabet: Vec<char> = nfa.alphabet().to_vec();
+    let mut out = Vec::with_capacity(max_len + 1);
+    let mut words: Vec<String> = vec![String::new()];
+    for l in 0..=max_len {
+        let max = words
+            .iter()
+            .map(|w| nfa.run_count(w).to_u64().unwrap_or(u64::MAX))
+            .max()
+            .unwrap_or(0);
+        out.push(max);
+        if l < max_len {
+            words = words
+                .iter()
+                .flat_map(|w| {
+                    alphabet.iter().map(move |&c| {
+                        let mut x = w.clone();
+                        x.push(c);
+                        x
+                    })
+                })
+                .collect();
+        }
+    }
+    out
+}
+
+/// Iterative Tarjan SCC over an explicit adjacency list.
+fn scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Distinct states visited by any accepting run of length ≤ `len` (debug
+/// helper for the tests).
+pub fn active_states(nfa: &Nfa, len: usize) -> BTreeSet<State> {
+    let t = nfa.trimmed();
+    let mut seen: BTreeSet<State> = t.initial_states().iter().copied().collect();
+    let mut frontier = seen.clone();
+    for _ in 0..len {
+        let mut next = BTreeSet::new();
+        for &s in &frontier {
+            for sym in 0..t.alphabet().len() {
+                next.extend(t.successors(s, sym).iter().copied());
+            }
+        }
+        seen.extend(next.iter().copied());
+        frontier = next;
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic a*b.
+    fn dfa_like() -> Nfa {
+        let mut n = Nfa::new(&['a', 'b'], 2);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.add_transition(0, 'a', 0);
+        n.add_transition(0, 'b', 1);
+        n
+    }
+
+    /// Two parallel accepting paths for "a": finite ambiguity (exactly 2).
+    fn finitely_ambiguous() -> Nfa {
+        let mut n = Nfa::new(&['a'], 3);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.set_accepting(2);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(0, 'a', 2);
+        n.add_transition(1, 'a', 1);
+        n.add_transition(2, 'a', 2);
+        n
+    }
+
+    /// "Some position carries a": linear ambiguity (one run per a).
+    fn polynomially_ambiguous() -> Nfa {
+        let mut n = Nfa::new(&['a', 'b'], 2);
+        n.set_initial(0);
+        n.set_accepting(1);
+        for c in ['a', 'b'] {
+            n.add_transition(0, c, 0);
+            n.add_transition(1, c, 1);
+        }
+        n.add_transition(0, 'a', 1);
+        n
+    }
+
+    /// Two loops at one state on the same letter: exponential ambiguity.
+    fn exponentially_ambiguous() -> Nfa {
+        let mut n = Nfa::new(&['a'], 2);
+        n.set_initial(0);
+        n.set_accepting(0);
+        n.add_transition(0, 'a', 0);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(1, 'a', 0);
+        n
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(&dfa_like()), AmbiguityClass::Unambiguous);
+        assert_eq!(classify(&finitely_ambiguous()), AmbiguityClass::Finite);
+        assert_eq!(classify(&polynomially_ambiguous()), AmbiguityClass::Polynomial);
+        assert_eq!(classify(&exponentially_ambiguous()), AmbiguityClass::Exponential);
+    }
+
+    #[test]
+    fn growth_matches_classification() {
+        // Finite: bounded by 2.
+        let g = ambiguity_growth(&finitely_ambiguous(), 8);
+        assert!(g.iter().all(|&x| x <= 2));
+        assert!(g.contains(&2));
+
+        // Polynomial: grows linearly (run count of a^ℓ is ℓ).
+        let g = ambiguity_growth(&polynomially_ambiguous(), 8);
+        assert_eq!(g[8], 8);
+        assert_eq!(g[4], 4);
+
+        // Exponential: Fibonacci-like growth.
+        let g = ambiguity_growth(&exponentially_ambiguous(), 10);
+        assert!(g[10] > 2 * g[8], "{g:?}");
+    }
+
+    #[test]
+    fn eda_implies_ida_style_ordering() {
+        // EDA examples also have unbounded ambiguity; classification picks
+        // the stronger class.
+        assert!(has_eda(&exponentially_ambiguous()));
+        assert!(!has_eda(&polynomially_ambiguous()));
+        assert!(has_ida(&polynomially_ambiguous()));
+        assert!(!has_ida(&finitely_ambiguous()));
+        assert!(!has_eda(&dfa_like()));
+        assert!(!has_ida(&dfa_like()));
+    }
+
+    #[test]
+    fn ln_pattern_automaton_is_polynomially_ambiguous() {
+        // The guess-and-verify automaton for L_n: one run per witnessing
+        // pair → at most n runs on length-2n words, but over Σ* its
+        // ambiguity grows with the word length: IDA, not EDA.
+        let a = crate::ln_nfa::pattern_nfa(3);
+        assert_eq!(classify(&a), AmbiguityClass::Polynomial);
+    }
+
+    #[test]
+    fn exact_ln_automaton_is_finitely_ambiguous() {
+        // The length-checked automaton is acyclic: ambiguity ≤ n, a
+        // constant per automaton → finite class.
+        let a = crate::ln_nfa::exact_nfa(3);
+        let cls = classify(&a);
+        assert_eq!(cls, AmbiguityClass::Finite);
+        let g = ambiguity_growth(&a, 6);
+        assert_eq!(g.iter().max().copied(), Some(3), "max runs = n witnesses");
+    }
+
+    #[test]
+    fn active_states_monotone() {
+        let a = dfa_like();
+        let s2 = active_states(&a, 2);
+        let s4 = active_states(&a, 4);
+        assert!(s2.is_subset(&s4));
+    }
+}

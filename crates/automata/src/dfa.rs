@@ -1,0 +1,544 @@
+//! Deterministic finite automata: subset construction, counting,
+//! minimisation, and equivalence.
+
+use crate::nfa::{Nfa, State};
+use std::collections::{BTreeSet, HashMap};
+use ucfg_grammar::bignum::BigUint;
+
+/// A (possibly partial) DFA. Missing transitions go to an implicit dead
+/// state.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    alphabet: Vec<char>,
+    /// `delta[state][symbol]` = successor, or `None` (dead).
+    delta: Vec<Vec<Option<State>>>,
+    initial: State,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Build from explicit parts.
+    pub fn from_parts(
+        alphabet: Vec<char>,
+        delta: Vec<Vec<Option<State>>>,
+        initial: State,
+        accepting: Vec<bool>,
+    ) -> Self {
+        assert_eq!(delta.len(), accepting.len());
+        Dfa { alphabet, delta, initial, accepting }
+    }
+
+    /// Subset construction from an NFA (only reachable subsets are built).
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        let alphabet = nfa.alphabet().to_vec();
+        let init: BTreeSet<State> = nfa.initial_states().iter().copied().collect();
+        let mut ids: HashMap<BTreeSet<State>, State> = HashMap::new();
+        let mut subsets: Vec<BTreeSet<State>> = Vec::new();
+        let mut delta: Vec<Vec<Option<State>>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        ids.insert(init.clone(), 0);
+        subsets.push(init);
+        let mut next = 0usize;
+        while next < subsets.len() {
+            let cur = subsets[next].clone();
+            let mut row = Vec::with_capacity(alphabet.len());
+            for sym in 0..alphabet.len() {
+                let mut succ = BTreeSet::new();
+                for &s in &cur {
+                    succ.extend(nfa.successors(s, sym).iter().copied());
+                }
+                if succ.is_empty() {
+                    row.push(None);
+                } else {
+                    let id = *ids.entry(succ.clone()).or_insert_with(|| {
+                        subsets.push(succ);
+                        (subsets.len() - 1) as State
+                    });
+                    row.push(Some(id));
+                }
+            }
+            delta.push(row);
+            accepting.push(subsets[next].iter().any(|&s| nfa.is_accepting(s)));
+            next += 1;
+        }
+        Dfa { alphabet, delta, initial: 0, accepting }
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &[char] {
+        &self.alphabet
+    }
+
+    /// Number of (explicit) states.
+    pub fn state_count(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of (explicit) transitions.
+    pub fn transition_count(&self) -> usize {
+        self.delta.iter().map(|row| row.iter().flatten().count()).sum()
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> State {
+        self.initial
+    }
+
+    /// Is `s` accepting?
+    pub fn is_accepting(&self, s: State) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// The transition from `s` on symbol index `sym`.
+    pub fn step(&self, s: State, sym: usize) -> Option<State> {
+        self.delta[s as usize][sym]
+    }
+
+    /// Run the automaton.
+    pub fn accepts(&self, w: &str) -> bool {
+        let mut cur = self.initial;
+        for c in w.chars() {
+            let Some(sym) = self.alphabet.iter().position(|&x| x == c) else { return false };
+            match self.step(cur, sym) {
+                Some(t) => cur = t,
+                None => return false,
+            }
+        }
+        self.accepting[cur as usize]
+    }
+
+    /// Number of accepted words per length `0..=max_len` (each word is one
+    /// path, so path counting is word counting).
+    pub fn accepted_word_counts(&self, max_len: usize) -> Vec<BigUint> {
+        let n = self.state_count();
+        let mut cur = vec![BigUint::zero(); n];
+        cur[self.initial as usize] = BigUint::one();
+        let mut out = Vec::with_capacity(max_len + 1);
+        let count_accepting = |v: &[BigUint]| -> BigUint {
+            v.iter()
+                .enumerate()
+                .filter(|(s, _)| self.accepting[*s])
+                .map(|(_, c)| c.clone())
+                .sum()
+        };
+        out.push(count_accepting(&cur));
+        for _ in 1..=max_len {
+            let mut next = vec![BigUint::zero(); n];
+            for (s, c) in cur.iter().enumerate() {
+                if c.is_zero() {
+                    continue;
+                }
+                for t in self.delta[s].iter().flatten() {
+                    next[*t as usize] += c;
+                }
+            }
+            cur = next;
+            out.push(count_accepting(&cur));
+        }
+        out
+    }
+
+    /// Moore minimisation (with an implicit dead state). Returns the
+    /// canonical minimal DFA for the same language, trimmed of dead states.
+    pub fn minimized(&self) -> Dfa {
+        let n = self.state_count();
+        // Work over n+1 states, the last one dead/complete.
+        let dead = n;
+        let total = n + 1;
+        let step_c = |s: usize, sym: usize| -> usize {
+            if s == dead {
+                dead
+            } else {
+                self.delta[s][sym].map(|t| t as usize).unwrap_or(dead)
+            }
+        };
+        // Initial partition: accepting vs not (dead is non-accepting).
+        let mut class = vec![0usize; total];
+        for s in 0..n {
+            class[s] = usize::from(self.accepting[s]);
+        }
+        loop {
+            // Signature: (class, classes of successors).
+            let mut sig_ids: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+            let mut next_class = vec![0usize; total];
+            for s in 0..total {
+                let sig =
+                    (class[s], (0..self.alphabet.len()).map(|sym| class[step_c(s, sym)]).collect());
+                let fresh = sig_ids.len();
+                next_class[s] = *sig_ids.entry(sig).or_insert(fresh);
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+        // Build quotient, skipping the dead class.
+        let dead_class = class[dead];
+        let n_classes = class.iter().max().copied().unwrap_or(0) + 1;
+        let mut remap: Vec<Option<State>> = vec![None; n_classes];
+        let mut next_id = 0u32;
+        for s in 0..n {
+            if class[s] != dead_class && remap[class[s]].is_none() {
+                remap[class[s]] = Some(next_id);
+                next_id += 1;
+            }
+        }
+        let mut delta = vec![vec![None; self.alphabet.len()]; next_id as usize];
+        let mut accepting = vec![false; next_id as usize];
+        for s in 0..n {
+            let Some(id) = remap[class[s]] else { continue };
+            accepting[id as usize] = self.accepting[s];
+            for sym in 0..self.alphabet.len() {
+                let t = step_c(s, sym);
+                if class[t] != dead_class {
+                    delta[id as usize][sym] = remap[class[t]];
+                }
+            }
+        }
+        let initial = match remap[class[self.initial as usize]] {
+            Some(i) => i,
+            None => {
+                // The language is empty: single non-accepting initial state.
+                return Dfa::from_parts(
+                    self.alphabet.clone(),
+                    vec![vec![None; self.alphabet.len()]],
+                    0,
+                    vec![false],
+                );
+            }
+        };
+        // Quotienting can keep unreachable classes; trim them.
+        Dfa::from_parts(self.alphabet.clone(), delta, initial, accepting).reachable_only()
+    }
+
+    fn reachable_only(&self) -> Dfa {
+        let n = self.state_count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.initial as usize];
+        seen[self.initial as usize] = true;
+        while let Some(s) = stack.pop() {
+            for t in self.delta[s].iter().flatten() {
+                if !seen[*t as usize] {
+                    seen[*t as usize] = true;
+                    stack.push(*t as usize);
+                }
+            }
+        }
+        let mut remap = vec![None; n];
+        let mut next = 0u32;
+        for (s, &k) in seen.iter().enumerate() {
+            if k {
+                remap[s] = Some(next);
+                next += 1;
+            }
+        }
+        let mut delta = vec![vec![None; self.alphabet.len()]; next as usize];
+        let mut accepting = vec![false; next as usize];
+        for s in 0..n {
+            let Some(id) = remap[s] else { continue };
+            accepting[id as usize] = self.accepting[s];
+            for sym in 0..self.alphabet.len() {
+                delta[id as usize][sym] = self.delta[s][sym].and_then(|t| remap[t as usize]);
+            }
+        }
+        Dfa::from_parts(self.alphabet.clone(), delta, remap[self.initial as usize].unwrap(), accepting)
+    }
+
+    /// Language equivalence via product reachability of distinguishing
+    /// pairs.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        assert_eq!(self.alphabet, other.alphabet, "alphabets must match");
+        // Pair (s, t) with Option for dead; BFS from (init, init).
+        let mut seen: BTreeSet<(Option<State>, Option<State>)> = BTreeSet::new();
+        let mut stack = vec![(Some(self.initial), Some(other.initial))];
+        seen.insert(stack[0]);
+        while let Some((s, t)) = stack.pop() {
+            let acc_s = s.is_some_and(|x| self.accepting[x as usize]);
+            let acc_t = t.is_some_and(|x| other.accepting[x as usize]);
+            if acc_s != acc_t {
+                return false;
+            }
+            if s.is_none() && t.is_none() {
+                continue;
+            }
+            for sym in 0..self.alphabet.len() {
+                let ns = s.and_then(|x| self.step(x, sym));
+                let nt = t.and_then(|x| other.step(x, sym));
+                if (ns.is_some() || nt.is_some()) && seen.insert((ns, nt)) {
+                    stack.push((ns, nt));
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterate the accepted words of length ≤ `max_len` in lexicographic
+    /// order (alphabet order = the DFA's symbol order), with O(length)
+    /// work per step — the enumeration primitive for DAWG-backed
+    /// unambiguous representations.
+    pub fn words_lex(&self, max_len: usize) -> LexWords<'_> {
+        LexWords { dfa: self, stack: vec![(self.initial, 0)], word: Vec::new(), max_len }
+    }
+
+    /// Complement restricted to words of length exactly `len` (the natural
+    /// complement in the fixed-length world of the paper).
+    pub fn complement_within_length(&self, len: usize) -> Dfa {
+        // Complete product with the length counter.
+        let n = self.state_count();
+        let dead = n; // completed dead state of self
+        let total = n + 1;
+        let id = |s: usize, l: usize| (l * total + s) as State;
+        let mut delta = vec![vec![None; self.alphabet.len()]; total * (len + 1)];
+        let mut accepting = vec![false; total * (len + 1)];
+        for l in 0..=len {
+            for s in 0..total {
+                let acc_here = s < n && self.accepting[s];
+                if l == len && !acc_here {
+                    accepting[id(s, l) as usize] = true;
+                }
+                if l < len {
+                    for sym in 0..self.alphabet.len() {
+                        let t = if s == dead {
+                            dead
+                        } else {
+                            self.delta[s][sym].map(|x| x as usize).unwrap_or(dead)
+                        };
+                        delta[id(s, l) as usize][sym] = Some(id(t, l + 1));
+                    }
+                }
+            }
+        }
+        Dfa::from_parts(self.alphabet.clone(), delta, id(self.initial as usize, 0), accepting)
+            .reachable_only()
+    }
+}
+
+/// Brzozowski minimisation: determinise the reverse, reverse again,
+/// determinise again. An independent cross-check of [`Dfa::minimized`]
+/// (Moore) used by the property tests.
+pub fn brzozowski_minimized(nfa: &crate::nfa::Nfa) -> Dfa {
+    let rev = Dfa::from_nfa(&nfa.reversed());
+    let back = crate::convert::dfa_to_nfa(&rev).reversed();
+    Dfa::from_nfa(&back)
+}
+
+/// Iterator over a DFA's accepted words in lexicographic order; see
+/// [`Dfa::words_lex`].
+pub struct LexWords<'d> {
+    dfa: &'d Dfa,
+    /// `(state, next symbol index)` per depth; `usize::MAX` marks "just
+    /// emitted this prefix, resume children from 0".
+    stack: Vec<(State, usize)>,
+    word: Vec<char>,
+    max_len: usize,
+}
+
+impl<'d> Iterator for LexWords<'d> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        loop {
+            let depth = self.stack.len();
+            if depth == 0 {
+                return None;
+            }
+            let (s, idx) = self.stack[depth - 1];
+            // First visit: possibly emit this prefix (shorter words precede
+            // their extensions in lex order).
+            if idx == 0 && self.dfa.is_accepting(s) {
+                self.stack[depth - 1].1 = usize::MAX; // mark emitted, restart at 0
+                return Some(self.word.iter().collect());
+            }
+            let idx = if idx == usize::MAX {
+                self.stack[depth - 1].1 = 0;
+                0
+            } else {
+                idx
+            };
+            if self.word.len() >= self.max_len {
+                self.stack.pop();
+                self.word.pop();
+                continue;
+            }
+            // Advance to the next existing child in alphabet order.
+            let k = self.dfa.alphabet.len();
+            let mut advanced = false;
+            let mut i = idx;
+            while i < k {
+                if let Some(t) = self.dfa.step(s, i) {
+                    self.stack[depth - 1].1 = i + 1;
+                    self.word.push(self.dfa.alphabet[i]);
+                    self.stack.push((t, 0));
+                    advanced = true;
+                    break;
+                }
+                i += 1;
+            }
+            if !advanced {
+                self.stack.pop();
+                self.word.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn astar_b_nfa() -> Nfa {
+        let mut n = Nfa::new(&['a', 'b'], 2);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.add_transition(0, 'a', 0);
+        n.add_transition(0, 'b', 1);
+        n
+    }
+
+    #[test]
+    fn subset_construction_preserves_language() {
+        let nfa = astar_b_nfa();
+        let dfa = Dfa::from_nfa(&nfa);
+        for w in ["b", "ab", "aaab"] {
+            assert!(dfa.accepts(w), "{w}");
+        }
+        for w in ["", "a", "ba", "bb"] {
+            assert!(!dfa.accepts(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn word_counts_by_length() {
+        let dfa = Dfa::from_nfa(&astar_b_nfa());
+        // a^k b : exactly one word per length ≥ 1.
+        let counts = dfa.accepted_word_counts(5);
+        assert_eq!(counts[0].to_u64(), Some(0));
+        for l in 1..=5 {
+            assert_eq!(counts[l].to_u64(), Some(1), "len {l}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_nfa_counts_words_not_runs() {
+        // Two parallel paths for "a": word count must still be 1.
+        let mut n = Nfa::new(&['a'], 3);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.set_accepting(2);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(0, 'a', 2);
+        assert_eq!(n.run_count("a").to_u64(), Some(2));
+        let counts = n.accepted_word_counts(1);
+        assert_eq!(counts[1].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn minimization_collapses_equivalent_states() {
+        // A bloated DFA for a*b with duplicated states.
+        let delta = vec![
+            vec![Some(1), Some(2)], // 0 --a--> 1, --b--> 2
+            vec![Some(1), Some(3)], // 1 behaves like 0
+            vec![None, None],       // 2 accepting
+            vec![None, None],       // 3 accepting (same as 2)
+        ];
+        let dfa = Dfa::from_parts(vec!['a', 'b'], delta, 0, vec![false, false, true, true]);
+        let min = dfa.minimized();
+        assert_eq!(min.state_count(), 2);
+        assert!(min.accepts("aab"));
+        assert!(!min.accepts("aba"));
+        assert!(min.equivalent(&dfa));
+    }
+
+    #[test]
+    fn minimized_is_canonical_for_language() {
+        let d1 = Dfa::from_nfa(&astar_b_nfa()).minimized();
+        // Independent DFA for the same language.
+        let delta = vec![vec![Some(0), Some(1)], vec![None, None]];
+        let d2 = Dfa::from_parts(vec!['a', 'b'], delta, 0, vec![false, true]);
+        assert!(d1.equivalent(&d2));
+        assert_eq!(d1.state_count(), d2.minimized().state_count());
+    }
+
+    #[test]
+    fn equivalence_detects_difference() {
+        let d1 = Dfa::from_nfa(&astar_b_nfa());
+        let delta = vec![vec![Some(1), None], vec![None, None]];
+        let just_a = Dfa::from_parts(vec!['a', 'b'], delta, 0, vec![false, true]);
+        assert!(!d1.equivalent(&just_a));
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_one_state() {
+        let d = Dfa::from_parts(vec!['a'], vec![vec![None]], 0, vec![false]);
+        let m = d.minimized();
+        assert_eq!(m.state_count(), 1);
+        assert!(!m.accepts(""));
+        assert!(!m.accepts("a"));
+    }
+
+    #[test]
+    fn brzozowski_agrees_with_moore() {
+        // Same language and same state count as Moore minimisation.
+        let nfa = astar_b_nfa();
+        let brz = brzozowski_minimized(&nfa);
+        let moore = Dfa::from_nfa(&nfa).minimized();
+        assert!(brz.equivalent(&moore));
+        assert_eq!(brz.state_count(), moore.state_count());
+
+        // On the exact L_n automaton too.
+        let nfa = crate::ln_nfa::exact_nfa(3);
+        let brz = brzozowski_minimized(&nfa);
+        let moore = Dfa::from_nfa(&nfa).minimized();
+        assert!(brz.equivalent(&moore), "L_3");
+        assert_eq!(brz.state_count(), moore.state_count(), "L_3");
+    }
+
+    #[test]
+    fn lex_words_enumerates_in_order() {
+        // a*b up to length 4: b, ab, aab, aaab — lexicographic with a < b.
+        let dfa = Dfa::from_nfa(&astar_b_nfa());
+        let words: Vec<String> = dfa.words_lex(4).collect();
+        assert_eq!(words, vec!["aaab", "aab", "ab", "b"]);
+        let mut sorted = words.clone();
+        sorted.sort();
+        assert_eq!(words, sorted, "already lex-sorted");
+    }
+
+    #[test]
+    fn lex_words_on_dawg() {
+        use crate::dawg::dawg_of_words;
+        let input = ["ab", "abb", "ba", "bb"];
+        let dawg = dawg_of_words(&['a', 'b'], input);
+        let words: Vec<String> = dawg.words_lex(5).collect();
+        assert_eq!(words, vec!["ab", "abb", "ba", "bb"]);
+    }
+
+    #[test]
+    fn lex_words_includes_epsilon() {
+        // DFA accepting {ε, a}.
+        let d = Dfa::from_parts(vec!['a'], vec![vec![Some(1)], vec![None]], 0, vec![true, true]);
+        let words: Vec<String> = d.words_lex(3).collect();
+        assert_eq!(words, vec!["", "a"]);
+    }
+
+    #[test]
+    fn lex_words_respects_max_len() {
+        let dfa = Dfa::from_nfa(&astar_b_nfa());
+        assert_eq!(dfa.words_lex(1).collect::<Vec<_>>(), vec!["b"]);
+        assert!(dfa.words_lex(0).collect::<Vec<_>>().is_empty());
+    }
+
+    #[test]
+    fn complement_within_length() {
+        let dfa = Dfa::from_nfa(&astar_b_nfa());
+        let comp = dfa.complement_within_length(2);
+        // Length-2 words: ab ∈ L, so complement = {aa, ba, bb}.
+        assert!(!comp.accepts("ab"));
+        for w in ["aa", "ba", "bb"] {
+            assert!(comp.accepts(w), "{w}");
+        }
+        // Words of other lengths are never accepted.
+        assert!(!comp.accepts("b"));
+        assert!(!comp.accepts("aaa"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Bar-Hillel intersection: CFG ∩ DFA is context-free, constructively.
+//!
+//! For a CNF grammar `G` and a DFA `D`, the triple construction builds a
+//! grammar over non-terminals `(A, p, q)` ("A derives a word taking `D`
+//! from state `p` to `q`"). Only productive triples are materialised, so
+//! the output is `O(|G|·|Q|²)` in the worst case but usually far smaller.
+//!
+//! Because `D` is deterministic, each word has exactly one state
+//! trajectory, so derivations of `w` in the result biject with derivations
+//! of `w` in `G` — **intersection with a DFA preserves unambiguity**. This
+//! is the tool behind the paper's intro reduction (`L_n` ↪ the CSV
+//! agreement language restricted to a regular encoded domain): it turns a
+//! uCFG for the restricted language into a uCFG for `L_n`.
+
+use crate::dfa::Dfa;
+use crate::nfa::State;
+use std::collections::{HashMap, HashSet};
+use ucfg_grammar::analysis::trim;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::symbol::NonTerminal;
+use ucfg_grammar::{Grammar, GrammarBuilder};
+
+/// Intersect a CNF grammar with a DFA; the result is a general grammar
+/// (the start symbol needs unit rules to the accepting triples).
+pub fn intersect_cnf_dfa(g: &CnfGrammar, d: &Dfa) -> Grammar {
+    // Character → DFA symbol index (symbols missing from the DFA alphabet
+    // make the letter a dead end).
+    let dfa_sym: Vec<Option<usize>> = g
+        .alphabet()
+        .iter()
+        .map(|&c| d.alphabet().iter().position(|&x| x == c))
+        .collect();
+
+    // --- Productive triples, bottom-up fixpoint. ---
+    type Triple = (u32, State, State);
+    let mut productive: HashSet<Triple> = HashSet::new();
+    // Terminal seeds.
+    for &(a, t) in g.term_rules() {
+        if let Some(sym) = dfa_sym[t.index()] {
+            for p in 0..d.state_count() as State {
+                if let Some(q) = d.step(p, sym) {
+                    productive.insert((a.0, p, q));
+                }
+            }
+        }
+    }
+    // Binary closure. Index productive triples by their left component for
+    // the join.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // by_nt_from[(B, p)] = set of q with (B, p, q) productive.
+        let mut by_nt_from: HashMap<(u32, State), Vec<State>> = HashMap::new();
+        for &(a, p, q) in &productive {
+            by_nt_from.entry((a, p)).or_default().push(q);
+        }
+        for &(a, b, c) in g.bin_rules() {
+            // For each productive (B, p, r), extend with (C, r, q).
+            let starts: Vec<(State, State)> = productive
+                .iter()
+                .filter(|&&(x, _, _)| x == b.0)
+                .map(|&(_, p, r)| (p, r))
+                .collect();
+            for (p, r) in starts {
+                if let Some(qs) = by_nt_from.get(&(c.0, r)) {
+                    for &q in qs {
+                        if productive.insert((a.0, p, q)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Emit the grammar over productive triples. ---
+    let mut builder = GrammarBuilder::new(g.alphabet());
+    let start = builder.nonterminal("S∩");
+    let mut ids: HashMap<Triple, NonTerminal> = HashMap::new();
+    let mut intern = |builder: &mut GrammarBuilder, t: Triple| -> NonTerminal {
+        *ids.entry(t).or_insert_with(|| {
+            builder.nonterminal(&format!("({},{},{})", g.name(NonTerminal(t.0)), t.1, t.2))
+        })
+    };
+    for &(a, t) in g.term_rules() {
+        if let Some(sym) = dfa_sym[t.index()] {
+            for p in 0..d.state_count() as State {
+                if let Some(q) = d.step(p, sym) {
+                    if productive.contains(&(a.0, p, q)) {
+                        let nt = intern(&mut builder, (a.0, p, q));
+                        let ch = g.letter(t);
+                        builder.rule(nt, |r| r.t(ch));
+                    }
+                }
+            }
+        }
+    }
+    let triples: Vec<Triple> = productive.iter().copied().collect();
+    for &(a, b, c) in g.bin_rules() {
+        for &(x, p, r) in &triples {
+            if x != b.0 {
+                continue;
+            }
+            for &(y, r2, q) in &triples {
+                if y != c.0 || r2 != r {
+                    continue;
+                }
+                if !productive.contains(&(a.0, p, q)) {
+                    continue;
+                }
+                let lhs = intern(&mut builder, (a.0, p, q));
+                let left = intern(&mut builder, (b.0, p, r));
+                let right = intern(&mut builder, (c.0, r, q));
+                builder.rule(lhs, |rr| rr.n(left).n(right));
+            }
+        }
+    }
+    // Start: any (S, q0, f) with f accepting.
+    for f in 0..d.state_count() as State {
+        if d.is_accepting(f) && productive.contains(&(g.start().0, d.initial(), f)) {
+            let nt = intern(&mut builder, (g.start().0, d.initial(), f));
+            builder.rule(start, |r| r.n(nt));
+        }
+    }
+    trim(&builder.build(start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dawg::dawg_of_words;
+    use ucfg_grammar::builder::GrammarBuilder;
+    use ucfg_grammar::count::decide_unambiguous;
+    use ucfg_grammar::language::finite_language;
+
+    /// All words of length 2 over {a,b}.
+    fn len2_grammar() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    #[test]
+    fn intersection_restricts_language() {
+        let g = len2_grammar();
+        // DFA for {ab, bb} via the DAWG.
+        let d = dawg_of_words(&['a', 'b'], ["ab", "bb"]);
+        let i = intersect_cnf_dfa(&g, &d);
+        let lang = finite_language(&i).unwrap();
+        assert_eq!(lang.len(), 2);
+        assert!(lang.contains("ab") && lang.contains("bb"));
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let g = len2_grammar();
+        let d = dawg_of_words(&['a', 'b'], ["aaa"]); // only length 3
+        let i = intersect_cnf_dfa(&g, &d);
+        assert!(finite_language(&i).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unambiguity_is_preserved() {
+        let g = len2_grammar(); // unambiguous
+        let d = dawg_of_words(&['a', 'b'], ["aa", "ab", "ba"]);
+        let i = intersect_cnf_dfa(&g, &d);
+        assert!(decide_unambiguous(&i).is_unambiguous());
+        assert_eq!(finite_language(&i).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn ambiguity_degrees_are_preserved_per_word() {
+        // Ambiguous grammar: S → A B | B A with A, B → a: "aa" has 2 trees.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        let bb = b.nonterminal("B");
+        b.rule(s, |r| r.n(a).n(bb));
+        b.rule(s, |r| r.n(bb).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(bb, |r| r.t('a'));
+        let g = CnfGrammar::from_grammar(&b.build(s));
+        let d = dawg_of_words(&['a', 'b'], ["aa"]);
+        let i = intersect_cnf_dfa(&g, &d);
+        let counter = ucfg_grammar::count::TreeCounter::new(&i).unwrap();
+        assert_eq!(counter.count_str("aa").to_u64(), Some(2));
+    }
+
+    #[test]
+    fn foreign_alphabet_letters_block() {
+        // Grammar over {a,b}, DFA only knows {a}: every word containing b
+        // is excluded.
+        let g = len2_grammar();
+        let d = dawg_of_words(&['a'], ["aa"]);
+        let i = intersect_cnf_dfa(&g, &d);
+        let lang = finite_language(&i).unwrap();
+        assert_eq!(lang.len(), 1);
+        assert!(lang.contains("aa"));
+    }
+
+    #[test]
+    fn size_is_polynomial_in_inputs() {
+        let g = len2_grammar();
+        let d = dawg_of_words(&['a', 'b'], ["aa", "ab", "ba", "bb"]);
+        let i = intersect_cnf_dfa(&g, &d);
+        let q = d.state_count();
+        assert!(i.size() <= 3 * g.size() * q * q + q, "size {} too big", i.size());
+    }
+}

@@ -1,0 +1,48 @@
+//! # ucfg-automata — finite-automata substrate
+//!
+//! Automata support for the PODS 2025 uCFG lower-bound reproduction:
+//!
+//! * [`nfa`] / [`dfa`] — ε-free NFAs, subset construction, Moore
+//!   minimisation, counting accepted words with exact big-integer
+//!   arithmetic;
+//! * [`ambiguity`] — the self-product decision procedure for unambiguous
+//!   NFAs (UFAs), the automaton analogue of the paper's central notion;
+//! * [`ln_nfa`] — the automata of Theorem 1(2): the Θ(n) guess-and-verify
+//!   pattern automaton and the exact (length-checked) Θ(n²) automaton for
+//!   `L_n`;
+//! * [`dawg`] — minimal acyclic DFAs from sorted word lists, the canonical
+//!   unambiguous baseline representation;
+//! * [`convert`] — right-linear grammars of automata (run ↔ derivation
+//!   bijection), bridging to the grammar world.
+//!
+//! # Example
+//!
+//! ```
+//! use ucfg_automata::dawg::dawg_of_words;
+//! use ucfg_automata::ambiguity::is_unambiguous;
+//! use ucfg_automata::convert::{dfa_to_grammar, dfa_to_nfa};
+//!
+//! // The minimal DFA of a word set, its (unambiguous) NFA view, and its
+//! // right-linear uCFG.
+//! let dawg = dawg_of_words(&['a', 'b'], ["ab", "abb", "ba"]);
+//! assert!(dawg.accepts("abb") && !dawg.accepts("bb"));
+//! assert!(is_unambiguous(&dfa_to_nfa(&dawg)));
+//! let grammar = dfa_to_grammar(&dawg).unwrap();
+//! assert!(grammar.size() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ambiguity;
+pub mod convert;
+pub mod dawg;
+pub mod degree;
+pub mod dfa;
+pub mod intersect;
+pub mod leveled;
+pub mod ln_nfa;
+pub mod nfa;
+pub mod regex;
+
+pub use dfa::Dfa;
+pub use nfa::Nfa;

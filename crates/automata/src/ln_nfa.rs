@@ -1,0 +1,181 @@
+//! Automata for the paper's language `L_n` (Theorem 1(2)).
+//!
+//! `L_n` is the set of words of length `2n` over `{a,b}` with two `a`s at
+//! distance exactly `n`. Two automata are provided:
+//!
+//! * [`pattern_nfa`] — the Θ(n) guess-and-verify automaton for
+//!   `Σ* a Σ^{n-1} a Σ*`. Among words of length `2n` it accepts exactly
+//!   `L_n`; this *promise* reading is how the Θ(n) figure of Theorem 1(2)
+//!   is reproduced.
+//! * [`exact_nfa`] — the automaton accepting exactly `L_n` (no promise),
+//!   obtained as the product with the length-`2n` chain. It has Θ(n²)
+//!   transitions — necessarily so: in a trimmed NFA for a fixed-length
+//!   language every useful state occurs at a single input position, and a
+//!   fooling-set argument forces Ω(n − |t|) states at each position `n+t`,
+//!   so exactness costs Ω(n²). (This sharpening is discussed in
+//!   EXPERIMENTS.md; it does not affect the paper's results, where only the
+//!   CFG/uCFG sizes matter.)
+
+use crate::nfa::Nfa;
+
+/// The chain automaton for `Σ^len` over `{a, b}`.
+pub fn sigma_exact(len: usize) -> Nfa {
+    let mut n = Nfa::new(&['a', 'b'], (len + 1) as u32);
+    n.set_initial(0);
+    n.set_accepting(len as u32);
+    for i in 0..len {
+        n.add_transition(i as u32, 'a', (i + 1) as u32);
+        n.add_transition(i as u32, 'b', (i + 1) as u32);
+    }
+    n
+}
+
+/// The Θ(n) pattern automaton for `Σ* a Σ^{n-1} a Σ*`:
+/// guess the first marked `a`, count `n−1` letters, require the second `a`.
+///
+/// States: `0` (pre-loop), `1..=n-1` (counting the gap), `n` (post-loop,
+/// accepting). 2n + 3 transitions.
+pub fn pattern_nfa(n: usize) -> Nfa {
+    assert!(n >= 1);
+    // States: 0 = pre-loop; i ∈ [1, n] = i letters read since (and
+    // including) the marked 'a'; n+1 = matching 'a' read, post-loop.
+    // The gap between the two a's is n-1 letters, i.e. the matching 'a' is
+    // the (n+1)-st letter after the mark started.
+    let states = (n + 2) as u32;
+    let mut a = Nfa::new(&['a', 'b'], states);
+    a.set_initial(0);
+    a.set_accepting((n + 1) as u32);
+    // Pre: loop on anything; commit the marked 'a' (entering state 1).
+    a.add_transition(0, 'a', 0);
+    a.add_transition(0, 'b', 0);
+    a.add_transition(0, 'a', 1);
+    // Gap of n-1 arbitrary letters: states 1..n.
+    for i in 1..n {
+        a.add_transition(i as u32, 'a', (i + 1) as u32);
+        a.add_transition(i as u32, 'b', (i + 1) as u32);
+    }
+    // The matching 'a' at distance exactly n from the mark.
+    a.add_transition(n as u32, 'a', (n + 1) as u32);
+    // Post: loop on anything.
+    a.add_transition((n + 1) as u32, 'a', (n + 1) as u32);
+    a.add_transition((n + 1) as u32, 'b', (n + 1) as u32);
+    a
+}
+
+/// The exact automaton for `L_n` (length `2n` enforced): product of the
+/// pattern automaton with `Σ^{2n}`, trimmed. Θ(n²) transitions.
+pub fn exact_nfa(n: usize) -> Nfa {
+    pattern_nfa(n).intersect(&sigma_exact(2 * n))
+}
+
+/// Reference membership predicate: does `w` (over `{a,b}`) belong to `L_n`?
+pub fn word_in_ln(n: usize, w: &str) -> bool {
+    let chars: Vec<char> = w.chars().collect();
+    if chars.len() != 2 * n {
+        return false;
+    }
+    (0..n).any(|k| chars[k] == 'a' && chars[k + n] == 'a')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ambiguity::is_unambiguous;
+
+    fn all_words(len: usize) -> Vec<String> {
+        (0..(1usize << len))
+            .map(|mask| {
+                (0..len)
+                    .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn membership_predicate() {
+        assert!(word_in_ln(2, "abab"));
+        assert!(word_in_ln(2, "baba"));
+        assert!(!word_in_ln(2, "abba"));
+        assert!(!word_in_ln(2, "bbbb"));
+        assert!(!word_in_ln(2, "ab")); // wrong length
+        assert!(word_in_ln(1, "aa"));
+        assert!(!word_in_ln(1, "ab"));
+    }
+
+    #[test]
+    fn exact_nfa_matches_predicate() {
+        for n in 1..=5 {
+            let a = exact_nfa(n);
+            for w in all_words(2 * n) {
+                assert_eq!(a.accepts(&w), word_in_ln(n, &w), "n={n} w={w}");
+            }
+            // And rejects wrong lengths.
+            assert!(!a.accepts(&"a".repeat(2 * n + 1)));
+            assert!(!a.accepts(&"a".repeat(2 * n - 1)));
+        }
+    }
+
+    #[test]
+    fn pattern_nfa_matches_on_promise_length() {
+        for n in 1..=5 {
+            let a = pattern_nfa(n);
+            for w in all_words(2 * n) {
+                assert_eq!(a.accepts(&w), word_in_ln(n, &w), "n={n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_nfa_is_linear_size() {
+        for n in [1usize, 4, 16, 64, 256] {
+            let a = pattern_nfa(n);
+            assert!(a.state_count() <= n + 2, "n={n}: {} states", a.state_count());
+            assert!(a.transition_count() <= 2 * n + 6, "n={n}: {} transitions", a.transition_count());
+        }
+    }
+
+    #[test]
+    fn exact_nfa_is_quadratic_size() {
+        for n in [2usize, 4, 8, 16] {
+            let a = exact_nfa(n);
+            let t = a.transition_count();
+            assert!(t >= n * n / 2, "n={n}: only {t} transitions");
+            assert!(t <= 8 * n * n, "n={n}: {t} transitions");
+        }
+    }
+
+    #[test]
+    fn ln_nfas_are_ambiguous() {
+        // The guess-and-verify automaton has one run per witnessing pair, so
+        // words with several matching pairs have several runs.
+        for n in 2..=4 {
+            assert!(!is_unambiguous(&exact_nfa(n)), "n={n}");
+            let a = exact_nfa(n);
+            let all_a = "a".repeat(2 * n);
+            assert_eq!(a.run_count(&all_a).to_u64(), Some(n as u64));
+        }
+    }
+
+    #[test]
+    fn counts_match_direct_enumeration() {
+        for n in 1..=5 {
+            let a = exact_nfa(n);
+            let expect = all_words(2 * n).iter().filter(|w| word_in_ln(n, w)).count() as u64;
+            let counts = a.accepted_word_counts(2 * n);
+            assert_eq!(counts[2 * n].to_u64(), Some(expect), "n={n}");
+            for l in 0..2 * n {
+                assert_eq!(counts[l].to_u64(), Some(0), "n={n} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_exact_counts() {
+        let s = sigma_exact(3);
+        let counts = s.accepted_word_counts(4);
+        assert_eq!(counts[3].to_u64(), Some(8));
+        assert_eq!(counts[2].to_u64(), Some(0));
+        assert_eq!(counts[4].to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,465 @@
+//! Nondeterministic finite automata.
+//!
+//! ε-free NFAs over `char` alphabets with possibly several initial states.
+//! The size measure reported in the experiments is the transition count
+//! (plus states where stated), mirroring how the paper sizes representations
+//! by the sum of their parts.
+
+use std::collections::BTreeSet;
+use ucfg_grammar::bignum::BigUint;
+
+/// State id.
+pub type State = u32;
+
+/// An ε-free NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet: Vec<char>,
+    n_states: u32,
+    initial: Vec<State>,
+    accepting: Vec<bool>,
+    /// `delta[state][symbol]` = successor states (sorted, deduped).
+    delta: Vec<Vec<Vec<State>>>,
+}
+
+impl Nfa {
+    /// An NFA with `n_states` states and no transitions.
+    pub fn new(alphabet: &[char], n_states: u32) -> Self {
+        Nfa {
+            alphabet: alphabet.to_vec(),
+            n_states,
+            initial: Vec::new(),
+            accepting: vec![false; n_states as usize],
+            delta: vec![vec![Vec::new(); alphabet.len()]; n_states as usize],
+        }
+    }
+
+    /// Add a fresh state, returning its id.
+    pub fn add_state(&mut self) -> State {
+        let s = self.n_states;
+        self.n_states += 1;
+        self.accepting.push(false);
+        self.delta.push(vec![Vec::new(); self.alphabet.len()]);
+        s
+    }
+
+    /// Mark a state initial.
+    pub fn set_initial(&mut self, s: State) {
+        if !self.initial.contains(&s) {
+            self.initial.push(s);
+        }
+    }
+
+    /// Mark a state accepting.
+    pub fn set_accepting(&mut self, s: State) {
+        self.accepting[s as usize] = true;
+    }
+
+    /// Add the transition `from --c--> to`. Duplicates are ignored.
+    pub fn add_transition(&mut self, from: State, c: char, to: State) {
+        let sym = self.symbol_index(c).expect("symbol in alphabet");
+        let v = &mut self.delta[from as usize][sym];
+        if let Err(pos) = v.binary_search(&to) {
+            v.insert(pos, to);
+        }
+    }
+
+    /// Index of a character in the alphabet.
+    pub fn symbol_index(&self, c: char) -> Option<usize> {
+        self.alphabet.iter().position(|&x| x == c)
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &[char] {
+        &self.alphabet
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.n_states as usize
+    }
+
+    /// Number of transitions (the headline size measure).
+    pub fn transition_count(&self) -> usize {
+        self.delta.iter().map(|per| per.iter().map(Vec::len).sum::<usize>()).sum()
+    }
+
+    /// Initial states.
+    pub fn initial_states(&self) -> &[State] {
+        &self.initial
+    }
+
+    /// Is `s` accepting?
+    pub fn is_accepting(&self, s: State) -> bool {
+        self.accepting[s as usize]
+    }
+
+    /// Successors of `s` on symbol index `sym`.
+    pub fn successors(&self, s: State, sym: usize) -> &[State] {
+        &self.delta[s as usize][sym]
+    }
+
+    /// Subset simulation: is `w` accepted?
+    pub fn accepts(&self, w: &str) -> bool {
+        let mut cur: BTreeSet<State> = self.initial.iter().copied().collect();
+        for c in w.chars() {
+            let Some(sym) = self.symbol_index(c) else { return false };
+            let mut next = BTreeSet::new();
+            for &s in &cur {
+                next.extend(self.successors(s, sym).iter().copied());
+            }
+            cur = next;
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.iter().any(|&s| self.is_accepting(s))
+    }
+
+    /// Number of accepting runs of `w` (the ambiguity degree of the word).
+    pub fn run_count(&self, w: &str) -> BigUint {
+        // Vector-matrix product over ℕ.
+        let mut cur = vec![BigUint::zero(); self.n_states as usize];
+        for &s in &self.initial {
+            cur[s as usize] = BigUint::one();
+        }
+        for c in w.chars() {
+            let Some(sym) = self.symbol_index(c) else { return BigUint::zero() };
+            let mut next = vec![BigUint::zero(); self.n_states as usize];
+            for (s, cnt) in cur.iter().enumerate() {
+                if cnt.is_zero() {
+                    continue;
+                }
+                for &t in self.successors(s as State, sym) {
+                    next[t as usize] += cnt;
+                }
+            }
+            cur = next;
+        }
+        cur.iter()
+            .enumerate()
+            .filter(|(s, _)| self.accepting[*s])
+            .map(|(_, c)| c.clone())
+            .sum()
+    }
+
+    /// Number of accepted words of each length `0..=max_len`
+    /// (transfer-matrix DP over the determinised reachable subsets would
+    /// double-count; instead we count via subset construction on the fly).
+    pub fn accepted_word_counts(&self, max_len: usize) -> Vec<BigUint> {
+        // DP over subsets reached per prefix would be exponential; instead
+        // determinise lazily and count paths in the subset automaton, where
+        // each word corresponds to exactly one path.
+        let dfa = crate::dfa::Dfa::from_nfa(self);
+        dfa.accepted_word_counts(max_len)
+    }
+
+    /// All accepted words of exactly `len` (exponential; for small cases).
+    pub fn accepted_words(&self, len: usize) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let init: BTreeSet<State> = self.initial.iter().copied().collect();
+        let mut stack: Vec<(BTreeSet<State>, String)> = vec![(init, String::new())];
+        while let Some((set, prefix)) = stack.pop() {
+            if prefix.len() == len {
+                if set.iter().any(|&s| self.is_accepting(s)) {
+                    out.insert(prefix);
+                }
+                continue;
+            }
+            for (sym, &c) in self.alphabet.iter().enumerate() {
+                let mut next = BTreeSet::new();
+                for &s in &set {
+                    next.extend(self.successors(s, sym).iter().copied());
+                }
+                if !next.is_empty() {
+                    let mut p = prefix.clone();
+                    p.push(c);
+                    stack.push((next, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// States reachable from the initial states.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.n_states as usize];
+        let mut stack: Vec<State> = self.initial.clone();
+        for &s in &self.initial {
+            seen[s as usize] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for per in &self.delta[s as usize] {
+                for &t in per {
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which some accepting state is reachable.
+    pub fn coreachable(&self) -> Vec<bool> {
+        let mut rev: Vec<Vec<State>> = vec![Vec::new(); self.n_states as usize];
+        for (s, per) in self.delta.iter().enumerate() {
+            for tos in per {
+                for &t in tos {
+                    rev[t as usize].push(s as State);
+                }
+            }
+        }
+        let mut seen = vec![false; self.n_states as usize];
+        let mut stack: Vec<State> = Vec::new();
+        for s in 0..self.n_states {
+            if self.accepting[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s as usize] {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Remove states that are not both reachable and co-reachable.
+    pub fn trimmed(&self) -> Nfa {
+        let reach = self.reachable();
+        let co = self.coreachable();
+        let keep: Vec<bool> = reach.iter().zip(&co).map(|(&r, &c)| r && c).collect();
+        let mut remap = vec![u32::MAX; self.n_states as usize];
+        let mut next = 0u32;
+        for (s, &k) in keep.iter().enumerate() {
+            if k {
+                remap[s] = next;
+                next += 1;
+            }
+        }
+        let mut out = Nfa::new(&self.alphabet, next);
+        for &s in &self.initial {
+            if keep[s as usize] {
+                out.set_initial(remap[s as usize]);
+            }
+        }
+        for s in 0..self.n_states as usize {
+            if !keep[s] {
+                continue;
+            }
+            if self.accepting[s] {
+                out.set_accepting(remap[s]);
+            }
+            for (sym, tos) in self.delta[s].iter().enumerate() {
+                for &t in tos {
+                    if keep[t as usize] {
+                        out.add_transition(remap[s], self.alphabet[sym], remap[t as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Product (intersection) automaton.
+    pub fn intersect(&self, other: &Nfa) -> Nfa {
+        assert_eq!(self.alphabet, other.alphabet, "alphabets must match");
+        let pair = |a: State, b: State| a * other.n_states + b;
+        let mut out = Nfa::new(&self.alphabet, self.n_states * other.n_states);
+        for &a in &self.initial {
+            for &b in &other.initial {
+                out.set_initial(pair(a, b));
+            }
+        }
+        for a in 0..self.n_states {
+            for b in 0..other.n_states {
+                if self.accepting[a as usize] && other.accepting[b as usize] {
+                    out.set_accepting(pair(a, b));
+                }
+                for (sym, &c) in self.alphabet.iter().enumerate() {
+                    for &ta in self.successors(a, sym) {
+                        for &tb in other.successors(b, sym) {
+                            out.add_transition(pair(a, b), c, pair(ta, tb));
+                        }
+                    }
+                }
+            }
+        }
+        out.trimmed()
+    }
+
+    /// Union (disjoint juxtaposition).
+    pub fn union(&self, other: &Nfa) -> Nfa {
+        assert_eq!(self.alphabet, other.alphabet, "alphabets must match");
+        let mut out = Nfa::new(&self.alphabet, self.n_states + other.n_states);
+        let off = self.n_states;
+        for &s in &self.initial {
+            out.set_initial(s);
+        }
+        for &s in &other.initial {
+            out.set_initial(s + off);
+        }
+        for s in 0..self.n_states {
+            if self.accepting[s as usize] {
+                out.set_accepting(s);
+            }
+            for (sym, &c) in self.alphabet.iter().enumerate() {
+                for &t in self.successors(s, sym) {
+                    out.add_transition(s, c, t);
+                }
+            }
+        }
+        for s in 0..other.n_states {
+            if other.accepting[s as usize] {
+                out.set_accepting(s + off);
+            }
+            for (sym, &c) in other.alphabet.iter().enumerate() {
+                for &t in other.successors(s, sym) {
+                    out.add_transition(s + off, c, t + off);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reverse automaton (accepts the mirror language).
+    pub fn reversed(&self) -> Nfa {
+        let mut out = Nfa::new(&self.alphabet, self.n_states);
+        for s in 0..self.n_states {
+            if self.accepting[s as usize] {
+                out.set_initial(s);
+            }
+            for (sym, tos) in self.delta[s as usize].iter().enumerate() {
+                for &t in tos {
+                    out.add_transition(t, self.alphabet[sym], s);
+                }
+            }
+        }
+        for &s in &self.initial {
+            out.set_accepting(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a*b as an NFA.
+    fn astar_b() -> Nfa {
+        let mut n = Nfa::new(&['a', 'b'], 2);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.add_transition(0, 'a', 0);
+        n.add_transition(0, 'b', 1);
+        n
+    }
+
+    #[test]
+    fn basic_acceptance() {
+        let n = astar_b();
+        assert!(n.accepts("b"));
+        assert!(n.accepts("aaab"));
+        assert!(!n.accepts("ba"));
+        assert!(!n.accepts(""));
+        assert!(!n.accepts("abc"));
+    }
+
+    #[test]
+    fn sizes() {
+        let n = astar_b();
+        assert_eq!(n.state_count(), 2);
+        assert_eq!(n.transition_count(), 2);
+    }
+
+    #[test]
+    fn run_count_counts_ambiguity() {
+        // Two parallel paths accepting "a".
+        let mut n = Nfa::new(&['a'], 3);
+        n.set_initial(0);
+        n.set_accepting(1);
+        n.set_accepting(2);
+        n.add_transition(0, 'a', 1);
+        n.add_transition(0, 'a', 2);
+        assert_eq!(n.run_count("a").to_u64(), Some(2));
+        assert_eq!(n.run_count("aa").to_u64(), Some(0));
+        assert!(n.accepts("a"));
+    }
+
+    #[test]
+    fn accepted_words_enumeration() {
+        let n = astar_b();
+        let w2 = n.accepted_words(2);
+        assert_eq!(w2.len(), 1);
+        assert!(w2.contains("ab"));
+        assert!(n.accepted_words(0).is_empty());
+    }
+
+    #[test]
+    fn trimmed_removes_dead_states() {
+        let mut n = astar_b();
+        let dead = n.add_state(); // unreachable
+        n.add_transition(dead, 'a', dead);
+        let t = n.trimmed();
+        assert_eq!(t.state_count(), 2);
+        assert!(t.accepts("aab"));
+        assert!(!t.accepts("aa"));
+    }
+
+    #[test]
+    fn intersect_is_conjunction() {
+        // a*b ∩ (words of length 2) = {ab}.
+        let mut len2 = Nfa::new(&['a', 'b'], 3);
+        len2.set_initial(0);
+        len2.set_accepting(2);
+        for c in ['a', 'b'] {
+            len2.add_transition(0, c, 1);
+            len2.add_transition(1, c, 2);
+        }
+        let both = astar_b().intersect(&len2);
+        assert!(both.accepts("ab"));
+        assert!(!both.accepts("b"));
+        assert!(!both.accepts("aab"));
+        assert_eq!(both.accepted_words(2).len(), 1);
+    }
+
+    #[test]
+    fn union_is_disjunction() {
+        let mut just_a = Nfa::new(&['a', 'b'], 2);
+        just_a.set_initial(0);
+        just_a.set_accepting(1);
+        just_a.add_transition(0, 'a', 1);
+        let u = astar_b().union(&just_a);
+        assert!(u.accepts("a"));
+        assert!(u.accepts("aab"));
+        assert!(!u.accepts("aa"));
+    }
+
+    #[test]
+    fn reversed_accepts_mirror() {
+        let n = astar_b(); // a*b ; mirror = b a*
+        let r = n.reversed();
+        assert!(r.accepts("b"));
+        assert!(r.accepts("baa"));
+        assert!(!r.accepts("ab"));
+    }
+
+    #[test]
+    fn reachable_coreachable() {
+        let mut n = astar_b();
+        let orphan = n.add_state();
+        n.set_accepting(orphan);
+        let reach = n.reachable();
+        assert!(!reach[orphan as usize]);
+        let co = n.coreachable();
+        assert!(co[orphan as usize]); // accepting → trivially co-reachable
+        assert!(co[0]);
+    }
+}

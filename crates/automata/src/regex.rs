@@ -1,0 +1,424 @@
+//! Regular expressions and the Glushkov (position) construction.
+//!
+//! A small regex language (`|`, concatenation, `*`, `+`, `?`, parentheses,
+//! literal characters) with a recursive-descent parser and the
+//! ε-transition-free Glushkov automaton: one state per letter *position*
+//! plus an initial state, built from the classic nullable/first/last/follow
+//! sets. Used to assemble input languages for the experiments (pattern
+//! automata, encoded domains) and as another substrate the paper's world
+//! relies on (regular spanners are regex-shaped).
+//!
+//! The Glushkov automaton of a *one-unambiguous* expression is
+//! deterministic; in general it has one accepting run per *witness
+//! parse* of the word — the tests exercise both regimes.
+//!
+//! ```
+//! use ucfg_automata::regex::Regex;
+//!
+//! let r = Regex::parse("(a|b)*abb").unwrap();
+//! let nfa = r.glushkov();
+//! assert!(nfa.accepts("ababb"));
+//! assert!(!nfa.accepts("abab"));
+//! assert_eq!(nfa.state_count(), 6); // 5 letter positions + the initial state
+//! ```
+
+use crate::nfa::Nfa;
+use std::fmt;
+
+/// A regular expression AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The language {ε}.
+    Epsilon,
+    /// A single letter.
+    Letter(char),
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable message.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    _src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    // alt := cat ('|' cat)*
+    fn alt(&mut self) -> Result<Regex, ParseError> {
+        let mut left = self.cat()?;
+        while self.peek() == Some('|') {
+            self.bump();
+            let right = self.cat()?;
+            left = Regex::Alt(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // cat := postfix*
+    fn cat(&mut self) -> Result<Regex, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.postfix()?);
+        }
+        Ok(match parts.len() {
+            0 => Regex::Epsilon,
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().expect("nonempty");
+                it.fold(first, |acc, r| Regex::Concat(Box::new(acc), Box::new(r)))
+            }
+        })
+    }
+
+    // postfix := atom ('*' | '+' | '?')*
+    fn postfix(&mut self) -> Result<Regex, ParseError> {
+        let mut r = self.atom()?;
+        while let Some(c) = self.peek() {
+            match c {
+                '*' => {
+                    self.bump();
+                    r = Regex::Star(Box::new(r));
+                }
+                '+' => {
+                    self.bump();
+                    r = Regex::Concat(Box::new(r.clone()), Box::new(Regex::Star(Box::new(r))));
+                }
+                '?' => {
+                    self.bump();
+                    r = Regex::Alt(Box::new(r), Box::new(Regex::Epsilon));
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    // atom := '(' alt ')' | literal
+    fn atom(&mut self) -> Result<Regex, ParseError> {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.alt()?;
+                if self.bump() != Some(')') {
+                    return Err(ParseError { at: self.pos, msg: "expected ')'" });
+                }
+                Ok(inner)
+            }
+            Some(c) if !"|)*+?".contains(c) => {
+                self.bump();
+                Ok(Regex::Letter(c))
+            }
+            _ => Err(ParseError { at: self.pos, msg: "expected atom" }),
+        }
+    }
+}
+
+impl Regex {
+    /// Parse a regex from the mini-syntax.
+    pub fn parse(src: &str) -> Result<Regex, ParseError> {
+        let mut p = Parser { chars: src.chars().collect(), pos: 0, _src: src };
+        let r = p.alt()?;
+        if p.pos != p.chars.len() {
+            return Err(ParseError { at: p.pos, msg: "trailing input" });
+        }
+        Ok(r)
+    }
+
+    /// Does the expression accept ε?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Letter(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+        }
+    }
+
+    /// Reference matcher (backtracking over suffix positions) — the
+    /// independent oracle for the Glushkov construction.
+    pub fn matches(&self, w: &str) -> bool {
+        let chars: Vec<char> = w.chars().collect();
+        self.match_spans(&chars, 0).contains(&chars.len())
+    }
+
+    /// All end positions reachable by matching a prefix of `w[from..]`.
+    fn match_spans(&self, w: &[char], from: usize) -> Vec<usize> {
+        let mut out = match self {
+            Regex::Empty => Vec::new(),
+            Regex::Epsilon => vec![from],
+            Regex::Letter(c) => {
+                if w.get(from) == Some(c) {
+                    vec![from + 1]
+                } else {
+                    Vec::new()
+                }
+            }
+            Regex::Concat(a, b) => {
+                let mut ends = Vec::new();
+                for mid in a.match_spans(w, from) {
+                    ends.extend(b.match_spans(w, mid));
+                }
+                ends
+            }
+            Regex::Alt(a, b) => {
+                let mut ends = a.match_spans(w, from);
+                ends.extend(b.match_spans(w, from));
+                ends
+            }
+            Regex::Star(a) => {
+                let mut seen = vec![from];
+                let mut frontier = vec![from];
+                while let Some(p) = frontier.pop() {
+                    for e in a.match_spans(w, p) {
+                        if e > p && !seen.contains(&e) {
+                            seen.push(e);
+                            frontier.push(e);
+                        }
+                    }
+                }
+                seen
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The letters occurring in the expression, in first-occurrence order.
+    pub fn alphabet(&self) -> Vec<char> {
+        let mut out = Vec::new();
+        self.collect_alphabet(&mut out);
+        out
+    }
+
+    fn collect_alphabet(&self, out: &mut Vec<char>) {
+        match self {
+            Regex::Letter(c) => {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_alphabet(out);
+                b.collect_alphabet(out);
+            }
+            Regex::Star(a) => a.collect_alphabet(out),
+            _ => {}
+        }
+    }
+
+    /// The Glushkov automaton: state 0 is initial; state `i ≥ 1` is letter
+    /// position `i` of the expression.
+    pub fn glushkov(&self) -> Nfa {
+        // Number the positions and compute first/last/follow.
+        let mut letters: Vec<char> = Vec::new();
+        #[derive(Clone)]
+        struct Sets {
+            nullable: bool,
+            first: Vec<u32>,
+            last: Vec<u32>,
+        }
+        fn go(r: &Regex, letters: &mut Vec<char>, follow: &mut Vec<Vec<u32>>) -> Sets {
+            match r {
+                Regex::Empty => Sets { nullable: false, first: vec![], last: vec![] },
+                Regex::Epsilon => Sets { nullable: true, first: vec![], last: vec![] },
+                Regex::Letter(c) => {
+                    letters.push(*c);
+                    follow.push(Vec::new());
+                    let p = letters.len() as u32; // 1-based position
+                    Sets { nullable: false, first: vec![p], last: vec![p] }
+                }
+                Regex::Concat(a, b) => {
+                    let sa = go(a, letters, follow);
+                    let sb = go(b, letters, follow);
+                    for &l in &sa.last {
+                        follow[(l - 1) as usize].extend(sb.first.iter().copied());
+                    }
+                    let mut first = sa.first.clone();
+                    if sa.nullable {
+                        first.extend(sb.first.iter().copied());
+                    }
+                    let mut last = sb.last.clone();
+                    if sb.nullable {
+                        last.extend(sa.last.iter().copied());
+                    }
+                    Sets { nullable: sa.nullable && sb.nullable, first, last }
+                }
+                Regex::Alt(a, b) => {
+                    let sa = go(a, letters, follow);
+                    let sb = go(b, letters, follow);
+                    let mut first = sa.first;
+                    first.extend(sb.first);
+                    let mut last = sa.last;
+                    last.extend(sb.last);
+                    Sets { nullable: sa.nullable || sb.nullable, first, last }
+                }
+                Regex::Star(a) => {
+                    let sa = go(a, letters, follow);
+                    for &l in &sa.last {
+                        follow[(l - 1) as usize].extend(sa.first.iter().copied());
+                    }
+                    Sets { nullable: true, first: sa.first, last: sa.last }
+                }
+            }
+        }
+        let mut follow: Vec<Vec<u32>> = Vec::new();
+        let sets = go(self, &mut letters, &mut follow);
+        let alphabet = self.alphabet();
+        let alphabet = if alphabet.is_empty() { vec!['a'] } else { alphabet };
+        let mut nfa = Nfa::new(&alphabet, letters.len() as u32 + 1);
+        nfa.set_initial(0);
+        if sets.nullable {
+            nfa.set_accepting(0);
+        }
+        for &p in &sets.last {
+            nfa.set_accepting(p);
+        }
+        for &p in &sets.first {
+            nfa.add_transition(0, letters[(p - 1) as usize], p);
+        }
+        for (i, fols) in follow.iter().enumerate() {
+            for &q in fols {
+                nfa.add_transition(i as u32 + 1, letters[(q - 1) as usize], q);
+            }
+        }
+        nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ambiguity::is_unambiguous;
+
+    fn check(pattern: &str, accepted: &[&str], rejected: &[&str]) {
+        let r = Regex::parse(pattern).unwrap();
+        let nfa = r.glushkov();
+        for w in accepted {
+            assert!(r.matches(w), "{pattern} should match {w}");
+            assert!(nfa.accepts(w), "Glushkov({pattern}) should accept {w}");
+        }
+        for w in rejected {
+            assert!(!r.matches(w), "{pattern} should not match {w}");
+            assert!(!nfa.accepts(w), "Glushkov({pattern}) should reject {w}");
+        }
+    }
+
+    #[test]
+    fn basic_patterns() {
+        check("ab", &["ab"], &["a", "b", "ba", ""]);
+        check("a|b", &["a", "b"], &["ab", ""]);
+        check("a*", &["", "a", "aaa"], &["b", "ab"]);
+        check("a+", &["a", "aa"], &["", "b"]);
+        check("a?b", &["b", "ab"], &["a", "aab"]);
+        check("(a|b)*abb", &["abb", "aabb", "babb", "ababb"], &["ab", "ba", ""]);
+    }
+
+    #[test]
+    fn glushkov_agrees_with_oracle_exhaustively() {
+        for pattern in ["(a|b)*a(a|b)", "a(ba)*b?", "((a|b)(a|b))*", "a*b*a*"] {
+            let r = Regex::parse(pattern).unwrap();
+            let nfa = r.glushkov();
+            for len in 0..=6usize {
+                for mask in 0..(1u32 << len) {
+                    let w: String = (0..len)
+                        .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+                        .collect();
+                    assert_eq!(nfa.accepts(&w), r.matches(&w), "{pattern} on {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glushkov_size_is_positions_plus_one() {
+        let r = Regex::parse("(a|b)*abb").unwrap();
+        assert_eq!(r.glushkov().state_count(), 6); // 5 letters + initial
+    }
+
+    #[test]
+    fn one_unambiguous_expression_gives_ufa() {
+        // a*b is one-unambiguous → the Glushkov automaton is a UFA
+        // (here even deterministic).
+        let r = Regex::parse("a*b").unwrap();
+        assert!(is_unambiguous(&r.glushkov()));
+    }
+
+    #[test]
+    fn ambiguous_expression_gives_ambiguous_nfa() {
+        // (a|a) is maximally not one-unambiguous.
+        let r = Regex::parse("a|a").unwrap();
+        let nfa = r.glushkov();
+        assert!(nfa.accepts("a"));
+        assert!(!is_unambiguous(&nfa));
+        assert_eq!(nfa.run_count("a").to_u64(), Some(2));
+    }
+
+    #[test]
+    fn ln_pattern_regex() {
+        // The Σ* a Σ^{n-1} a Σ* pattern of Theorem 1(2), n = 3.
+        let r = Regex::parse("(a|b)*a(a|b)(a|b)a(a|b)*").unwrap();
+        let nfa = r.glushkov();
+        for w in 0..(1u64 << 6) {
+            let word: String =
+                (0..6).map(|i| if w >> i & 1 == 1 { 'a' } else { 'b' }).collect();
+            let expect = (0..3).any(|i| {
+                word.as_bytes()[i] == b'a' && word.as_bytes()[i + 3] == b'a'
+            });
+            assert_eq!(nfa.accepts(&word), expect, "{word}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("*a").is_err());
+        assert_eq!(Regex::parse("").unwrap(), Regex::Epsilon);
+    }
+
+    #[test]
+    fn nullable_computation() {
+        assert!(Regex::parse("a*").unwrap().nullable());
+        assert!(Regex::parse("a?b?").unwrap().nullable());
+        assert!(!Regex::parse("a|bb").unwrap().nullable());
+    }
+}

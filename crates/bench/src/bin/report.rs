@@ -1,0 +1,26 @@
+//! Prints the experiment report: all tables/figures, or selected ids.
+//!
+//! Usage:
+//!   report            # everything
+//!   report T5 T8      # selected experiments
+//!   report --list     # available experiment ids
+
+use ucfg_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        println!("available experiments (see DESIGN.md §5):");
+        for id in experiments::ALL_EXPERIMENTS {
+            println!("  {id}");
+        }
+        return;
+    }
+    if args.is_empty() {
+        print!("{}", experiments::full_report());
+    } else {
+        for id in &args {
+            print!("{}", experiments::run(id));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Emits the headline figure data as CSV for plotting: the Theorem 1
+//! separation over a dense `n`-sweep.
+//!
+//! Usage:
+//!   sweep              # CSV to stdout
+//!   sweep 512          # sweep up to the given n (default 256)
+//!
+//! Columns: n, |L_n| (log2), CFG size, pattern-NFA transitions, exact-NFA
+//! transitions (when computed), DAWG-uCFG size (when computed), Example 4
+//! uCFG size (log2), Proposition 16 uCFG lower bound (log2).
+
+use ucfg_core::separation::separation_row;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    println!(
+        "n,ln_size_log2,cfg_size,nfa_pattern,nfa_exact,ucfg_dawg,ucfg_example4_log2,ucfg_lower_bound_log2"
+    );
+    let mut n = 2usize;
+    while n <= max_n {
+        let row = separation_row(n, 24, 9);
+        println!(
+            "{},{:.3},{},{},{},{},{:.3},{}",
+            n,
+            row.language_size.log2_approx(),
+            row.cfg_size,
+            row.nfa_pattern_transitions,
+            row.nfa_exact_transitions.map_or(String::new(), |v| v.to_string()),
+            row.ucfg_dawg_size.map_or(String::new(), |v| v.to_string()),
+            row.ucfg_example4_size.log2_approx(),
+            row.ucfg_lower_bound_log2.map_or(String::new(), |v| format!("{v:.3}")),
+        );
+        // Dense for small n, then powers of two.
+        n = if n < 16 {
+            n + 2
+        } else if n < 64 {
+            n + 8
+        } else {
+            n * 2
+        };
+    }
+}

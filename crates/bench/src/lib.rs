@@ -1,0 +1,10 @@
+//! # ucfg-bench — experiment tables and Criterion benches
+//!
+//! [`experiments`] regenerates every table/figure of the reproduction
+//! (DESIGN.md §5); `cargo run -p ucfg-bench --release --bin report` prints
+//! them all. The Criterion benches under `benches/` time the hot paths
+//! (parsing, counting, extraction, rank, joins) over parameter sweeps.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,324 @@
+//! # ucfg-cli — command implementations
+//!
+//! The logic behind the `ucfg` binary, kept in a library so every command
+//! is unit-testable. Commands operate on the paper's language `L_n`, on
+//! grammars in the text format of `ucfg_grammar::text`, and on the
+//! lower-bound machinery of `ucfg-core`.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use ucfg_core::extract::extract_cover;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example3_grammar, example4_ucfg};
+use ucfg_core::separation::separation_row;
+use ucfg_core::words;
+use ucfg_grammar::count::{decide_unambiguous, UnambiguityVerdict};
+use ucfg_grammar::language::finite_language;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::lint;
+use ucfg_grammar::text::{parse_grammar, print_grammar};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+fn parse_n(s: &str) -> Result<usize, CliError> {
+    let n: usize = s.parse().map_err(|_| err(format!("not a number: {s}")))?;
+    if n == 0 || n > 32 {
+        return Err(err("n must be in 1..=32"));
+    }
+    Ok(n)
+}
+
+/// `ucfg member <n> <word>` — is the word in `L_n`?
+pub fn cmd_member(n: &str, word: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    let w = words::from_string(n, word)
+        .ok_or_else(|| err(format!("word must be over {{a,b}} with length {}", 2 * n)))?;
+    Ok(format!(
+        "{word} ∈ L_{n}: {} (witnessing pairs: {})\n",
+        words::ln_contains(n, w),
+        words::witness_count(n, w)
+    ))
+}
+
+/// `ucfg count <n>` — |L_n| by closed form.
+pub fn cmd_count(n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    Ok(format!("|L_{n}| = 4^{n} − 3^{n} = {}\n", words::ln_size(n)))
+}
+
+/// `ucfg grammar <which> <n>` — print one of the paper's grammars.
+pub fn cmd_grammar(which: &str, n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    let g = match which {
+        "appendix-a" | "cfg" => appendix_a_grammar(n),
+        "example3" => example3_grammar(n),
+        "example4" | "ucfg" => {
+            if n > 10 {
+                return Err(err("example4 is exponential; n ≤ 10"));
+            }
+            example4_ucfg(n)
+        }
+        other => {
+            return Err(err(format!(
+                "unknown grammar {other:?} (use appendix-a | example3 | example4)"
+            )))
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# {which} grammar, n = {n}, size {}", g.size());
+    out.push_str(&print_grammar(&g));
+    Ok(out)
+}
+
+/// `ucfg sizes <n>` — the Theorem 1 size row.
+pub fn cmd_sizes(n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    let row = separation_row(n, 16, 8);
+    let mut out = String::new();
+    let _ = writeln!(out, "n = {n}  (|L_n| = {})", row.language_size);
+    let _ = writeln!(out, "  CFG (Appendix A):        {}", row.cfg_size);
+    let _ = writeln!(out, "  NFA (Θ(n), promise):     {}", row.nfa_pattern_transitions);
+    if let Some(t) = row.nfa_exact_transitions {
+        let _ = writeln!(out, "  NFA (exact, Θ(n²)):      {t}");
+    }
+    let _ = writeln!(out, "  uCFG (Example 4):        {}", row.ucfg_example4_size);
+    if let Some(d) = row.ucfg_dawg_size {
+        let _ = writeln!(out, "  uCFG (DAWG):             {d}");
+    }
+    if let Some(lb) = row.ucfg_lower_bound_log2 {
+        let _ = writeln!(out, "  every uCFG ≥             2^{lb:.2}");
+    }
+    Ok(out)
+}
+
+/// `ucfg check < grammar.txt` — parse a grammar and analyse it.
+pub fn cmd_check(src: &str) -> Result<String, CliError> {
+    let g = parse_grammar(src).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "parsed: {} non-terminals, {} rules, size {}",
+        g.nonterminal_count(),
+        g.rule_count(),
+        g.size()
+    );
+    match finite_language(&g) {
+        Some(lang) => {
+            let _ = writeln!(out, "finite language: {} words", lang.len());
+            let show: Vec<&str> = lang.iter().take(8).map(|s| s.as_str()).collect();
+            let _ = writeln!(
+                out,
+                "  {}{}",
+                show.join(" "),
+                if lang.len() > 8 { " …" } else { "" }
+            );
+            match decide_unambiguous(&g) {
+                UnambiguityVerdict::Unambiguous => {
+                    let _ = writeln!(out, "unambiguous ✓");
+                }
+                UnambiguityVerdict::Ambiguous { witness, degree } => {
+                    let _ = writeln!(out, "AMBIGUOUS: {witness:?} has {degree} parse trees");
+                }
+                v => {
+                    let _ = writeln!(out, "verdict: {v:?}");
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "infinite language (size analyses skipped)");
+        }
+    }
+    // Structural lints.
+    let findings = lint::lint(&g);
+    for f in &findings {
+        let _ = writeln!(out, "{f}");
+    }
+    if findings.is_empty() {
+        let _ = writeln!(out, "no lints ✓");
+    }
+    Ok(out)
+}
+
+/// `ucfg extract <n>` — run the Proposition 7 extraction on the Example 4
+/// uCFG for `L_n`.
+pub fn cmd_extract(n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    if n > 5 {
+        return Err(err("extraction demo is exponential; n ≤ 5"));
+    }
+    let g = example4_ucfg(n);
+    let cnf = CnfGrammar::from_grammar(&g);
+    let res = extract_cover(&cnf, 2 * n).map_err(|e| err(format!("{e:?}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Proposition 7 on the Example 4 uCFG (n = {n}, |G| = {}):",
+        g.size()
+    );
+    let _ = writeln!(
+        out,
+        "  {} balanced rectangles (bound n·|G| = {}), disjoint: {}",
+        res.rectangles.len(),
+        res.bound,
+        res.is_disjoint()
+    );
+    for r in res.rectangles.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  [{}..{}] |middles| = {:>3} |contexts| = {:>3}   (from {})",
+            r.position,
+            r.position + r.span_len - 1,
+            r.rectangle.middles.len(),
+            r.rectangle.contexts.len(),
+            r.nt_name
+        );
+    }
+    if res.rectangles.len() > 10 {
+        let _ = writeln!(out, "  … {} more", res.rectangles.len() - 10);
+    }
+    Ok(out)
+}
+
+/// `ucfg determinize < grammar.txt` — the KMN CFG → uCFG conversion with
+/// accounting.
+pub fn cmd_determinize(src: &str) -> Result<String, CliError> {
+    let g = parse_grammar(src).map_err(|e| err(e.to_string()))?;
+    let d = ucfg_core::kmn::determinize_grammar(&g).map_err(|e| err(format!("{e:?}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# determinized: |G| = {} → |G'| = {}  (|L| = {}, max len {})",
+        d.input_size, d.output_size, d.language_size, d.max_word_len
+    );
+    debug_assert!(decide_unambiguous(&d.ucfg).is_unambiguous());
+    out.push_str(&print_grammar(&d.ucfg));
+    Ok(out)
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "ucfg — the uCFG lower-bound toolkit (PODS 2025 reproduction)\n\
+     \n\
+     usage:\n\
+       ucfg member  <n> <word>       is <word> ∈ L_n?\n\
+       ucfg count   <n>              |L_n|\n\
+       ucfg sizes   <n>              Theorem 1 size row for L_n\n\
+       ucfg grammar <which> <n>      print a grammar (appendix-a | example3 | example4)\n\
+       ucfg check                    parse a grammar from stdin and analyse it\n\
+       ucfg determinize              CFG → uCFG (the [20] route), grammar on stdin\n\
+       ucfg extract <n>              Proposition 7 extraction demo\n"
+        .to_string()
+}
+
+/// Dispatch a full argument vector (without the program name).
+pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
+    match args {
+        [cmd, n, word] if cmd == "member" => cmd_member(n, word),
+        [cmd, n] if cmd == "count" => cmd_count(n),
+        [cmd, n] if cmd == "sizes" => cmd_sizes(n),
+        [cmd, which, n] if cmd == "grammar" => cmd_grammar(which, n),
+        [cmd] if cmd == "check" => cmd_check(stdin),
+        [cmd] if cmd == "determinize" => cmd_determinize(stdin),
+        [cmd, n] if cmd == "extract" => cmd_extract(n),
+        [] => Ok(usage()),
+        _ => Err(err(format!("unrecognised arguments: {args:?}\n\n{}", usage()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_command() {
+        let out = cmd_member("2", "abab").unwrap();
+        assert!(out.contains("true"));
+        let out = cmd_member("2", "abba").unwrap();
+        assert!(out.contains("false"));
+        assert!(cmd_member("2", "ab").is_err());
+        assert!(cmd_member("0", "").is_err());
+        assert!(cmd_member("x", "").is_err());
+    }
+
+    #[test]
+    fn count_command() {
+        assert!(cmd_count("3").unwrap().contains("37"));
+    }
+
+    #[test]
+    fn grammar_command() {
+        let out = cmd_grammar("appendix-a", "4").unwrap();
+        assert!(out.contains("size"));
+        assert!(cmd_grammar("example4", "11").is_err());
+        assert!(cmd_grammar("nope", "3").is_err());
+        // Printed grammars re-parse.
+        let body: String = out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        assert!(ucfg_grammar::text::parse_grammar(&body).is_ok());
+    }
+
+    #[test]
+    fn sizes_command() {
+        let out = cmd_sizes("8").unwrap();
+        assert!(out.contains("CFG"));
+        assert!(out.contains("uCFG"));
+    }
+
+    #[test]
+    fn check_command() {
+        let out = cmd_check("S -> A A\nA -> a | b\n").unwrap();
+        assert!(out.contains("unambiguous ✓"), "{out}");
+        assert!(out.contains("no lints"), "{out}");
+        let out = cmd_check("S -> A B | B A\nA -> a\nB -> a\n").unwrap();
+        assert!(out.contains("AMBIGUOUS"), "{out}");
+        assert!(cmd_check("garbage").is_err());
+        // Lints fire on sloppy grammars.
+        let out = cmd_check("S -> a | a\nDead -> Dead a\n").unwrap();
+        assert!(out.contains("warning:"), "{out}");
+    }
+
+    #[test]
+    fn determinize_command() {
+        // An ambiguous grammar becomes unambiguous with the same language.
+        let src = "S -> A B | B A\nA -> a\nB -> a\n";
+        let out = cmd_determinize(src).unwrap();
+        assert!(out.contains("determinized"), "{out}");
+        let body: String =
+            out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        let g = ucfg_grammar::text::parse_grammar(&body).unwrap();
+        assert!(decide_unambiguous(&g).is_unambiguous());
+        assert_eq!(finite_language(&g).unwrap().len(), 1); // {aa}
+        // Infinite language rejected.
+        assert!(cmd_determinize("S -> a S | a").is_err());
+    }
+
+    #[test]
+    fn extract_command() {
+        let out = cmd_extract("2").unwrap();
+        assert!(out.contains("disjoint: true"), "{out}");
+        assert!(cmd_extract("9").is_err());
+    }
+
+    #[test]
+    fn dispatch_routes() {
+        let ok = dispatch(&["count".into(), "2".into()], "").unwrap();
+        assert!(ok.contains("7"));
+        assert!(dispatch(&[], "").unwrap().contains("usage"));
+        assert!(dispatch(&["bogus".into()], "").is_err());
+        let checked = dispatch(&["check".into()], "S -> a\n").unwrap();
+        assert!(checked.contains("1 words"));
+    }
+}

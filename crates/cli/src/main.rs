@@ -1,0 +1,29 @@
+//! The `ucfg` command-line tool. See `ucfg_cli::usage`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Only the grammar-reading commands consume stdin; don't block otherwise.
+    let stdin = if matches!(args.first().map(String::as_str), Some("check") | Some("determinize")) {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: could not read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        String::new()
+    };
+    match ucfg_cli::dispatch(&args, &stdin) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! A small communication-complexity toolkit around `L_n`.
+//!
+//! Under the set perspective, `L_n` is the complement of set disjointness
+//! — "the flagship problem of communication complexity" (§4.1). This
+//! module makes the protocol view executable:
+//!
+//! * [`NondetProtocol`] — a nondeterministic (multi-partition) protocol is
+//!   exactly a rectangle cover; its cost is `⌈log₂ ℓ⌉` bits plus the
+//!   partition choice, and it is *unambiguous* when the cover is disjoint.
+//!   Example 8 gives the classic `log n`-bit nondeterministic protocol for
+//!   intersection; Theorem 12 says unambiguous protocols built from uCFGs
+//!   pay `Ω(n)` bits.
+//! * [`canonical_fooling_set`] — the textbook fooling set
+//!   `{({i}, {i})}_{i ∈ [n]}` for intersection, with verification and a
+//!   greedy extension procedure; a fooling set of size `f` forces any
+//!   1-monochromatic rectangle cover to have `ℓ ≥ f`.
+
+use crate::partition::OrderedPartition;
+use crate::rectangle::SetRectangle;
+use crate::words::{self, Word};
+
+/// A nondeterministic protocol = a cover of the accepted set by
+/// rectangles (possibly over different partitions: the multi-partition
+/// model of [14]).
+#[derive(Debug, Clone)]
+pub struct NondetProtocol {
+    /// The certificate rectangles.
+    pub rectangles: Vec<SetRectangle>,
+}
+
+impl NondetProtocol {
+    /// Wrap a rectangle cover as a protocol.
+    pub fn from_cover(rectangles: Vec<SetRectangle>) -> Self {
+        NondetProtocol { rectangles }
+    }
+
+    /// Does the protocol accept the input (∃ a certificate rectangle)?
+    pub fn accepts(&self, w: Word) -> bool {
+        self.rectangles.iter().any(|r| r.contains(w))
+    }
+
+    /// Number of certificates for the input (1 everywhere on the accepted
+    /// set ⇔ the protocol is unambiguous).
+    pub fn certificate_count(&self, w: Word) -> usize {
+        self.rectangles.iter().filter(|r| r.contains(w)).count()
+    }
+
+    /// Cost in bits: the prover sends the index of a certificate
+    /// rectangle (`⌈log₂ ℓ⌉`).
+    pub fn cost_bits(&self) -> u32 {
+        (self.rectangles.len().max(1) as u64).next_power_of_two().trailing_zeros()
+    }
+
+    /// Is the protocol unambiguous (every accepted input has exactly one
+    /// certificate) on the whole domain `{0,1}^{2n}`?
+    pub fn is_unambiguous(&self, n: usize) -> bool {
+        (0..(1u64 << (2 * n))).all(|w| self.certificate_count(w) <= 1)
+    }
+
+    /// Does the protocol compute exactly `L_n`?
+    pub fn computes_ln(&self, n: usize) -> bool {
+        (0..(1u64 << (2 * n))).all(|w| self.accepts(w) == words::ln_contains(n, w))
+    }
+}
+
+/// Is `fs` a fooling set for `L_n` under the partition: all members are in
+/// `L_n`, and for every two members the two cross-combinations are not
+/// both in `L_n`?
+pub fn is_fooling_set(n: usize, part: OrderedPartition, fs: &[Word]) -> bool {
+    let ins = part.inside();
+    let outs = part.outside();
+    if !fs.iter().all(|&w| words::ln_contains(n, w)) {
+        return false;
+    }
+    for (i, &w1) in fs.iter().enumerate() {
+        for &w2 in &fs[i + 1..] {
+            let cross1 = (w1 & ins) | (w2 & outs);
+            let cross2 = (w2 & ins) | (w1 & outs);
+            if words::ln_contains(n, cross1) && words::ln_contains(n, cross2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The canonical fooling set for intersection under the middle cut:
+/// `{({i}, {i})}` — words with exactly one witnessing pair at position i
+/// and nothing else.
+pub fn canonical_fooling_set(n: usize) -> Vec<Word> {
+    (0..n).map(|i| (1u64 << i) | (1u64 << (i + n))).collect()
+}
+
+/// Greedily extend a fooling set for `L_n` under the given partition,
+/// scanning members of `L_n` in numeric order. Returns the final set.
+pub fn greedy_fooling_set(n: usize, part: OrderedPartition) -> Vec<Word> {
+    let ins = part.inside();
+    let outs = part.outside();
+    let mut fs: Vec<Word> = Vec::new();
+    for w in words::enumerate_ln(n) {
+        let ok = fs.iter().all(|&v| {
+            let c1 = (w & ins) | (v & outs);
+            let c2 = (v & ins) | (w & outs);
+            !(words::ln_contains(n, c1) && words::ln_contains(n, c2))
+        });
+        if ok {
+            fs.push(w);
+        }
+    }
+    debug_assert!(is_fooling_set(n, part, &fs));
+    fs
+}
+
+/// The fooling-set lower bound: any cover of `L_n` by rectangles over
+/// `part` needs at least `|fooling set|` rectangles *if the cover is
+/// disjoint*; for arbitrary covers the weaker "no rectangle holds two
+/// fooling words" still gives the same bound.
+pub fn fooling_bound(n: usize, part: OrderedPartition) -> usize {
+    greedy_fooling_set(n, part).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::example8_cover;
+    use crate::greedy_cover::greedy_disjoint_cover_middle_cut;
+
+    #[test]
+    fn example8_is_a_log_n_protocol() {
+        for n in [3usize, 4, 5] {
+            let p = NondetProtocol::from_cover(example8_cover(n));
+            assert!(p.computes_ln(n), "n={n}");
+            // Ambiguous: the all-a word has n certificates.
+            assert_eq!(p.certificate_count((1u64 << (2 * n)) - 1), n);
+            assert!(!p.is_unambiguous(n));
+            // Cost ⌈log₂ n⌉ bits.
+            assert!(p.cost_bits() <= (n as f64).log2().ceil() as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn greedy_disjoint_cover_is_unambiguous_protocol() {
+        let n = 4;
+        let cover = greedy_disjoint_cover_middle_cut(n);
+        let p = NondetProtocol::from_cover(cover.rectangles);
+        assert!(p.computes_ln(n));
+        assert!(p.is_unambiguous(n));
+        // Unambiguous cost is ~n bits vs the ambiguous log n.
+        assert!(p.cost_bits() >= n as u32 - 1, "cost {}", p.cost_bits());
+    }
+
+    #[test]
+    fn canonical_fooling_set_is_valid() {
+        for n in [2usize, 4, 8] {
+            let fs = canonical_fooling_set(n);
+            assert_eq!(fs.len(), n);
+            let part = OrderedPartition::new(n, 1, n);
+            assert!(is_fooling_set(n, part, &fs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn crossing_two_singletons_leaves_ln() {
+        // The crux: ({i}, {j}) for i ≠ j is disjoint → ∉ L_n.
+        let n = 4;
+        let fs = canonical_fooling_set(n);
+        let part = OrderedPartition::new(n, 1, n);
+        let ins = part.inside();
+        let outs = part.outside();
+        let cross = (fs[0] & ins) | (fs[2] & outs);
+        assert!(!words::ln_contains(n, cross));
+    }
+
+    #[test]
+    fn greedy_extends_beyond_canonical() {
+        let n = 4;
+        let part = OrderedPartition::new(n, 1, n);
+        let g = greedy_fooling_set(n, part);
+        assert!(g.len() >= n, "greedy ≥ canonical: {}", g.len());
+        assert!(is_fooling_set(n, part, &g));
+    }
+
+    #[test]
+    fn non_fooling_set_detected() {
+        let n = 2;
+        let part = OrderedPartition::new(n, 1, n);
+        // Two words whose crossings are both in L_2: {1}×{1,2} and {1,2}×{1}.
+        let w1 = 0b0101u64; // X={1}, Y={1}
+        let w2 = 0b0111u64; // X={1,2}, Y={1}
+        assert!(!is_fooling_set(n, part, &[w1, w2]));
+        // And a non-member breaks it trivially.
+        assert!(!is_fooling_set(n, part, &[0]));
+    }
+
+    #[test]
+    fn cost_bits_formula() {
+        let part = OrderedPartition::new(2, 1, 2);
+        let empty_rect =
+            SetRectangle::new(part, std::collections::BTreeSet::new(), std::collections::BTreeSet::new());
+        for (count, expect) in [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (7, 3), (8, 3)] {
+            let p = NondetProtocol::from_cover(vec![empty_rect.clone(); count]);
+            assert_eq!(p.cost_bits(), expect, "count={count}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Rectangle covers of `L_n`: verification and end-to-end certification.
+//!
+//! Ties the pieces together: Example 8's ambiguous cover of size `n`, the
+//! Proposition 7 extraction from real grammars, and the Proposition 16
+//! accounting `gap = Σ_i (|A∩R_i| − |B∩R_i|) ≤ ℓ · max-discrepancy` that
+//! yields the lower bound.
+
+use crate::discrepancy;
+use crate::extract::ExtractionResult;
+use crate::rectangle::{example8_rectangle, SetRectangle};
+use crate::words::{enumerate_ln, ln_contains, Word};
+
+/// Outcome of verifying a family of rectangles against `L_n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverReport {
+    /// Number of rectangles.
+    pub size: usize,
+    /// Every member of every rectangle is in `L_n` and every word of `L_n`
+    /// is in some rectangle.
+    pub covers_exactly: bool,
+    /// No word lies in two rectangles.
+    pub disjoint: bool,
+    /// All rectangles balanced (Definition 13/5).
+    pub all_balanced: bool,
+    /// Maximum number of rectangles containing a single word.
+    pub max_overlap: usize,
+}
+
+/// Verify a family of set rectangles against `L_n` by exhaustive scan.
+pub fn verify_cover(n: usize, rects: &[SetRectangle]) -> CoverReport {
+    assert!(2 * n <= 26, "exhaustive verification is 2^{{2n}}");
+    let mut covers_exactly = true;
+    let mut max_overlap = 0usize;
+    for w in 0..(1u64 << (2 * n)) as Word {
+        let hits = rects.iter().filter(|r| r.contains(w)).count();
+        if (hits > 0) != ln_contains(n, w) {
+            covers_exactly = false;
+        }
+        max_overlap = max_overlap.max(hits);
+    }
+    CoverReport {
+        size: rects.len(),
+        covers_exactly,
+        disjoint: max_overlap <= 1,
+        all_balanced: rects.iter().all(SetRectangle::is_balanced),
+        max_overlap,
+    }
+}
+
+/// Example 8: the non-disjoint cover of `L_n` by `n` balanced rectangles.
+pub fn example8_cover(n: usize) -> Vec<SetRectangle> {
+    (0..n).map(|k| example8_rectangle(n, k).to_set_rectangle(n)).collect()
+}
+
+/// Convert an extraction result over `{a,b}^{2n}` into set rectangles.
+pub fn extraction_to_set_rectangles(n: usize, res: &ExtractionResult) -> Vec<SetRectangle> {
+    res.rectangles.iter().map(|r| r.rectangle.to_set_rectangle(n)).collect()
+}
+
+/// The Proposition 16 accounting for a *disjoint* cover: the per-rectangle
+/// signed discrepancies must sum to the global gap
+/// `|A ∩ L_n| − |B ∩ L_n| = 12^m − 8^m`. Returns the vector of signed
+/// discrepancies and whether the identity holds.
+pub fn discrepancy_accounting(n: usize, rects: &[SetRectangle]) -> (Vec<i64>, bool) {
+    assert!(discrepancy::supports_blocks(n));
+    let discs: Vec<i64> = rects.iter().map(|r| discrepancy::discrepancy(n, r)).collect();
+    let total: i64 = discs.iter().sum();
+    let m = (n / 4) as u64;
+    let expect = discrepancy::gap(m).to_u64().expect("small n") as i64;
+    (discs, total == expect)
+}
+
+/// The lower bound implied by the accounting: a disjoint cover needs at
+/// least `gap / max_i |disc_i|` rectangles — with the Lemma 23 bound
+/// substituted this is Proposition 16's `2^{Ω(n)}`. Returns
+/// `ceil(gap / max|disc|)` for the given cover (a consistency check: the
+/// actual cover size must be ≥ this).
+pub fn implied_size_bound(n: usize, rects: &[SetRectangle]) -> usize {
+    let (discs, _) = discrepancy_accounting(n, rects);
+    let max_abs = discs.iter().map(|d| d.unsigned_abs()).max().unwrap_or(1).max(1);
+    let m = (n / 4) as u64;
+    let g = discrepancy::gap(m).to_u64().expect("small n");
+    g.div_ceil(max_abs) as usize
+}
+
+/// Count the words of `L_n` covered exactly once / more than once — the
+/// quantitative "how non-disjoint is Example 8" figure.
+pub fn overlap_histogram(n: usize, rects: &[SetRectangle]) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for w in enumerate_ln(n) {
+        let hits = rects.iter().filter(|r| r.contains(w)).count();
+        if hist.len() <= hits {
+            hist.resize(hits + 1, 0);
+        }
+        hist[hits] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_cover;
+    use crate::ln_grammars::example4_ucfg;
+    use ucfg_grammar::normal_form::CnfGrammar;
+
+    #[test]
+    fn example8_cover_report() {
+        for n in [3usize, 4, 5] {
+            let rects = example8_cover(n);
+            let rep = verify_cover(n, &rects);
+            assert_eq!(rep.size, n);
+            assert!(rep.covers_exactly, "n={n}");
+            assert!(rep.all_balanced, "n={n}");
+            assert!(!rep.disjoint, "Example 8 is non-disjoint (n={n})");
+            assert_eq!(rep.max_overlap, n, "the all-a word hits all rectangles");
+        }
+    }
+
+    #[test]
+    fn ucfg_extraction_gives_disjoint_cover() {
+        let n = 4; // n divisible by 4 → discrepancy accounting applies
+        let g = example4_ucfg(n);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let res = extract_cover(&cnf, 2 * n).unwrap();
+        let rects = extraction_to_set_rectangles(n, &res);
+        let rep = verify_cover(n, &rects);
+        assert!(rep.covers_exactly);
+        assert!(rep.disjoint);
+        assert!(rep.all_balanced);
+
+        // Proposition 16 accounting: discrepancies sum to the gap.
+        let (_discs, ok) = discrepancy_accounting(n, &rects);
+        assert!(ok, "Σ disc_i must equal 12^m − 8^m for a disjoint cover");
+
+        // And the implied bound is honoured by the actual size.
+        let bound = implied_size_bound(n, &rects);
+        assert!(rep.size >= bound, "cover of size {} below implied bound {bound}", rep.size);
+    }
+
+    #[test]
+    fn overlap_histogram_example8() {
+        let n = 4;
+        let hist = overlap_histogram(n, &example8_cover(n));
+        // hist[0] must be 0 (we only scan L_n members), and some words are
+        // covered more than once.
+        assert_eq!(hist.first().copied().unwrap_or(0), 0);
+        assert!(hist.len() > 2, "some words covered ≥ 2 times: {hist:?}");
+        let total: usize = hist.iter().sum();
+        assert_eq!(total as u64, crate::words::ln_size(n).to_u64().unwrap());
+    }
+
+    #[test]
+    fn accounting_fails_for_non_disjoint_cover() {
+        // For a non-disjoint cover the sum counts each word once per
+        // rectangle: Σ_i disc(R_i) = Σ_{w ∈ 𝓛} hits(w)·sign(w), which
+        // differs from the gap as soon as some member has ≥ 2 witnesses.
+        // (At n = 4, i.e. m = 1, every 𝓛-member has ≤ 1 witness and the
+        // two sums coincide — use n = 8.)
+        let n = 8;
+        let rects = example8_cover(n);
+        let (discs, ok) = discrepancy_accounting(n, &rects);
+        assert_eq!(discs.len(), n);
+        assert!(!ok, "over-counting expected for overlapping rectangles");
+
+        // The m = 1 coincidence, for the record.
+        let (_d4, ok4) = discrepancy_accounting(4, &example8_cover(4));
+        assert!(ok4);
+    }
+
+    #[test]
+    fn verify_cover_detects_missing_words() {
+        let n = 3;
+        let mut rects = example8_cover(n);
+        rects.pop(); // drop one slice → words with only the last witness are lost
+        let rep = verify_cover(n, &rects);
+        assert!(!rep.covers_exactly);
+    }
+}

@@ -1,0 +1,446 @@
+//! The discrepancy argument of Section 4.2.
+//!
+//! For `n = 4m`, `Z` is split into `2m` blocks of four; the family `𝓛`
+//! consists of the sets picking exactly one element per block, `A ⊆ 𝓛` are
+//! the members with an odd number of witnessing pairs, `B = 𝓛 \ A`.
+//!
+//! Quantities reproduced exactly (Lemma 18): `|𝓛| = 2^{4m}`,
+//! `|B ∖ L_n| = 12^m`, `|B| − |A| = 2^{3m}`, and the gap
+//! `|A ∩ L_n| − |B ∩ L_n| = 12^m − 8^m` (which exceeds `2^{7m/2}` for
+//! `m ≥ 4`). Per-rectangle discrepancy `||R∩A| − |R∩B||` is computed
+//! exhaustively and checked against the Lemma 19 bound `2^{3m}` (for
+//! `[1, n]`-rectangles) and the Lemma 23 bound `2^{10m/3}` (for neat
+//! balanced rectangles); the implied cover lower bound of
+//! Proposition 16 / Theorem 17 follows.
+//!
+//! ```
+//! use ucfg_core::discrepancy;
+//!
+//! // Lemma 18's identities, exactly, at any scale:
+//! let m = 16;
+//! assert_eq!(discrepancy::family_size(m), ucfg_grammar::BigUint::pow2(4 * m));
+//! assert!(discrepancy::lemma18_inequality_holds(m)); // gap > 2^{7m/2} for m ≥ 4
+//! // The Proposition 16 lower bound grows linearly in m (≈ 0.25 bits per m):
+//! assert!(discrepancy::cover_lower_bound_log2(m) > 3.0);
+//! ```
+
+use crate::partition::OrderedPartition;
+use crate::rectangle::SetRectangle;
+use crate::words::{witness_count, Word};
+use rand::Rng;
+use std::collections::BTreeSet;
+use ucfg_grammar::bignum::BigUint;
+
+/// Does `n` support the block structure (`n ≡ 0 mod 4`, `n ≥ 4`)?
+pub fn supports_blocks(n: usize) -> bool {
+    n >= 4 && n % 4 == 0 && 2 * n <= 64
+}
+
+/// Is `w` in the family `𝓛` (exactly one element per 4-block)?
+pub fn in_family(n: usize, w: Word) -> bool {
+    debug_assert!(supports_blocks(n));
+    (0..n / 2).all(|t| (w >> (4 * t) & 0b1111).count_ones() == 1)
+}
+
+/// Is `w ∈ A` (member of `𝓛` with an odd number of witnessing pairs)?
+pub fn in_a(n: usize, w: Word) -> bool {
+    in_family(n, w) && witness_count(n, w) % 2 == 1
+}
+
+/// Is `w ∈ B = 𝓛 ∖ A`?
+pub fn in_b(n: usize, w: Word) -> bool {
+    in_family(n, w) && witness_count(n, w) % 2 == 0
+}
+
+/// Enumerate `𝓛` (size `2^n`; experiment-scale `n`).
+pub fn enumerate_family(n: usize) -> Vec<Word> {
+    assert!(supports_blocks(n) && n <= 24, "family enumeration is 2^n");
+    let blocks = n / 2;
+    let mut out = Vec::with_capacity(1 << n);
+    let mut stack: Vec<(usize, Word)> = vec![(0, 0)];
+    while let Some((t, acc)) = stack.pop() {
+        if t == blocks {
+            out.push(acc);
+            continue;
+        }
+        for bit in 0..4 {
+            stack.push((t + 1, acc | 1u64 << (4 * t + bit)));
+        }
+    }
+    out
+}
+
+/// `|𝓛| = 2^{4m}`.
+pub fn family_size(m: u64) -> BigUint {
+    BigUint::pow2(4 * m)
+}
+
+/// `|A| = (16^m − 8^m) / 2`.
+pub fn a_size(m: u64) -> BigUint {
+    let (q, r) = BigUint::pow2(4 * m)
+        .checked_sub(&BigUint::pow2(3 * m))
+        .expect("16^m > 8^m")
+        .div_rem_small(2);
+    debug_assert_eq!(r, 0);
+    q
+}
+
+/// `|B| = (16^m + 8^m) / 2`.
+pub fn b_size(m: u64) -> BigUint {
+    let (q, r) = (&BigUint::pow2(4 * m) + &BigUint::pow2(3 * m)).div_rem_small(2);
+    debug_assert_eq!(r, 0);
+    q
+}
+
+/// `|B ∖ L_n| = 12^m` (Lemma 18).
+pub fn b_outside_ln(m: u64) -> BigUint {
+    BigUint::small_pow(12, m)
+}
+
+/// The gap `|A ∩ L_n| − |B ∩ L_n| = 12^m − 8^m` (Lemma 18's inequality is
+/// `gap > 2^{7m/2}`, which holds for all `m ≥ 4`).
+pub fn gap(m: u64) -> BigUint {
+    BigUint::small_pow(12, m)
+        .checked_sub(&BigUint::pow2(3 * m))
+        .expect("12^m ≥ 8^m")
+}
+
+/// Does Lemma 18's inequality `gap > 2^{7m/2}` hold for this `m`?
+/// (Checked exactly: `gap² > 2^{7m}`.)
+pub fn lemma18_inequality_holds(m: u64) -> bool {
+    let g = gap(m);
+    &g * &g > BigUint::pow2(7 * m)
+}
+
+/// Signed discrepancy `|R ∩ A| − |R ∩ B|` of a rectangle, by exhaustive
+/// enumeration of `𝓛`.
+pub fn discrepancy(n: usize, r: &SetRectangle) -> i64 {
+    let mut d: i64 = 0;
+    for w in enumerate_family(n) {
+        if r.contains(w) {
+            if witness_count(n, w) % 2 == 1 {
+                d += 1;
+            } else {
+                d -= 1;
+            }
+        }
+    }
+    d
+}
+
+/// The Lemma 19 bound for `[1, n]`-rectangles: `2^{3m}`.
+pub fn lemma19_bound(m: u64) -> BigUint {
+    BigUint::pow2(3 * m)
+}
+
+/// Exact check of the Lemma 23 bound `|d| ≤ 2^{10m/3}` as `|d|³ ≤ 2^{10m}`.
+pub fn within_lemma23_bound(m: u64, d: i64) -> bool {
+    let a = BigUint::from_u64(d.unsigned_abs());
+    &(&a * &a) * &a <= BigUint::pow2(10 * m)
+}
+
+/// The Proposition 16 cover lower bound in log₂:
+/// `log₂ ℓ ≥ log₂(12^m − 8^m) − 10m/3`.
+pub fn cover_lower_bound_log2(m: u64) -> f64 {
+    gap(m).log2_approx() - 10.0 * m as f64 / 3.0
+}
+
+/// The Theorem 17 (fixed `[1,n]`-partition) cover lower bound in log₂:
+/// `log₂ ℓ ≥ log₂(12^m − 8^m) − 3m`.
+pub fn fixed_partition_lower_bound_log2(m: u64) -> f64 {
+    gap(m).log2_approx() - 3.0 * m as f64
+}
+
+/// Sample a random rectangle over `partition` whose sides are subsets of
+/// the projections of `𝓛` (other patterns never meet `𝓛` and contribute
+/// nothing to discrepancy).
+pub fn random_family_rectangle<R: Rng + ?Sized>(
+    n: usize,
+    partition: OrderedPartition,
+    rng: &mut R,
+) -> SetRectangle {
+    let fam = enumerate_family(n);
+    let ins = partition.inside();
+    let outs = partition.outside();
+    let s_all: BTreeSet<u64> = fam.iter().map(|&w| w & ins).collect();
+    let t_all: BTreeSet<u64> = fam.iter().map(|&w| w & outs).collect();
+    let s = s_all.into_iter().filter(|_| rng.random_bool(0.5)).collect();
+    let t = t_all.into_iter().filter(|_| rng.random_bool(0.5)).collect();
+    SetRectangle::new(partition, s, t)
+}
+
+/// Adversarial discrepancy search by alternating maximisation: for a fixed
+/// `T` the best `S` is `{u : Σ_{v∈T} f(u∪v) > 0}` (and symmetrically), so
+/// alternate until a fixpoint. Returns the best rectangle found and its
+/// signed discrepancy. This gives strong *lower* estimates of the maximal
+/// discrepancy, to be compared against the Lemma 19/23 upper bounds.
+pub fn adversarial_rectangle<R: Rng + ?Sized>(
+    n: usize,
+    partition: OrderedPartition,
+    rounds: usize,
+    rng: &mut R,
+) -> (SetRectangle, i64) {
+    let fam = enumerate_family(n);
+    let ins = partition.inside();
+    let outs = partition.outside();
+    let sign = |w: Word| if witness_count(n, w) % 2 == 1 { 1i64 } else { -1i64 };
+    // Group family members by their side patterns.
+    let s_all: Vec<u64> = fam.iter().map(|&w| w & ins).collect::<BTreeSet<_>>().into_iter().collect();
+    let t_all: Vec<u64> = fam.iter().map(|&w| w & outs).collect::<BTreeSet<_>>().into_iter().collect();
+    // f(u, v) summed lazily; members of 𝓛 are exactly the u|v combinations
+    // that lie in 𝓛.
+    let mut best: Option<(BTreeSet<u64>, BTreeSet<u64>, i64)> = None;
+    for _ in 0..rounds.max(1) {
+        let mut t_cur: BTreeSet<u64> =
+            t_all.iter().copied().filter(|_| rng.random_bool(0.5)).collect();
+        let mut s_cur: BTreeSet<u64> = BTreeSet::new();
+        let mut last_d = i64::MIN;
+        for _iter in 0..16 {
+            // Best S for current T.
+            s_cur = s_all
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    let score: i64 = t_cur
+                        .iter()
+                        .filter(|&&v| in_family(n, u | v))
+                        .map(|&v| sign(u | v))
+                        .sum();
+                    score > 0
+                })
+                .collect();
+            // Best T for current S.
+            t_cur = t_all
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    let score: i64 = s_cur
+                        .iter()
+                        .filter(|&&u| in_family(n, u | v))
+                        .map(|&u| sign(u | v))
+                        .sum();
+                    score > 0
+                })
+                .collect();
+            let d: i64 = s_cur
+                .iter()
+                .flat_map(|&u| t_cur.iter().map(move |&v| (u, v)))
+                .filter(|&(u, v)| in_family(n, u | v))
+                .map(|(u, v)| sign(u | v))
+                .sum();
+            if d == last_d {
+                break;
+            }
+            last_d = d;
+        }
+        let d = last_d;
+        if best.as_ref().is_none_or(|b| d > b.2) {
+            best = Some((s_cur, t_cur, d));
+        }
+    }
+    let (s, t, d) = best.expect("at least one round");
+    (SetRectangle::new(partition, s, t), d)
+}
+
+/// *Exact* maximum `||R∩A| − |R∩B||` over **all** rectangles of a
+/// partition, by enumerating every `T ⊆` (T-side patterns) and pairing it
+/// with its optimal `S` (for the maximising rectangle, `S` is always the
+/// set of rows with positive — resp. negative — total, so scanning all `T`
+/// with optimal `S` finds the true optimum).
+///
+/// Feasible only when the T-side has few patterns (`2^{|T-patterns|}`
+/// subsets); returns `None` above 20 patterns. For `n = 4` this covers
+/// every partition; for `n = 8` the neat ones.
+pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u64> {
+    let fam = enumerate_family(n);
+    let ins = partition.inside();
+    let outs = partition.outside();
+    let s_all: Vec<u64> =
+        fam.iter().map(|&w| w & ins).collect::<BTreeSet<_>>().into_iter().collect();
+    let t_all: Vec<u64> =
+        fam.iter().map(|&w| w & outs).collect::<BTreeSet<_>>().into_iter().collect();
+    if t_all.len() > 20 {
+        return None;
+    }
+    // f[u][v] ∈ {−1, 0, +1}.
+    let f: Vec<Vec<i64>> = s_all
+        .iter()
+        .map(|&u| {
+            t_all
+                .iter()
+                .map(|&v| {
+                    if in_family(n, u | v) {
+                        if witness_count(n, u | v) % 2 == 1 {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut best: u64 = 0;
+    for t_mask in 0u32..(1u32 << t_all.len()) {
+        let mut pos: i64 = 0;
+        let mut neg: i64 = 0;
+        for row in &f {
+            let mut score: i64 = 0;
+            let mut m = t_mask;
+            while m != 0 {
+                let j = m.trailing_zeros() as usize;
+                score += row[j];
+                m &= m - 1;
+            }
+            if score > 0 {
+                pos += score;
+            } else {
+                neg += score;
+            }
+        }
+        best = best.max(pos as u64).max(neg.unsigned_abs());
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{ln_contains, low_mask};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_membership_and_size() {
+        for n in [4usize, 8] {
+            let fam = enumerate_family(n);
+            assert_eq!(fam.len() as u64, 1 << n, "n={n}");
+            let m = (n / 4) as u64;
+            assert_eq!(family_size(m).to_u64(), Some(1 << n));
+            for &w in &fam {
+                assert!(in_family(n, w));
+                assert!(in_a(n, w) ^ in_b(n, w));
+            }
+            // Non-members: empty set, everything.
+            assert!(!in_family(n, 0));
+            assert!(!in_family(n, low_mask(2 * n)));
+        }
+    }
+
+    #[test]
+    fn lemma18_counts_exhaustive() {
+        for n in [4usize, 8, 12] {
+            let m = (n / 4) as u64;
+            let fam = enumerate_family(n);
+            let a_count = fam.iter().filter(|&&w| in_a(n, w)).count() as u64;
+            let b_count = fam.iter().filter(|&&w| in_b(n, w)).count() as u64;
+            assert_eq!(a_size(m).to_u64(), Some(a_count), "n={n}");
+            assert_eq!(b_size(m).to_u64(), Some(b_count), "n={n}");
+            assert_eq!(b_count - a_count, 1 << (3 * m), "|B|−|A| = 2^{{3m}}");
+            let b_out = fam.iter().filter(|&&w| in_b(n, w) && !ln_contains(n, w)).count() as u64;
+            assert_eq!(b_outside_ln(m).to_u64(), Some(b_out), "|B∖L_n| = 12^m");
+            // A ⊆ L_n (odd intersections ⇒ at least one).
+            assert!(fam.iter().filter(|&&w| in_a(n, w)).all(|&w| ln_contains(n, w)));
+            // The gap.
+            let gap_count = {
+                let a_in = fam.iter().filter(|&&w| in_a(n, w) && ln_contains(n, w)).count() as i64;
+                let b_in = fam.iter().filter(|&&w| in_b(n, w) && ln_contains(n, w)).count() as i64;
+                a_in - b_in
+            };
+            assert_eq!(gap(m).to_u64(), Some(gap_count as u64), "gap = 12^m − 8^m");
+        }
+    }
+
+    #[test]
+    fn lemma18_inequality_threshold() {
+        // 12^m − 8^m > 2^{7m/2} holds exactly from m = 4 on.
+        assert!(!lemma18_inequality_holds(1));
+        assert!(!lemma18_inequality_holds(2));
+        assert!(!lemma18_inequality_holds(3));
+        for m in 4..=64 {
+            assert!(lemma18_inequality_holds(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn lemma19_bound_on_random_middle_cut_rectangles() {
+        let n = 8;
+        let m = 2u64;
+        let part = OrderedPartition::new(n, 1, n);
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..30 {
+            let r = random_family_rectangle(n, part, &mut rng);
+            let d = discrepancy(n, &r).unsigned_abs();
+            assert!(
+                BigUint::from_u64(d) <= lemma19_bound(m),
+                "|d| = {d} exceeds 2^{{3m}}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma23_bound_on_random_balanced_rectangles() {
+        let n = 8;
+        let m = 2u64;
+        let mut rng = StdRng::seed_from_u64(7);
+        for part in OrderedPartition::all_balanced(n) {
+            for _ in 0..5 {
+                let r = random_family_rectangle(n, part, &mut rng);
+                let d = discrepancy(n, &r);
+                assert!(within_lemma23_bound(m, d), "{part:?}: d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_search_respects_bounds() {
+        let n = 8;
+        let m = 2u64;
+        let mut rng = StdRng::seed_from_u64(99);
+        let part = OrderedPartition::new(n, 1, n);
+        let (r, d) = adversarial_rectangle(n, part, 3, &mut rng);
+        assert_eq!(discrepancy(n, &r), d);
+        assert!(BigUint::from_u64(d.unsigned_abs()) <= lemma19_bound(m));
+        // The search should find a substantially positive discrepancy.
+        assert!(d > 0, "adversarial search found nothing: {d}");
+    }
+
+    #[test]
+    fn exact_max_discrepancy_within_bounds() {
+        // n = 4, m = 1: the exact maximum over ALL [1,4]-rectangles obeys
+        // Lemma 19's 2^{3m} = 8.
+        let n = 4;
+        let part = OrderedPartition::new(n, 1, n);
+        let exact = exact_max_discrepancy(n, part).unwrap();
+        assert!(exact <= 8, "Lemma 19 exact check: {exact}");
+        assert!(exact >= 1);
+        // Every partition of n = 4 is feasible and obeys Lemma 23
+        // (|d|³ ≤ 2^{10}).
+        for p in OrderedPartition::all_balanced(n) {
+            let d = exact_max_discrepancy(n, p).unwrap();
+            assert!(within_lemma23_bound(1, d as i64), "{p:?}: {d}");
+        }
+        // The adversarial search cannot beat the exact optimum.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (_, adv) = adversarial_rectangle(n, part, 5, &mut rng);
+        assert!(adv.unsigned_abs() <= exact);
+    }
+
+    #[test]
+    fn lower_bound_grows_linearly() {
+        // log₂ bound ≈ m·(log₂ 12 − 10/3) ≈ 0.25 m.
+        let lb4 = cover_lower_bound_log2(4);
+        let lb16 = cover_lower_bound_log2(16);
+        let lb64 = cover_lower_bound_log2(64);
+        assert!(lb16 > lb4);
+        assert!(lb64 > 3.0 * lb16 / 2.0);
+        // Slope sanity: for large m the bound per m tends to
+        // log2(12) − 10/3 ≈ 0.2516.
+        let slope = (cover_lower_bound_log2(200) - cover_lower_bound_log2(100)) / 100.0;
+        assert!((slope - (12f64.log2() - 10.0 / 3.0)).abs() < 1e-3, "slope {slope}");
+        // Theorem 17's fixed-partition bound is stronger:
+        assert!(fixed_partition_lower_bound_log2(16) > cover_lower_bound_log2(16));
+    }
+}

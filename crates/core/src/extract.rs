@@ -1,0 +1,417 @@
+//! The Proposition 7 algorithm: from a CNF grammar of a fixed-length
+//! language to a cover by balanced rectangles.
+//!
+//! Pipeline, exactly as in the paper's Section 3:
+//! 1. position-annotate the grammar (Lemma 10, `ucfg_grammar::annotated`);
+//! 2. while the language is non-empty: take any parse tree, descend towards
+//!    the heavier child until the subtree generates between `L/3` and
+//!    `2L/3` letters (the standard ⅓–⅔ trick), emit the rectangle of the
+//!    found non-terminal `A_i` (Observation 11: middles = `L(A_i)`,
+//!    contexts = the outside pairs), then delete `A_i` and trim;
+//! 3. at most `n·|G|` iterations occur, and if the input grammar is
+//!    unambiguous the emitted rectangles are pairwise disjoint.
+//!
+//! ```
+//! use ucfg_core::extract::extract_cover;
+//! use ucfg_core::ln_grammars::example4_ucfg;
+//! use ucfg_grammar::normal_form::CnfGrammar;
+//!
+//! let n = 2;
+//! let cnf = CnfGrammar::from_grammar(&example4_ucfg(n));
+//! let cover = extract_cover(&cnf, 2 * n).unwrap();
+//! assert!(cover.is_disjoint());          // uCFG ⇒ disjoint (Prop. 7)
+//! assert!(cover.all_balanced());
+//! assert!(cover.rectangles.len() <= cover.bound);
+//! ```
+
+use crate::rectangle::WordRectangle;
+use std::collections::{BTreeSet, HashMap};
+use ucfg_grammar::annotated::{annotate, AnnotateError};
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::symbol::NonTerminal;
+
+/// One extracted rectangle with provenance.
+#[derive(Debug, Clone)]
+pub struct ExtractedRectangle {
+    /// The rectangle (word form, Definition 5).
+    pub rectangle: WordRectangle,
+    /// Display name of the annotated non-terminal it came from.
+    pub nt_name: String,
+    /// 1-based start position of the spanned interval.
+    pub position: usize,
+    /// Length of the spanned interval.
+    pub span_len: usize,
+}
+
+/// Result of the extraction.
+#[derive(Debug)]
+pub struct ExtractionResult {
+    /// The cover, in extraction order.
+    pub rectangles: Vec<ExtractedRectangle>,
+    /// The Proposition 7 bound `n·|G|` for the input (untrimmed annotated
+    /// size; the number of rectangles is at most the number of annotated
+    /// non-terminals, which is at most this).
+    pub bound: usize,
+}
+
+/// Errors from [`extract_cover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The grammar is not a fixed-length language grammar of the stated
+    /// length.
+    Annotate(AnnotateError),
+}
+
+impl From<AnnotateError> for ExtractError {
+    fn from(e: AnnotateError) -> Self {
+        ExtractError::Annotate(e)
+    }
+}
+
+/// Mutable working copy of the annotated grammar, with stable ids.
+struct Working {
+    letters: Vec<char>,
+    names: Vec<String>,
+    start: u32,
+    term: Vec<(u32, u16)>,
+    bins: Vec<(u32, u32, u32)>,
+    alive: Vec<bool>,
+    pos: Vec<usize>,
+    len: Vec<usize>,
+}
+
+impl Working {
+    /// Recompute aliveness: a non-terminal stays alive iff it is productive
+    /// and reachable through alive rules (i.e. appears in some parse tree).
+    fn trim(&mut self) {
+        let n = self.names.len();
+        let mut productive = vec![false; n];
+        loop {
+            let mut changed = false;
+            for &(a, _) in &self.term {
+                if self.alive[a as usize] && !productive[a as usize] {
+                    productive[a as usize] = true;
+                    changed = true;
+                }
+            }
+            for &(a, b, c) in &self.bins {
+                if self.alive[a as usize]
+                    && self.alive[b as usize]
+                    && self.alive[c as usize]
+                    && !productive[a as usize]
+                    && productive[b as usize]
+                    && productive[c as usize]
+                {
+                    productive[a as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut reach = vec![false; n];
+        if self.alive[self.start as usize] && productive[self.start as usize] {
+            reach[self.start as usize] = true;
+            loop {
+                let mut changed = false;
+                for &(a, b, c) in &self.bins {
+                    if reach[a as usize]
+                        && self.alive[a as usize]
+                        && self.alive[b as usize]
+                        && self.alive[c as usize]
+                        && productive[b as usize]
+                        && productive[c as usize]
+                    {
+                        for x in [b, c] {
+                            if !reach[x as usize] {
+                                reach[x as usize] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        for i in 0..n {
+            self.alive[i] = self.alive[i] && productive[i] && reach[i];
+        }
+    }
+
+    fn rule_alive_bin(&self, r: (u32, u32, u32)) -> bool {
+        self.alive[r.0 as usize] && self.alive[r.1 as usize] && self.alive[r.2 as usize]
+    }
+
+    fn is_empty(&self) -> bool {
+        if !self.alive[self.start as usize] {
+            return true;
+        }
+        let s = self.start;
+        !(self.term.iter().any(|&(a, _)| a == s)
+            || self.bins.iter().any(|&r| r.0 == s && self.rule_alive_bin(r)))
+    }
+
+    /// Any parse tree, as a sequence of heavy-descent steps: returns the
+    /// non-terminal found by descending towards the heavier child until the
+    /// subtree length is ≤ 2L/3 (then ≥ L/3 by the standard argument).
+    fn heavy_descend(&self, total: usize) -> u32 {
+        let mut cur = self.start;
+        loop {
+            if 3 * self.len[cur as usize] <= 2 * total {
+                return cur;
+            }
+            // Pick any alive binary rule of cur and descend to the heavier
+            // child. (A node longer than 2L/3 ≥ 2·... ≥ 2 letters cannot be
+            // a terminal rule when total ≥ 2.)
+            let Some(&(_, b, c)) = self
+                .bins
+                .iter()
+                .find(|&&r| r.0 == cur && self.rule_alive_bin(r))
+            else {
+                // Degenerate (total < 2): stop here.
+                return cur;
+            };
+            cur = if self.len[b as usize] >= self.len[c as usize] { b } else { c };
+        }
+    }
+
+    /// The words generated by a non-terminal (memoised per call).
+    fn language_of(&self, a: u32, memo: &mut HashMap<u32, BTreeSet<String>>) -> BTreeSet<String> {
+        if let Some(s) = memo.get(&a) {
+            return s.clone();
+        }
+        let mut out = BTreeSet::new();
+        if self.alive[a as usize] {
+            for &(lhs, t) in &self.term {
+                if lhs == a {
+                    out.insert(self.letters[t as usize].to_string());
+                }
+            }
+            for &(lhs, b, c) in &self.bins {
+                if lhs == a && self.rule_alive_bin((lhs, b, c)) {
+                    let lb = self.language_of(b, memo);
+                    let rc = self.language_of(c, memo);
+                    for x in &lb {
+                        for y in &rc {
+                            out.insert(format!("{x}{y}"));
+                        }
+                    }
+                }
+            }
+        }
+        memo.insert(a, out.clone());
+        out
+    }
+
+    /// Outside pairs `(prefix, suffix)` with `S ⇒* prefix · A · suffix`,
+    /// for every alive non-terminal.
+    fn outsides(&self) -> HashMap<u32, BTreeSet<(String, String)>> {
+        // Topological order: by generated length, descending (children are
+        // strictly shorter in CNF).
+        let mut order: Vec<u32> =
+            (0..self.names.len() as u32).filter(|&a| self.alive[a as usize]).collect();
+        order.sort_by_key(|&a| std::cmp::Reverse(self.len[a as usize]));
+        let mut outside: HashMap<u32, BTreeSet<(String, String)>> = HashMap::new();
+        if self.alive[self.start as usize] {
+            outside
+                .entry(self.start)
+                .or_default()
+                .insert((String::new(), String::new()));
+        }
+        let mut lang_memo = HashMap::new();
+        for &a in &order {
+            let Some(outs) = outside.get(&a).cloned() else { continue };
+            if outs.is_empty() {
+                continue;
+            }
+            for &(lhs, b, c) in &self.bins {
+                if lhs != a || !self.rule_alive_bin((lhs, b, c)) {
+                    continue;
+                }
+                let lb = self.language_of(b, &mut lang_memo);
+                let lc = self.language_of(c, &mut lang_memo);
+                for (p, s) in &outs {
+                    for w in &lc {
+                        outside.entry(b).or_default().insert((p.clone(), format!("{w}{s}")));
+                    }
+                    for w in &lb {
+                        outside.entry(c).or_default().insert((format!("{p}{w}"), s.clone()));
+                    }
+                }
+            }
+        }
+        outside
+    }
+
+    fn kill(&mut self, a: u32) {
+        self.alive[a as usize] = false;
+        self.trim();
+    }
+}
+
+/// Run the Proposition 7 extraction on a CNF grammar whose words all have
+/// length `total_len`.
+pub fn extract_cover(g: &CnfGrammar, total_len: usize) -> Result<ExtractionResult, ExtractError> {
+    let ann = annotate(g, total_len)?;
+    let cnf = &ann.cnf;
+    let nts = cnf.nonterminal_count();
+    let mut w = Working {
+        letters: cnf.alphabet().to_vec(),
+        names: (0..nts).map(|i| cnf.name(NonTerminal(i as u32)).to_string()).collect(),
+        start: cnf.start().0,
+        term: cnf.term_rules().iter().map(|&(a, t)| (a.0, t.0)).collect(),
+        bins: cnf.bin_rules().iter().map(|&(a, b, c)| (a.0, b.0, c.0)).collect(),
+        alive: vec![true; nts],
+        pos: (0..nts).map(|i| ann.position_of(NonTerminal(i as u32))).collect(),
+        len: (0..nts).map(|i| ann.generated_length(NonTerminal(i as u32))).collect(),
+    };
+    w.trim();
+
+    let mut rectangles = Vec::new();
+    let safety_cap = total_len * g.size() + nts + 1;
+    while !w.is_empty() {
+        assert!(
+            rectangles.len() <= safety_cap,
+            "extraction exceeded the Proposition 7 bound"
+        );
+        let a = w.heavy_descend(total_len);
+        let mut memo = HashMap::new();
+        let middles = w.language_of(a, &mut memo);
+        let contexts = w.outsides().remove(&a).unwrap_or_default();
+        let (n1, n2) = (w.pos[a as usize] - 1, w.len[a as usize]);
+        let n3 = total_len - n1 - n2;
+        rectangles.push(ExtractedRectangle {
+            rectangle: WordRectangle { contexts, middles, n1, n2, n3 },
+            nt_name: w.names[a as usize].clone(),
+            position: w.pos[a as usize],
+            span_len: w.len[a as usize],
+        });
+        w.kill(a);
+    }
+    Ok(ExtractionResult { rectangles, bound: total_len * g.size() })
+}
+
+impl ExtractionResult {
+    /// Union of all rectangles' words.
+    pub fn covered_words(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for r in &self.rectangles {
+            out.extend(r.rectangle.words());
+        }
+        out
+    }
+
+    /// Are the rectangles pairwise disjoint (Proposition 7's guarantee for
+    /// unambiguous inputs)?
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for r in &self.rectangles {
+            for w in r.rectangle.words() {
+                if !seen.insert(w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Are all rectangles balanced in the sense of Definition 5?
+    pub fn all_balanced(&self) -> bool {
+        self.rectangles.iter().all(|r| r.rectangle.is_balanced())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ln_grammars::{example4_ucfg, naive_grammar};
+    use crate::words::{enumerate_ln, to_string};
+    use ucfg_grammar::builder::GrammarBuilder;
+    use ucfg_grammar::language::finite_language;
+
+    fn ln_strings(n: usize) -> BTreeSet<String> {
+        enumerate_ln(n).into_iter().map(|w| to_string(n, w)).collect()
+    }
+
+    #[test]
+    fn covers_simple_fixed_length_language() {
+        // All words of length 4.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let p = b.nonterminal("P");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(p).n(p));
+        b.rule(p, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        let g = b.build(s);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let res = extract_cover(&cnf, 4).unwrap();
+        assert_eq!(res.covered_words(), finite_language(&g).unwrap());
+        assert!(res.all_balanced());
+        assert!(res.rectangles.len() <= res.bound);
+        // This grammar is unambiguous → disjoint.
+        assert!(res.is_disjoint());
+    }
+
+    #[test]
+    fn ucfg_extraction_is_disjoint_on_ln() {
+        for n in 2..=4 {
+            let g = example4_ucfg(n);
+            let cnf = CnfGrammar::from_grammar(&g);
+            let res = extract_cover(&cnf, 2 * n).unwrap();
+            assert_eq!(res.covered_words(), ln_strings(n), "n={n}");
+            assert!(res.is_disjoint(), "uCFG must give a disjoint cover (n={n})");
+            assert!(res.all_balanced(), "n={n}");
+            assert!(res.rectangles.len() <= res.bound, "n={n}");
+        }
+    }
+
+    #[test]
+    fn naive_grammar_extraction() {
+        for n in 2..=3 {
+            let g = naive_grammar(n);
+            let cnf = CnfGrammar::from_grammar(&g);
+            let res = extract_cover(&cnf, 2 * n).unwrap();
+            assert_eq!(res.covered_words(), ln_strings(n), "n={n}");
+            assert!(res.is_disjoint(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_grammar_covers_but_may_overlap() {
+        // Appendix A grammar is ambiguous; extraction still covers L_n.
+        let n = 3;
+        let g = crate::ln_grammars::appendix_a_grammar(n);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let res = extract_cover(&cnf, 2 * n).unwrap();
+        assert_eq!(res.covered_words(), ln_strings(n));
+        assert!(res.all_balanced());
+    }
+
+    #[test]
+    fn spans_are_one_third_balanced() {
+        let n = 3;
+        let g = example4_ucfg(n);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let res = extract_cover(&cnf, 2 * n).unwrap();
+        let total = 2 * n;
+        for r in &res.rectangles {
+            assert!(3 * r.span_len >= total, "span too short: {r:?}");
+            assert!(3 * r.span_len <= 2 * total, "span too long: {r:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_mixed_length_grammar() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.ts("aa"));
+        let cnf = CnfGrammar::from_grammar(&b.build(s));
+        assert!(extract_cover(&cnf, 2).is_err());
+    }
+}

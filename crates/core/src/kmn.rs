@@ -1,0 +1,166 @@
+//! The Kimelfeld–Martens–Niewerth upper bound, as an API: every CFG of a
+//! finite language can be converted to an *unambiguous* CFG with at most a
+//! double-exponential blow-up ([20]; the paper's related-work section
+//! notes this makes Theorem 1's separation optimal).
+//!
+//! The constructive route implemented here: materialise `L(G)` (single
+//! exponential in `|G|`, doubly exponential including word lengths), build
+//! its minimal DAWG, and read off the right-linear grammar — which is
+//! always unambiguous. [`determinize_grammar`] performs the conversion
+//! with full size accounting; [`double_exponential_ceiling`] is the
+//! theoretical worst case it stays under.
+
+use ucfg_automata::convert::dfa_to_grammar;
+use ucfg_automata::dawg::DawgBuilder;
+use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::language::{finite_language, max_word_length};
+use ucfg_grammar::Grammar;
+
+/// Result of the CFG → uCFG conversion, with accounting.
+#[derive(Debug)]
+pub struct Determinization {
+    /// The unambiguous grammar.
+    pub ucfg: Grammar,
+    /// Input size `|G|`.
+    pub input_size: usize,
+    /// Output size `|G'|`.
+    pub output_size: usize,
+    /// `|L(G)|` (the intermediate materialisation).
+    pub language_size: usize,
+    /// Longest word of the language.
+    pub max_word_len: usize,
+}
+
+/// Errors from [`determinize_grammar`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeterminizeError {
+    /// The language is infinite; the finite-language route does not apply
+    /// (and by Schmidt–Szymanski no computable bound exists in general).
+    InfiniteLanguage,
+    /// The language contains ε, which the right-linear reading cannot
+    /// express (wrap the result in an ε-alternative yourself if needed).
+    ContainsEpsilon,
+}
+
+/// Convert any finite-language CFG into an unambiguous CFG via the
+/// materialise-then-DAWG route of [20].
+pub fn determinize_grammar(g: &Grammar) -> Result<Determinization, DeterminizeError> {
+    let lang = finite_language(g).ok_or(DeterminizeError::InfiniteLanguage)?;
+    if lang.contains("") {
+        return Err(DeterminizeError::ContainsEpsilon);
+    }
+    let max_word_len = max_word_length(g).expect("finite");
+    let mut sorted: Vec<&str> = lang.iter().map(|s| s.as_str()).collect();
+    sorted.sort_unstable();
+    let mut b = DawgBuilder::new(g.alphabet());
+    for w in &sorted {
+        b.add(w);
+    }
+    let dawg = b.finish();
+    let ucfg = dfa_to_grammar(&dawg).expect("ε excluded above");
+    Ok(Determinization {
+        input_size: g.size(),
+        output_size: ucfg.size(),
+        language_size: lang.len(),
+        max_word_len,
+        ucfg,
+    })
+}
+
+/// The theoretical ceiling the conversion stays under: a CNF grammar of
+/// size `s` generates words of length at most `2^s`, so the language has
+/// at most `(|Σ|+1)^{2^s}` words and the naive unambiguous grammar has
+/// size at most `2^s · |Σ|^{2^s}` — doubly exponential in `s`. Returned in
+/// log₂ (a `BigUint` exponent): `log₂ ceiling = 2^s · (log₂|Σ| + s·ε)`,
+/// here simplified to the dominating `2^s · log₂(|Σ|+1) + s`.
+pub fn double_exponential_ceiling_log2(grammar_size: u64, alphabet: usize) -> BigUint {
+    // log2( len · Σ^len ) with len = 2^s: s + 2^s·log2(Σ) ≤ (s+2)·2^s for Σ ≤ 4.
+    let len = BigUint::pow2(grammar_size);
+    let log_sigma = (usize::BITS - (alphabet.max(2) - 1).leading_zeros()) as u64;
+    &(&len * &BigUint::from_u64(log_sigma)) + &BigUint::from_u64(grammar_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ln_grammars::appendix_a_grammar;
+    use crate::words;
+    use ucfg_grammar::count::decide_unambiguous;
+    use ucfg_grammar::GrammarBuilder;
+
+    #[test]
+    fn determinizes_the_ln_cfg() {
+        for n in 2..=5usize {
+            let g = appendix_a_grammar(n);
+            let d = determinize_grammar(&g).unwrap();
+            assert!(decide_unambiguous(&d.ucfg).is_unambiguous(), "n={n}");
+            assert_eq!(
+                finite_language(&d.ucfg),
+                finite_language(&g),
+                "language preserved, n={n}"
+            );
+            assert_eq!(d.language_size as u64, words::ln_size(n).to_u64().unwrap());
+            assert_eq!(d.max_word_len, 2 * n);
+            // The blow-up is exponential in n — but n is itself
+            // exponential in |G| = O(log n): doubly exponential overall,
+            // within the ceiling.
+            let ceiling = double_exponential_ceiling_log2(d.input_size as u64, 2);
+            assert!(
+                BigUint::from_u64(d.output_size as u64).bits() as u64
+                    <= ceiling.to_u64().unwrap_or(u64::MAX),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blowup_is_exponential_in_n() {
+        let s4 = determinize_grammar(&appendix_a_grammar(4)).unwrap().output_size;
+        let s8 = determinize_grammar(&appendix_a_grammar(8)).unwrap().output_size;
+        assert!(s8 > 8 * s4, "{s4} vs {s8}");
+    }
+
+    #[test]
+    fn rejects_infinite_language() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        b.rule(s, |r| r.t('a'));
+        assert_eq!(
+            determinize_grammar(&b.build(s)).unwrap_err(),
+            DeterminizeError::InfiniteLanguage
+        );
+    }
+
+    #[test]
+    fn rejects_epsilon() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.epsilon_rule(s);
+        b.rule(s, |r| r.t('a'));
+        assert_eq!(
+            determinize_grammar(&b.build(s)).unwrap_err(),
+            DeterminizeError::ContainsEpsilon
+        );
+    }
+
+    #[test]
+    fn already_unambiguous_input_roundtrips() {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.ts("ab"));
+        b.rule(s, |r| r.ts("ba"));
+        let g = b.build(s);
+        let d = determinize_grammar(&g).unwrap();
+        assert_eq!(finite_language(&d.ucfg), finite_language(&g));
+        assert!(decide_unambiguous(&d.ucfg).is_unambiguous());
+    }
+
+    #[test]
+    fn ceiling_grows_doubly_exponentially() {
+        let c10 = double_exponential_ceiling_log2(10, 2);
+        let c20 = double_exponential_ceiling_log2(20, 2);
+        // log₂-ceilings themselves grow exponentially.
+        assert!(c20 > &c10 * &BigUint::from_u64(500));
+    }
+}

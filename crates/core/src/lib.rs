@@ -1,0 +1,61 @@
+//! # ucfg-core — the paper's contribution, executable
+//!
+//! Reproduction of *“A Lower Bound on Unambiguous Context Free Grammars via
+//! Communication Complexity”* (Mengel & Vinall-Smeeth, PODS 2025): the
+//! language `L_n`, its grammars and automata, and the complete lower-bound
+//! machinery — rectangles, ordered/neat partitions, the Proposition 7
+//! extraction, the Section 4 discrepancy argument, and the rank bound.
+//!
+//! * [`words`] — packed words, `L_n` membership (`4^n − 3^n` members), the
+//!   set perspective of Section 4.1;
+//! * [`ln_grammars`] — Example 3's `G_n`, the Appendix A O(log n) CFG, the
+//!   Example 4 exponential uCFG, the naive baseline;
+//! * [`partition`] / [`rectangle`] — Definitions 13/14/5 and Lemma 15;
+//! * [`extract`] — the Proposition 7 rectangle-extraction algorithm;
+//! * [`discrepancy`] — Lemmas 18/19/23 and the Proposition 16 bound;
+//! * [`neat`] — the Lemma 21 decomposition;
+//! * [`rank`] — the Theorem 17 rank-bound certificates;
+//! * [`cover`] — cover verification and end-to-end accounting;
+//! * [`separation`] — the Theorem 1 size tables.
+//!
+//! # Example — the Theorem 1 pipeline at n = 3
+//!
+//! ```
+//! use ucfg_core::extract::extract_cover;
+//! use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
+//! use ucfg_core::words;
+//! use ucfg_grammar::count::decide_unambiguous;
+//! use ucfg_grammar::normal_form::CnfGrammar;
+//!
+//! let n = 3;
+//! assert_eq!(words::ln_size(n).to_u64(), Some(37));       // 4³ − 3³
+//!
+//! let cfg = appendix_a_grammar(n);                         // Θ(log n)
+//! let ucfg = example4_ucfg(n);                             // 2^Θ(n), unambiguous
+//! assert!(cfg.size() < ucfg.size());
+//! assert!(decide_unambiguous(&ucfg).is_unambiguous());
+//!
+//! // Proposition 7: the uCFG yields a disjoint balanced-rectangle cover.
+//! let cover = extract_cover(&CnfGrammar::from_grammar(&ucfg), 2 * n).unwrap();
+//! assert!(cover.is_disjoint());
+//! assert!(cover.all_balanced());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod cover;
+pub mod discrepancy;
+pub mod extract;
+pub mod greedy_cover;
+pub mod kmn;
+pub mod ln_grammars;
+pub mod neat;
+pub mod partition;
+pub mod rank;
+pub mod rectangle;
+pub mod separation;
+pub mod words;
+
+pub use partition::OrderedPartition;
+pub use rectangle::{SetRectangle, WordRectangle};

@@ -1,0 +1,153 @@
+//! Lemma 21: decomposing a balanced ordered rectangle into at most 256
+//! disjoint rectangles over a *neat* partition.
+//!
+//! At most two 4-blocks straddle the interval boundary; re-assigning their
+//! (≤ 8) elements to the smaller side keeps the partition ordered, and
+//! slicing the rectangle by the trace `α ⊆ I_i ∪ I_j` of its members on
+//! those elements yields `≤ 2⁸ = 256` disjoint pieces, each of which is a
+//! rectangle over the neat partition.
+
+use crate::partition::OrderedPartition;
+use crate::rectangle::SetRectangle;
+use std::collections::BTreeSet;
+
+/// Result of the Lemma 21 decomposition.
+#[derive(Debug)]
+pub struct NeatDecomposition {
+    /// The neat ordered partition `(Γ₀, Γ₁)`.
+    pub partition: OrderedPartition,
+    /// The disjoint pieces (each a rectangle over `partition`); at most 256.
+    pub pieces: Vec<SetRectangle>,
+    /// Mask of the boundary elements that were re-assigned.
+    pub moved_mask: u64,
+}
+
+/// Compute the neat ordered partition obtained by aligning the interval of
+/// `p` to 4-block boundaries, on the side that grows the *smaller* part.
+/// Returns `None` in the degenerate case where shrinking empties the
+/// interval (impossible for balanced partitions with `n ≥ 8`).
+pub fn neat_partition_of(p: &OrderedPartition) -> Option<OrderedPartition> {
+    assert!(p.n % 4 == 0, "neatness is relative to 4-blocks");
+    let inside_smaller = p.inside_len() <= 2 * p.n - p.inside_len();
+    let block_start = |pos: usize| pos - (pos - 1) % 4; // 1-based
+    let block_end = |pos: usize| block_start(pos) + 3;
+    if inside_smaller {
+        // Grow the interval to block boundaries.
+        Some(OrderedPartition::new(p.n, block_start(p.i), block_end(p.j)))
+    } else {
+        // Shrink the interval to interior block boundaries (the moved
+        // elements join the outside = smaller side).
+        let i2 = if (p.i - 1) % 4 == 0 { p.i } else { block_end(p.i) + 1 };
+        let j2 = if p.j % 4 == 0 { p.j } else { block_start(p.j).checked_sub(1)? };
+        if i2 > j2 {
+            return None;
+        }
+        Some(OrderedPartition::new(p.n, i2, j2))
+    }
+}
+
+/// Lemma 21: decompose `r` into disjoint rectangles over a neat ordered
+/// partition. Panics if a piece fails to be a rectangle (it cannot, by the
+/// lemma — the construction is self-checking). Returns `None` only in the
+/// degenerate small-`n` case where no neat partition exists.
+pub fn neat_decomposition(r: &SetRectangle) -> Option<NeatDecomposition> {
+    let p = r.partition;
+    let neat = neat_partition_of(&p)?;
+    // Elements whose side changed.
+    let moved = p.inside() ^ neat.inside();
+    debug_assert!(moved.count_ones() <= 8, "at most two 4-blocks move");
+    // Slice members by their trace on `moved`, then re-read each slice as a
+    // rectangle over the neat partition.
+    let members: Vec<u64> = r.members().collect();
+    let mut by_trace: std::collections::HashMap<u64, BTreeSet<u64>> =
+        std::collections::HashMap::new();
+    for &u in &members {
+        by_trace.entry(u & moved).or_default().insert(u);
+    }
+    let mut pieces = Vec::with_capacity(by_trace.len());
+    for (_alpha, set) in by_trace {
+        let piece = SetRectangle::from_exact_set(neat, &set)
+            .expect("Lemma 21: each trace-slice is a rectangle over the neat partition");
+        pieces.push(piece);
+    }
+    Some(NeatDecomposition { partition: neat, pieces, moved_mask: moved })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrepancy::random_family_rectangle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn neat_partition_alignment() {
+        // n = 8 → 2n = 16, blocks [1-4][5-8][9-12][13-16].
+        let p = OrderedPartition::new(8, 3, 10); // len 8 = smaller/equal side
+        let neat = neat_partition_of(&p).unwrap();
+        assert_eq!((neat.i, neat.j), (1, 12));
+        assert!(neat.is_neat());
+
+        // Larger inside → shrink instead.
+        let p = OrderedPartition::new(8, 2, 13); // len 12 > 4
+        let neat = neat_partition_of(&p).unwrap();
+        assert_eq!((neat.i, neat.j), (5, 12));
+        assert!(neat.is_neat());
+
+        // Already neat → unchanged.
+        let p = OrderedPartition::new(8, 5, 12);
+        assert_eq!(neat_partition_of(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn decomposition_is_disjoint_cover_of_r() {
+        let n = 8;
+        let mut rng = StdRng::seed_from_u64(5);
+        for part in [
+            OrderedPartition::new(n, 3, 10),
+            OrderedPartition::new(n, 2, 11),
+            OrderedPartition::new(n, 6, 11),
+        ] {
+            assert!(part.is_balanced(), "{part:?}");
+            let r = random_family_rectangle(n, part, &mut rng);
+            let dec = neat_decomposition(&r).unwrap();
+            assert!(dec.partition.is_neat());
+            assert!(dec.pieces.len() <= 256);
+            // Pieces are disjoint and union to R.
+            let mut seen: BTreeSet<u64> = BTreeSet::new();
+            for piece in &dec.pieces {
+                for u in piece.members() {
+                    assert!(seen.insert(u), "overlap at {u:b}");
+                }
+            }
+            let all: BTreeSet<u64> = r.members().collect();
+            assert_eq!(seen, all, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn piece_count_bounded_by_trace_space() {
+        let n = 8;
+        let mut rng = StdRng::seed_from_u64(11);
+        let part = OrderedPartition::new(n, 3, 10);
+        let r = random_family_rectangle(n, part, &mut rng);
+        let dec = neat_decomposition(&r).unwrap();
+        let moved_bits = dec.moved_mask.count_ones();
+        assert!(dec.pieces.len() <= 1usize << moved_bits);
+    }
+
+    #[test]
+    fn neat_input_passes_through() {
+        let n = 8;
+        let mut rng = StdRng::seed_from_u64(3);
+        let part = OrderedPartition::new(n, 5, 12);
+        let r = random_family_rectangle(n, part, &mut rng);
+        let dec = neat_decomposition(&r).unwrap();
+        assert_eq!(dec.moved_mask, 0);
+        // A single piece containing everything (if nonempty).
+        let total: usize = dec.pieces.iter().map(|p| p.len()).sum();
+        assert_eq!(total, r.len());
+        assert!(dec.pieces.len() <= 1);
+    }
+}

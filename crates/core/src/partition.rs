@@ -1,0 +1,219 @@
+//! Ordered partitions of `Z = {z_1, …, z_2n}` (Definition 13) and their
+//! structure (Lemma 22).
+//!
+//! A partition `(Π₀, Π₁)` of `Z` is *induced by the interval* `[i, j]` when
+//! one side is exactly `Z[i, j]`. We represent a side as a `u64` bitmask
+//! over the `2n` ground elements (the same packing as words — element `z_k`
+//! is bit `k-1`).
+
+use crate::words::low_mask;
+
+/// An ordered partition of `Z[1, 2n]`, induced by the 1-based interval
+/// `[i, j]`. `Π₀ = Z[i, j]`, `Π₁ = Z \ Z[i, j]` by convention — the lemmas
+/// that prefer `|Π₀| ≤ |Π₁|` use [`OrderedPartition::smaller_side`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderedPartition {
+    /// Half word length: the ground set is `Z[1, 2n]`.
+    pub n: usize,
+    /// Interval start (1-based, inclusive).
+    pub i: usize,
+    /// Interval end (1-based, inclusive).
+    pub j: usize,
+}
+
+impl OrderedPartition {
+    /// The partition induced by `[i, j]` (1-based, `1 ≤ i ≤ j ≤ 2n`).
+    pub fn new(n: usize, i: usize, j: usize) -> Self {
+        assert!(1 <= i && i <= j && j <= 2 * n, "bad interval [{i},{j}] for n={n}");
+        OrderedPartition { n, i, j }
+    }
+
+    /// Bitmask of `Π₀ = Z[i, j]`.
+    pub fn inside(&self) -> u64 {
+        low_mask(self.j) & !low_mask(self.i - 1)
+    }
+
+    /// Bitmask of `Π₁ = Z \ Z[i, j]`.
+    pub fn outside(&self) -> u64 {
+        low_mask(2 * self.n) & !self.inside()
+    }
+
+    /// `|Π₀|`.
+    pub fn inside_len(&self) -> usize {
+        self.j - self.i + 1
+    }
+
+    /// Definition 13: balanced iff `2n/3 ≤ |Π₀|, |Π₁| ≤ 4n/3`
+    /// (checked without rounding: `3·|Π| ≥ 2n` and `3·|Π| ≤ 4n`).
+    pub fn is_balanced(&self) -> bool {
+        let a = self.inside_len();
+        let b = 2 * self.n - a;
+        3 * a >= 2 * self.n && 3 * a <= 4 * self.n && 3 * b >= 2 * self.n && 3 * b <= 4 * self.n
+    }
+
+    /// The smaller side's bitmask (ties go to `Π₀`).
+    pub fn smaller_side(&self) -> u64 {
+        if self.inside_len() <= 2 * self.n - self.inside_len() {
+            self.inside()
+        } else {
+            self.outside()
+        }
+    }
+
+    /// The good-index set `G ⊆ [n]` (as a mask over `[0, n)`): indices `ℓ`
+    /// such that `x_ℓ` and `y_ℓ` lie on different sides.
+    pub fn good_indices(&self) -> u64 {
+        let ins = self.inside();
+        let x_in = ins & low_mask(self.n);
+        let y_in = (ins >> self.n) & low_mask(self.n);
+        x_in ^ y_in
+    }
+
+    /// Bitmask (over `Z`) of `V_G`: all `x_ℓ, y_ℓ` with `ℓ ∈ G`.
+    pub fn v_good(&self) -> u64 {
+        let g = self.good_indices();
+        g | (g << self.n)
+    }
+
+    /// The 4-blocks `I_1, …, I_{2m}` (only for `n` divisible by 4):
+    /// block `t` (0-based, `t < 2m`) covers `z`-bits `[4t, 4t+4)`.
+    pub fn block_mask(n: usize, t: usize) -> u64 {
+        debug_assert!(n % 4 == 0 && t < n / 2);
+        0b1111u64 << (4 * t)
+    }
+
+    /// Number of 4-blocks (`2m` where `m = n/4`).
+    pub fn block_count(n: usize) -> usize {
+        debug_assert!(n % 4 == 0);
+        n / 2
+    }
+
+    /// Is the partition *neat*: every 4-block entirely on one side?
+    /// Requires `n ≡ 0 (mod 4)`.
+    pub fn is_neat(&self) -> bool {
+        assert!(self.n % 4 == 0, "neatness is relative to the 4-blocks");
+        let ins = self.inside();
+        (0..Self::block_count(self.n)).all(|t| {
+            let b = Self::block_mask(self.n, t);
+            ins & b == 0 || ins & b == b
+        })
+    }
+
+    /// The 4-blocks violating neatness (at most two, since `Π₀` is an
+    /// interval).
+    pub fn violating_blocks(&self) -> Vec<usize> {
+        assert!(self.n % 4 == 0);
+        let ins = self.inside();
+        (0..Self::block_count(self.n))
+            .filter(|&t| {
+                let b = Self::block_mask(self.n, t);
+                ins & b != 0 && ins & b != b
+            })
+            .collect()
+    }
+
+    /// All balanced ordered partitions for a given `n`.
+    pub fn all_balanced(n: usize) -> Vec<OrderedPartition> {
+        let mut out = Vec::new();
+        for i in 1..=2 * n {
+            for j in i..=2 * n {
+                let p = OrderedPartition::new(n, i, j);
+                if p.is_balanced() {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_partition_z() {
+        let p = OrderedPartition::new(4, 3, 6);
+        assert_eq!(p.inside() | p.outside(), low_mask(8));
+        assert_eq!(p.inside() & p.outside(), 0);
+        assert_eq!(p.inside_len(), 4);
+        assert_eq!(p.inside(), 0b0011_1100);
+    }
+
+    #[test]
+    fn balance_bounds() {
+        // n = 6 → 2n = 12; balanced needs sides in [4, 8].
+        assert!(OrderedPartition::new(6, 1, 6).is_balanced()); // 6/6
+        assert!(OrderedPartition::new(6, 1, 4).is_balanced()); // 4/8
+        assert!(!OrderedPartition::new(6, 1, 3).is_balanced()); // 3/9
+        assert!(OrderedPartition::new(6, 3, 10).is_balanced()); // 8/4
+        assert!(!OrderedPartition::new(6, 2, 10).is_balanced()); // 9/3
+    }
+
+    #[test]
+    fn smaller_side_selection() {
+        let p = OrderedPartition::new(6, 1, 4);
+        assert_eq!(p.smaller_side(), p.inside());
+        let q = OrderedPartition::new(6, 1, 8);
+        assert_eq!(q.smaller_side(), q.outside());
+    }
+
+    #[test]
+    fn good_indices_middle_cut() {
+        // The [1, n] partition splits every pair: G = [n].
+        let p = OrderedPartition::new(4, 1, 4);
+        assert_eq!(p.good_indices(), low_mask(4));
+        assert_eq!(p.v_good(), low_mask(8));
+    }
+
+    #[test]
+    fn good_indices_partial() {
+        // n = 4, interval [1, 6]: x_1..x_4 and y_1, y_2 inside.
+        // pairs split: ℓ=3,4 (x in, y out); ℓ=1,2 both in → G = {3,4}.
+        let p = OrderedPartition::new(4, 1, 6);
+        assert_eq!(p.good_indices(), 0b1100);
+    }
+
+    #[test]
+    fn lemma22_structure() {
+        // For a balanced partition with |Π₀| ≤ |Π₁|: Π₀ ⊆ V_G and |Π₀| = |G|.
+        for n in [4usize, 8, 12] {
+            for p in OrderedPartition::all_balanced(n) {
+                let small = p.smaller_side();
+                let vg = p.v_good();
+                assert_eq!(small & !vg, 0, "Π₀ ⊄ V_G for {p:?}");
+                assert_eq!(
+                    small.count_ones(),
+                    p.good_indices().count_ones(),
+                    "|Π₀| ≠ |G| for {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neatness() {
+        // n = 4: blocks are [1..4], [5..8] in z-positions... with n=4,
+        // 2m = 2 blocks of 4.
+        assert!(OrderedPartition::new(4, 1, 4).is_neat());
+        assert!(OrderedPartition::new(4, 5, 8).is_neat());
+        assert!(!OrderedPartition::new(4, 2, 5).is_neat());
+        assert_eq!(OrderedPartition::new(4, 2, 5).violating_blocks(), vec![0, 1]);
+        assert_eq!(OrderedPartition::new(4, 1, 4).violating_blocks(), Vec::<usize>::new());
+        // At most two violations, always.
+        for p in OrderedPartition::all_balanced(8) {
+            assert!(p.violating_blocks().len() <= 2, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn all_balanced_nonempty_and_valid() {
+        for n in [3usize, 4, 6] {
+            let all = OrderedPartition::all_balanced(n);
+            assert!(!all.is_empty());
+            for p in all {
+                assert!(p.is_balanced());
+            }
+        }
+    }
+}

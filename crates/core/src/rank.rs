@@ -1,0 +1,231 @@
+//! The rank bound (Theorem 17's classical route).
+//!
+//! Under the fixed `[1, n]` partition, `L_n` is the 1-set of the
+//! communication matrix `M[X][Y] = [X ∩ Y ≠ ∅]` (the complement of set
+//! disjointness). If `L_n` is a disjoint union of `ℓ` `[1,n]`-rectangles
+//! then `M` is a sum of `ℓ` rank-1 0/1 matrices, so `ℓ ≥ rank_F(M)` over
+//! *any* field `F` ([23]; textbook: [31, Ch. 2]). We compute the rank
+//! exactly over GF(2) and over a large prime field; both equal `2^n − 1`,
+//! certifying an exponential lower bound for the fixed-partition case on
+//! concrete instances.
+
+/// Rank of the `L_n` communication matrix over GF(2), by bitset Gaussian
+/// elimination. `n ≤ 13` (matrix is `2^n × 2^n`).
+pub fn rank_gf2(n: usize) -> usize {
+    assert!(n <= 13, "matrix is 2^n × 2^n");
+    let size = 1usize << n;
+    let width = size.div_ceil(64);
+    // Row X: bits Y with X∩Y ≠ ∅.
+    let mut rows: Vec<Vec<u64>> = Vec::with_capacity(size);
+    for x in 0..size as u64 {
+        let mut row = vec![0u64; width];
+        for y in 0..size as u64 {
+            if x & y != 0 {
+                row[(y / 64) as usize] |= 1u64 << (y % 64);
+            }
+        }
+        rows.push(row);
+    }
+    gf2_rank_of_rows(&mut rows)
+}
+
+/// GF(2) rank of arbitrary bitset rows (each row a `Vec<u64>` of equal
+/// width).
+pub fn gf2_rank_of_rows(rows: &mut [Vec<u64>]) -> usize {
+    let width = rows.first().map_or(0, Vec::len);
+    let mut rank = 0usize;
+    let mut pivot_row = 0usize;
+    for col in 0..width * 64 {
+        let (w, b) = (col / 64, col % 64);
+        // Find a row with a 1 in this column.
+        let Some(found) =
+            (pivot_row..rows.len()).find(|&r| rows[r][w] >> b & 1 == 1)
+        else {
+            continue;
+        };
+        rows.swap(pivot_row, found);
+        let pivot = rows[pivot_row].clone();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != pivot_row && row[w] >> b & 1 == 1 {
+                for (cell, p) in row.iter_mut().zip(&pivot) {
+                    *cell ^= p;
+                }
+            }
+        }
+        pivot_row += 1;
+        rank += 1;
+    }
+    rank
+}
+
+/// Rank of the `L_n` communication matrix over GF(p) with
+/// `p = 2^{61} − 1`. Since `rank_{GF(p)}(M) ≤ rank_ℚ(M)` and both are
+/// rectangle-count lower bounds, this is a valid certificate.
+/// O(2^{3n}) — keep `n ≤ 9` outside benches.
+pub fn rank_mod_p(n: usize) -> usize {
+    assert!(n <= 11, "O(2^(3n)) elimination");
+    const P: u128 = (1u128 << 61) - 1;
+    let size = 1usize << n;
+    let mut rows: Vec<Vec<u64>> = (0..size as u64)
+        .map(|x| (0..size as u64).map(|y| u64::from(x & y != 0)).collect())
+        .collect();
+    let mut rank = 0usize;
+    let mut pivot_row = 0usize;
+    for col in 0..size {
+        let Some(found) = (pivot_row..size).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(pivot_row, found);
+        // Normalise pivot row.
+        let inv = mod_inv(rows[pivot_row][col] as u128, P);
+        for cell in rows[pivot_row].iter_mut() {
+            *cell = ((*cell as u128 * inv) % P) as u64;
+        }
+        let pivot = rows[pivot_row].clone();
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != pivot_row && row[col] != 0 {
+                let factor = row[col] as u128;
+                for (cell, &p) in row.iter_mut().zip(&pivot) {
+                    let sub = (factor * p as u128) % P;
+                    let cur = *cell as u128;
+                    *cell = ((cur + P - sub) % P) as u64;
+                }
+            }
+        }
+        pivot_row += 1;
+        rank += 1;
+    }
+    rank
+}
+
+fn mod_inv(a: u128, p: u128) -> u128 {
+    // Fermat: a^{p-2} mod p.
+    mod_pow(a % p, p - 2, p)
+}
+
+fn mod_pow(mut base: u128, mut exp: u128, p: u128) -> u128 {
+    let mut acc: u128 = 1;
+    base %= p;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % p;
+        }
+        base = base * base % p;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The rank-bound statement: any disjoint cover of `L_n` by
+/// `[1,n]`-rectangles has at least this many rectangles (the max of the two
+/// field ranks we compute).
+pub fn rank_lower_bound(n: usize) -> usize {
+    rank_gf2(n).max(if n <= 9 { rank_mod_p(n) } else { 0 })
+}
+
+/// GF(2) rank of the `L_n` communication matrix under an **arbitrary**
+/// ordered partition `(Π₀, Π₁)`: rows are subsets of `Π₀`, columns subsets
+/// of `Π₁`, `M[u][v] = [u ∪ v ∈ L_n]`. A disjoint cover of `L_n` by
+/// rectangles over this partition needs ≥ this many rectangles — the
+/// per-partition certificate behind the multi-partition discussion (T19).
+pub fn rank_for_partition(n: usize, part: crate::partition::OrderedPartition) -> usize {
+    let ins = part.inside();
+    let outs = part.outside();
+    let in_bits: Vec<u32> = (0..64).filter(|&b| ins >> b & 1 == 1).collect();
+    let out_bits: Vec<u32> = (0..64).filter(|&b| outs >> b & 1 == 1).collect();
+    assert!(in_bits.len() <= 14 && out_bits.len() <= 20, "matrix too large");
+    let rows = 1usize << in_bits.len();
+    let cols = 1usize << out_bits.len();
+    let width = cols.div_ceil(64);
+    let expand = |mask: usize, bits: &[u32]| -> u64 {
+        bits.iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &b)| 1u64 << b)
+            .sum()
+    };
+    let mut m: Vec<Vec<u64>> = Vec::with_capacity(rows);
+    for u in 0..rows {
+        let uu = expand(u, &in_bits);
+        let mut row = vec![0u64; width];
+        for v in 0..cols {
+            let vv = expand(v, &out_bits);
+            if crate::words::ln_contains(n, uu | vv) {
+                row[v / 64] |= 1u64 << (v % 64);
+            }
+        }
+        m.push(row);
+    }
+    gf2_rank_of_rows(&mut m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_2n_minus_1() {
+        for n in 1..=7 {
+            assert_eq!(rank_gf2(n), (1 << n) - 1, "GF(2), n={n}");
+            assert_eq!(rank_mod_p(n), (1 << n) - 1, "GF(p), n={n}");
+        }
+    }
+
+    #[test]
+    fn rank_lower_bound_is_exponential() {
+        assert_eq!(rank_lower_bound(6), 63);
+        assert_eq!(rank_lower_bound(8), 255);
+    }
+
+    #[test]
+    fn gf2_rank_of_simple_matrices() {
+        // Identity 3x3.
+        let mut rows = vec![vec![0b001u64], vec![0b010], vec![0b100]];
+        assert_eq!(gf2_rank_of_rows(&mut rows), 3);
+        // Dependent rows.
+        let mut rows = vec![vec![0b011u64], vec![0b101], vec![0b110]];
+        assert_eq!(gf2_rank_of_rows(&mut rows), 2); // r3 = r1 ⊕ r2
+        // Zero matrix.
+        let mut rows = vec![vec![0u64]; 4];
+        assert_eq!(gf2_rank_of_rows(&mut rows), 0);
+    }
+
+    #[test]
+    fn mod_pow_and_inv() {
+        const P: u128 = (1u128 << 61) - 1;
+        assert_eq!(mod_pow(2, 10, P), 1024);
+        let inv7 = mod_inv(7, P);
+        assert_eq!(7 * inv7 % P, 1);
+    }
+
+    #[test]
+    fn rank_for_partition_generalises_middle_cut() {
+        use crate::partition::OrderedPartition;
+        for n in [2usize, 3, 4] {
+            let mid = OrderedPartition::new(n, 1, n);
+            assert_eq!(rank_for_partition(n, mid), rank_gf2(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shifted_partitions_have_lower_rank() {
+        use crate::partition::OrderedPartition;
+        // Partitions that keep pairs together lose rank: in the extreme,
+        // if every pair is on one side the matrix has rank O(1) per trace.
+        let n = 4;
+        let mid = rank_for_partition(n, OrderedPartition::new(n, 1, n));
+        let shifted = rank_for_partition(n, OrderedPartition::new(n, 3, 6));
+        assert!(shifted <= mid, "shifted {shifted} vs middle {mid}");
+        assert!(shifted >= 1);
+    }
+
+    #[test]
+    fn example8_cover_size_vs_rank_bound() {
+        // Example 8 gives a NON-disjoint cover of size n; the disjoint rank
+        // bound 2^n − 1 is exponentially larger — exactly the paper's
+        // point that disjointness is expensive.
+        for n in [4usize, 6] {
+            assert!(rank_lower_bound(n) > n);
+        }
+    }
+}

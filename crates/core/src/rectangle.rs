@@ -1,0 +1,353 @@
+//! Rectangles: the word form (Definition 5) and the set form
+//! (Definition 14), with the Lemma 15 conversions.
+//!
+//! A set rectangle over an ordered partition `(Π₀, Π₁)` is `R = S × T` where
+//! `S ⊆ 𝒫(Π₀)`, `T ⊆ 𝒫(Π₁)` and `×` is the union-of-disjoint-sets product
+//! of the paper's preliminaries. Members are `u64` masks over `Z` (the same
+//! packing as [`crate::words`]).
+
+use crate::partition::OrderedPartition;
+use crate::words::{self, Word};
+use std::collections::BTreeSet;
+
+/// A set rectangle `S × T` over an ordered partition.
+#[derive(Debug, Clone)]
+pub struct SetRectangle {
+    /// The partition (Π₀ = inside of the interval).
+    pub partition: OrderedPartition,
+    /// Subsets of Π₀ (masks confined to `partition.inside()`).
+    pub s: BTreeSet<u64>,
+    /// Subsets of Π₁ (masks confined to `partition.outside()`).
+    pub t: BTreeSet<u64>,
+}
+
+impl SetRectangle {
+    /// Build, checking side confinement.
+    pub fn new(partition: OrderedPartition, s: BTreeSet<u64>, t: BTreeSet<u64>) -> Self {
+        let (ins, outs) = (partition.inside(), partition.outside());
+        debug_assert!(s.iter().all(|&m| m & !ins == 0), "S must be confined to Π₀");
+        debug_assert!(t.iter().all(|&m| m & !outs == 0), "T must be confined to Π₁");
+        SetRectangle { partition, s, t }
+    }
+
+    /// Membership: `u ∈ S × T`.
+    pub fn contains(&self, u: Word) -> bool {
+        self.s.contains(&(u & self.partition.inside()))
+            && self.t.contains(&(u & self.partition.outside()))
+    }
+
+    /// `|R| = |S| · |T|`.
+    pub fn len(&self) -> usize {
+        self.s.len() * self.t.len()
+    }
+
+    /// Is the rectangle empty?
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty() || self.t.is_empty()
+    }
+
+    /// Is the underlying partition balanced (Definition 13)?
+    pub fn is_balanced(&self) -> bool {
+        self.partition.is_balanced()
+    }
+
+    /// Enumerate all members.
+    pub fn members(&self) -> impl Iterator<Item = Word> + '_ {
+        self.s.iter().flat_map(move |&a| self.t.iter().map(move |&b| a | b))
+    }
+
+    /// The smallest rectangle over `partition` containing all of `set`
+    /// (project to both sides and take the product).
+    pub fn closure(partition: OrderedPartition, set: &BTreeSet<Word>) -> SetRectangle {
+        let ins = partition.inside();
+        let outs = partition.outside();
+        let s = set.iter().map(|&u| u & ins).collect();
+        let t = set.iter().map(|&u| u & outs).collect();
+        SetRectangle::new(partition, s, t)
+    }
+
+    /// Is `set` exactly a rectangle over `partition`? If so return it.
+    pub fn from_exact_set(
+        partition: OrderedPartition,
+        set: &BTreeSet<Word>,
+    ) -> Option<SetRectangle> {
+        let r = Self::closure(partition, set);
+        if r.len() == set.len() && set.iter().all(|&u| r.contains(u)) {
+            Some(r)
+        } else {
+            None
+        }
+    }
+}
+
+/// A rectangle in the word form of Definition 5, with parameters
+/// `(L₁, L₂, n₁, n₂, n₃)`: the words `w₁ w₂ w₃` with `|w₁| = n₁`,
+/// `w₂ ∈ L₂ ⊆ Σ^{n₂}`, `|w₃| = n₃`, and `w₁ w₃ ∈ L₁`.
+#[derive(Debug, Clone)]
+pub struct WordRectangle {
+    /// Context pairs `(w₁, w₃)` — the elements of `L₁`, split.
+    pub contexts: BTreeSet<(String, String)>,
+    /// The middle language `L₂`.
+    pub middles: BTreeSet<String>,
+    /// Prefix length `n₁`.
+    pub n1: usize,
+    /// Middle length `n₂`.
+    pub n2: usize,
+    /// Suffix length `n₃`.
+    pub n3: usize,
+}
+
+impl WordRectangle {
+    /// All words of the rectangle.
+    pub fn words(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for (w1, w3) in &self.contexts {
+            for w2 in &self.middles {
+                out.insert(format!("{w1}{w2}{w3}"));
+            }
+        }
+        out
+    }
+
+    /// `|R| = |L₁| · |L₂|`.
+    pub fn len(&self) -> usize {
+        self.contexts.len() * self.middles.len()
+    }
+
+    /// Is the rectangle empty?
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty() || self.middles.is_empty()
+    }
+
+    /// Definition 5's balance: `N/3 ≤ n₂ ≤ 2N/3` where `N = n₁+n₂+n₃`
+    /// (checked without rounding).
+    pub fn is_balanced(&self) -> bool {
+        let total = self.n1 + self.n2 + self.n3;
+        3 * self.n2 >= total && 3 * self.n2 <= 2 * total
+    }
+
+    /// Lemma 15 (forward): view a word rectangle over `{a,b}^{2n}` as an
+    /// `[n₁+1, n₁+n₂]`-set rectangle.
+    pub fn to_set_rectangle(&self, n: usize) -> SetRectangle {
+        assert_eq!(self.n1 + self.n2 + self.n3, 2 * n, "words must have length 2n");
+        let part = OrderedPartition::new(n, self.n1 + 1, self.n1 + self.n2);
+        let mut s = BTreeSet::new();
+        for w2 in &self.middles {
+            // Middle letters occupy z-positions n1+1 .. n1+n2.
+            let mut mask = 0u64;
+            for (off, c) in w2.chars().enumerate() {
+                if c == 'a' {
+                    mask |= 1u64 << (self.n1 + off);
+                }
+            }
+            s.insert(mask);
+        }
+        let mut t = BTreeSet::new();
+        for (w1, w3) in &self.contexts {
+            let mut mask = 0u64;
+            for (off, c) in w1.chars().enumerate() {
+                if c == 'a' {
+                    mask |= 1u64 << off;
+                }
+            }
+            for (off, c) in w3.chars().enumerate() {
+                if c == 'a' {
+                    mask |= 1u64 << (self.n1 + self.n2 + off);
+                }
+            }
+            t.insert(mask);
+        }
+        // Note: Definition 14 names the sides (S over Π₀, T over Π₁); the
+        // interval side here is the middle `L₂`.
+        SetRectangle::new(part, s, t)
+    }
+
+    /// Lemma 15 (converse): recover the word form from a set rectangle
+    /// (over the interval `[i, j]`, giving `n₁ = i−1`, `n₂ = j−i+1`,
+    /// `n₃ = 2n − j`).
+    pub fn from_set_rectangle(r: &SetRectangle) -> WordRectangle {
+        let n = r.partition.n;
+        let (i, j) = (r.partition.i, r.partition.j);
+        let (n1, n2) = (i - 1, j - i + 1);
+        let n3 = 2 * n - j;
+        let middles = r
+            .s
+            .iter()
+            .map(|&mask| {
+                (0..n2)
+                    .map(|off| if mask >> (n1 + off) & 1 == 1 { 'a' } else { 'b' })
+                    .collect()
+            })
+            .collect();
+        let contexts = r
+            .t
+            .iter()
+            .map(|&mask| {
+                let w1: String =
+                    (0..n1).map(|off| if mask >> off & 1 == 1 { 'a' } else { 'b' }).collect();
+                let w3: String = (0..n3)
+                    .map(|off| if mask >> (n1 + n2 + off) & 1 == 1 { 'a' } else { 'b' })
+                    .collect();
+                (w1, w3)
+            })
+            .collect();
+        WordRectangle { contexts, middles, n1, n2, n3 }
+    }
+}
+
+/// Example 6: `L*_n = a^{n/2} (a+b)^n a^{n/2}` as a balanced rectangle.
+pub fn example6_rectangle(n: usize) -> WordRectangle {
+    assert!(n % 2 == 0, "Example 6 needs n even");
+    let half = "a".repeat(n / 2);
+    let mut middles = BTreeSet::new();
+    for mask in 0..(1u64 << n) {
+        middles.insert(
+            (0..n).map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' }).collect::<String>(),
+        );
+    }
+    WordRectangle {
+        contexts: BTreeSet::from([(half.clone(), half)]),
+        middles,
+        n1: n / 2,
+        n2: n,
+        n3: n / 2,
+    }
+}
+
+/// Example 8: `L_n^k = (a+b)^k a (a+b)^{n-1} a (a+b)^{n-1-k}` as a balanced
+/// word rectangle (`n₂ = n+1`, middle = `a (a+b)^{n-1} a`).
+pub fn example8_rectangle(n: usize, k: usize) -> WordRectangle {
+    assert!(k <= n - 1);
+    let mut middles = BTreeSet::new();
+    for mask in 0..(1u64 << (n - 1)) {
+        let inner: String =
+            (0..n - 1).map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' }).collect();
+        middles.insert(format!("a{inner}a"));
+    }
+    let mut contexts = BTreeSet::new();
+    // w1 w3 ranges over all of Σ^{n-1}, split as |w1| = k, |w3| = n-1-k.
+    for mask in 0..(1u64 << (n - 1)) {
+        let all: String =
+            (0..n - 1).map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' }).collect();
+        let (w1, w3) = all.split_at(k);
+        contexts.insert((w1.to_string(), w3.to_string()));
+    }
+    WordRectangle { contexts, middles, n1: k, n2: n + 1, n3: n - 1 - k }
+}
+
+/// Membership of a packed word in a `WordRectangle` (over `{a,b}^{2n}`).
+pub fn word_rectangle_contains(r: &WordRectangle, n: usize, w: Word) -> bool {
+    let s = words::to_string(n, w);
+    let w1 = &s[..r.n1];
+    let w2 = &s[r.n1..r.n1 + r.n2];
+    let w3 = &s[r.n1 + r.n2..];
+    r.middles.contains(w2) && r.contexts.contains(&(w1.to_string(), w3.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{enumerate_ln, ln_contains};
+
+    #[test]
+    fn example6_is_balanced_rectangle() {
+        let r = example6_rectangle(4);
+        assert!(r.is_balanced());
+        assert_eq!(r.len(), 16);
+        let words = r.words();
+        assert!(words.contains("aabbbbaa"));
+        assert!(words.contains("aaaaaaaa"));
+        assert!(!words.contains("babbbbaa"));
+    }
+
+    #[test]
+    fn lemma15_roundtrip() {
+        let n = 4;
+        let r = example6_rectangle(n);
+        let sr = r.to_set_rectangle(n);
+        assert!(sr.is_balanced());
+        assert_eq!(sr.len(), r.len());
+        let back = WordRectangle::from_set_rectangle(&sr);
+        assert_eq!(back.words(), r.words());
+        assert_eq!((back.n1, back.n2, back.n3), (r.n1, r.n2, r.n3));
+    }
+
+    #[test]
+    fn set_rectangle_membership_matches_words() {
+        let n = 4;
+        let r = example8_rectangle(n, 1);
+        let sr = r.to_set_rectangle(n);
+        for w in 0..(1u64 << (2 * n)) {
+            assert_eq!(
+                sr.contains(w),
+                word_rectangle_contains(&r, n, w),
+                "w={w:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn example8_covers_ln() {
+        // ⋃_k L_n^k = L_n (Example 8), but the union is NOT disjoint.
+        for n in [3usize, 4, 5] {
+            let rects: Vec<SetRectangle> =
+                (0..n).map(|k| example8_rectangle(n, k).to_set_rectangle(n)).collect();
+            for r in &rects {
+                assert!(r.is_balanced(), "n={n}");
+            }
+            for w in 0..(1u64 << (2 * n)) {
+                let covered = rects.iter().any(|r| r.contains(w));
+                assert_eq!(covered, ln_contains(n, w), "n={n} w={w:b}");
+            }
+            // Overlap witness: the all-a word is in every L_n^k.
+            let all_a = (1u64 << (2 * n)) - 1;
+            let hits = rects.iter().filter(|r| r.contains(all_a)).count();
+            assert_eq!(hits, n, "all-a word lies in every rectangle");
+        }
+    }
+
+    #[test]
+    fn closure_and_exactness() {
+        let n = 2;
+        let part = OrderedPartition::new(n, 1, 2);
+        // {ab?? : ...}: take the two words abab, abbb → projections:
+        // inside {z1,z2}: "ab" → mask 0b01; outside: {z3,z4}: "ab"→bit2, "bb"→0.
+        let set: BTreeSet<u64> = BTreeSet::from([
+            crate::words::from_string(2, "abab").unwrap(),
+            crate::words::from_string(2, "abbb").unwrap(),
+        ]);
+        let r = SetRectangle::from_exact_set(part, &set).expect("is a rectangle");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.members().collect::<BTreeSet<_>>(), set);
+
+        // Adding a word that breaks the product structure.
+        let mut bad = set.clone();
+        bad.insert(crate::words::from_string(2, "bbab").unwrap());
+        assert!(SetRectangle::from_exact_set(part, &bad).is_none());
+        // Its closure strictly contains it.
+        let c = SetRectangle::closure(part, &bad);
+        assert!(c.len() > bad.len());
+        for &w in &bad {
+            assert!(c.contains(w));
+        }
+    }
+
+    #[test]
+    fn ln_is_not_a_rectangle() {
+        // L_n itself is not a single rectangle under the middle cut.
+        for n in [2usize, 3] {
+            let part = OrderedPartition::new(n, 1, n);
+            let set: BTreeSet<u64> = enumerate_ln(n).into_iter().collect();
+            assert!(SetRectangle::from_exact_set(part, &set).is_none(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_rectangle() {
+        let part = OrderedPartition::new(2, 1, 2);
+        let r = SetRectangle::new(part, BTreeSet::new(), BTreeSet::from([0]));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.contains(0));
+    }
+}

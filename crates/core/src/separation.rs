@@ -1,0 +1,151 @@
+//! The Theorem 1 separation, as measurable data.
+//!
+//! For a sweep of `n` this module reports the sizes of every representation
+//! the theorem compares:
+//! 1. the O(log n) CFG (Appendix A),
+//! 2. the Θ(n) guess-and-verify NFA (promise semantics) and the exact
+//!    length-checked NFA,
+//! 3. the Example 4 uCFG (2^Θ(n)) and the discrepancy lower bound
+//!    2^{Ω(n)} that *every* uCFG must obey,
+//! plus the DAWG/right-linear baseline for small `n`.
+
+use crate::discrepancy::cover_lower_bound_log2;
+use crate::ln_grammars::{appendix_a_grammar, example4_size, example4_ucfg, naive_grammar};
+use crate::words;
+use ucfg_automata::convert::dfa_to_grammar;
+use ucfg_automata::dawg::DawgBuilder;
+use ucfg_automata::ln_nfa::{exact_nfa, pattern_nfa};
+use ucfg_grammar::bignum::BigUint;
+
+/// One row of the separation table.
+#[derive(Debug, Clone)]
+pub struct SeparationRow {
+    /// The parameter `n` (words have length `2n`).
+    pub n: usize,
+    /// `|L_n| = 4^n − 3^n`.
+    pub language_size: BigUint,
+    /// Size of the Appendix A CFG (Theorem 1(1): Θ(log n)).
+    pub cfg_size: usize,
+    /// Transitions of the Θ(n) pattern NFA (promise semantics).
+    pub nfa_pattern_transitions: usize,
+    /// Transitions of the exact NFA (length-checked; Θ(n²)).
+    pub nfa_exact_transitions: Option<usize>,
+    /// Size of the Example 4 uCFG (2^Θ(n)); exact via the closed form.
+    pub ucfg_example4_size: BigUint,
+    /// Size of the DAWG right-linear uCFG (small `n` only).
+    pub ucfg_dawg_size: Option<usize>,
+    /// Size of the naive `S → w` grammar: `2n · |L_n|`.
+    pub naive_size: BigUint,
+    /// log₂ of the Proposition 16 lower bound every uCFG must satisfy
+    /// (meaningful once `n ≡ 0 mod 4` and the Lemma 18 inequality holds,
+    /// i.e. `n ≥ 16`).
+    pub ucfg_lower_bound_log2: Option<f64>,
+}
+
+/// Compute one separation row. Expensive parts (exact NFA, DAWG) are only
+/// computed below the given thresholds.
+pub fn separation_row(n: usize, exact_nfa_max: usize, dawg_max: usize) -> SeparationRow {
+    let cfg_size = appendix_a_grammar(n).size();
+    let nfa_pattern_transitions = pattern_nfa(n).transition_count();
+    let nfa_exact_transitions =
+        (n <= exact_nfa_max).then(|| exact_nfa(n).transition_count());
+    let ucfg_dawg_size = (n <= dawg_max).then(|| {
+        let mut words: Vec<String> =
+            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        words.sort();
+        let mut b = DawgBuilder::new(&['a', 'b']);
+        for w in &words {
+            b.add(w);
+        }
+        let dfa = b.finish();
+        dfa_to_grammar(&dfa).expect("L_n has no ε").size()
+    });
+    let m = (n / 4) as u64;
+    let ucfg_lower_bound_log2 = (n % 4 == 0 && crate::discrepancy::lemma18_inequality_holds(m))
+        .then(|| cover_lower_bound_log2(m));
+    SeparationRow {
+        n,
+        language_size: words::ln_size(n),
+        cfg_size,
+        nfa_pattern_transitions,
+        nfa_exact_transitions,
+        ucfg_example4_size: example4_size(n as u64),
+        ucfg_dawg_size,
+        naive_size: &BigUint::from_u64(2 * n as u64) * &words::ln_size(n),
+        ucfg_lower_bound_log2,
+    }
+}
+
+/// The three grammar sizes of Theorem 1 double-checked against actually
+/// constructed grammars (small `n`): (appendix CFG, example4 uCFG, naive).
+pub fn constructed_sizes(n: usize) -> (usize, usize, usize) {
+    (
+        appendix_a_grammar(n).size(),
+        example4_ucfg(n).size(),
+        naive_grammar(n).size(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_have_expected_shape() {
+        let r8 = separation_row(8, 8, 6);
+        assert!(r8.nfa_exact_transitions.is_some());
+        assert!(r8.ucfg_dawg_size.is_none()); // above dawg_max
+        assert!(r8.ucfg_lower_bound_log2.is_none()); // m = 2 < 4
+
+        let r16 = separation_row(16, 8, 6);
+        assert!(r16.nfa_exact_transitions.is_none());
+        assert!(r16.ucfg_lower_bound_log2.is_some());
+        assert!(r16.ucfg_lower_bound_log2.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn growth_shapes() {
+        // CFG ~ log n: doubling n adds roughly a constant.
+        let c: Vec<usize> = [64usize, 128, 256, 512]
+            .iter()
+            .map(|&n| separation_row(n, 0, 0).cfg_size)
+            .collect();
+        let d1 = c[1] as i64 - c[0] as i64;
+        let d3 = c[3] as i64 - c[2] as i64;
+        assert!(d1.abs() <= 60 && d3.abs() <= 60, "not logarithmic: {c:?}");
+
+        // Pattern NFA linear.
+        let t64 = separation_row(64, 0, 0).nfa_pattern_transitions;
+        let t128 = separation_row(128, 0, 0).nfa_pattern_transitions;
+        assert!(t128 >= 2 * t64 - 8 && t128 <= 2 * t64 + 8);
+
+        // uCFG exponential: log₂ roughly doubles with n... log2(size(2n)) ≈ 2·log2(size(n)).
+        let l16 = separation_row(16, 0, 0).ucfg_example4_size.log2_approx();
+        let l32 = separation_row(32, 0, 0).ucfg_example4_size.log2_approx();
+        assert!(l32 > 1.7 * l16, "uCFG not exponential: {l16} vs {l32}");
+    }
+
+    #[test]
+    fn dawg_baseline_is_unambiguous_and_correct_size() {
+        let r = separation_row(4, 4, 4);
+        let dawg = r.ucfg_dawg_size.unwrap();
+        // The DAWG grammar is a uCFG; Example 4 is another. Both exist, and
+        // both are lower-bounded by the trivial information bound.
+        assert!(dawg > 0);
+        let ex4 = r.ucfg_example4_size.to_u64().unwrap();
+        assert!(ex4 > 0);
+    }
+
+    #[test]
+    fn constructed_sizes_agree_with_formulas() {
+        for n in 2..=6 {
+            let (_cfg, ex4, naive) = constructed_sizes(n);
+            assert_eq!(ex4 as u64, example4_size(n as u64).to_u64().unwrap(), "n={n}");
+            assert_eq!(
+                naive as u64,
+                2 * n as u64 * words::ln_size(n).to_u64().unwrap(),
+                "n={n}"
+            );
+        }
+    }
+}

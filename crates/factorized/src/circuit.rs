@@ -1,0 +1,350 @@
+//! d-representations in the unnamed perspective.
+//!
+//! Kimelfeld, Martens & Niewerth observed that CFGs accepting finite
+//! languages are isomorphic to *d-representations* — the factorised
+//! representations of Olteanu & Závodný — in the unnamed perspective. This
+//! module provides those circuits directly: DAGs of ε/letter/∪/× nodes
+//! representing finite languages, with the size measure (total fan-in)
+//! matching the paper's grammar size up to constants.
+//!
+//! A circuit is *deterministic* when every union's branches denote pairwise
+//! disjoint word sets — the circuit analogue of unambiguity, and exactly
+//! the property whose cost the paper quantifies.
+
+use std::collections::BTreeSet;
+use ucfg_grammar::bignum::BigUint;
+
+/// Index of a node in a [`Circuit`].
+pub type NodeId = u32;
+
+/// A circuit node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// The language `{ε}`.
+    Epsilon,
+    /// The language `{c}`.
+    Letter(char),
+    /// Union of the children's languages.
+    Union(Vec<NodeId>),
+    /// Concatenation (product) of the children's languages, in order.
+    Product(Vec<NodeId>),
+}
+
+/// A d-representation: a DAG with a designated root.
+///
+/// Nodes may only reference lower-numbered nodes (enforced at build time),
+/// which guarantees acyclicity.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+/// Incremental builder for [`Circuit`].
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    nodes: Vec<Node>,
+}
+
+impl CircuitBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, n: Node) -> NodeId {
+        if let Node::Union(cs) | Node::Product(cs) = &n {
+            for &c in cs {
+                assert!(
+                    (c as usize) < self.nodes.len(),
+                    "children must be built before parents"
+                );
+            }
+        }
+        self.nodes.push(n);
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// Add an ε node.
+    pub fn epsilon(&mut self) -> NodeId {
+        self.push(Node::Epsilon)
+    }
+
+    /// Add a letter node.
+    pub fn letter(&mut self, c: char) -> NodeId {
+        self.push(Node::Letter(c))
+    }
+
+    /// Add a union node.
+    pub fn union(&mut self, children: Vec<NodeId>) -> NodeId {
+        self.push(Node::Union(children))
+    }
+
+    /// Add a product node.
+    pub fn product(&mut self, children: Vec<NodeId>) -> NodeId {
+        self.push(Node::Product(children))
+    }
+
+    /// Finish with the given root.
+    pub fn build(self, root: NodeId) -> Circuit {
+        assert!((root as usize) < self.nodes.len());
+        Circuit { nodes: self.nodes, root }
+    }
+}
+
+impl Circuit {
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Size = total fan-in of ∪/× nodes plus 1 per leaf — the analogue of
+    /// the paper's `Σ |rhs|` measure.
+    pub fn size(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Epsilon | Node::Letter(_) => 1,
+                Node::Union(cs) | Node::Product(cs) => cs.len(),
+            })
+            .sum()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The word set of every node (bottom-up materialisation).
+    pub fn languages(&self) -> Vec<BTreeSet<String>> {
+        let mut langs: Vec<BTreeSet<String>> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let set = match n {
+                Node::Epsilon => BTreeSet::from([String::new()]),
+                Node::Letter(c) => BTreeSet::from([c.to_string()]),
+                Node::Union(cs) => {
+                    let mut s = BTreeSet::new();
+                    for &c in cs {
+                        s.extend(langs[c as usize].iter().cloned());
+                    }
+                    s
+                }
+                Node::Product(cs) => {
+                    let mut s = BTreeSet::from([String::new()]);
+                    for &c in cs {
+                        let mut next = BTreeSet::new();
+                        for p in &s {
+                            for q in &langs[c as usize] {
+                                next.insert(format!("{p}{q}"));
+                            }
+                        }
+                        s = next;
+                    }
+                    s
+                }
+            };
+            langs.push(set);
+        }
+        langs
+    }
+
+    /// The represented language.
+    pub fn language(&self) -> BTreeSet<String> {
+        self.languages().swap_remove(self.root as usize)
+    }
+
+    /// Number of *derivations* (proof trees); for deterministic circuits
+    /// with unambiguous products this equals the number of words.
+    pub fn count_derivations(&self) -> BigUint {
+        let mut counts: Vec<BigUint> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let c = match n {
+                Node::Epsilon | Node::Letter(_) => BigUint::one(),
+                Node::Union(cs) => cs.iter().map(|&c| counts[c as usize].clone()).sum(),
+                Node::Product(cs) => {
+                    let mut acc = BigUint::one();
+                    for &c in cs {
+                        acc = &acc * &counts[c as usize];
+                    }
+                    acc
+                }
+            };
+            counts.push(c);
+        }
+        counts.swap_remove(self.root as usize)
+    }
+
+    /// Exact number of distinct words (via materialisation — exponential;
+    /// the point of determinism is that [`Circuit::count_derivations`]
+    /// avoids this).
+    pub fn count_words(&self) -> usize {
+        self.language().len()
+    }
+
+    /// Is every union deterministic (pairwise disjoint branch languages)
+    /// *and* every product unambiguous (each word splits uniquely)?
+    ///
+    /// Decided exactly by materialisation; equivalent to "every word has
+    /// exactly one derivation".
+    pub fn is_unambiguous(&self) -> bool {
+        self.count_derivations() == BigUint::from_u64(self.count_words() as u64)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, w: &str) -> bool {
+        self.language().contains(w)
+    }
+
+    /// Generic semiring evaluation (the factorised-database aggregation
+    /// primitive): `⊕` over derivations of the `⊗` of their letter
+    /// weights. With the counting semiring this is
+    /// [`Circuit::count_derivations`]; with tropical weights it is
+    /// min-cost; with polynomials it is provenance.
+    pub fn eval<S, F>(&self, letter_weight: F) -> S
+    where
+        S: ucfg_grammar::weighted::Semiring,
+        F: Fn(char) -> S,
+    {
+        let mut vals: Vec<S> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let v = match n {
+                Node::Epsilon => S::one(),
+                Node::Letter(c) => letter_weight(*c),
+                Node::Union(cs) => {
+                    let mut acc = S::zero();
+                    for &c in cs {
+                        acc = acc.add(&vals[c as usize]);
+                    }
+                    acc
+                }
+                Node::Product(cs) => {
+                    let mut acc = S::one();
+                    for &c in cs {
+                        acc = acc.mul(&vals[c as usize]);
+                    }
+                    acc
+                }
+            };
+            vals.push(v);
+        }
+        vals.swap_remove(self.root as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// {ab, ba} as a deterministic circuit.
+    fn two_words() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.letter('a');
+        let bb = b.letter('b');
+        let ab = b.product(vec![a, bb]);
+        let ba = b.product(vec![bb, a]);
+        let root = b.union(vec![ab, ba]);
+        b.build(root)
+    }
+
+    #[test]
+    fn language_and_size() {
+        let c = two_words();
+        let lang = c.language();
+        assert_eq!(lang.len(), 2);
+        assert!(lang.contains("ab") && lang.contains("ba"));
+        assert_eq!(c.size(), 1 + 1 + 2 + 2 + 2);
+        assert!(c.contains("ab"));
+        assert!(!c.contains("aa"));
+    }
+
+    #[test]
+    fn determinism_detection() {
+        let c = two_words();
+        assert!(c.is_unambiguous());
+
+        // Duplicate branch → non-deterministic union.
+        let mut b = CircuitBuilder::new();
+        let a = b.letter('a');
+        let root = b.union(vec![a, a]);
+        let c = b.build(root);
+        assert_eq!(c.count_derivations().to_u64(), Some(2));
+        assert_eq!(c.count_words(), 1);
+        assert!(!c.is_unambiguous());
+    }
+
+    #[test]
+    fn ambiguous_product_detected() {
+        // ({ε, a} · {ε, a}) has word "a" twice.
+        let mut b = CircuitBuilder::new();
+        let e = b.epsilon();
+        let a = b.letter('a');
+        let ea = b.union(vec![e, a]);
+        let root = b.product(vec![ea, ea]);
+        let c = b.build(root);
+        assert_eq!(c.count_derivations().to_u64(), Some(4));
+        assert_eq!(c.count_words(), 3); // ε, a, aa
+        assert!(!c.is_unambiguous());
+    }
+
+    #[test]
+    fn factorisation_is_smaller_than_enumeration() {
+        // ({a,b})^k : factorised size O(k), 2^k words.
+        let k = 10;
+        let mut b = CircuitBuilder::new();
+        let a = b.letter('a');
+        let bb = b.letter('b');
+        let or = b.union(vec![a, bb]);
+        let root = b.product(vec![or; k]);
+        let c = b.build(root);
+        assert_eq!(c.count_derivations().to_u64(), Some(1 << k));
+        assert!(c.is_unambiguous());
+        assert!(c.size() < 3 * k + 10);
+        assert_eq!(c.count_words(), 1 << k);
+    }
+
+    #[test]
+    fn epsilon_only() {
+        let mut b = CircuitBuilder::new();
+        let e = b.epsilon();
+        let c = b.build(e);
+        assert_eq!(c.language(), BTreeSet::from([String::new()]));
+        assert!(c.is_unambiguous());
+    }
+
+    #[test]
+    #[should_panic(expected = "children must be built before parents")]
+    fn forward_references_rejected() {
+        let mut b = CircuitBuilder::new();
+        b.union(vec![5]);
+    }
+
+    #[test]
+    fn semiring_eval_matches_specialised_ops() {
+        use ucfg_grammar::weighted::{Count, MinPlus};
+        let c = two_words(); // {ab, ba}
+        // Counting semiring = count_derivations.
+        let Count(total) = c.eval(|_| Count(BigUint::one()));
+        assert_eq!(total, c.count_derivations());
+        // Tropical: cost a = 3, b = 1 → both words cost 4.
+        let m: MinPlus = c.eval(|ch| MinPlus(Some(if ch == 'a' { 3 } else { 1 })));
+        assert_eq!(m, MinPlus(Some(4)));
+        // Weighting 'a' to ∞ kills both words (each contains an a).
+        let m: MinPlus = c.eval(|ch| if ch == 'a' { MinPlus(None) } else { MinPlus(Some(1)) });
+        assert_eq!(m, MinPlus(None));
+    }
+
+    #[test]
+    fn empty_union_is_empty_language() {
+        let mut b = CircuitBuilder::new();
+        let u = b.union(vec![]);
+        let c = b.build(u);
+        assert!(c.language().is_empty());
+        assert!(c.count_derivations().is_zero());
+        assert!(c.is_unambiguous());
+    }
+}

@@ -1,0 +1,220 @@
+//! The KMN isomorphism: CFGs for finite languages ↔ d-representations.
+//!
+//! A trimmed grammar with acyclic derivations maps to a circuit with one
+//! union per non-terminal (over its rules) and one product per rule (over
+//! its body); the inverse direction reads a grammar off the circuit. Both
+//! directions preserve the language, the derivation counts (hence
+//! unambiguity ↔ determinism), and the size up to the stated constants.
+
+use crate::circuit::{Circuit, CircuitBuilder, Node, NodeId};
+use ucfg_grammar::analysis::{has_derivation_cycle, is_language_finite, trim};
+use ucfg_grammar::symbol::{NonTerminal, Symbol};
+use ucfg_grammar::{Grammar, GrammarBuilder};
+
+/// Errors from [`grammar_to_circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConvertError {
+    /// The grammar's language is infinite — no finite circuit represents it.
+    InfiniteLanguage,
+    /// Non-growing derivation cycles have no acyclic circuit image.
+    DerivationCycle,
+}
+
+/// Convert a finite-language grammar to a d-representation.
+pub fn grammar_to_circuit(g: &Grammar) -> Result<Circuit, ConvertError> {
+    let g = trim(g);
+    if !is_language_finite(&g) {
+        return Err(ConvertError::InfiniteLanguage);
+    }
+    if has_derivation_cycle(&g) {
+        return Err(ConvertError::DerivationCycle);
+    }
+    let mut b = CircuitBuilder::new();
+    // Topological order over non-terminals (DAG after the cycle check):
+    // iterative DFS post-order.
+    let n = g.nonterminal_count();
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = open, 2 = done
+    for root in 0..n as u32 {
+        if state[root as usize] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        state[root as usize] = 1;
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            // Children: every non-terminal occurrence in any rule of v.
+            let children: Vec<u32> = g
+                .rules_for(NonTerminal(v))
+                .flat_map(|r| r.rhs.iter().filter_map(|s| s.nonterminal()).map(|x| x.0))
+                .collect();
+            if *ci < children.len() {
+                let w = children[*ci];
+                *ci += 1;
+                if state[w as usize] == 0 {
+                    state[w as usize] = 1;
+                    stack.push((w, 0));
+                }
+            } else {
+                state[v as usize] = 2;
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Build circuit nodes bottom-up.
+    let mut letter_node: std::collections::HashMap<char, NodeId> = std::collections::HashMap::new();
+    let mut eps_node: Option<NodeId> = None;
+    let mut nt_node: Vec<Option<NodeId>> = vec![None; n];
+    for &v in &order {
+        let mut branches = Vec::new();
+        let rules: Vec<_> = g.rules_for(NonTerminal(v)).cloned().collect();
+        for r in rules {
+            if r.rhs.is_empty() {
+                let e = *eps_node.get_or_insert_with(|| b.epsilon());
+                branches.push(e);
+                continue;
+            }
+            let mut factors = Vec::with_capacity(r.rhs.len());
+            for &s in &r.rhs {
+                match s {
+                    Symbol::T(t) => {
+                        let c = g.letter(t);
+                        let id = *letter_node.entry(c).or_insert_with(|| b.letter(c));
+                        factors.push(id);
+                    }
+                    Symbol::N(m) => {
+                        factors.push(nt_node[m.index()].expect("topological order"));
+                    }
+                }
+            }
+            if factors.len() == 1 {
+                branches.push(factors[0]);
+            } else {
+                branches.push(b.product(factors));
+            }
+        }
+        let id = if branches.len() == 1 {
+            branches[0]
+        } else {
+            b.union(branches)
+        };
+        nt_node[v as usize] = Some(id);
+    }
+    let root = nt_node[g.start().index()].expect("start is kept by trim");
+    Ok(b.build(root))
+}
+
+/// Convert a circuit back to a grammar (one non-terminal per ∪/× node).
+pub fn circuit_to_grammar(c: &Circuit, alphabet: &[char]) -> Grammar {
+    let mut b = GrammarBuilder::new(alphabet);
+    let nts: Vec<_> = (0..c.node_count()).map(|i| b.nonterminal(&format!("N{i}"))).collect();
+    for (i, node) in c.nodes().iter().enumerate() {
+        match node {
+            Node::Epsilon => b.epsilon_rule(nts[i]),
+            Node::Letter(ch) => b.rule(nts[i], |r| r.t(*ch)),
+            Node::Union(cs) => {
+                for &ch in cs {
+                    let child = nts[ch as usize];
+                    b.rule(nts[i], |r| r.n(child));
+                }
+            }
+            Node::Product(cs) => {
+                let body: Vec<_> = cs.iter().map(|&ch| nts[ch as usize].into()).collect();
+                b.raw_rule(nts[i], body);
+            }
+        }
+    }
+    trim(&b.build(nts[c.root() as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
+    use ucfg_grammar::count::decide_unambiguous;
+    use ucfg_grammar::language::finite_language;
+
+    #[test]
+    fn roundtrip_preserves_language() {
+        for n in 1..=5 {
+            let g = appendix_a_grammar(n);
+            let c = grammar_to_circuit(&g).unwrap();
+            assert_eq!(
+                c.language(),
+                finite_language(&g).unwrap(),
+                "grammar → circuit, n={n}"
+            );
+            let g2 = circuit_to_grammar(&c, &['a', 'b']);
+            assert_eq!(
+                finite_language(&g2).unwrap(),
+                finite_language(&g).unwrap(),
+                "circuit → grammar, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unambiguity_maps_to_determinism() {
+        let g = example4_ucfg(3);
+        let c = grammar_to_circuit(&g).unwrap();
+        assert!(c.is_unambiguous(), "uCFG → deterministic circuit");
+
+        let amb = appendix_a_grammar(3);
+        let c = grammar_to_circuit(&amb).unwrap();
+        assert!(!c.is_unambiguous(), "ambiguous CFG → ambiguous circuit");
+        // And back: the ambiguous circuit's grammar is ambiguous.
+        let g2 = circuit_to_grammar(&c, &['a', 'b']);
+        assert!(!decide_unambiguous(&g2).is_unambiguous());
+    }
+
+    #[test]
+    fn sizes_track_each_other() {
+        for n in 2..=6 {
+            let g = appendix_a_grammar(n);
+            let c = grammar_to_circuit(&g).unwrap();
+            // |circuit| ≤ 2·|G| + constants and vice versa.
+            assert!(c.size() <= 2 * g.size() + 8, "n={n}: {} vs {}", c.size(), g.size());
+            let g2 = circuit_to_grammar(&c, &['a', 'b']);
+            assert!(g2.size() <= 2 * c.size() + 8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn derivation_counts_preserved() {
+        let g = appendix_a_grammar(2);
+        let c = grammar_to_circuit(&g).unwrap();
+        let counter = ucfg_grammar::count::TreeCounter::new(&g).unwrap();
+        let total: ucfg_grammar::BigUint = finite_language(&g)
+            .unwrap()
+            .iter()
+            .map(|w| counter.count_str(w))
+            .sum();
+        assert_eq!(c.count_derivations(), total);
+    }
+
+    #[test]
+    fn infinite_language_rejected() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        b.rule(s, |r| r.t('a'));
+        assert_eq!(
+            grammar_to_circuit(&b.build(s)).unwrap_err(),
+            ConvertError::InfiniteLanguage
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a));
+        b.rule(a, |r| r.n(s));
+        b.rule(a, |r| r.t('a'));
+        assert_eq!(
+            grammar_to_circuit(&b.build(s)).unwrap_err(),
+            ConvertError::DerivationCycle
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! The introduction's information-extraction scenario.
+//!
+//! Data: lines with `c` single-character columns over an alphabet `Σ`.
+//! Task: extract the pairs of lines with identical entries in at least one
+//! column from a chosen set `S ⊆ [c]`. The corresponding language
+//!
+//! ```text
+//! Agree(c, S, Σ) = { u v ∈ Σ^{2c} | ∃ j ∈ S : u_j = v_j }
+//! ```
+//!
+//! has a small (ambiguous) CFG — one alternative per `(column, letter)` —
+//! but, by reduction from `L_n`, every *unambiguous* grammar for it is
+//! exponential in `|S|`: map `a ↦ a` on both lines and `b ↦ c` on the first
+//! line / `b ↦ d` on the second (over `Σ = {a, c, d}`); then two encoded
+//! columns agree iff both original letters were `a`, so the encoded image
+//! of `Σ^{2n}` intersected with `Agree` is exactly the image of `L_n`.
+
+use ucfg_core::words::{self, Word};
+use ucfg_grammar::{Grammar, GrammarBuilder, NonTerminal};
+
+/// The small ambiguous CFG for `Agree(c, S, Σ)`.
+///
+/// Size `O(c + |S|·|Σ|)`: chain non-terminals `W_k` for `Σ^k` plus one rule
+/// per `(j ∈ S, σ ∈ Σ)` pinning positions `j` and `j + c` to `σ`.
+pub fn agreement_grammar(c: usize, s_cols: &[usize], alphabet: &[char]) -> Grammar {
+    assert!(c >= 1 && !alphabet.is_empty());
+    assert!(s_cols.iter().all(|&j| (1..=c).contains(&j)), "columns are 1-based in [1, c]");
+    let mut b = GrammarBuilder::new(alphabet);
+    let start = b.nonterminal("Start");
+    // W_k generates Σ^k, for every k we need (0 handled by omission).
+    let w: Vec<Option<NonTerminal>> = (0..2 * c)
+        .map(|k| if k >= 1 { Some(b.nonterminal(&format!("W{k}"))) } else { None })
+        .collect();
+    if let Some(w1) = w.get(1).copied().flatten() {
+        for &ch in alphabet {
+            b.rule(w1, |r| r.t(ch));
+        }
+        for k in 2..2 * c {
+            let wk = w[k].unwrap();
+            let prev = w[k - 1].unwrap();
+            for &ch in alphabet {
+                b.rule(wk, |r| r.t(ch).n(prev));
+            }
+        }
+    }
+    // For j ∈ S, σ ∈ Σ: Σ^{j-1} σ Σ^{c-1} σ Σ^{c-j}.
+    for &j in s_cols {
+        for &ch in alphabet {
+            b.rule(start, |r| {
+                let r = match w.get(j - 1).copied().flatten() {
+                    Some(nt) => r.n(nt),
+                    None => r,
+                };
+                let r = r.t(ch);
+                let r = match w.get(c - 1).copied().flatten() {
+                    Some(nt) => r.n(nt),
+                    None => r,
+                };
+                let r = r.t(ch);
+                match w.get(c - j).copied().flatten() {
+                    Some(nt) => r.n(nt),
+                    None => r,
+                }
+            });
+        }
+    }
+    ucfg_grammar::analysis::trim(&b.build(start))
+}
+
+/// Direct semantics: does the word (two lines of `c` columns) agree on some
+/// column of `S`?
+pub fn agrees(c: usize, s_cols: &[usize], word: &str) -> bool {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() != 2 * c {
+        return false;
+    }
+    s_cols.iter().any(|&j| chars[j - 1] == chars[j - 1 + c])
+}
+
+/// Enumerate `Agree(c, S, Σ)` by brute force (|Σ|^{2c} scan).
+pub fn agreement_language(c: usize, s_cols: &[usize], alphabet: &[char]) -> Vec<String> {
+    let k = alphabet.len();
+    assert!(k.pow(2 * c as u32) <= 1 << 22, "enumeration too large");
+    let mut out = Vec::new();
+    let total = k.pow(2 * c as u32);
+    for idx in 0..total {
+        let mut x = idx;
+        let mut word = String::with_capacity(2 * c);
+        for _ in 0..2 * c {
+            word.push(alphabet[x % k]);
+            x /= k;
+        }
+        if agrees(c, s_cols, &word) {
+            out.push(word);
+        }
+    }
+    out
+}
+
+/// Generalised scenario: pairs of lines where some column `j ∈ S`
+/// satisfies an arbitrary binary comparison `R(u_j, v_j)` — the paper
+/// notes that the lower bound persists for "other natural comparisons of
+/// the columns, say lexicographic order, similarity measures, and so on".
+///
+/// Size `O(c·|Σ| + |S|·|{(σ,τ) : R}|)`.
+pub fn comparison_grammar(
+    c: usize,
+    s_cols: &[usize],
+    alphabet: &[char],
+    relation: impl Fn(char, char) -> bool,
+) -> Grammar {
+    assert!(c >= 1 && !alphabet.is_empty());
+    assert!(s_cols.iter().all(|&j| (1..=c).contains(&j)));
+    let mut b = GrammarBuilder::new(alphabet);
+    let start = b.nonterminal("Start");
+    let w: Vec<Option<NonTerminal>> = (0..2 * c)
+        .map(|k| if k >= 1 { Some(b.nonterminal(&format!("W{k}"))) } else { None })
+        .collect();
+    if let Some(w1) = w.get(1).copied().flatten() {
+        for &ch in alphabet {
+            b.rule(w1, |r| r.t(ch));
+        }
+        for k in 2..2 * c {
+            let wk = w[k].unwrap();
+            let prev = w[k - 1].unwrap();
+            for &ch in alphabet {
+                b.rule(wk, |r| r.t(ch).n(prev));
+            }
+        }
+    }
+    for &j in s_cols {
+        for &sigma in alphabet {
+            for &tau in alphabet {
+                if !relation(sigma, tau) {
+                    continue;
+                }
+                b.rule(start, |r| {
+                    let r = match w.get(j - 1).copied().flatten() {
+                        Some(nt) => r.n(nt),
+                        None => r,
+                    };
+                    let r = r.t(sigma);
+                    let r = match w.get(c - 1).copied().flatten() {
+                        Some(nt) => r.n(nt),
+                        None => r,
+                    };
+                    let r = r.t(tau);
+                    match w.get(c - j).copied().flatten() {
+                        Some(nt) => r.n(nt),
+                        None => r,
+                    }
+                });
+            }
+        }
+    }
+    ucfg_grammar::analysis::trim(&b.build(start))
+}
+
+/// Direct semantics for the generalised scenario.
+pub fn compares(
+    c: usize,
+    s_cols: &[usize],
+    word: &str,
+    relation: impl Fn(char, char) -> bool,
+) -> bool {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() != 2 * c {
+        return false;
+    }
+    s_cols.iter().any(|&j| relation(chars[j - 1], chars[j - 1 + c]))
+}
+
+/// The reduction `L_n → Agree(n, [n], {a,c,d})`: rename the first line's
+/// `b` to `c` and the second line's `b` to `d`.
+pub fn encode_ln_word(n: usize, w: Word) -> String {
+    let s = words::to_string(n, w);
+    s.chars()
+        .enumerate()
+        .map(|(i, ch)| match (ch, i < n) {
+            ('a', _) => 'a',
+            ('b', true) => 'c',
+            ('b', false) => 'd',
+            _ => unreachable!("L_n words are over {{a,b}}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucfg_core::words::{enumerate_ln, ln_contains};
+    use ucfg_grammar::language::finite_language;
+
+    #[test]
+    fn grammar_matches_semantics() {
+        for (c, s_cols, alphabet) in [
+            (2usize, vec![1usize, 2], vec!['a', 'b']),
+            (2, vec![2], vec!['a', 'b', 'c']),
+            (3, vec![1, 3], vec!['a', 'b']),
+        ] {
+            let g = agreement_grammar(c, &s_cols, &alphabet);
+            let lang = finite_language(&g).unwrap();
+            let expect: std::collections::BTreeSet<String> =
+                agreement_language(c, &s_cols, &alphabet).into_iter().collect();
+            assert_eq!(lang, expect, "c={c} S={s_cols:?} Σ={alphabet:?}");
+        }
+    }
+
+    #[test]
+    fn grammar_size_is_linear_in_s_and_sigma() {
+        let alphabet: Vec<char> = ('a'..='f').collect();
+        let c = 10;
+        let g_small = agreement_grammar(c, &[1], &alphabet);
+        let g_big = agreement_grammar(c, &(1..=10).collect::<Vec<_>>(), &alphabet);
+        // The W-chain dominates; the per-(j,σ) rules add ≤ 5 each.
+        let delta = g_big.size() - g_small.size();
+        assert!(delta <= 9 * alphabet.len() * 5, "delta={delta}");
+    }
+
+    #[test]
+    fn reduction_from_ln() {
+        // Encoded L_n words are exactly the encoded-domain words in Agree.
+        let n = 3;
+        let s_cols: Vec<usize> = (1..=n).collect();
+        for w in 0..(1u64 << (2 * n)) {
+            let enc = encode_ln_word(n, w);
+            assert_eq!(
+                agrees(n, &s_cols, &enc),
+                ln_contains(n, w),
+                "w={w:b} enc={enc}"
+            );
+        }
+        // Sanity: the encoding is injective.
+        let all: std::collections::BTreeSet<String> =
+            (0..(1u64 << (2 * n))).map(|w| encode_ln_word(n, w)).collect();
+        assert_eq!(all.len(), 1 << (2 * n));
+        let _ = enumerate_ln(n);
+    }
+
+    #[test]
+    fn agreement_grammar_is_ambiguous() {
+        // A pair agreeing on two columns has (at least) two derivations.
+        let g = agreement_grammar(2, &[1, 2], &['a', 'b']);
+        match ucfg_grammar::count::decide_unambiguous(&g) {
+            ucfg_grammar::count::UnambiguityVerdict::Ambiguous { degree, .. } => {
+                assert!(degree.to_u64().unwrap() >= 2);
+            }
+            v => panic!("expected ambiguity, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_grammar_generalises_equality() {
+        // Equality as a relation reproduces agreement_grammar's language.
+        let (c, s_cols, alphabet) = (2usize, vec![1usize, 2], vec!['a', 'b']);
+        let eq = comparison_grammar(c, &s_cols, &alphabet, |x, y| x == y);
+        let ag = agreement_grammar(c, &s_cols, &alphabet);
+        assert_eq!(
+            finite_language(&eq).unwrap(),
+            finite_language(&ag).unwrap()
+        );
+    }
+
+    #[test]
+    fn lexicographic_comparison() {
+        // "some column of line 1 is strictly smaller": the paper's
+        // lexicographic-order variant.
+        let (c, s_cols, alphabet) = (2usize, vec![1usize, 2], vec!['a', 'b', 'c']);
+        let g = comparison_grammar(c, &s_cols, &alphabet, |x, y| x < y);
+        let lang = finite_language(&g).unwrap();
+        // Brute-force oracle.
+        let total = alphabet.len().pow(2 * c as u32);
+        let mut expect = std::collections::BTreeSet::new();
+        for idx in 0..total {
+            let mut x = idx;
+            let mut word = String::new();
+            for _ in 0..2 * c {
+                word.push(alphabet[x % alphabet.len()]);
+                x /= alphabet.len();
+            }
+            if compares(c, &s_cols, &word, |a, b| a < b) {
+                expect.insert(word);
+            }
+        }
+        assert_eq!(lang, expect);
+    }
+
+    #[test]
+    fn similarity_comparison_within_distance() {
+        // |σ − τ| ≤ 1 on a digit alphabet — a toy similarity measure.
+        let (c, s_cols, alphabet) = (1usize, vec![1usize], vec!['0', '1', '2', '3']);
+        let close = |x: char, y: char| {
+            (x.to_digit(10).unwrap() as i32 - y.to_digit(10).unwrap() as i32).abs() <= 1
+        };
+        let g = comparison_grammar(c, &s_cols, &alphabet, close);
+        let lang = finite_language(&g).unwrap();
+        assert!(lang.contains("01") && lang.contains("33") && lang.contains("21"));
+        assert!(!lang.contains("03") && !lang.contains("31"));
+    }
+
+    #[test]
+    fn comparison_grammar_size_scales_with_relation() {
+        // Equality has |Σ| pairs per column, ≤ has |Σ|(|Σ|+1)/2.
+        let alphabet: Vec<char> = ('a'..='d').collect();
+        let c = 6;
+        let s: Vec<usize> = (1..=c).collect();
+        let eq = comparison_grammar(c, &s, &alphabet, |x, y| x == y);
+        let le = comparison_grammar(c, &s, &alphabet, |x, y| x <= y);
+        assert!(le.size() > eq.size());
+        assert!(le.size() <= eq.size() * (alphabet.len() + 1) / 2 + 8);
+    }
+
+    #[test]
+    fn degenerate_single_column() {
+        let g = agreement_grammar(1, &[1], &['a', 'b']);
+        let lang = finite_language(&g).unwrap();
+        assert_eq!(
+            lang,
+            ["aa", "bb"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+}

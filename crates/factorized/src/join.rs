@@ -1,0 +1,266 @@
+//! A micro factorised-join engine.
+//!
+//! The motivation the paper inherits from Olteanu & Závodný: query results
+//! can be *factorised* instead of materialised, and the factorised form can
+//! be exponentially smaller. We reproduce the canonical instance — a path
+//! join `R₁(A₀,A₁) ⋈ R₂(A₁,A₂) ⋈ … ⋈ R_k(A_{k-1},A_k)` — building the
+//! d-representation directly from the relations: one shared sub-circuit
+//! per (layer, value), so the size is O(Σ|R_i|) while the materialised
+//! result can have |domain|^Ω(k) tuples.
+//!
+//! Tuples are encoded as words: one character per attribute value
+//! (digits/letters), so join results are finite languages and the circuit
+//! machinery applies unchanged.
+
+use crate::circuit::{Circuit, CircuitBuilder, NodeId};
+use std::collections::{BTreeSet, HashMap};
+use ucfg_grammar::bignum::BigUint;
+
+/// Maximum domain size for the character encoding.
+pub const MAX_DOMAIN: u32 = 36;
+
+/// Encode a value as a character (`0-9a-z`).
+pub fn value_char(v: u32) -> char {
+    assert!(v < MAX_DOMAIN);
+    char::from_digit(v, 36).expect("v < 36")
+}
+
+/// A binary relation: a set of `(left, right)` value pairs.
+#[derive(Debug, Clone, Default)]
+pub struct BinaryRelation {
+    /// The tuples.
+    pub tuples: BTreeSet<(u32, u32)>,
+}
+
+impl BinaryRelation {
+    /// From explicit pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        BinaryRelation { tuples: pairs.into_iter().collect() }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Successors of a left value.
+    pub fn successors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.tuples.iter().filter(move |&&(l, _)| l == v).map(|&(_, r)| r)
+    }
+}
+
+/// Materialise the path join: all `(v₀, …, v_k)` with `(v_{i-1}, v_i) ∈ R_i`,
+/// encoded as words.
+pub fn materialized_path_join(rels: &[BinaryRelation]) -> BTreeSet<String> {
+    let mut tuples: BTreeSet<String> = BTreeSet::new();
+    let firsts: BTreeSet<u32> = rels
+        .first()
+        .map(|r| r.tuples.iter().map(|&(l, _)| l).collect())
+        .unwrap_or_default();
+    let mut stack: Vec<(usize, u32, String)> = firsts
+        .into_iter()
+        .map(|v| (0, v, value_char(v).to_string()))
+        .collect();
+    while let Some((layer, v, word)) = stack.pop() {
+        if layer == rels.len() {
+            tuples.insert(word);
+            continue;
+        }
+        for succ in rels[layer].successors(v) {
+            let mut w = word.clone();
+            w.push(value_char(succ));
+            stack.push((layer + 1, succ, w));
+        }
+    }
+    tuples
+}
+
+/// Number of result tuples of the path join (DP — no materialisation).
+pub fn path_join_count(rels: &[BinaryRelation]) -> BigUint {
+    let firsts: BTreeSet<u32> = rels
+        .first()
+        .map(|r| r.tuples.iter().map(|&(l, _)| l).collect())
+        .unwrap_or_default();
+    // counts[v] = number of paths from value v through remaining layers.
+    let mut counts: HashMap<u32, BigUint> = HashMap::new();
+    if let Some(last) = rels.last() {
+        for &(_, r) in &last.tuples {
+            counts.entry(r).or_insert_with(BigUint::one);
+        }
+    }
+    for rel in rels.iter().rev() {
+        let mut next: HashMap<u32, BigUint> = HashMap::new();
+        for &(l, r) in &rel.tuples {
+            if let Some(c) = counts.get(&r) {
+                let e = next.entry(l).or_insert_with(BigUint::zero);
+                *e += c;
+            }
+        }
+        counts = next;
+    }
+    firsts.iter().filter_map(|v| counts.get(v)).cloned().sum()
+}
+
+/// Build the factorised (d-representation) join result: grouping by the
+/// join values gives one shared node per (layer, value), so the circuit is
+/// linear in the input relations.
+pub fn factorized_path_join(rels: &[BinaryRelation]) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    // node(layer, v) = circuit for "print v, then all completions from
+    // layer". Built from the last layer backwards.
+    let mut current: HashMap<u32, NodeId> = HashMap::new();
+    if let Some(last) = rels.last() {
+        let ends: BTreeSet<u32> = last.tuples.iter().map(|&(_, r)| r).collect();
+        for v in ends {
+            let l = b.letter(value_char(v));
+            current.insert(v, l);
+        }
+    }
+    for rel in rels.iter().rev() {
+        let mut next: HashMap<u32, NodeId> = HashMap::new();
+        let lefts: BTreeSet<u32> = rel.tuples.iter().map(|&(l, _)| l).collect();
+        for v in lefts {
+            let branches: Vec<NodeId> =
+                rel.successors(v).filter_map(|s| current.get(&s).copied()).collect();
+            if branches.is_empty() {
+                continue;
+            }
+            let tail = if branches.len() == 1 { branches[0] } else { b.union(branches) };
+            let head = b.letter(value_char(v));
+            let node = b.product(vec![head, tail]);
+            next.insert(v, node);
+        }
+        current = next;
+    }
+    let mut roots: Vec<NodeId> = current.into_iter().map(|(_, id)| id).collect();
+    roots.sort();
+    let root = if roots.len() == 1 { roots[0] } else { b.union(roots) };
+    b.build(root)
+}
+
+/// Aggregate over the join result without materialising it: the minimum
+/// total tuple weight, where each value `v` contributes `weight(v)` —
+/// the factorised-DB aggregation of [4], as a tropical circuit
+/// evaluation.
+pub fn min_weight_tuple(rels: &[BinaryRelation], weight: impl Fn(u32) -> u64) -> Option<u64> {
+    use ucfg_grammar::weighted::MinPlus;
+    let circ = factorized_path_join(rels);
+    let v: MinPlus = circ.eval(|c| {
+        let val = c.to_digit(36).expect("value chars are base-36 digits");
+        MinPlus(Some(weight(val)))
+    });
+    v.0
+}
+
+/// The canonical exponential-gap instance: `k` layers of the complete
+/// bipartite relation over a domain of size `d`. Materialised size
+/// `d^{k+1}` tuples; factorised size `O(k·d²)`.
+pub fn complete_chain(d: u32, k: usize) -> Vec<BinaryRelation> {
+    let rel =
+        BinaryRelation::from_pairs((0..d).flat_map(|l| (0..d).map(move |r| (l, r))));
+    vec![rel; k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_chain() -> Vec<BinaryRelation> {
+        // R1 = {(0,1),(0,2),(1,2)} ; R2 = {(1,3),(2,3),(2,0)}
+        vec![
+            BinaryRelation::from_pairs([(0, 1), (0, 2), (1, 2)]),
+            BinaryRelation::from_pairs([(1, 3), (2, 3), (2, 0)]),
+        ]
+    }
+
+    #[test]
+    fn factorized_equals_materialized() {
+        let rels = small_chain();
+        let mat = materialized_path_join(&rels);
+        let circ = factorized_path_join(&rels);
+        assert_eq!(circ.language(), mat);
+        // Expected tuples: 013, 023, 020, 123, 120.
+        assert_eq!(mat.len(), 5);
+    }
+
+    #[test]
+    fn counting_without_materialisation() {
+        let rels = small_chain();
+        assert_eq!(path_join_count(&rels).to_u64(), Some(5));
+        let circ = factorized_path_join(&rels);
+        // The grouped circuit is deterministic, so derivation counting is
+        // tuple counting.
+        assert!(circ.is_unambiguous());
+        assert_eq!(circ.count_derivations().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn exponential_gap_on_complete_chains() {
+        let (d, k) = (4u32, 6usize);
+        let rels = complete_chain(d, k);
+        let count = path_join_count(&rels);
+        assert_eq!(count.to_u64(), Some((d as u64).pow(k as u32 + 1))); // 4^7
+        let circ = factorized_path_join(&rels);
+        // Factorised linear in k·d², materialisation d^{k+1}·(k+1) chars.
+        assert!(circ.size() <= 4 * k * (d as usize) * (d as usize));
+        let materialised_chars = count.to_u64().unwrap() as usize * (k + 1);
+        assert!(circ.size() * 100 < materialised_chars, "no gap?");
+        assert_eq!(circ.count_derivations(), count);
+    }
+
+    #[test]
+    fn min_weight_aggregation() {
+        let rels = small_chain();
+        // Tuples: 013, 023, 020, 123, 120. Weight = value itself.
+        // Cheapest: 020 → 0+2+0 = 2.
+        assert_eq!(min_weight_tuple(&rels, |v| v as u64), Some(2));
+        // Weight 3 free, everything else expensive: cheapest is 013 or 123
+        // … weights: w(0)=10, w(1)=10, w(2)=10, w(3)=0: 013 → 20.
+        assert_eq!(
+            min_weight_tuple(&rels, |v| if v == 3 { 0 } else { 10 }),
+            Some(20)
+        );
+        // Empty join aggregates to None (the tropical zero).
+        let empty = vec![
+            BinaryRelation::from_pairs([(0, 1)]),
+            BinaryRelation::from_pairs([(2, 3)]),
+        ];
+        assert_eq!(min_weight_tuple(&empty, |v| v as u64), None);
+    }
+
+    #[test]
+    fn empty_join() {
+        let rels = vec![
+            BinaryRelation::from_pairs([(0, 1)]),
+            BinaryRelation::from_pairs([(2, 3)]), // no join partner
+        ];
+        assert!(materialized_path_join(&rels).is_empty());
+        assert!(path_join_count(&rels).is_zero());
+        let c = factorized_path_join(&rels);
+        assert!(c.language().is_empty());
+    }
+
+    #[test]
+    fn single_relation() {
+        let rels = vec![BinaryRelation::from_pairs([(0, 1), (2, 3)])];
+        let mat = materialized_path_join(&rels);
+        assert_eq!(mat.len(), 2);
+        assert!(mat.contains("01") && mat.contains("23"));
+        assert_eq!(factorized_path_join(&rels).language(), mat);
+    }
+
+    #[test]
+    fn relation_helpers() {
+        let r = BinaryRelation::from_pairs([(1, 2), (1, 3)]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.successors(1).count(), 2);
+        assert_eq!(r.successors(9).count(), 0);
+        assert_eq!(value_char(10), 'a');
+    }
+}

@@ -1,0 +1,300 @@
+//! Ordering and random access on d-representations.
+//!
+//! The factorised-database operations of Bakibayev et al. ("aggregation
+//! and ordering in factorised databases", [4] in the paper): without
+//! materialising the language, compute the lexicographically extreme
+//! words, and random-access the `k`-th word of a *deterministic* circuit
+//! (`rank`/`unrank`). Both are linear-time DPs over the DAG.
+//!
+//! The lexicographic DP requires the circuit to be **length-uniform**
+//! (every node derives words of a single length — true of all fixed-length
+//! languages like `L_n` and of join results): for mixed lengths the
+//! lexicographic minimum of a concatenation does not decompose
+//! componentwise.
+
+use crate::circuit::{Circuit, Node};
+use ucfg_grammar::bignum::BigUint;
+
+/// Per-node word length if the circuit is length-uniform (and every node
+/// non-empty), else `None`.
+pub fn uniform_lengths(c: &Circuit) -> Option<Vec<usize>> {
+    let mut lens: Vec<usize> = Vec::with_capacity(c.node_count());
+    for node in c.nodes() {
+        let l = match node {
+            Node::Epsilon => 0,
+            Node::Letter(_) => 1,
+            Node::Union(cs) => {
+                let mut it = cs.iter().map(|&x| lens[x as usize]);
+                let first = it.next()?;
+                if it.any(|l| l != first) {
+                    return None;
+                }
+                first
+            }
+            Node::Product(cs) => cs.iter().map(|&x| lens[x as usize]).sum(),
+        };
+        lens.push(l);
+    }
+    Some(lens)
+}
+
+/// Per-node derivation counts (shared helper).
+fn counts(c: &Circuit) -> Vec<BigUint> {
+    let mut out: Vec<BigUint> = Vec::with_capacity(c.node_count());
+    for node in c.nodes() {
+        let v = match node {
+            Node::Epsilon | Node::Letter(_) => BigUint::one(),
+            Node::Union(cs) => cs.iter().map(|&x| out[x as usize].clone()).sum(),
+            Node::Product(cs) => {
+                let mut acc = BigUint::one();
+                for &x in cs {
+                    acc = &acc * &out[x as usize];
+                }
+                acc
+            }
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// The lexicographically smallest (`min = true`) or largest word of a
+/// length-uniform circuit, without materialisation. `None` if the circuit
+/// is empty or not length-uniform.
+pub fn lex_extreme(c: &Circuit, min: bool) -> Option<String> {
+    uniform_lengths(c)?;
+    let cnt = counts(c);
+    if cnt[c.root() as usize].is_zero() {
+        return None;
+    }
+    let mut memo: Vec<Option<String>> = Vec::with_capacity(c.node_count());
+    for (i, node) in c.nodes().iter().enumerate() {
+        let w = match node {
+            Node::Epsilon => Some(String::new()),
+            Node::Letter(ch) => Some(ch.to_string()),
+            Node::Union(cs) => {
+                let mut best: Option<String> = None;
+                for &x in cs {
+                    if let Some(cand) = memo[x as usize].clone() {
+                        best = Some(match best {
+                            None => cand,
+                            Some(b) => {
+                                if (cand < b) == min {
+                                    cand
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                }
+                best
+            }
+            Node::Product(cs) => {
+                let mut acc = String::new();
+                let mut ok = true;
+                for &x in cs {
+                    match &memo[x as usize] {
+                        Some(p) => acc.push_str(p),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                ok.then_some(acc)
+            }
+        };
+        let _ = i;
+        memo.push(w);
+    }
+    memo[c.root() as usize].clone()
+}
+
+/// The `idx`-th word of the circuit in canonical derivation order (union
+/// branches in order, products in mixed radix with the last factor fastest).
+/// For a deterministic circuit this enumerates each word exactly once —
+/// random access into the represented set.
+pub fn unrank(c: &Circuit, idx: &BigUint) -> Option<String> {
+    let cnt = counts(c);
+    if idx >= &cnt[c.root() as usize] {
+        return None;
+    }
+    let mut out = String::new();
+    unrank_at(c, &cnt, c.root() as usize, idx.clone(), &mut out);
+    Some(out)
+}
+
+fn unrank_at(c: &Circuit, cnt: &[BigUint], node: usize, mut idx: BigUint, out: &mut String) {
+    match &c.nodes()[node] {
+        Node::Epsilon => {}
+        Node::Letter(ch) => out.push(*ch),
+        Node::Union(cs) => {
+            for &x in cs {
+                let k = &cnt[x as usize];
+                if &idx < k {
+                    unrank_at(c, cnt, x as usize, idx, out);
+                    return;
+                }
+                idx = idx.checked_sub(k).expect("idx >= k");
+            }
+            unreachable!("idx < node count");
+        }
+        Node::Product(cs) => {
+            // Mixed radix, last factor fastest: idx = ((i₀·k₁ + i₁)·k₂ + …).
+            let mut indices = vec![BigUint::zero(); cs.len()];
+            for (pos, &x) in cs.iter().enumerate().rev() {
+                let k = &cnt[x as usize];
+                let (q, r) = idx.div_rem(k);
+                indices[pos] = r;
+                idx = q;
+            }
+            for (pos, &x) in cs.iter().enumerate() {
+                unrank_at(c, cnt, x as usize, indices[pos].clone(), out);
+            }
+        }
+    }
+}
+
+/// The rank of `word` in the canonical order of a **deterministic,
+/// length-uniform** circuit (`None` if the word is not in the language or
+/// the circuit is not length-uniform).
+pub fn rank(c: &Circuit, word: &str) -> Option<BigUint> {
+    let lens = uniform_lengths(c)?;
+    let cnt = counts(c);
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() != lens[c.root() as usize] {
+        return None;
+    }
+    rank_at(c, &cnt, &lens, c.root() as usize, &chars)
+}
+
+fn rank_at(
+    c: &Circuit,
+    cnt: &[BigUint],
+    lens: &[usize],
+    node: usize,
+    word: &[char],
+) -> Option<BigUint> {
+    match &c.nodes()[node] {
+        Node::Epsilon => word.is_empty().then(BigUint::zero),
+        Node::Letter(ch) => (word == [*ch]).then(BigUint::zero),
+        Node::Union(cs) => {
+            let mut offset = BigUint::zero();
+            for &x in cs {
+                if let Some(r) = rank_at(c, cnt, lens, x as usize, word) {
+                    return Some(&offset + &r);
+                }
+                offset += &cnt[x as usize];
+            }
+            None
+        }
+        Node::Product(cs) => {
+            let mut acc = BigUint::zero();
+            let mut pos = 0usize;
+            for &x in cs {
+                let l = lens[x as usize];
+                let sub = &word[pos..pos + l];
+                let r = rank_at(c, cnt, lens, x as usize, sub)?;
+                acc = &(&acc * &cnt[x as usize]) + &r;
+                pos += l;
+            }
+            debug_assert_eq!(pos, word.len());
+            Some(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::grammar_to_circuit;
+    use crate::join::{complete_chain, factorized_path_join};
+    use ucfg_core::ln_grammars::example4_ucfg;
+    use std::collections::BTreeSet;
+
+    fn ln_circuit(n: usize) -> Circuit {
+        grammar_to_circuit(&example4_ucfg(n)).unwrap()
+    }
+
+    #[test]
+    fn uniform_lengths_of_ln_circuit() {
+        let c = ln_circuit(3);
+        let lens = uniform_lengths(&c).expect("L_n is fixed-length");
+        assert_eq!(lens[c.root() as usize], 6);
+    }
+
+    #[test]
+    fn lex_extremes_match_materialisation() {
+        for n in 2..=4usize {
+            let c = ln_circuit(n);
+            let lang = c.language();
+            assert_eq!(lex_extreme(&c, true).as_deref(), lang.iter().next().map(|s| s.as_str()));
+            assert_eq!(
+                lex_extreme(&c, false).as_deref(),
+                lang.iter().next_back().map(|s| s.as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn unrank_enumerates_deterministic_circuit_exactly() {
+        let n = 3;
+        let c = ln_circuit(n);
+        assert!(c.is_unambiguous());
+        let total = c.count_derivations().to_u64().unwrap();
+        let mut seen = BTreeSet::new();
+        for i in 0..total {
+            let w = unrank(&c, &BigUint::from_u64(i)).unwrap();
+            assert!(seen.insert(w), "duplicate at {i}");
+        }
+        assert_eq!(seen, c.language());
+        assert!(unrank(&c, &BigUint::from_u64(total)).is_none());
+    }
+
+    #[test]
+    fn rank_is_inverse_of_unrank() {
+        let c = ln_circuit(3);
+        let total = c.count_derivations().to_u64().unwrap();
+        for i in (0..total).step_by(7) {
+            let idx = BigUint::from_u64(i);
+            let w = unrank(&c, &idx).unwrap();
+            assert_eq!(rank(&c, &w), Some(idx), "word {w}");
+        }
+        assert_eq!(rank(&c, "bbbbbb"), None); // not in L_3
+        assert_eq!(rank(&c, "aa"), None); // wrong length
+    }
+
+    #[test]
+    fn join_circuits_are_orderable() {
+        let rels = complete_chain(3, 4);
+        let c = factorized_path_join(&rels);
+        let lens = uniform_lengths(&c).unwrap();
+        assert_eq!(lens[c.root() as usize], 5);
+        let lang = c.language();
+        assert_eq!(lex_extreme(&c, true), lang.iter().next().cloned());
+        assert_eq!(lex_extreme(&c, false), lang.iter().next_back().cloned());
+        // Random access agrees with enumeration order being a bijection.
+        let total = c.count_derivations().to_u64().unwrap();
+        let w0 = unrank(&c, &BigUint::zero()).unwrap();
+        assert!(lang.contains(&w0));
+        let wl = unrank(&c, &BigUint::from_u64(total - 1)).unwrap();
+        assert!(lang.contains(&wl));
+    }
+
+    #[test]
+    fn non_uniform_circuit_rejected_for_ordering() {
+        use crate::circuit::CircuitBuilder;
+        let mut b = CircuitBuilder::new();
+        let e = b.epsilon();
+        let a = b.letter('a');
+        let u = b.union(vec![e, a]); // lengths 0 and 1 → not uniform
+        let c = b.build(u);
+        assert!(uniform_lengths(&c).is_none());
+        assert!(lex_extreme(&c, true).is_none());
+        assert!(rank(&c, "a").is_none());
+        // unrank still works (derivation order needs no lengths).
+        assert_eq!(unrank(&c, &BigUint::zero()).as_deref(), Some(""));
+        assert_eq!(unrank(&c, &BigUint::one()).as_deref(), Some("a"));
+    }
+}

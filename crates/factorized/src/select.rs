@@ -1,0 +1,264 @@
+//! Selection and projection on d-representations — structural query
+//! operators that work directly on the factorised form (no
+//! materialisation), for length-uniform circuits.
+//!
+//! * [`select_position`] — `σ_{pos = ch}`: keep exactly the words whose
+//!   `pos`-th character is `ch`. Size never grows; determinism is
+//!   preserved (a subset of a deterministic union stays deterministic).
+//! * [`project_out`] — `π_{-pos}`: delete position `pos` from every word.
+//!   Size never grows, but distinct words may collapse, so determinism can
+//!   break — the factorised analogue of duplicate handling after
+//!   projection in databases.
+//!
+//! ```
+//! use ucfg_factorized::join::{complete_chain, factorized_path_join};
+//! use ucfg_factorized::select::{project_out, select_position};
+//!
+//! let circuit = factorized_path_join(&complete_chain(3, 2)); // 3³ tuples
+//! let sel = select_position(&circuit, 1, '2').unwrap();      // middle = 2
+//! assert_eq!(sel.count_derivations().to_u64(), Some(9));
+//! let proj = project_out(&circuit, 1).unwrap();              // drop the middle
+//! assert_eq!(proj.count_words(), 9);
+//! ```
+
+use crate::circuit::{Circuit, CircuitBuilder, Node, NodeId};
+use crate::ordering::uniform_lengths;
+
+/// Rebuild the circuit keeping only words with `ch` at 0-based `pos`.
+/// Returns `None` if the circuit is not length-uniform or `pos` is out of
+/// range.
+pub fn select_position(c: &Circuit, pos: usize, ch: char) -> Option<Circuit> {
+    transform(c, pos, Op::Select(ch))
+}
+
+/// Rebuild the circuit with position `pos` deleted from every word.
+/// Returns `None` if the circuit is not length-uniform or `pos` is out of
+/// range.
+pub fn project_out(c: &Circuit, pos: usize) -> Option<Circuit> {
+    transform(c, pos, Op::Project)
+}
+
+#[derive(Clone, Copy)]
+enum Op {
+    Select(char),
+    Project,
+}
+
+fn transform(c: &Circuit, pos: usize, op: Op) -> Option<Circuit> {
+    let lens = uniform_lengths(c)?;
+    if pos >= lens[c.root() as usize] {
+        return None;
+    }
+    let mut b = CircuitBuilder::new();
+    // memo[(node, offset)] = rebuilt node containing the target at
+    // `offset` within this node's span (None = empty language).
+    let mut memo: std::collections::HashMap<(NodeId, usize), Option<NodeId>> =
+        std::collections::HashMap::new();
+    // untouched[node] = copy of the node without modification.
+    let mut untouched: std::collections::HashMap<NodeId, NodeId> =
+        std::collections::HashMap::new();
+    // An empty rebuild is a legitimate result (the selection filtered
+    // everything out), represented by an empty union.
+    let root = rebuild(c, &lens, c.root(), pos, op, &mut b, &mut memo, &mut untouched)
+        .unwrap_or_else(|| b.union(Vec::new()));
+    Some(b.build(root))
+}
+
+/// Copy a node (and its cone) verbatim into the builder.
+fn copy(
+    c: &Circuit,
+    node: NodeId,
+    b: &mut CircuitBuilder,
+    untouched: &mut std::collections::HashMap<NodeId, NodeId>,
+) -> NodeId {
+    if let Some(&id) = untouched.get(&node) {
+        return id;
+    }
+    let id = match &c.nodes()[node as usize] {
+        Node::Epsilon => b.epsilon(),
+        Node::Letter(ch) => b.letter(*ch),
+        Node::Union(cs) => {
+            let kids: Vec<NodeId> = cs.iter().map(|&x| copy(c, x, b, untouched)).collect();
+            b.union(kids)
+        }
+        Node::Product(cs) => {
+            let kids: Vec<NodeId> = cs.iter().map(|&x| copy(c, x, b, untouched)).collect();
+            b.product(kids)
+        }
+    };
+    untouched.insert(node, id);
+    id
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rebuild(
+    c: &Circuit,
+    lens: &[usize],
+    node: NodeId,
+    offset: usize,
+    op: Op,
+    b: &mut CircuitBuilder,
+    memo: &mut std::collections::HashMap<(NodeId, usize), Option<NodeId>>,
+    untouched: &mut std::collections::HashMap<NodeId, NodeId>,
+) -> Option<NodeId> {
+    if let Some(&r) = memo.get(&(node, offset)) {
+        return r;
+    }
+    let result = match &c.nodes()[node as usize] {
+        Node::Epsilon => None, // the target position cannot fall in ε
+        Node::Letter(ch) => {
+            debug_assert_eq!(offset, 0);
+            match op {
+                Op::Select(want) => (*ch == want).then(|| b.letter(*ch)),
+                Op::Project => Some(b.epsilon()),
+            }
+        }
+        Node::Union(cs) => {
+            let kids: Vec<NodeId> = cs
+                .iter()
+                .filter_map(|&x| rebuild(c, lens, x, offset, op, b, memo, untouched))
+                .collect();
+            if kids.is_empty() {
+                None
+            } else if kids.len() == 1 {
+                Some(kids[0])
+            } else {
+                Some(b.union(kids))
+            }
+        }
+        Node::Product(cs) => {
+            // Locate which factor contains the target offset.
+            let mut at = offset;
+            let mut factors: Vec<NodeId> = Vec::with_capacity(cs.len());
+            let mut ok = true;
+            let mut placed = false;
+            for &x in cs {
+                let l = lens[x as usize];
+                if !placed && at < l {
+                    match rebuild(c, lens, x, at, op, b, memo, untouched) {
+                        Some(id) => factors.push(id),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    placed = true;
+                } else {
+                    if !placed {
+                        at -= l;
+                    }
+                    factors.push(copy(c, x, b, untouched));
+                }
+            }
+            (ok && placed).then(|| b.product(factors))
+        }
+    };
+    memo.insert((node, offset), result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::grammar_to_circuit;
+    use std::collections::BTreeSet;
+    use ucfg_core::ln_grammars::example4_ucfg;
+
+    fn ln_circuit(n: usize) -> Circuit {
+        grammar_to_circuit(&example4_ucfg(n)).unwrap()
+    }
+
+    #[test]
+    fn selection_matches_materialised_filter() {
+        let n = 3;
+        let c = ln_circuit(n);
+        let lang = c.language();
+        for pos in 0..2 * n {
+            for ch in ['a', 'b'] {
+                let sel = select_position(&c, pos, ch).unwrap();
+                let expect: BTreeSet<String> = lang
+                    .iter()
+                    .filter(|w| w.chars().nth(pos) == Some(ch))
+                    .cloned()
+                    .collect();
+                assert_eq!(sel.language(), expect, "pos={pos} ch={ch}");
+                // Determinism preserved, size never grows (beyond the copy).
+                assert!(sel.is_unambiguous(), "pos={pos} ch={ch}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_count_without_materialisation() {
+        // σ_{pos 0 = a} on L_3: closed form = 4^2·1… easier: brute force.
+        let n = 3;
+        let c = ln_circuit(n);
+        let sel = select_position(&c, 0, 'a').unwrap();
+        let brute = (0..(1u64 << (2 * n)))
+            .filter(|&w| ucfg_core::words::ln_contains(n, w) && w & 1 == 1)
+            .count() as u64;
+        assert_eq!(sel.count_derivations().to_u64(), Some(brute));
+    }
+
+    #[test]
+    fn projection_deletes_the_position() {
+        let n = 2;
+        let c = ln_circuit(n);
+        let lang = c.language();
+        for pos in 0..2 * n {
+            let proj = project_out(&c, pos).unwrap();
+            let expect: BTreeSet<String> = lang
+                .iter()
+                .map(|w| {
+                    w.chars()
+                        .enumerate()
+                        .filter(|&(i, _)| i != pos)
+                        .map(|(_, c)| c)
+                        .collect()
+                })
+                .collect();
+            assert_eq!(proj.language(), expect, "pos={pos}");
+        }
+    }
+
+    #[test]
+    fn projection_can_break_determinism() {
+        // Projecting out a distinguishing position merges words, so the
+        // deterministic circuit may become ambiguous — the duplicate
+        // problem of projection.
+        let n = 2;
+        let c = ln_circuit(n);
+        assert!(c.is_unambiguous());
+        let proj = project_out(&c, 3).unwrap();
+        let words = proj.count_words() as u64;
+        let derivs = proj.count_derivations().to_u64().unwrap();
+        assert!(derivs >= words);
+        assert!(derivs > words, "L_2 projection does collapse words");
+    }
+
+    #[test]
+    fn out_of_range_and_non_uniform_rejected() {
+        let c = ln_circuit(2);
+        assert!(select_position(&c, 4, 'a').is_none());
+        assert!(project_out(&c, 99).is_none());
+
+        let mut b = CircuitBuilder::new();
+        let e = b.epsilon();
+        let a = b.letter('a');
+        let u = b.union(vec![e, a]);
+        let mixed = b.build(u);
+        assert!(select_position(&mixed, 0, 'a').is_none());
+    }
+
+    #[test]
+    fn chained_selections() {
+        // σ then σ composes: fix positions 0 and n to 'a' → witnessing
+        // pair forced → all remaining positions free.
+        let n = 3;
+        let c = ln_circuit(n);
+        let s1 = select_position(&c, 0, 'a').unwrap();
+        let s2 = select_position(&s1, n, 'a').unwrap();
+        assert_eq!(s2.count_words(), 1 << (2 * n - 2));
+        assert!(s2.is_unambiguous());
+    }
+}

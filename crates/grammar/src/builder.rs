@@ -1,0 +1,192 @@
+//! Ergonomic, name-based grammar construction.
+//!
+//! The paper's grammars are all defined by families of named non-terminals
+//! (`A_i`, `B_i`, `C_v`, …); [`GrammarBuilder`] lets construction code read
+//! like the paper: intern a name once, then add rules with a small
+//! rhs-building closure.
+
+use crate::cfg::{Grammar, Rule};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use std::collections::HashMap;
+
+/// Incremental builder for [`Grammar`].
+pub struct GrammarBuilder {
+    alphabet: Vec<char>,
+    terminal_ids: HashMap<char, Terminal>,
+    names: Vec<String>,
+    ids: HashMap<String, NonTerminal>,
+    rules: Vec<Rule>,
+}
+
+/// Builds one rule body; obtained from [`GrammarBuilder::rule`].
+pub struct RhsBuilder<'a> {
+    builder: &'a GrammarBuilder,
+    symbols: Vec<Symbol>,
+}
+
+impl<'a> RhsBuilder<'a> {
+    /// Append a terminal by character. Panics if not in the alphabet.
+    pub fn t(mut self, c: char) -> Self {
+        let t = *self
+            .builder
+            .terminal_ids
+            .get(&c)
+            .unwrap_or_else(|| panic!("terminal {c:?} not in alphabet"));
+        self.symbols.push(Symbol::T(t));
+        self
+    }
+
+    /// Append every character of `s` as a terminal.
+    pub fn ts(mut self, s: &str) -> Self {
+        for c in s.chars() {
+            self = self.t(c);
+        }
+        self
+    }
+
+    /// Append a non-terminal.
+    pub fn n(mut self, nt: NonTerminal) -> Self {
+        self.symbols.push(Symbol::N(nt));
+        self
+    }
+
+    /// Append an arbitrary symbol.
+    pub fn sym(mut self, s: Symbol) -> Self {
+        self.symbols.push(s);
+        self
+    }
+
+    /// Append a sequence of symbols.
+    pub fn syms(mut self, ss: &[Symbol]) -> Self {
+        self.symbols.extend_from_slice(ss);
+        self
+    }
+}
+
+impl GrammarBuilder {
+    /// Start a builder over the given alphabet (order defines terminal ids).
+    pub fn new(alphabet: &[char]) -> Self {
+        let terminal_ids = alphabet
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, Terminal(i as u16)))
+            .collect();
+        GrammarBuilder {
+            alphabet: alphabet.to_vec(),
+            terminal_ids,
+            names: Vec::new(),
+            ids: HashMap::new(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Intern a non-terminal by name (idempotent).
+    pub fn nonterminal(&mut self, name: &str) -> NonTerminal {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = NonTerminal(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The terminal id of a character. Panics if not in the alphabet.
+    pub fn terminal(&self, c: char) -> Terminal {
+        *self
+            .terminal_ids
+            .get(&c)
+            .unwrap_or_else(|| panic!("terminal {c:?} not in alphabet"))
+    }
+
+    /// Add the rule `lhs → <body built by f>`.
+    pub fn rule(&mut self, lhs: NonTerminal, f: impl FnOnce(RhsBuilder) -> RhsBuilder) {
+        let rhs = f(RhsBuilder { builder: self, symbols: Vec::new() }).symbols;
+        self.rules.push(Rule { lhs, rhs });
+    }
+
+    /// Add the ε-rule `lhs → ε`.
+    pub fn epsilon_rule(&mut self, lhs: NonTerminal) {
+        self.rules.push(Rule { lhs, rhs: Vec::new() });
+    }
+
+    /// Add a rule with a pre-built body.
+    pub fn raw_rule(&mut self, lhs: NonTerminal, rhs: Vec<Symbol>) {
+        self.rules.push(Rule { lhs, rhs });
+    }
+
+    /// Number of rules added so far.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Finish, designating `start`.
+    pub fn build(self, start: NonTerminal) -> Grammar {
+        let g = Grammar::from_parts(self.alphabet, self.names, self.rules, start);
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_example3_shape() {
+        // The Example 3 grammar for n = 1: start A_1.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let a1 = b.nonterminal("A1");
+        let a0 = b.nonterminal("A0");
+        let b1 = b.nonterminal("B1");
+        let b0 = b.nonterminal("B0");
+        b.rule(a1, |r| r.n(b0).n(a0));
+        b.rule(a1, |r| r.n(a0).n(b0));
+        b.rule(a0, |r| r.n(b0).t('a').n(b1).t('a'));
+        b.rule(a0, |r| r.t('a').n(b1).t('a').n(b0));
+        b.rule(b1, |r| r.n(b0).n(b0));
+        b.rule(b0, |r| r.t('a'));
+        b.rule(b0, |r| r.t('b'));
+        let g = b.build(a1);
+        assert_eq!(g.size(), 2 + 2 + 4 + 4 + 2 + 1 + 1);
+        assert_eq!(g.nonterminal_count(), 4);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let x = b.nonterminal("X");
+        let y = b.nonterminal("X");
+        assert_eq!(x, y);
+        assert_eq!(b.nonterminal("Y"), NonTerminal(1));
+    }
+
+    #[test]
+    fn ts_appends_each_char() {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.ts("abba"));
+        let g = b.build(s);
+        assert_eq!(g.rules()[0].rhs.len(), 4);
+        assert_eq!(g.size(), 4);
+    }
+
+    #[test]
+    fn epsilon_rule_has_size_zero() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.epsilon_rule(s);
+        let g = b.build(s);
+        assert_eq!(g.size(), 0);
+        assert_eq!(g.rule_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in alphabet")]
+    fn unknown_terminal_panics() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('z'));
+    }
+}

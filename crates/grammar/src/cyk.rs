@@ -1,0 +1,304 @@
+//! CYK parsing over Chomsky normal form.
+//!
+//! The chart stores, for every span `(i, len)`, the bitset of non-terminals
+//! deriving that span. On top of the boolean chart we provide exact
+//! parse-tree **counting** (the ambiguity degree of a word — the quantity
+//! whose `= 1` everywhere defines a uCFG) and bounded tree enumeration.
+
+use crate::bignum::BigUint;
+use crate::normal_form::CnfGrammar;
+use crate::parse_tree::{Child, ParseTree};
+use crate::symbol::{NonTerminal, Terminal};
+use std::collections::HashMap;
+
+/// A filled CYK chart for one word.
+pub struct CykChart<'g> {
+    g: &'g CnfGrammar,
+    word: Vec<Terminal>,
+    /// `cells[(len-1) * n + i]` = bitset of non-terminals deriving
+    /// `word[i .. i+len]`.
+    cells: Vec<Vec<u64>>,
+    words_per_set: usize,
+}
+
+impl<'g> CykChart<'g> {
+    /// Parse `word` with the classic O(n³·|R|) CYK loop.
+    pub fn build(g: &'g CnfGrammar, word: &[Terminal]) -> Self {
+        let n = word.len();
+        let nts = g.nonterminal_count();
+        let words_per_set = nts.div_ceil(64);
+        let mut cells = vec![vec![0u64; words_per_set]; n * n.max(1)];
+        let idx = |i: usize, len: usize| (len - 1) * n + i;
+        // Length 1: terminal rules.
+        for (i, &t) in word.iter().enumerate() {
+            for &(a, tt) in g.term_rules() {
+                if tt == t {
+                    cells[idx(i, 1)][a.index() / 64] |= 1u64 << (a.index() % 64);
+                }
+            }
+        }
+        // Longer spans.
+        for len in 2..=n {
+            for i in 0..=n - len {
+                for split in 1..len {
+                    let (li, ri) = (idx(i, split), idx(i + split, len - split));
+                    for &(a, b, c) in g.bin_rules() {
+                        let bset = cells[li][b.index() / 64] >> (b.index() % 64) & 1;
+                        let cset = cells[ri][c.index() / 64] >> (c.index() % 64) & 1;
+                        if bset & cset == 1 {
+                            cells[idx(i, len)][a.index() / 64] |= 1u64 << (a.index() % 64);
+                        }
+                    }
+                }
+            }
+        }
+        CykChart { g, word: word.to_vec(), cells, words_per_set }
+    }
+
+    fn cell(&self, i: usize, len: usize) -> &[u64] {
+        &self.cells[(len - 1) * self.word.len() + i]
+    }
+
+    /// Does non-terminal `a` derive `word[i .. i+len]`?
+    pub fn derives(&self, a: NonTerminal, i: usize, len: usize) -> bool {
+        if len == 0 || i + len > self.word.len() {
+            return false;
+        }
+        self.cell(i, len)[a.index() / 64] >> (a.index() % 64) & 1 == 1
+    }
+
+    /// All non-terminals deriving `word[i .. i+len]`.
+    pub fn nonterminals_at(&self, i: usize, len: usize) -> Vec<NonTerminal> {
+        let mut out = Vec::new();
+        if len == 0 || i + len > self.word.len() {
+            return out;
+        }
+        let cell = self.cell(i, len);
+        for w in 0..self.words_per_set {
+            let mut bits = cell[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(NonTerminal((w * 64 + b) as u32));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Is the whole word accepted?
+    pub fn accepted(&self) -> bool {
+        if self.word.is_empty() {
+            return self.g.accepts_epsilon();
+        }
+        self.derives(self.g.start(), 0, self.word.len())
+    }
+
+    /// Exact number of parse trees of the whole word from the start symbol.
+    pub fn count_trees(&self) -> BigUint {
+        if self.word.is_empty() {
+            return if self.g.accepts_epsilon() { BigUint::one() } else { BigUint::zero() };
+        }
+        let mut memo: HashMap<(u32, usize, usize), BigUint> = HashMap::new();
+        self.count_at(self.g.start(), 0, self.word.len(), &mut memo)
+    }
+
+    fn count_at(
+        &self,
+        a: NonTerminal,
+        i: usize,
+        len: usize,
+        memo: &mut HashMap<(u32, usize, usize), BigUint>,
+    ) -> BigUint {
+        if !self.derives(a, i, len) {
+            return BigUint::zero();
+        }
+        if len == 1 {
+            let hits = self.g.terms_of(a).iter().filter(|&&t| t == self.word[i]).count();
+            return BigUint::from_u64(hits as u64);
+        }
+        if let Some(c) = memo.get(&(a.0, i, len)) {
+            return c.clone();
+        }
+        let mut total = BigUint::zero();
+        for &(b, c) in self.g.bins_of(a) {
+            for split in 1..len {
+                if self.derives(b, i, split) && self.derives(c, i + split, len - split) {
+                    let lb = self.count_at(b, i, split, memo);
+                    if lb.is_zero() {
+                        continue;
+                    }
+                    let rc = self.count_at(c, i + split, len - split, memo);
+                    total += &(&lb * &rc);
+                }
+            }
+        }
+        memo.insert((a.0, i, len), total.clone());
+        total
+    }
+
+    /// Enumerate up to `limit` parse trees of the whole word.
+    pub fn trees(&self, limit: usize) -> Vec<ParseTree> {
+        if self.word.is_empty() || limit == 0 {
+            return Vec::new();
+        }
+        self.trees_at(self.g.start(), 0, self.word.len(), limit)
+    }
+
+    fn trees_at(&self, a: NonTerminal, i: usize, len: usize, limit: usize) -> Vec<ParseTree> {
+        let mut out = Vec::new();
+        if !self.derives(a, i, len) {
+            return out;
+        }
+        if len == 1 {
+            for &t in self.g.terms_of(a) {
+                if t == self.word[i] {
+                    out.push(ParseTree { nt: a, children: vec![Child::Leaf(t)] });
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            return out;
+        }
+        'rules: for &(b, c) in self.g.bins_of(a) {
+            for split in 1..len {
+                if !(self.derives(b, i, split) && self.derives(c, i + split, len - split)) {
+                    continue;
+                }
+                let lefts = self.trees_at(b, i, split, limit);
+                for lt in &lefts {
+                    let rights = self.trees_at(c, i + split, len - split, limit);
+                    for rt in rights {
+                        out.push(ParseTree {
+                            nt: a,
+                            children: vec![Child::Tree(lt.clone()), Child::Tree(rt)],
+                        });
+                        if out.len() >= limit {
+                            break 'rules;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: is `word ∈ L(G)`?
+pub fn recognize(g: &CnfGrammar, word: &[Terminal]) -> bool {
+    CykChart::build(g, word).accepted()
+}
+
+/// Convenience: the ambiguity degree (number of parse trees) of `word`.
+pub fn ambiguity_of(g: &CnfGrammar, word: &[Terminal]) -> BigUint {
+    CykChart::build(g, word).count_trees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+    use crate::cfg::Grammar;
+    use crate::normal_form::CnfGrammar;
+
+    /// Balanced parentheses-ish: S → S S | a  (Catalan ambiguity).
+    fn catalan() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.n(s).n(s));
+        b.rule(s, |r| r.t('a'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    fn pairs() -> (Grammar, CnfGrammar) {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        let g = b.build(s);
+        let cnf = CnfGrammar::from_grammar(&g);
+        (g, cnf)
+    }
+
+    #[test]
+    fn recognizes_fixed_length_words() {
+        let (_, cnf) = pairs();
+        for w in ["aa", "ab", "ba", "bb"] {
+            assert!(recognize(&cnf, &cnf.encode(w).unwrap()), "{w}");
+        }
+        assert!(!recognize(&cnf, &cnf.encode("a").unwrap()));
+        assert!(!recognize(&cnf, &cnf.encode("aba").unwrap()));
+    }
+
+    #[test]
+    fn empty_word_follows_epsilon_flag() {
+        let (_, cnf) = pairs();
+        assert!(!recognize(&cnf, &[]));
+    }
+
+    #[test]
+    fn catalan_tree_counts() {
+        // #trees of a^k under S→SS|a is the Catalan number C_{k-1}:
+        // 1, 1, 2, 5, 14, 42, ...
+        let g = catalan();
+        let expected = [1u64, 1, 2, 5, 14, 42, 132];
+        for (k, &e) in (1..=7).zip(expected.iter()) {
+            let w = vec![Terminal(0); k];
+            assert_eq!(ambiguity_of(&g, &w).to_u64(), Some(e), "k={k}");
+        }
+    }
+
+    #[test]
+    fn tree_enumeration_matches_count_for_small_words() {
+        let g = catalan();
+        let w = vec![Terminal(0); 4];
+        let trees = CykChart::build(&g, &w).trees(100);
+        assert_eq!(trees.len(), 5);
+        // All distinct and all valid with the right yield.
+        let gg = g.to_grammar();
+        for (i, t) in trees.iter().enumerate() {
+            assert!(t.is_valid(&gg));
+            assert_eq!(t.yield_terminals(), w);
+            for u in &trees[i + 1..] {
+                assert_ne!(t, u);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_limit_respected() {
+        let g = catalan();
+        let w = vec![Terminal(0); 5];
+        assert_eq!(CykChart::build(&g, &w).trees(3).len(), 3);
+    }
+
+    #[test]
+    fn chart_introspection() {
+        let (_, cnf) = pairs();
+        let w = cnf.encode("ab").unwrap();
+        let chart = CykChart::build(&cnf, &w);
+        assert!(chart.accepted());
+        assert!(chart.derives(cnf.start(), 0, 2));
+        assert!(!chart.derives(cnf.start(), 0, 1));
+        let at0 = chart.nonterminals_at(0, 1);
+        assert!(!at0.is_empty());
+        assert!(chart.nonterminals_at(0, 3).is_empty()); // out of range
+    }
+
+    #[test]
+    fn cyk_agrees_with_fixed_len_parser() {
+        use crate::parse_tree::FixedLenParser;
+        let (g, cnf) = pairs();
+        let p = FixedLenParser::new(&g).unwrap();
+        for w in ["aa", "ab", "ba", "bb"] {
+            let wg = g.encode(w).unwrap();
+            assert_eq!(
+                p.count_trees(&wg),
+                ambiguity_of(&cnf, &cnf.encode(w).unwrap()),
+                "{w}"
+            );
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Derivations as first-class objects (Definition 2's `⇒` and `⇒*`).
+//!
+//! A [`Derivation`] is the sequence of sentential forms of a *leftmost*
+//! derivation. Leftmost derivations biject with parse trees, so the
+//! paper's "unique parse tree" and "unique derivation" formulations of
+//! unambiguity coincide — this module makes that bijection executable in
+//! both directions.
+
+use crate::cfg::Grammar;
+use crate::parse_tree::{Child, ParseTree};
+use crate::symbol::{Symbol, Terminal};
+
+/// One step of a leftmost derivation: which rule was applied (index into a
+/// canonical rule list of the expanded non-terminal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The sentential form *before* the step.
+    pub form: Vec<Symbol>,
+    /// Position (in `form`) of the expanded non-terminal — always the
+    /// leftmost non-terminal.
+    pub at: usize,
+    /// Index of the applied rule in `Grammar::rules()`.
+    pub rule: usize,
+}
+
+/// A complete leftmost derivation `S ⇒ … ⇒ w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derivation {
+    /// The steps, in order; the final sentential form (all terminals) is
+    /// [`Derivation::result`].
+    pub steps: Vec<Step>,
+    /// The derived terminal word.
+    pub result: Vec<Terminal>,
+}
+
+impl Derivation {
+    /// All sentential forms, from `[S]` to the terminal word.
+    pub fn forms(&self) -> Vec<Vec<Symbol>> {
+        let mut out: Vec<Vec<Symbol>> =
+            self.steps.iter().map(|s| s.form.clone()).collect();
+        out.push(self.result.iter().map(|&t| Symbol::T(t)).collect());
+        out
+    }
+
+    /// Render as `S ⇒ … ⇒ w` (one form per line).
+    pub fn render(&self, g: &Grammar) -> String {
+        self.forms()
+            .iter()
+            .map(|form| {
+                form.iter().map(|&s| g.symbol_str(s)).collect::<Vec<_>>().join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n⇒ ")
+    }
+
+    /// Length (number of rule applications).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff no steps (impossible for a produced derivation — kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Extract the leftmost derivation encoded by a parse tree.
+pub fn leftmost_derivation(g: &Grammar, tree: &ParseTree) -> Derivation {
+    // Pre-order walk: expanding the leftmost non-terminal of the current
+    // sentential form corresponds exactly to visiting nodes pre-order.
+    let mut steps = Vec::new();
+    let mut form: Vec<Symbol> = vec![Symbol::N(tree.nt)];
+    expand(g, tree, &mut form, &mut steps);
+    let result = tree.yield_terminals();
+    debug_assert_eq!(
+        form,
+        result.iter().map(|&t| Symbol::T(t)).collect::<Vec<_>>(),
+        "derivation must end in the yield"
+    );
+    Derivation { steps, result }
+}
+
+fn expand(g: &Grammar, tree: &ParseTree, form: &mut Vec<Symbol>, steps: &mut Vec<Step>) {
+    // The leftmost non-terminal of `form` is this tree's root.
+    let at = form
+        .iter()
+        .position(|s| matches!(s, Symbol::N(_)))
+        .expect("tree root present in form");
+    debug_assert_eq!(form[at], Symbol::N(tree.nt));
+    let body: Vec<Symbol> = tree
+        .children
+        .iter()
+        .map(|c| match c {
+            Child::Leaf(t) => Symbol::T(*t),
+            Child::Tree(t) => Symbol::N(t.nt),
+        })
+        .collect();
+    let rule = g
+        .rules()
+        .iter()
+        .position(|r| r.lhs == tree.nt && r.rhs == body)
+        .expect("tree applies a grammar rule");
+    steps.push(Step { form: form.clone(), at, rule });
+    form.splice(at..=at, body);
+    for c in &tree.children {
+        if let Child::Tree(t) = c {
+            expand(g, t, form, steps);
+        }
+    }
+}
+
+/// Rebuild the parse tree from a leftmost derivation (the inverse of
+/// [`leftmost_derivation`]). Returns `None` if the steps are inconsistent.
+pub fn tree_of_derivation(g: &Grammar, d: &Derivation) -> Option<ParseTree> {
+    // Replay the rule sequence against a recursive builder.
+    let mut rules = d.steps.iter().map(|s| s.rule);
+    let first = d.steps.first()?;
+    let Symbol::N(root) = *first.form.first()? else { return None };
+    let tree = build(g, root, &mut rules)?;
+    if rules.next().is_some() {
+        return None; // too many steps
+    }
+    Some(tree)
+}
+
+fn build(
+    g: &Grammar,
+    nt: crate::symbol::NonTerminal,
+    rules: &mut impl Iterator<Item = usize>,
+) -> Option<ParseTree> {
+    let ri = rules.next()?;
+    let rule = g.rules().get(ri)?;
+    if rule.lhs != nt {
+        return None;
+    }
+    let mut children = Vec::with_capacity(rule.rhs.len());
+    for &s in &rule.rhs {
+        match s {
+            Symbol::T(t) => children.push(Child::Leaf(t)),
+            Symbol::N(m) => children.push(Child::Tree(build(g, m, rules)?)),
+        }
+    }
+    Some(ParseTree { nt, children })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+    use crate::parse_tree::FixedLenParser;
+
+    fn pairs() -> Grammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        b.build(s)
+    }
+
+    #[test]
+    fn derivation_roundtrip() {
+        let g = pairs();
+        let p = FixedLenParser::new(&g).unwrap();
+        for w in ["aa", "ab", "ba", "bb"] {
+            let word = g.encode(w).unwrap();
+            let tree = p.trees(&word, 1).pop().unwrap();
+            let d = leftmost_derivation(&g, &tree);
+            assert_eq!(g.decode(&d.result), w);
+            assert_eq!(d.len(), 3); // S, then two A's
+            let back = tree_of_derivation(&g, &d).unwrap();
+            assert_eq!(back, tree);
+        }
+    }
+
+    #[test]
+    fn forms_shrink_to_word() {
+        let g = pairs();
+        let p = FixedLenParser::new(&g).unwrap();
+        let word = g.encode("ab").unwrap();
+        let tree = p.trees(&word, 1).pop().unwrap();
+        let d = leftmost_derivation(&g, &tree);
+        let forms = d.forms();
+        assert_eq!(forms.first().unwrap().len(), 1); // [S]
+        assert_eq!(forms.last().unwrap().len(), 2); // a b
+        // Leftmost: each step expands the leftmost non-terminal.
+        for s in &d.steps {
+            assert!(s.form[..s.at].iter().all(|x| x.is_terminal()));
+        }
+    }
+
+    #[test]
+    fn render_contains_arrow_chain() {
+        let g = pairs();
+        let p = FixedLenParser::new(&g).unwrap();
+        let word = g.encode("ba").unwrap();
+        let tree = p.trees(&word, 1).pop().unwrap();
+        let d = leftmost_derivation(&g, &tree);
+        let r = d.render(&g);
+        assert!(r.contains('⇒'), "{r}");
+        assert!(r.contains('S'), "{r}");
+    }
+
+    #[test]
+    fn distinct_trees_give_distinct_derivations() {
+        // Ambiguous: S → A B | B A ; A → a ; B → a.
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        let bb = b.nonterminal("B");
+        b.rule(s, |r| r.n(a).n(bb));
+        b.rule(s, |r| r.n(bb).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(bb, |r| r.t('a'));
+        let g = b.build(s);
+        let p = FixedLenParser::new(&g).unwrap();
+        let word = g.encode("aa").unwrap();
+        let trees = p.trees(&word, 4);
+        assert_eq!(trees.len(), 2);
+        let d0 = leftmost_derivation(&g, &trees[0]);
+        let d1 = leftmost_derivation(&g, &trees[1]);
+        assert_ne!(d0, d1, "parse trees ↔ leftmost derivations is injective");
+    }
+
+    #[test]
+    fn bad_derivation_rejected() {
+        let g = pairs();
+        let p = FixedLenParser::new(&g).unwrap();
+        let word = g.encode("aa").unwrap();
+        let tree = p.trees(&word, 1).pop().unwrap();
+        let mut d = leftmost_derivation(&g, &tree);
+        d.steps.pop(); // truncate
+        assert!(tree_of_derivation(&g, &d).is_none());
+    }
+}

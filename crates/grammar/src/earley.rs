@@ -1,0 +1,221 @@
+//! Earley recognition for arbitrary grammars.
+//!
+//! Used as an independent membership oracle: it works directly on non-CNF
+//! grammars (e.g. the Appendix A grammar with its long rule bodies), so it
+//! cross-checks both the CNF conversion and the CYK chart.
+
+use crate::analysis::nullable;
+use crate::cfg::Grammar;
+use crate::symbol::{Symbol, Terminal};
+use std::collections::HashSet;
+
+/// An Earley item: rule `rule` with the dot before position `dot`, started
+/// at input position `origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    rule: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// Earley recogniser.
+pub struct Earley<'g> {
+    g: &'g Grammar,
+    nullable: Vec<bool>,
+}
+
+impl<'g> Earley<'g> {
+    /// Wrap a grammar for recognition.
+    pub fn new(g: &'g Grammar) -> Self {
+        Earley { g, nullable: nullable(g) }
+    }
+
+    /// Is `word ∈ L(G)`?
+    pub fn recognize(&self, word: &[Terminal]) -> bool {
+        let g = self.g;
+        let n = word.len();
+        let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+
+        let push = |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, k: usize, it: Item| {
+            if seen[k].insert(it) {
+                sets[k].push(it);
+            }
+        };
+
+        for (ri, r) in g.rules().iter().enumerate() {
+            if r.lhs == g.start() {
+                push(&mut sets, &mut seen, 0, Item { rule: ri as u32, dot: 0, origin: 0 });
+            }
+        }
+
+        for k in 0..=n {
+            let mut i = 0;
+            while i < sets[k].len() {
+                let it = sets[k][i];
+                i += 1;
+                let rule = &g.rules()[it.rule as usize];
+                if (it.dot as usize) < rule.rhs.len() {
+                    match rule.rhs[it.dot as usize] {
+                        Symbol::N(b) => {
+                            // Predict.
+                            for (ri, r) in g.rules().iter().enumerate() {
+                                if r.lhs == b {
+                                    push(
+                                        &mut sets,
+                                        &mut seen,
+                                        k,
+                                        Item { rule: ri as u32, dot: 0, origin: k as u32 },
+                                    );
+                                }
+                            }
+                            // Aycock–Horspool nullable fix: if b is
+                            // nullable, advance over it immediately so
+                            // late-predicted items are not missed by an
+                            // already-processed completion.
+                            if self.nullable[b.index()] {
+                                push(
+                                    &mut sets,
+                                    &mut seen,
+                                    k,
+                                    Item { rule: it.rule, dot: it.dot + 1, origin: it.origin },
+                                );
+                            }
+                        }
+                        Symbol::T(t) => {
+                            // Scan.
+                            if k < n && word[k] == t {
+                                push(
+                                    &mut sets,
+                                    &mut seen,
+                                    k + 1,
+                                    Item { rule: it.rule, dot: it.dot + 1, origin: it.origin },
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    // Complete.
+                    let lhs = rule.lhs;
+                    let origin = it.origin as usize;
+                    // Collect first to appease the borrow checker.
+                    let to_advance: Vec<Item> = sets[origin]
+                        .iter()
+                        .filter(|p| {
+                            let pr = &g.rules()[p.rule as usize];
+                            (p.dot as usize) < pr.rhs.len()
+                                && pr.rhs[p.dot as usize] == Symbol::N(lhs)
+                        })
+                        .copied()
+                        .collect();
+                    for p in to_advance {
+                        push(
+                            &mut sets,
+                            &mut seen,
+                            k,
+                            Item { rule: p.rule, dot: p.dot + 1, origin: p.origin },
+                        );
+                    }
+                }
+            }
+        }
+
+        sets[n].iter().any(|it| {
+            let r = &g.rules()[it.rule as usize];
+            r.lhs == g.start() && it.origin == 0 && it.dot as usize == r.rhs.len()
+        })
+    }
+
+    /// Recognise a `&str` (must be over the grammar's alphabet).
+    pub fn recognize_str(&self, w: &str) -> bool {
+        match self.g.encode(w) {
+            Some(word) => self.recognize(&word),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+
+    #[test]
+    fn recognizes_regular_language() {
+        // S → a S | b : a*b
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        b.rule(s, |r| r.t('b'));
+        let g = b.build(s);
+        let e = Earley::new(&g);
+        assert!(e.recognize_str("b"));
+        assert!(e.recognize_str("aaab"));
+        assert!(!e.recognize_str("ba"));
+        assert!(!e.recognize_str(""));
+        assert!(!e.recognize_str("abc")); // foreign letter
+    }
+
+    #[test]
+    fn recognizes_dyck_like() {
+        // S → a S b S | ε  over {a,b} = balanced with a=( and b=).
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s).t('b').n(s));
+        b.epsilon_rule(s);
+        let g = b.build(s);
+        let e = Earley::new(&g);
+        for w in ["", "ab", "aabb", "abab", "aababb"] {
+            assert!(e.recognize_str(w), "{w}");
+        }
+        for w in ["a", "ba", "abb", "aab"] {
+            assert!(!e.recognize_str(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn handles_long_bodies_without_cnf() {
+        // S → a B b a ; B → b | a a
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let bb = b.nonterminal("B");
+        b.rule(s, |r| r.t('a').n(bb).t('b').t('a'));
+        b.rule(bb, |r| r.t('b'));
+        b.rule(bb, |r| r.ts("aa"));
+        let g = b.build(s);
+        let e = Earley::new(&g);
+        assert!(e.recognize_str("abba"));
+        assert!(e.recognize_str("aaaba"));
+        assert!(!e.recognize_str("abab"));
+    }
+
+    #[test]
+    fn nullable_chains() {
+        // S → A A a ; A → ε : language {a}
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a).t('a'));
+        b.epsilon_rule(a);
+        let g = b.build(s);
+        let e = Earley::new(&g);
+        assert!(e.recognize_str("a"));
+        assert!(!e.recognize_str(""));
+        assert!(!e.recognize_str("aa"));
+    }
+
+    #[test]
+    fn unit_cycles_terminate() {
+        // S → A, A → S | a.
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a));
+        b.rule(a, |r| r.n(s));
+        b.rule(a, |r| r.t('a'));
+        let g = b.build(s);
+        let e = Earley::new(&g);
+        assert!(e.recognize_str("a"));
+        assert!(!e.recognize_str("aa"));
+    }
+}

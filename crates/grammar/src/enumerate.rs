@@ -1,0 +1,247 @@
+//! Ranked access to parse trees and words: `rank`/`unrank`.
+//!
+//! For a CNF grammar the counting DP of
+//! [`tree_count_table`](crate::count::tree_count_table) induces a canonical
+//! total order on the parse trees of each length (by terminal rule, then by
+//! binary rule, then by split point, then recursively left-then-right).
+//! [`Unranker`] realises the bijection `[0, #trees) ↔ trees` in both
+//! directions.
+//!
+//! For an *unambiguous* grammar parse trees biject with words, so this is
+//! random access into the represented language — the factorised-database
+//! operation (e.g. [4] in the paper) that motivates deterministic
+//! representations. On an ambiguous grammar `unrank` still works but
+//! several indices may map to the same word.
+
+use crate::bignum::BigUint;
+use crate::count::tree_count_table;
+use crate::normal_form::CnfGrammar;
+use crate::parse_tree::{Child, ParseTree};
+use crate::symbol::NonTerminal;
+
+/// Precomputed ranking structure over a CNF grammar.
+pub struct Unranker<'g> {
+    g: &'g CnfGrammar,
+    counts: Vec<Vec<BigUint>>,
+    max_len: usize,
+}
+
+impl<'g> Unranker<'g> {
+    /// Precompute counts up to `max_len`.
+    pub fn new(g: &'g CnfGrammar, max_len: usize) -> Self {
+        Unranker { g, counts: tree_count_table(g, max_len), max_len }
+    }
+
+    fn count(&self, a: NonTerminal, len: usize) -> &BigUint {
+        &self.counts[a.index()][len - 1]
+    }
+
+    /// Total number of parse trees of the given length from the start
+    /// symbol.
+    pub fn total(&self, len: usize) -> BigUint {
+        if len == 0 || len > self.max_len {
+            return BigUint::zero();
+        }
+        self.count(self.g.start(), len).clone()
+    }
+
+    /// The `idx`-th parse tree of the given length (0-based), or `None` if
+    /// out of range.
+    pub fn unrank(&self, len: usize, idx: &BigUint) -> Option<ParseTree> {
+        if len == 0 || len > self.max_len || idx >= &self.total(len) {
+            return None;
+        }
+        Some(self.unrank_at(self.g.start(), len, idx.clone()))
+    }
+
+    fn unrank_at(&self, a: NonTerminal, len: usize, mut idx: BigUint) -> ParseTree {
+        if len == 1 {
+            let pos = idx.to_u64().expect("few terminal rules") as usize;
+            let t = self.g.terms_of(a)[pos];
+            return ParseTree { nt: a, children: vec![Child::Leaf(t)] };
+        }
+        for &(b, c) in self.g.bins_of(a) {
+            for k in 1..len {
+                let lc = self.count(b, k);
+                let rc = self.count(c, len - k);
+                if lc.is_zero() || rc.is_zero() {
+                    continue;
+                }
+                let block = lc * rc;
+                if idx < block {
+                    // idx = left_idx * rc + right_idx.
+                    let (left_idx, right_idx) = idx.div_rem(rc);
+                    let left = self.unrank_at(b, k, left_idx);
+                    let right = self.unrank_at(c, len - k, right_idx);
+                    return ParseTree {
+                        nt: a,
+                        children: vec![Child::Tree(left), Child::Tree(right)],
+                    };
+                }
+                idx = idx.checked_sub(&block).expect("idx >= block");
+            }
+        }
+        unreachable!("idx < total count");
+    }
+
+    /// The rank of a parse tree (the inverse of [`Unranker::unrank`]).
+    /// Returns `None` if the tree is not a valid tree of this grammar of a
+    /// supported length.
+    pub fn rank(&self, tree: &ParseTree) -> Option<BigUint> {
+        let len = tree.yield_terminals().len();
+        if len == 0 || len > self.max_len {
+            return None;
+        }
+        self.rank_at(tree, len)
+    }
+
+    fn rank_at(&self, tree: &ParseTree, len: usize) -> Option<BigUint> {
+        let a = tree.nt;
+        match tree.children.as_slice() {
+            [Child::Leaf(t)] => {
+                let pos = self.g.terms_of(a).iter().position(|x| x == t)?;
+                Some(BigUint::from_u64(pos as u64))
+            }
+            [Child::Tree(l), Child::Tree(r)] => {
+                let lb = l.yield_terminals().len();
+                let rb = len - lb;
+                let mut offset = BigUint::zero();
+                for &(b, c) in self.g.bins_of(a) {
+                    for k in 1..len {
+                        let lc = self.count(b, k);
+                        let rc = self.count(c, len - k);
+                        if lc.is_zero() || rc.is_zero() {
+                            continue;
+                        }
+                        if b == l.nt && c == r.nt && k == lb {
+                            let li = self.rank_at(l, lb)?;
+                            let ri = self.rank_at(r, rb)?;
+                            return Some(&offset + &(&(&li * rc) + &ri));
+                        }
+                        offset += &(lc * rc);
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterate all words of a given length in tree-rank order (with
+    /// repetitions exactly when the grammar is ambiguous).
+    pub fn words(&self, len: usize) -> impl Iterator<Item = String> + '_ {
+        let total = self.total(len);
+        let mut idx = BigUint::zero();
+        std::iter::from_fn(move || {
+            if idx >= total {
+                return None;
+            }
+            let t = self.unrank(len, &idx).expect("idx in range");
+            idx += &BigUint::one();
+            let term = t.yield_terminals();
+            Some(term.iter().map(|&x| self.g.letter(x)).collect())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+    use crate::language::words_of_length;
+    use std::collections::BTreeSet;
+
+    fn pairs() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    fn catalan() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.n(s).n(s));
+        b.rule(s, |r| r.t('a'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    #[test]
+    fn unrank_covers_all_trees_distinctly() {
+        let g = catalan();
+        let u = Unranker::new(&g, 6);
+        for len in 1..=6usize {
+            let total = u.total(len).to_u64().unwrap();
+            let mut seen = BTreeSet::new();
+            for i in 0..total {
+                let t = u.unrank(len, &BigUint::from_u64(i)).unwrap();
+                assert!(t.is_valid(&g.to_grammar()), "len={len} i={i}");
+                assert_eq!(t.yield_terminals().len(), len);
+                assert!(seen.insert(format!("{t:?}")), "duplicate tree at {i}");
+            }
+            assert!(u.unrank(len, &BigUint::from_u64(total)).is_none());
+        }
+    }
+
+    #[test]
+    fn rank_is_inverse_of_unrank() {
+        for g in [pairs(), catalan()] {
+            let u = Unranker::new(&g, 5);
+            for len in 1..=5usize {
+                let total = u.total(len).to_u64().unwrap_or(0);
+                for i in 0..total {
+                    let idx = BigUint::from_u64(i);
+                    let t = u.unrank(len, &idx).unwrap();
+                    assert_eq!(u.rank(&t), Some(idx), "len={len} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unambiguous_words_are_distinct_and_complete() {
+        let g = pairs();
+        let u = Unranker::new(&g, 2);
+        let words: Vec<String> = u.words(2).collect();
+        assert_eq!(words.len(), 4);
+        let set: BTreeSet<&str> = words.iter().map(|s| s.as_str()).collect();
+        assert_eq!(set.len(), 4, "uCFG unranking hits each word once");
+        let lang: BTreeSet<String> =
+            words_of_length(&g, 2).iter().map(|w| g.decode(w)).collect();
+        assert_eq!(lang, words.into_iter().collect());
+    }
+
+    #[test]
+    fn ambiguous_words_repeat() {
+        let g = catalan();
+        let u = Unranker::new(&g, 3);
+        let words: Vec<String> = u.words(3).collect();
+        assert_eq!(words.len(), 2); // Catalan(2) trees, 1 word
+        assert!(words.iter().all(|w| w == "aaa"));
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let g = pairs();
+        let u = Unranker::new(&g, 2);
+        assert!(u.unrank(0, &BigUint::zero()).is_none());
+        assert!(u.unrank(3, &BigUint::zero()).is_none());
+        assert!(u.unrank(2, &BigUint::from_u64(4)).is_none());
+        assert!(u.total(9).is_zero());
+    }
+
+    #[test]
+    fn foreign_tree_has_no_rank() {
+        let g = pairs();
+        let u = Unranker::new(&g, 2);
+        // A tree whose root label exists but whose rule does not.
+        let bogus = ParseTree {
+            nt: g.start(),
+            children: vec![Child::Leaf(crate::symbol::Terminal(0))],
+        };
+        assert_eq!(u.rank(&bogus), None);
+    }
+}

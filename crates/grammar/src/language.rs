@@ -1,0 +1,236 @@
+//! Materialising the (finite) language of a grammar.
+//!
+//! The paper is exclusively about finite languages, where `L(G)` can be
+//! computed outright. We do this with a length-indexed bottom-up DP over the
+//! CNF form; the maximum word length of a finite language is obtained by a
+//! monotone fixpoint which converges exactly when the language is finite.
+
+use crate::analysis::{is_language_finite, trim};
+use crate::cfg::Grammar;
+use crate::normal_form::CnfGrammar;
+use crate::symbol::{Symbol, Terminal};
+use std::collections::BTreeSet;
+
+/// All words of exactly `len` in `L(G)` (ids). `len == 0` honours the
+/// ε-flag.
+pub fn words_of_length(g: &CnfGrammar, len: usize) -> BTreeSet<Vec<Terminal>> {
+    if len == 0 {
+        let mut s = BTreeSet::new();
+        if g.accepts_epsilon() {
+            s.insert(Vec::new());
+        }
+        return s;
+    }
+    per_nonterminal_words(g, len)
+        .into_iter()
+        .nth(g.start().index())
+        .map(|table| table.into_iter().nth(len - 1).unwrap_or_default())
+        .unwrap_or_default()
+}
+
+/// `table[A][l-1]` = set of words of length `l` derivable from `A`,
+/// for `l ∈ 1..=len`.
+fn per_nonterminal_words(g: &CnfGrammar, len: usize) -> Vec<Vec<BTreeSet<Vec<Terminal>>>> {
+    let nts = g.nonterminal_count();
+    let mut table: Vec<Vec<BTreeSet<Vec<Terminal>>>> = vec![vec![BTreeSet::new(); len]; nts];
+    for &(a, t) in g.term_rules() {
+        table[a.index()][0].insert(vec![t]);
+    }
+    for l in 2..=len {
+        for &(a, b, c) in g.bin_rules() {
+            for k in 1..l {
+                // Split borrows: collect the cross-concatenation first.
+                let mut products = Vec::new();
+                for wb in &table[b.index()][k - 1] {
+                    for wc in &table[c.index()][l - k - 1] {
+                        let mut w = wb.clone();
+                        w.extend_from_slice(wc);
+                        products.push(w);
+                    }
+                }
+                table[a.index()][l - 1].extend(products);
+            }
+        }
+    }
+    table
+}
+
+/// All words of length ≤ `max_len` in `L(G)`.
+pub fn language_up_to(g: &CnfGrammar, max_len: usize) -> BTreeSet<Vec<Terminal>> {
+    let mut out = BTreeSet::new();
+    if g.accepts_epsilon() {
+        out.insert(Vec::new());
+    }
+    if max_len == 0 {
+        return out;
+    }
+    let table = per_nonterminal_words(g, max_len);
+    for set in &table[g.start().index()] {
+        out.extend(set.iter().cloned());
+    }
+    out
+}
+
+/// Length of the longest word in `L(G)`, or `None` if the language is
+/// infinite (or empty — an empty language reports `Some(0)` only when ε is
+/// not accepted either; callers should check emptiness separately).
+pub fn max_word_length(g: &Grammar) -> Option<usize> {
+    if !is_language_finite(g) {
+        return None;
+    }
+    let g = trim(&g.clone());
+    let n = g.nonterminal_count();
+    // max_len[A] = length of longest word from A; monotone fixpoint. The
+    // language being finite guarantees convergence.
+    let mut max_len: Vec<Option<usize>> = vec![None; n];
+    loop {
+        let mut changed = false;
+        for r in g.rules() {
+            let mut total = 0usize;
+            let mut known = true;
+            for s in &r.rhs {
+                match s {
+                    Symbol::T(_) => total += 1,
+                    Symbol::N(m) => match max_len[m.index()] {
+                        Some(l) => total += l,
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if known && max_len[r.lhs.index()].map_or(true, |cur| total > cur) {
+                max_len[r.lhs.index()] = Some(total);
+                changed = true;
+            }
+        }
+        if !changed {
+            return max_len[g.start().index()].or(Some(0));
+        }
+    }
+}
+
+/// Materialise a finite language as strings; `None` if infinite.
+pub fn finite_language(g: &Grammar) -> Option<BTreeSet<String>> {
+    let max = max_word_length(g)?;
+    let cnf = CnfGrammar::from_grammar(g);
+    Some(language_up_to(&cnf, max).into_iter().map(|w| cnf.decode(&w)).collect())
+}
+
+/// Do two grammars accept the same (finite) language? `None` if either is
+/// infinite.
+pub fn languages_equal(g1: &Grammar, g2: &Grammar) -> Option<bool> {
+    Some(finite_language(g1)? == finite_language(g2)?)
+}
+
+/// Number of words of each length `0..=max_len` in `L(G)`.
+pub fn word_counts_by_length(g: &CnfGrammar, max_len: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; max_len + 1];
+    counts[0] = usize::from(g.accepts_epsilon());
+    if max_len >= 1 {
+        let table = per_nonterminal_words(g, max_len);
+        for (l, set) in table[g.start().index()].iter().enumerate() {
+            counts[l + 1] = set.len();
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+
+    fn pairs() -> Grammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        b.build(s)
+    }
+
+    #[test]
+    fn materializes_all_length2_words() {
+        let g = pairs();
+        let lang = finite_language(&g).unwrap();
+        let expect: BTreeSet<String> =
+            ["aa", "ab", "ba", "bb"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(lang, expect);
+    }
+
+    #[test]
+    fn max_word_length_fixed() {
+        assert_eq!(max_word_length(&pairs()), Some(2));
+    }
+
+    #[test]
+    fn max_word_length_mixed() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.ts("aaaa"));
+        assert_eq!(max_word_length(&b.build(s)), Some(4));
+    }
+
+    #[test]
+    fn infinite_language_returns_none() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        b.rule(s, |r| r.t('a'));
+        let g = b.build(s);
+        assert_eq!(max_word_length(&g), None);
+        assert!(finite_language(&g).is_none());
+        assert_eq!(languages_equal(&g, &g), None);
+    }
+
+    #[test]
+    fn words_of_length_selects_exact_length() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.ts("aaa"));
+        let cnf = CnfGrammar::from_grammar(&b.build(s));
+        assert_eq!(words_of_length(&cnf, 1).len(), 1);
+        assert_eq!(words_of_length(&cnf, 2).len(), 0);
+        assert_eq!(words_of_length(&cnf, 3).len(), 1);
+        assert_eq!(word_counts_by_length(&cnf, 3), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn epsilon_in_language() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.epsilon_rule(s);
+        b.rule(s, |r| r.t('a'));
+        let cnf = CnfGrammar::from_grammar(&b.build(s));
+        let lang = language_up_to(&cnf, 1);
+        assert_eq!(lang.len(), 2);
+        assert!(lang.contains(&Vec::new()));
+        assert_eq!(words_of_length(&cnf, 0).len(), 1);
+    }
+
+    #[test]
+    fn languages_equal_positive_and_negative() {
+        let g1 = pairs();
+        // Same language, different grammar: S → a A | b A ; A → a | b.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.t('a').n(a));
+        b.rule(s, |r| r.t('b').n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        let g2 = b.build(s);
+        assert_eq!(languages_equal(&g1, &g2), Some(true));
+
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.ts("aa"));
+        let g3 = b.build(s);
+        assert_eq!(languages_equal(&g1, &g3), Some(false));
+    }
+}

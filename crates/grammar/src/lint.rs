@@ -1,0 +1,247 @@
+//! Grammar diagnostics: a lint pass collecting the structural issues the
+//! paper's preliminaries assume away (redundant non-terminals, duplicate
+//! rules, unit/ε cycles), with human-readable findings. Used by the
+//! `ucfg check` command and handy when authoring grammars in the text
+//! format.
+
+use crate::analysis::{has_derivation_cycle, is_language_finite, nullable, productive, useful};
+use crate::cfg::Grammar;
+use crate::symbol::{NonTerminal, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or size-related.
+    Note,
+    /// Affects counting/unambiguity semantics.
+    Warning,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How serious.
+    pub severity: Severity,
+    /// Short machine-readable kind.
+    pub kind: FindingKind,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The kinds of findings the linter reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A non-terminal that cannot derive any terminal word.
+    Unproductive,
+    /// A non-terminal unreachable from the start symbol.
+    Unreachable,
+    /// Reachable and productive, but never in a complete parse tree.
+    Useless,
+    /// Two syntactically identical rules (ambiguity by duplication).
+    DuplicateRule,
+    /// A unit or ε cycle: infinitely many parse trees for some word.
+    DerivationCycle,
+    /// The language is infinite (outside the paper's finite setting).
+    InfiniteLanguage,
+    /// A nullable non-terminal (ε-rules complicate the CNF bijection).
+    Nullable,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// Run all lints.
+pub fn lint(g: &Grammar) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let prod = productive(g);
+    let used = useful(g);
+    let null = nullable(g);
+    for i in 0..g.nonterminal_count() {
+        let nt = NonTerminal(i as u32);
+        let name = g.name(nt);
+        let referenced = nt == g.start()
+            || g.rules().iter().any(|r| r.rhs.contains(&Symbol::N(nt)))
+            || g.rules_for(nt).next().is_some();
+        if !referenced {
+            continue;
+        }
+        if !prod[i] {
+            out.push(Finding {
+                severity: Severity::Warning,
+                kind: FindingKind::Unproductive,
+                message: format!("non-terminal {name} cannot derive any terminal word"),
+            });
+        } else if !used[i] {
+            out.push(Finding {
+                severity: Severity::Warning,
+                kind: FindingKind::Useless,
+                message: format!(
+                    "non-terminal {name} never occurs in a complete parse tree \
+                     (unreachable or only in unproductive contexts)"
+                ),
+            });
+        }
+        if null[i] && prod[i] {
+            out.push(Finding {
+                severity: Severity::Note,
+                kind: FindingKind::Nullable,
+                message: format!("non-terminal {name} can derive ε"),
+            });
+        }
+    }
+    // Duplicate rules.
+    let mut seen: HashMap<(NonTerminal, &[Symbol]), usize> = HashMap::new();
+    for r in g.rules() {
+        *seen.entry((r.lhs, r.rhs.as_slice())).or_insert(0) += 1;
+    }
+    for ((lhs, rhs), count) in seen {
+        if count > 1 {
+            let body: Vec<String> = rhs.iter().map(|&s| g.symbol_str(s)).collect();
+            out.push(Finding {
+                severity: Severity::Warning,
+                kind: FindingKind::DuplicateRule,
+                message: format!(
+                    "rule {} → {} appears {count} times (each copy is a distinct \
+                     derivation: the grammar is ambiguous)",
+                    g.name(lhs),
+                    if body.is_empty() { "ε".into() } else { body.join(" ") }
+                ),
+            });
+        }
+    }
+    if is_language_finite(g) {
+        // For finite languages, any (necessarily non-growing) cycle means
+        // some word has infinitely many parse trees. For infinite
+        // languages cycles are just recursion, so no finding.
+        if has_derivation_cycle(g) {
+            out.push(Finding {
+                severity: Severity::Warning,
+                kind: FindingKind::DerivationCycle,
+                message: "derivation cycle: some word has infinitely many parse trees"
+                    .into(),
+            });
+        }
+    } else {
+        out.push(Finding {
+            severity: Severity::Note,
+            kind: FindingKind::InfiniteLanguage,
+            message: "the language is infinite (the paper's results concern finite ones)"
+                .into(),
+        });
+    }
+    out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.message.cmp(&b.message)));
+    out
+}
+
+/// Do any warnings (not just notes) fire?
+pub fn has_warnings(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Warning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+
+    fn kinds(fs: &[Finding]) -> Vec<FindingKind> {
+        fs.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_grammar_has_no_findings() {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        assert!(lint(&b.build(s)).is_empty());
+    }
+
+    #[test]
+    fn unproductive_detected() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let dead = b.nonterminal("Dead");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.n(dead));
+        b.rule(dead, |r| r.n(dead).t('a'));
+        let fs = lint(&b.build(s));
+        assert!(kinds(&fs).contains(&FindingKind::Unproductive), "{fs:?}");
+        assert!(has_warnings(&fs));
+    }
+
+    #[test]
+    fn useless_detected() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let orphan = b.nonterminal("Orphan");
+        b.rule(s, |r| r.t('a'));
+        b.rule(orphan, |r| r.t('a'));
+        let fs = lint(&b.build(s));
+        assert!(kinds(&fs).contains(&FindingKind::Useless), "{fs:?}");
+    }
+
+    #[test]
+    fn duplicate_rules_detected() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.t('a'));
+        let fs = lint(&b.build(s));
+        assert!(kinds(&fs).contains(&FindingKind::DuplicateRule), "{fs:?}");
+    }
+
+    #[test]
+    fn cycles_and_infinite_language_detected() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a));
+        b.rule(a, |r| r.n(s));
+        b.rule(a, |r| r.t('a'));
+        let fs = lint(&b.build(s));
+        assert!(kinds(&fs).contains(&FindingKind::DerivationCycle), "{fs:?}");
+
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        b.rule(s, |r| r.t('a'));
+        let fs = lint(&b.build(s));
+        assert!(kinds(&fs).contains(&FindingKind::InfiniteLanguage), "{fs:?}");
+        assert!(!has_warnings(&fs), "infinite language alone is a note");
+    }
+
+    #[test]
+    fn nullable_noted() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).t('a'));
+        b.epsilon_rule(a);
+        b.rule(a, |r| r.t('a'));
+        let fs = lint(&b.build(s));
+        assert!(kinds(&fs).contains(&FindingKind::Nullable), "{fs:?}");
+    }
+
+    #[test]
+    fn findings_render() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.t('a'));
+        let fs = lint(&b.build(s));
+        let rendered = fs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        assert!(rendered.contains("warning:"), "{rendered}");
+        assert!(rendered.contains("appears 2 times"), "{rendered}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Grammar metrics and structural statistics.
+//!
+//! Size is the paper's headline measure, but comparing representations
+//! fairly needs the rest of the profile: rule counts (the Bucher et al.
+//! measure the related-work section contrasts), fan-outs, parse-tree depth
+//! ranges, and per-non-terminal usage. These power the report tables and
+//! give library users one-call introspection.
+
+use crate::analysis::{trim, uniform_lengths};
+use crate::cfg::Grammar;
+use crate::symbol::{NonTerminal, Symbol};
+
+/// A structural profile of a grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrammarMetrics {
+    /// The paper's size measure `Σ |rhs|`.
+    pub size: usize,
+    /// Number of rules (the Bucher–Maurer–Culík–Wotschke measure).
+    pub rule_count: usize,
+    /// Number of non-terminals.
+    pub nonterminal_count: usize,
+    /// Number of non-terminals that survive trimming.
+    pub useful_nonterminals: usize,
+    /// Longest rule body.
+    pub max_rule_len: usize,
+    /// Mean rule body length (`size / rule_count`).
+    pub mean_rule_len: f64,
+    /// Maximum number of alternative rules of one non-terminal.
+    pub max_fanout: usize,
+    /// Minimum parse-tree depth of any word (`None` if the language is
+    /// empty).
+    pub min_tree_depth: Option<usize>,
+    /// Whether the (useful part of the) grammar generates a single word
+    /// length per non-terminal (fixed-length language shape).
+    pub fixed_length: bool,
+}
+
+/// Compute the profile.
+pub fn metrics(g: &Grammar) -> GrammarMetrics {
+    let trimmed = trim(g);
+    let size = g.size();
+    let rule_count = g.rule_count();
+    let max_rule_len = g.rules().iter().map(|r| r.rhs.len()).max().unwrap_or(0);
+    let mean_rule_len = if rule_count == 0 { 0.0 } else { size as f64 / rule_count as f64 };
+    let max_fanout = (0..g.nonterminal_count() as u32)
+        .map(|i| g.rules_for(NonTerminal(i)).count())
+        .max()
+        .unwrap_or(0);
+    GrammarMetrics {
+        size,
+        rule_count,
+        nonterminal_count: g.nonterminal_count(),
+        useful_nonterminals: if trimmed.rule_count() == 0 {
+            0
+        } else {
+            trimmed.nonterminal_count()
+        },
+        max_rule_len,
+        mean_rule_len,
+        max_fanout,
+        min_tree_depth: min_tree_depth(&trimmed),
+        fixed_length: uniform_lengths(g).is_some(),
+    }
+}
+
+/// Minimum parse-tree depth over all derivable words: fixpoint
+/// `depth(A) = 1 + min over rules of max over body non-terminals`.
+fn min_tree_depth(g: &Grammar) -> Option<usize> {
+    let n = g.nonterminal_count();
+    let mut depth: Vec<Option<usize>> = vec![None; n];
+    loop {
+        let mut changed = false;
+        for r in g.rules() {
+            let mut worst = 0usize;
+            let mut known = true;
+            for s in &r.rhs {
+                if let Symbol::N(m) = s {
+                    match depth[m.index()] {
+                        Some(d) => worst = worst.max(d),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if known {
+                let cand = 1 + worst;
+                if depth[r.lhs.index()].map_or(true, |cur| cand < cur) {
+                    depth[r.lhs.index()] = Some(cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return depth[g.start().index()];
+        }
+    }
+}
+
+/// Per-non-terminal rule counts, sorted descending — the "who dominates
+/// the size" histogram used in the report.
+pub fn fanout_histogram(g: &Grammar) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = (0..g.nonterminal_count() as u32)
+        .map(|i| {
+            let nt = NonTerminal(i);
+            (g.name(nt).to_string(), g.rules_for(nt).count())
+        })
+        .filter(|(_, c)| *c > 0)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+
+    fn pairs() -> Grammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        b.build(s)
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let m = metrics(&pairs());
+        assert_eq!(m.size, 4);
+        assert_eq!(m.rule_count, 3);
+        assert_eq!(m.nonterminal_count, 2);
+        assert_eq!(m.useful_nonterminals, 2);
+        assert_eq!(m.max_rule_len, 2);
+        assert!((m.mean_rule_len - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.max_fanout, 2);
+        assert_eq!(m.min_tree_depth, Some(2));
+        assert!(m.fixed_length);
+    }
+
+    #[test]
+    fn min_depth_with_recursion() {
+        // S → S S | a: shallowest tree is the single-leaf one.
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.n(s).n(s));
+        b.rule(s, |r| r.t('a'));
+        let m = metrics(&b.build(s));
+        assert_eq!(m.min_tree_depth, Some(1));
+        assert!(!m.fixed_length);
+    }
+
+    #[test]
+    fn empty_language_has_no_depth() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.n(s).t('a'));
+        let m = metrics(&b.build(s));
+        assert_eq!(m.min_tree_depth, None);
+        assert_eq!(m.useful_nonterminals, 0);
+    }
+
+    #[test]
+    fn useless_nonterminals_counted() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let dead = b.nonterminal("Dead");
+        b.rule(s, |r| r.t('a'));
+        b.rule(dead, |r| r.t('a'));
+        let m = metrics(&b.build(s));
+        assert_eq!(m.nonterminal_count, 2);
+        assert_eq!(m.useful_nonterminals, 1);
+    }
+
+    #[test]
+    fn fanout_histogram_orders() {
+        let h = fanout_histogram(&pairs());
+        assert_eq!(h[0], ("A".to_string(), 2));
+        assert_eq!(h[1], ("S".to_string(), 1));
+    }
+
+    #[test]
+    fn paper_grammar_profiles() {
+        // Sanity: the Example 3 grammar's fan-out is 2 everywhere.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let a1 = b.nonterminal("A1");
+        let a0 = b.nonterminal("A0");
+        let b1 = b.nonterminal("B1");
+        let b0 = b.nonterminal("B0");
+        b.rule(a1, |r| r.n(b0).n(a0));
+        b.rule(a1, |r| r.n(a0).n(b0));
+        b.rule(a0, |r| r.n(b0).t('a').n(b1).t('a'));
+        b.rule(a0, |r| r.t('a').n(b1).t('a').n(b0));
+        b.rule(b1, |r| r.n(b0).n(b0));
+        b.rule(b0, |r| r.t('a'));
+        b.rule(b0, |r| r.t('b'));
+        let m = metrics(&b.build(a1));
+        assert_eq!(m.max_fanout, 2);
+        assert_eq!(m.max_rule_len, 4);
+        assert!(m.fixed_length);
+    }
+}

@@ -1,0 +1,224 @@
+//! Grammar combinators: union, concatenation, reversal.
+//!
+//! Closure operations under which sizes add up (plus O(1)) — the building
+//! blocks used implicitly throughout the paper's constructions (Example 3
+//! assembles `L_n` grammars by concatenation and 2-way union; the CSV
+//! grammar of the intro is a union over columns and letters). The tests
+//! record the ambiguity facts: disjoint unions of uCFGs stay unambiguous,
+//! fixed-length concatenations of uCFGs stay unambiguous, reversal
+//! preserves ambiguity degrees exactly.
+
+use crate::cfg::{Grammar, Rule};
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// Merge two alphabets; returns the merged alphabet plus terminal remaps.
+fn merge_alphabets(a1: &[char], a2: &[char]) -> (Vec<char>, Vec<Terminal>, Vec<Terminal>) {
+    let mut merged: Vec<char> = a1.to_vec();
+    for &c in a2 {
+        if !merged.contains(&c) {
+            merged.push(c);
+        }
+    }
+    let map = |alpha: &[char]| {
+        alpha
+            .iter()
+            .map(|c| Terminal(merged.iter().position(|x| x == c).unwrap() as u16))
+            .collect::<Vec<_>>()
+    };
+    let m1 = map(a1);
+    let m2 = map(a2);
+    (merged, m1, m2)
+}
+
+fn remap_rules(
+    g: &Grammar,
+    term_map: &[Terminal],
+    nt_offset: u32,
+    out: &mut Vec<Rule>,
+) {
+    for r in g.rules() {
+        let rhs = r
+            .rhs
+            .iter()
+            .map(|&s| match s {
+                Symbol::T(t) => Symbol::T(term_map[t.index()]),
+                Symbol::N(n) => Symbol::N(NonTerminal(n.0 + nt_offset)),
+            })
+            .collect();
+        out.push(Rule { lhs: NonTerminal(r.lhs.0 + nt_offset), rhs });
+    }
+}
+
+/// `L(g1) ∪ L(g2)`, via a fresh start with two unit rules; size
+/// `|g1| + |g2| + 2`.
+pub fn union(g1: &Grammar, g2: &Grammar) -> Grammar {
+    let (alphabet, m1, m2) = merge_alphabets(g1.alphabet(), g2.alphabet());
+    let mut names = vec!["S∪".to_string()];
+    let off1 = names.len() as u32;
+    names.extend((0..g1.nonterminal_count()).map(|i| format!("L.{}", g1.name(NonTerminal(i as u32)))));
+    let off2 = names.len() as u32;
+    names.extend((0..g2.nonterminal_count()).map(|i| format!("R.{}", g2.name(NonTerminal(i as u32)))));
+    let mut rules = Vec::with_capacity(g1.rule_count() + g2.rule_count() + 2);
+    rules.push(Rule {
+        lhs: NonTerminal(0),
+        rhs: vec![Symbol::N(NonTerminal(g1.start().0 + off1))],
+    });
+    rules.push(Rule {
+        lhs: NonTerminal(0),
+        rhs: vec![Symbol::N(NonTerminal(g2.start().0 + off2))],
+    });
+    remap_rules(g1, &m1, off1, &mut rules);
+    remap_rules(g2, &m2, off2, &mut rules);
+    Grammar::from_parts(alphabet, names, rules, NonTerminal(0))
+}
+
+/// `L(g1) · L(g2)`, via a fresh start `S → S₁ S₂`; size `|g1| + |g2| + 2`.
+pub fn concat(g1: &Grammar, g2: &Grammar) -> Grammar {
+    let (alphabet, m1, m2) = merge_alphabets(g1.alphabet(), g2.alphabet());
+    let mut names = vec!["S·".to_string()];
+    let off1 = names.len() as u32;
+    names.extend((0..g1.nonterminal_count()).map(|i| format!("L.{}", g1.name(NonTerminal(i as u32)))));
+    let off2 = names.len() as u32;
+    names.extend((0..g2.nonterminal_count()).map(|i| format!("R.{}", g2.name(NonTerminal(i as u32)))));
+    let mut rules = Vec::with_capacity(g1.rule_count() + g2.rule_count() + 1);
+    rules.push(Rule {
+        lhs: NonTerminal(0),
+        rhs: vec![
+            Symbol::N(NonTerminal(g1.start().0 + off1)),
+            Symbol::N(NonTerminal(g2.start().0 + off2)),
+        ],
+    });
+    remap_rules(g1, &m1, off1, &mut rules);
+    remap_rules(g2, &m2, off2, &mut rules);
+    Grammar::from_parts(alphabet, names, rules, NonTerminal(0))
+}
+
+/// The mirror language: every rule body reversed; size unchanged, and
+/// parse trees biject (mirror), so ambiguity degrees are preserved.
+pub fn reverse(g: &Grammar) -> Grammar {
+    let rules = g
+        .rules()
+        .iter()
+        .map(|r| Rule { lhs: r.lhs, rhs: r.rhs.iter().rev().copied().collect() })
+        .collect();
+    let names = (0..g.nonterminal_count())
+        .map(|i| g.name(NonTerminal(i as u32)).to_string())
+        .collect();
+    Grammar::from_parts(g.alphabet().to_vec(), names, rules, g.start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+    use crate::count::{decide_unambiguous, TreeCounter};
+    use crate::language::finite_language;
+    use std::collections::BTreeSet;
+
+    fn literal(words: &[&str], alphabet: &[char]) -> Grammar {
+        let mut b = GrammarBuilder::new(alphabet);
+        let s = b.nonterminal("S");
+        for w in words {
+            b.rule(s, |r| r.ts(w));
+        }
+        b.build(s)
+    }
+
+    #[test]
+    fn union_language() {
+        let g1 = literal(&["aa", "ab"], &['a', 'b']);
+        let g2 = literal(&["bc"], &['b', 'c']);
+        let u = union(&g1, &g2);
+        let lang = finite_language(&u).unwrap();
+        let expect: BTreeSet<String> =
+            ["aa", "ab", "bc"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(lang, expect);
+        assert_eq!(u.size(), g1.size() + g2.size() + 2);
+    }
+
+    #[test]
+    fn union_of_disjoint_ucfgs_is_unambiguous() {
+        let g1 = literal(&["aa"], &['a', 'b']);
+        let g2 = literal(&["bb"], &['a', 'b']);
+        assert!(decide_unambiguous(&union(&g1, &g2)).is_unambiguous());
+    }
+
+    #[test]
+    fn union_of_overlapping_ucfgs_is_ambiguous() {
+        // The paper's central difficulty: non-disjoint unions break
+        // unambiguity.
+        let g1 = literal(&["aa", "ab"], &['a', 'b']);
+        let g2 = literal(&["aa", "bb"], &['a', 'b']);
+        match decide_unambiguous(&union(&g1, &g2)) {
+            crate::count::UnambiguityVerdict::Ambiguous { witness, .. } => {
+                assert_eq!(witness, "aa");
+            }
+            v => panic!("expected ambiguity, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_language_and_ambiguity() {
+        let g1 = literal(&["a", "b"], &['a', 'b']);
+        let g2 = literal(&["c"], &['c']);
+        let c = concat(&g1, &g2);
+        let lang = finite_language(&c).unwrap();
+        let expect: BTreeSet<String> = ["ac", "bc"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(lang, expect);
+        // Fixed-length factors → unambiguous concatenation.
+        assert!(decide_unambiguous(&c).is_unambiguous());
+    }
+
+    #[test]
+    fn concat_with_ambiguous_split_is_ambiguous() {
+        // {ε-free} L1 = {a, aa}, L2 = {a, aa}: "aaa" splits two ways.
+        let g1 = literal(&["a", "aa"], &['a']);
+        let c = concat(&g1, &g1);
+        let counter = TreeCounter::new(&c).unwrap();
+        assert_eq!(counter.count_str("aaa").to_u64(), Some(2));
+    }
+
+    #[test]
+    fn reverse_mirrors_language_and_preserves_degrees() {
+        let g = literal(&["ab", "abb"], &['a', 'b']);
+        let r = reverse(&g);
+        let lang = finite_language(&r).unwrap();
+        let expect: BTreeSet<String> = ["ba", "bba"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(lang, expect);
+        assert_eq!(r.size(), g.size());
+        assert!(decide_unambiguous(&r).is_unambiguous());
+
+        // Degrees preserved on an ambiguous grammar.
+        let amb = {
+            let mut b = GrammarBuilder::new(&['a', 'b']);
+            let s = b.nonterminal("S");
+            let x = b.nonterminal("X");
+            b.rule(s, |r| r.n(x).t('b'));
+            b.rule(s, |r| r.t('a').t('b'));
+            b.rule(x, |r| r.t('a'));
+            b.build(s)
+        };
+        let rev = reverse(&amb);
+        let c1 = TreeCounter::new(&amb).unwrap();
+        let c2 = TreeCounter::new(&rev).unwrap();
+        assert_eq!(c1.count_str("ab"), c2.count_str("ba"));
+        assert_eq!(c1.count_str("ab").to_u64(), Some(2));
+    }
+
+    #[test]
+    fn double_reverse_is_identity_language() {
+        let g = literal(&["abc", "cba", "aaa"], &['a', 'b', 'c']);
+        let rr = reverse(&reverse(&g));
+        assert_eq!(finite_language(&rr), finite_language(&g));
+    }
+
+    #[test]
+    fn alphabet_merging() {
+        let g1 = literal(&["a"], &['a']);
+        let g2 = literal(&["z"], &['z']);
+        let u = union(&g1, &g2);
+        assert_eq!(u.alphabet().len(), 2);
+        let lang = finite_language(&u).unwrap();
+        assert!(lang.contains("a") && lang.contains("z"));
+    }
+}

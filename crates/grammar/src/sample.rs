@@ -1,0 +1,209 @@
+//! Uniform random sampling of parse trees from a CNF grammar.
+//!
+//! The sampler draws a parse tree of a given length uniformly at random
+//! among all parse trees of that length, by descending the counting DP of
+//! [`tree_count_table`](crate::count::tree_count_table) with
+//! weight-proportional choices. For an *unambiguous* grammar parse trees
+//! biject with words, so this is uniform sampling of words — one of the
+//! algorithmic advantages of uCFGs the paper's introduction highlights.
+
+use crate::bignum::BigUint;
+use crate::count::tree_count_table;
+use crate::normal_form::CnfGrammar;
+use crate::parse_tree::{Child, ParseTree};
+use crate::symbol::NonTerminal;
+use rand::Rng;
+
+/// A prepared sampler over a CNF grammar.
+pub struct TreeSampler<'g> {
+    g: &'g CnfGrammar,
+    /// `counts[A][l-1]` = #trees of length `l` from `A`.
+    counts: Vec<Vec<BigUint>>,
+    max_len: usize,
+}
+
+impl<'g> TreeSampler<'g> {
+    /// Precompute counts up to `max_len`.
+    pub fn new(g: &'g CnfGrammar, max_len: usize) -> Self {
+        TreeSampler { g, counts: tree_count_table(g, max_len), max_len }
+    }
+
+    /// Number of parse trees of length `len` from the start symbol.
+    pub fn tree_count(&self, len: usize) -> BigUint {
+        if len == 0 || len > self.max_len {
+            return BigUint::zero();
+        }
+        self.counts[self.g.start().index()][len - 1].clone()
+    }
+
+    /// Sample a uniform parse tree of the given length, or `None` if there
+    /// is none.
+    pub fn sample<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Option<ParseTree> {
+        if len == 0 || len > self.max_len {
+            return None;
+        }
+        if self.counts[self.g.start().index()][len - 1].is_zero() {
+            return None;
+        }
+        Some(self.sample_at(self.g.start(), len, rng))
+    }
+
+    /// Sample a uniform word of the given length (uniform over parse trees;
+    /// uniform over words exactly when the grammar is unambiguous).
+    pub fn sample_word<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Option<String> {
+        self.sample(len, rng).map(|t| {
+            let term = t.yield_terminals();
+            term.iter().map(|&x| self.g.letter(x)).collect()
+        })
+    }
+
+    fn sample_at<R: Rng + ?Sized>(&self, a: NonTerminal, len: usize, rng: &mut R) -> ParseTree {
+        if len == 1 {
+            // Uniform over matching terminal rules (each counts 1).
+            let opts = self.g.terms_of(a);
+            debug_assert!(!opts.is_empty());
+            let pick = rng.random_range(0..opts.len());
+            return ParseTree { nt: a, children: vec![Child::Leaf(opts[pick])] };
+        }
+        let total = &self.counts[a.index()][len - 1];
+        let mut target = rand_below(total, rng);
+        for &(b, c) in self.g.bins_of(a) {
+            for k in 1..len {
+                let w = &self.counts[b.index()][k - 1] * &self.counts[c.index()][len - k - 1];
+                if w.is_zero() {
+                    continue;
+                }
+                if target < w {
+                    let left = self.sample_at(b, k, rng);
+                    let right = self.sample_at(c, len - k, rng);
+                    return ParseTree {
+                        nt: a,
+                        children: vec![Child::Tree(left), Child::Tree(right)],
+                    };
+                }
+                target = target.checked_sub(&w).expect("target >= w");
+            }
+        }
+        unreachable!("weights sum to the total count");
+    }
+}
+
+/// Uniform random `BigUint` in `[0, bound)` by rejection sampling on the
+/// bit width. Panics if `bound` is zero.
+pub fn rand_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+    assert!(!bound.is_zero(), "empty range");
+    if let Some(b) = bound.to_u64() {
+        return BigUint::from_u64(rng.random_range(0..b));
+    }
+    let bits = bound.bits();
+    loop {
+        // Draw `bits` random bits.
+        let mut v = BigUint::zero();
+        let mut remaining = bits;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = rng.random::<u64>() & mask;
+            v = &v.shl_bits(take) + &BigUint::from_u64(chunk);
+            remaining -= take;
+        }
+        if &v < bound {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+    use crate::normal_form::CnfGrammar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn pairs() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    #[test]
+    fn sample_lengths_and_validity() {
+        let g = pairs();
+        let s = TreeSampler::new(&g, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let t = s.sample(2, &mut rng).unwrap();
+            assert_eq!(t.yield_terminals().len(), 2);
+            assert!(t.is_valid(&g.to_grammar()));
+        }
+        assert!(s.sample(3, &mut rng).is_none());
+        assert!(s.sample(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_over_unambiguous_words() {
+        let g = pairs();
+        let s = TreeSampler::new(&g, 2);
+        assert_eq!(s.tree_count(2).to_u64(), Some(4));
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        let n = 4000;
+        for _ in 0..n {
+            *freq.entry(s.sample_word(2, &mut rng).unwrap()).or_default() += 1;
+        }
+        assert_eq!(freq.len(), 4);
+        for (w, c) in freq {
+            // Each of the 4 words should get ~1000 draws; allow wide slack.
+            assert!((700..1300).contains(&c), "{w}: {c}");
+        }
+    }
+
+    #[test]
+    fn rand_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bound = BigUint::pow2(100);
+        for _ in 0..100 {
+            assert!(rand_below(&bound, &mut rng) < bound);
+        }
+        let small = BigUint::from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rand_below(&small, &mut rng).to_u64().unwrap() as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn weighted_choice_respects_counts() {
+        // S → A A | B B ; A → a ; B → a | b.
+        // Trees of length 2: AA gives 1 (aa), BB gives 4 → 5 trees.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        let bb = b.nonterminal("B");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(s, |r| r.n(bb).n(bb));
+        b.rule(a, |r| r.t('a'));
+        b.rule(bb, |r| r.t('a'));
+        b.rule(bb, |r| r.t('b'));
+        let g = CnfGrammar::from_grammar(&b.build(s));
+        let samp = TreeSampler::new(&g, 2);
+        assert_eq!(samp.tree_count(2).to_u64(), Some(5));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut aa = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if samp.sample_word(2, &mut rng).unwrap() == "aa" {
+                aa += 1;
+            }
+        }
+        // "aa" has 2 of the 5 trees → expect ~2000.
+        assert!((1700..2300).contains(&aa), "aa: {aa}");
+    }
+}

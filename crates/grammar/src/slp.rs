@@ -1,0 +1,292 @@
+//! Straight-line programs (SLPs): grammars generating a single word.
+//!
+//! The related-work section of the paper contrasts its setting with
+//! grammar-based compression, where a CFG represents *one* word. This module
+//! provides that substrate: SLP construction, expansion without
+//! materialising intermediate strings where possible, and the classic
+//! exponential-compression witness `a^{2^k}` with an SLP of size `O(k)` —
+//! the same doubling trick the paper's grammars use for their `B_i`
+//! non-terminals.
+
+use crate::bignum::BigUint;
+use crate::builder::GrammarBuilder;
+use crate::cfg::Grammar;
+use crate::symbol::{NonTerminal, Symbol};
+use std::collections::HashMap;
+
+/// A straight-line program: every non-terminal has exactly one rule and the
+/// rule graph is acyclic, so the grammar derives exactly one word.
+pub struct Slp {
+    g: Grammar,
+}
+
+/// Errors from [`Slp::from_grammar`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlpError {
+    /// Some non-terminal has zero or multiple rules.
+    NotSingleRule(NonTerminal),
+    /// The rule graph has a cycle.
+    Cyclic,
+}
+
+impl Slp {
+    /// Validate that a grammar is an SLP.
+    pub fn from_grammar(g: Grammar) -> Result<Self, SlpError> {
+        for i in 0..g.nonterminal_count() {
+            let nt = NonTerminal(i as u32);
+            if g.rules_for(nt).count() != 1 {
+                return Err(SlpError::NotSingleRule(nt));
+            }
+        }
+        // Acyclicity of the raw rule graph (an SLP with a cycle has no
+        // finite derivation at all, so trimming-based analyses can't see it).
+        // Colours: 0 unvisited, 1 on stack, 2 done.
+        let mut colour = vec![0u8; g.nonterminal_count()];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for root in 0..g.nonterminal_count() as u32 {
+            if colour[root as usize] != 0 {
+                continue;
+            }
+            colour[root as usize] = 1;
+            stack.push((root, 0));
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                let rule = g.rules_for(NonTerminal(v)).next().expect("single rule");
+                let next = rule.rhs[*ci..].iter().find_map(|s| s.nonterminal());
+                // Advance the cursor past what we just inspected.
+                let consumed = rule.rhs[*ci..]
+                    .iter()
+                    .position(|s| s.nonterminal().is_some())
+                    .map(|p| p + 1)
+                    .unwrap_or(rule.rhs.len() - *ci);
+                *ci += consumed;
+                match next {
+                    Some(w) => match colour[w.index()] {
+                        0 => {
+                            colour[w.index()] = 1;
+                            stack.push((w.0, 0));
+                        }
+                        1 => return Err(SlpError::Cyclic),
+                        _ => {}
+                    },
+                    None => {
+                        colour[v as usize] = 2;
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        Ok(Slp { g })
+    }
+
+    /// The underlying grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.g
+    }
+
+    /// The paper's size measure of the SLP.
+    pub fn size(&self) -> usize {
+        self.g.size()
+    }
+
+    /// Length of the represented word, without expanding it.
+    pub fn word_length(&self) -> BigUint {
+        let mut memo: HashMap<u32, BigUint> = HashMap::new();
+        self.len_of(self.g.start(), &mut memo)
+    }
+
+    fn len_of(&self, a: NonTerminal, memo: &mut HashMap<u32, BigUint>) -> BigUint {
+        if let Some(v) = memo.get(&a.0) {
+            return v.clone();
+        }
+        let rule = self.g.rules_for(a).next().expect("validated single rule");
+        let mut total = BigUint::zero();
+        for &s in &rule.rhs {
+            match s {
+                Symbol::T(_) => total += &BigUint::one(),
+                Symbol::N(b) => total += &self.len_of(b, memo),
+            }
+        }
+        memo.insert(a.0, total.clone());
+        total
+    }
+
+    /// Expand to the represented word. Panics if it does not fit in memory
+    /// practically; check [`Slp::word_length`] first.
+    pub fn expand(&self) -> String {
+        let mut memo: HashMap<u32, String> = HashMap::new();
+        self.expand_nt(self.g.start(), &mut memo)
+    }
+
+    fn expand_nt(&self, a: NonTerminal, memo: &mut HashMap<u32, String>) -> String {
+        if let Some(v) = memo.get(&a.0) {
+            return v.clone();
+        }
+        let rule = self.g.rules_for(a).next().expect("validated single rule").clone();
+        let mut out = String::new();
+        for &s in &rule.rhs {
+            match s {
+                Symbol::T(t) => out.push(self.g.letter(t)),
+                Symbol::N(b) => out.push_str(&self.expand_nt(b, memo)),
+            }
+        }
+        memo.insert(a.0, out.clone());
+        out
+    }
+
+    /// Random access: the character at 0-based position `i` of the word,
+    /// in time proportional to the SLP depth — the standard SLP query.
+    pub fn char_at(&self, i: u64) -> Option<char> {
+        let mut lens: HashMap<u32, BigUint> = HashMap::new();
+        let total = self.len_of(self.g.start(), &mut lens);
+        if BigUint::from_u64(i) >= total {
+            return None;
+        }
+        let mut cur = self.g.start();
+        let mut offset = BigUint::from_u64(i);
+        'descend: loop {
+            let rule = self.g.rules_for(cur).next().expect("single rule");
+            for &s in &rule.rhs {
+                let l = match s {
+                    Symbol::T(_) => BigUint::one(),
+                    Symbol::N(b) => self.len_of(b, &mut lens),
+                };
+                if offset < l {
+                    match s {
+                        Symbol::T(t) => return Some(self.g.letter(t)),
+                        Symbol::N(b) => {
+                            cur = b;
+                            continue 'descend;
+                        }
+                    }
+                }
+                offset = offset.checked_sub(&l).expect("offset >= l");
+            }
+            unreachable!("offset within word length");
+        }
+    }
+
+    /// The trivial SLP `S → w` of size `|w|`.
+    pub fn literal(alphabet: &[char], w: &str) -> Self {
+        let mut b = GrammarBuilder::new(alphabet);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.ts(w));
+        Slp { g: b.build(s) }
+    }
+
+    /// An SLP of size `O(k)` for the word `c^(2^k)` — the doubling trick of
+    /// the paper's `B_i → B_{i-1} B_{i-1}` rules.
+    pub fn power_of_two(c: char, k: u32) -> Self {
+        let mut b = GrammarBuilder::new(&[c]);
+        let b0 = b.nonterminal("B0");
+        b.rule(b0, |r| r.t(c));
+        let mut prev = b0;
+        for i in 1..=k {
+            let bi = b.nonterminal(&format!("B{i}"));
+            b.rule(bi, |r| r.n(prev).n(prev));
+            prev = bi;
+        }
+        Slp { g: b.build(prev) }
+    }
+
+    /// An SLP for `c^m` of size `O(log m)` via binary decomposition — the
+    /// Appendix A idea of assembling a length from powers of two.
+    pub fn unary(c: char, m: u64) -> Self {
+        assert!(m >= 1, "empty word not representable without ε");
+        let mut b = GrammarBuilder::new(&[c]);
+        let bits = 64 - m.leading_zeros();
+        let mut pow = Vec::new();
+        let b0 = b.nonterminal("B0");
+        b.rule(b0, |r| r.t(c));
+        pow.push(b0);
+        for i in 1..bits {
+            let bi = b.nonterminal(&format!("B{i}"));
+            let p = pow[(i - 1) as usize];
+            b.rule(bi, |r| r.n(p).n(p));
+            pow.push(bi);
+        }
+        let s = b.nonterminal("S");
+        let picks: Vec<NonTerminal> =
+            (0..bits).filter(|i| m >> i & 1 == 1).map(|i| pow[i as usize]).collect();
+        b.raw_rule(s, picks.into_iter().map(Symbol::N).collect());
+        Slp { g: b.build(s) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let s = Slp::literal(&['a', 'b'], "abba");
+        assert_eq!(s.expand(), "abba");
+        assert_eq!(s.word_length().to_u64(), Some(4));
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn power_of_two_is_logarithmic() {
+        let s = Slp::power_of_two('a', 10);
+        assert_eq!(s.word_length().to_u64(), Some(1024));
+        assert!(s.size() <= 2 * 10 + 1, "size {}", s.size());
+        assert_eq!(s.expand().len(), 1024);
+        assert!(s.expand().chars().all(|c| c == 'a'));
+    }
+
+    #[test]
+    fn huge_word_length_without_expansion() {
+        let s = Slp::power_of_two('a', 200);
+        assert_eq!(s.word_length(), BigUint::pow2(200));
+    }
+
+    #[test]
+    fn unary_binary_decomposition() {
+        for m in [1u64, 2, 3, 5, 13, 100, 255, 256] {
+            let s = Slp::unary('a', m);
+            assert_eq!(s.word_length().to_u64(), Some(m), "m={m}");
+            assert_eq!(s.expand().len() as u64, m);
+            let bits = 64 - m.leading_zeros() as usize;
+            assert!(s.size() <= 3 * bits + 2, "m={m} size={}", s.size());
+        }
+    }
+
+    #[test]
+    fn char_at_random_access() {
+        let s = Slp::literal(&['a', 'b'], "abbab");
+        let expanded: Vec<char> = s.expand().chars().collect();
+        for i in 0..5u64 {
+            assert_eq!(s.char_at(i), Some(expanded[i as usize]));
+        }
+        assert_eq!(s.char_at(5), None);
+
+        let p = Slp::power_of_two('a', 30);
+        assert_eq!(p.char_at(0), Some('a'));
+        assert_eq!(p.char_at((1 << 30) - 1), Some('a'));
+        assert_eq!(p.char_at(1 << 30), None);
+    }
+
+    #[test]
+    fn rejects_non_slp() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a'));
+        b.rule(s, |r| r.ts("aa"));
+        assert!(matches!(Slp::from_grammar(b.build(s)), Err(SlpError::NotSingleRule(_))));
+    }
+
+    #[test]
+    fn rejects_cyclic() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        assert!(matches!(Slp::from_grammar(b.build(s)), Err(SlpError::Cyclic)));
+    }
+
+    #[test]
+    fn from_grammar_accepts_valid() {
+        let s = Slp::power_of_two('a', 3);
+        let g = s.grammar().clone();
+        let s2 = Slp::from_grammar(g).unwrap();
+        assert_eq!(s2.expand(), "a".repeat(8));
+    }
+}

@@ -1,0 +1,122 @@
+//! Interned grammar symbols.
+//!
+//! Terminals and non-terminals are small integer ids (newtypes) indexing
+//! side tables owned by the [`Grammar`](crate::cfg::Grammar); rules store
+//! flat `Vec<Symbol>` right-hand sides. This keeps the hot parsing and
+//! counting loops free of string handling and hashing.
+
+use std::fmt;
+
+/// A terminal symbol, an index into the grammar's alphabet table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Terminal(pub u16);
+
+/// A non-terminal symbol, an index into the grammar's non-terminal table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NonTerminal(pub u32);
+
+impl Terminal {
+    /// The id as a usize, for table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NonTerminal {
+    /// The id as a usize, for table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Either side of a grammar rule body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symbol {
+    /// A terminal occurrence.
+    T(Terminal),
+    /// A non-terminal occurrence.
+    N(NonTerminal),
+}
+
+impl Symbol {
+    /// The terminal inside, if any.
+    #[inline]
+    pub fn terminal(self) -> Option<Terminal> {
+        match self {
+            Symbol::T(t) => Some(t),
+            Symbol::N(_) => None,
+        }
+    }
+
+    /// The non-terminal inside, if any.
+    #[inline]
+    pub fn nonterminal(self) -> Option<NonTerminal> {
+        match self {
+            Symbol::N(n) => Some(n),
+            Symbol::T(_) => None,
+        }
+    }
+
+    /// True iff this is a terminal occurrence.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Symbol::T(_))
+    }
+}
+
+impl From<Terminal> for Symbol {
+    fn from(t: Terminal) -> Self {
+        Symbol::T(t)
+    }
+}
+
+impl From<NonTerminal> for Symbol {
+    fn from(n: NonTerminal) -> Self {
+        Symbol::N(n)
+    }
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for NonTerminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_accessors() {
+        let t = Terminal(3);
+        let n = NonTerminal(7);
+        assert_eq!(Symbol::T(t).terminal(), Some(t));
+        assert_eq!(Symbol::T(t).nonterminal(), None);
+        assert_eq!(Symbol::N(n).nonterminal(), Some(n));
+        assert_eq!(Symbol::N(n).terminal(), None);
+        assert!(Symbol::T(t).is_terminal());
+        assert!(!Symbol::N(n).is_terminal());
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Symbol = Terminal(1).into();
+        assert!(s.is_terminal());
+        let s: Symbol = NonTerminal(2).into();
+        assert!(!s.is_terminal());
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(Terminal(9).index(), 9);
+        assert_eq!(NonTerminal(11).index(), 11);
+    }
+}

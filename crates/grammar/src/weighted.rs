@@ -1,0 +1,390 @@
+//! Semiring-weighted evaluation (the generalised inside algorithm).
+//!
+//! Counting parse trees, recognising, finding shortest/longest yields and
+//! computing Viterbi probabilities are all the *same* dynamic program over
+//! different semirings. This module provides the [`Semiring`] abstraction
+//! and the length-indexed inside algorithm over CNF grammars; the
+//! provenance-polynomial connection ([28] in the paper: factorised
+//! representations of provenance) is exercised by the polynomial semiring
+//! in the tests.
+//!
+//! For *unambiguous* grammars the count semiring value is the number of
+//! words — the recurring theme that aggregation is easy exactly when the
+//! representation is unambiguous/deterministic.
+//!
+//! ```
+//! use ucfg_grammar::normal_form::CnfGrammar;
+//! use ucfg_grammar::text::parse_grammar;
+//! use ucfg_grammar::weighted::{inside_at, Count, MinPlus, TableWeights, UnitWeights};
+//!
+//! let g = parse_grammar("S -> A A\nA -> a | b\n").unwrap();
+//! let cnf = CnfGrammar::from_grammar(&g);
+//! // Counting: 4 words of length 2.
+//! let Count(total) = inside_at(&cnf, &UnitWeights, 2);
+//! assert_eq!(total.to_u64(), Some(4));
+//! // Tropical: cheapest word when a costs 3 and b costs 1.
+//! let w = TableWeights(vec![MinPlus(Some(3)), MinPlus(Some(1))]);
+//! assert_eq!(inside_at(&cnf, &w, 2), MinPlus(Some(2))); // bb
+//! ```
+
+use crate::bignum::BigUint;
+use crate::normal_form::CnfGrammar;
+use crate::symbol::Terminal;
+
+/// A commutative semiring `(⊕, ⊗, 0, 1)`.
+pub trait Semiring: Clone {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Addition (choice between derivations).
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication (combination within a derivation).
+    fn mul(&self, other: &Self) -> Self;
+    /// Is this the additive identity? (Used for pruning.)
+    fn is_zero(&self) -> bool;
+}
+
+/// Assigns a semiring weight to each terminal-rule application.
+pub trait TerminalWeight<S: Semiring> {
+    /// Weight of deriving terminal `t` (from any non-terminal).
+    fn weight(&self, t: Terminal) -> S;
+}
+
+/// Weight every terminal by `1` — pure structure counting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitWeights;
+
+impl<S: Semiring> TerminalWeight<S> for UnitWeights {
+    fn weight(&self, _t: Terminal) -> S {
+        S::one()
+    }
+}
+
+/// The Boolean semiring: recognition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+}
+
+/// The counting semiring ℕ (with big integers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Count(pub BigUint);
+
+impl Semiring for Count {
+    fn zero() -> Self {
+        Count(BigUint::zero())
+    }
+    fn one() -> Self {
+        Count(BigUint::one())
+    }
+    fn add(&self, other: &Self) -> Self {
+        Count(&self.0 + &other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Count(&self.0 * &other.0)
+    }
+    fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+}
+
+/// The tropical (min, +) semiring over `u64` with `∞` as zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinPlus(pub Option<u64>);
+
+impl Semiring for MinPlus {
+    fn zero() -> Self {
+        MinPlus(None)
+    }
+    fn one() -> Self {
+        MinPlus(Some(0))
+    }
+    fn add(&self, other: &Self) -> Self {
+        MinPlus(match (self.0, other.0) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        })
+    }
+    fn mul(&self, other: &Self) -> Self {
+        MinPlus(match (self.0, other.0) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        })
+    }
+    fn is_zero(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+/// The Viterbi semiring (max, ×) over probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viterbi(pub f64);
+
+impl Semiring for Viterbi {
+    fn zero() -> Self {
+        Viterbi(0.0)
+    }
+    fn one() -> Self {
+        Viterbi(1.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Viterbi(self.0.max(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Viterbi(self.0 * other.0)
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+/// A (sparse, small) multivariate polynomial with ℕ coefficients —
+/// the provenance "why" semiring, one variable per terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    /// Monomials: sorted exponent vectors → coefficient.
+    pub terms: std::collections::BTreeMap<Vec<u32>, u64>,
+    /// Number of variables.
+    pub vars: usize,
+}
+
+impl Poly {
+    /// The variable `x_i` among `vars` variables.
+    pub fn var(i: usize, vars: usize) -> Self {
+        let mut e = vec![0u32; vars];
+        e[i] = 1;
+        Poly { terms: std::collections::BTreeMap::from([(e, 1)]), vars }
+    }
+
+    /// Total number of monomials.
+    pub fn monomials(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluate at a point (for cross-checks against direct counting).
+    pub fn eval(&self, xs: &[u64]) -> u64 {
+        self.terms
+            .iter()
+            .map(|(e, &c)| {
+                c * e.iter().zip(xs).map(|(&p, &x)| x.pow(p)).product::<u64>()
+            })
+            .sum()
+    }
+}
+
+impl Semiring for Poly {
+    fn zero() -> Self {
+        Poly { terms: std::collections::BTreeMap::new(), vars: 0 }
+    }
+    fn one() -> Self {
+        Poly { terms: std::collections::BTreeMap::from([(Vec::new(), 1)]), vars: 0 }
+    }
+    fn add(&self, other: &Self) -> Self {
+        let vars = self.vars.max(other.vars);
+        let mut terms = std::collections::BTreeMap::new();
+        for (e, &c) in self.terms.iter().chain(other.terms.iter()) {
+            let mut e = e.clone();
+            e.resize(vars, 0);
+            *terms.entry(e).or_insert(0) += c;
+        }
+        Poly { terms, vars }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let vars = self.vars.max(other.vars);
+        let mut terms = std::collections::BTreeMap::new();
+        for (e1, &c1) in &self.terms {
+            for (e2, &c2) in &other.terms {
+                let mut e = e1.clone();
+                e.resize(vars, 0);
+                for (i, &x) in e2.iter().enumerate() {
+                    e[i] += x;
+                }
+                *terms.entry(e).or_insert(0) += c1 * c2;
+            }
+        }
+        Poly { terms, vars }
+    }
+    fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// The inside algorithm: `table[A][l-1]` = ⊕ over parse trees of length-`l`
+/// words from `A` of the ⊗ of their terminal weights.
+pub fn inside<S: Semiring>(
+    g: &CnfGrammar,
+    weights: &impl TerminalWeight<S>,
+    max_len: usize,
+) -> Vec<Vec<S>> {
+    let nts = g.nonterminal_count();
+    let mut table: Vec<Vec<S>> = vec![vec![S::zero(); max_len]; nts];
+    if max_len == 0 {
+        return table;
+    }
+    for &(a, t) in g.term_rules() {
+        let w = weights.weight(t);
+        table[a.index()][0] = table[a.index()][0].add(&w);
+    }
+    for l in 2..=max_len {
+        for &(a, b, c) in g.bin_rules() {
+            let mut acc = S::zero();
+            for k in 1..l {
+                let lb = &table[b.index()][k - 1];
+                let rc = &table[c.index()][l - k - 1];
+                if lb.is_zero() || rc.is_zero() {
+                    continue;
+                }
+                acc = acc.add(&lb.mul(rc));
+            }
+            if !acc.is_zero() {
+                table[a.index()][l - 1] = table[a.index()][l - 1].add(&acc);
+            }
+        }
+    }
+    table
+}
+
+/// The start symbol's inside value at exactly `len`.
+pub fn inside_at<S: Semiring>(
+    g: &CnfGrammar,
+    weights: &impl TerminalWeight<S>,
+    len: usize,
+) -> S {
+    if len == 0 {
+        return if g.accepts_epsilon() { S::one() } else { S::zero() };
+    }
+    inside(g, weights, len)[g.start().index()][len - 1].clone()
+}
+
+/// Terminal weights from an explicit per-terminal table.
+#[derive(Debug, Clone)]
+pub struct TableWeights<S>(pub Vec<S>);
+
+impl<S: Semiring> TerminalWeight<S> for TableWeights<S> {
+    fn weight(&self, t: Terminal) -> S {
+        self.0[t.index()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GrammarBuilder;
+    use crate::count::derivation_counts_by_length;
+
+    fn pairs() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let a = b.nonterminal("A");
+        b.rule(s, |r| r.n(a).n(a));
+        b.rule(a, |r| r.t('a'));
+        b.rule(a, |r| r.t('b'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    fn catalan() -> CnfGrammar {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.n(s).n(s));
+        b.rule(s, |r| r.t('a'));
+        CnfGrammar::from_grammar(&b.build(s))
+    }
+
+    #[test]
+    fn count_semiring_matches_dedicated_counting() {
+        for g in [pairs(), catalan()] {
+            let direct = derivation_counts_by_length(&g, 6);
+            for l in 1..=6usize {
+                let Count(v) = inside_at(&g, &UnitWeights, l);
+                assert_eq!(v, direct[l], "length {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_semiring_is_nonemptiness_per_length() {
+        let g = pairs();
+        assert!(!inside_at::<Bool>(&g, &UnitWeights, 1).0);
+        assert!(inside_at::<Bool>(&g, &UnitWeights, 2).0);
+        assert!(!inside_at::<Bool>(&g, &UnitWeights, 3).0);
+    }
+
+    #[test]
+    fn tropical_semiring_finds_cheapest_word() {
+        // Cost: a = 5, b = 1. Cheapest length-2 word is bb with cost 2.
+        let g = pairs();
+        let w = TableWeights(vec![MinPlus(Some(5)), MinPlus(Some(1))]);
+        assert_eq!(inside_at(&g, &w, 2), MinPlus(Some(2)));
+        assert_eq!(inside_at(&g, &w, 3), MinPlus(None));
+    }
+
+    #[test]
+    fn viterbi_best_derivation_probability() {
+        // P(a) = 0.9, P(b) = 0.1: best length-2 tree has prob 0.81.
+        let g = pairs();
+        let w = TableWeights(vec![Viterbi(0.9), Viterbi(0.1)]);
+        let v = inside_at(&g, &w, 2);
+        assert!((v.0 - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provenance_polynomial_tracks_terminal_usage() {
+        // Variables x₀ for 'a', x₁ for 'b'; the length-2 inside value is
+        // x₀² + 2x₀x₁ + x₁² = (x₀ + x₁)².
+        let g = pairs();
+        let w = TableWeights(vec![Poly::var(0, 2), Poly::var(1, 2)]);
+        let p = inside_at(&g, &w, 2);
+        assert_eq!(p.monomials(), 3);
+        assert_eq!(p.eval(&[1, 1]), 4); // #words
+        assert_eq!(p.eval(&[1, 0]), 1); // only aa survives b ↦ 0
+        assert_eq!(p.eval(&[2, 3]), 25); // (2+3)²
+    }
+
+    #[test]
+    fn provenance_on_ambiguous_grammar_counts_trees() {
+        let g = catalan();
+        let w = TableWeights(vec![Poly::var(0, 1)]);
+        let p = inside_at(&g, &w, 4);
+        // 5 trees, all with monomial x⁴.
+        assert_eq!(p.monomials(), 1);
+        assert_eq!(p.eval(&[1]), 5);
+    }
+
+    #[test]
+    fn zero_pruning_consistency() {
+        // MinPlus zero (∞) must propagate like Count zero.
+        let g = pairs();
+        for l in 1..=4usize {
+            let c = inside_at::<Count>(&g, &UnitWeights, l);
+            let m = inside_at::<MinPlus>(&g, &UnitWeights, l);
+            assert_eq!(c.is_zero(), m.is_zero(), "length {l}");
+        }
+    }
+
+    #[test]
+    fn epsilon_handling() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        b.epsilon_rule(s);
+        b.rule(s, |r| r.t('a'));
+        let g = CnfGrammar::from_grammar(&b.build(s));
+        assert_eq!(inside_at::<Count>(&g, &UnitWeights, 0).0.to_u64(), Some(1));
+    }
+}

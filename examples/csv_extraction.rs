@@ -1,0 +1,61 @@
+//! The introduction's information-extraction scenario: extracting pairs of
+//! CSV lines that agree on at least one column of a set S — small as an
+//! ambiguous CFG, exponential as any unambiguous representation.
+//!
+//! Run with `cargo run --release --example csv_extraction`.
+
+use ucfg_automata::convert::dfa_to_grammar;
+use ucfg_automata::dawg::DawgBuilder;
+use ucfg_core::words;
+use ucfg_factorized::csv_scenario::{
+    agreement_grammar, agreement_language, agrees, encode_ln_word,
+};
+use ucfg_grammar::count::decide_unambiguous;
+
+fn main() {
+    let alphabet = ['a', 'b'];
+    println!("Agree(c, S, Σ): two c-column lines agreeing on some column in S\n");
+    println!("{:>3} {:>10} {:>12} {:>18}", "c", "|Agree|", "|CFG| (amb)", "|uCFG| (via DAWG)");
+    for c in 1..=8usize {
+        let s_cols: Vec<usize> = (1..=c).collect();
+        let g = agreement_grammar(c, &s_cols, &alphabet);
+        let mut lang = agreement_language(c, &s_cols, &alphabet);
+        lang.sort();
+        let mut b = DawgBuilder::new(&alphabet);
+        for w in &lang {
+            b.add(w);
+        }
+        let ucfg = dfa_to_grammar(&b.finish()).expect("no ε");
+        println!("{:>3} {:>10} {:>12} {:>18}", c, lang.len(), g.size(), ucfg.size());
+    }
+
+    // The ambiguous CFG really is ambiguous, and the DAWG route really is
+    // unambiguous (checked exactly for a small instance).
+    let c = 3;
+    let s_cols = vec![1usize, 2, 3];
+    let g = agreement_grammar(c, &s_cols, &alphabet);
+    println!(
+        "\nc = {c}: CFG unambiguous? {} (a pair agreeing on two columns has two derivations)",
+        decide_unambiguous(&g).is_unambiguous()
+    );
+
+    // The reduction from L_n that forces the exponential uCFG size.
+    let n = 3;
+    println!(
+        "\nReduction L_{n} → Agree({n}, [{n}], {{a,c,d}}): rename b ↦ c on line 1, b ↦ d on line 2."
+    );
+    for w in [0b101010u64, 0b001001, 0b111000] {
+        let original = words::to_string(n, w);
+        let encoded = encode_ln_word(n, w);
+        println!(
+            "  {original} ∈ L_{n}: {:5}  ↦  {encoded} agrees: {}",
+            words::ln_contains(n, w),
+            agrees(n, &[1, 2, 3], &encoded)
+        );
+    }
+    println!(
+        "\nSince columns agree iff both original letters were 'a', any uCFG for\n\
+         Agree restricted to the encoded domain yields one for L_n — so by\n\
+         Theorem 12 every uCFG for the extraction task is exponential in |S|."
+    );
+}

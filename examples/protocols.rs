@@ -1,0 +1,70 @@
+//! The communication-complexity view: `L_n` is the complement of set
+//! disjointness, nondeterministic certificates are rectangle covers, and
+//! the price of unambiguity is the paper's whole story.
+//!
+//! Run with `cargo run --release --example protocols`.
+
+use ucfg_core::comm::{canonical_fooling_set, fooling_bound, is_fooling_set, NondetProtocol};
+use ucfg_core::cover::example8_cover;
+use ucfg_core::greedy_cover::{
+    certified_exact_middle_cut_cover_number, greedy_disjoint_cover, greedy_disjoint_cover_middle_cut,
+};
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rank::rank_for_partition;
+use ucfg_core::words;
+
+fn main() {
+    let n = 4;
+    println!("Set intersection as communication: Alice holds X ⊆ [{n}], Bob holds Y ⊆ [{n}].");
+    println!("L_{n} = {{(X, Y) : X ∩ Y ≠ ∅}}, |L_{n}| = {}\n", words::ln_size(n));
+
+    // Nondeterministic: guess the common element — Example 8's cover.
+    let nondet = NondetProtocol::from_cover(example8_cover(n));
+    assert!(nondet.computes_ln(n));
+    println!(
+        "nondeterministic protocol (Example 8): {} rectangles = {} bits",
+        nondet.rectangles.len(),
+        nondet.cost_bits()
+    );
+    let all_a = (1u64 << (2 * n)) - 1;
+    println!(
+        "  ambiguous: input (full, full) has {} certificates\n",
+        nondet.certificate_count(all_a)
+    );
+
+    // Unambiguous: a disjoint cover — exponentially more rectangles.
+    let mid = greedy_disjoint_cover_middle_cut(n);
+    let unamb = NondetProtocol::from_cover(mid.rectangles);
+    assert!(unamb.computes_ln(n) && unamb.is_unambiguous(n));
+    println!(
+        "unambiguous protocol ([1,n] cut): {} rectangles = {} bits",
+        unamb.rectangles.len(),
+        unamb.cost_bits()
+    );
+    let part = OrderedPartition::new(n, 1, n);
+    println!("  rank lower bound: {}", rank_for_partition(n, part));
+    if let Some(exact) = certified_exact_middle_cut_cover_number(n) {
+        println!("  certified exact unambiguous cover number: {exact} (= 2^{n} − 1)");
+    }
+    let multi = greedy_disjoint_cover(n);
+    println!(
+        "  multi-partition unambiguous cover (greedy): {} rectangles\n",
+        multi.len()
+    );
+
+    // Fooling sets.
+    let fs = canonical_fooling_set(n);
+    assert!(is_fooling_set(n, part, &fs));
+    println!(
+        "canonical fooling set {{({{i}}, {{i}})}}: size {} → nondet cover ≥ log₂ {}",
+        fs.len(),
+        fs.len()
+    );
+    println!("greedy fooling set: size {}", fooling_bound(n, part));
+    println!(
+        "\nThe same trade-off drives Theorem 1: an ambiguous CFG can name a\n\
+         witness cheaply (log n bits / O(log n) grammar size); an unambiguous\n\
+         one must partition the witnesses — and partitioning non-disjoint\n\
+         unions costs 2^Ω(n)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build the paper's grammars for `L_n`, parse, count, and
+//! decide unambiguity.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ucfg_core::ln_grammars::{appendix_a_grammar, example3_grammar, example4_ucfg};
+use ucfg_core::words;
+use ucfg_grammar::count::{decide_unambiguous, UnambiguityVerdict};
+use ucfg_grammar::earley::Earley;
+use ucfg_grammar::language::finite_language;
+use ucfg_grammar::parse_tree::FixedLenParser;
+
+fn main() {
+    let n = 4;
+    println!("L_{n}: words of length {} with two a's at distance {n}", 2 * n);
+    println!("|L_{n}| = 4^{n} − 3^{n} = {}\n", words::ln_size(n));
+
+    // --- The O(log n) CFG of Appendix A (Theorem 1(1)). ---
+    let cfg = appendix_a_grammar(n);
+    println!("Appendix A CFG (size {} = O(log n)):\n{}", cfg.size(), cfg);
+
+    // Membership via Earley (no normal form needed).
+    let earley = Earley::new(&cfg);
+    for w in ["abbbabbb", "abbbbabb", "aaaaaaaa", "bbbbbbbb"] {
+        println!("  {w} ∈ L_{n}?  {}", earley.recognize_str(w));
+    }
+
+    // The grammar is ambiguous — words with several witnessing pairs have
+    // several parse trees.
+    let parser = FixedLenParser::new(&cfg).expect("fixed-length language");
+    let all_a = cfg.encode(&"a".repeat(2 * n)).unwrap();
+    println!("\n  #parse trees of a^{}: {}", 2 * n, parser.count_trees(&all_a));
+    match decide_unambiguous(&cfg) {
+        UnambiguityVerdict::Ambiguous { witness, degree } => {
+            println!("  ambiguous: {witness} has {degree} parse trees")
+        }
+        v => println!("  verdict: {v:?}"),
+    }
+
+    // --- The exponential-size uCFG of Example 4 (Theorem 1(3)). ---
+    let ucfg = example4_ucfg(n);
+    println!(
+        "\nExample 4 uCFG: size {} (vs CFG size {}), unambiguous: {}",
+        ucfg.size(),
+        cfg.size(),
+        decide_unambiguous(&ucfg).is_unambiguous()
+    );
+    assert_eq!(finite_language(&ucfg), finite_language(&cfg));
+    println!("same language as the CFG ✓");
+
+    // --- Example 3's G_n for L_{2^n + 1}. ---
+    let g1 = example3_grammar(1);
+    println!("\nExample 3 G_1 (accepts L_3, size {}):\n{}", g1.size(), g1);
+    let p = FixedLenParser::new(&g1).unwrap();
+    let aaaaaa = g1.encode("aaaaaa").unwrap();
+    println!("Figure 1: aaaaaa has {} parse trees; the first two:", p.count_trees(&aaaaaa));
+    for t in p.trees(&aaaaaa, 2) {
+        println!("{}", t.render(&g1));
+    }
+}

@@ -1,0 +1,46 @@
+//! The headline Theorem 1 separation table: CFG vs NFA vs uCFG sizes for
+//! `L_n`, with the discrepancy lower bound every uCFG must obey.
+//!
+//! Run with `cargo run --release --example separation`.
+
+use ucfg_core::separation::separation_row;
+
+fn main() {
+    println!("Theorem 1: representation sizes for L_n (words of length 2n)\n");
+    println!(
+        "{:>6} {:>14} {:>8} {:>10} {:>10} {:>10} {:>16} {:>12}",
+        "n", "|L_n|", "CFG", "NFA(Θn)", "NFA exact", "DAWG-uCFG", "Ex.4 uCFG", "uCFG ≥"
+    );
+    for n in [2usize, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024] {
+        let row = separation_row(n, 24, 8);
+        let lang = if row.language_size.bits() <= 40 {
+            row.language_size.to_string()
+        } else {
+            format!("≈2^{:.0}", row.language_size.log2_approx())
+        };
+        let ex4 = if row.ucfg_example4_size.bits() <= 40 {
+            row.ucfg_example4_size.to_string()
+        } else {
+            format!("≈2^{:.0}", row.ucfg_example4_size.log2_approx())
+        };
+        println!(
+            "{:>6} {:>14} {:>8} {:>10} {:>10} {:>10} {:>16} {:>12}",
+            n,
+            lang,
+            row.cfg_size,
+            row.nfa_pattern_transitions,
+            row.nfa_exact_transitions.map_or("-".into(), |v| v.to_string()),
+            row.ucfg_dawg_size.map_or("-".into(), |v| v.to_string()),
+            ex4,
+            row.ucfg_lower_bound_log2
+                .map_or("-".into(), |v| format!("2^{v:.1}")),
+        );
+    }
+    println!(
+        "\nShape: the CFG column grows like log n while every uCFG is forced to\n\
+         2^Ω(n) (last column; Theorem 12) — so the CFG is doubly-exponentially\n\
+         smaller, proving the Kimelfeld–Martens–Niewerth conjecture.\n\
+         The Θ(n) NFA column is the guess-and-verify automaton under the\n\
+         length-2n promise; enforcing the length costs Θ(n²) (\"NFA exact\")."
+    );
+}

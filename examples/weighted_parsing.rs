@@ -1,0 +1,52 @@
+//! Semiring-weighted parsing: one dynamic program, many aggregates —
+//! and why they are only *word*-correct on unambiguous grammars.
+//!
+//! Run with `cargo run --release --example weighted_parsing`.
+
+use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
+use ucfg_core::words;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::weighted::{
+    inside_at, Bool, Count, MinPlus, Poly, TableWeights, UnitWeights, Viterbi,
+};
+
+fn main() {
+    let n = 4;
+    let ucfg = CnfGrammar::from_grammar(&example4_ucfg(n));
+    let ambiguous = CnfGrammar::from_grammar(&appendix_a_grammar(n));
+    println!("L_{n}: |L_{n}| = {}\n", words::ln_size(n));
+
+    // Boolean semiring: recognition per length.
+    let nonempty: Bool = inside_at(&ucfg, &UnitWeights, 2 * n);
+    println!("Boolean inside at length {}: {}", 2 * n, nonempty.0);
+
+    // Counting: on the uCFG this counts WORDS; on the ambiguous CFG it
+    // counts DERIVATIONS.
+    let Count(on_ucfg) = inside_at(&ucfg, &UnitWeights, 2 * n);
+    let Count(on_cfg) = inside_at(&ambiguous, &UnitWeights, 2 * n);
+    println!("count on uCFG:      {on_ucfg}  (= |L_{n}| ✓)");
+    println!("count on ambiguous: {on_cfg}  (over-counts derivations)");
+
+    // Tropical: cheapest word when a costs 1 and b costs 0 — every word of
+    // L_n needs its two witnessing a's.
+    let trop = TableWeights(vec![MinPlus(Some(1)), MinPlus(Some(0))]);
+    let min_a: MinPlus = inside_at(&ucfg, &trop, 2 * n);
+    println!("\ntropical min #a over L_{n}: {:?} (the two witnesses)", min_a.0);
+
+    // Viterbi: most likely word under P(a) = 0.3, P(b) = 0.7.
+    let vit = TableWeights(vec![Viterbi(0.3), Viterbi(0.7)]);
+    let best: Viterbi = inside_at(&ucfg, &vit, 2 * n);
+    println!("Viterbi best-word probability (P(a)=0.3): {:.6}", best.0);
+
+    // Provenance polynomial in x (for a) and y (for b): the generating
+    // function of L_n by letter counts.
+    let prov = TableWeights(vec![Poly::var(0, 2), Poly::var(1, 2)]);
+    let p: Poly = inside_at(&ucfg, &prov, 2 * n);
+    println!(
+        "\nprovenance polynomial: {} monomials; eval at (1,1) = {} = |L_{n}| ✓",
+        p.monomials(),
+        p.eval(&[1, 1])
+    );
+    // Setting y = 0 keeps only the all-a word.
+    println!("eval at (1,0) = {} (only a^{} survives)", p.eval(&[1, 0]), 2 * n);
+}

@@ -1,0 +1,15 @@
+//! # ucfg-repro — workspace façade
+//!
+//! Re-exports the four library crates of the reproduction of
+//! *“A Lower Bound on Unambiguous Context Free Grammars via Communication
+//! Complexity”* (Mengel & Vinall-Smeeth, PODS 2025), and hosts the
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`).
+//!
+//! Start with `examples/quickstart.rs`, then `examples/separation.rs` for
+//! the headline Theorem 1 table.
+
+pub use ucfg_automata as automata;
+pub use ucfg_core as core;
+pub use ucfg_factorized as factorized;
+pub use ucfg_grammar as grammar;

@@ -1,0 +1,132 @@
+//! Cross-crate consistency: the same language through every representation
+//! (grammar, CNF, annotated grammar, NFA, DFA, DAWG, d-representation) and
+//! the same counts through every counting routine.
+
+use std::collections::BTreeSet;
+use ucfg_automata::ambiguity::is_unambiguous;
+use ucfg_automata::convert::{dfa_to_grammar, dfa_to_nfa, nfa_to_grammar};
+use ucfg_automata::dawg::dawg_of_words;
+use ucfg_automata::dfa::Dfa;
+use ucfg_automata::ln_nfa::exact_nfa;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
+use ucfg_core::words;
+use ucfg_factorized::convert::{circuit_to_grammar, grammar_to_circuit};
+use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::count::{derivation_counts_by_length, TreeCounter};
+use ucfg_grammar::cyk::ambiguity_of;
+use ucfg_grammar::language::finite_language;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::parse_tree::FixedLenParser;
+
+#[test]
+fn five_counting_routes_agree() {
+    for n in 2..=4usize {
+        let expect = words::ln_size(n);
+
+        // 1. closed form (above) vs 2. uCFG derivation DP.
+        let ucfg_cnf = CnfGrammar::from_grammar(&example4_ucfg(n));
+        assert_eq!(
+            derivation_counts_by_length(&ucfg_cnf, 2 * n).pop().unwrap(),
+            expect,
+            "uCFG DP, n={n}"
+        );
+
+        // 3. deterministic circuit.
+        let circ = grammar_to_circuit(&example4_ucfg(n)).unwrap();
+        assert_eq!(circ.count_derivations(), expect, "circuit, n={n}");
+
+        // 4. automaton path counting (via subset determinisation).
+        assert_eq!(
+            exact_nfa(n).accepted_word_counts(2 * n).pop().unwrap(),
+            expect,
+            "NFA, n={n}"
+        );
+
+        // 5. brute-force enumeration.
+        assert_eq!(
+            BigUint::from_u64(words::enumerate_ln(n).len() as u64),
+            expect,
+            "enumeration, n={n}"
+        );
+    }
+}
+
+#[test]
+fn per_word_ambiguity_degrees_agree_across_parsers() {
+    let n = 3;
+    let g = appendix_a_grammar(n);
+    let cnf = CnfGrammar::from_grammar(&g);
+    let fixed = FixedLenParser::new(&g).unwrap();
+    let counter = TreeCounter::new(&g).unwrap();
+    for w in 0..(1u64 << (2 * n)) {
+        let s = words::to_string(n, w);
+        let word = g.encode(&s).unwrap();
+        let via_fixed = fixed.count_trees(&word);
+        let via_counter = counter.count_str(&s);
+        let via_cyk = ambiguity_of(&cnf, &cnf.encode(&s).unwrap());
+        assert_eq!(via_fixed, via_counter, "{s}");
+        assert_eq!(via_fixed, via_cyk, "{s} (CNF preserves tree counts here)");
+        assert_eq!(!via_fixed.is_zero(), words::ln_contains(n, w), "{s}");
+    }
+}
+
+#[test]
+fn automaton_grammar_circuit_roundtrips() {
+    let n = 3;
+    let expect: BTreeSet<String> =
+        words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+
+    // NFA → grammar → circuit → grammar.
+    let nfa = exact_nfa(n);
+    let g1 = nfa_to_grammar(&nfa).unwrap();
+    assert_eq!(finite_language(&g1).unwrap(), expect);
+    let c1 = grammar_to_circuit(&g1).unwrap();
+    assert_eq!(c1.language(), expect);
+    let g2 = circuit_to_grammar(&c1, &['a', 'b']);
+    assert_eq!(finite_language(&g2).unwrap(), expect);
+
+    // DAWG → DFA → NFA → grammar.
+    let mut sorted: Vec<String> = expect.iter().cloned().collect();
+    sorted.sort();
+    let dawg = dawg_of_words(&['a', 'b'], sorted.iter().map(|s| s.as_str()));
+    let back = dfa_to_nfa(&dawg);
+    assert!(is_unambiguous(&back), "a DFA is a UFA");
+    let g3 = dfa_to_grammar(&dawg).unwrap();
+    assert_eq!(finite_language(&g3).unwrap(), expect);
+}
+
+#[test]
+fn determinisation_and_minimisation_preserve_ln() {
+    for n in 2..=4usize {
+        let nfa = exact_nfa(n);
+        let dfa = Dfa::from_nfa(&nfa);
+        let min = dfa.minimized();
+        assert!(min.equivalent(&dfa), "n={n}");
+        for w in 0..(1u64 << (2 * n)) {
+            let s = words::to_string(n, w);
+            assert_eq!(min.accepts(&s), words::ln_contains(n, w), "n={n} {s}");
+        }
+        assert!(min.state_count() <= dfa.state_count());
+    }
+}
+
+#[test]
+fn nfa_run_counts_equal_grammar_derivation_counts() {
+    // The right-linear conversion preserves ambiguity degrees exactly.
+    let n = 3;
+    let nfa = exact_nfa(n);
+    let g = nfa_to_grammar(&nfa).unwrap();
+    let counter = TreeCounter::new(&g).unwrap();
+    for w in 0..(1u64 << (2 * n)) {
+        let s = words::to_string(n, w);
+        assert_eq!(counter.count_str(&s), nfa.run_count(&s), "{s}");
+    }
+}
+
+#[test]
+fn unambiguity_equals_determinism_through_the_isomorphism() {
+    let amb = appendix_a_grammar(3);
+    let una = example4_ucfg(3);
+    assert!(!grammar_to_circuit(&amb).unwrap().is_unambiguous());
+    assert!(grammar_to_circuit(&una).unwrap().is_unambiguous());
+}

@@ -1,0 +1,237 @@
+//! Edge-case battery: boundary parameters and degenerate inputs across
+//! all crates. Each test pins a distinct behaviour a downstream user
+//! could trip over.
+
+use std::collections::BTreeSet;
+use ucfg_automata::dawg::dawg_of_words;
+use ucfg_automata::dfa::Dfa;
+use ucfg_automata::ln_nfa::{exact_nfa, pattern_nfa, word_in_ln};
+use ucfg_automata::nfa::Nfa;
+use ucfg_core::discrepancy;
+use ucfg_core::extract::extract_cover;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example4_size, example4_ucfg, naive_grammar};
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rectangle::{SetRectangle, WordRectangle};
+use ucfg_core::words;
+use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::count::decide_unambiguous;
+use ucfg_grammar::language::finite_language;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::GrammarBuilder;
+
+// ---------- n = 1: the smallest L_n ----------
+
+#[test]
+fn n_equals_one_everywhere() {
+    assert_eq!(words::ln_size(1).to_u64(), Some(1));
+    assert_eq!(words::enumerate_ln(1), vec![0b11]);
+    assert_eq!(words::to_string(1, 0b11), "aa");
+
+    let cfg = appendix_a_grammar(1);
+    assert_eq!(
+        finite_language(&cfg).unwrap(),
+        BTreeSet::from(["aa".to_string()])
+    );
+    let ucfg = example4_ucfg(1);
+    assert!(decide_unambiguous(&ucfg).is_unambiguous());
+    assert_eq!(example4_size(1).to_u64(), Some(ucfg.size() as u64));
+    assert!(exact_nfa(1).accepts("aa"));
+    assert!(!exact_nfa(1).accepts("ab"));
+    assert!(pattern_nfa(1).accepts("aa"));
+    assert!(word_in_ln(1, "aa"));
+
+    // Extraction at the smallest size.
+    let res = extract_cover(&CnfGrammar::from_grammar(&ucfg), 2).unwrap();
+    assert!(res.is_disjoint());
+    assert_eq!(res.covered_words(), BTreeSet::from(["aa".to_string()]));
+}
+
+// ---------- single-word and single-letter grammars ----------
+
+#[test]
+fn single_letter_grammar() {
+    let mut b = GrammarBuilder::new(&['a']);
+    let s = b.nonterminal("S");
+    b.rule(s, |r| r.t('a'));
+    let g = b.build(s);
+    let cnf = CnfGrammar::from_grammar(&g);
+    assert_eq!(cnf.size(), 1);
+    assert!(ucfg_grammar::cyk::recognize(&cnf, &cnf.encode("a").unwrap()));
+    assert!(!ucfg_grammar::cyk::recognize(&cnf, &cnf.encode("aa").unwrap()));
+    assert!(decide_unambiguous(&g).is_unambiguous());
+    // Annotation of a length-1 language.
+    let ann = ucfg_grammar::annotated::annotate(&cnf, 1).unwrap();
+    assert_eq!(ann.cnf.size(), 1);
+}
+
+#[test]
+fn grammar_with_duplicate_alternatives_is_ambiguous() {
+    // Two identical rules = two parse trees per word.
+    let mut b = GrammarBuilder::new(&['a']);
+    let s = b.nonterminal("S");
+    b.rule(s, |r| r.t('a'));
+    b.rule(s, |r| r.t('a'));
+    match decide_unambiguous(&b.build(s)) {
+        ucfg_grammar::count::UnambiguityVerdict::Ambiguous { degree, .. } => {
+            assert_eq!(degree.to_u64(), Some(2));
+        }
+        v => panic!("duplicate rules must be ambiguous, got {v:?}"),
+    }
+}
+
+// ---------- empty-language corners ----------
+
+#[test]
+fn empty_language_pipelines() {
+    let mut b = GrammarBuilder::new(&['a']);
+    let s = b.nonterminal("S");
+    b.rule(s, |r| r.n(s).t('a')); // no base case
+    let g = b.build(s);
+    assert_eq!(finite_language(&g), Some(BTreeSet::new()));
+    assert!(decide_unambiguous(&g).is_unambiguous(), "vacuously unambiguous");
+    let cnf = CnfGrammar::from_grammar(&g);
+    assert_eq!(cnf.rule_count(), 0);
+
+    // Empty NFA.
+    let empty = Nfa::new(&['a'], 0);
+    assert!(!empty.accepts(""));
+    assert!(!empty.accepts("a"));
+    let d = Dfa::from_nfa(&empty);
+    assert!(!d.accepts(""));
+    assert_eq!(d.minimized().state_count(), 1);
+}
+
+// ---------- rectangles at extreme partitions ----------
+
+#[test]
+fn full_width_interval_partition() {
+    // [1, 2n] puts everything inside; the outside is empty.
+    let n = 3;
+    let part = OrderedPartition::new(n, 1, 2 * n);
+    assert_eq!(part.outside(), 0);
+    assert!(!part.is_balanced());
+    // A rectangle there is just a word set × {∅}.
+    let members: BTreeSet<u64> = words::enumerate_ln(n).into_iter().collect();
+    let r = SetRectangle::from_exact_set(part, &members).expect("everything is inside");
+    assert_eq!(r.len(), members.len());
+}
+
+#[test]
+fn singleton_word_rectangle() {
+    // Any single word is a balanced rectangle (the paper's remark).
+    let n = 3;
+    let w = words::from_string(n, "ababab").unwrap();
+    let part = OrderedPartition::new(n, 2, n + 1); // balanced: |Π₀| = n
+    assert!(part.is_balanced());
+    let r = SetRectangle::from_exact_set(part, &BTreeSet::from([w])).unwrap();
+    assert_eq!(r.len(), 1);
+    let wr = WordRectangle::from_set_rectangle(&r);
+    assert!(wr.is_balanced());
+    assert_eq!(wr.words(), BTreeSet::from(["ababab".to_string()]));
+}
+
+// ---------- discrepancy corners ----------
+
+#[test]
+fn discrepancy_of_empty_and_full_rectangles() {
+    let n = 4;
+    let m = 1u64;
+    let part = OrderedPartition::new(n, 1, n);
+    let empty = SetRectangle::new(part, BTreeSet::new(), BTreeSet::new());
+    assert_eq!(discrepancy::discrepancy(n, &empty), 0);
+
+    // The full rectangle over 𝓛's projections has discrepancy |A| − |B|
+    // = −2^{3m}.
+    let fam = discrepancy::enumerate_family(n);
+    let s: BTreeSet<u64> = fam.iter().map(|&w| w & part.inside()).collect();
+    let t: BTreeSet<u64> = fam.iter().map(|&w| w & part.outside()).collect();
+    let full = SetRectangle::new(part, s, t);
+    assert_eq!(discrepancy::discrepancy(n, &full), -(1i64 << (3 * m)));
+}
+
+#[test]
+fn supports_blocks_boundaries() {
+    assert!(!discrepancy::supports_blocks(0));
+    assert!(!discrepancy::supports_blocks(2));
+    assert!(discrepancy::supports_blocks(4));
+    assert!(!discrepancy::supports_blocks(6));
+    assert!(discrepancy::supports_blocks(32));
+    assert!(!discrepancy::supports_blocks(36)); // 2n > 64
+}
+
+// ---------- automata corners ----------
+
+#[test]
+fn dawg_of_single_word_is_a_chain() {
+    let d = dawg_of_words(&['a', 'b'], ["abab"]);
+    assert_eq!(d.state_count(), 5);
+    assert!(d.accepts("abab"));
+    assert!(!d.accepts("aba"));
+    let words: Vec<String> = d.words_lex(10).collect();
+    assert_eq!(words, vec!["abab"]);
+}
+
+#[test]
+fn nfa_with_unreachable_accepting_state() {
+    let mut n = Nfa::new(&['a'], 3);
+    n.set_initial(0);
+    n.add_transition(0, 'a', 1);
+    n.set_accepting(2); // unreachable
+    assert!(!n.accepts("a"));
+    assert_eq!(n.trimmed().state_count(), 0, "nothing useful remains");
+    assert!(ucfg_automata::ambiguity::is_unambiguous(&n));
+}
+
+#[test]
+fn pattern_nfa_rejects_shorter_contexts() {
+    // Σ* a Σ^{n-1} a Σ*: the minimum accepted length is n + 1.
+    for n in 1..=5usize {
+        let a = pattern_nfa(n);
+        let shortest = format!("a{}a", "b".repeat(n - 1));
+        assert!(a.accepts(&shortest), "n={n}");
+        assert!(!a.accepts(&shortest[..shortest.len() - 1]), "n={n}");
+    }
+}
+
+// ---------- BigUint corners ----------
+
+#[test]
+fn biguint_boundary_arithmetic() {
+    let max64 = BigUint::from_u64(u64::MAX);
+    let one = BigUint::one();
+    let sum = &max64 + &one;
+    assert_eq!(sum.to_u128(), Some(1u128 << 64));
+    assert_eq!(sum.checked_sub(&one).unwrap(), max64);
+    assert!(max64.checked_sub(&sum).is_none());
+    // Division of equal values.
+    let (q, r) = sum.div_rem(&sum);
+    assert!(q.is_one() && r.is_zero());
+    // pow2 at limb boundaries.
+    for k in [31u64, 32, 63, 64, 65] {
+        assert_eq!(BigUint::pow2(k).bits(), k + 1);
+    }
+}
+
+// ---------- naive grammar = the materialisation bound ----------
+
+#[test]
+fn naive_grammar_is_exactly_materialisation_size() {
+    for n in 1..=4usize {
+        let g = naive_grammar(n);
+        let expect = 2 * n as u64 * words::ln_size(n).to_u64().unwrap();
+        assert_eq!(g.size() as u64, expect, "n={n}");
+        // The DAWG beats the naive grammar once there is sharing to
+        // exploit (n ≥ 2; at n = 1 the single word makes the right-linear
+        // overhead visible: 4 vs 2).
+        let mut sorted: Vec<String> =
+            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        sorted.sort();
+        let dawg = dawg_of_words(&['a', 'b'], sorted.iter().map(|s| s.as_str()));
+        let dawg_g = ucfg_automata::convert::dfa_to_grammar(&dawg).unwrap();
+        if n >= 2 {
+            assert!(dawg_g.size() as u64 <= expect, "n={n}");
+        } else {
+            assert_eq!(dawg_g.size(), 4);
+        }
+    }
+}

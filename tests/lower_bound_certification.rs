@@ -1,0 +1,138 @@
+//! The full Proposition 7 → Proposition 16 certification chain on real
+//! grammars, plus the rank-bound cross-check — the paper's Section 3 and
+//! Section 4 working together.
+
+use ucfg_core::cover::{
+    discrepancy_accounting, example8_cover, extraction_to_set_rectangles, implied_size_bound,
+    verify_cover,
+};
+use ucfg_core::discrepancy;
+use ucfg_core::extract::extract_cover;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg, naive_grammar};
+use ucfg_core::rank;
+use ucfg_grammar::normal_form::CnfGrammar;
+
+#[test]
+fn ucfg_to_certified_disjoint_cover() {
+    // The pipeline of Theorem 12: uCFG → annotated CNF → disjoint balanced
+    // rectangle cover → discrepancy accounting.
+    let n = 4;
+    let m = 1u64;
+    for (name, g) in [
+        ("example4", example4_ucfg(n)),
+        ("naive", naive_grammar(n)),
+    ] {
+        let cnf = CnfGrammar::from_grammar(&g);
+        let res = extract_cover(&cnf, 2 * n).expect("fixed length");
+        let rects = extraction_to_set_rectangles(n, &res);
+        let rep = verify_cover(n, &rects);
+        assert!(rep.covers_exactly, "{name}");
+        assert!(rep.disjoint, "{name}: uCFG extraction must be disjoint");
+        assert!(rep.all_balanced, "{name}");
+        assert!(rects.len() <= res.bound, "{name}: ℓ ≤ n|G|");
+
+        let (discs, ok) = discrepancy_accounting(n, &rects);
+        assert!(ok, "{name}: Σ disc = 12^m − 8^m");
+        // Every individual rectangle obeys the Lemma 23 regime (they are
+        // balanced; neatness only matters for the proof's constants).
+        for &d in &discs {
+            assert!(
+                discrepancy::within_lemma23_bound(m, d) || d.unsigned_abs() <= 16,
+                "{name}: |disc| = {d}"
+            );
+        }
+        assert!(rects.len() >= implied_size_bound(n, &rects), "{name}");
+    }
+}
+
+#[test]
+fn ambiguous_extraction_covers_but_need_not_be_disjoint() {
+    let n = 4;
+    let g = appendix_a_grammar(n);
+    let cnf = CnfGrammar::from_grammar(&g);
+    let res = extract_cover(&cnf, 2 * n).expect("fixed length");
+    let rects = extraction_to_set_rectangles(n, &res);
+    let rep = verify_cover(n, &rects);
+    assert!(rep.covers_exactly);
+    assert!(rep.all_balanced);
+    // (Disjointness is not guaranteed — and the paper's whole point is
+    // that ambiguous covers can be much smaller.)
+}
+
+#[test]
+fn example8_is_the_cheap_ambiguous_cover() {
+    for n in [4usize, 5, 6] {
+        let rects = example8_cover(n);
+        let rep = verify_cover(n, &rects);
+        assert_eq!(rep.size, n);
+        assert!(rep.covers_exactly && rep.all_balanced && !rep.disjoint, "n={n}");
+    }
+}
+
+#[test]
+fn rank_bound_dwarfs_the_ambiguous_cover() {
+    // The Theorem 17 regime: a disjoint cover by [1,n]-rectangles needs
+    // 2^n − 1 rectangles, while the ambiguous cover has n.
+    for n in [4usize, 6, 8] {
+        let r = rank::rank_gf2(n);
+        assert_eq!(r, (1 << n) - 1);
+        assert!(r > n, "n={n}");
+        if n >= 6 {
+            assert!(r > 10 * n, "n={n}: exponential vs linear");
+        }
+    }
+}
+
+#[test]
+fn discrepancy_bound_consistency_across_n() {
+    // Lemma 18 identities at scale (closed forms), and the Prop 16 bound's
+    // exponential growth.
+    for m in [4u64, 8, 16, 32, 64] {
+        assert!(discrepancy::lemma18_inequality_holds(m), "m={m}");
+        // log₂ ℓ ≈ (log₂ 12 − 10/3)·m ≈ 0.2516·m, up to the −8^m term.
+        let lb = discrepancy::cover_lower_bound_log2(m);
+        assert!(lb > 0.25 * m as f64 - 2.0, "m={m}: {lb}");
+        assert!(lb < 0.26 * m as f64 + 1.0, "m={m}: {lb}");
+    }
+}
+
+#[test]
+fn neat_refinement_preserves_the_accounting() {
+    // Prop. 16's final step: refine every rectangle of a disjoint cover
+    // into neat pieces (Lemma 21); the refined family is still a disjoint
+    // cover and its discrepancies still sum to the gap.
+    let n = 4;
+    let g = example4_ucfg(n);
+    let cnf = CnfGrammar::from_grammar(&g);
+    let res = extract_cover(&cnf, 2 * n).unwrap();
+    let rects = extraction_to_set_rectangles(n, &res);
+    let mut refined = Vec::new();
+    for r in &rects {
+        match ucfg_core::neat::neat_decomposition(&r.clone()) {
+            Some(dec) => {
+                assert!(dec.partition.is_neat());
+                refined.extend(dec.pieces);
+            }
+            None => refined.push(r.clone()),
+        }
+    }
+    let rep = verify_cover(n, &refined);
+    assert!(rep.covers_exactly, "refinement stays a cover");
+    assert!(rep.disjoint, "refinement stays disjoint");
+    let (_d, ok) = discrepancy_accounting(n, &refined);
+    assert!(ok, "Σ disc over the neat refinement = 12^m − 8^m");
+    assert!(refined.len() >= rects.len());
+    assert!(refined.len() <= 256 * rects.len(), "Lemma 21's factor");
+}
+
+#[test]
+fn extraction_bound_is_meaningful() {
+    // ℓ ≤ n·|G| is not vacuous: on these inputs extraction uses far fewer
+    // rectangles than the bound, but more than the ambiguous minimum.
+    let n = 3;
+    let g = example4_ucfg(n);
+    let cnf = CnfGrammar::from_grammar(&g);
+    let res = extract_cover(&cnf, 2 * n).unwrap();
+    assert!(res.rectangles.len() > 1);
+    assert!(res.rectangles.len() < res.bound);
+}

@@ -1,0 +1,282 @@
+//! Property tests for the extension modules: regexes vs the Glushkov
+//! construction, grammar combinators, semiring counting, rank/unrank,
+//! SLP random access, and the grammar text format.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use ucfg_automata::regex::Regex;
+use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::count::TreeCounter;
+use ucfg_grammar::enumerate::Unranker;
+use ucfg_grammar::language::finite_language;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::ops;
+use ucfg_grammar::slp::Slp;
+use ucfg_grammar::text::{parse_grammar, print_grammar};
+use ucfg_grammar::weighted::{inside_at, Count, UnitWeights};
+use ucfg_grammar::GrammarBuilder;
+
+// ---------- Random regexes vs the Glushkov automaton ----------
+
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Letter('a')),
+        Just(Regex::Letter('b')),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Regex::Star(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn glushkov_matches_backtracking_oracle(r in arb_regex()) {
+        let nfa = r.glushkov();
+        for len in 0..=5usize {
+            for mask in 0..(1u32 << len) {
+                let w: String = (0..len)
+                    .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+                    .collect();
+                prop_assert_eq!(nfa.accepts(&w), r.matches(&w), "{:?} on {}", r, w);
+            }
+        }
+    }
+}
+
+// ---------- Grammar combinators ----------
+
+fn arb_words() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::btree_set("[ab]{1,4}", 1..5)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+fn literal_grammar(words: &[String]) -> ucfg_grammar::Grammar {
+    let mut b = GrammarBuilder::new(&['a', 'b']);
+    let s = b.nonterminal("S");
+    for w in words {
+        b.rule(s, |r| r.ts(w));
+    }
+    b.build(s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn union_concat_reverse_semantics(w1 in arb_words(), w2 in arb_words()) {
+        let g1 = literal_grammar(&w1);
+        let g2 = literal_grammar(&w2);
+        let s1: BTreeSet<String> = w1.iter().cloned().collect();
+        let s2: BTreeSet<String> = w2.iter().cloned().collect();
+
+        let u = finite_language(&ops::union(&g1, &g2)).unwrap();
+        let expect: BTreeSet<String> = s1.union(&s2).cloned().collect();
+        prop_assert_eq!(u, expect);
+
+        let c = finite_language(&ops::concat(&g1, &g2)).unwrap();
+        let expect: BTreeSet<String> =
+            s1.iter().flat_map(|a| s2.iter().map(move |b| format!("{a}{b}"))).collect();
+        prop_assert_eq!(c, expect);
+
+        let r = finite_language(&ops::reverse(&g1)).unwrap();
+        let expect: BTreeSet<String> =
+            s1.iter().map(|w| w.chars().rev().collect()).collect();
+        prop_assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn semiring_count_equals_tree_counts(w1 in arb_words()) {
+        let g = literal_grammar(&w1);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let counter = TreeCounter::new(&g).unwrap();
+        // Sum over every length: Σ_w #trees(w) via both routes.
+        for len in 1..=4usize {
+            let Count(via_semiring) = inside_at(&cnf, &UnitWeights, len);
+            let via_counter: BigUint = w1
+                .iter()
+                .filter(|w| w.chars().count() == len)
+                .map(|w| counter.count_str(w))
+                .sum();
+            prop_assert_eq!(via_semiring, via_counter, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn unrank_rank_roundtrip_random_grammars(w1 in arb_words()) {
+        let g = literal_grammar(&w1);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let u = Unranker::new(&cnf, 4);
+        for len in 1..=4usize {
+            let total = u.total(len).to_u64().unwrap();
+            let mut seen = BTreeSet::new();
+            for i in 0..total {
+                let idx = BigUint::from_u64(i);
+                let t = u.unrank(len, &idx).unwrap();
+                prop_assert_eq!(u.rank(&t), Some(idx));
+                seen.insert(t.yield_terminals());
+            }
+            // Literal grammars are unambiguous → trees biject with words.
+            let expect = w1.iter().filter(|w| w.chars().count() == len).count();
+            prop_assert_eq!(seen.len(), expect, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn text_format_roundtrip(w1 in arb_words()) {
+        let g = literal_grammar(&w1);
+        let printed = print_grammar(&g);
+        let back = parse_grammar(&printed).unwrap();
+        prop_assert_eq!(finite_language(&back), finite_language(&g));
+    }
+}
+
+// ---------- Parser agreement on random grammars ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn earley_cyk_and_membership_agree(w1 in arb_words(), probe in "[ab]{0,5}") {
+        use ucfg_grammar::cyk;
+        use ucfg_grammar::earley::Earley;
+        let g = literal_grammar(&w1);
+        let cnf = CnfGrammar::from_grammar(&g);
+        let earley = Earley::new(&g);
+        let in_set = w1.iter().any(|w| w == &probe);
+        prop_assert_eq!(earley.recognize_str(&probe), in_set);
+        if let Some(encoded) = cnf.encode(&probe) {
+            prop_assert_eq!(cyk::recognize(&cnf, &encoded), in_set);
+        }
+    }
+
+    #[test]
+    fn lint_clean_iff_trim_stable_on_literals(w1 in arb_words()) {
+        use ucfg_grammar::lint::{has_warnings, lint};
+        // Literal grammars from distinct words are always lint-clean.
+        let g = literal_grammar(&w1);
+        let findings = lint(&g);
+        prop_assert!(!has_warnings(&findings), "{:?}", findings);
+    }
+}
+
+// ---------- SLP random access ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slp_char_at_matches_expansion(w in "[ab]{1,12}") {
+        let slp = Slp::literal(&['a', 'b'], &w);
+        let expanded: Vec<char> = slp.expand().chars().collect();
+        prop_assert_eq!(&expanded, &w.chars().collect::<Vec<_>>());
+        for (i, &c) in expanded.iter().enumerate() {
+            prop_assert_eq!(slp.char_at(i as u64), Some(c));
+        }
+        prop_assert_eq!(slp.char_at(expanded.len() as u64), None);
+    }
+
+    #[test]
+    fn slp_unary_length(m in 1u64..2000) {
+        let slp = Slp::unary('a', m);
+        prop_assert_eq!(slp.word_length().to_u64(), Some(m));
+        prop_assert_eq!(slp.char_at(m - 1), Some('a'));
+        prop_assert_eq!(slp.char_at(m), None);
+        // Logarithmic size.
+        prop_assert!(slp.size() <= 3 * 12 + 4);
+    }
+}
+
+// ---------- Proposition 7 on random unambiguous grammars ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn extraction_on_random_fixed_length_word_sets(
+        set in proptest::collection::btree_set("[ab]{4}", 1..14)
+    ) {
+        use ucfg_core::extract::extract_cover;
+        let words: Vec<String> = set.iter().cloned().collect();
+        let g = literal_grammar(&words);
+        // Distinct literal alternatives → unambiguous.
+        let cnf = CnfGrammar::from_grammar(&g);
+        let res = extract_cover(&cnf, 4).unwrap();
+        prop_assert_eq!(res.covered_words(), set.clone());
+        prop_assert!(res.is_disjoint(), "uCFG extraction must be disjoint");
+        prop_assert!(res.all_balanced());
+        prop_assert!(res.rectangles.len() <= res.bound);
+    }
+
+    #[test]
+    fn selection_on_random_join_circuits(seed in 0u64..1000) {
+        use ucfg_factorized::join::{factorized_path_join, BinaryRelation};
+        use ucfg_factorized::select::{project_out, select_position};
+        // Deterministic pseudo-random 2-layer chain.
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let pairs1: Vec<(u32, u32)> =
+            (0..6).map(|_| ((next() % 3) as u32, (next() % 3) as u32)).collect();
+        let pairs2: Vec<(u32, u32)> =
+            (0..6).map(|_| ((next() % 3) as u32, (next() % 3) as u32)).collect();
+        let rels = vec![
+            BinaryRelation::from_pairs(pairs1),
+            BinaryRelation::from_pairs(pairs2),
+        ];
+        let circ = factorized_path_join(&rels);
+        let lang = circ.language();
+        if lang.is_empty() {
+            return Ok(());
+        }
+        for pos in 0..3usize {
+            // Selection agrees with the materialised filter.
+            let sel = select_position(&circ, pos, '1').unwrap();
+            let expect: BTreeSet<String> =
+                lang.iter().filter(|w| w.as_bytes()[pos] == b'1').cloned().collect();
+            prop_assert_eq!(sel.language(), expect);
+            // Projection agrees with materialised deletion.
+            let proj = project_out(&circ, pos).unwrap();
+            let expect: BTreeSet<String> = lang
+                .iter()
+                .map(|w| {
+                    w.chars().enumerate().filter(|&(i, _)| i != pos).map(|(_, c)| c).collect()
+                })
+                .collect();
+            prop_assert_eq!(proj.language(), expect);
+        }
+    }
+}
+
+// ---------- The L_n protocol view ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn example8_protocol_certificates_count_witnesses(n in 3usize..=5) {
+        use ucfg_core::comm::NondetProtocol;
+        use ucfg_core::cover::example8_cover;
+        use ucfg_core::words;
+        let p = NondetProtocol::from_cover(example8_cover(n));
+        // Certificates of w = witnessing pairs of w.
+        for w in 0..(1u64 << (2 * n)) {
+            prop_assert_eq!(
+                p.certificate_count(w) as u32,
+                words::witness_count(n, w)
+            );
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) of the core invariants:
+//! big-integer arithmetic against native oracles, CNF language
+//! preservation on random grammars, DAWG exactness and minimality on
+//! random word sets, Lemma 15 rectangle round-trips, discrepancy bounds on
+//! random rectangles, and the Lemma 21 decomposition.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use ucfg_automata::dawg::dawg_of_words;
+use ucfg_core::discrepancy;
+use ucfg_core::neat::neat_decomposition;
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rectangle::{SetRectangle, WordRectangle};
+use ucfg_core::words;
+use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::count::decide_unambiguous;
+use ucfg_grammar::language::finite_language;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_grammar::{GrammarBuilder, Grammar};
+
+// ---------- BigUint vs u128 oracle ----------
+
+proptest! {
+    #[test]
+    fn biguint_add_mul_match_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+        let (ba, bb) = (BigUint::from_u128(a), BigUint::from_u128(b));
+        prop_assert_eq!((&ba + &bb).to_u128(), Some(a + b));
+        if let Some(m) = a.checked_mul(b) {
+            prop_assert_eq!((&ba * &bb).to_u128(), Some(m));
+        }
+        prop_assert_eq!(ba.abs_diff(&bb).to_u128(), Some(a.abs_diff(b)));
+    }
+
+    #[test]
+    fn biguint_divrem_matches_u128(a in any::<u128>(), b in 1u128..=u128::MAX) {
+        let (q, r) = BigUint::from_u128(a).div_rem(&BigUint::from_u128(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn biguint_decimal_roundtrip(a in any::<u128>()) {
+        let s = BigUint::from_u128(a).to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap().to_u128(), Some(a));
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn biguint_shift_is_pow2_mul(a in any::<u64>(), k in 0u64..60) {
+        let v = BigUint::from_u64(a);
+        prop_assert_eq!(v.shl_bits(k), &v * &BigUint::pow2(k));
+    }
+}
+
+// ---------- Random flat grammars: CNF preserves the language ----------
+
+/// A random finite-language grammar: a couple of layers of alternatives.
+fn arb_flat_grammar() -> impl Strategy<Value = Grammar> {
+    // Words for two leaf non-terminals and a start combining them.
+    let word = proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 1..4)
+        .prop_map(|cs| cs.into_iter().collect::<String>());
+    let words1 = proptest::collection::vec(word.clone(), 1..4);
+    let words2 = proptest::collection::vec(word, 1..4);
+    (words1, words2, proptest::collection::vec(any::<bool>(), 1..4)).prop_map(
+        |(w1, w2, combos)| {
+            let mut b = GrammarBuilder::new(&['a', 'b']);
+            let s = b.nonterminal("S");
+            let x = b.nonterminal("X");
+            let y = b.nonterminal("Y");
+            for w in &w1 {
+                b.rule(x, |r| r.ts(w));
+            }
+            for w in &w2 {
+                b.rule(y, |r| r.ts(w));
+            }
+            for (i, c) in combos.iter().enumerate() {
+                match (c, i % 3) {
+                    (true, 0) => b.rule(s, |r| r.n(x).n(y)),
+                    (true, _) => b.rule(s, |r| r.n(y).t('a').n(x)),
+                    (false, 1) => b.rule(s, |r| r.n(x)),
+                    (false, _) => b.rule(s, |r| r.n(y).n(y)),
+                }
+            }
+            b.build(s)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cnf_preserves_language(g in arb_flat_grammar()) {
+        let lang = finite_language(&g).expect("finite by construction");
+        let cnf = CnfGrammar::from_grammar(&g);
+        let lang2 = finite_language(&cnf.to_grammar()).expect("finite");
+        // The ε flag is handled separately from the grammar view.
+        let lang_no_eps: BTreeSet<String> = lang.iter().filter(|w| !w.is_empty()).cloned().collect();
+        prop_assert_eq!(lang_no_eps, lang2);
+        prop_assert!(cnf.size() <= g.size() * g.size().max(1) + 8);
+    }
+
+    #[test]
+    fn unambiguity_decision_is_stable_under_cnf(g in arb_flat_grammar()) {
+        // If the original grammar is unambiguous, its CNF must be too
+        // (the converse can fail because CNF merges duplicate rules).
+        if decide_unambiguous(&g).is_unambiguous() {
+            let cnf = CnfGrammar::from_grammar(&g);
+            prop_assert!(
+                ucfg_grammar::count::is_unambiguous_cnf(&cnf, 8),
+                "CNF of a uCFG stayed ambiguous"
+            );
+        }
+    }
+}
+
+// ---------- DAWG: exactness and minimality on random word sets ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dawg_is_exact_and_minimal(
+        set in proptest::collection::btree_set("[ab]{1,6}", 1..12)
+    ) {
+        let sorted: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
+        let dawg = dawg_of_words(&['a', 'b'], sorted.iter().copied());
+        // Exactness on all words up to length 6.
+        for len in 0..=6usize {
+            for mask in 0..(1u32 << len) {
+                let w: String = (0..len)
+                    .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+                    .collect();
+                prop_assert_eq!(dawg.accepts(&w), set.contains(&w));
+            }
+        }
+        // Minimality against Moore.
+        prop_assert_eq!(dawg.state_count(), dawg.minimized().state_count());
+    }
+}
+
+// ---------- Rectangles: Lemma 15 round-trip on random rectangles ----------
+
+fn arb_partition(n: usize) -> impl Strategy<Value = OrderedPartition> {
+    (1..=2 * n).prop_flat_map(move |i| (Just(i), i..=2 * n)).prop_map(move |(i, j)| {
+        OrderedPartition::new(n, i, j)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemma15_roundtrip_on_random_rectangles(
+        part in arb_partition(3),
+        s_pick in proptest::collection::btree_set(0u64..64, 0..6),
+        t_pick in proptest::collection::btree_set(0u64..64, 0..6),
+    ) {
+        let n = 3;
+        let ins = part.inside();
+        let outs = part.outside();
+        let s: BTreeSet<u64> = s_pick.iter().map(|&x| x & ins).collect();
+        let t: BTreeSet<u64> = t_pick.iter().map(|&x| x & outs).collect();
+        let r = SetRectangle::new(part, s, t);
+        let wr = WordRectangle::from_set_rectangle(&r);
+        let back = wr.to_set_rectangle(n);
+        // Same member set.
+        let members: BTreeSet<u64> = r.members().collect();
+        let members2: BTreeSet<u64> = back.members().collect();
+        prop_assert_eq!(&members, &members2);
+        prop_assert_eq!(wr.len(), r.len());
+        // Membership agrees on every word.
+        for w in 0..(1u64 << (2 * n)) {
+            prop_assert_eq!(r.contains(w), members.contains(&w));
+        }
+    }
+}
+
+// ---------- Discrepancy bounds on random rectangles ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lemma19_and_23_hold_on_random_rectangles(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 8;
+        let m = 2u64;
+        // Middle cut: Lemma 19.
+        let mid = OrderedPartition::new(n, 1, n);
+        let r = discrepancy::random_family_rectangle(n, mid, &mut rng);
+        let d = discrepancy::discrepancy(n, &r);
+        prop_assert!(BigUint::from_u64(d.unsigned_abs()) <= discrepancy::lemma19_bound(m));
+        // Random balanced partition: Lemma 23.
+        let all = OrderedPartition::all_balanced(n);
+        let part = all[(seed % all.len() as u64) as usize];
+        let r = discrepancy::random_family_rectangle(n, part, &mut rng);
+        let d = discrepancy::discrepancy(n, &r);
+        prop_assert!(discrepancy::within_lemma23_bound(m, d));
+    }
+
+    #[test]
+    fn neat_decomposition_partitions_random_rectangles(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 8;
+        let all = OrderedPartition::all_balanced(n);
+        let part = all[(seed % all.len() as u64) as usize];
+        let r = discrepancy::random_family_rectangle(n, part, &mut rng);
+        if let Some(dec) = neat_decomposition(&r) {
+            prop_assert!(dec.pieces.len() <= 256);
+            prop_assert!(dec.partition.is_neat());
+            let mut seen: BTreeSet<u64> = BTreeSet::new();
+            for p in &dec.pieces {
+                for u in p.members() {
+                    prop_assert!(seen.insert(u), "pieces overlap");
+                }
+            }
+            let all_members: BTreeSet<u64> = r.members().collect();
+            prop_assert_eq!(seen, all_members);
+        }
+    }
+}
+
+// ---------- L_n structure ----------
+
+proptest! {
+    #[test]
+    fn ln_membership_bit_trick(n in 1usize..=10, w in any::<u64>()) {
+        let w = w & words::low_mask(2 * n);
+        let naive = (0..n).any(|i| w >> i & 1 == 1 && w >> (i + n) & 1 == 1);
+        prop_assert_eq!(words::ln_contains(n, w), naive);
+        prop_assert_eq!(words::witness_count(n, w) > 0, naive);
+        // String round-trip.
+        let s = words::to_string(n, w);
+        prop_assert_eq!(words::from_string(n, &s), Some(w));
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end Theorem 1: every representation of `L_n` built by the
+//! workspace accepts exactly `L_n`, the claimed size shapes hold, and the
+//! unambiguity claims are machine-checked.
+
+use std::collections::BTreeSet;
+use ucfg_automata::convert::dfa_to_grammar;
+use ucfg_automata::dawg::dawg_of_words;
+use ucfg_automata::ln_nfa::{exact_nfa, pattern_nfa};
+use ucfg_core::ln_grammars::{
+    appendix_a_grammar, example3_grammar, example4_size, example4_ucfg, naive_grammar,
+};
+use ucfg_core::words;
+use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::count::decide_unambiguous;
+use ucfg_grammar::earley::Earley;
+use ucfg_grammar::language::finite_language;
+
+fn ln_strings(n: usize) -> BTreeSet<String> {
+    words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect()
+}
+
+#[test]
+fn all_representations_accept_exactly_ln() {
+    for n in 1..=5usize {
+        let expect = ln_strings(n);
+
+        // (1) the O(log n) CFG
+        let cfg = appendix_a_grammar(n);
+        assert_eq!(finite_language(&cfg).unwrap(), expect, "appendix A, n={n}");
+
+        // (3) the exponential uCFG
+        let ucfg = example4_ucfg(n);
+        assert_eq!(finite_language(&ucfg).unwrap(), expect, "example 4, n={n}");
+
+        // the naive baseline
+        assert_eq!(finite_language(&naive_grammar(n)).unwrap(), expect, "naive, n={n}");
+
+        // (2) the exact NFA
+        let nfa = exact_nfa(n);
+        assert_eq!(
+            nfa.accepted_words(2 * n).into_iter().collect::<BTreeSet<_>>(),
+            expect,
+            "exact NFA, n={n}"
+        );
+        // the pattern NFA under the promise
+        let pat = pattern_nfa(n);
+        for w in 0..(1u64 << (2 * n)) {
+            let s = words::to_string(n, w);
+            assert_eq!(pat.accepts(&s), words::ln_contains(n, w), "pattern NFA, n={n}");
+        }
+
+        // the DAWG route
+        let mut sorted: Vec<String> = expect.iter().cloned().collect();
+        sorted.sort();
+        let dawg = dawg_of_words(&['a', 'b'], sorted.iter().map(|s| s.as_str()));
+        let dawg_g = dfa_to_grammar(&dawg).unwrap();
+        assert_eq!(finite_language(&dawg_g).unwrap(), expect, "DAWG grammar, n={n}");
+    }
+}
+
+#[test]
+fn unambiguity_claims_are_machine_checked() {
+    for n in 1..=4usize {
+        assert!(
+            decide_unambiguous(&example4_ucfg(n)).is_unambiguous(),
+            "Example 4 is a uCFG, n={n}"
+        );
+        assert!(
+            decide_unambiguous(&naive_grammar(n)).is_unambiguous(),
+            "naive grammar is a uCFG, n={n}"
+        );
+        let mut sorted: Vec<String> = ln_strings(n).into_iter().collect();
+        sorted.sort();
+        let dawg = dawg_of_words(&['a', 'b'], sorted.iter().map(|s| s.as_str()));
+        assert!(
+            decide_unambiguous(&dfa_to_grammar(&dawg).unwrap()).is_unambiguous(),
+            "DAWG grammar is a uCFG, n={n}"
+        );
+        if n >= 2 {
+            assert!(
+                !decide_unambiguous(&appendix_a_grammar(n)).is_unambiguous(),
+                "Appendix A grammar is ambiguous, n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn size_shapes_of_theorem1() {
+    // (1) CFG ~ Θ(log n): constant increments under doubling.
+    let sizes: Vec<usize> =
+        (4..=14).map(|k| appendix_a_grammar(1usize << k).size()).collect();
+    for w in sizes.windows(2) {
+        let d = w[1] as i64 - w[0] as i64;
+        assert!(d.abs() < 60, "not logarithmic: {sizes:?}");
+    }
+
+    // (2) pattern NFA ~ Θ(n).
+    for n in [16usize, 32, 64, 128] {
+        let t = pattern_nfa(n).transition_count();
+        assert!(t >= 2 * n && t <= 2 * n + 8, "n={n}: {t}");
+    }
+
+    // (3) the Example 4 uCFG grows like 3^n: log₂ roughly doubles with n.
+    for n in [8u64, 16, 32] {
+        let l1 = example4_size(n).log2_approx();
+        let l2 = example4_size(2 * n).log2_approx();
+        assert!(l2 > 1.7 * l1, "n={n}: {l1} vs {l2}");
+        assert!(example4_size(n) >= BigUint::pow2(n - 1), "2^Ω(n) floor, n={n}");
+    }
+}
+
+#[test]
+fn example3_matches_its_target_language() {
+    for n in 0..=2usize {
+        let g = example3_grammar(n);
+        let target = (1usize << n) + 1;
+        assert_eq!(finite_language(&g).unwrap(), ln_strings(target), "G_{n} ↦ L_{target}");
+        assert_eq!(g.size(), 6 * n + 10);
+    }
+}
+
+#[test]
+fn earley_and_materialisation_agree() {
+    let n = 4;
+    let g = appendix_a_grammar(n);
+    let earley = Earley::new(&g);
+    for w in 0..(1u64 << (2 * n)) {
+        let s = words::to_string(n, w);
+        assert_eq!(earley.recognize_str(&s), words::ln_contains(n, w), "{s}");
+    }
+}
+
+#[test]
+fn language_count_closed_form() {
+    for n in 1..=6usize {
+        assert_eq!(
+            words::ln_size(n).to_u64().unwrap() as usize,
+            ln_strings(n).len(),
+            "4^n − 3^n, n={n}"
+        );
+    }
+}
