@@ -90,10 +90,13 @@ pub fn is_unambiguous(nfa: &Nfa) -> bool {
 /// experiment-scale checks.
 pub fn ambiguity_profile(nfa: &Nfa, len: usize) -> Vec<(String, BigUint)> {
     let words: BTreeSet<String> = nfa.accepted_words(len);
-    words.into_iter().map(|w| {
-        let c = nfa.run_count(&w);
-        (w, c)
-    }).collect()
+    words
+        .into_iter()
+        .map(|w| {
+            let c = nfa.run_count(&w);
+            (w, c)
+        })
+        .collect()
 }
 
 /// Maximum ambiguity degree over accepted words of a given length.

@@ -31,8 +31,9 @@ pub fn nfa_to_grammar(nfa: &Nfa) -> Result<Grammar, ConvertError> {
     }
     let mut b = GrammarBuilder::new(t.alphabet());
     let start = b.nonterminal("S");
-    let states: Vec<_> =
-        (0..t.state_count()).map(|s| b.nonterminal(&format!("Q{s}"))).collect();
+    let states: Vec<_> = (0..t.state_count())
+        .map(|s| b.nonterminal(&format!("Q{s}")))
+        .collect();
     for &i in t.initial_states() {
         let qi = states[i as usize];
         b.rule(start, |r| r.n(qi));
@@ -142,7 +143,10 @@ mod tests {
         let mut n = Nfa::new(&['a'], 1);
         n.set_initial(0);
         n.set_accepting(0);
-        assert_eq!(nfa_to_grammar(&n).unwrap_err(), ConvertError::AcceptsEpsilon);
+        assert_eq!(
+            nfa_to_grammar(&n).unwrap_err(),
+            ConvertError::AcceptsEpsilon
+        );
     }
 
     #[test]

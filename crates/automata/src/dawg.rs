@@ -56,7 +56,10 @@ impl DawgBuilder {
     pub fn new(alphabet: &[char]) -> Self {
         DawgBuilder {
             alphabet: alphabet.to_vec(),
-            nodes: vec![Node { accepting: false, edges: Vec::new() }],
+            nodes: vec![Node {
+                accepting: false,
+                edges: Vec::new(),
+            }],
             registry: HashMap::new(),
             last_word: Vec::new(),
             finished: false,
@@ -92,7 +95,10 @@ impl DawgBuilder {
         let mut cur = self.walk_prefix(lcp);
         for &sym in &word[lcp..] {
             let fresh = self.nodes.len() as State;
-            self.nodes.push(Node { accepting: false, edges: Vec::new() });
+            self.nodes.push(Node {
+                accepting: false,
+                edges: Vec::new(),
+            });
             self.nodes[cur as usize].edges.push((sym, fresh));
             cur = fresh;
         }
@@ -240,7 +246,11 @@ mod tests {
         let dawg = dawg_of_words(&['a', 'b'], ["aab", "bab", "bbb"]);
         // Minimality: compare with the brute-force minimal DFA.
         let min = dawg.minimized();
-        assert_eq!(dawg.state_count(), min.state_count(), "DAWG should already be minimal");
+        assert_eq!(
+            dawg.state_count(),
+            min.state_count(),
+            "DAWG should already be minimal"
+        );
         assert!(dawg.equivalent(&min));
     }
 
@@ -250,15 +260,18 @@ mod tests {
         // against Moore minimisation.
         let mut seed = 12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for _case in 0..20 {
             let mut words = BTreeSet::new();
             for _ in 0..20 {
                 let len = (next() % 6) as usize + 1; // ε is not supported
-                let w: String =
-                    (0..len).map(|_| if next() % 2 == 0 { 'a' } else { 'b' }).collect();
+                let w: String = (0..len)
+                    .map(|_| if next() % 2 == 0 { 'a' } else { 'b' })
+                    .collect();
                 words.insert(w);
             }
             let words: Vec<&str> = words.iter().map(|s| s.as_str()).collect();

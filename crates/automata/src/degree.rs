@@ -310,8 +310,14 @@ mod tests {
     fn classification() {
         assert_eq!(classify(&dfa_like()), AmbiguityClass::Unambiguous);
         assert_eq!(classify(&finitely_ambiguous()), AmbiguityClass::Finite);
-        assert_eq!(classify(&polynomially_ambiguous()), AmbiguityClass::Polynomial);
-        assert_eq!(classify(&exponentially_ambiguous()), AmbiguityClass::Exponential);
+        assert_eq!(
+            classify(&polynomially_ambiguous()),
+            AmbiguityClass::Polynomial
+        );
+        assert_eq!(
+            classify(&exponentially_ambiguous()),
+            AmbiguityClass::Exponential
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ impl Dfa {
         accepting: Vec<bool>,
     ) -> Self {
         assert_eq!(delta.len(), accepting.len());
-        Dfa { alphabet, delta, initial, accepting }
+        Dfa {
+            alphabet,
+            delta,
+            initial,
+            accepting,
+        }
     }
 
     /// Subset construction from an NFA (only reachable subsets are built).
@@ -61,7 +66,12 @@ impl Dfa {
             accepting.push(subsets[next].iter().any(|&s| nfa.is_accepting(s)));
             next += 1;
         }
-        Dfa { alphabet, delta, initial: 0, accepting }
+        Dfa {
+            alphabet,
+            delta,
+            initial: 0,
+            accepting,
+        }
     }
 
     /// The alphabet.
@@ -76,7 +86,10 @@ impl Dfa {
 
     /// Number of (explicit) transitions.
     pub fn transition_count(&self) -> usize {
-        self.delta.iter().map(|row| row.iter().flatten().count()).sum()
+        self.delta
+            .iter()
+            .map(|row| row.iter().flatten().count())
+            .sum()
     }
 
     /// The initial state.
@@ -98,7 +111,9 @@ impl Dfa {
     pub fn accepts(&self, w: &str) -> bool {
         let mut cur = self.initial;
         for c in w.chars() {
-            let Some(sym) = self.alphabet.iter().position(|&x| x == c) else { return false };
+            let Some(sym) = self.alphabet.iter().position(|&x| x == c) else {
+                return false;
+            };
             match self.step(cur, sym) {
                 Some(t) => cur = t,
                 None => return false,
@@ -154,16 +169,20 @@ impl Dfa {
         };
         // Initial partition: accepting vs not (dead is non-accepting).
         let mut class = vec![0usize; total];
-        for s in 0..n {
-            class[s] = usize::from(self.accepting[s]);
+        for (s, c) in class.iter_mut().enumerate().take(n) {
+            *c = usize::from(self.accepting[s]);
         }
         loop {
             // Signature: (class, classes of successors).
             let mut sig_ids: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
             let mut next_class = vec![0usize; total];
             for s in 0..total {
-                let sig =
-                    (class[s], (0..self.alphabet.len()).map(|sym| class[step_c(s, sym)]).collect());
+                let sig = (
+                    class[s],
+                    (0..self.alphabet.len())
+                        .map(|sym| class[step_c(s, sym)])
+                        .collect(),
+                );
                 let fresh = sig_ids.len();
                 next_class[s] = *sig_ids.entry(sig).or_insert(fresh);
             }
@@ -188,10 +207,10 @@ impl Dfa {
         for s in 0..n {
             let Some(id) = remap[class[s]] else { continue };
             accepting[id as usize] = self.accepting[s];
-            for sym in 0..self.alphabet.len() {
+            for (sym, slot) in delta[id as usize].iter_mut().enumerate() {
                 let t = step_c(s, sym);
                 if class[t] != dead_class {
-                    delta[id as usize][sym] = remap[class[t]];
+                    *slot = remap[class[t]];
                 }
             }
         }
@@ -237,11 +256,16 @@ impl Dfa {
         for s in 0..n {
             let Some(id) = remap[s] else { continue };
             accepting[id as usize] = self.accepting[s];
-            for sym in 0..self.alphabet.len() {
-                delta[id as usize][sym] = self.delta[s][sym].and_then(|t| remap[t as usize]);
+            for (sym, slot) in delta[id as usize].iter_mut().enumerate() {
+                *slot = self.delta[s][sym].and_then(|t| remap[t as usize]);
             }
         }
-        Dfa::from_parts(self.alphabet.clone(), delta, remap[self.initial as usize].unwrap(), accepting)
+        Dfa::from_parts(
+            self.alphabet.clone(),
+            delta,
+            remap[self.initial as usize].unwrap(),
+            accepting,
+        )
     }
 
     /// Language equivalence via product reachability of distinguishing
@@ -277,7 +301,12 @@ impl Dfa {
     /// work per step — the enumeration primitive for DAWG-backed
     /// unambiguous representations.
     pub fn words_lex(&self, max_len: usize) -> LexWords<'_> {
-        LexWords { dfa: self, stack: vec![(self.initial, 0)], word: Vec::new(), max_len }
+        LexWords {
+            dfa: self,
+            stack: vec![(self.initial, 0)],
+            word: Vec::new(),
+            max_len,
+        }
     }
 
     /// Complement restricted to words of length exactly `len` (the natural
@@ -297,19 +326,25 @@ impl Dfa {
                     accepting[id(s, l) as usize] = true;
                 }
                 if l < len {
-                    for sym in 0..self.alphabet.len() {
+                    let row = &mut delta[id(s, l) as usize];
+                    for (sym, slot) in row.iter_mut().enumerate() {
                         let t = if s == dead {
                             dead
                         } else {
-                            self.delta[s][sym].map(|x| x as usize).unwrap_or(dead)
+                            self.delta[s][sym].map_or(dead, |x| x as usize)
                         };
-                        delta[id(s, l) as usize][sym] = Some(id(t, l + 1));
+                        *slot = Some(id(t, l + 1));
                     }
                 }
             }
         }
-        Dfa::from_parts(self.alphabet.clone(), delta, id(self.initial as usize, 0), accepting)
-            .reachable_only()
+        Dfa::from_parts(
+            self.alphabet.clone(),
+            delta,
+            id(self.initial as usize, 0),
+            accepting,
+        )
+        .reachable_only()
     }
 }
 
@@ -516,7 +551,12 @@ mod tests {
     #[test]
     fn lex_words_includes_epsilon() {
         // DFA accepting {ε, a}.
-        let d = Dfa::from_parts(vec!['a'], vec![vec![Some(1)], vec![None]], 0, vec![true, true]);
+        let d = Dfa::from_parts(
+            vec!['a'],
+            vec![vec![Some(1)], vec![None]],
+            0,
+            vec![true, true],
+        );
         let words: Vec<String> = d.words_lex(3).collect();
         assert_eq!(words, vec!["", "a"]);
     }

@@ -208,6 +208,10 @@ mod tests {
         let d = dawg_of_words(&['a', 'b'], ["aa", "ab", "ba", "bb"]);
         let i = intersect_cnf_dfa(&g, &d);
         let q = d.state_count();
-        assert!(i.size() <= 3 * g.size() * q * q + q, "size {} too big", i.size());
+        assert!(
+            i.size() <= 3 * g.size() * q * q + q,
+            "size {} too big",
+            i.size()
+        );
     }
 }

@@ -84,7 +84,9 @@ fn ln_contains(n: usize, w: u64) -> bool {
 
 fn ucfg_core_words(n: usize) -> Vec<u64> {
     assert!(2 * n <= 24, "exponential enumeration");
-    (0..(1u64 << (2 * n))).filter(|&w| ln_contains(n, w)).collect()
+    (0..(1u64 << (2 * n)))
+        .filter(|&w| ln_contains(n, w))
+        .collect()
 }
 
 #[cfg(test)]
@@ -106,11 +108,7 @@ mod tests {
     fn encode(words: &[String]) -> BTreeSet<Vec<Terminal>> {
         words
             .iter()
-            .map(|w| {
-                w.chars()
-                    .map(|c| Terminal(u16::from(c == 'b')))
-                    .collect()
-            })
+            .map(|w| w.chars().map(|c| Terminal(u16::from(c == 'b'))).collect())
             .collect()
     }
 

@@ -130,8 +130,16 @@ mod tests {
     fn pattern_nfa_is_linear_size() {
         for n in [1usize, 4, 16, 64, 256] {
             let a = pattern_nfa(n);
-            assert!(a.state_count() <= n + 2, "n={n}: {} states", a.state_count());
-            assert!(a.transition_count() <= 2 * n + 6, "n={n}: {} transitions", a.transition_count());
+            assert!(
+                a.state_count() <= n + 2,
+                "n={n}: {} states",
+                a.state_count()
+            );
+            assert!(
+                a.transition_count() <= 2 * n + 6,
+                "n={n}: {} transitions",
+                a.transition_count()
+            );
         }
     }
 

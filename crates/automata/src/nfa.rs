@@ -81,7 +81,10 @@ impl Nfa {
 
     /// Number of transitions (the headline size measure).
     pub fn transition_count(&self) -> usize {
-        self.delta.iter().map(|per| per.iter().map(Vec::len).sum::<usize>()).sum()
+        self.delta
+            .iter()
+            .map(|per| per.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// Initial states.
@@ -103,7 +106,9 @@ impl Nfa {
     pub fn accepts(&self, w: &str) -> bool {
         let mut cur: BTreeSet<State> = self.initial.iter().copied().collect();
         for c in w.chars() {
-            let Some(sym) = self.symbol_index(c) else { return false };
+            let Some(sym) = self.symbol_index(c) else {
+                return false;
+            };
             let mut next = BTreeSet::new();
             for &s in &cur {
                 next.extend(self.successors(s, sym).iter().copied());
@@ -124,7 +129,9 @@ impl Nfa {
             cur[s as usize] = BigUint::one();
         }
         for c in w.chars() {
-            let Some(sym) = self.symbol_index(c) else { return BigUint::zero() };
+            let Some(sym) = self.symbol_index(c) else {
+                return BigUint::zero();
+            };
             let mut next = vec![BigUint::zero(); self.n_states as usize];
             for (s, cnt) in cur.iter().enumerate() {
                 if cnt.is_zero() {

@@ -138,7 +138,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 let inner = self.alt()?;
                 if self.bump() != Some(')') {
-                    return Err(ParseError { at: self.pos, msg: "expected ')'" });
+                    return Err(ParseError {
+                        at: self.pos,
+                        msg: "expected ')'",
+                    });
                 }
                 Ok(inner)
             }
@@ -146,7 +149,10 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(Regex::Letter(c))
             }
-            _ => Err(ParseError { at: self.pos, msg: "expected atom" }),
+            _ => Err(ParseError {
+                at: self.pos,
+                msg: "expected atom",
+            }),
         }
     }
 }
@@ -154,10 +160,17 @@ impl<'a> Parser<'a> {
 impl Regex {
     /// Parse a regex from the mini-syntax.
     pub fn parse(src: &str) -> Result<Regex, ParseError> {
-        let mut p = Parser { chars: src.chars().collect(), pos: 0, _src: src };
+        let mut p = Parser {
+            chars: src.chars().collect(),
+            pos: 0,
+            _src: src,
+        };
         let r = p.alt()?;
         if p.pos != p.chars.len() {
-            return Err(ParseError { at: p.pos, msg: "trailing input" });
+            return Err(ParseError {
+                at: p.pos,
+                msg: "trailing input",
+            });
         }
         Ok(r)
     }
@@ -231,11 +244,8 @@ impl Regex {
 
     fn collect_alphabet(&self, out: &mut Vec<char>) {
         match self {
-            Regex::Letter(c) => {
-                if !out.contains(c) {
-                    out.push(*c);
-                }
-            }
+            Regex::Letter(c) if !out.contains(c) => out.push(*c),
+            Regex::Letter(_) => {}
             Regex::Concat(a, b) | Regex::Alt(a, b) => {
                 a.collect_alphabet(out);
                 b.collect_alphabet(out);
@@ -258,13 +268,25 @@ impl Regex {
         }
         fn go(r: &Regex, letters: &mut Vec<char>, follow: &mut Vec<Vec<u32>>) -> Sets {
             match r {
-                Regex::Empty => Sets { nullable: false, first: vec![], last: vec![] },
-                Regex::Epsilon => Sets { nullable: true, first: vec![], last: vec![] },
+                Regex::Empty => Sets {
+                    nullable: false,
+                    first: vec![],
+                    last: vec![],
+                },
+                Regex::Epsilon => Sets {
+                    nullable: true,
+                    first: vec![],
+                    last: vec![],
+                },
                 Regex::Letter(c) => {
                     letters.push(*c);
                     follow.push(Vec::new());
                     let p = letters.len() as u32; // 1-based position
-                    Sets { nullable: false, first: vec![p], last: vec![p] }
+                    Sets {
+                        nullable: false,
+                        first: vec![p],
+                        last: vec![p],
+                    }
                 }
                 Regex::Concat(a, b) => {
                     let sa = go(a, letters, follow);
@@ -280,7 +302,11 @@ impl Regex {
                     if sb.nullable {
                         last.extend(sa.last.iter().copied());
                     }
-                    Sets { nullable: sa.nullable && sb.nullable, first, last }
+                    Sets {
+                        nullable: sa.nullable && sb.nullable,
+                        first,
+                        last,
+                    }
                 }
                 Regex::Alt(a, b) => {
                     let sa = go(a, letters, follow);
@@ -289,21 +315,33 @@ impl Regex {
                     first.extend(sb.first);
                     let mut last = sa.last;
                     last.extend(sb.last);
-                    Sets { nullable: sa.nullable || sb.nullable, first, last }
+                    Sets {
+                        nullable: sa.nullable || sb.nullable,
+                        first,
+                        last,
+                    }
                 }
                 Regex::Star(a) => {
                     let sa = go(a, letters, follow);
                     for &l in &sa.last {
                         follow[(l - 1) as usize].extend(sa.first.iter().copied());
                     }
-                    Sets { nullable: true, first: sa.first, last: sa.last }
+                    Sets {
+                        nullable: true,
+                        first: sa.first,
+                        last: sa.last,
+                    }
                 }
             }
         }
         let mut follow: Vec<Vec<u32>> = Vec::new();
         let sets = go(self, &mut letters, &mut follow);
         let alphabet = self.alphabet();
-        let alphabet = if alphabet.is_empty() { vec!['a'] } else { alphabet };
+        let alphabet = if alphabet.is_empty() {
+            vec!['a']
+        } else {
+            alphabet
+        };
         let mut nfa = Nfa::new(&alphabet, letters.len() as u32 + 1);
         nfa.set_initial(0);
         if sets.nullable {
@@ -349,7 +387,11 @@ mod tests {
         check("a*", &["", "a", "aaa"], &["b", "ab"]);
         check("a+", &["a", "aa"], &["", "b"]);
         check("a?b", &["b", "ab"], &["a", "aab"]);
-        check("(a|b)*abb", &["abb", "aabb", "babb", "ababb"], &["ab", "ba", ""]);
+        check(
+            "(a|b)*abb",
+            &["abb", "aabb", "babb", "ababb"],
+            &["ab", "ba", ""],
+        );
     }
 
     #[test]
@@ -398,11 +440,11 @@ mod tests {
         let r = Regex::parse("(a|b)*a(a|b)(a|b)a(a|b)*").unwrap();
         let nfa = r.glushkov();
         for w in 0..(1u64 << 6) {
-            let word: String =
-                (0..6).map(|i| if w >> i & 1 == 1 { 'a' } else { 'b' }).collect();
-            let expect = (0..3).any(|i| {
-                word.as_bytes()[i] == b'a' && word.as_bytes()[i + 3] == b'a'
-            });
+            let word: String = (0..6)
+                .map(|i| if w >> i & 1 == 1 { 'a' } else { 'b' })
+                .collect();
+            let expect =
+                (0..3).any(|i| word.as_bytes()[i] == b'a' && word.as_bytes()[i + 3] == b'a');
             assert_eq!(nfa.accepts(&word), expect, "{word}");
         }
     }

@@ -2,94 +2,86 @@
 //! of unambiguity — linear-time DP on the uCFG / deterministic circuit vs
 //! materialisation — and the factorised-join gap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ucfg_automata::ln_nfa::exact_nfa;
 use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
 use ucfg_factorized::convert::grammar_to_circuit;
-use ucfg_factorized::join::{complete_chain, factorized_path_join, materialized_path_join, path_join_count};
+use ucfg_factorized::join::{
+    complete_chain, factorized_path_join, materialized_path_join, path_join_count,
+};
 use ucfg_grammar::count::derivation_counts_by_length;
 use ucfg_grammar::language::word_counts_by_length;
 use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_support::bench::Suite;
 
-fn bench_count_ln(c: &mut Criterion) {
-    let mut g = c.benchmark_group("count_ln_words");
+fn bench_count_ln(suite: &mut Suite) {
+    let mut g = suite.group("count_ln_words");
     for n in [4usize, 5, 6] {
         // (a) uCFG derivation-count DP: counts words because unambiguous.
         let ucfg = CnfGrammar::from_grammar(&example4_ucfg(n));
-        g.bench_with_input(BenchmarkId::new("ucfg_dp", n), &ucfg, |b, cnf| {
-            b.iter(|| derivation_counts_by_length(black_box(cnf), 2 * n).pop())
+        g.bench(&format!("ucfg_dp/{n}"), || {
+            derivation_counts_by_length(black_box(&ucfg), 2 * n).pop()
         });
         // (b) ambiguous CFG: the same DP over-counts, so words must be
         // materialised and deduplicated.
         let cfg = CnfGrammar::from_grammar(&appendix_a_grammar(n));
-        g.bench_with_input(BenchmarkId::new("ambiguous_materialize", n), &cfg, |b, cnf| {
-            b.iter(|| word_counts_by_length(black_box(cnf), 2 * n).pop())
+        g.bench(&format!("ambiguous_materialize/{n}"), || {
+            word_counts_by_length(black_box(&cfg), 2 * n).pop()
         });
         // (c) deterministic circuit.
         let circ = grammar_to_circuit(&example4_ucfg(n)).unwrap();
-        g.bench_with_input(BenchmarkId::new("circuit", n), &circ, |b, circ| {
-            b.iter(|| black_box(circ).count_derivations())
+        g.bench(&format!("circuit/{n}"), || {
+            black_box(&circ).count_derivations()
         });
     }
-    g.finish();
 }
 
-fn bench_count_automata(c: &mut Criterion) {
-    let mut g = c.benchmark_group("count_via_automata");
+fn bench_count_automata(suite: &mut Suite) {
+    let mut g = suite.group("count_via_automata");
     for n in [4usize, 6, 8] {
         let nfa = exact_nfa(n);
-        g.bench_with_input(BenchmarkId::new("nfa_subset_count", n), &nfa, |b, nfa| {
-            b.iter(|| black_box(nfa).accepted_word_counts(2 * n).pop())
+        g.bench(&format!("nfa_subset_count/{n}"), || {
+            black_box(&nfa).accepted_word_counts(2 * n).pop()
         });
     }
-    g.finish();
 }
 
-fn bench_factorized_join(c: &mut Criterion) {
-    let mut g = c.benchmark_group("factorized_join");
+fn bench_factorized_join(suite: &mut Suite) {
+    let mut g = suite.group("factorized_join");
     for (d, k) in [(3u32, 5usize), (4, 6)] {
         let rels = complete_chain(d, k);
-        g.bench_with_input(
-            BenchmarkId::new("build_circuit", format!("d{d}k{k}")),
-            &rels,
-            |b, rels| b.iter(|| factorized_path_join(black_box(rels)).size()),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("count_dp", format!("d{d}k{k}")),
-            &rels,
-            |b, rels| b.iter(|| path_join_count(black_box(rels))),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("materialize", format!("d{d}k{k}")),
-            &rels,
-            |b, rels| b.iter(|| materialized_path_join(black_box(rels)).len()),
-        );
+        g.bench(&format!("build_circuit/d{d}k{k}"), || {
+            factorized_path_join(black_box(&rels)).size()
+        });
+        g.bench(&format!("count_dp/d{d}k{k}"), || {
+            path_join_count(black_box(&rels))
+        });
+        g.bench(&format!("materialize/d{d}k{k}"), || {
+            materialized_path_join(black_box(&rels)).len()
+        });
     }
-    g.finish();
 }
 
-fn bench_semiring_inside(c: &mut Criterion) {
+fn bench_semiring_inside(suite: &mut Suite) {
     use ucfg_grammar::weighted::{inside_at, Count, MinPlus, TableWeights, UnitWeights};
-    let mut g = c.benchmark_group("semiring_inside");
+    let mut g = suite.group("semiring_inside");
     for n in [4usize, 5] {
         let ucfg = CnfGrammar::from_grammar(&example4_ucfg(n));
-        g.bench_with_input(BenchmarkId::new("count", n), &ucfg, |b, cnf| {
-            b.iter(|| inside_at::<Count>(black_box(cnf), &UnitWeights, 2 * n))
+        g.bench(&format!("count/{n}"), || {
+            inside_at::<Count>(black_box(&ucfg), &UnitWeights, 2 * n)
         });
         let w = TableWeights(vec![MinPlus(Some(1)), MinPlus(Some(0))]);
-        g.bench_with_input(BenchmarkId::new("tropical", n), &ucfg, |b, cnf| {
-            b.iter(|| inside_at::<MinPlus>(black_box(cnf), &w, 2 * n))
+        g.bench(&format!("tropical/{n}"), || {
+            inside_at::<MinPlus>(black_box(&ucfg), &w, 2 * n)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_count_ln,
-    bench_count_automata,
-    bench_factorized_join,
-    bench_semiring_inside
-);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("counting");
+    bench_count_ln(&mut suite);
+    bench_count_automata(&mut suite);
+    bench_factorized_join(&mut suite);
+    bench_semiring_inside(&mut suite);
+    suite.finish();
+}

@@ -1,11 +1,14 @@
 //! Prints the experiment report: all tables/figures, or selected ids.
+//! A full report is also written to `out/report_output.txt` (override
+//! the directory with `$UCFG_OUT_DIR`).
 //!
 //! Usage:
-//!   report            # everything
-//!   report T5 T8      # selected experiments
+//!   report            # everything, to stdout + out/report_output.txt
+//!   report T5 T8      # selected experiments, stdout only
 //!   report --list     # available experiment ids
 
 use ucfg_bench::experiments;
+use ucfg_support::bench::out_dir;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,7 +20,16 @@ fn main() {
         return;
     }
     if args.is_empty() {
-        print!("{}", experiments::full_report());
+        let report = experiments::full_report();
+        print!("{report}");
+        let dir = out_dir();
+        let path = dir.join("report_output.txt");
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &report))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("report written to {}", path.display());
+        }
     } else {
         for id in &args {
             print!("{}", experiments::run(id));

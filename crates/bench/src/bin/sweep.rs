@@ -1,45 +1,48 @@
 //! Emits the headline figure data as CSV for plotting: the Theorem 1
-//! separation over a dense `n`-sweep.
+//! separation over a dense `n`-sweep. The CSV goes to stdout and to
+//! `out/separation_sweep.csv` (override the directory with
+//! `$UCFG_OUT_DIR`).
 //!
 //! Usage:
-//!   sweep              # CSV to stdout
-//!   sweep 512          # sweep up to the given n (default 256)
+//!   sweep                  # CSV to stdout + out/separation_sweep.csv
+//!   sweep 512              # sweep up to the given n (default 256)
+//!   sweep --threads 4      # worker threads (default: available cores)
 //!
 //! Columns: n, |L_n| (log2), CFG size, pattern-NFA transitions, exact-NFA
 //! transitions (when computed), DAWG-uCFG size (when computed), Example 4
 //! uCFG size (log2), Proposition 16 uCFG lower bound (log2).
+//!
+//! The sweep is deterministic: the same `n` ceiling yields a
+//! byte-identical CSV regardless of the thread count.
 
-use ucfg_core::separation::separation_row;
+use ucfg_bench::sweep::sweep_csv;
+use ucfg_support::bench::out_dir;
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(256);
-    println!(
-        "n,ln_size_log2,cfg_size,nfa_pattern,nfa_exact,ucfg_dawg,ucfg_example4_log2,ucfg_lower_bound_log2"
-    );
-    let mut n = 2usize;
-    while n <= max_n {
-        let row = separation_row(n, 24, 9);
-        println!(
-            "{},{:.3},{},{},{},{},{:.3},{}",
-            n,
-            row.language_size.log2_approx(),
-            row.cfg_size,
-            row.nfa_pattern_transitions,
-            row.nfa_exact_transitions.map_or(String::new(), |v| v.to_string()),
-            row.ucfg_dawg_size.map_or(String::new(), |v| v.to_string()),
-            row.ucfg_example4_size.log2_approx(),
-            row.ucfg_lower_bound_log2.map_or(String::new(), |v| format!("{v:.3}")),
-        );
-        // Dense for small n, then powers of two.
-        n = if n < 16 {
-            n + 2
-        } else if n < 64 {
-            n + 8
-        } else {
-            n * 2
-        };
+    let mut max_n = 256usize;
+    let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" | "-j" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    threads = v;
+                }
+            }
+            other => {
+                if let Ok(v) = other.parse() {
+                    max_n = v;
+                }
+            }
+        }
+    }
+    let csv = sweep_csv(max_n, threads);
+    print!("{csv}");
+    let dir = out_dir();
+    let path = dir.join("separation_sweep.csv");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &csv)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("sweep written to {}", path.display());
     }
 }

@@ -31,8 +31,8 @@ use ucfg_grammar::parse_tree::FixedLenParser;
 
 /// The list of experiment ids, in report order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12",
-    "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T20", "T21", "T22", "T23", "T24",
+    "F1", "F2", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13",
+    "T14", "T15", "T16", "T17", "T18", "T19", "T20", "T21", "T22", "T23", "T24",
 ];
 
 /// Dispatch by experiment id.
@@ -81,7 +81,10 @@ pub fn f1_parse_trees() -> String {
     let count = parser.count_trees(&word);
     let trees = parser.trees(&word, 2);
     assert!(trees.len() >= 2, "Figure 1 shows two distinct trees");
-    let _ = writeln!(out, "#parse trees of aaaaaa: {count} (≥ 2 ⇒ G_n is ambiguous)\n");
+    let _ = writeln!(
+        out,
+        "#parse trees of aaaaaa: {count} (≥ 2 ⇒ G_n is ambiguous)\n"
+    );
     for (i, t) in trees.iter().take(2).enumerate() {
         let _ = writeln!(out, "tree {}:\n{}", i + 1, t.render(&g));
     }
@@ -101,8 +104,10 @@ pub fn t1_cfg_sizes() -> String {
     for n in 1..=7 {
         let g = appendix_a_grammar(n);
         let lang = finite_language(&g).expect("finite");
-        let expect: std::collections::BTreeSet<String> =
-            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        let expect: std::collections::BTreeSet<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
         assert_eq!(lang, expect, "L(G) = L_n failed at n={n}");
     }
     let _ = writeln!(out, "language verified exhaustively for n ≤ 7 ✓");
@@ -120,9 +125,7 @@ pub fn t2_nfa_sizes() -> String {
     for n in [1usize, 2, 4, 8, 16, 32, 64] {
         let pat = pattern_nfa(n).transition_count();
         let exact = (n <= 32).then(|| exact_nfa(n).transition_count());
-        let mindfa = (n <= 8).then(|| {
-            Dfa::from_nfa(&exact_nfa(n)).minimized().state_count()
-        });
+        let mindfa = (n <= 8).then(|| Dfa::from_nfa(&exact_nfa(n)).minimized().state_count());
         let _ = writeln!(
             out,
             "{:>6} {:>14} {:>14} {:>16}",
@@ -153,7 +156,11 @@ pub fn t2_nfa_sizes() -> String {
 /// T3 — Theorem 1(3) upper side: the Example 4 uCFG is 2^Θ(n).
 pub fn t3_ucfg_sizes() -> String {
     let mut out = header("T3  Example 4 uCFG: correct, unambiguous, size 2^Θ(n)");
-    let _ = writeln!(out, "{:>4} {:>16} {:>16}", "n", "|uCFG| (built)", "closed form");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>16} {:>16}",
+        "n", "|uCFG| (built)", "closed form"
+    );
     for n in 1..=12usize {
         let built = (n <= 10).then(|| example4_ucfg(n).size());
         let formula = example4_size(n as u64);
@@ -175,7 +182,11 @@ pub fn t3_ucfg_sizes() -> String {
         let g = example4_ucfg(n);
         assert!(decide_unambiguous(&g).is_unambiguous(), "uCFG check n={n}");
         let lang = finite_language(&g).unwrap();
-        assert_eq!(lang.len() as u64, words::ln_size(n).to_u64().unwrap(), "n={n}");
+        assert_eq!(
+            lang.len() as u64,
+            words::ln_size(n).to_u64().unwrap(),
+            "n={n}"
+        );
     }
     let _ = writeln!(out, "unambiguity + language verified for n ≤ 5 ✓");
     let _ = writeln!(
@@ -190,11 +201,22 @@ pub fn t3_ucfg_sizes() -> String {
 /// T4 — Example 3: G_n accepts L_{2^n+1} with size Θ(n).
 pub fn t4_example3() -> String {
     let mut out = header("T4  Example 3: G_n accepts L_{2^n+1}, size Θ(n)");
-    let _ = writeln!(out, "{:>4} {:>12} {:>8} {:>12}", "n", "L index", "|G_n|", "6n+10?");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>12} {:>8} {:>12}",
+        "n", "L index", "|G_n|", "6n+10?"
+    );
     for n in 0..=20usize {
         let g = example3_grammar(n);
         assert_eq!(g.size(), 6 * n + 10, "size formula");
-        let _ = writeln!(out, "{:>4} {:>12} {:>8} {:>12}", n, (1usize << n) + 1, g.size(), "✓");
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12} {:>8} {:>12}",
+            n,
+            (1usize << n) + 1,
+            g.size(),
+            "✓"
+        );
     }
     for n in 0..=2 {
         let g = example3_grammar(n);
@@ -222,8 +244,10 @@ pub fn t5_extraction() -> String {
         let cnf = CnfGrammar::from_grammar(g);
         let res = extract_cover(&cnf, 2 * n).expect("fixed-length grammar");
         let covered = res.covered_words();
-        let expect: std::collections::BTreeSet<String> =
-            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        let expect: std::collections::BTreeSet<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
         let covers = covered == expect;
         let disjoint = res.is_disjoint();
         assert!(covers, "{name}: extraction must cover L_n");
@@ -281,19 +305,24 @@ pub fn t6_lemma18() -> String {
     for m in 1..=3usize {
         let n = 4 * m;
         let fam = discrepancy::enumerate_family(n);
-        assert_eq!(fam.len() as u64, discrepancy::family_size(m as u64).to_u64().unwrap());
+        assert_eq!(
+            fam.len() as u64,
+            discrepancy::family_size(m as u64).to_u64().unwrap()
+        );
         let a = fam.iter().filter(|&&w| discrepancy::in_a(n, w)).count() as u64;
         assert_eq!(a, discrepancy::a_size(m as u64).to_u64().unwrap(), "m={m}");
     }
     let _ = writeln!(out, "counts verified exhaustively for m ≤ 3 ✓");
-    let _ = writeln!(out, "the Lemma 18 inequality holds exactly from m = 4 (n = 16) on");
+    let _ = writeln!(
+        out,
+        "the Lemma 18 inequality holds exactly from m = 4 (n = 16) on"
+    );
     out
 }
 
 /// T7 — Lemmas 19/23: rectangle discrepancy bounds.
 pub fn t7_discrepancy() -> String {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ucfg_support::rng::{SeedableRng, StdRng};
     let mut out = header("T7  Lemmas 19/23: per-rectangle discrepancy bounds");
     let mut rng = StdRng::seed_from_u64(20250705);
     let _ = writeln!(
@@ -320,7 +349,12 @@ pub fn t7_discrepancy() -> String {
         let _ = writeln!(
             out,
             "{:>3} {:>14} {:>12} {:>12} {:>12} {:>14}",
-            n, "[1,n]", max_rnd, adv, bound.to_string(), "-"
+            n,
+            "[1,n]",
+            max_rnd,
+            adv,
+            bound.to_string(),
+            "-"
         );
         // All balanced ordered partitions (Lemma 23 regime).
         let mut worst = 0i64;
@@ -436,8 +470,7 @@ pub fn t9_example8_cover() -> String {
 
 /// T10 — Lemma 21: neat decompositions.
 pub fn t10_neat() -> String {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ucfg_support::rng::{SeedableRng, StdRng};
     let mut out = header("T10 Lemma 21: neat decomposition into ≤ 256 pieces");
     let mut rng = StdRng::seed_from_u64(31337);
     let _ = writeln!(
@@ -451,7 +484,9 @@ pub fn t10_neat() -> String {
                 continue;
             }
             let r = discrepancy::random_family_rectangle(n, part, &mut rng);
-            let Some(dec) = ucfg_core::neat::neat_decomposition(&r) else { continue };
+            let Some(dec) = ucfg_core::neat::neat_decomposition(&r) else {
+                continue;
+            };
             assert!(dec.pieces.len() <= 256);
             assert!(dec.partition.is_neat());
             let total: usize = dec.pieces.iter().map(|p| p.len()).sum();
@@ -469,7 +504,10 @@ pub fn t10_neat() -> String {
             }
         }
     }
-    let _ = writeln!(out, "all balanced non-neat partitions checked (n = 8, 12) ✓");
+    let _ = writeln!(
+        out,
+        "all balanced non-neat partitions checked (n = 8, 12) ✓"
+    );
     out
 }
 
@@ -485,7 +523,10 @@ pub fn t11_transformations() -> String {
         let cnf = CnfGrammar::from_grammar(g);
         assert!(cnf.size() <= g.size() * g.size(), "{name}: CNF blowup");
         let ann = annotate(&cnf, two_n).expect("fixed length");
-        assert!(ann.untrimmed_size <= two_n * cnf.size(), "{name}: annotation blowup");
+        assert!(
+            ann.untrimmed_size <= two_n * cnf.size(),
+            "{name}: annotation blowup"
+        );
         // Derivation counts preserved per length (tree bijection).
         assert_eq!(
             derivation_counts_by_length(&cnf, two_n),
@@ -524,8 +565,10 @@ pub fn t12_generic_upper_bound() -> String {
     for n in 2..=9usize {
         let cfg = appendix_a_grammar(n).size();
         let ex4 = example4_size(n as u64);
-        let mut words: Vec<String> =
-            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        let mut words: Vec<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
         words.sort();
         let mut b = DawgBuilder::new(&['a', 'b']);
         for w in &words {
@@ -582,7 +625,11 @@ pub fn t13_counting() -> String {
         let nfa = exact_nfa(n);
         let ac = nfa.accepted_word_counts(2 * n).pop().unwrap();
         assert_eq!(ac, expect, "NFA n={n}");
-        let _ = writeln!(out, "{:>3} {:>12} {:>14} {:>14} {:>14}", n, expect, dp, cc, ac);
+        let _ = writeln!(
+            out,
+            "{:>3} {:>12} {:>14} {:>14} {:>14}",
+            n, expect, dp, cc, ac
+        );
     }
     let _ = writeln!(
         out,
@@ -652,10 +699,17 @@ pub fn t15_factorized_join() -> String {
     for (d, k) in [(2u32, 4usize), (3, 5), (4, 6), (5, 8), (8, 10)] {
         let rels = complete_chain(d, k);
         let count = path_join_count(&rels);
-        assert_eq!(count, ucfg_grammar::BigUint::small_pow(d as u64, k as u64 + 1));
+        assert_eq!(
+            count,
+            ucfg_grammar::BigUint::small_pow(d as u64, k as u64 + 1)
+        );
         let circ = factorized_path_join(&rels);
         assert_eq!(circ.count_derivations(), count);
-        let det = if d as usize * k <= 30 { circ.is_unambiguous() } else { true };
+        let det = if d as usize * k <= 30 {
+            circ.is_unambiguous()
+        } else {
+            true
+        };
         assert!(det);
         let _ = writeln!(
             out,
@@ -688,16 +742,24 @@ pub fn f2_errata() -> String {
          first pair only forbids (a,a). Witness: baba ∈ L_2, not generable\n\
          with w̄. Fix: range over the 3^(i-1) pairs with disjoint a-support."
     );
-    assert!(words::ln_contains(2, words::from_string(2, "baba").unwrap()));
+    assert!(words::ln_contains(
+        2,
+        words::from_string(2, "baba").unwrap()
+    ));
     let fixed = example4_ucfg(2);
     assert!(finite_language(&fixed).unwrap().contains("baba"));
-    let _ = writeln!(out, "    fixed grammar generates baba ✓ (and is still a uCFG)");
+    let _ = writeln!(
+        out,
+        "    fixed grammar generates baba ✓ (and is still a uCFG)"
+    );
 
     // Erratum 2: Appendix A's single-orientation chain loses gaps.
     let n = 5;
     let literal = finite_language(&appendix_a_grammar_literal(n)).unwrap();
-    let full: std::collections::BTreeSet<String> =
-        words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+    let full: std::collections::BTreeSet<String> = words::enumerate_ln(n)
+        .into_iter()
+        .map(|w| words::to_string(n, w))
+        .collect();
     let missing = format!("a{}a{}", "b".repeat(n - 1), "b".repeat(n - 1));
     assert!(literal.is_subset(&full) && !literal.contains(&missing));
     let _ = writeln!(
@@ -729,7 +791,10 @@ pub fn t16_greedy_covers() -> String {
     for n in [3usize, 4, 5, 6] {
         let multi = greedy_disjoint_cover(n);
         let rep = cover::verify_cover(n, &multi.rectangles);
-        assert!(rep.covers_exactly && rep.disjoint && rep.all_balanced, "n={n}");
+        assert!(
+            rep.covers_exactly && rep.disjoint && rep.all_balanced,
+            "n={n}"
+        );
         let mid = greedy_disjoint_cover_middle_cut(n);
         let rank_bound = (1usize << n) - 1;
         assert!(mid.len() >= rank_bound, "Theorem 17 must hold");
@@ -774,8 +839,10 @@ pub fn t17_bar_hillel_reduction() -> String {
         let dfa = encoded_domain_dfa(n);
         let inter = intersect_cnf_dfa(&cnf, &dfa);
         let lang = finite_language(&inter).unwrap();
-        let expect: std::collections::BTreeSet<String> =
-            words::enumerate_ln(n).into_iter().map(|w| encode_ln_word(n, w)).collect();
+        let expect: std::collections::BTreeSet<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| encode_ln_word(n, w))
+            .collect();
         assert_eq!(lang, expect, "the reduction image is exactly encoded L_n");
         let _ = writeln!(
             out,
@@ -839,7 +906,11 @@ pub fn t18_exact_discrepancy() -> String {
                 n,
                 format!("[{},{}]", part.i, part.j),
                 exact,
-                if part.i == 1 && part.j == n { (1u64 << (3 * m)).to_string() } else { "-".into() },
+                if part.i == 1 && part.j == n {
+                    (1u64 << (3 * m)).to_string()
+                } else {
+                    "-".into()
+                },
                 "✓"
             );
         }
@@ -865,7 +936,11 @@ pub fn t18_exact_discrepancy() -> String {
                 n,
                 format!("[{},{}]", part.i, part.j),
                 exact,
-                if part.i == 1 && part.j == n { (1u64 << (3 * m)).to_string() } else { "-".into() },
+                if part.i == 1 && part.j == n {
+                    (1u64 << (3 * m)).to_string()
+                } else {
+                    "-".into()
+                },
                 "✓"
             );
         }
@@ -947,7 +1022,11 @@ pub fn t20_aggregation() -> String {
         // Tropical: cost 1 per 'a', 0 per 'b' → minimum #a over L_n = 2.
         let w = TableWeights(vec![MinPlus(Some(1)), MinPlus(Some(0))]);
         let min_a = inside_at(&ucfg, &w, 2 * n);
-        assert_eq!(min_a, MinPlus(Some(2)), "every word needs its two witnesses");
+        assert_eq!(
+            min_a,
+            MinPlus(Some(2)),
+            "every word needs its two witnesses"
+        );
         // Ordering on the deterministic circuit.
         let circ = grammar_to_circuit(&example4_ucfg(n)).unwrap();
         let lo = ucfg_factorized::ordering::lex_extreme(&circ, true).unwrap();
@@ -987,18 +1066,30 @@ pub fn t21_nfa_ambiguity_degrees() -> String {
     use ucfg_automata::degree::{ambiguity_growth, classify, AmbiguityClass};
     use ucfg_automata::regex::Regex;
     let mut out = header("T21 NFA ambiguity degrees (Weber–Seidl EDA/IDA criteria)");
-    let _ = writeln!(out, "{:<34} {:>14} {:>22}", "automaton", "class", "amb growth ℓ=0..6");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>14} {:>22}",
+        "automaton", "class", "amb growth ℓ=0..6"
+    );
     let mut row = |name: &str, nfa: &ucfg_automata::Nfa, expect: AmbiguityClass| {
         let cls = classify(nfa);
         assert_eq!(cls, expect, "{name}");
         let growth = ambiguity_growth(nfa, 6);
-        let _ = writeln!(out, "{:<34} {:>14} {:>22}", name, format!("{cls:?}"), format!("{growth:?}"));
+        let _ = writeln!(
+            out,
+            "{:<34} {:>14} {:>22}",
+            name,
+            format!("{cls:?}"),
+            format!("{growth:?}")
+        );
     };
     row(
         "DAWG(L_3) (DFA)",
         &ucfg_automata::convert::dfa_to_nfa(&{
-            let mut words: Vec<String> =
-                words::enumerate_ln(3).into_iter().map(|w| words::to_string(3, w)).collect();
+            let mut words: Vec<String> = words::enumerate_ln(3)
+                .into_iter()
+                .map(|w| words::to_string(3, w))
+                .collect();
             words.sort();
             let mut b = DawgBuilder::new(&['a', 'b']);
             for w in &words {
@@ -1008,8 +1099,16 @@ pub fn t21_nfa_ambiguity_degrees() -> String {
         }),
         AmbiguityClass::Unambiguous,
     );
-    row("exact_nfa(3) (acyclic)", &exact_nfa(3), AmbiguityClass::Finite);
-    row("pattern_nfa(3) (loops)", &pattern_nfa(3), AmbiguityClass::Polynomial);
+    row(
+        "exact_nfa(3) (acyclic)",
+        &exact_nfa(3),
+        AmbiguityClass::Finite,
+    );
+    row(
+        "pattern_nfa(3) (loops)",
+        &pattern_nfa(3),
+        AmbiguityClass::Polynomial,
+    );
     row(
         "Glushkov((a|a)a*)",
         &Regex::parse("(a|a)a*").unwrap().glushkov(),
@@ -1081,8 +1180,10 @@ pub fn t22_complement() -> String {
             }
             dfa_to_grammar(&b.finish()).unwrap().size()
         };
-        let ln_words: Vec<String> =
-            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        let ln_words: Vec<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
         let co_words: Vec<String> = words::enumerate_ln_complement(n)
             .into_iter()
             .map(|w| words::to_string(n, w))
@@ -1092,7 +1193,10 @@ pub fn t22_complement() -> String {
         let d_co = dawg_size(co_words);
         // Minimal DFA of the complement within Σ^{2n}.
         let min_co = (n <= 6).then(|| {
-            Dfa::from_nfa(&exact_nfa(n)).complement_within_length(2 * n).minimized().state_count()
+            Dfa::from_nfa(&exact_nfa(n))
+                .complement_within_length(2 * n)
+                .minimized()
+                .state_count()
         });
         let _ = writeln!(
             out,
@@ -1121,15 +1225,14 @@ pub fn t23_leveled_profiles() -> String {
     use ucfg_automata::leveled::{fooling_profile, nfa_state_lower_bound, residual_profile};
     let mut out = header("T23 Leveled profiles of L_n: DFA widths and NFA fooling bounds");
     for n in [3usize, 4, 5] {
-        let words: std::collections::BTreeSet<Vec<ucfg_grammar::Terminal>> =
-            words::enumerate_ln(n)
-                .into_iter()
-                .map(|w| {
-                    (0..2 * n)
-                        .map(|i| ucfg_grammar::Terminal(u16::from(w >> i & 1 == 0)))
-                        .collect()
-                })
-                .collect();
+        let words: std::collections::BTreeSet<Vec<ucfg_grammar::Terminal>> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| {
+                (0..2 * n)
+                    .map(|i| ucfg_grammar::Terminal(u16::from(w >> i & 1 == 0)))
+                    .collect()
+            })
+            .collect();
         let res = residual_profile(&words, 2 * n);
         let fool = fooling_profile(n);
         assert!(fool[n] >= n, "canonical fooling set survives");
@@ -1214,7 +1317,9 @@ pub fn full_report() -> String {
         out.push_str(&run(id));
     }
     // Headline separation summary (the KMN conjecture, Theorem 1).
-    out.push_str(&header("SUMMARY  Theorem 1: the double-exponential separation"));
+    out.push_str(&header(
+        "SUMMARY  Theorem 1: the double-exponential separation",
+    ));
     let _ = writeln!(
         out,
         "{:>6} {:>8} {:>10} {:>18} {:>14}",
@@ -1341,8 +1446,10 @@ mod tests {
 
     #[test]
     fn t17_runs() {
-        assert!(t17_bar_hillel_reduction().contains("Bar-Hillel")
-            || t17_bar_hillel_reduction().contains("uCFG"));
+        assert!(
+            t17_bar_hillel_reduction().contains("Bar-Hillel")
+                || t17_bar_hillel_reduction().contains("uCFG")
+        );
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! # ucfg-bench — experiment tables and Criterion benches
+//! # ucfg-bench — experiment tables and in-tree benches
 //!
 //! [`experiments`] regenerates every table/figure of the reproduction
 //! (DESIGN.md §5); `cargo run -p ucfg-bench --release --bin report` prints
-//! them all. The Criterion benches under `benches/` time the hot paths
-//! (parsing, counting, extraction, rank, joins) over parameter sweeps.
+//! them all. The benches under `benches/` run on the in-tree
+//! `ucfg_support::bench` harness and time the hot paths (parsing,
+//! counting, extraction, rank, joins) over parameter sweeps. [`sweep`]
+//! renders the Theorem 1 separation CSV on a deterministic parallel
+//! runner.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;

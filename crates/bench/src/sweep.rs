@@ -1,0 +1,100 @@
+//! The Theorem 1 separation sweep as a library: a deterministic,
+//! thread-parallel `n`-sweep rendered to the CSV consumed by the plotting
+//! scripts. The `sweep` binary is a thin wrapper around [`sweep_csv`].
+
+use std::thread;
+use ucfg_core::separation::{separation_row, SeparationRow};
+
+/// The CSV header line (without trailing newline).
+pub const CSV_HEADER: &str =
+    "n,ln_size_log2,cfg_size,nfa_pattern,nfa_exact,ucfg_dawg,ucfg_example4_log2,ucfg_lower_bound_log2";
+
+/// The `n` values visited by a sweep up to `max_n`: dense for small `n`,
+/// then strides, then powers of two.
+pub fn sweep_schedule(max_n: usize) -> Vec<usize> {
+    let mut ns = Vec::new();
+    let mut n = 2usize;
+    while n <= max_n {
+        ns.push(n);
+        n = if n < 16 {
+            n + 2
+        } else if n < 64 {
+            n + 8
+        } else {
+            n * 2
+        };
+    }
+    ns
+}
+
+fn csv_row(n: usize, row: &SeparationRow) -> String {
+    format!(
+        "{},{:.3},{},{},{},{},{:.3},{}",
+        n,
+        row.language_size.log2_approx(),
+        row.cfg_size,
+        row.nfa_pattern_transitions,
+        row.nfa_exact_transitions
+            .map_or(String::new(), |v| v.to_string()),
+        row.ucfg_dawg_size.map_or(String::new(), |v| v.to_string()),
+        row.ucfg_example4_size.log2_approx(),
+        row.ucfg_lower_bound_log2
+            .map_or(String::new(), |v| format!("{v:.3}")),
+    )
+}
+
+/// Render the full sweep CSV (header + one row per scheduled `n`).
+///
+/// Rows are computed on up to `threads` worker threads but always emitted
+/// in schedule order, and `separation_row` itself is deterministic, so the
+/// output is byte-identical for every `threads >= 1`.
+pub fn sweep_csv(max_n: usize, threads: usize) -> String {
+    let schedule = sweep_schedule(max_n);
+    if schedule.is_empty() {
+        return format!("{CSV_HEADER}\n");
+    }
+    let threads = threads.clamp(1, schedule.len());
+    let chunk = schedule.len().div_ceil(threads);
+    let mut rows: Vec<String> = vec![String::new(); schedule.len()];
+    thread::scope(|scope| {
+        for (ns, out) in schedule.chunks(chunk).zip(rows.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (n, slot) in ns.iter().zip(out.iter_mut()) {
+                    *slot = csv_row(*n, &separation_row(*n, 24, 9));
+                }
+            });
+        }
+    });
+    let mut csv = String::with_capacity(64 * (rows.len() + 1));
+    csv.push_str(CSV_HEADER);
+    csv.push('\n');
+    for row in rows {
+        csv.push_str(&row);
+        csv.push('\n');
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_dense_then_strided() {
+        assert_eq!(sweep_schedule(16), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(sweep_schedule(1), Vec::<usize>::new());
+        let s = sweep_schedule(256);
+        assert_eq!(s.last(), Some(&256));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn csv_is_byte_identical_across_thread_counts() {
+        let single = sweep_csv(12, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(single, sweep_csv(12, threads), "threads = {threads}");
+        }
+        assert_eq!(single.lines().next(), Some(CSV_HEADER));
+        assert_eq!(single.lines().count(), 1 + sweep_schedule(12).len());
+    }
+}

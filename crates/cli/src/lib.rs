@@ -14,8 +14,8 @@ use ucfg_core::separation::separation_row;
 use ucfg_core::words;
 use ucfg_grammar::count::{decide_unambiguous, UnambiguityVerdict};
 use ucfg_grammar::language::finite_language;
-use ucfg_grammar::normal_form::CnfGrammar;
 use ucfg_grammar::lint;
+use ucfg_grammar::normal_form::CnfGrammar;
 use ucfg_grammar::text::{parse_grammar, print_grammar};
 
 /// Errors surfaced to the CLI user.
@@ -91,7 +91,11 @@ pub fn cmd_sizes(n: &str) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "n = {n}  (|L_n| = {})", row.language_size);
     let _ = writeln!(out, "  CFG (Appendix A):        {}", row.cfg_size);
-    let _ = writeln!(out, "  NFA (Θ(n), promise):     {}", row.nfa_pattern_transitions);
+    let _ = writeln!(
+        out,
+        "  NFA (Θ(n), promise):     {}",
+        row.nfa_pattern_transitions
+    );
     if let Some(t) = row.nfa_exact_transitions {
         let _ = writeln!(out, "  NFA (exact, Θ(n²)):      {t}");
     }
@@ -235,7 +239,10 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd] if cmd == "determinize" => cmd_determinize(stdin),
         [cmd, n] if cmd == "extract" => cmd_extract(n),
         [] => Ok(usage()),
-        _ => Err(err(format!("unrecognised arguments: {args:?}\n\n{}", usage()))),
+        _ => Err(err(format!(
+            "unrecognised arguments: {args:?}\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -266,7 +273,11 @@ mod tests {
         assert!(cmd_grammar("example4", "11").is_err());
         assert!(cmd_grammar("nope", "3").is_err());
         // Printed grammars re-parse.
-        let body: String = out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        let body: String = out
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(ucfg_grammar::text::parse_grammar(&body).is_ok());
     }
 
@@ -296,12 +307,15 @@ mod tests {
         let src = "S -> A B | B A\nA -> a\nB -> a\n";
         let out = cmd_determinize(src).unwrap();
         assert!(out.contains("determinized"), "{out}");
-        let body: String =
-            out.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        let body: String = out
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
         let g = ucfg_grammar::text::parse_grammar(&body).unwrap();
         assert!(decide_unambiguous(&g).is_unambiguous());
         assert_eq!(finite_language(&g).unwrap().len(), 1); // {aa}
-        // Infinite language rejected.
+                                                           // Infinite language rejected.
         assert!(cmd_determinize("S -> a S | a").is_err());
     }
 

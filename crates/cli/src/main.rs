@@ -6,7 +6,10 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Only the grammar-reading commands consume stdin; don't block otherwise.
-    let stdin = if matches!(args.first().map(String::as_str), Some("check") | Some("determinize")) {
+    let stdin = if matches!(
+        args.first().map(String::as_str),
+        Some("check") | Some("determinize")
+    ) {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {
             eprintln!("error: could not read stdin");

@@ -48,7 +48,9 @@ impl NondetProtocol {
     /// Cost in bits: the prover sends the index of a certificate
     /// rectangle (`⌈log₂ ℓ⌉`).
     pub fn cost_bits(&self) -> u32 {
-        (self.rectangles.len().max(1) as u64).next_power_of_two().trailing_zeros()
+        (self.rectangles.len().max(1) as u64)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// Is the protocol unambiguous (every accepted input has exactly one
@@ -195,8 +197,11 @@ mod tests {
     #[test]
     fn cost_bits_formula() {
         let part = OrderedPartition::new(2, 1, 2);
-        let empty_rect =
-            SetRectangle::new(part, std::collections::BTreeSet::new(), std::collections::BTreeSet::new());
+        let empty_rect = SetRectangle::new(
+            part,
+            std::collections::BTreeSet::new(),
+            std::collections::BTreeSet::new(),
+        );
         for (count, expect) in [(1usize, 0u32), (2, 1), (3, 2), (4, 2), (7, 3), (8, 3)] {
             let p = NondetProtocol::from_cover(vec![empty_rect.clone(); count]);
             assert_eq!(p.cost_bits(), expect, "count={count}");

@@ -49,12 +49,17 @@ pub fn verify_cover(n: usize, rects: &[SetRectangle]) -> CoverReport {
 
 /// Example 8: the non-disjoint cover of `L_n` by `n` balanced rectangles.
 pub fn example8_cover(n: usize) -> Vec<SetRectangle> {
-    (0..n).map(|k| example8_rectangle(n, k).to_set_rectangle(n)).collect()
+    (0..n)
+        .map(|k| example8_rectangle(n, k).to_set_rectangle(n))
+        .collect()
 }
 
 /// Convert an extraction result over `{a,b}^{2n}` into set rectangles.
 pub fn extraction_to_set_rectangles(n: usize, res: &ExtractionResult) -> Vec<SetRectangle> {
-    res.rectangles.iter().map(|r| r.rectangle.to_set_rectangle(n)).collect()
+    res.rectangles
+        .iter()
+        .map(|r| r.rectangle.to_set_rectangle(n))
+        .collect()
 }
 
 /// The Proposition 16 accounting for a *disjoint* cover: the per-rectangle
@@ -63,7 +68,10 @@ pub fn extraction_to_set_rectangles(n: usize, res: &ExtractionResult) -> Vec<Set
 /// discrepancies and whether the identity holds.
 pub fn discrepancy_accounting(n: usize, rects: &[SetRectangle]) -> (Vec<i64>, bool) {
     assert!(discrepancy::supports_blocks(n));
-    let discs: Vec<i64> = rects.iter().map(|r| discrepancy::discrepancy(n, r)).collect();
+    let discs: Vec<i64> = rects
+        .iter()
+        .map(|r| discrepancy::discrepancy(n, r))
+        .collect();
     let total: i64 = discs.iter().sum();
     let m = (n / 4) as u64;
     let expect = discrepancy::gap(m).to_u64().expect("small n") as i64;
@@ -77,7 +85,12 @@ pub fn discrepancy_accounting(n: usize, rects: &[SetRectangle]) -> (Vec<i64>, bo
 /// actual cover size must be ≥ this).
 pub fn implied_size_bound(n: usize, rects: &[SetRectangle]) -> usize {
     let (discs, _) = discrepancy_accounting(n, rects);
-    let max_abs = discs.iter().map(|d| d.unsigned_abs()).max().unwrap_or(1).max(1);
+    let max_abs = discs
+        .iter()
+        .map(|d| d.unsigned_abs())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let m = (n / 4) as u64;
     let g = discrepancy::gap(m).to_u64().expect("small n");
     g.div_ceil(max_abs) as usize
@@ -135,7 +148,11 @@ mod tests {
 
         // And the implied bound is honoured by the actual size.
         let bound = implied_size_bound(n, &rects);
-        assert!(rep.size >= bound, "cover of size {} below implied bound {bound}", rep.size);
+        assert!(
+            rep.size >= bound,
+            "cover of size {} below implied bound {bound}",
+            rep.size
+        );
     }
 
     #[test]

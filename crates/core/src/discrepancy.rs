@@ -27,13 +27,13 @@
 use crate::partition::OrderedPartition;
 use crate::rectangle::SetRectangle;
 use crate::words::{witness_count, Word};
-use rand::Rng;
 use std::collections::BTreeSet;
 use ucfg_grammar::bignum::BigUint;
+use ucfg_support::rng::Rng;
 
 /// Does `n` support the block structure (`n ≡ 0 mod 4`, `n ≥ 4`)?
 pub fn supports_blocks(n: usize) -> bool {
-    n >= 4 && n % 4 == 0 && 2 * n <= 64
+    n >= 4 && n.is_multiple_of(4) && 2 * n <= 64
 }
 
 /// Is `w` in the family `𝓛` (exactly one element per 4-block)?
@@ -49,7 +49,7 @@ pub fn in_a(n: usize, w: Word) -> bool {
 
 /// Is `w ∈ B = 𝓛 ∖ A`?
 pub fn in_b(n: usize, w: Word) -> bool {
-    in_family(n, w) && witness_count(n, w) % 2 == 0
+    in_family(n, w) && witness_count(n, w).is_multiple_of(2)
 }
 
 /// Enumerate `𝓛` (size `2^n`; experiment-scale `n`).
@@ -183,16 +183,35 @@ pub fn adversarial_rectangle<R: Rng + ?Sized>(
     let fam = enumerate_family(n);
     let ins = partition.inside();
     let outs = partition.outside();
-    let sign = |w: Word| if witness_count(n, w) % 2 == 1 { 1i64 } else { -1i64 };
+    let sign = |w: Word| {
+        if witness_count(n, w) % 2 == 1 {
+            1i64
+        } else {
+            -1i64
+        }
+    };
     // Group family members by their side patterns.
-    let s_all: Vec<u64> = fam.iter().map(|&w| w & ins).collect::<BTreeSet<_>>().into_iter().collect();
-    let t_all: Vec<u64> = fam.iter().map(|&w| w & outs).collect::<BTreeSet<_>>().into_iter().collect();
+    let s_all: Vec<u64> = fam
+        .iter()
+        .map(|&w| w & ins)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let t_all: Vec<u64> = fam
+        .iter()
+        .map(|&w| w & outs)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
     // f(u, v) summed lazily; members of 𝓛 are exactly the u|v combinations
     // that lie in 𝓛.
     let mut best: Option<(BTreeSet<u64>, BTreeSet<u64>, i64)> = None;
     for _ in 0..rounds.max(1) {
-        let mut t_cur: BTreeSet<u64> =
-            t_all.iter().copied().filter(|_| rng.random_bool(0.5)).collect();
+        let mut t_cur: BTreeSet<u64> = t_all
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(0.5))
+            .collect();
         let mut s_cur: BTreeSet<u64> = BTreeSet::new();
         let mut last_d = i64::MIN;
         for _iter in 0..16 {
@@ -255,10 +274,18 @@ pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u6
     let fam = enumerate_family(n);
     let ins = partition.inside();
     let outs = partition.outside();
-    let s_all: Vec<u64> =
-        fam.iter().map(|&w| w & ins).collect::<BTreeSet<_>>().into_iter().collect();
-    let t_all: Vec<u64> =
-        fam.iter().map(|&w| w & outs).collect::<BTreeSet<_>>().into_iter().collect();
+    let s_all: Vec<u64> = fam
+        .iter()
+        .map(|&w| w & ins)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let t_all: Vec<u64> = fam
+        .iter()
+        .map(|&w| w & outs)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
     if t_all.len() > 20 {
         return None;
     }
@@ -309,8 +336,7 @@ pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u6
 mod tests {
     use super::*;
     use crate::words::{ln_contains, low_mask};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ucfg_support::rng::{SeedableRng, StdRng};
 
     #[test]
     fn family_membership_and_size() {
@@ -339,14 +365,26 @@ mod tests {
             assert_eq!(a_size(m).to_u64(), Some(a_count), "n={n}");
             assert_eq!(b_size(m).to_u64(), Some(b_count), "n={n}");
             assert_eq!(b_count - a_count, 1 << (3 * m), "|B|−|A| = 2^{{3m}}");
-            let b_out = fam.iter().filter(|&&w| in_b(n, w) && !ln_contains(n, w)).count() as u64;
+            let b_out = fam
+                .iter()
+                .filter(|&&w| in_b(n, w) && !ln_contains(n, w))
+                .count() as u64;
             assert_eq!(b_outside_ln(m).to_u64(), Some(b_out), "|B∖L_n| = 12^m");
             // A ⊆ L_n (odd intersections ⇒ at least one).
-            assert!(fam.iter().filter(|&&w| in_a(n, w)).all(|&w| ln_contains(n, w)));
+            assert!(fam
+                .iter()
+                .filter(|&&w| in_a(n, w))
+                .all(|&w| ln_contains(n, w)));
             // The gap.
             let gap_count = {
-                let a_in = fam.iter().filter(|&&w| in_a(n, w) && ln_contains(n, w)).count() as i64;
-                let b_in = fam.iter().filter(|&&w| in_b(n, w) && ln_contains(n, w)).count() as i64;
+                let a_in = fam
+                    .iter()
+                    .filter(|&&w| in_a(n, w) && ln_contains(n, w))
+                    .count() as i64;
+                let b_in = fam
+                    .iter()
+                    .filter(|&&w| in_b(n, w) && ln_contains(n, w))
+                    .count() as i64;
                 a_in - b_in
             };
             assert_eq!(gap(m).to_u64(), Some(gap_count as u64), "gap = 12^m − 8^m");
@@ -439,7 +477,10 @@ mod tests {
         // Slope sanity: for large m the bound per m tends to
         // log2(12) − 10/3 ≈ 0.2516.
         let slope = (cover_lower_bound_log2(200) - cover_lower_bound_log2(100)) / 100.0;
-        assert!((slope - (12f64.log2() - 10.0 / 3.0)).abs() < 1e-3, "slope {slope}");
+        assert!(
+            (slope - (12f64.log2() - 10.0 / 3.0)).abs() < 1e-3,
+            "slope {slope}"
+        );
         // Theorem 17's fixed-partition bound is stronger:
         assert!(fixed_partition_lower_bound_log2(16) > cover_lower_bound_log2(16));
     }

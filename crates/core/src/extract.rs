@@ -151,7 +151,10 @@ impl Working {
         }
         let s = self.start;
         !(self.term.iter().any(|&(a, _)| a == s)
-            || self.bins.iter().any(|&r| r.0 == s && self.rule_alive_bin(r)))
+            || self
+                .bins
+                .iter()
+                .any(|&r| r.0 == s && self.rule_alive_bin(r)))
     }
 
     /// Any parse tree, as a sequence of heavy-descent steps: returns the
@@ -174,7 +177,11 @@ impl Working {
                 // Degenerate (total < 2): stop here.
                 return cur;
             };
-            cur = if self.len[b as usize] >= self.len[c as usize] { b } else { c };
+            cur = if self.len[b as usize] >= self.len[c as usize] {
+                b
+            } else {
+                c
+            };
         }
     }
 
@@ -211,8 +218,9 @@ impl Working {
     fn outsides(&self) -> HashMap<u32, BTreeSet<(String, String)>> {
         // Topological order: by generated length, descending (children are
         // strictly shorter in CNF).
-        let mut order: Vec<u32> =
-            (0..self.names.len() as u32).filter(|&a| self.alive[a as usize]).collect();
+        let mut order: Vec<u32> = (0..self.names.len() as u32)
+            .filter(|&a| self.alive[a as usize])
+            .collect();
         order.sort_by_key(|&a| std::cmp::Reverse(self.len[a as usize]));
         let mut outside: HashMap<u32, BTreeSet<(String, String)>> = HashMap::new();
         if self.alive[self.start as usize] {
@@ -223,7 +231,9 @@ impl Working {
         }
         let mut lang_memo = HashMap::new();
         for &a in &order {
-            let Some(outs) = outside.get(&a).cloned() else { continue };
+            let Some(outs) = outside.get(&a).cloned() else {
+                continue;
+            };
             if outs.is_empty() {
                 continue;
             }
@@ -235,10 +245,16 @@ impl Working {
                 let lc = self.language_of(c, &mut lang_memo);
                 for (p, s) in &outs {
                     for w in &lc {
-                        outside.entry(b).or_default().insert((p.clone(), format!("{w}{s}")));
+                        outside
+                            .entry(b)
+                            .or_default()
+                            .insert((p.clone(), format!("{w}{s}")));
                     }
                     for w in &lb {
-                        outside.entry(c).or_default().insert((format!("{p}{w}"), s.clone()));
+                        outside
+                            .entry(c)
+                            .or_default()
+                            .insert((format!("{p}{w}"), s.clone()));
                     }
                 }
             }
@@ -260,13 +276,23 @@ pub fn extract_cover(g: &CnfGrammar, total_len: usize) -> Result<ExtractionResul
     let nts = cnf.nonterminal_count();
     let mut w = Working {
         letters: cnf.alphabet().to_vec(),
-        names: (0..nts).map(|i| cnf.name(NonTerminal(i as u32)).to_string()).collect(),
+        names: (0..nts)
+            .map(|i| cnf.name(NonTerminal(i as u32)).to_string())
+            .collect(),
         start: cnf.start().0,
         term: cnf.term_rules().iter().map(|&(a, t)| (a.0, t.0)).collect(),
-        bins: cnf.bin_rules().iter().map(|&(a, b, c)| (a.0, b.0, c.0)).collect(),
+        bins: cnf
+            .bin_rules()
+            .iter()
+            .map(|&(a, b, c)| (a.0, b.0, c.0))
+            .collect(),
         alive: vec![true; nts],
-        pos: (0..nts).map(|i| ann.position_of(NonTerminal(i as u32))).collect(),
-        len: (0..nts).map(|i| ann.generated_length(NonTerminal(i as u32))).collect(),
+        pos: (0..nts)
+            .map(|i| ann.position_of(NonTerminal(i as u32)))
+            .collect(),
+        len: (0..nts)
+            .map(|i| ann.generated_length(NonTerminal(i as u32)))
+            .collect(),
     };
     w.trim();
 
@@ -284,14 +310,23 @@ pub fn extract_cover(g: &CnfGrammar, total_len: usize) -> Result<ExtractionResul
         let (n1, n2) = (w.pos[a as usize] - 1, w.len[a as usize]);
         let n3 = total_len - n1 - n2;
         rectangles.push(ExtractedRectangle {
-            rectangle: WordRectangle { contexts, middles, n1, n2, n3 },
+            rectangle: WordRectangle {
+                contexts,
+                middles,
+                n1,
+                n2,
+                n3,
+            },
             nt_name: w.names[a as usize].clone(),
             position: w.pos[a as usize],
             span_len: w.len[a as usize],
         });
         w.kill(a);
     }
-    Ok(ExtractionResult { rectangles, bound: total_len * g.size() })
+    Ok(ExtractionResult {
+        rectangles,
+        bound: total_len * g.size(),
+    })
 }
 
 impl ExtractionResult {
@@ -333,7 +368,10 @@ mod tests {
     use ucfg_grammar::language::finite_language;
 
     fn ln_strings(n: usize) -> BTreeSet<String> {
-        enumerate_ln(n).into_iter().map(|w| to_string(n, w)).collect()
+        enumerate_ln(n)
+            .into_iter()
+            .map(|w| to_string(n, w))
+            .collect()
     }
 
     #[test]

@@ -65,7 +65,10 @@ fn maximal_rectangle(
                 cands
                     .iter()
                     .copied()
-                    .filter(|&cs| t.iter().all(|&ct| by_s.get(&cs).is_some_and(|m| m.contains(&ct))))
+                    .filter(|&cs| {
+                        t.iter()
+                            .all(|&ct| by_s.get(&cs).is_some_and(|m| m.contains(&ct)))
+                    })
                     .collect()
             })
             .unwrap_or_default();
@@ -77,7 +80,9 @@ fn maximal_rectangle(
                     .iter()
                     .copied()
                     .filter(|&ct| {
-                        new_s.iter().all(|&cs| by_s.get(&cs).is_some_and(|m| m.contains(&ct)))
+                        new_s
+                            .iter()
+                            .all(|&cs| by_s.get(&cs).is_some_and(|m| m.contains(&ct)))
                     })
                     .collect()
             })
@@ -119,7 +124,10 @@ pub fn greedy_disjoint_cover(n: usize) -> GreedyCover {
         rectangles.push(r);
         used_partitions.push(part);
     }
-    GreedyCover { rectangles, partitions: used_partitions }
+    GreedyCover {
+        rectangles,
+        partitions: used_partitions,
+    }
 }
 
 /// The *certified exact* disjoint `[1,n]`-cover number, when determinable:
@@ -147,7 +155,10 @@ pub fn greedy_disjoint_cover_middle_cut(n: usize) -> GreedyCover {
         rectangles.push(r);
         used.push(part);
     }
-    GreedyCover { rectangles, partitions: used }
+    GreedyCover {
+        rectangles,
+        partitions: used,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +212,11 @@ mod tests {
         // Empirically the greedy [1,n]-cover achieves the rank bound
         // 2^n − 1 — the lower bound of Theorem 17 is tight at these sizes.
         for n in [3usize, 4, 5] {
-            assert_eq!(greedy_disjoint_cover_middle_cut(n).len(), (1 << n) - 1, "n={n}");
+            assert_eq!(
+                greedy_disjoint_cover_middle_cut(n).len(),
+                (1 << n) - 1,
+                "n={n}"
+            );
         }
     }
 

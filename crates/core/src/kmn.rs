@@ -115,8 +115,12 @@ mod tests {
 
     #[test]
     fn blowup_is_exponential_in_n() {
-        let s4 = determinize_grammar(&appendix_a_grammar(4)).unwrap().output_size;
-        let s8 = determinize_grammar(&appendix_a_grammar(8)).unwrap().output_size;
+        let s4 = determinize_grammar(&appendix_a_grammar(4))
+            .unwrap()
+            .output_size;
+        let s8 = determinize_grammar(&appendix_a_grammar(8))
+            .unwrap()
+            .output_size;
         assert!(s8 > 8 * s4, "{s4} vs {s8}");
     }
 

@@ -22,10 +22,8 @@ use ucfg_grammar::{Grammar, GrammarBuilder, NonTerminal};
 /// Example 3: the grammar `G_n` of size Θ(n) accepting `L_{2^n + 1}`.
 pub fn example3_grammar(n: usize) -> Grammar {
     let mut b = GrammarBuilder::new(&['a', 'b']);
-    let a_nt: Vec<NonTerminal> =
-        (0..=n).map(|i| b.nonterminal(&format!("A{i}"))).collect();
-    let b_nt: Vec<NonTerminal> =
-        (0..=n).map(|i| b.nonterminal(&format!("B{i}"))).collect();
+    let a_nt: Vec<NonTerminal> = (0..=n).map(|i| b.nonterminal(&format!("A{i}"))).collect();
+    let b_nt: Vec<NonTerminal> = (0..=n).map(|i| b.nonterminal(&format!("B{i}"))).collect();
     for i in 1..=n {
         b.rule(a_nt[i], |r| r.n(b_nt[i - 1]).n(a_nt[i - 1]));
         b.rule(a_nt[i], |r| r.n(a_nt[i - 1]).n(b_nt[i - 1]));
@@ -56,8 +54,9 @@ pub fn appendix_a_grammar(n: usize) -> Grammar {
     let max_bit = *bits.last().expect("n ≥ 2 so m ≥ 1");
 
     // B_i generates all words of length 2^i (doubling).
-    let b_nt: Vec<NonTerminal> =
-        (0..=max_bit).map(|i| b.nonterminal(&format!("B{i}"))).collect();
+    let b_nt: Vec<NonTerminal> = (0..=max_bit)
+        .map(|i| b.nonterminal(&format!("B{i}")))
+        .collect();
     b.rule(b_nt[0], |r| r.t('a'));
     b.rule(b_nt[0], |r| r.t('b'));
     for i in 1..=max_bit {
@@ -72,8 +71,9 @@ pub fn appendix_a_grammar(n: usize) -> Grammar {
     }
 
     // A_i: a block of length 2^i with "a w' a" inserted at one of its gaps.
-    let a_nt: Vec<NonTerminal> =
-        (0..=max_bit).map(|i| b.nonterminal(&format!("A{i}"))).collect();
+    let a_nt: Vec<NonTerminal> = (0..=max_bit)
+        .map(|i| b.nonterminal(&format!("A{i}")))
+        .collect();
     b.rule(a_nt[0], |r| r.n(b_nt[0]).t('a').n(s).t('a'));
     b.rule(a_nt[0], |r| r.t('a').n(s).t('a').n(b_nt[0]));
     for i in 1..=max_bit {
@@ -114,8 +114,15 @@ pub fn appendix_a_grammar(n: usize) -> Grammar {
         ctx.b.rule(d, |r| r.n(dl).n(dr));
         (c, d)
     }
-    let (root_c, _root_d) =
-        build_tree(&mut TreeCtx { b: &mut b, a_nt: &a_nt, b_nt: &b_nt, next_id: 0 }, &bits);
+    let (root_c, _root_d) = build_tree(
+        &mut TreeCtx {
+            b: &mut b,
+            a_nt: &a_nt,
+            b_nt: &b_nt,
+            next_id: 0,
+        },
+        &bits,
+    );
 
     ucfg_grammar::analysis::trim(&b.build(root_c))
 }
@@ -144,8 +151,9 @@ pub fn appendix_a_grammar_literal(n: usize) -> Grammar {
     let m = n - 1;
     let bits: Vec<usize> = (0..64).filter(|i| m >> i & 1 == 1).collect();
     let max_bit = *bits.last().expect("n ≥ 2 so m ≥ 1");
-    let b_nt: Vec<NonTerminal> =
-        (0..=max_bit).map(|i| b.nonterminal(&format!("B{i}"))).collect();
+    let b_nt: Vec<NonTerminal> = (0..=max_bit)
+        .map(|i| b.nonterminal(&format!("B{i}")))
+        .collect();
     b.rule(b_nt[0], |r| r.t('a'));
     b.rule(b_nt[0], |r| r.t('b'));
     for i in 1..=max_bit {
@@ -156,8 +164,9 @@ pub fn appendix_a_grammar_literal(n: usize) -> Grammar {
         let blocks: Vec<NonTerminal> = bits.iter().map(|&i| b_nt[i]).collect();
         b.raw_rule(s, blocks.iter().map(|&x| x.into()).collect());
     }
-    let a_nt: Vec<NonTerminal> =
-        (0..=max_bit).map(|i| b.nonterminal(&format!("A{i}"))).collect();
+    let a_nt: Vec<NonTerminal> = (0..=max_bit)
+        .map(|i| b.nonterminal(&format!("A{i}")))
+        .collect();
     b.rule(a_nt[0], |r| r.n(b_nt[0]).t('a').n(s).t('a'));
     b.rule(a_nt[0], |r| r.t('a').n(s).t('a').n(b_nt[0]));
     for i in 1..=max_bit {
@@ -214,7 +223,13 @@ pub fn example4_ucfg(n: usize) -> Grammar {
 
     // C_i generates all words of length i, unambiguously.
     let c_nt: Vec<Option<NonTerminal>> = (0..n)
-        .map(|i| if i >= 1 { Some(b.nonterminal(&format!("C{i}"))) } else { None })
+        .map(|i| {
+            if i >= 1 {
+                Some(b.nonterminal(&format!("C{i}")))
+            } else {
+                None
+            }
+        })
         .collect();
     if n >= 2 {
         let c1 = c_nt[1].unwrap();
@@ -232,8 +247,9 @@ pub fn example4_ucfg(n: usize) -> Grammar {
     let mut word_nt = std::collections::HashMap::new();
     for len in 1..n {
         for mask in 0..(1u64 << len) {
-            let w: String =
-                (0..len).map(|p| if mask >> p & 1 == 1 { 'a' } else { 'b' }).collect();
+            let w: String = (0..len)
+                .map(|p| if mask >> p & 1 == 1 { 'a' } else { 'b' })
+                .collect();
             let nt = b.nonterminal(&format!("A[{w}]"));
             b.rule(nt, |r| r.ts(&w));
             word_nt.insert((len, mask), nt);
@@ -322,7 +338,11 @@ pub fn example4_size(n: u64) -> BigUint {
     // A_i bodies: 3^{i-1} rules each (pairs with disjoint a-positions).
     for i in 1..=n {
         let body = if i < n {
-            if i == 1 { 4 } else { 6 } // [A_w] a C [A_v] a C
+            if i == 1 {
+                4
+            } else {
+                6
+            } // [A_w] a C [A_v] a C
         } else if i == 1 {
             2 // aa
         } else {
@@ -355,7 +375,10 @@ mod tests {
     use ucfg_grammar::language::finite_language;
 
     fn ln_strings(n: usize) -> BTreeSet<String> {
-        enumerate_ln(n).into_iter().map(|w| to_string(n, w)).collect()
+        enumerate_ln(n)
+            .into_iter()
+            .map(|w| to_string(n, w))
+            .collect()
     }
 
     #[test]
@@ -429,7 +452,9 @@ mod tests {
         assert!(full.contains(&missing));
         assert!(!literal.contains(&missing), "{missing} should be missing");
         // The corrected construction has it.
-        assert!(finite_language(&appendix_a_grammar(n)).unwrap().contains(&missing));
+        assert!(finite_language(&appendix_a_grammar(n))
+            .unwrap()
+            .contains(&missing));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub struct NeatDecomposition {
 /// Returns `None` in the degenerate case where shrinking empties the
 /// interval (impossible for balanced partitions with `n ≥ 8`).
 pub fn neat_partition_of(p: &OrderedPartition) -> Option<OrderedPartition> {
-    assert!(p.n % 4 == 0, "neatness is relative to 4-blocks");
+    assert!(p.n.is_multiple_of(4), "neatness is relative to 4-blocks");
     let inside_smaller = p.inside_len() <= 2 * p.n - p.inside_len();
     let block_start = |pos: usize| pos - (pos - 1) % 4; // 1-based
     let block_end = |pos: usize| block_start(pos) + 3;
@@ -37,8 +37,16 @@ pub fn neat_partition_of(p: &OrderedPartition) -> Option<OrderedPartition> {
     } else {
         // Shrink the interval to interior block boundaries (the moved
         // elements join the outside = smaller side).
-        let i2 = if (p.i - 1) % 4 == 0 { p.i } else { block_end(p.i) + 1 };
-        let j2 = if p.j % 4 == 0 { p.j } else { block_start(p.j).checked_sub(1)? };
+        let i2 = if (p.i - 1).is_multiple_of(4) {
+            p.i
+        } else {
+            block_end(p.i) + 1
+        };
+        let j2 = if p.j.is_multiple_of(4) {
+            p.j
+        } else {
+            block_start(p.j).checked_sub(1)?
+        };
         if i2 > j2 {
             return None;
         }
@@ -70,16 +78,19 @@ pub fn neat_decomposition(r: &SetRectangle) -> Option<NeatDecomposition> {
             .expect("Lemma 21: each trace-slice is a rectangle over the neat partition");
         pieces.push(piece);
     }
-    Some(NeatDecomposition { partition: neat, pieces, moved_mask: moved })
+    Some(NeatDecomposition {
+        partition: neat,
+        pieces,
+        moved_mask: moved,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::discrepancy::random_family_rectangle;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::collections::BTreeSet;
+    use ucfg_support::rng::{SeedableRng, StdRng};
 
     #[test]
     fn neat_partition_alignment() {

@@ -24,7 +24,10 @@ pub struct OrderedPartition {
 impl OrderedPartition {
     /// The partition induced by `[i, j]` (1-based, `1 ≤ i ≤ j ≤ 2n`).
     pub fn new(n: usize, i: usize, j: usize) -> Self {
-        assert!(1 <= i && i <= j && j <= 2 * n, "bad interval [{i},{j}] for n={n}");
+        assert!(
+            1 <= i && i <= j && j <= 2 * n,
+            "bad interval [{i},{j}] for n={n}"
+        );
         OrderedPartition { n, i, j }
     }
 
@@ -78,20 +81,23 @@ impl OrderedPartition {
     /// The 4-blocks `I_1, …, I_{2m}` (only for `n` divisible by 4):
     /// block `t` (0-based, `t < 2m`) covers `z`-bits `[4t, 4t+4)`.
     pub fn block_mask(n: usize, t: usize) -> u64 {
-        debug_assert!(n % 4 == 0 && t < n / 2);
+        debug_assert!(n.is_multiple_of(4) && t < n / 2);
         0b1111u64 << (4 * t)
     }
 
     /// Number of 4-blocks (`2m` where `m = n/4`).
     pub fn block_count(n: usize) -> usize {
-        debug_assert!(n % 4 == 0);
+        debug_assert!(n.is_multiple_of(4));
         n / 2
     }
 
     /// Is the partition *neat*: every 4-block entirely on one side?
     /// Requires `n ≡ 0 (mod 4)`.
     pub fn is_neat(&self) -> bool {
-        assert!(self.n % 4 == 0, "neatness is relative to the 4-blocks");
+        assert!(
+            self.n.is_multiple_of(4),
+            "neatness is relative to the 4-blocks"
+        );
         let ins = self.inside();
         (0..Self::block_count(self.n)).all(|t| {
             let b = Self::block_mask(self.n, t);
@@ -102,7 +108,7 @@ impl OrderedPartition {
     /// The 4-blocks violating neatness (at most two, since `Π₀` is an
     /// interval).
     pub fn violating_blocks(&self) -> Vec<usize> {
-        assert!(self.n % 4 == 0);
+        assert!(self.n.is_multiple_of(4));
         let ins = self.inside();
         (0..Self::block_count(self.n))
             .filter(|&t| {
@@ -198,8 +204,14 @@ mod tests {
         assert!(OrderedPartition::new(4, 1, 4).is_neat());
         assert!(OrderedPartition::new(4, 5, 8).is_neat());
         assert!(!OrderedPartition::new(4, 2, 5).is_neat());
-        assert_eq!(OrderedPartition::new(4, 2, 5).violating_blocks(), vec![0, 1]);
-        assert_eq!(OrderedPartition::new(4, 1, 4).violating_blocks(), Vec::<usize>::new());
+        assert_eq!(
+            OrderedPartition::new(4, 2, 5).violating_blocks(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            OrderedPartition::new(4, 1, 4).violating_blocks(),
+            Vec::<usize>::new()
+        );
         // At most two violations, always.
         for p in OrderedPartition::all_balanced(8) {
             assert!(p.violating_blocks().len() <= 2, "{p:?}");

@@ -38,9 +38,7 @@ pub fn gf2_rank_of_rows(rows: &mut [Vec<u64>]) -> usize {
     for col in 0..width * 64 {
         let (w, b) = (col / 64, col % 64);
         // Find a row with a 1 in this column.
-        let Some(found) =
-            (pivot_row..rows.len()).find(|&r| rows[r][w] >> b & 1 == 1)
-        else {
+        let Some(found) = (pivot_row..rows.len()).find(|&r| rows[r][w] >> b & 1 == 1) else {
             continue;
         };
         rows.swap(pivot_row, found);
@@ -133,7 +131,10 @@ pub fn rank_for_partition(n: usize, part: crate::partition::OrderedPartition) ->
     let outs = part.outside();
     let in_bits: Vec<u32> = (0..64).filter(|&b| ins >> b & 1 == 1).collect();
     let out_bits: Vec<u32> = (0..64).filter(|&b| outs >> b & 1 == 1).collect();
-    assert!(in_bits.len() <= 14 && out_bits.len() <= 20, "matrix too large");
+    assert!(
+        in_bits.len() <= 14 && out_bits.len() <= 20,
+        "matrix too large"
+    );
     let rows = 1usize << in_bits.len();
     let cols = 1usize << out_bits.len();
     let width = cols.div_ceil(64);
@@ -185,7 +186,7 @@ mod tests {
         // Dependent rows.
         let mut rows = vec![vec![0b011u64], vec![0b101], vec![0b110]];
         assert_eq!(gf2_rank_of_rows(&mut rows), 2); // r3 = r1 ⊕ r2
-        // Zero matrix.
+                                                    // Zero matrix.
         let mut rows = vec![vec![0u64]; 4];
         assert_eq!(gf2_rank_of_rows(&mut rows), 0);
     }

@@ -26,7 +26,10 @@ impl SetRectangle {
     pub fn new(partition: OrderedPartition, s: BTreeSet<u64>, t: BTreeSet<u64>) -> Self {
         let (ins, outs) = (partition.inside(), partition.outside());
         debug_assert!(s.iter().all(|&m| m & !ins == 0), "S must be confined to Π₀");
-        debug_assert!(t.iter().all(|&m| m & !outs == 0), "T must be confined to Π₁");
+        debug_assert!(
+            t.iter().all(|&m| m & !outs == 0),
+            "T must be confined to Π₁"
+        );
         SetRectangle { partition, s, t }
     }
 
@@ -53,7 +56,9 @@ impl SetRectangle {
 
     /// Enumerate all members.
     pub fn members(&self) -> impl Iterator<Item = Word> + '_ {
-        self.s.iter().flat_map(move |&a| self.t.iter().map(move |&b| a | b))
+        self.s
+            .iter()
+            .flat_map(move |&a| self.t.iter().map(move |&b| a | b))
     }
 
     /// The smallest rectangle over `partition` containing all of `set`
@@ -129,7 +134,11 @@ impl WordRectangle {
     /// Lemma 15 (forward): view a word rectangle over `{a,b}^{2n}` as an
     /// `[n₁+1, n₁+n₂]`-set rectangle.
     pub fn to_set_rectangle(&self, n: usize) -> SetRectangle {
-        assert_eq!(self.n1 + self.n2 + self.n3, 2 * n, "words must have length 2n");
+        assert_eq!(
+            self.n1 + self.n2 + self.n3,
+            2 * n,
+            "words must have length 2n"
+        );
         let part = OrderedPartition::new(n, self.n1 + 1, self.n1 + self.n2);
         let mut s = BTreeSet::new();
         for w2 in &self.middles {
@@ -170,39 +179,58 @@ impl WordRectangle {
         let (i, j) = (r.partition.i, r.partition.j);
         let (n1, n2) = (i - 1, j - i + 1);
         let n3 = 2 * n - j;
-        let middles = r
-            .s
-            .iter()
-            .map(|&mask| {
-                (0..n2)
-                    .map(|off| if mask >> (n1 + off) & 1 == 1 { 'a' } else { 'b' })
-                    .collect()
-            })
-            .collect();
-        let contexts = r
-            .t
-            .iter()
-            .map(|&mask| {
-                let w1: String =
-                    (0..n1).map(|off| if mask >> off & 1 == 1 { 'a' } else { 'b' }).collect();
-                let w3: String = (0..n3)
-                    .map(|off| if mask >> (n1 + n2 + off) & 1 == 1 { 'a' } else { 'b' })
-                    .collect();
-                (w1, w3)
-            })
-            .collect();
-        WordRectangle { contexts, middles, n1, n2, n3 }
+        let middles =
+            r.s.iter()
+                .map(|&mask| {
+                    (0..n2)
+                        .map(|off| {
+                            if mask >> (n1 + off) & 1 == 1 {
+                                'a'
+                            } else {
+                                'b'
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+        let contexts =
+            r.t.iter()
+                .map(|&mask| {
+                    let w1: String = (0..n1)
+                        .map(|off| if mask >> off & 1 == 1 { 'a' } else { 'b' })
+                        .collect();
+                    let w3: String = (0..n3)
+                        .map(|off| {
+                            if mask >> (n1 + n2 + off) & 1 == 1 {
+                                'a'
+                            } else {
+                                'b'
+                            }
+                        })
+                        .collect();
+                    (w1, w3)
+                })
+                .collect();
+        WordRectangle {
+            contexts,
+            middles,
+            n1,
+            n2,
+            n3,
+        }
     }
 }
 
 /// Example 6: `L*_n = a^{n/2} (a+b)^n a^{n/2}` as a balanced rectangle.
 pub fn example6_rectangle(n: usize) -> WordRectangle {
-    assert!(n % 2 == 0, "Example 6 needs n even");
+    assert!(n.is_multiple_of(2), "Example 6 needs n even");
     let half = "a".repeat(n / 2);
     let mut middles = BTreeSet::new();
     for mask in 0..(1u64 << n) {
         middles.insert(
-            (0..n).map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' }).collect::<String>(),
+            (0..n)
+                .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+                .collect::<String>(),
         );
     }
     WordRectangle {
@@ -217,22 +245,30 @@ pub fn example6_rectangle(n: usize) -> WordRectangle {
 /// Example 8: `L_n^k = (a+b)^k a (a+b)^{n-1} a (a+b)^{n-1-k}` as a balanced
 /// word rectangle (`n₂ = n+1`, middle = `a (a+b)^{n-1} a`).
 pub fn example8_rectangle(n: usize, k: usize) -> WordRectangle {
-    assert!(k <= n - 1);
+    assert!(k < n);
     let mut middles = BTreeSet::new();
     for mask in 0..(1u64 << (n - 1)) {
-        let inner: String =
-            (0..n - 1).map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' }).collect();
+        let inner: String = (0..n - 1)
+            .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+            .collect();
         middles.insert(format!("a{inner}a"));
     }
     let mut contexts = BTreeSet::new();
     // w1 w3 ranges over all of Σ^{n-1}, split as |w1| = k, |w3| = n-1-k.
     for mask in 0..(1u64 << (n - 1)) {
-        let all: String =
-            (0..n - 1).map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' }).collect();
+        let all: String = (0..n - 1)
+            .map(|i| if mask >> i & 1 == 1 { 'a' } else { 'b' })
+            .collect();
         let (w1, w3) = all.split_at(k);
         contexts.insert((w1.to_string(), w3.to_string()));
     }
-    WordRectangle { contexts, middles, n1: k, n2: n + 1, n3: n - 1 - k }
+    WordRectangle {
+        contexts,
+        middles,
+        n1: k,
+        n2: n + 1,
+        n3: n - 1 - k,
+    }
 }
 
 /// Membership of a packed word in a `WordRectangle` (over `{a,b}^{2n}`).
@@ -290,8 +326,9 @@ mod tests {
     fn example8_covers_ln() {
         // ⋃_k L_n^k = L_n (Example 8), but the union is NOT disjoint.
         for n in [3usize, 4, 5] {
-            let rects: Vec<SetRectangle> =
-                (0..n).map(|k| example8_rectangle(n, k).to_set_rectangle(n)).collect();
+            let rects: Vec<SetRectangle> = (0..n)
+                .map(|k| example8_rectangle(n, k).to_set_rectangle(n))
+                .collect();
             for r in &rects {
                 assert!(r.is_balanced(), "n={n}");
             }

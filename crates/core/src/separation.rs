@@ -7,6 +7,7 @@
 //!    length-checked NFA,
 //! 3. the Example 4 uCFG (2^Θ(n)) and the discrepancy lower bound
 //!    2^{Ω(n)} that *every* uCFG must obey,
+//!
 //! plus the DAWG/right-linear baseline for small `n`.
 
 use crate::discrepancy::cover_lower_bound_log2;
@@ -47,11 +48,12 @@ pub struct SeparationRow {
 pub fn separation_row(n: usize, exact_nfa_max: usize, dawg_max: usize) -> SeparationRow {
     let cfg_size = appendix_a_grammar(n).size();
     let nfa_pattern_transitions = pattern_nfa(n).transition_count();
-    let nfa_exact_transitions =
-        (n <= exact_nfa_max).then(|| exact_nfa(n).transition_count());
+    let nfa_exact_transitions = (n <= exact_nfa_max).then(|| exact_nfa(n).transition_count());
     let ucfg_dawg_size = (n <= dawg_max).then(|| {
-        let mut words: Vec<String> =
-            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        let mut words: Vec<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
         words.sort();
         let mut b = DawgBuilder::new(&['a', 'b']);
         for w in &words {
@@ -61,8 +63,9 @@ pub fn separation_row(n: usize, exact_nfa_max: usize, dawg_max: usize) -> Separa
         dfa_to_grammar(&dfa).expect("L_n has no ε").size()
     });
     let m = (n / 4) as u64;
-    let ucfg_lower_bound_log2 = (n % 4 == 0 && crate::discrepancy::lemma18_inequality_holds(m))
-        .then(|| cover_lower_bound_log2(m));
+    let ucfg_lower_bound_log2 = (n.is_multiple_of(4)
+        && crate::discrepancy::lemma18_inequality_holds(m))
+    .then(|| cover_lower_bound_log2(m));
     SeparationRow {
         n,
         language_size: words::ln_size(n),
@@ -140,7 +143,11 @@ mod tests {
     fn constructed_sizes_agree_with_formulas() {
         for n in 2..=6 {
             let (_cfg, ex4, naive) = constructed_sizes(n);
-            assert_eq!(ex4 as u64, example4_size(n as u64).to_u64().unwrap(), "n={n}");
+            assert_eq!(
+                ex4 as u64,
+                example4_size(n as u64).to_u64().unwrap(),
+                "n={n}"
+            );
             assert_eq!(
                 naive as u64,
                 2 * n as u64 * words::ln_size(n).to_u64().unwrap(),

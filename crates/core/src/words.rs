@@ -43,7 +43,7 @@ pub fn low_mask(k: usize) -> u64 {
 /// `a` at positions `i` and `i + n`.
 #[inline]
 pub fn ln_contains(n: usize, w: Word) -> bool {
-    debug_assert!(n >= 1 && n <= MAX_N);
+    debug_assert!((1..=MAX_N).contains(&n));
     (w & (w >> n)) & low_mask(n) != 0
 }
 
@@ -84,14 +84,21 @@ pub fn ln_size(n: usize) -> BigUint {
 
 /// Enumerate all of `L_n` (2^{2n} scan; for experiment-scale `n`).
 pub fn enumerate_ln(n: usize) -> Vec<Word> {
-    assert!(2 * n <= 26, "enumeration is exponential; use ln_size for large n");
-    (0..(1u64 << (2 * n))).filter(|&w| ln_contains(n, w)).collect()
+    assert!(
+        2 * n <= 26,
+        "enumeration is exponential; use ln_size for large n"
+    );
+    (0..(1u64 << (2 * n)))
+        .filter(|&w| ln_contains(n, w))
+        .collect()
 }
 
 /// Enumerate the complement of `L_n` within `{a,b}^{2n}`.
 pub fn enumerate_ln_complement(n: usize) -> Vec<Word> {
     assert!(2 * n <= 26, "enumeration is exponential");
-    (0..(1u64 << (2 * n))).filter(|&w| !ln_contains(n, w)).collect()
+    (0..(1u64 << (2 * n)))
+        .filter(|&w| !ln_contains(n, w))
+        .collect()
 }
 
 /// The witness spectrum: `spectrum[k]` = number of words of `Σ^{2n}` with
@@ -130,7 +137,9 @@ pub fn ln_complement_iter(n: usize) -> impl Iterator<Item = Word> {
 
 /// Render a word as a `String` over `{a, b}`.
 pub fn to_string(n: usize, w: Word) -> String {
-    (0..2 * n).map(|i| if w >> i & 1 == 1 { 'a' } else { 'b' }).collect()
+    (0..2 * n)
+        .map(|i| if w >> i & 1 == 1 { 'a' } else { 'b' })
+        .collect()
 }
 
 /// Parse a word from a `&str` over `{a, b}`; `None` on foreign characters

@@ -88,7 +88,10 @@ impl CircuitBuilder {
     /// Finish with the given root.
     pub fn build(self, root: NodeId) -> Circuit {
         assert!((root as usize) < self.nodes.len());
-        Circuit { nodes: self.nodes, root }
+        Circuit {
+            nodes: self.nodes,
+            root,
+        }
     }
 }
 
@@ -327,14 +330,20 @@ mod tests {
     fn semiring_eval_matches_specialised_ops() {
         use ucfg_grammar::weighted::{Count, MinPlus};
         let c = two_words(); // {ab, ba}
-        // Counting semiring = count_derivations.
+                             // Counting semiring = count_derivations.
         let Count(total) = c.eval(|_| Count(BigUint::one()));
         assert_eq!(total, c.count_derivations());
         // Tropical: cost a = 3, b = 1 → both words cost 4.
         let m: MinPlus = c.eval(|ch| MinPlus(Some(if ch == 'a' { 3 } else { 1 })));
         assert_eq!(m, MinPlus(Some(4)));
         // Weighting 'a' to ∞ kills both words (each contains an a).
-        let m: MinPlus = c.eval(|ch| if ch == 'a' { MinPlus(None) } else { MinPlus(Some(1)) });
+        let m: MinPlus = c.eval(|ch| {
+            if ch == 'a' {
+                MinPlus(None)
+            } else {
+                MinPlus(Some(1))
+            }
+        });
         assert_eq!(m, MinPlus(None));
     }
 

@@ -107,7 +107,9 @@ pub fn grammar_to_circuit(g: &Grammar) -> Result<Circuit, ConvertError> {
 /// Convert a circuit back to a grammar (one non-terminal per ∪/× node).
 pub fn circuit_to_grammar(c: &Circuit, alphabet: &[char]) -> Grammar {
     let mut b = GrammarBuilder::new(alphabet);
-    let nts: Vec<_> = (0..c.node_count()).map(|i| b.nonterminal(&format!("N{i}"))).collect();
+    let nts: Vec<_> = (0..c.node_count())
+        .map(|i| b.nonterminal(&format!("N{i}")))
+        .collect();
     for (i, node) in c.nodes().iter().enumerate() {
         match node {
             Node::Epsilon => b.epsilon_rule(nts[i]),
@@ -173,7 +175,12 @@ mod tests {
             let g = appendix_a_grammar(n);
             let c = grammar_to_circuit(&g).unwrap();
             // |circuit| ≤ 2·|G| + constants and vice versa.
-            assert!(c.size() <= 2 * g.size() + 8, "n={n}: {} vs {}", c.size(), g.size());
+            assert!(
+                c.size() <= 2 * g.size() + 8,
+                "n={n}: {} vs {}",
+                c.size(),
+                g.size()
+            );
             let g2 = circuit_to_grammar(&c, &['a', 'b']);
             assert!(g2.size() <= 2 * c.size() + 8, "n={n}");
         }

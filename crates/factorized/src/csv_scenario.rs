@@ -24,12 +24,21 @@ use ucfg_grammar::{Grammar, GrammarBuilder, NonTerminal};
 /// per `(j ∈ S, σ ∈ Σ)` pinning positions `j` and `j + c` to `σ`.
 pub fn agreement_grammar(c: usize, s_cols: &[usize], alphabet: &[char]) -> Grammar {
     assert!(c >= 1 && !alphabet.is_empty());
-    assert!(s_cols.iter().all(|&j| (1..=c).contains(&j)), "columns are 1-based in [1, c]");
+    assert!(
+        s_cols.iter().all(|&j| (1..=c).contains(&j)),
+        "columns are 1-based in [1, c]"
+    );
     let mut b = GrammarBuilder::new(alphabet);
     let start = b.nonterminal("Start");
     // W_k generates Σ^k, for every k we need (0 handled by omission).
     let w: Vec<Option<NonTerminal>> = (0..2 * c)
-        .map(|k| if k >= 1 { Some(b.nonterminal(&format!("W{k}"))) } else { None })
+        .map(|k| {
+            if k >= 1 {
+                Some(b.nonterminal(&format!("W{k}")))
+            } else {
+                None
+            }
+        })
         .collect();
     if let Some(w1) = w.get(1).copied().flatten() {
         for &ch in alphabet {
@@ -114,7 +123,13 @@ pub fn comparison_grammar(
     let mut b = GrammarBuilder::new(alphabet);
     let start = b.nonterminal("Start");
     let w: Vec<Option<NonTerminal>> = (0..2 * c)
-        .map(|k| if k >= 1 { Some(b.nonterminal(&format!("W{k}"))) } else { None })
+        .map(|k| {
+            if k >= 1 {
+                Some(b.nonterminal(&format!("W{k}")))
+            } else {
+                None
+            }
+        })
         .collect();
     if let Some(w1) = w.get(1).copied().flatten() {
         for &ch in alphabet {
@@ -167,7 +182,9 @@ pub fn compares(
     if chars.len() != 2 * c {
         return false;
     }
-    s_cols.iter().any(|&j| relation(chars[j - 1], chars[j - 1 + c]))
+    s_cols
+        .iter()
+        .any(|&j| relation(chars[j - 1], chars[j - 1 + c]))
 }
 
 /// The reduction `L_n → Agree(n, [n], {a,c,d})`: rename the first line's
@@ -201,7 +218,9 @@ mod tests {
             let g = agreement_grammar(c, &s_cols, &alphabet);
             let lang = finite_language(&g).unwrap();
             let expect: std::collections::BTreeSet<String> =
-                agreement_language(c, &s_cols, &alphabet).into_iter().collect();
+                agreement_language(c, &s_cols, &alphabet)
+                    .into_iter()
+                    .collect();
             assert_eq!(lang, expect, "c={c} S={s_cols:?} Σ={alphabet:?}");
         }
     }
@@ -231,8 +250,9 @@ mod tests {
             );
         }
         // Sanity: the encoding is injective.
-        let all: std::collections::BTreeSet<String> =
-            (0..(1u64 << (2 * n))).map(|w| encode_ln_word(n, w)).collect();
+        let all: std::collections::BTreeSet<String> = (0..(1u64 << (2 * n)))
+            .map(|w| encode_ln_word(n, w))
+            .collect();
         assert_eq!(all.len(), 1 << (2 * n));
         let _ = enumerate_ln(n);
     }
@@ -255,10 +275,7 @@ mod tests {
         let (c, s_cols, alphabet) = (2usize, vec![1usize, 2], vec!['a', 'b']);
         let eq = comparison_grammar(c, &s_cols, &alphabet, |x, y| x == y);
         let ag = agreement_grammar(c, &s_cols, &alphabet);
-        assert_eq!(
-            finite_language(&eq).unwrap(),
-            finite_language(&ag).unwrap()
-        );
+        assert_eq!(finite_language(&eq).unwrap(), finite_language(&ag).unwrap());
     }
 
     #[test]
@@ -314,9 +331,6 @@ mod tests {
     fn degenerate_single_column() {
         let g = agreement_grammar(1, &[1], &['a', 'b']);
         let lang = finite_language(&g).unwrap();
-        assert_eq!(
-            lang,
-            ["aa", "bb"].iter().map(|s| s.to_string()).collect()
-        );
+        assert_eq!(lang, ["aa", "bb"].iter().map(|s| s.to_string()).collect());
     }
 }

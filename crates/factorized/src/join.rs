@@ -35,7 +35,9 @@ pub struct BinaryRelation {
 impl BinaryRelation {
     /// From explicit pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        BinaryRelation { tuples: pairs.into_iter().collect() }
+        BinaryRelation {
+            tuples: pairs.into_iter().collect(),
+        }
     }
 
     /// Number of tuples.
@@ -50,7 +52,10 @@ impl BinaryRelation {
 
     /// Successors of a left value.
     pub fn successors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
-        self.tuples.iter().filter(move |&&(l, _)| l == v).map(|&(_, r)| r)
+        self.tuples
+            .iter()
+            .filter(move |&&(l, _)| l == v)
+            .map(|&(_, r)| r)
     }
 }
 
@@ -125,21 +130,31 @@ pub fn factorized_path_join(rels: &[BinaryRelation]) -> Circuit {
         let mut next: HashMap<u32, NodeId> = HashMap::new();
         let lefts: BTreeSet<u32> = rel.tuples.iter().map(|&(l, _)| l).collect();
         for v in lefts {
-            let branches: Vec<NodeId> =
-                rel.successors(v).filter_map(|s| current.get(&s).copied()).collect();
+            let branches: Vec<NodeId> = rel
+                .successors(v)
+                .filter_map(|s| current.get(&s).copied())
+                .collect();
             if branches.is_empty() {
                 continue;
             }
-            let tail = if branches.len() == 1 { branches[0] } else { b.union(branches) };
+            let tail = if branches.len() == 1 {
+                branches[0]
+            } else {
+                b.union(branches)
+            };
             let head = b.letter(value_char(v));
             let node = b.product(vec![head, tail]);
             next.insert(v, node);
         }
         current = next;
     }
-    let mut roots: Vec<NodeId> = current.into_iter().map(|(_, id)| id).collect();
+    let mut roots: Vec<NodeId> = current.into_values().collect();
     roots.sort();
-    let root = if roots.len() == 1 { roots[0] } else { b.union(roots) };
+    let root = if roots.len() == 1 {
+        roots[0]
+    } else {
+        b.union(roots)
+    };
     b.build(root)
 }
 
@@ -161,8 +176,7 @@ pub fn min_weight_tuple(rels: &[BinaryRelation], weight: impl Fn(u32) -> u64) ->
 /// bipartite relation over a domain of size `d`. Materialised size
 /// `d^{k+1}` tuples; factorised size `O(k·d²)`.
 pub fn complete_chain(d: u32, k: usize) -> Vec<BinaryRelation> {
-    let rel =
-        BinaryRelation::from_pairs((0..d).flat_map(|l| (0..d).map(move |r| (l, r))));
+    let rel = BinaryRelation::from_pairs((0..d).flat_map(|l| (0..d).map(move |r| (l, r))));
     vec![rel; k]
 }
 

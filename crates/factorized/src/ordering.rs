@@ -210,8 +210,8 @@ mod tests {
     use super::*;
     use crate::convert::grammar_to_circuit;
     use crate::join::{complete_chain, factorized_path_join};
-    use ucfg_core::ln_grammars::example4_ucfg;
     use std::collections::BTreeSet;
+    use ucfg_core::ln_grammars::example4_ucfg;
 
     fn ln_circuit(n: usize) -> Circuit {
         grammar_to_circuit(&example4_ucfg(n)).unwrap()
@@ -229,7 +229,10 @@ mod tests {
         for n in 2..=4usize {
             let c = ln_circuit(n);
             let lang = c.language();
-            assert_eq!(lex_extreme(&c, true).as_deref(), lang.iter().next().map(|s| s.as_str()));
+            assert_eq!(
+                lex_extreme(&c, true).as_deref(),
+                lang.iter().next().map(|s| s.as_str())
+            );
             assert_eq!(
                 lex_extreme(&c, false).as_deref(),
                 lang.iter().next_back().map(|s| s.as_str())

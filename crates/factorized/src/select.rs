@@ -55,12 +55,20 @@ fn transform(c: &Circuit, pos: usize, op: Op) -> Option<Circuit> {
     let mut memo: std::collections::HashMap<(NodeId, usize), Option<NodeId>> =
         std::collections::HashMap::new();
     // untouched[node] = copy of the node without modification.
-    let mut untouched: std::collections::HashMap<NodeId, NodeId> =
-        std::collections::HashMap::new();
+    let mut untouched: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
     // An empty rebuild is a legitimate result (the selection filtered
     // everything out), represented by an empty union.
-    let root = rebuild(c, &lens, c.root(), pos, op, &mut b, &mut memo, &mut untouched)
-        .unwrap_or_else(|| b.union(Vec::new()));
+    let root = rebuild(
+        c,
+        &lens,
+        c.root(),
+        pos,
+        op,
+        &mut b,
+        &mut memo,
+        &mut untouched,
+    )
+    .unwrap_or_else(|| b.union(Vec::new()));
     Some(b.build(root))
 }
 

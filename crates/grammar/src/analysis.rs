@@ -86,7 +86,9 @@ pub fn useful(g: &Grammar) -> Vec<bool> {
             }
         }
     }
-    (0..g.nonterminal_count()).map(|i| prod[i] && reach[i]).collect()
+    (0..g.nonterminal_count())
+        .map(|i| prod[i] && reach[i])
+        .collect()
 }
 
 /// Remove useless non-terminals and the rules mentioning them, remapping
@@ -104,7 +106,9 @@ pub fn trim(g: &Grammar) -> Grammar {
     }
     let mut rules = Vec::new();
     'rules: for r in g.rules() {
-        let Some(lhs) = remap[r.lhs.index()] else { continue };
+        let Some(lhs) = remap[r.lhs.index()] else {
+            continue;
+        };
         if !keep[r.lhs.index()] {
             continue; // start kept only as a placeholder when useless
         }

@@ -315,7 +315,8 @@ impl AddAssign for BigUint {
 impl Sub<&BigUint> for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -483,7 +484,15 @@ mod tests {
 
     #[test]
     fn add_matches_u128() {
-        let cases = [0u128, 1, 7, 1 << 31, 1 << 32, u64::MAX as u128, (1 << 100) + 12345];
+        let cases = [
+            0u128,
+            1,
+            7,
+            1 << 31,
+            1 << 32,
+            u64::MAX as u128,
+            (1 << 100) + 12345,
+        ];
         for &a in &cases {
             for &b in &cases {
                 let big = &BigUint::from_u128(a) + &BigUint::from_u128(b);
@@ -505,7 +514,15 @@ mod tests {
 
     #[test]
     fn mul_matches_u128() {
-        let cases = [0u128, 1, 3, 1 << 31, (1 << 32) + 5, u32::MAX as u128, u64::MAX as u128];
+        let cases = [
+            0u128,
+            1,
+            3,
+            1 << 31,
+            (1 << 32) + 5,
+            u32::MAX as u128,
+            u64::MAX as u128,
+        ];
         for &a in &cases {
             for &b in &cases {
                 let big = &BigUint::from_u128(a) * &BigUint::from_u128(b);
@@ -533,7 +550,10 @@ mod tests {
         // 12^40 ≈ 2^{143} needs > 128 bits; value checked against an
         // independent computation.
         let v = BigUint::small_pow(12, 40);
-        assert_eq!(v.to_string(), "14697715679690864505827555550150426126974976");
+        assert_eq!(
+            v.to_string(),
+            "14697715679690864505827555550150426126974976"
+        );
         // Cross-check multiplicatively: 12^40 = 12^25 · 12^15.
         assert_eq!(v, &BigUint::small_pow(12, 25) * &BigUint::small_pow(12, 15));
     }

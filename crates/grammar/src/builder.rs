@@ -101,13 +101,20 @@ impl GrammarBuilder {
 
     /// Add the rule `lhs → <body built by f>`.
     pub fn rule(&mut self, lhs: NonTerminal, f: impl FnOnce(RhsBuilder) -> RhsBuilder) {
-        let rhs = f(RhsBuilder { builder: self, symbols: Vec::new() }).symbols;
+        let rhs = f(RhsBuilder {
+            builder: self,
+            symbols: Vec::new(),
+        })
+        .symbols;
         self.rules.push(Rule { lhs, rhs });
     }
 
     /// Add the ε-rule `lhs → ε`.
     pub fn epsilon_rule(&mut self, lhs: NonTerminal) {
-        self.rules.push(Rule { lhs, rhs: Vec::new() });
+        self.rules.push(Rule {
+            lhs,
+            rhs: Vec::new(),
+        });
     }
 
     /// Add a rule with a pre-built body.

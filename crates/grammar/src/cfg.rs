@@ -79,7 +79,13 @@ impl Grammar {
         for (i, r) in rules.iter().enumerate() {
             rules_by_lhs[r.lhs.index()].push(i);
         }
-        Grammar { alphabet, nonterminal_names, rules, start, rules_by_lhs }
+        Grammar {
+            alphabet,
+            nonterminal_names,
+            rules,
+            start,
+            rules_by_lhs,
+        }
     }
 
     /// The paper's size measure `|G| = Σ |rhs|`.
@@ -129,7 +135,10 @@ impl Grammar {
 
     /// Look up the terminal id of a character, if in the alphabet.
     pub fn terminal_of(&self, c: char) -> Option<Terminal> {
-        self.alphabet.iter().position(|&x| x == c).map(|i| Terminal(i as u16))
+        self.alphabet
+            .iter()
+            .position(|&x| x == c)
+            .map(|i| Terminal(i as u16))
     }
 
     /// Encode a `&str` into terminal ids; `None` if any char is foreign.
@@ -182,7 +191,11 @@ impl Grammar {
             let body = if r.rhs.is_empty() {
                 "ε".to_string()
             } else {
-                r.rhs.iter().map(|&s| self.symbol_str(s)).collect::<Vec<_>>().join(" ")
+                r.rhs
+                    .iter()
+                    .map(|&s| self.symbol_str(s))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             };
             by_lhs.entry(r.lhs).or_default().push(body);
         }
@@ -248,10 +261,16 @@ mod tests {
         let g = Grammar::from_parts(
             vec!['a'],
             vec!["S".into()],
-            vec![Rule { lhs: NonTerminal(0), rhs: vec![Symbol::T(Terminal(5))] }],
+            vec![Rule {
+                lhs: NonTerminal(0),
+                rhs: vec![Symbol::T(Terminal(5))],
+            }],
             NonTerminal(0),
         );
-        assert_eq!(g.validate(), Err(GrammarError::UnknownTerminal(Terminal(5))));
+        assert_eq!(
+            g.validate(),
+            Err(GrammarError::UnknownTerminal(Terminal(5)))
+        );
 
         let g = Grammar::from_parts(vec!['a'], vec!["S".into()], vec![], NonTerminal(3));
         assert_eq!(g.validate(), Err(GrammarError::BadStart(NonTerminal(3))));

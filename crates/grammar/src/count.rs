@@ -121,7 +121,11 @@ impl TreeCounter {
                 }
             }
         }
-        Ok(TreeCounter { g, possible_lens: lens, max_len })
+        Ok(TreeCounter {
+            g,
+            possible_lens: lens,
+            max_len,
+        })
     }
 
     /// The trimmed grammar the counter operates on.
@@ -179,7 +183,11 @@ impl TreeCounter {
         memo: &mut HashMap<(u32, usize, usize), BigUint>,
     ) -> BigUint {
         if idx == rhs.len() {
-            return if len == 0 { BigUint::one() } else { BigUint::zero() };
+            return if len == 0 {
+                BigUint::one()
+            } else {
+                BigUint::zero()
+            };
         }
         match rhs[idx] {
             Symbol::T(t) => {
@@ -232,10 +240,13 @@ pub fn decide_unambiguous(g: &Grammar) -> UnambiguityVerdict {
 pub fn ambiguity_profile(g: &Grammar) -> Result<Vec<(String, BigUint)>, CounterError> {
     let counter = TreeCounter::new(g)?;
     let lang = finite_language(counter.grammar()).expect("finite by construction");
-    Ok(lang.into_iter().map(|w| {
-        let c = counter.count_str(&w);
-        (w, c)
-    }).collect())
+    Ok(lang
+        .into_iter()
+        .map(|w| {
+            let c = counter.count_str(&w);
+            (w, c)
+        })
+        .collect())
 }
 
 /// `table[A][l-1]` = number of parse trees deriving some word of length
@@ -273,7 +284,11 @@ pub fn tree_count_table(g: &CnfGrammar, max_len: usize) -> Vec<Vec<BigUint>> {
 pub fn derivation_counts_by_length(g: &CnfGrammar, max_len: usize) -> Vec<BigUint> {
     let t = tree_count_table(g, max_len);
     let mut out = Vec::with_capacity(max_len + 1);
-    out.push(if g.accepts_epsilon() { BigUint::one() } else { BigUint::zero() });
+    out.push(if g.accepts_epsilon() {
+        BigUint::one()
+    } else {
+        BigUint::zero()
+    });
     for l in 1..=max_len {
         out.push(t[g.start().index()][l - 1].clone());
     }
@@ -286,7 +301,10 @@ pub fn derivation_counts_by_length(g: &CnfGrammar, max_len: usize) -> Vec<BigUin
 pub fn is_unambiguous_cnf(g: &CnfGrammar, max_len: usize) -> bool {
     let trees = derivation_counts_by_length(g, max_len);
     let words = word_counts_by_length(g, max_len);
-    trees.iter().zip(words.iter()).all(|(t, &w)| *t == BigUint::from_u64(w as u64))
+    trees
+        .iter()
+        .zip(words.iter())
+        .all(|(t, &w)| *t == BigUint::from_u64(w as u64))
 }
 
 #[cfg(test)]
@@ -364,7 +382,10 @@ mod tests {
         b.rule(s, |r| r.n(a));
         b.rule(a, |r| r.n(s));
         b.rule(a, |r| r.t('a'));
-        assert_eq!(decide_unambiguous(&b.build(s)), UnambiguityVerdict::InfinitelyAmbiguous);
+        assert_eq!(
+            decide_unambiguous(&b.build(s)),
+            UnambiguityVerdict::InfinitelyAmbiguous
+        );
     }
 
     #[test]
@@ -373,7 +394,10 @@ mod tests {
         let s = b.nonterminal("S");
         b.rule(s, |r| r.t('a').n(s));
         b.rule(s, |r| r.t('a'));
-        assert_eq!(decide_unambiguous(&b.build(s)), UnambiguityVerdict::InfiniteLanguage);
+        assert_eq!(
+            decide_unambiguous(&b.build(s)),
+            UnambiguityVerdict::InfiniteLanguage
+        );
     }
 
     #[test]

@@ -52,7 +52,12 @@ impl<'g> CykChart<'g> {
                 }
             }
         }
-        CykChart { g, word: word.to_vec(), cells, words_per_set }
+        CykChart {
+            g,
+            word: word.to_vec(),
+            cells,
+            words_per_set,
+        }
     }
 
     fn cell(&self, i: usize, len: usize) -> &[u64] {
@@ -74,8 +79,8 @@ impl<'g> CykChart<'g> {
             return out;
         }
         let cell = self.cell(i, len);
-        for w in 0..self.words_per_set {
-            let mut bits = cell[w];
+        for (w, &set) in cell.iter().enumerate().take(self.words_per_set) {
+            let mut bits = set;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
                 out.push(NonTerminal((w * 64 + b) as u32));
@@ -96,7 +101,11 @@ impl<'g> CykChart<'g> {
     /// Exact number of parse trees of the whole word from the start symbol.
     pub fn count_trees(&self) -> BigUint {
         if self.word.is_empty() {
-            return if self.g.accepts_epsilon() { BigUint::one() } else { BigUint::zero() };
+            return if self.g.accepts_epsilon() {
+                BigUint::one()
+            } else {
+                BigUint::zero()
+            };
         }
         let mut memo: HashMap<(u32, usize, usize), BigUint> = HashMap::new();
         self.count_at(self.g.start(), 0, self.word.len(), &mut memo)
@@ -113,7 +122,12 @@ impl<'g> CykChart<'g> {
             return BigUint::zero();
         }
         if len == 1 {
-            let hits = self.g.terms_of(a).iter().filter(|&&t| t == self.word[i]).count();
+            let hits = self
+                .g
+                .terms_of(a)
+                .iter()
+                .filter(|&&t| t == self.word[i])
+                .count();
             return BigUint::from_u64(hits as u64);
         }
         if let Some(c) = memo.get(&(a.0, i, len)) {
@@ -152,7 +166,10 @@ impl<'g> CykChart<'g> {
         if len == 1 {
             for &t in self.g.terms_of(a) {
                 if t == self.word[i] {
-                    out.push(ParseTree { nt: a, children: vec![Child::Leaf(t)] });
+                    out.push(ParseTree {
+                        nt: a,
+                        children: vec![Child::Leaf(t)],
+                    });
                     if out.len() >= limit {
                         return out;
                     }

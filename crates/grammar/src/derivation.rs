@@ -36,8 +36,7 @@ pub struct Derivation {
 impl Derivation {
     /// All sentential forms, from `[S]` to the terminal word.
     pub fn forms(&self) -> Vec<Vec<Symbol>> {
-        let mut out: Vec<Vec<Symbol>> =
-            self.steps.iter().map(|s| s.form.clone()).collect();
+        let mut out: Vec<Vec<Symbol>> = self.steps.iter().map(|s| s.form.clone()).collect();
         out.push(self.result.iter().map(|&t| Symbol::T(t)).collect());
         out
     }
@@ -47,7 +46,10 @@ impl Derivation {
         self.forms()
             .iter()
             .map(|form| {
-                form.iter().map(|&s| g.symbol_str(s)).collect::<Vec<_>>().join(" ")
+                form.iter()
+                    .map(|&s| g.symbol_str(s))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             })
             .collect::<Vec<_>>()
             .join("\n⇒ ")
@@ -101,7 +103,11 @@ fn expand(g: &Grammar, tree: &ParseTree, form: &mut Vec<Symbol>, steps: &mut Vec
         .iter()
         .position(|r| r.lhs == tree.nt && r.rhs == body)
         .expect("tree applies a grammar rule");
-    steps.push(Step { form: form.clone(), at, rule });
+    steps.push(Step {
+        form: form.clone(),
+        at,
+        rule,
+    });
     form.splice(at..=at, body);
     for c in &tree.children {
         if let Child::Tree(t) = c {
@@ -116,7 +122,9 @@ pub fn tree_of_derivation(g: &Grammar, d: &Derivation) -> Option<ParseTree> {
     // Replay the rule sequence against a recursive builder.
     let mut rules = d.steps.iter().map(|s| s.rule);
     let first = d.steps.first()?;
-    let Symbol::N(root) = *first.form.first()? else { return None };
+    let Symbol::N(root) = *first.form.first()? else {
+        return None;
+    };
     let tree = build(g, root, &mut rules)?;
     if rules.next().is_some() {
         return None; // too many steps
@@ -185,7 +193,7 @@ mod tests {
         let forms = d.forms();
         assert_eq!(forms.first().unwrap().len(), 1); // [S]
         assert_eq!(forms.last().unwrap().len(), 2); // a b
-        // Leftmost: each step expands the leftmost non-terminal.
+                                                    // Leftmost: each step expands the leftmost non-terminal.
         for s in &d.steps {
             assert!(s.form[..s.at].iter().all(|x| x.is_terminal()));
         }

@@ -27,7 +27,10 @@ pub struct Earley<'g> {
 impl<'g> Earley<'g> {
     /// Wrap a grammar for recognition.
     pub fn new(g: &'g Grammar) -> Self {
-        Earley { g, nullable: nullable(g) }
+        Earley {
+            g,
+            nullable: nullable(g),
+        }
     }
 
     /// Is `word ∈ L(G)`?
@@ -37,15 +40,25 @@ impl<'g> Earley<'g> {
         let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
         let mut seen: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
 
-        let push = |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, k: usize, it: Item| {
-            if seen[k].insert(it) {
-                sets[k].push(it);
-            }
-        };
+        let push =
+            |sets: &mut Vec<Vec<Item>>, seen: &mut Vec<HashSet<Item>>, k: usize, it: Item| {
+                if seen[k].insert(it) {
+                    sets[k].push(it);
+                }
+            };
 
         for (ri, r) in g.rules().iter().enumerate() {
             if r.lhs == g.start() {
-                push(&mut sets, &mut seen, 0, Item { rule: ri as u32, dot: 0, origin: 0 });
+                push(
+                    &mut sets,
+                    &mut seen,
+                    0,
+                    Item {
+                        rule: ri as u32,
+                        dot: 0,
+                        origin: 0,
+                    },
+                );
             }
         }
 
@@ -65,7 +78,11 @@ impl<'g> Earley<'g> {
                                         &mut sets,
                                         &mut seen,
                                         k,
-                                        Item { rule: ri as u32, dot: 0, origin: k as u32 },
+                                        Item {
+                                            rule: ri as u32,
+                                            dot: 0,
+                                            origin: k as u32,
+                                        },
                                     );
                                 }
                             }
@@ -78,7 +95,11 @@ impl<'g> Earley<'g> {
                                     &mut sets,
                                     &mut seen,
                                     k,
-                                    Item { rule: it.rule, dot: it.dot + 1, origin: it.origin },
+                                    Item {
+                                        rule: it.rule,
+                                        dot: it.dot + 1,
+                                        origin: it.origin,
+                                    },
                                 );
                             }
                         }
@@ -89,7 +110,11 @@ impl<'g> Earley<'g> {
                                     &mut sets,
                                     &mut seen,
                                     k + 1,
-                                    Item { rule: it.rule, dot: it.dot + 1, origin: it.origin },
+                                    Item {
+                                        rule: it.rule,
+                                        dot: it.dot + 1,
+                                        origin: it.origin,
+                                    },
                                 );
                             }
                         }
@@ -113,7 +138,11 @@ impl<'g> Earley<'g> {
                             &mut sets,
                             &mut seen,
                             k,
-                            Item { rule: p.rule, dot: p.dot + 1, origin: p.origin },
+                            Item {
+                                rule: p.rule,
+                                dot: p.dot + 1,
+                                origin: p.origin,
+                            },
                         );
                     }
                 }

@@ -29,7 +29,11 @@ pub struct Unranker<'g> {
 impl<'g> Unranker<'g> {
     /// Precompute counts up to `max_len`.
     pub fn new(g: &'g CnfGrammar, max_len: usize) -> Self {
-        Unranker { g, counts: tree_count_table(g, max_len), max_len }
+        Unranker {
+            g,
+            counts: tree_count_table(g, max_len),
+            max_len,
+        }
     }
 
     fn count(&self, a: NonTerminal, len: usize) -> &BigUint {
@@ -58,7 +62,10 @@ impl<'g> Unranker<'g> {
         if len == 1 {
             let pos = idx.to_u64().expect("few terminal rules") as usize;
             let t = self.g.terms_of(a)[pos];
-            return ParseTree { nt: a, children: vec![Child::Leaf(t)] };
+            return ParseTree {
+                nt: a,
+                children: vec![Child::Leaf(t)],
+            };
         }
         for &(b, c) in self.g.bins_of(a) {
             for k in 1..len {
@@ -209,8 +216,7 @@ mod tests {
         assert_eq!(words.len(), 4);
         let set: BTreeSet<&str> = words.iter().map(|s| s.as_str()).collect();
         assert_eq!(set.len(), 4, "uCFG unranking hits each word once");
-        let lang: BTreeSet<String> =
-            words_of_length(&g, 2).iter().map(|w| g.decode(w)).collect();
+        let lang: BTreeSet<String> = words_of_length(&g, 2).iter().map(|w| g.decode(w)).collect();
         assert_eq!(lang, words.into_iter().collect());
     }
 

@@ -100,7 +100,7 @@ pub fn max_word_length(g: &Grammar) -> Option<usize> {
                     },
                 }
             }
-            if known && max_len[r.lhs.index()].map_or(true, |cur| total > cur) {
+            if known && max_len[r.lhs.index()].is_none_or(|cur| total > cur) {
                 max_len[r.lhs.index()] = Some(total);
                 changed = true;
             }
@@ -115,7 +115,12 @@ pub fn max_word_length(g: &Grammar) -> Option<usize> {
 pub fn finite_language(g: &Grammar) -> Option<BTreeSet<String>> {
     let max = max_word_length(g)?;
     let cnf = CnfGrammar::from_grammar(g);
-    Some(language_up_to(&cnf, max).into_iter().map(|w| cnf.decode(&w)).collect())
+    Some(
+        language_up_to(&cnf, max)
+            .into_iter()
+            .map(|w| cnf.decode(&w))
+            .collect(),
+    )
 }
 
 /// Do two grammars accept the same (finite) language? `None` if either is
@@ -156,8 +161,10 @@ mod tests {
     fn materializes_all_length2_words() {
         let g = pairs();
         let lang = finite_language(&g).unwrap();
-        let expect: BTreeSet<String> =
-            ["aa", "ab", "ba", "bb"].iter().map(|s| s.to_string()).collect();
+        let expect: BTreeSet<String> = ["aa", "ab", "ba", "bb"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(lang, expect);
     }
 

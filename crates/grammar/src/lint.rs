@@ -113,7 +113,11 @@ pub fn lint(g: &Grammar) -> Vec<Finding> {
                     "rule {} → {} appears {count} times (each copy is a distinct \
                      derivation: the grammar is ambiguous)",
                     g.name(lhs),
-                    if body.is_empty() { "ε".into() } else { body.join(" ") }
+                    if body.is_empty() {
+                        "ε".into()
+                    } else {
+                        body.join(" ")
+                    }
                 ),
             });
         }
@@ -126,16 +130,14 @@ pub fn lint(g: &Grammar) -> Vec<Finding> {
             out.push(Finding {
                 severity: Severity::Warning,
                 kind: FindingKind::DerivationCycle,
-                message: "derivation cycle: some word has infinitely many parse trees"
-                    .into(),
+                message: "derivation cycle: some word has infinitely many parse trees".into(),
             });
         }
     } else {
         out.push(Finding {
             severity: Severity::Note,
             kind: FindingKind::InfiniteLanguage,
-            message: "the language is infinite (the paper's results concern finite ones)"
-                .into(),
+            message: "the language is infinite (the paper's results concern finite ones)".into(),
         });
     }
     out.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.message.cmp(&b.message)));
@@ -217,7 +219,10 @@ mod tests {
         b.rule(s, |r| r.t('a').n(s));
         b.rule(s, |r| r.t('a'));
         let fs = lint(&b.build(s));
-        assert!(kinds(&fs).contains(&FindingKind::InfiniteLanguage), "{fs:?}");
+        assert!(
+            kinds(&fs).contains(&FindingKind::InfiniteLanguage),
+            "{fs:?}"
+        );
         assert!(!has_warnings(&fs), "infinite language alone is a note");
     }
 
@@ -240,7 +245,11 @@ mod tests {
         b.rule(s, |r| r.t('a'));
         b.rule(s, |r| r.t('a'));
         let fs = lint(&b.build(s));
-        let rendered = fs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        let rendered = fs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(rendered.contains("warning:"), "{rendered}");
         assert!(rendered.contains("appears 2 times"), "{rendered}");
     }

@@ -41,7 +41,11 @@ pub fn metrics(g: &Grammar) -> GrammarMetrics {
     let size = g.size();
     let rule_count = g.rule_count();
     let max_rule_len = g.rules().iter().map(|r| r.rhs.len()).max().unwrap_or(0);
-    let mean_rule_len = if rule_count == 0 { 0.0 } else { size as f64 / rule_count as f64 };
+    let mean_rule_len = if rule_count == 0 {
+        0.0
+    } else {
+        size as f64 / rule_count as f64
+    };
     let max_fanout = (0..g.nonterminal_count() as u32)
         .map(|i| g.rules_for(NonTerminal(i)).count())
         .max()
@@ -86,7 +90,7 @@ fn min_tree_depth(g: &Grammar) -> Option<usize> {
             }
             if known {
                 let cand = 1 + worst;
-                if depth[r.lhs.index()].map_or(true, |cur| cand < cur) {
+                if depth[r.lhs.index()].is_none_or(|cur| cand < cur) {
                     depth[r.lhs.index()] = Some(cand);
                     changed = true;
                 }

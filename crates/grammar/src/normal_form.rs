@@ -70,8 +70,9 @@ impl CnfGrammar {
     pub fn from_grammar(g: &Grammar) -> Self {
         let g = trim(g);
         let alphabet = g.alphabet().to_vec();
-        let mut names: Vec<String> =
-            (0..g.nonterminal_count()).map(|i| g.name(NonTerminal(i as u32)).to_string()).collect();
+        let mut names: Vec<String> = (0..g.nonterminal_count())
+            .map(|i| g.name(NonTerminal(i as u32)).to_string())
+            .collect();
         // Fresh names carry their id so they stay globally unique — the
         // annotation machinery (Lemma 10) re-identifies non-terminals by
         // name after trimming.
@@ -93,9 +94,11 @@ impl CnfGrammar {
                     .map(|&s| match s {
                         Symbol::T(t) => {
                             let p = *term_proxy.entry(t).or_insert_with(|| {
-                                let nt =
-                                    fresh(&mut names, format!("⟨{}⟩", g.letter(t)));
-                                extra_rules.push(Rule { lhs: nt, rhs: vec![Symbol::T(t)] });
+                                let nt = fresh(&mut names, format!("⟨{}⟩", g.letter(t)));
+                                extra_rules.push(Rule {
+                                    lhs: nt,
+                                    rhs: vec![Symbol::T(t)],
+                                });
                                 nt
                             });
                             Symbol::N(p)
@@ -121,10 +124,16 @@ impl CnfGrammar {
             let k = r.rhs.len();
             for i in 0..k - 2 {
                 let cont = fresh(&mut names, format!("⟨{}#{}⟩", g.name(r.lhs), i + 1));
-                bin_rules_acc.push(Rule { lhs: prev, rhs: vec![r.rhs[i], Symbol::N(cont)] });
+                bin_rules_acc.push(Rule {
+                    lhs: prev,
+                    rhs: vec![r.rhs[i], Symbol::N(cont)],
+                });
                 prev = cont;
             }
-            bin_rules_acc.push(Rule { lhs: prev, rhs: vec![r.rhs[k - 2], r.rhs[k - 1]] });
+            bin_rules_acc.push(Rule {
+                lhs: prev,
+                rhs: vec![r.rhs[k - 2], r.rhs[k - 1]],
+            });
         }
         let rules = bin_rules_acc;
 
@@ -180,8 +189,8 @@ impl CnfGrammar {
 
         let mut term_rules: HashSet<(NonTerminal, Terminal)> = HashSet::new();
         let mut bin_rules: HashSet<(NonTerminal, NonTerminal, NonTerminal)> = HashSet::new();
-        for a in 0..n_now {
-            for &b in &unit[a] {
+        for (a, unit_a) in unit.iter().enumerate().take(n_now) {
+            for &b in unit_a {
                 for (lhs, rhs) in &no_eps {
                     if lhs.index() != b {
                         continue;
@@ -234,8 +243,9 @@ impl CnfGrammar {
                 _ => unreachable!("trim preserves CNF rule shapes"),
             }
         }
-        let names =
-            (0..g.nonterminal_count()).map(|i| g.name(NonTerminal(i as u32)).to_string()).collect();
+        let names = (0..g.nonterminal_count())
+            .map(|i| g.name(NonTerminal(i as u32)).to_string())
+            .collect();
         CnfGrammar::from_rules(
             g.alphabet().to_vec(),
             names,
@@ -251,10 +261,16 @@ impl CnfGrammar {
     pub fn to_grammar(&self) -> Grammar {
         let mut rules = Vec::with_capacity(self.term_rules.len() + self.bin_rules.len());
         for &(a, t) in &self.term_rules {
-            rules.push(Rule { lhs: a, rhs: vec![Symbol::T(t)] });
+            rules.push(Rule {
+                lhs: a,
+                rhs: vec![Symbol::T(t)],
+            });
         }
         for &(a, b, c) in &self.bin_rules {
-            rules.push(Rule { lhs: a, rhs: vec![Symbol::N(b), Symbol::N(c)] });
+            rules.push(Rule {
+                lhs: a,
+                rhs: vec![Symbol::N(b), Symbol::N(c)],
+            });
         }
         Grammar::from_parts(self.alphabet.clone(), self.names.clone(), rules, self.start)
     }
@@ -323,7 +339,10 @@ impl CnfGrammar {
     pub fn encode(&self, word: &str) -> Option<Vec<Terminal>> {
         word.chars()
             .map(|c| {
-                self.alphabet.iter().position(|&x| x == c).map(|i| Terminal(i as u16))
+                self.alphabet
+                    .iter()
+                    .position(|&x| x == c)
+                    .map(|i| Terminal(i as u16))
             })
             .collect()
     }
@@ -441,8 +460,7 @@ mod tests {
         let cnf = CnfGrammar::from_grammar(&abba_grammar());
         let by_lhs_total: usize = (0..cnf.nonterminal_count())
             .map(|i| {
-                cnf.terms_of(NonTerminal(i as u32)).len()
-                    + cnf.bins_of(NonTerminal(i as u32)).len()
+                cnf.terms_of(NonTerminal(i as u32)).len() + cnf.bins_of(NonTerminal(i as u32)).len()
             })
             .sum();
         assert_eq!(by_lhs_total, cnf.rule_count());

@@ -30,12 +30,7 @@ fn merge_alphabets(a1: &[char], a2: &[char]) -> (Vec<char>, Vec<Terminal>, Vec<T
     (merged, m1, m2)
 }
 
-fn remap_rules(
-    g: &Grammar,
-    term_map: &[Terminal],
-    nt_offset: u32,
-    out: &mut Vec<Rule>,
-) {
+fn remap_rules(g: &Grammar, term_map: &[Terminal], nt_offset: u32, out: &mut Vec<Rule>) {
     for r in g.rules() {
         let rhs = r
             .rhs
@@ -45,7 +40,10 @@ fn remap_rules(
                 Symbol::N(n) => Symbol::N(NonTerminal(n.0 + nt_offset)),
             })
             .collect();
-        out.push(Rule { lhs: NonTerminal(r.lhs.0 + nt_offset), rhs });
+        out.push(Rule {
+            lhs: NonTerminal(r.lhs.0 + nt_offset),
+            rhs,
+        });
     }
 }
 
@@ -55,9 +53,13 @@ pub fn union(g1: &Grammar, g2: &Grammar) -> Grammar {
     let (alphabet, m1, m2) = merge_alphabets(g1.alphabet(), g2.alphabet());
     let mut names = vec!["S∪".to_string()];
     let off1 = names.len() as u32;
-    names.extend((0..g1.nonterminal_count()).map(|i| format!("L.{}", g1.name(NonTerminal(i as u32)))));
+    names.extend(
+        (0..g1.nonterminal_count()).map(|i| format!("L.{}", g1.name(NonTerminal(i as u32)))),
+    );
     let off2 = names.len() as u32;
-    names.extend((0..g2.nonterminal_count()).map(|i| format!("R.{}", g2.name(NonTerminal(i as u32)))));
+    names.extend(
+        (0..g2.nonterminal_count()).map(|i| format!("R.{}", g2.name(NonTerminal(i as u32)))),
+    );
     let mut rules = Vec::with_capacity(g1.rule_count() + g2.rule_count() + 2);
     rules.push(Rule {
         lhs: NonTerminal(0),
@@ -77,9 +79,13 @@ pub fn concat(g1: &Grammar, g2: &Grammar) -> Grammar {
     let (alphabet, m1, m2) = merge_alphabets(g1.alphabet(), g2.alphabet());
     let mut names = vec!["S·".to_string()];
     let off1 = names.len() as u32;
-    names.extend((0..g1.nonterminal_count()).map(|i| format!("L.{}", g1.name(NonTerminal(i as u32)))));
+    names.extend(
+        (0..g1.nonterminal_count()).map(|i| format!("L.{}", g1.name(NonTerminal(i as u32)))),
+    );
     let off2 = names.len() as u32;
-    names.extend((0..g2.nonterminal_count()).map(|i| format!("R.{}", g2.name(NonTerminal(i as u32)))));
+    names.extend(
+        (0..g2.nonterminal_count()).map(|i| format!("R.{}", g2.name(NonTerminal(i as u32)))),
+    );
     let mut rules = Vec::with_capacity(g1.rule_count() + g2.rule_count() + 1);
     rules.push(Rule {
         lhs: NonTerminal(0),
@@ -99,7 +105,10 @@ pub fn reverse(g: &Grammar) -> Grammar {
     let rules = g
         .rules()
         .iter()
-        .map(|r| Rule { lhs: r.lhs, rhs: r.rhs.iter().rev().copied().collect() })
+        .map(|r| Rule {
+            lhs: r.lhs,
+            rhs: r.rhs.iter().rev().copied().collect(),
+        })
         .collect();
     let names = (0..g.nonterminal_count())
         .map(|i| g.name(NonTerminal(i as u32)).to_string())
@@ -130,8 +139,7 @@ mod tests {
         let g2 = literal(&["bc"], &['b', 'c']);
         let u = union(&g1, &g2);
         let lang = finite_language(&u).unwrap();
-        let expect: BTreeSet<String> =
-            ["aa", "ab", "bc"].iter().map(|s| s.to_string()).collect();
+        let expect: BTreeSet<String> = ["aa", "ab", "bc"].iter().map(|s| s.to_string()).collect();
         assert_eq!(lang, expect);
         assert_eq!(u.size(), g1.size() + g2.size() + 2);
     }

@@ -12,7 +12,7 @@ use crate::count::tree_count_table;
 use crate::normal_form::CnfGrammar;
 use crate::parse_tree::{Child, ParseTree};
 use crate::symbol::NonTerminal;
-use rand::Rng;
+use ucfg_support::rng::Rng;
 
 /// A prepared sampler over a CNF grammar.
 pub struct TreeSampler<'g> {
@@ -25,7 +25,11 @@ pub struct TreeSampler<'g> {
 impl<'g> TreeSampler<'g> {
     /// Precompute counts up to `max_len`.
     pub fn new(g: &'g CnfGrammar, max_len: usize) -> Self {
-        TreeSampler { g, counts: tree_count_table(g, max_len), max_len }
+        TreeSampler {
+            g,
+            counts: tree_count_table(g, max_len),
+            max_len,
+        }
     }
 
     /// Number of parse trees of length `len` from the start symbol.
@@ -63,7 +67,10 @@ impl<'g> TreeSampler<'g> {
             let opts = self.g.terms_of(a);
             debug_assert!(!opts.is_empty());
             let pick = rng.random_range(0..opts.len());
-            return ParseTree { nt: a, children: vec![Child::Leaf(opts[pick])] };
+            return ParseTree {
+                nt: a,
+                children: vec![Child::Leaf(opts[pick])],
+            };
         }
         let total = &self.counts[a.index()][len - 1];
         let mut target = rand_below(total, rng);
@@ -102,7 +109,11 @@ pub fn rand_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
         let mut remaining = bits;
         while remaining > 0 {
             let take = remaining.min(64);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             let chunk = rng.random::<u64>() & mask;
             v = &v.shl_bits(take) + &BigUint::from_u64(chunk);
             remaining -= take;
@@ -118,9 +129,8 @@ mod tests {
     use super::*;
     use crate::builder::GrammarBuilder;
     use crate::normal_form::CnfGrammar;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::collections::HashMap;
+    use ucfg_support::rng::{SeedableRng, StdRng};
 
     fn pairs() -> CnfGrammar {
         let mut b = GrammarBuilder::new(&['a', 'b']);

@@ -121,7 +121,12 @@ impl Slp {
         if let Some(v) = memo.get(&a.0) {
             return v.clone();
         }
-        let rule = self.g.rules_for(a).next().expect("validated single rule").clone();
+        let rule = self
+            .g
+            .rules_for(a)
+            .next()
+            .expect("validated single rule")
+            .clone();
         let mut out = String::new();
         for &s in &rule.rhs {
             match s {
@@ -205,8 +210,10 @@ impl Slp {
             pow.push(bi);
         }
         let s = b.nonterminal("S");
-        let picks: Vec<NonTerminal> =
-            (0..bits).filter(|i| m >> i & 1 == 1).map(|i| pow[i as usize]).collect();
+        let picks: Vec<NonTerminal> = (0..bits)
+            .filter(|i| m >> i & 1 == 1)
+            .map(|i| pow[i as usize])
+            .collect();
         b.raw_rule(s, picks.into_iter().map(Symbol::N).collect());
         Slp { g: b.build(s) }
     }
@@ -271,7 +278,10 @@ mod tests {
         let s = b.nonterminal("S");
         b.rule(s, |r| r.t('a'));
         b.rule(s, |r| r.ts("aa"));
-        assert!(matches!(Slp::from_grammar(b.build(s)), Err(SlpError::NotSingleRule(_))));
+        assert!(matches!(
+            Slp::from_grammar(b.build(s)),
+            Err(SlpError::NotSingleRule(_))
+        ));
     }
 
     #[test]
@@ -279,7 +289,10 @@ mod tests {
         let mut b = GrammarBuilder::new(&['a']);
         let s = b.nonterminal("S");
         b.rule(s, |r| r.t('a').n(s));
-        assert!(matches!(Slp::from_grammar(b.build(s)), Err(SlpError::Cyclic)));
+        assert!(matches!(
+            Slp::from_grammar(b.build(s)),
+            Err(SlpError::Cyclic)
+        ));
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn parse_grammar(src: &str) -> Result<Grammar, TextError> {
         let (lhs, rest) = line
             .split_once("->")
             .or_else(|| line.split_once('→'))
-            .ok_or_else(|| TextError { line: no, msg: "missing '->'".into() })?;
+            .ok_or_else(|| TextError {
+                line: no,
+                msg: "missing '->'".into(),
+            })?;
         let lhs = lhs.trim().to_string();
         if lhs.is_empty() || !is_nonterminal_token(&lhs) {
             return Err(TextError {
@@ -83,7 +86,10 @@ pub fn parse_grammar(src: &str) -> Result<Grammar, TextError> {
         for alt in rest.split('|') {
             let toks: Vec<String> = alt.split_whitespace().map(str::to_string).collect();
             if toks.is_empty() {
-                return Err(TextError { line: no, msg: "empty alternative (use () for ε)".into() });
+                return Err(TextError {
+                    line: no,
+                    msg: "empty alternative (use () for ε)".into(),
+                });
             }
             for t in &toks {
                 if !is_nonterminal_token(t) && t != "()" && t != "eps" {
@@ -102,7 +108,10 @@ pub fn parse_grammar(src: &str) -> Result<Grammar, TextError> {
         }
         lines.push(Line { no, lhs, alts });
     }
-    let first = lines.first().ok_or(TextError { line: 0, msg: "no rules".into() })?;
+    let first = lines.first().ok_or(TextError {
+        line: 0,
+        msg: "no rules".into(),
+    })?;
     let alphabet: Vec<char> = alphabet.into_iter().collect();
     let mut b = GrammarBuilder::new(&alphabet);
     let start = b.nonterminal(&first.lhs);
@@ -253,11 +262,23 @@ mod tests {
     #[test]
     fn error_reporting() {
         assert!(parse_grammar("S a b").unwrap_err().msg.contains("->"));
-        assert!(parse_grammar("s -> a").unwrap_err().msg.contains("non-terminal"));
-        assert!(parse_grammar("S -> a | ").unwrap_err().msg.contains("empty"));
-        assert!(parse_grammar("S -> aB").unwrap_err().msg.contains("mixed-case"));
+        assert!(parse_grammar("s -> a")
+            .unwrap_err()
+            .msg
+            .contains("non-terminal"));
+        assert!(parse_grammar("S -> a | ")
+            .unwrap_err()
+            .msg
+            .contains("empty"));
+        assert!(parse_grammar("S -> aB")
+            .unwrap_err()
+            .msg
+            .contains("mixed-case"));
         assert!(parse_grammar("").unwrap_err().msg.contains("no rules"));
-        assert!(parse_grammar("S -> a () b").unwrap_err().msg.contains("stand alone"));
+        assert!(parse_grammar("S -> a () b")
+            .unwrap_err()
+            .msg
+            .contains("stand alone"));
     }
 
     #[test]

@@ -170,7 +170,10 @@ impl Poly {
     pub fn var(i: usize, vars: usize) -> Self {
         let mut e = vec![0u32; vars];
         e[i] = 1;
-        Poly { terms: std::collections::BTreeMap::from([(e, 1)]), vars }
+        Poly {
+            terms: std::collections::BTreeMap::from([(e, 1)]),
+            vars,
+        }
     }
 
     /// Total number of monomials.
@@ -182,19 +185,23 @@ impl Poly {
     pub fn eval(&self, xs: &[u64]) -> u64 {
         self.terms
             .iter()
-            .map(|(e, &c)| {
-                c * e.iter().zip(xs).map(|(&p, &x)| x.pow(p)).product::<u64>()
-            })
+            .map(|(e, &c)| c * e.iter().zip(xs).map(|(&p, &x)| x.pow(p)).product::<u64>())
             .sum()
     }
 }
 
 impl Semiring for Poly {
     fn zero() -> Self {
-        Poly { terms: std::collections::BTreeMap::new(), vars: 0 }
+        Poly {
+            terms: std::collections::BTreeMap::new(),
+            vars: 0,
+        }
     }
     fn one() -> Self {
-        Poly { terms: std::collections::BTreeMap::from([(Vec::new(), 1)]), vars: 0 }
+        Poly {
+            terms: std::collections::BTreeMap::from([(Vec::new(), 1)]),
+            vars: 0,
+        }
     }
     fn add(&self, other: &Self) -> Self {
         let vars = self.vars.max(other.vars);
@@ -262,13 +269,13 @@ pub fn inside<S: Semiring>(
 }
 
 /// The start symbol's inside value at exactly `len`.
-pub fn inside_at<S: Semiring>(
-    g: &CnfGrammar,
-    weights: &impl TerminalWeight<S>,
-    len: usize,
-) -> S {
+pub fn inside_at<S: Semiring>(g: &CnfGrammar, weights: &impl TerminalWeight<S>, len: usize) -> S {
     if len == 0 {
-        return if g.accepts_epsilon() { S::one() } else { S::zero() };
+        return if g.accepts_epsilon() {
+            S::one()
+        } else {
+            S::zero()
+        };
     }
     inside(g, weights, len)[g.start().index()][len - 1].clone()
 }

@@ -1,0 +1,22 @@
+//! # ucfg-support — hermetic workspace support
+//!
+//! In-tree, zero-dependency replacements for the three external crates the
+//! workspace used, so `cargo build` / `cargo test` / `cargo bench` work
+//! fully offline and bit-for-bit reproducibly:
+//!
+//! - [`rng`] — deterministic seedable PRNGs (SplitMix64, xoshiro256**)
+//!   with the `random`/`random_range`/`shuffle`/`choose` surface
+//!   (replaces `rand`),
+//! - [`prop`] — a property-testing harness with generators, fixed-seed
+//!   replay, and bounded size-directed shrinking (replaces `proptest`),
+//! - [`bench`] — a warmup + median/p95 bench harness emitting
+//!   `out/BENCH_*.json` lines, with a `--smoke` mode for CI (replaces
+//!   `criterion`).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SeedableRng, StdRng};

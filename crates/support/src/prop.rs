@@ -1,0 +1,517 @@
+//! A lightweight property-testing harness (the workspace's in-tree
+//! replacement for `proptest`).
+//!
+//! A property is a generator plus a predicate. The [`property!`] macro
+//! wires both into a `#[test]`:
+//!
+//! ```
+//! use ucfg_support::{property, prop_assert, prop_assert_eq};
+//! use ucfg_support::prop::Gen;
+//!
+//! property! {
+//!     cases = 64;
+//!     fn addition_commutes(
+//!         a in |g: &mut Gen| g.int_in(0u64..1 << 32),
+//!         b in |g: &mut Gen| g.int_in(0u64..1 << 32),
+//!     ) {
+//!         prop_assert_eq!(a + b, b + a);
+//!         prop_assert!(a + b >= a, "no wraparound below 2^33");
+//!     }
+//! }
+//! ```
+//!
+//! Every case is generated from a *case seed* derived deterministically
+//! from the property's base seed, and a *size* in `(0, 1]` that scales
+//! integer ranges and collection lengths. On failure the harness shrinks
+//! by replaying the failing case seed at progressively smaller sizes
+//! (bounded by [`Config::shrink_rounds`]) and reports the smallest size
+//! that still fails, together with a `UCFG_PROP_REPLAY=<seed>:<size>`
+//! incantation that regenerates exactly that case.
+
+use crate::rng::{Rng, SeedableRng, SplitMix64, StdRng, UniformInt};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Environment variable that replays one exact case (`seed` in hex or
+/// decimal, optionally `:size` as a float) instead of running the sweep.
+pub const REPLAY_ENV: &str = "UCFG_PROP_REPLAY";
+
+/// Harness configuration. `Default` gives 64 cases, a fixed base seed,
+/// and 48 shrink rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed; per-case seeds are split from it. Fixed by default so
+    /// test runs are reproducible end to end.
+    pub seed: u64,
+    /// Maximum number of shrink re-executions after a failure.
+    pub shrink_rounds: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            seed: 0x5eed_1e55_u64,
+            shrink_rounds: 48,
+        }
+    }
+}
+
+/// A failed test case: the message carried by `prop_assert!` and friends,
+/// or a caught panic.
+#[derive(Debug, Clone)]
+pub struct CaseError {
+    msg: String,
+}
+
+impl CaseError {
+    /// Wrap a failure message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// The value source handed to generators: a seeded [`StdRng`] plus the
+/// current size in `(0, 1]`.
+pub struct Gen {
+    rng: StdRng,
+    size: f64,
+}
+
+impl Gen {
+    /// A generator for one case, fully determined by `(seed, size)`.
+    pub fn new(seed: u64, size: f64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            size: size.clamp(0.01, 1.0),
+        }
+    }
+
+    /// The current size factor (use it to scale custom structures, e.g.
+    /// recursion depth).
+    pub fn size(&self) -> f64 {
+        self.size
+    }
+
+    /// Direct access to the underlying RNG for custom draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// A uniform integer in `range`, with the span scaled down toward the
+    /// low bound as size shrinks (so shrunk cases are "smaller").
+    pub fn int_in<T: UniformInt, B: crate::rng::IntRange<T>>(&mut self, range: B) -> T {
+        let (lo, hi) = range.inclusive_bounds();
+        let hi = if self.size >= 1.0 {
+            hi
+        } else {
+            let span = hi - lo;
+            let scaled = if span > (1u128 << 100) {
+                // f64 cannot hold the span; scale via the bit width.
+                let keep_bits = ((128 - span.leading_zeros()) as f64 * self.size).ceil() as u32;
+                (1u128 << keep_bits.clamp(1, 127)) - 1
+            } else {
+                (span as f64 * self.size).ceil() as u128
+            };
+            lo + scaled.min(span)
+        };
+        let v = self.rng.random_range(lo..=hi);
+        T::from_u128(v)
+    }
+
+    /// A uniform `u64` over the full width (unscaled — for seeds).
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// A uniform `u128` over the full width (unscaled).
+    pub fn any_u128(&mut self) -> u128 {
+        self.rng.random()
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random()
+    }
+
+    /// A uniform element of a non-empty slice.
+    pub fn choice<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        assert!(!options.is_empty(), "choice from an empty slice");
+        self.rng.choose(options).expect("non-empty")
+    }
+
+    /// A collection length in `range`, scaled by size.
+    pub fn len_in(&mut self, range: Range<usize>) -> usize {
+        self.int_in(range)
+    }
+
+    /// A string over `chars` with length drawn from `len` (inclusive
+    /// bounds scale with size).
+    pub fn string_of(&mut self, chars: &[char], len: RangeInclusive<usize>) -> String {
+        let n = self.int_in(len);
+        (0..n).map(|_| *self.choice(chars)).collect()
+    }
+
+    /// A vector whose length is drawn from `len`, elements from `f`.
+    pub fn vec_of<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A `BTreeSet` with size drawn from `len` where possible (generators
+    /// may collide; insertion is bounded, and the set is returned once the
+    /// target or the attempt budget is reached). The low bound is honoured
+    /// only as far as distinct values exist.
+    pub fn btree_set_of<T: Ord>(
+        &mut self,
+        len: Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> BTreeSet<T> {
+        let target = self.len_in(len);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < 16 * (target + 1) {
+            out.insert(f(self));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+fn case_seed(base: u64, index: u64) -> u64 {
+    SplitMix64::mix(base ^ SplitMix64::mix(index))
+}
+
+fn parse_replay(spec: &str) -> Option<(u64, f64)> {
+    let (seed_s, size_s) = match spec.split_once(':') {
+        Some((a, b)) => (a, Some(b)),
+        None => (spec, None),
+    };
+    let seed_s = seed_s.trim();
+    let seed = if let Some(hex) = seed_s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        seed_s.parse().ok()?
+    };
+    let size = match size_s {
+        Some(s) => s.trim().parse().ok()?,
+        None => 1.0,
+    };
+    Some((seed, size))
+}
+
+fn exec_case<T>(
+    generate: &mut dyn FnMut(&mut Gen) -> T,
+    check: &mut dyn FnMut(T) -> Result<(), CaseError>,
+    seed: u64,
+    size: f64,
+) -> Result<(), CaseError> {
+    let value = generate(&mut Gen::new(seed, size));
+    match catch_unwind(AssertUnwindSafe(|| check(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".into());
+            Err(CaseError::new(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Run a property: `cfg.cases` generated cases, shrink on failure, panic
+/// with a replayable report. This is what [`property!`] expands to; call
+/// it directly for programmatic use.
+pub fn run<T: Debug>(
+    name: &str,
+    cfg: Config,
+    mut generate: impl FnMut(&mut Gen) -> T,
+    mut check: impl FnMut(T) -> Result<(), CaseError>,
+) {
+    if let Ok(spec) = std::env::var(REPLAY_ENV) {
+        let (seed, size) =
+            parse_replay(&spec).unwrap_or_else(|| panic!("bad {REPLAY_ENV} spec: {spec:?}"));
+        if let Err(e) = exec_case(&mut generate, &mut check, seed, size) {
+            let shown = generate(&mut Gen::new(seed, size));
+            panic!(
+                "property '{name}' replay failed (seed {seed:#x}, size {size}):\n  \
+                 value: {shown:?}\n  error: {e}"
+            );
+        }
+        eprintln!("property '{name}': replay (seed {seed:#x}, size {size}) passed");
+        return;
+    }
+
+    for i in 0..cfg.cases {
+        let seed = case_seed(cfg.seed, u64::from(i));
+        // Ramp sizes up so early cases are small and failures start simple.
+        let size = (0.2 + 0.8 * f64::from(i + 1) / f64::from(cfg.cases)).min(1.0);
+        let Err(first) = exec_case(&mut generate, &mut check, seed, size) else {
+            continue;
+        };
+
+        // Shrink: same case seed, progressively smaller sizes; keep the
+        // smallest size that still fails.
+        let mut best = (size, first);
+        for r in 1..=cfg.shrink_rounds {
+            let s = size * (1.0 - f64::from(r) / f64::from(cfg.shrink_rounds + 1));
+            if s < 0.01 {
+                break;
+            }
+            if let Err(e) = exec_case(&mut generate, &mut check, seed, s) {
+                best = (s, e);
+            }
+        }
+        let (shrunk_size, err) = best;
+        let value = generate(&mut Gen::new(seed, shrunk_size));
+        panic!(
+            "property '{name}' failed at case {i}/{}.\n  \
+             value: {value:?}\n  error: {err}\n  \
+             replay with: {REPLAY_ENV}={seed:#x}:{shrunk_size} cargo test {name}",
+            cfg.cases
+        );
+    }
+}
+
+/// Declare property tests. Each `fn` becomes a `#[test]`; bindings take
+/// the form `name in <generator>` where the generator is any
+/// `FnMut(&mut Gen) -> T` (closure or named function) and `T: Debug`. An
+/// optional leading `cases = N;` overrides the case count.
+#[macro_export]
+macro_rules! property {
+    (
+        $(cases = $cases:expr;)?
+        $(#[$meta:meta])*
+        fn $name:ident($($var:ident in $gen:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut, unused_assignments)]
+            let mut cfg = $crate::prop::Config::default();
+            $(cfg.cases = $cases;)?
+            $crate::prop::run(
+                stringify!($name),
+                cfg,
+                |g: &mut $crate::prop::Gen| ($(($gen)(&mut *g),)+),
+                |case| {
+                    let ($($var,)+) = case;
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::property! { $($rest)* }
+    };
+    () => {};
+}
+
+/// `assert!` for property bodies: fails the case (triggering shrinking)
+/// instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::new(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::prop::CaseError::new(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::prop::CaseError::new(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                        stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::prop::CaseError::new(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        run(
+            "always_ok",
+            Config {
+                cases: 17,
+                ..Config::default()
+            },
+            |g| g.int_in(0u64..100),
+            |_| {
+                count += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_line() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "fails_on_big",
+                Config::default(),
+                |g| g.int_in(0u64..1000),
+                |v| {
+                    if v > 10 {
+                        Err(CaseError::new(format!("{v} too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("fails_on_big"), "{msg}");
+        assert!(msg.contains(REPLAY_ENV), "{msg}");
+        assert!(msg.contains("too big"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reduces_failing_sizes() {
+        // The property fails for any v >= 8; with ~even just a mild shrink
+        // the reported value should sit well below the unshrunk range top.
+        let reported = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "shrinks",
+                Config::default(),
+                |g| g.int_in(0u64..1_000_000),
+                |v| {
+                    if v >= 8 {
+                        Err(CaseError::new("ge 8"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = *reported.unwrap_err().downcast::<String>().unwrap();
+        let value: u64 = msg
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("value: "))
+            .and_then(|v| v.parse().ok())
+            .expect("value line");
+        assert!(value < 500_000, "shrinking should reduce the case: {msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_size() {
+        let draw = |seed, size| {
+            let mut g = Gen::new(seed, size);
+            (
+                g.any_u64(),
+                g.string_of(&['a', 'b'], 1..=6),
+                g.int_in(0u32..50),
+            )
+        };
+        assert_eq!(draw(7, 1.0), draw(7, 1.0));
+        assert_eq!(draw(7, 0.5), draw(7, 0.5));
+        assert_ne!(draw(7, 1.0).0, draw(8, 1.0).0);
+    }
+
+    #[test]
+    fn size_scaling_shrinks_ranges_and_lengths() {
+        let mut small = Gen::new(3, 0.05);
+        for _ in 0..100 {
+            assert!(small.int_in(0u64..1000) <= 50);
+            assert!(small.string_of(&['a'], 0..=100).len() <= 5);
+        }
+        let mut full = Gen::new(3, 1.0);
+        let max = (0..200).map(|_| full.int_in(0u64..1000)).max().unwrap();
+        assert!(max > 500, "full size explores the range: {max}");
+    }
+
+    #[test]
+    fn btree_set_of_hits_target_when_space_allows() {
+        let mut g = Gen::new(11, 1.0);
+        let s = g.btree_set_of(5..6, |g| g.int_in(0u64..1_000_000));
+        assert_eq!(s.len(), 5);
+        // Tiny value space: can't reach the target, must still terminate.
+        let s = g.btree_set_of(5..6, |g| g.int_in(0u64..2));
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn replay_spec_parsing() {
+        assert_eq!(parse_replay("0xff"), Some((255, 1.0)));
+        assert_eq!(parse_replay("42:0.5"), Some((42, 0.5)));
+        assert_eq!(parse_replay("0x10:0.25"), Some((16, 0.25)));
+        assert_eq!(parse_replay("bogus"), None);
+    }
+
+    // The macro itself, including multiple properties per invocation.
+    crate::property! {
+        cases = 8;
+        fn macro_smoke(a in |g: &mut Gen| g.int_in(0u8..=9), b in |g: &mut Gen| g.bool()) {
+            crate::prop_assert!(a <= 9);
+            crate::prop_assert_eq!(b, b);
+            crate::prop_assert_ne!(u32::from(a) + 1, 0u32);
+        }
+
+        fn macro_second_property(x in |g: &mut Gen| g.int_in(0u16..100)) {
+            crate::prop_assert!(x < 100, "x was {x}");
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Deterministic, seedable pseudo-random number generation.
+//!
+//! Two classic generators are provided in-tree so the workspace needs no
+//! external crates: [`SplitMix64`] (Steele–Lea–Flood; used for seeding and
+//! stream splitting) and [`Xoshiro256StarStar`] (Blackman–Vigna; the
+//! workhorse, aliased as [`StdRng`]). Both are fully specified algorithms:
+//! a fixed seed yields the same sequence on every platform, toolchain, and
+//! run — the property the reproducibility claims in EXPERIMENTS.md rest on.
+//!
+//! The surface mirrors the small slice of the `rand` crate the workspace
+//! used: [`SeedableRng::seed_from_u64`], [`Rng::random`],
+//! [`Rng::random_range`] (alias [`Rng::gen_range`]), [`Rng::random_bool`],
+//! plus [`Rng::shuffle`] and [`Rng::choose`] for slices.
+//!
+//! ```
+//! use ucfg_support::rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let die = rng.random_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! let raw: u64 = rng.random();
+//! let mut again = StdRng::seed_from_u64(7);
+//! assert_eq!(again.random_range(1..=6u32), die);
+//! let _ = raw;
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// The minimal generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64: a tiny, fast, well-distributed generator with a 64-bit
+/// state that simply increments — ideal for deriving independent seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// The bare mixing function: maps an incrementing counter to a
+    /// well-distributed 64-bit word. Exposed so seed derivation can be
+    /// done statelessly (e.g. per-case seeds in the property harness).
+    pub fn mix(z: u64) -> u64 {
+        let mut z = z.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: 256 bits of state, period 2²⁵⁶ − 1, excellent statistical
+/// quality; the workspace's standard generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Build from raw state words. At least one word must be nonzero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be nonzero"
+        );
+        Xoshiro256StarStar { s }
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    /// Seed the four state words from a SplitMix64 stream, as the xoshiro
+    /// authors recommend (guarantees a nonzero state for every seed).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::seed_from_u64(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+/// The workspace's default generator.
+pub type StdRng = Xoshiro256StarStar;
+
+/// Integer types that [`Rng::random_range`] can sample uniformly.
+///
+/// Everything funnels through `u128` so one unbiased rejection sampler
+/// serves all widths.
+pub trait UniformInt: Copy + PartialOrd {
+    /// The value as a `u128`.
+    fn to_u128(self) -> u128;
+    /// Back from a `u128` (callers guarantee the value fits).
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformInt for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )+};
+}
+impl_uniform_int!(u8, u16, u32, u64, u128, usize);
+
+/// Ranges acceptable to [`Rng::random_range`]: `lo..hi` and `lo..=hi`.
+pub trait IntRange<T: UniformInt> {
+    /// Inclusive `(lo, hi)` bounds as `u128`. Panics on an empty range.
+    fn inclusive_bounds(&self) -> (u128, u128);
+}
+
+impl<T: UniformInt> IntRange<T> for Range<T> {
+    fn inclusive_bounds(&self) -> (u128, u128) {
+        let (lo, hi) = (self.start.to_u128(), self.end.to_u128());
+        assert!(lo < hi, "random_range called with an empty range");
+        (lo, hi - 1)
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for RangeInclusive<T> {
+    fn inclusive_bounds(&self) -> (u128, u128) {
+        let (lo, hi) = (self.start().to_u128(), self.end().to_u128());
+        assert!(lo <= hi, "random_range called with an empty range");
+        (lo, hi)
+    }
+}
+
+/// Types with a canonical "uniform over all values" distribution for
+/// [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draw one uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),+) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_standard_int!(u8, u16, u32, u64, usize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform `u128` in `[0, hi − lo]` shifted by `lo`, by masked rejection:
+/// draw the minimal number of bits, retry while above the span. Consumes
+/// one `next_u64` per attempt when the span fits 64 bits.
+fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: u128, hi: u128) -> u128 {
+    let span = hi - lo; // number of values minus one
+    if span == 0 {
+        return lo;
+    }
+    if span == u128::MAX {
+        return u128::sample(rng);
+    }
+    if span <= u128::from(u64::MAX) {
+        let span64 = span as u64;
+        let mask = u64::MAX >> span64.leading_zeros();
+        loop {
+            let v = rng.next_u64() & mask;
+            if v <= span64 {
+                return lo + u128::from(v);
+            }
+        }
+    }
+    let mask = u128::MAX >> span.leading_zeros();
+    loop {
+        let v = u128::sample(rng) & mask;
+        if v <= span {
+            return lo + v;
+        }
+    }
+}
+
+/// The user-facing sampling surface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of `T` (all bit patterns / both booleans equally
+    /// likely).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform integer in `range` (`lo..hi` or `lo..=hi`), unbiased.
+    /// Panics if the range is empty.
+    fn random_range<T: UniformInt, B: IntRange<T>>(&mut self, range: B) -> T {
+        let (lo, hi) = range.inclusive_bounds();
+        T::from_u128(sample_inclusive(self, lo, hi))
+    }
+
+    /// `rand` 0.8 spelling of [`Rng::random_range`].
+    fn gen_range<T: UniformInt, B: IntRange<T>>(&mut self, range: B) -> T {
+        self.random_range(range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`), using 53 random
+    /// bits.
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniform element of the slice, or `None` if it is empty.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_range(0..slice.len())])
+        }
+    }
+
+    /// A uniform sample of `k` distinct indices from `0..len` (partial
+    /// Fisher–Yates over the index set), in selection order.
+    fn sample_indices(&mut self, len: usize, k: usize) -> Vec<usize> {
+        let k = k.min(len);
+        let mut idx: Vec<usize> = (0..len).collect();
+        for i in 0..k {
+            let j = self.random_range(i..len);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values from the published SplitMix64 algorithm, seed 0.
+    #[test]
+    fn splitmix64_reference_sequence() {
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(rng.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(rng.next_u64(), 0x06c45d188009454f);
+        assert_eq!(rng.next_u64(), 0xf88bb8a8724c81ec);
+    }
+
+    #[test]
+    fn xoshiro_deterministic_and_distinct_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same seed, same stream");
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "different seeds, different streams");
+    }
+
+    #[test]
+    fn ranges_are_exhaustive_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            let v = rng.random_range(1..=6u32);
+            assert!((1..=6).contains(&v));
+            seen[v as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&x| x), "all faces seen: {seen:?}");
+        for _ in 0..200 {
+            assert!(rng.random_range(5..8usize) < 8);
+            assert!(rng.random_range(5..8usize) >= 5);
+        }
+        // Degenerate one-value ranges.
+        assert_eq!(rng.random_range(9..10u64), 9);
+        assert_eq!(rng.random_range(3..=3u8), 3);
+        // Full-width ranges do not overflow.
+        let _ = rng.random_range(0..=u128::MAX);
+        let _ = rng.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(3..3u32);
+    }
+
+    #[test]
+    fn random_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!((0..1000).all(|_| !rng.random_bool(0.0)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn choose_and_sample_indices() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let xs = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(rng.choose(&xs).unwrap()));
+        }
+        let picked = rng.sample_indices(10, 4);
+        assert_eq!(picked.len(), 4);
+        let set: std::collections::BTreeSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 4, "indices are distinct");
+        assert!(picked.iter().all(|&i| i < 10));
+        assert_eq!(rng.sample_indices(3, 9).len(), 3, "k clamps to len");
+    }
+
+    #[test]
+    fn uniformity_of_range_sampling() {
+        // χ²-style sanity: 12 buckets, 12k draws, expect ~1000 each.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut buckets = [0u32; 12];
+        for _ in 0..12_000 {
+            buckets[rng.random_range(0..12usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((850..1150).contains(&b), "bucket {i}: {b}");
+        }
+    }
+}

@@ -15,7 +15,10 @@ use ucfg_grammar::count::decide_unambiguous;
 fn main() {
     let alphabet = ['a', 'b'];
     println!("Agree(c, S, Σ): two c-column lines agreeing on some column in S\n");
-    println!("{:>3} {:>10} {:>12} {:>18}", "c", "|Agree|", "|CFG| (amb)", "|uCFG| (via DAWG)");
+    println!(
+        "{:>3} {:>10} {:>12} {:>18}",
+        "c", "|Agree|", "|CFG| (amb)", "|uCFG| (via DAWG)"
+    );
     for c in 1..=8usize {
         let s_cols: Vec<usize> = (1..=c).collect();
         let g = agreement_grammar(c, &s_cols, &alphabet);
@@ -26,7 +29,13 @@ fn main() {
             b.add(w);
         }
         let ucfg = dfa_to_grammar(&b.finish()).expect("no ε");
-        println!("{:>3} {:>10} {:>12} {:>18}", c, lang.len(), g.size(), ucfg.size());
+        println!(
+            "{:>3} {:>10} {:>12} {:>18}",
+            c,
+            lang.len(),
+            g.size(),
+            ucfg.size()
+        );
     }
 
     // The ambiguous CFG really is ambiguous, and the DAWG route really is

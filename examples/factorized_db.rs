@@ -7,8 +7,7 @@
 use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
 use ucfg_factorized::convert::{circuit_to_grammar, grammar_to_circuit};
 use ucfg_factorized::join::{
-    complete_chain, factorized_path_join, materialized_path_join, path_join_count,
-    BinaryRelation,
+    complete_chain, factorized_path_join, materialized_path_join, path_join_count, BinaryRelation,
 };
 
 fn main() {
@@ -31,12 +30,21 @@ fn main() {
 
     // --- The exponential gap. ---
     println!("\ncomplete chains (domain d, k joins): factorised vs materialised");
-    println!("{:>3} {:>3} {:>18} {:>16}", "d", "k", "#tuples", "circuit size");
+    println!(
+        "{:>3} {:>3} {:>18} {:>16}",
+        "d", "k", "#tuples", "circuit size"
+    );
     for (d, k) in [(2u32, 8usize), (4, 8), (8, 8), (8, 16)] {
         let rels = complete_chain(d, k);
         let count = path_join_count(&rels);
         let circ = factorized_path_join(&rels);
-        println!("{:>3} {:>3} {:>18} {:>16}", d, k, count.to_string(), circ.size());
+        println!(
+            "{:>3} {:>3} {:>18} {:>16}",
+            d,
+            k,
+            count.to_string(),
+            circ.size()
+        );
     }
 
     // --- The KMN isomorphism: grammars ⇌ circuits. ---

@@ -7,7 +7,8 @@
 use ucfg_core::comm::{canonical_fooling_set, fooling_bound, is_fooling_set, NondetProtocol};
 use ucfg_core::cover::example8_cover;
 use ucfg_core::greedy_cover::{
-    certified_exact_middle_cut_cover_number, greedy_disjoint_cover, greedy_disjoint_cover_middle_cut,
+    certified_exact_middle_cut_cover_number, greedy_disjoint_cover,
+    greedy_disjoint_cover_middle_cut,
 };
 use ucfg_core::partition::OrderedPartition;
 use ucfg_core::rank::rank_for_partition;
@@ -16,7 +17,10 @@ use ucfg_core::words;
 fn main() {
     let n = 4;
     println!("Set intersection as communication: Alice holds X ⊆ [{n}], Bob holds Y ⊆ [{n}].");
-    println!("L_{n} = {{(X, Y) : X ∩ Y ≠ ∅}}, |L_{n}| = {}\n", words::ln_size(n));
+    println!(
+        "L_{n} = {{(X, Y) : X ∩ Y ≠ ∅}}, |L_{n}| = {}\n",
+        words::ln_size(n)
+    );
 
     // Nondeterministic: guess the common element — Example 8's cover.
     let nondet = NondetProtocol::from_cover(example8_cover(n));

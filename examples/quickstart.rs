@@ -12,7 +12,10 @@ use ucfg_grammar::parse_tree::FixedLenParser;
 
 fn main() {
     let n = 4;
-    println!("L_{n}: words of length {} with two a's at distance {n}", 2 * n);
+    println!(
+        "L_{n}: words of length {} with two a's at distance {n}",
+        2 * n
+    );
     println!("|L_{n}| = 4^{n} − 3^{n} = {}\n", words::ln_size(n));
 
     // --- The O(log n) CFG of Appendix A (Theorem 1(1)). ---
@@ -29,7 +32,11 @@ fn main() {
     // several parse trees.
     let parser = FixedLenParser::new(&cfg).expect("fixed-length language");
     let all_a = cfg.encode(&"a".repeat(2 * n)).unwrap();
-    println!("\n  #parse trees of a^{}: {}", 2 * n, parser.count_trees(&all_a));
+    println!(
+        "\n  #parse trees of a^{}: {}",
+        2 * n,
+        parser.count_trees(&all_a)
+    );
     match decide_unambiguous(&cfg) {
         UnambiguityVerdict::Ambiguous { witness, degree } => {
             println!("  ambiguous: {witness} has {degree} parse trees")
@@ -53,7 +60,10 @@ fn main() {
     println!("\nExample 3 G_1 (accepts L_3, size {}):\n{}", g1.size(), g1);
     let p = FixedLenParser::new(&g1).unwrap();
     let aaaaaa = g1.encode("aaaaaa").unwrap();
-    println!("Figure 1: aaaaaa has {} parse trees; the first two:", p.count_trees(&aaaaaa));
+    println!(
+        "Figure 1: aaaaaa has {} parse trees; the first two:",
+        p.count_trees(&aaaaaa)
+    );
     for t in p.trees(&aaaaaa, 2) {
         println!("{}", t.render(&g1));
     }

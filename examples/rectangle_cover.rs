@@ -70,10 +70,7 @@ fn main() {
         &discs[..discs.len().min(10)]
     );
     let bound = implied_size_bound(n, &rects);
-    println!(
-        "implied cover size ≥ {bound}; actual ℓ = {} ✓",
-        rects.len()
-    );
+    println!("implied cover size ≥ {bound}; actual ℓ = {} ✓", rects.len());
     println!(
         "\nasymptotics: log₂ ℓ ≥ log₂(12^m − 8^m) − 10m/3, e.g. m = 64 (n = 256):\n\
          every disjoint balanced cover — hence every uCFG via Prop. 7 — needs\n\

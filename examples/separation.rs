@@ -11,7 +11,9 @@ fn main() {
         "{:>6} {:>14} {:>8} {:>10} {:>10} {:>10} {:>16} {:>12}",
         "n", "|L_n|", "CFG", "NFA(Θn)", "NFA exact", "DAWG-uCFG", "Ex.4 uCFG", "uCFG ≥"
     );
-    for n in [2usize, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024] {
+    for n in [
+        2usize, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024,
+    ] {
         let row = separation_row(n, 24, 8);
         let lang = if row.language_size.bits() <= 40 {
             row.language_size.to_string()
@@ -29,7 +31,8 @@ fn main() {
             lang,
             row.cfg_size,
             row.nfa_pattern_transitions,
-            row.nfa_exact_transitions.map_or("-".into(), |v| v.to_string()),
+            row.nfa_exact_transitions
+                .map_or("-".into(), |v| v.to_string()),
             row.ucfg_dawg_size.map_or("-".into(), |v| v.to_string()),
             ex4,
             row.ucfg_lower_bound_log2

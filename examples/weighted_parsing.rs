@@ -31,7 +31,10 @@ fn main() {
     // L_n needs its two witnessing a's.
     let trop = TableWeights(vec![MinPlus(Some(1)), MinPlus(Some(0))]);
     let min_a: MinPlus = inside_at(&ucfg, &trop, 2 * n);
-    println!("\ntropical min #a over L_{n}: {:?} (the two witnesses)", min_a.0);
+    println!(
+        "\ntropical min #a over L_{n}: {:?} (the two witnesses)",
+        min_a.0
+    );
 
     // Viterbi: most likely word under P(a) = 0.3, P(b) = 0.7.
     let vit = TableWeights(vec![Viterbi(0.3), Viterbi(0.7)]);
@@ -48,5 +51,9 @@ fn main() {
         p.eval(&[1, 1])
     );
     // Setting y = 0 keeps only the all-a word.
-    println!("eval at (1,0) = {} (only a^{} survives)", p.eval(&[1, 0]), 2 * n);
+    println!(
+        "eval at (1,0) = {} (only a^{} survives)",
+        p.eval(&[1, 0]),
+        2 * n
+    );
 }

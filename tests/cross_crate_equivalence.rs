@@ -73,8 +73,10 @@ fn per_word_ambiguity_degrees_agree_across_parsers() {
 #[test]
 fn automaton_grammar_circuit_roundtrips() {
     let n = 3;
-    let expect: BTreeSet<String> =
-        words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+    let expect: BTreeSet<String> = words::enumerate_ln(n)
+        .into_iter()
+        .map(|w| words::to_string(n, w))
+        .collect();
 
     // NFA → grammar → circuit → grammar.
     let nfa = exact_nfa(n);

@@ -56,8 +56,14 @@ fn single_letter_grammar() {
     let g = b.build(s);
     let cnf = CnfGrammar::from_grammar(&g);
     assert_eq!(cnf.size(), 1);
-    assert!(ucfg_grammar::cyk::recognize(&cnf, &cnf.encode("a").unwrap()));
-    assert!(!ucfg_grammar::cyk::recognize(&cnf, &cnf.encode("aa").unwrap()));
+    assert!(ucfg_grammar::cyk::recognize(
+        &cnf,
+        &cnf.encode("a").unwrap()
+    ));
+    assert!(!ucfg_grammar::cyk::recognize(
+        &cnf,
+        &cnf.encode("aa").unwrap()
+    ));
     assert!(decide_unambiguous(&g).is_unambiguous());
     // Annotation of a length-1 language.
     let ann = ucfg_grammar::annotated::annotate(&cnf, 1).unwrap();
@@ -88,7 +94,10 @@ fn empty_language_pipelines() {
     b.rule(s, |r| r.n(s).t('a')); // no base case
     let g = b.build(s);
     assert_eq!(finite_language(&g), Some(BTreeSet::new()));
-    assert!(decide_unambiguous(&g).is_unambiguous(), "vacuously unambiguous");
+    assert!(
+        decide_unambiguous(&g).is_unambiguous(),
+        "vacuously unambiguous"
+    );
     let cnf = CnfGrammar::from_grammar(&g);
     assert_eq!(cnf.rule_count(), 0);
 
@@ -223,8 +232,10 @@ fn naive_grammar_is_exactly_materialisation_size() {
         // The DAWG beats the naive grammar once there is sharing to
         // exploit (n ≥ 2; at n = 1 the single word makes the right-linear
         // overhead visible: 4 vs 2).
-        let mut sorted: Vec<String> =
-            words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect();
+        let mut sorted: Vec<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
         sorted.sort();
         let dawg = dawg_of_words(&['a', 'b'], sorted.iter().map(|s| s.as_str()));
         let dawg_g = ucfg_automata::convert::dfa_to_grammar(&dawg).unwrap();

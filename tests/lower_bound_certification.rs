@@ -18,10 +18,7 @@ fn ucfg_to_certified_disjoint_cover() {
     // rectangle cover → discrepancy accounting.
     let n = 4;
     let m = 1u64;
-    for (name, g) in [
-        ("example4", example4_ucfg(n)),
-        ("naive", naive_grammar(n)),
-    ] {
+    for (name, g) in [("example4", example4_ucfg(n)), ("naive", naive_grammar(n))] {
         let cnf = CnfGrammar::from_grammar(&g);
         let res = extract_cover(&cnf, 2 * n).expect("fixed length");
         let rects = extraction_to_set_rectangles(n, &res);
@@ -65,7 +62,10 @@ fn example8_is_the_cheap_ambiguous_cover() {
         let rects = example8_cover(n);
         let rep = verify_cover(n, &rects);
         assert_eq!(rep.size, n);
-        assert!(rep.covers_exactly && rep.all_balanced && !rep.disjoint, "n={n}");
+        assert!(
+            rep.covers_exactly && rep.all_balanced && !rep.disjoint,
+            "n={n}"
+        );
     }
 }
 

@@ -1,8 +1,8 @@
 //! Property tests for the extension modules: regexes vs the Glushkov
 //! construction, grammar combinators, semiring counting, rank/unrank,
-//! SLP random access, and the grammar text format.
+//! SLP random access, and the grammar text format. Runs on the in-tree
+//! `ucfg_support::prop` harness.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use ucfg_automata::regex::Regex;
 use ucfg_grammar::bignum::BigUint;
@@ -15,31 +15,43 @@ use ucfg_grammar::slp::Slp;
 use ucfg_grammar::text::{parse_grammar, print_grammar};
 use ucfg_grammar::weighted::{inside_at, Count, UnitWeights};
 use ucfg_grammar::GrammarBuilder;
+use ucfg_support::prop::{CaseError, Gen};
+use ucfg_support::{prop_assert, prop_assert_eq, property};
 
 // ---------- Random regexes vs the Glushkov automaton ----------
 
-fn arb_regex() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        Just(Regex::Letter('a')),
-        Just(Regex::Letter('b')),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Concat(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Regex::Alt(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Regex::Star(Box::new(a))),
-        ]
-    })
+fn arb_regex_depth(g: &mut Gen, depth: usize) -> Regex {
+    let leaf_only = depth == 0;
+    let pick = if leaf_only {
+        g.int_in(0usize..3)
+    } else {
+        g.int_in(0usize..6)
+    };
+    match pick {
+        0 => Regex::Epsilon,
+        1 => Regex::Letter('a'),
+        2 => Regex::Letter('b'),
+        3 => Regex::Concat(
+            Box::new(arb_regex_depth(g, depth - 1)),
+            Box::new(arb_regex_depth(g, depth - 1)),
+        ),
+        4 => Regex::Alt(
+            Box::new(arb_regex_depth(g, depth - 1)),
+            Box::new(arb_regex_depth(g, depth - 1)),
+        ),
+        _ => Regex::Star(Box::new(arb_regex_depth(g, depth - 1))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_regex(g: &mut Gen) -> Regex {
+    // Size scales the recursion depth, mirroring proptest's `prop_recursive`.
+    let depth = (3.0 * g.size()).ceil() as usize;
+    arb_regex_depth(g, depth)
+}
 
-    #[test]
-    fn glushkov_matches_backtracking_oracle(r in arb_regex()) {
+property! {
+    cases = 48;
+    fn glushkov_matches_backtracking_oracle(r in arb_regex) {
         let nfa = r.glushkov();
         for len in 0..=5usize {
             for mask in 0..(1u32 << len) {
@@ -54,9 +66,10 @@ proptest! {
 
 // ---------- Grammar combinators ----------
 
-fn arb_words() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::btree_set("[ab]{1,4}", 1..5)
-        .prop_map(|s| s.into_iter().collect())
+fn arb_words(g: &mut Gen) -> Vec<String> {
+    g.btree_set_of(1..5, |g| g.string_of(&['a', 'b'], 1..=4))
+        .into_iter()
+        .collect()
 }
 
 fn literal_grammar(words: &[String]) -> ucfg_grammar::Grammar {
@@ -68,11 +81,9 @@ fn literal_grammar(words: &[String]) -> ucfg_grammar::Grammar {
     b.build(s)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn union_concat_reverse_semantics(w1 in arb_words(), w2 in arb_words()) {
+property! {
+    cases = 48;
+    fn union_concat_reverse_semantics(w1 in arb_words, w2 in arb_words) {
         let g1 = literal_grammar(&w1);
         let g2 = literal_grammar(&w2);
         let s1: BTreeSet<String> = w1.iter().cloned().collect();
@@ -93,8 +104,8 @@ proptest! {
         prop_assert_eq!(r, expect);
     }
 
-    #[test]
-    fn semiring_count_equals_tree_counts(w1 in arb_words()) {
+    cases = 48;
+    fn semiring_count_equals_tree_counts(w1 in arb_words) {
         let g = literal_grammar(&w1);
         let cnf = CnfGrammar::from_grammar(&g);
         let counter = TreeCounter::new(&g).unwrap();
@@ -110,8 +121,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn unrank_rank_roundtrip_random_grammars(w1 in arb_words()) {
+    cases = 48;
+    fn unrank_rank_roundtrip_random_grammars(w1 in arb_words) {
         let g = literal_grammar(&w1);
         let cnf = CnfGrammar::from_grammar(&g);
         let u = Unranker::new(&cnf, 4);
@@ -130,8 +141,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn text_format_roundtrip(w1 in arb_words()) {
+    cases = 48;
+    fn text_format_roundtrip(w1 in arb_words) {
         let g = literal_grammar(&w1);
         let printed = print_grammar(&g);
         let back = parse_grammar(&printed).unwrap();
@@ -141,11 +152,12 @@ proptest! {
 
 // ---------- Parser agreement on random grammars ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn earley_cyk_and_membership_agree(w1 in arb_words(), probe in "[ab]{0,5}") {
+property! {
+    cases = 48;
+    fn earley_cyk_and_membership_agree(
+        w1 in arb_words,
+        probe in |g: &mut Gen| g.string_of(&['a', 'b'], 0..=5),
+    ) {
         use ucfg_grammar::cyk;
         use ucfg_grammar::earley::Earley;
         let g = literal_grammar(&w1);
@@ -158,8 +170,8 @@ proptest! {
         }
     }
 
-    #[test]
-    fn lint_clean_iff_trim_stable_on_literals(w1 in arb_words()) {
+    cases = 48;
+    fn lint_clean_iff_trim_stable_on_literals(w1 in arb_words) {
         use ucfg_grammar::lint::{has_warnings, lint};
         // Literal grammars from distinct words are always lint-clean.
         let g = literal_grammar(&w1);
@@ -170,11 +182,11 @@ proptest! {
 
 // ---------- SLP random access ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn slp_char_at_matches_expansion(w in "[ab]{1,12}") {
+property! {
+    cases = 48;
+    fn slp_char_at_matches_expansion(
+        w in |g: &mut Gen| g.string_of(&['a', 'b'], 1..=12),
+    ) {
         let slp = Slp::literal(&['a', 'b'], &w);
         let expanded: Vec<char> = slp.expand().chars().collect();
         prop_assert_eq!(&expanded, &w.chars().collect::<Vec<_>>());
@@ -184,8 +196,8 @@ proptest! {
         prop_assert_eq!(slp.char_at(expanded.len() as u64), None);
     }
 
-    #[test]
-    fn slp_unary_length(m in 1u64..2000) {
+    cases = 48;
+    fn slp_unary_length(m in |g: &mut Gen| g.int_in(1u64..2000)) {
         let slp = Slp::unary('a', m);
         prop_assert_eq!(slp.word_length().to_u64(), Some(m));
         prop_assert_eq!(slp.char_at(m - 1), Some('a'));
@@ -197,12 +209,10 @@ proptest! {
 
 // ---------- Proposition 7 on random unambiguous grammars ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
+property! {
+    cases = 32;
     fn extraction_on_random_fixed_length_word_sets(
-        set in proptest::collection::btree_set("[ab]{4}", 1..14)
+        set in |g: &mut Gen| g.btree_set_of(1..14, |g| g.string_of(&['a', 'b'], 4..=4)),
     ) {
         use ucfg_core::extract::extract_cover;
         let words: Vec<String> = set.iter().cloned().collect();
@@ -216,57 +226,82 @@ proptest! {
         prop_assert!(res.rectangles.len() <= res.bound);
     }
 
-    #[test]
-    fn selection_on_random_join_circuits(seed in 0u64..1000) {
-        use ucfg_factorized::join::{factorized_path_join, BinaryRelation};
-        use ucfg_factorized::select::{project_out, select_position};
-        // Deterministic pseudo-random 2-layer chain.
-        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
-        let pairs1: Vec<(u32, u32)> =
-            (0..6).map(|_| ((next() % 3) as u32, (next() % 3) as u32)).collect();
-        let pairs2: Vec<(u32, u32)> =
-            (0..6).map(|_| ((next() % 3) as u32, (next() % 3) as u32)).collect();
-        let rels = vec![
-            BinaryRelation::from_pairs(pairs1),
-            BinaryRelation::from_pairs(pairs2),
-        ];
-        let circ = factorized_path_join(&rels);
-        let lang = circ.language();
-        if lang.is_empty() {
-            return Ok(());
-        }
-        for pos in 0..3usize {
-            // Selection agrees with the materialised filter.
-            let sel = select_position(&circ, pos, '1').unwrap();
-            let expect: BTreeSet<String> =
-                lang.iter().filter(|w| w.as_bytes()[pos] == b'1').cloned().collect();
-            prop_assert_eq!(sel.language(), expect);
-            // Projection agrees with materialised deletion.
-            let proj = project_out(&circ, pos).unwrap();
-            let expect: BTreeSet<String> = lang
-                .iter()
-                .map(|w| {
-                    w.chars().enumerate().filter(|&(i, _)| i != pos).map(|(_, c)| c).collect()
-                })
-                .collect();
-            prop_assert_eq!(proj.language(), expect);
-        }
+    cases = 32;
+    fn selection_on_random_join_circuits(seed in |g: &mut Gen| g.int_in(0u64..1000)) {
+        return check_selection_on_join_circuits(seed);
+    }
+}
+
+/// The body of `selection_on_random_join_circuits`, factored out so the
+/// historical regression seed can be pinned as an explicit test below.
+fn check_selection_on_join_circuits(seed: u64) -> Result<(), CaseError> {
+    use ucfg_factorized::join::{factorized_path_join, BinaryRelation};
+    use ucfg_factorized::select::{project_out, select_position};
+    // Deterministic pseudo-random 2-layer chain.
+    let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let pairs1: Vec<(u32, u32)> = (0..6)
+        .map(|_| ((next() % 3) as u32, (next() % 3) as u32))
+        .collect();
+    let pairs2: Vec<(u32, u32)> = (0..6)
+        .map(|_| ((next() % 3) as u32, (next() % 3) as u32))
+        .collect();
+    let rels = vec![
+        BinaryRelation::from_pairs(pairs1),
+        BinaryRelation::from_pairs(pairs2),
+    ];
+    let circ = factorized_path_join(&rels);
+    let lang = circ.language();
+    if lang.is_empty() {
+        return Ok(());
+    }
+    for pos in 0..3usize {
+        // Selection agrees with the materialised filter.
+        let sel = select_position(&circ, pos, '1').unwrap();
+        let expect: BTreeSet<String> = lang
+            .iter()
+            .filter(|w| w.as_bytes()[pos] == b'1')
+            .cloned()
+            .collect();
+        prop_assert_eq!(sel.language(), expect);
+        // Projection agrees with materialised deletion.
+        let proj = project_out(&circ, pos).unwrap();
+        let expect: BTreeSet<String> = lang
+            .iter()
+            .map(|w| {
+                w.chars()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, c)| c)
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(proj.language(), expect);
+    }
+    Ok(())
+}
+
+/// Historical shrink from the proptest era (`property_extended.proptest-regressions`
+/// recorded "shrinks to seed = 159"): keep it pinned forever.
+#[test]
+fn selection_on_join_circuits_regression_seed_159() {
+    if let Err(e) = check_selection_on_join_circuits(159) {
+        panic!("regression seed 159 failed: {e}");
     }
 }
 
 // ---------- The L_n protocol view ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn example8_protocol_certificates_count_witnesses(n in 3usize..=5) {
+property! {
+    cases = 16;
+    fn example8_protocol_certificates_count_witnesses(
+        n in |g: &mut Gen| g.int_in(3usize..=5),
+    ) {
         use ucfg_core::comm::NondetProtocol;
         use ucfg_core::cover::example8_cover;
         use ucfg_core::words;

@@ -1,10 +1,9 @@
-//! Property-based tests (proptest) of the core invariants:
-//! big-integer arithmetic against native oracles, CNF language
-//! preservation on random grammars, DAWG exactness and minimality on
-//! random word sets, Lemma 15 rectangle round-trips, discrepancy bounds on
-//! random rectangles, and the Lemma 21 decomposition.
+//! Property-based tests of the core invariants: big-integer arithmetic
+//! against native oracles, CNF language preservation on random grammars,
+//! DAWG exactness and minimality on random word sets, Lemma 15 rectangle
+//! round-trips, discrepancy bounds on random rectangles, and the Lemma 21
+//! decomposition. Runs on the in-tree `ucfg_support::prop` harness.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use ucfg_automata::dawg::dawg_of_words;
 use ucfg_core::discrepancy;
@@ -16,13 +15,18 @@ use ucfg_grammar::bignum::BigUint;
 use ucfg_grammar::count::decide_unambiguous;
 use ucfg_grammar::language::finite_language;
 use ucfg_grammar::normal_form::CnfGrammar;
-use ucfg_grammar::{GrammarBuilder, Grammar};
+use ucfg_grammar::{Grammar, GrammarBuilder};
+use ucfg_support::prop::Gen;
+use ucfg_support::rng::{SeedableRng, StdRng};
+use ucfg_support::{prop_assert, prop_assert_eq, property};
 
 // ---------- BigUint vs u128 oracle ----------
 
-proptest! {
-    #[test]
-    fn biguint_add_mul_match_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+property! {
+    fn biguint_add_mul_match_u128(
+        a in |g: &mut Gen| g.int_in(0u128..=u128::MAX / 2),
+        b in |g: &mut Gen| g.int_in(0u128..=u128::MAX / 2),
+    ) {
         let (ba, bb) = (BigUint::from_u128(a), BigUint::from_u128(b));
         prop_assert_eq!((&ba + &bb).to_u128(), Some(a + b));
         if let Some(m) = a.checked_mul(b) {
@@ -31,22 +35,25 @@ proptest! {
         prop_assert_eq!(ba.abs_diff(&bb).to_u128(), Some(a.abs_diff(b)));
     }
 
-    #[test]
-    fn biguint_divrem_matches_u128(a in any::<u128>(), b in 1u128..=u128::MAX) {
+    fn biguint_divrem_matches_u128(
+        a in |g: &mut Gen| g.any_u128(),
+        b in |g: &mut Gen| g.int_in(1u128..=u128::MAX),
+    ) {
         let (q, r) = BigUint::from_u128(a).div_rem(&BigUint::from_u128(b));
         prop_assert_eq!(q.to_u128(), Some(a / b));
         prop_assert_eq!(r.to_u128(), Some(a % b));
     }
 
-    #[test]
-    fn biguint_decimal_roundtrip(a in any::<u128>()) {
+    fn biguint_decimal_roundtrip(a in |g: &mut Gen| g.any_u128()) {
         let s = BigUint::from_u128(a).to_string();
         prop_assert_eq!(s.parse::<BigUint>().unwrap().to_u128(), Some(a));
         prop_assert_eq!(s, a.to_string());
     }
 
-    #[test]
-    fn biguint_shift_is_pow2_mul(a in any::<u64>(), k in 0u64..60) {
+    fn biguint_shift_is_pow2_mul(
+        a in |g: &mut Gen| g.any_u64(),
+        k in |g: &mut Gen| g.int_in(0u64..60),
+    ) {
         let v = BigUint::from_u64(a);
         prop_assert_eq!(v.shl_bits(k), &v * &BigUint::pow2(k));
     }
@@ -55,53 +62,47 @@ proptest! {
 // ---------- Random flat grammars: CNF preserves the language ----------
 
 /// A random finite-language grammar: a couple of layers of alternatives.
-fn arb_flat_grammar() -> impl Strategy<Value = Grammar> {
-    // Words for two leaf non-terminals and a start combining them.
-    let word = proptest::collection::vec(prop_oneof![Just('a'), Just('b')], 1..4)
-        .prop_map(|cs| cs.into_iter().collect::<String>());
-    let words1 = proptest::collection::vec(word.clone(), 1..4);
-    let words2 = proptest::collection::vec(word, 1..4);
-    (words1, words2, proptest::collection::vec(any::<bool>(), 1..4)).prop_map(
-        |(w1, w2, combos)| {
-            let mut b = GrammarBuilder::new(&['a', 'b']);
-            let s = b.nonterminal("S");
-            let x = b.nonterminal("X");
-            let y = b.nonterminal("Y");
-            for w in &w1 {
-                b.rule(x, |r| r.ts(w));
-            }
-            for w in &w2 {
-                b.rule(y, |r| r.ts(w));
-            }
-            for (i, c) in combos.iter().enumerate() {
-                match (c, i % 3) {
-                    (true, 0) => b.rule(s, |r| r.n(x).n(y)),
-                    (true, _) => b.rule(s, |r| r.n(y).t('a').n(x)),
-                    (false, 1) => b.rule(s, |r| r.n(x)),
-                    (false, _) => b.rule(s, |r| r.n(y).n(y)),
-                }
-            }
-            b.build(s)
-        },
-    )
+fn arb_flat_grammar(g: &mut Gen) -> Grammar {
+    let mut word = |g: &mut Gen| g.string_of(&['a', 'b'], 1..=3);
+    let w1 = g.vec_of(1..4, &mut word);
+    let w2 = g.vec_of(1..4, &mut word);
+    let combos = g.vec_of(1..4, |g| g.bool());
+    let mut b = GrammarBuilder::new(&['a', 'b']);
+    let s = b.nonterminal("S");
+    let x = b.nonterminal("X");
+    let y = b.nonterminal("Y");
+    for w in &w1 {
+        b.rule(x, |r| r.ts(w));
+    }
+    for w in &w2 {
+        b.rule(y, |r| r.ts(w));
+    }
+    for (i, c) in combos.iter().enumerate() {
+        match (c, i % 3) {
+            (true, 0) => b.rule(s, |r| r.n(x).n(y)),
+            (true, _) => b.rule(s, |r| r.n(y).t('a').n(x)),
+            (false, 1) => b.rule(s, |r| r.n(x)),
+            (false, _) => b.rule(s, |r| r.n(y).n(y)),
+        }
+    }
+    b.build(s)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cnf_preserves_language(g in arb_flat_grammar()) {
+property! {
+    cases = 64;
+    fn cnf_preserves_language(g in arb_flat_grammar) {
         let lang = finite_language(&g).expect("finite by construction");
         let cnf = CnfGrammar::from_grammar(&g);
         let lang2 = finite_language(&cnf.to_grammar()).expect("finite");
         // The ε flag is handled separately from the grammar view.
-        let lang_no_eps: BTreeSet<String> = lang.iter().filter(|w| !w.is_empty()).cloned().collect();
+        let lang_no_eps: BTreeSet<String> =
+            lang.iter().filter(|w| !w.is_empty()).cloned().collect();
         prop_assert_eq!(lang_no_eps, lang2);
         prop_assert!(cnf.size() <= g.size() * g.size().max(1) + 8);
     }
 
-    #[test]
-    fn unambiguity_decision_is_stable_under_cnf(g in arb_flat_grammar()) {
+    cases = 64;
+    fn unambiguity_decision_is_stable_under_cnf(g in arb_flat_grammar) {
         // If the original grammar is unambiguous, its CNF must be too
         // (the converse can fail because CNF merges duplicate rules).
         if decide_unambiguous(&g).is_unambiguous() {
@@ -116,12 +117,10 @@ proptest! {
 
 // ---------- DAWG: exactness and minimality on random word sets ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
+property! {
+    cases = 64;
     fn dawg_is_exact_and_minimal(
-        set in proptest::collection::btree_set("[ab]{1,6}", 1..12)
+        set in |g: &mut Gen| g.btree_set_of(1..12, |g| g.string_of(&['a', 'b'], 1..=6)),
     ) {
         let sorted: Vec<&str> = set.iter().map(|s| s.as_str()).collect();
         let dawg = dawg_of_words(&['a', 'b'], sorted.iter().copied());
@@ -141,20 +140,20 @@ proptest! {
 
 // ---------- Rectangles: Lemma 15 round-trip on random rectangles ----------
 
-fn arb_partition(n: usize) -> impl Strategy<Value = OrderedPartition> {
-    (1..=2 * n).prop_flat_map(move |i| (Just(i), i..=2 * n)).prop_map(move |(i, j)| {
+fn arb_partition(n: usize) -> impl FnMut(&mut Gen) -> OrderedPartition {
+    move |g: &mut Gen| {
+        let i = g.int_in(1..=2 * n);
+        let j = g.int_in(i..=2 * n);
         OrderedPartition::new(n, i, j)
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
+property! {
+    cases = 64;
     fn lemma15_roundtrip_on_random_rectangles(
         part in arb_partition(3),
-        s_pick in proptest::collection::btree_set(0u64..64, 0..6),
-        t_pick in proptest::collection::btree_set(0u64..64, 0..6),
+        s_pick in |g: &mut Gen| g.btree_set_of(0..6, |g| g.int_in(0u64..64)),
+        t_pick in |g: &mut Gen| g.btree_set_of(0..6, |g| g.int_in(0u64..64)),
     ) {
         let n = 3;
         let ins = part.inside();
@@ -178,13 +177,10 @@ proptest! {
 
 // ---------- Discrepancy bounds on random rectangles ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lemma19_and_23_hold_on_random_rectangles(seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+property! {
+    cases = 32;
+    fn lemma19_and_23_hold_on_random_rectangles(seed in |g: &mut Gen| g.any_u64()) {
+        let mut rng = StdRng::seed_from_u64(seed);
         let n = 8;
         let m = 2u64;
         // Middle cut: Lemma 19.
@@ -200,10 +196,9 @@ proptest! {
         prop_assert!(discrepancy::within_lemma23_bound(m, d));
     }
 
-    #[test]
-    fn neat_decomposition_partitions_random_rectangles(seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    cases = 32;
+    fn neat_decomposition_partitions_random_rectangles(seed in |g: &mut Gen| g.any_u64()) {
+        let mut rng = StdRng::seed_from_u64(seed);
         let n = 8;
         let all = OrderedPartition::all_balanced(n);
         let part = all[(seed % all.len() as u64) as usize];
@@ -225,9 +220,11 @@ proptest! {
 
 // ---------- L_n structure ----------
 
-proptest! {
-    #[test]
-    fn ln_membership_bit_trick(n in 1usize..=10, w in any::<u64>()) {
+property! {
+    fn ln_membership_bit_trick(
+        n in |g: &mut Gen| g.int_in(1usize..=10),
+        w in |g: &mut Gen| g.any_u64(),
+    ) {
         let w = w & words::low_mask(2 * n);
         let naive = (0..n).any(|i| w >> i & 1 == 1 && w >> (i + n) & 1 == 1);
         prop_assert_eq!(words::ln_contains(n, w), naive);

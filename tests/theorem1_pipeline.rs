@@ -16,7 +16,10 @@ use ucfg_grammar::earley::Earley;
 use ucfg_grammar::language::finite_language;
 
 fn ln_strings(n: usize) -> BTreeSet<String> {
-    words::enumerate_ln(n).into_iter().map(|w| words::to_string(n, w)).collect()
+    words::enumerate_ln(n)
+        .into_iter()
+        .map(|w| words::to_string(n, w))
+        .collect()
 }
 
 #[test]
@@ -33,12 +36,18 @@ fn all_representations_accept_exactly_ln() {
         assert_eq!(finite_language(&ucfg).unwrap(), expect, "example 4, n={n}");
 
         // the naive baseline
-        assert_eq!(finite_language(&naive_grammar(n)).unwrap(), expect, "naive, n={n}");
+        assert_eq!(
+            finite_language(&naive_grammar(n)).unwrap(),
+            expect,
+            "naive, n={n}"
+        );
 
         // (2) the exact NFA
         let nfa = exact_nfa(n);
         assert_eq!(
-            nfa.accepted_words(2 * n).into_iter().collect::<BTreeSet<_>>(),
+            nfa.accepted_words(2 * n)
+                .into_iter()
+                .collect::<BTreeSet<_>>(),
             expect,
             "exact NFA, n={n}"
         );
@@ -46,7 +55,11 @@ fn all_representations_accept_exactly_ln() {
         let pat = pattern_nfa(n);
         for w in 0..(1u64 << (2 * n)) {
             let s = words::to_string(n, w);
-            assert_eq!(pat.accepts(&s), words::ln_contains(n, w), "pattern NFA, n={n}");
+            assert_eq!(
+                pat.accepts(&s),
+                words::ln_contains(n, w),
+                "pattern NFA, n={n}"
+            );
         }
 
         // the DAWG route
@@ -54,7 +67,11 @@ fn all_representations_accept_exactly_ln() {
         sorted.sort();
         let dawg = dawg_of_words(&['a', 'b'], sorted.iter().map(|s| s.as_str()));
         let dawg_g = dfa_to_grammar(&dawg).unwrap();
-        assert_eq!(finite_language(&dawg_g).unwrap(), expect, "DAWG grammar, n={n}");
+        assert_eq!(
+            finite_language(&dawg_g).unwrap(),
+            expect,
+            "DAWG grammar, n={n}"
+        );
     }
 }
 
@@ -88,8 +105,9 @@ fn unambiguity_claims_are_machine_checked() {
 #[test]
 fn size_shapes_of_theorem1() {
     // (1) CFG ~ Θ(log n): constant increments under doubling.
-    let sizes: Vec<usize> =
-        (4..=14).map(|k| appendix_a_grammar(1usize << k).size()).collect();
+    let sizes: Vec<usize> = (4..=14)
+        .map(|k| appendix_a_grammar(1usize << k).size())
+        .collect();
     for w in sizes.windows(2) {
         let d = w[1] as i64 - w[0] as i64;
         assert!(d.abs() < 60, "not logarithmic: {sizes:?}");
@@ -106,7 +124,10 @@ fn size_shapes_of_theorem1() {
         let l1 = example4_size(n).log2_approx();
         let l2 = example4_size(2 * n).log2_approx();
         assert!(l2 > 1.7 * l1, "n={n}: {l1} vs {l2}");
-        assert!(example4_size(n) >= BigUint::pow2(n - 1), "2^Ω(n) floor, n={n}");
+        assert!(
+            example4_size(n) >= BigUint::pow2(n - 1),
+            "2^Ω(n) floor, n={n}"
+        );
     }
 }
 
@@ -115,7 +136,11 @@ fn example3_matches_its_target_language() {
     for n in 0..=2usize {
         let g = example3_grammar(n);
         let target = (1usize << n) + 1;
-        assert_eq!(finite_language(&g).unwrap(), ln_strings(target), "G_{n} ↦ L_{target}");
+        assert_eq!(
+            finite_language(&g).unwrap(),
+            ln_strings(target),
+            "G_{n} ↦ L_{target}"
+        );
         assert_eq!(g.size(), 6 * n + 10);
     }
 }
