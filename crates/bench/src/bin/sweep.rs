@@ -6,11 +6,13 @@
 //! Usage:
 //!   sweep                  # CSV to stdout + out/separation_sweep.csv
 //!   sweep 512              # sweep up to the given n (default 256)
-//!   sweep --threads 4      # worker threads (default: available cores)
+//!   sweep --threads 4      # worker threads (default: $UCFG_THREADS,
+//!                          # else available cores)
 //!
 //! Columns: n, |L_n| (log2), CFG size, pattern-NFA transitions, exact-NFA
-//! transitions (when computed), DAWG-uCFG size (when computed), Example 4
-//! uCFG size (log2), Proposition 16 uCFG lower bound (log2).
+//! transitions, DAWG-uCFG size, Example 4 uCFG size (log2), Proposition 16
+//! uCFG lower bound (log2). Fields not computed at a given `n` render as
+//! the `NA` sentinel, so every row has the full column count.
 //!
 //! The sweep is deterministic: the same `n` ceiling yields a
 //! byte-identical CSV regardless of the thread count.
@@ -20,7 +22,7 @@ use ucfg_support::bench::out_dir;
 
 fn main() {
     let mut max_n = 256usize;
-    let mut threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut threads = ucfg_support::par::thread_count();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {

@@ -451,9 +451,9 @@ pub fn t9_example8_cover() -> String {
     for n in [3usize, 4, 5, 6] {
         let hist = cover::overlap_histogram(n, &example8_cover(n));
         let spectrum = words::witness_spectrum(n);
-        for k in 1..=n {
+        for (k, s) in spectrum.iter().enumerate().take(n + 1).skip(1) {
             assert_eq!(
-                spectrum[k].to_u64().unwrap() as usize,
+                s.to_u64().unwrap() as usize,
                 hist.get(k).copied().unwrap_or(0),
                 "spectrum mismatch n={n} k={k}"
             );
@@ -868,13 +868,13 @@ fn encoded_domain_dfa(n: usize) -> ucfg_automata::Dfa {
     let alphabet = vec!['a', 'c', 'd'];
     let states = 2 * n + 1;
     let mut delta = vec![vec![None; 3]; states];
-    for p in 0..2 * n {
+    for (p, row) in delta.iter_mut().enumerate().take(2 * n) {
         let next = Some((p + 1) as u32);
-        delta[p][0] = next; // 'a'
+        row[0] = next; // 'a'
         if p < n {
-            delta[p][1] = next; // 'c'
+            row[1] = next; // 'c'
         } else {
-            delta[p][2] = next; // 'd'
+            row[2] = next; // 'd'
         }
     }
     let mut accepting = vec![false; states];

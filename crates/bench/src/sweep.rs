@@ -1,16 +1,30 @@
 //! The Theorem 1 separation sweep as a library: a deterministic,
 //! thread-parallel `n`-sweep rendered to the CSV consumed by the plotting
 //! scripts. The `sweep` binary is a thin wrapper around [`sweep_csv`].
+//!
+//! Rows are computed on the [`ucfg_support::par`] layer, so worker counts
+//! (including the `UCFG_THREADS` override) never change the bytes of the
+//! output.
 
-use std::thread;
 use ucfg_core::separation::{separation_row, SeparationRow};
+use ucfg_support::par;
 
 /// The CSV header line (without trailing newline).
+///
+/// Fields that are only computed below a size threshold (`nfa_exact`,
+/// `ucfg_dawg`, `ucfg_lower_bound_log2`) render as the explicit sentinel
+/// [`CSV_NA`] when absent, so every row always has the full column count
+/// and naive CSV consumers never see trailing/empty cells.
 pub const CSV_HEADER: &str =
     "n,ln_size_log2,cfg_size,nfa_pattern,nfa_exact,ucfg_dawg,ucfg_example4_log2,ucfg_lower_bound_log2";
 
+/// The sentinel emitted for fields that were not computed at this `n`.
+pub const CSV_NA: &str = "NA";
+
 /// The `n` values visited by a sweep up to `max_n`: dense for small `n`,
-/// then strides, then powers of two.
+/// then strides, then powers of two — and always ending **exactly at**
+/// `max_n` (deduplicated when `max_n` already lands on a stride), so the
+/// requested endpoint is never silently skipped.
 pub fn sweep_schedule(max_n: usize) -> Vec<usize> {
     let mut ns = Vec::new();
     let mut n = 2usize;
@@ -24,6 +38,9 @@ pub fn sweep_schedule(max_n: usize) -> Vec<usize> {
             n * 2
         };
     }
+    if max_n >= 2 && ns.last() != Some(&max_n) {
+        ns.push(max_n);
+    }
     ns
 }
 
@@ -35,35 +52,25 @@ fn csv_row(n: usize, row: &SeparationRow) -> String {
         row.cfg_size,
         row.nfa_pattern_transitions,
         row.nfa_exact_transitions
-            .map_or(String::new(), |v| v.to_string()),
-        row.ucfg_dawg_size.map_or(String::new(), |v| v.to_string()),
+            .map_or(CSV_NA.to_string(), |v| v.to_string()),
+        row.ucfg_dawg_size
+            .map_or(CSV_NA.to_string(), |v| v.to_string()),
         row.ucfg_example4_size.log2_approx(),
         row.ucfg_lower_bound_log2
-            .map_or(String::new(), |v| format!("{v:.3}")),
+            .map_or(CSV_NA.to_string(), |v| format!("{v:.3}")),
     )
 }
 
 /// Render the full sweep CSV (header + one row per scheduled `n`).
 ///
-/// Rows are computed on up to `threads` worker threads but always emitted
-/// in schedule order, and `separation_row` itself is deterministic, so the
-/// output is byte-identical for every `threads >= 1`.
+/// Rows are computed on up to `threads` workers of the deterministic
+/// parallel map but always emitted in schedule order, and
+/// `separation_row` itself is deterministic, so the output is
+/// byte-identical for every `threads >= 1`.
 pub fn sweep_csv(max_n: usize, threads: usize) -> String {
     let schedule = sweep_schedule(max_n);
-    if schedule.is_empty() {
-        return format!("{CSV_HEADER}\n");
-    }
-    let threads = threads.clamp(1, schedule.len());
-    let chunk = schedule.len().div_ceil(threads);
-    let mut rows: Vec<String> = vec![String::new(); schedule.len()];
-    thread::scope(|scope| {
-        for (ns, out) in schedule.chunks(chunk).zip(rows.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (n, slot) in ns.iter().zip(out.iter_mut()) {
-                    *slot = csv_row(*n, &separation_row(*n, 24, 9));
-                }
-            });
-        }
+    let rows = par::par_map_threads(&schedule, threads.max(1), |&n| {
+        csv_row(n, &separation_row(n, 24, 9))
     });
     let mut csv = String::with_capacity(64 * (rows.len() + 1));
     csv.push_str(CSV_HEADER);
@@ -89,12 +96,54 @@ mod tests {
     }
 
     #[test]
+    fn schedule_always_ends_at_the_requested_endpoint() {
+        // The regression: strides used to skip the endpoint entirely
+        // (sweep_schedule(100) ended at 64, sweep_schedule(20) at 16).
+        assert_eq!(
+            sweep_schedule(100),
+            vec![2, 4, 6, 8, 10, 12, 14, 16, 24, 32, 40, 48, 56, 64, 100]
+        );
+        assert_eq!(sweep_schedule(20), vec![2, 4, 6, 8, 10, 12, 14, 16, 20]);
+        assert_eq!(sweep_schedule(2), vec![2]);
+        assert_eq!(sweep_schedule(3), vec![2, 3]);
+        for max_n in 2..=300usize {
+            let s = sweep_schedule(max_n);
+            assert_eq!(s.last(), Some(&max_n), "endpoint for max_n={max_n}");
+            assert!(
+                s.windows(2).all(|w| w[0] < w[1]),
+                "strictly increasing, no duplicate endpoint (max_n={max_n})"
+            );
+        }
+    }
+
+    #[test]
     fn csv_is_byte_identical_across_thread_counts() {
-        let single = sweep_csv(12, 1);
+        // max_n = 13 is off-stride, so this schedule exercises the
+        // appended endpoint: 2, 4, 6, 8, 10, 12, 13.
+        let single = sweep_csv(13, 1);
         for threads in [2, 3, 8] {
-            assert_eq!(single, sweep_csv(12, threads), "threads = {threads}");
+            assert_eq!(single, sweep_csv(13, threads), "threads = {threads}");
         }
         assert_eq!(single.lines().next(), Some(CSV_HEADER));
-        assert_eq!(single.lines().count(), 1 + sweep_schedule(12).len());
+        assert_eq!(single.lines().count(), 1 + sweep_schedule(13).len());
+        let last = single.lines().last().unwrap();
+        assert!(last.starts_with("13,"), "endpoint row present: {last}");
+    }
+
+    #[test]
+    fn absent_fields_render_as_na_with_full_column_count() {
+        let csv = sweep_csv(13, 1);
+        let columns = CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), columns, "row {line:?}");
+            assert!(
+                line.split(',').all(|cell| !cell.is_empty()),
+                "no empty cells: {line:?}"
+            );
+        }
+        // n = 13 is above the DAWG threshold (9) and not ≡ 0 mod 4, so its
+        // row carries NA cells.
+        let last = csv.lines().last().unwrap();
+        assert!(last.contains(",NA"), "NA sentinel in {last:?}");
     }
 }

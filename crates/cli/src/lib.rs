@@ -197,6 +197,36 @@ pub fn cmd_extract(n: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `ucfg rank <n>` — the Theorem 17 rank certificates for the `L_n`
+/// communication matrix under the `[1, n]` partition. Runs on the
+/// parallel kernels (worker count from `$UCFG_THREADS`, else all cores);
+/// the result is bit-identical for every thread count.
+pub fn cmd_rank(n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    if n > 10 {
+        return Err(err("rank matrices are 2^n × 2^n; n ≤ 10"));
+    }
+    let threads = ucfg_support::par::thread_count();
+    let gf2 = ucfg_core::rank::rank_gf2(n);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Theorem 17 rank certificates for M_{{L_{n}}} ({threads} thread{}):",
+        if threads == 1 { "" } else { "s" }
+    );
+    let _ = writeln!(out, "  rank over GF(2):           {gf2}");
+    if n <= 9 {
+        let gfp = ucfg_core::rank::rank_mod_p(n);
+        let _ = writeln!(out, "  rank over GF(2^61 − 1):    {gfp}");
+    }
+    let _ = writeln!(
+        out,
+        "  ⇒ any disjoint [1,n]-rectangle cover of L_{n} needs ≥ {} rectangles",
+        (1u64 << n) - 1
+    );
+    Ok(out)
+}
+
 /// `ucfg determinize < grammar.txt` — the KMN CFG → uCFG conversion with
 /// accounting.
 pub fn cmd_determinize(src: &str) -> Result<String, CliError> {
@@ -224,7 +254,9 @@ pub fn usage() -> String {
        ucfg grammar <which> <n>      print a grammar (appendix-a | example3 | example4)\n\
        ucfg check                    parse a grammar from stdin and analyse it\n\
        ucfg determinize              CFG → uCFG (the [20] route), grammar on stdin\n\
-       ucfg extract <n>              Proposition 7 extraction demo\n"
+       ucfg extract <n>              Proposition 7 extraction demo\n\
+       ucfg rank    <n>              Theorem 17 rank certificates (parallel;\n\
+                                     set UCFG_THREADS to pin the worker count)\n"
         .to_string()
 }
 
@@ -238,6 +270,7 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd] if cmd == "check" => cmd_check(stdin),
         [cmd] if cmd == "determinize" => cmd_determinize(stdin),
         [cmd, n] if cmd == "extract" => cmd_extract(n),
+        [cmd, n] if cmd == "rank" => cmd_rank(n),
         [] => Ok(usage()),
         _ => Err(err(format!(
             "unrecognised arguments: {args:?}\n\n{}",
@@ -324,6 +357,17 @@ mod tests {
         let out = cmd_extract("2").unwrap();
         assert!(out.contains("disjoint: true"), "{out}");
         assert!(cmd_extract("9").is_err());
+    }
+
+    #[test]
+    fn rank_command() {
+        let out = cmd_rank("4").unwrap();
+        assert!(out.contains("GF(2):           15"), "{out}");
+        assert!(out.contains("GF(2^61 − 1):    15"), "{out}");
+        assert!(out.contains("≥ 15 rectangles"), "{out}");
+        assert!(cmd_rank("11").is_err());
+        // n = 10 skips the O(2^{3n}) prime-field elimination.
+        assert!(cmd_rank("0").is_err());
     }
 
     #[test]

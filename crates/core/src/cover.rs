@@ -9,6 +9,7 @@ use crate::discrepancy;
 use crate::extract::ExtractionResult;
 use crate::rectangle::{example8_rectangle, SetRectangle};
 use crate::words::{enumerate_ln, ln_contains, Word};
+use ucfg_support::par;
 
 /// Outcome of verifying a family of rectangles against `L_n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,17 +28,33 @@ pub struct CoverReport {
 }
 
 /// Verify a family of set rectangles against `L_n` by exhaustive scan.
+///
+/// The `2^{2n}` word scan runs on [`ucfg_support::par`] workers
+/// (`UCFG_THREADS` override) and merges per-chunk partials (an all-AND and
+/// a max) in fixed chunk order, so the report is bit-identical to the
+/// serial scan for every thread count.
 pub fn verify_cover(n: usize, rects: &[SetRectangle]) -> CoverReport {
+    verify_cover_threads(n, rects, par::thread_count())
+}
+
+/// [`verify_cover`] with an explicit worker count (`threads = 1` is the
+/// serial reference path).
+pub fn verify_cover_threads(n: usize, rects: &[SetRectangle], threads: usize) -> CoverReport {
     assert!(2 * n <= 26, "exhaustive verification is 2^{{2n}}");
-    let mut covers_exactly = true;
-    let mut max_overlap = 0usize;
-    for w in 0..(1u64 << (2 * n)) as Word {
-        let hits = rects.iter().filter(|r| r.contains(w)).count();
-        if (hits > 0) != ln_contains(n, w) {
-            covers_exactly = false;
+    let partials = par::map_ranges_threads(0..(1u64 << (2 * n)), threads, |range| {
+        let mut covers_exactly = true;
+        let mut max_overlap = 0usize;
+        for w in range {
+            let hits = rects.iter().filter(|r| r.contains(w as Word)).count();
+            if (hits > 0) != ln_contains(n, w) {
+                covers_exactly = false;
+            }
+            max_overlap = max_overlap.max(hits);
         }
-        max_overlap = max_overlap.max(hits);
-    }
+        (covers_exactly, max_overlap)
+    });
+    let covers_exactly = partials.iter().all(|&(ok, _)| ok);
+    let max_overlap = partials.iter().map(|&(_, m)| m).max().unwrap_or(0);
     CoverReport {
         size: rects.len(),
         covers_exactly,
@@ -68,10 +85,9 @@ pub fn extraction_to_set_rectangles(n: usize, res: &ExtractionResult) -> Vec<Set
 /// discrepancies and whether the identity holds.
 pub fn discrepancy_accounting(n: usize, rects: &[SetRectangle]) -> (Vec<i64>, bool) {
     assert!(discrepancy::supports_blocks(n));
-    let discs: Vec<i64> = rects
-        .iter()
-        .map(|r| discrepancy::discrepancy(n, r))
-        .collect();
+    // One exhaustive 𝓛-scan per rectangle: spread the rectangles over the
+    // deterministic parallel map (results stay in rectangle order).
+    let discs: Vec<i64> = par::par_map(rects, |r| discrepancy::discrepancy(n, r));
     let total: i64 = discs.iter().sum();
     let m = (n / 4) as u64;
     let expect = discrepancy::gap(m).to_u64().expect("small n") as i64;
@@ -183,6 +199,22 @@ mod tests {
         // The m = 1 coincidence, for the record.
         let (_d4, ok4) = discrepancy_accounting(4, &example8_cover(4));
         assert!(ok4);
+    }
+
+    #[test]
+    fn parallel_verify_cover_is_bit_identical() {
+        for n in [4usize, 8] {
+            let rects = example8_cover(n);
+            let serial = verify_cover_threads(n, &rects, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    serial,
+                    verify_cover_threads(n, &rects, threads),
+                    "n={n} threads={threads}"
+                );
+            }
+            assert_eq!(serial, verify_cover(n, &rects), "n={n} default threads");
+        }
     }
 
     #[test]

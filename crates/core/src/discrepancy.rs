@@ -114,18 +114,34 @@ pub fn lemma18_inequality_holds(m: u64) -> bool {
 
 /// Signed discrepancy `|R ∩ A| − |R ∩ B|` of a rectangle, by exhaustive
 /// enumeration of `𝓛`.
+///
+/// The `2^n` family scan runs on [`ucfg_support::par`] workers
+/// (`UCFG_THREADS` override); partial integer sums merge in fixed chunk
+/// order, so the result is bit-identical to the serial scan for every
+/// thread count.
 pub fn discrepancy(n: usize, r: &SetRectangle) -> i64 {
-    let mut d: i64 = 0;
-    for w in enumerate_family(n) {
-        if r.contains(w) {
-            if witness_count(n, w) % 2 == 1 {
-                d += 1;
-            } else {
-                d -= 1;
-            }
-        }
-    }
-    d
+    discrepancy_threads(n, r, ucfg_support::par::thread_count())
+}
+
+/// [`discrepancy`] with an explicit worker count (`threads = 1` is the
+/// serial reference path).
+pub fn discrepancy_threads(n: usize, r: &SetRectangle, threads: usize) -> i64 {
+    let fam = enumerate_family(n);
+    ucfg_support::par::map_ranges_threads(0..fam.len() as u64, threads, |range| {
+        fam[range.start as usize..range.end as usize]
+            .iter()
+            .filter(|&&w| r.contains(w))
+            .map(|&w| {
+                if witness_count(n, w) % 2 == 1 {
+                    1i64
+                } else {
+                    -1
+                }
+            })
+            .sum::<i64>()
+    })
+    .into_iter()
+    .sum()
 }
 
 /// The Lemma 19 bound for `[1, n]`-rectangles: `2^{3m}`.
@@ -270,7 +286,22 @@ pub fn adversarial_rectangle<R: Rng + ?Sized>(
 /// Feasible only when the T-side has few patterns (`2^{|T-patterns|}`
 /// subsets); returns `None` above 20 patterns. For `n = 4` this covers
 /// every partition; for `n = 8` the neat ones.
+///
+/// The `2^{|T-patterns|}` subset scan runs on [`ucfg_support::par`]
+/// workers (`UCFG_THREADS` override); per-chunk maxima merge in fixed
+/// chunk order, so the result is bit-identical to the serial scan for
+/// every thread count.
 pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u64> {
+    exact_max_discrepancy_threads(n, partition, ucfg_support::par::thread_count())
+}
+
+/// [`exact_max_discrepancy`] with an explicit worker count (`threads = 1`
+/// is the serial reference path).
+pub fn exact_max_discrepancy_threads(
+    n: usize,
+    partition: OrderedPartition,
+    threads: usize,
+) -> Option<u64> {
     let fam = enumerate_family(n);
     let ins = partition.inside();
     let outs = partition.outside();
@@ -309,26 +340,32 @@ pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u6
                 .collect()
         })
         .collect();
-    let mut best: u64 = 0;
-    for t_mask in 0u32..(1u32 << t_all.len()) {
-        let mut pos: i64 = 0;
-        let mut neg: i64 = 0;
-        for row in &f {
-            let mut score: i64 = 0;
-            let mut m = t_mask;
-            while m != 0 {
-                let j = m.trailing_zeros() as usize;
-                score += row[j];
-                m &= m - 1;
+    let best = ucfg_support::par::map_ranges_threads(0..(1u64 << t_all.len()), threads, |range| {
+        let mut chunk_best: u64 = 0;
+        for t_mask in range {
+            let mut pos: i64 = 0;
+            let mut neg: i64 = 0;
+            for row in &f {
+                let mut score: i64 = 0;
+                let mut m = t_mask as u32;
+                while m != 0 {
+                    let j = m.trailing_zeros() as usize;
+                    score += row[j];
+                    m &= m - 1;
+                }
+                if score > 0 {
+                    pos += score;
+                } else {
+                    neg += score;
+                }
             }
-            if score > 0 {
-                pos += score;
-            } else {
-                neg += score;
-            }
+            chunk_best = chunk_best.max(pos as u64).max(neg.unsigned_abs());
         }
-        best = best.max(pos as u64).max(neg.unsigned_abs());
-    }
+        chunk_best
+    })
+    .into_iter()
+    .max()
+    .unwrap_or(0);
     Some(best)
 }
 
@@ -464,6 +501,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (_, adv) = adversarial_rectangle(n, part, 5, &mut rng);
         assert!(adv.unsigned_abs() <= exact);
+    }
+
+    #[test]
+    fn parallel_discrepancy_is_bit_identical() {
+        let n = 8;
+        let mut rng = StdRng::seed_from_u64(31);
+        let part = OrderedPartition::new(n, 1, n);
+        for _ in 0..5 {
+            let r = random_family_rectangle(n, part, &mut rng);
+            let serial = discrepancy_threads(n, &r, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(serial, discrepancy_threads(n, &r, threads), "{threads}");
+            }
+            assert_eq!(serial, discrepancy(n, &r), "default threads");
+        }
+    }
+
+    #[test]
+    fn parallel_exact_max_discrepancy_is_bit_identical() {
+        let n = 4;
+        for part in OrderedPartition::all_balanced(n) {
+            let serial = exact_max_discrepancy_threads(n, part, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    serial,
+                    exact_max_discrepancy_threads(n, part, threads),
+                    "{part:?} threads={threads}"
+                );
+            }
+            assert_eq!(serial, exact_max_discrepancy(n, part), "{part:?} default");
+        }
     }
 
     #[test]

@@ -106,7 +106,7 @@ mod tests {
             // within the ceiling.
             let ceiling = double_exponential_ceiling_log2(d.input_size as u64, 2);
             assert!(
-                BigUint::from_u64(d.output_size as u64).bits() as u64
+                BigUint::from_u64(d.output_size as u64).bits()
                     <= ceiling.to_u64().unwrap_or(u64::MAX),
                 "n={n}"
             );

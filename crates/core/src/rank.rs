@@ -9,23 +9,42 @@
 //! certifying an exponential lower bound for the fixed-partition case on
 //! concrete instances.
 
+use ucfg_support::par;
+
 /// Rank of the `L_n` communication matrix over GF(2), by bitset Gaussian
 /// elimination. `n ≤ 13` (matrix is `2^n × 2^n`).
+///
+/// The `2^n × 2^n` row construction runs on [`ucfg_support::par`] workers
+/// (`UCFG_THREADS` override); rows are emitted in row order, so the rank
+/// (and the eliminated matrix) is bit-identical to the serial build for
+/// every thread count. The elimination itself is sequential.
 pub fn rank_gf2(n: usize) -> usize {
+    rank_gf2_threads(n, par::thread_count())
+}
+
+/// [`rank_gf2`] with an explicit worker count (`threads = 1` is the serial
+/// reference path).
+pub fn rank_gf2_threads(n: usize, threads: usize) -> usize {
     assert!(n <= 13, "matrix is 2^n × 2^n");
     let size = 1usize << n;
     let width = size.div_ceil(64);
     // Row X: bits Y with X∩Y ≠ ∅.
-    let mut rows: Vec<Vec<u64>> = Vec::with_capacity(size);
-    for x in 0..size as u64 {
-        let mut row = vec![0u64; width];
-        for y in 0..size as u64 {
-            if x & y != 0 {
-                row[(y / 64) as usize] |= 1u64 << (y % 64);
-            }
-        }
-        rows.push(row);
-    }
+    let mut rows: Vec<Vec<u64>> = par::map_ranges_threads(0..size as u64, threads, |range| {
+        range
+            .map(|x| {
+                let mut row = vec![0u64; width];
+                for y in 0..size as u64 {
+                    if x & y != 0 {
+                        row[(y / 64) as usize] |= 1u64 << (y % 64);
+                    }
+                }
+                row
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     gf2_rank_of_rows(&mut rows)
 }
 
@@ -59,14 +78,26 @@ pub fn gf2_rank_of_rows(rows: &mut [Vec<u64>]) -> usize {
 /// Rank of the `L_n` communication matrix over GF(p) with
 /// `p = 2^{61} − 1`. Since `rank_{GF(p)}(M) ≤ rank_ℚ(M)` and both are
 /// rectangle-count lower bounds, this is a valid certificate.
-/// O(2^{3n}) — keep `n ≤ 9` outside benches.
+/// O(2^{3n}) — keep `n ≤ 9` outside benches. Row construction is
+/// parallel (`UCFG_THREADS`); the elimination is sequential.
 pub fn rank_mod_p(n: usize) -> usize {
+    rank_mod_p_threads(n, par::thread_count())
+}
+
+/// [`rank_mod_p`] with an explicit worker count (`threads = 1` is the
+/// serial reference path).
+pub fn rank_mod_p_threads(n: usize, threads: usize) -> usize {
     assert!(n <= 11, "O(2^(3n)) elimination");
     const P: u128 = (1u128 << 61) - 1;
     let size = 1usize << n;
-    let mut rows: Vec<Vec<u64>> = (0..size as u64)
-        .map(|x| (0..size as u64).map(|y| u64::from(x & y != 0)).collect())
-        .collect();
+    let mut rows: Vec<Vec<u64>> = par::map_ranges_threads(0..size as u64, threads, |range| {
+        range
+            .map(|x| (0..size as u64).map(|y| u64::from(x & y != 0)).collect())
+            .collect::<Vec<Vec<u64>>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut rank = 0usize;
     let mut pivot_row = 0usize;
     for col in 0..size {
@@ -127,6 +158,17 @@ pub fn rank_lower_bound(n: usize) -> usize {
 /// rectangles over this partition needs ≥ this many rectangles — the
 /// per-partition certificate behind the multi-partition discussion (T19).
 pub fn rank_for_partition(n: usize, part: crate::partition::OrderedPartition) -> usize {
+    rank_for_partition_threads(n, part, par::thread_count())
+}
+
+/// [`rank_for_partition`] with an explicit worker count (`threads = 1` is
+/// the serial reference path). Row construction is parallel; elimination
+/// is sequential.
+pub fn rank_for_partition_threads(
+    n: usize,
+    part: crate::partition::OrderedPartition,
+    threads: usize,
+) -> usize {
     let ins = part.inside();
     let outs = part.outside();
     let in_bits: Vec<u32> = (0..64).filter(|&b| ins >> b & 1 == 1).collect();
@@ -145,18 +187,24 @@ pub fn rank_for_partition(n: usize, part: crate::partition::OrderedPartition) ->
             .map(|(_, &b)| 1u64 << b)
             .sum()
     };
-    let mut m: Vec<Vec<u64>> = Vec::with_capacity(rows);
-    for u in 0..rows {
-        let uu = expand(u, &in_bits);
-        let mut row = vec![0u64; width];
-        for v in 0..cols {
-            let vv = expand(v, &out_bits);
-            if crate::words::ln_contains(n, uu | vv) {
-                row[v / 64] |= 1u64 << (v % 64);
-            }
-        }
-        m.push(row);
-    }
+    let mut m: Vec<Vec<u64>> = par::map_ranges_threads(0..rows as u64, threads, |range| {
+        range
+            .map(|u| {
+                let uu = expand(u as usize, &in_bits);
+                let mut row = vec![0u64; width];
+                for v in 0..cols {
+                    let vv = expand(v, &out_bits);
+                    if crate::words::ln_contains(n, uu | vv) {
+                        row[v / 64] |= 1u64 << (v % 64);
+                    }
+                }
+                row
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     gf2_rank_of_rows(&mut m)
 }
 
@@ -189,6 +237,29 @@ mod tests {
                                                     // Zero matrix.
         let mut rows = vec![vec![0u64]; 4];
         assert_eq!(gf2_rank_of_rows(&mut rows), 0);
+    }
+
+    #[test]
+    fn parallel_ranks_are_bit_identical() {
+        for n in [4usize, 7, 9] {
+            let gf2_serial = rank_gf2_threads(n, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(gf2_serial, rank_gf2_threads(n, threads), "gf2 n={n}");
+            }
+            assert_eq!(gf2_serial, rank_gf2(n), "gf2 n={n} default");
+        }
+        for n in [4usize, 6] {
+            let p_serial = rank_mod_p_threads(n, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(p_serial, rank_mod_p_threads(n, threads), "mod_p n={n}");
+            }
+        }
+        use crate::partition::OrderedPartition;
+        let part = OrderedPartition::new(4, 2, 5);
+        let serial = rank_for_partition_threads(4, part, 1);
+        for threads in [2usize, 8] {
+            assert_eq!(serial, rank_for_partition_threads(4, part, threads));
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! ```
 
 use ucfg_grammar::bignum::BigUint;
+use ucfg_support::par;
 
 /// A word of length `2n` packed as a bitmask (bit i ⇔ position i+1 is `a`).
 pub type Word = u64;
@@ -83,14 +84,27 @@ pub fn ln_size(n: usize) -> BigUint {
 }
 
 /// Enumerate all of `L_n` (2^{2n} scan; for experiment-scale `n`).
+///
+/// The scan runs on [`ucfg_support::par`] workers (`UCFG_THREADS`
+/// override); the result is in ascending mask order and bit-identical to
+/// the serial scan for every thread count.
 pub fn enumerate_ln(n: usize) -> Vec<Word> {
+    enumerate_ln_threads(n, par::thread_count())
+}
+
+/// [`enumerate_ln`] with an explicit worker count (`threads = 1` is the
+/// serial reference path).
+pub fn enumerate_ln_threads(n: usize, threads: usize) -> Vec<Word> {
     assert!(
         2 * n <= 26,
         "enumeration is exponential; use ln_size for large n"
     );
-    (0..(1u64 << (2 * n)))
-        .filter(|&w| ln_contains(n, w))
-        .collect()
+    par::map_ranges_threads(0..(1u64 << (2 * n)), threads, |range| {
+        range.filter(|&w| ln_contains(n, w)).collect::<Vec<Word>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Enumerate the complement of `L_n` within `{a,b}^{2n}`.
@@ -224,9 +238,9 @@ mod tests {
         let n = 4;
         let hist = crate::cover::overlap_histogram(n, &crate::cover::example8_cover(n));
         let spectrum = witness_spectrum(n);
-        for k in 1..=n {
+        for (k, s) in spectrum.iter().enumerate().take(n + 1).skip(1) {
             assert_eq!(
-                spectrum[k].to_u64().unwrap() as usize,
+                s.to_u64().unwrap() as usize,
                 hist.get(k).copied().unwrap_or(0),
                 "k={k}"
             );
@@ -246,6 +260,21 @@ mod tests {
                 ln_iter(n).count() + ln_complement_iter(n).count(),
                 1usize << (2 * n)
             );
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical() {
+        for n in [3usize, 6, 9] {
+            let serial = enumerate_ln_threads(n, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    serial,
+                    enumerate_ln_threads(n, threads),
+                    "n={n} threads={threads}"
+                );
+            }
+            assert_eq!(serial, enumerate_ln(n), "n={n} default threads");
         }
     }
 

@@ -1,0 +1,110 @@
+//! Property tests for the deterministic parallel kernels: for every kernel
+//! migrated onto [`ucfg_support::par`], the parallel result must be
+//! bit-identical to the serial reference (`threads = 1`) on randomly drawn
+//! inputs, for every worker count. Chunk boundaries depend only on input
+//! length, so this holds exactly — not just statistically.
+
+use ucfg_core::cover::{example8_cover, verify_cover_threads};
+use ucfg_core::discrepancy::{
+    discrepancy_threads, exact_max_discrepancy_threads, random_family_rectangle,
+};
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rank::{rank_gf2_threads, rank_mod_p_threads};
+use ucfg_core::words::enumerate_ln_threads;
+use ucfg_support::prop::Gen;
+use ucfg_support::rng::{Rng, SeedableRng, StdRng};
+use ucfg_support::{prop_assert_eq, property};
+
+/// Worker counts exercised against the serial reference. 2 and 3 split the
+/// 64-chunk schedule unevenly; 8 oversubscribes the queue.
+const THREADS: [usize; 3] = [2, 3, 8];
+
+/// A random balanced-ish partition of `Z[1, 2n]` for rectangle draws.
+fn random_partition(n: usize, rng: &mut StdRng) -> OrderedPartition {
+    let i = rng.random_range(1..=n);
+    let j = rng.random_range(i..=2 * n - 1);
+    OrderedPartition::new(n, i, j)
+}
+
+property! {
+    cases = 24;
+    fn parallel_verify_cover_matches_serial(
+        n in |g: &mut Gen| g.int_in(3usize..=6),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        // A mix of the canonical cover and (where the block structure
+        // exists, i.e. n ≡ 0 mod 4) random rectangle families, so both the
+        // covering and the non-covering verdicts are exercised.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rects = example8_cover(n);
+        if ucfg_core::discrepancy::supports_blocks(n) {
+            for _ in 0..rng.random_range(1..3usize) {
+                let part = random_partition(n, &mut rng);
+                rects.push(random_family_rectangle(n, part, &mut rng));
+            }
+        }
+        let serial = verify_cover_threads(n, &rects, 1);
+        for t in THREADS {
+            prop_assert_eq!(serial.clone(), verify_cover_threads(n, &rects, t));
+        }
+    }
+
+    cases = 32;
+    fn parallel_discrepancy_matches_serial(
+        // The family 𝓛 needs n ≡ 0 mod 4: draw n from {4, 8, 12}.
+        k in |g: &mut Gen| g.int_in(1usize..=3),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let n = 4 * k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(n, &mut rng);
+        let r = random_family_rectangle(n, part, &mut rng);
+        let serial = discrepancy_threads(n, &r, 1);
+        for t in THREADS {
+            prop_assert_eq!(serial, discrepancy_threads(n, &r, t));
+        }
+    }
+
+    cases = 8;
+    fn parallel_exact_max_discrepancy_matches_serial(
+        i in |g: &mut Gen| g.int_in(1usize..=4),
+        j in |g: &mut Gen| g.int_in(4usize..=7),
+    ) {
+        let n = 4usize;
+        let part = OrderedPartition::new(n, i, j.max(i));
+        let serial = exact_max_discrepancy_threads(n, part, 1);
+        for t in THREADS {
+            prop_assert_eq!(serial, exact_max_discrepancy_threads(n, part, t));
+        }
+    }
+
+    cases = 12;
+    fn parallel_gf2_rank_matches_serial(
+        n in |g: &mut Gen| g.int_in(2usize..=8),
+    ) {
+        let serial = rank_gf2_threads(n, 1);
+        for t in THREADS {
+            prop_assert_eq!(serial, rank_gf2_threads(n, t));
+        }
+    }
+
+    cases = 8;
+    fn parallel_gfp_rank_matches_serial(
+        n in |g: &mut Gen| g.int_in(2usize..=6),
+    ) {
+        let serial = rank_mod_p_threads(n, 1);
+        for t in THREADS {
+            prop_assert_eq!(serial, rank_mod_p_threads(n, t));
+        }
+    }
+
+    cases = 12;
+    fn parallel_enumeration_matches_serial(
+        n in |g: &mut Gen| g.int_in(2usize..=8),
+    ) {
+        let serial = enumerate_ln_threads(n, 1);
+        for t in THREADS {
+            prop_assert_eq!(serial, enumerate_ln_threads(n, t));
+        }
+    }
+}

@@ -1,15 +1,78 @@
 //! CYK parsing over Chomsky normal form.
 //!
 //! The chart stores, for every span `(i, len)`, the bitset of non-terminals
-//! deriving that span. On top of the boolean chart we provide exact
-//! parse-tree **counting** (the ambiguity degree of a word — the quantity
-//! whose `= 1` everywhere defines a uCFG) and bounded tree enumeration.
+//! deriving that span. Chart filling uses a rule-indexed **bitset kernel**
+//! ([`CykRuleIndex`]): binary rules are grouped by left child, and cells
+//! combine with word-level AND/OR over 64-non-terminal blocks instead of
+//! per-rule scalar bit probes. The classic per-rule loop is kept as
+//! [`CykChart::build_scalar`], the differential reference.
+//!
+//! On top of the boolean chart we provide exact parse-tree **counting**
+//! (the ambiguity degree of a word — the quantity whose `= 1` everywhere
+//! defines a uCFG) and bounded tree enumeration.
 
 use crate::bignum::BigUint;
 use crate::normal_form::CnfGrammar;
 use crate::parse_tree::{Child, ParseTree};
 use crate::symbol::{NonTerminal, Terminal};
 use std::collections::HashMap;
+
+/// Binary rules re-indexed for the bitset CYK kernel.
+///
+/// For each left child `B`, the index stores the bitset of right children
+/// `C` occurring in rules `A → B C` (`c_mask`) and, per such `C`, the
+/// bitset of heads `A` (`a_masks[C]`). The chart kernel then walks the set
+/// bits of the left cell, ANDs `c_mask` against the right cell one
+/// 64-non-terminal block at a time, and ORs whole `a_masks` into the
+/// target cell — `O(words)` per surviving `(B, C)` pair instead of one
+/// scalar probe per rule.
+///
+/// Build it once per grammar ([`CykRuleIndex::new`]) and reuse it across
+/// words via [`CykChart::build_with_index`]; [`CykChart::build`] creates a
+/// throwaway index internally.
+pub struct CykRuleIndex {
+    nts: usize,
+    words_per_set: usize,
+    /// Per left child `B`: bitset of right children, `words_per_set` words
+    /// starting at `B * words_per_set`.
+    c_masks: Vec<u64>,
+    /// Dense `(B, C) → a_slab` offset (`B * nts + C`); [`NO_RULE`] when no
+    /// rule `A → B C` exists. Three flat slabs instead of per-group
+    /// `Vec<Vec<u64>>` keep index construction to O(1) allocations, so
+    /// [`CykChart::build`]'s throwaway index stays cheap for short words.
+    a_offset: Vec<u32>,
+    /// Head bitsets, one `words_per_set` block per distinct `(B, C)` pair.
+    a_slab: Vec<u64>,
+}
+
+const NO_RULE: u32 = u32::MAX;
+
+impl CykRuleIndex {
+    /// Index the binary rules of `g` by left child.
+    pub fn new(g: &CnfGrammar) -> Self {
+        let nts = g.nonterminal_count();
+        let words_per_set = nts.div_ceil(64);
+        let mut c_masks = vec![0u64; nts * words_per_set];
+        let mut a_offset = vec![NO_RULE; nts * nts];
+        let mut a_slab = Vec::new();
+        for &(a, b, c) in g.bin_rules() {
+            c_masks[b.index() * words_per_set + c.index() / 64] |= 1u64 << (c.index() % 64);
+            let slot = &mut a_offset[b.index() * nts + c.index()];
+            if *slot == NO_RULE {
+                *slot = u32::try_from(a_slab.len()).expect("a_slab offset fits u32");
+                a_slab.resize(a_slab.len() + words_per_set, 0);
+            }
+            a_slab[*slot as usize + a.index() / 64] |= 1u64 << (a.index() % 64);
+        }
+        CykRuleIndex {
+            nts,
+            words_per_set,
+            c_masks,
+            a_offset,
+            a_slab,
+        }
+    }
+}
 
 /// A filled CYK chart for one word.
 pub struct CykChart<'g> {
@@ -18,12 +81,76 @@ pub struct CykChart<'g> {
     /// `cells[(len-1) * n + i]` = bitset of non-terminals deriving
     /// `word[i .. i+len]`.
     cells: Vec<Vec<u64>>,
-    words_per_set: usize,
 }
 
 impl<'g> CykChart<'g> {
-    /// Parse `word` with the classic O(n³·|R|) CYK loop.
+    /// Parse `word` with the bitset kernel (throwaway rule index). For
+    /// batches of words over one grammar, build a [`CykRuleIndex`] once
+    /// and use [`CykChart::build_with_index`].
     pub fn build(g: &'g CnfGrammar, word: &[Terminal]) -> Self {
+        Self::build_with_index(g, &CykRuleIndex::new(g), word)
+    }
+
+    /// Parse `word` with the rule-indexed bitset kernel: for every span
+    /// and split, walk the set bits `B` of the left cell and combine the
+    /// right cell with `B`'s rule group block-wise (word-level AND to find
+    /// live right children, word-level OR to deposit heads).
+    pub fn build_with_index(g: &'g CnfGrammar, index: &CykRuleIndex, word: &[Terminal]) -> Self {
+        let n = word.len();
+        let words_per_set = index.words_per_set;
+        let mut cells = vec![vec![0u64; words_per_set]; n * n.max(1)];
+        let idx = |i: usize, len: usize| (len - 1) * n + i;
+        // Length 1: terminal rules.
+        for (i, &t) in word.iter().enumerate() {
+            for &(a, tt) in g.term_rules() {
+                if tt == t {
+                    cells[idx(i, 1)][a.index() / 64] |= 1u64 << (a.index() % 64);
+                }
+            }
+        }
+        // Longer spans.
+        let mut acc = vec![0u64; words_per_set];
+        for len in 2..=n {
+            for i in 0..=n - len {
+                acc.iter_mut().for_each(|w| *w = 0);
+                for split in 1..len {
+                    let left = &cells[idx(i, split)];
+                    let right = &cells[idx(i + split, len - split)];
+                    for (bw, &lword) in left.iter().enumerate() {
+                        let mut lbits = lword;
+                        while lbits != 0 {
+                            let b = bw * 64 + lbits.trailing_zeros() as usize;
+                            lbits &= lbits - 1;
+                            let c_mask = &index.c_masks[b * words_per_set..][..words_per_set];
+                            for (cw, (&cm, &rw)) in c_mask.iter().zip(right.iter()).enumerate() {
+                                let mut hits = cm & rw;
+                                while hits != 0 {
+                                    let c = cw * 64 + hits.trailing_zeros() as usize;
+                                    hits &= hits - 1;
+                                    let off = index.a_offset[b * index.nts + c] as usize;
+                                    let mask = &index.a_slab[off..][..words_per_set];
+                                    for (t, &m) in acc.iter_mut().zip(mask) {
+                                        *t |= m;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                cells[idx(i, len)].copy_from_slice(&acc);
+            }
+        }
+        CykChart {
+            g,
+            word: word.to_vec(),
+            cells,
+        }
+    }
+
+    /// Parse `word` with the classic O(n³·|R|) per-rule scalar loop. This
+    /// is the reference kernel the bitset path is differentially tested
+    /// (and benchmarked) against; prefer [`CykChart::build`].
+    pub fn build_scalar(g: &'g CnfGrammar, word: &[Terminal]) -> Self {
         let n = word.len();
         let nts = g.nonterminal_count();
         let words_per_set = nts.div_ceil(64);
@@ -56,7 +183,6 @@ impl<'g> CykChart<'g> {
             g,
             word: word.to_vec(),
             cells,
-            words_per_set,
         }
     }
 
@@ -73,13 +199,18 @@ impl<'g> CykChart<'g> {
     }
 
     /// All non-terminals deriving `word[i .. i+len]`.
+    ///
+    /// Contract: spans that do not lie inside the word (`len == 0` or
+    /// `i + len > word.len()`) have no deriving non-terminals and return
+    /// an empty `Vec` — mirroring [`CykChart::derives`], which answers
+    /// `false` for the same spans. This is deliberate Option-style
+    /// behavior, not an error.
     pub fn nonterminals_at(&self, i: usize, len: usize) -> Vec<NonTerminal> {
         let mut out = Vec::new();
         if len == 0 || i + len > self.word.len() {
             return out;
         }
-        let cell = self.cell(i, len);
-        for (w, &set) in cell.iter().enumerate().take(self.words_per_set) {
+        for (w, &set) in self.cell(i, len).iter().enumerate() {
             let mut bits = set;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
@@ -302,6 +433,70 @@ mod tests {
         let at0 = chart.nonterminals_at(0, 1);
         assert!(!at0.is_empty());
         assert!(chart.nonterminals_at(0, 3).is_empty()); // out of range
+    }
+
+    /// The bitset and scalar kernels must fill identical charts.
+    fn assert_charts_equal(g: &CnfGrammar, word: &[Terminal]) {
+        let index = CykRuleIndex::new(g);
+        let bitset = CykChart::build_with_index(g, &index, word);
+        let via_build = CykChart::build(g, word);
+        let scalar = CykChart::build_scalar(g, word);
+        assert_eq!(bitset.cells, scalar.cells, "word {word:?}");
+        assert_eq!(via_build.cells, scalar.cells, "word {word:?}");
+        assert_eq!(bitset.accepted(), scalar.accepted());
+        assert_eq!(bitset.count_trees(), scalar.count_trees());
+        for len in 1..=word.len() {
+            for i in 0..=word.len() - len {
+                assert_eq!(
+                    bitset.nonterminals_at(i, len),
+                    scalar.nonterminals_at(i, len),
+                    "span ({i}, {len})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_kernel_matches_scalar_reference() {
+        let g = catalan();
+        for k in 1..=7 {
+            assert_charts_equal(&g, &vec![Terminal(0); k]);
+        }
+        let (_, cnf) = pairs();
+        for w in ["aa", "ab", "ba", "bb", "a", "abab", "bbbb"] {
+            assert_charts_equal(&cnf, &cnf.encode(w).unwrap());
+        }
+        // A grammar with > 64 non-terminals exercises multi-block masks.
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        let mut prev = s;
+        for i in 0..80 {
+            let nt = b.nonterminal(&format!("N{i}"));
+            // prev → nt nt; leaves alternate over {a, b}.
+            b.rule(prev, |r| r.n(nt).n(nt));
+            if i % 3 == 0 {
+                b.rule(nt, |r| r.t('a'));
+            } else {
+                b.rule(nt, |r| r.t('b'));
+            }
+            prev = nt;
+        }
+        let wide = CnfGrammar::from_grammar(&b.build(s));
+        assert!(wide.nonterminal_count() > 64);
+        for w in ["aa", "bb", "ab", "aabb", "bbbbbbbb"] {
+            assert_charts_equal(&wide, &wide.encode(w).unwrap());
+        }
+    }
+
+    #[test]
+    fn rule_index_reuse_across_words() {
+        let (_, cnf) = pairs();
+        let index = CykRuleIndex::new(&cnf);
+        for w in ["aa", "ab", "ba", "bb"] {
+            let word = cnf.encode(w).unwrap();
+            assert!(CykChart::build_with_index(&cnf, &index, &word).accepted());
+        }
+        assert!(!CykChart::build_with_index(&cnf, &index, &cnf.encode("aba").unwrap()).accepted());
     }
 
     #[test]

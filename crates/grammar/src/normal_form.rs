@@ -426,9 +426,8 @@ mod tests {
         let cnf = CnfGrammar::from_grammar(&b.build(s));
         let g = cnf.to_grammar();
         for r in g.rules() {
-            assert_ne!(r.rhs.len(), 1 - usize::from(r.rhs[0].is_terminal()) + 0); // no unit N bodies
             if r.rhs.len() == 1 {
-                assert!(r.rhs[0].is_terminal());
+                assert!(r.rhs[0].is_terminal()); // no unit N bodies
             }
         }
         // S itself derives "ab" via a binary rule after unit elimination.

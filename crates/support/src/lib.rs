@@ -11,11 +11,15 @@
 //!   replay, and bounded size-directed shrinking (replaces `proptest`),
 //! - [`bench`] — a warmup + median/p95 bench harness emitting
 //!   `out/BENCH_*.json` lines, with a `--smoke` mode for CI (replaces
-//!   `criterion`).
+//!   `criterion`),
+//! - [`par`] — a scoped, deterministic parallel-map layer (ordered
+//!   results, fixed chunking, `UCFG_THREADS` override, serial fallback)
+//!   for the exhaustive kernels (replaces `rayon`).
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod par;
 pub mod prop;
 pub mod rng;
 
