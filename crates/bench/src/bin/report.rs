@@ -6,12 +6,30 @@
 //!   report            # everything, to stdout + out/report_output.txt
 //!   report T5 T8      # selected experiments, stdout only
 //!   report --list     # available experiment ids
+//!   report --threads 4  # worker threads (overrides $UCFG_THREADS)
 
 use ucfg_bench::experiments;
 use ucfg_support::bench::out_dir;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip a `--threads N` override (funnelled into UCFG_THREADS, so
+    // every parallel kernel in the experiments honours it); the remaining
+    // arguments are experiment ids.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" || a == "-j" {
+            if let Some(v) = it
+                .next()
+                .and_then(|v| v.parse::<usize>().ok().filter(|&t| t >= 1))
+            {
+                ucfg_support::par::set_thread_count(v);
+            }
+        } else {
+            args.push(a);
+        }
+    }
     if args.iter().any(|a| a == "--list" || a == "-l") {
         println!("available experiments (see DESIGN.md §5):");
         for id in experiments::ALL_EXPERIMENTS {

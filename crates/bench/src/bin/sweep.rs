@@ -6,6 +6,8 @@
 //! Usage:
 //!   sweep                  # CSV to stdout + out/separation_sweep.csv
 //!   sweep 512              # sweep up to the given n (default 256)
+//!   sweep --kernels        # bitmap-kernel sweep (default max n 16) to
+//!                          # stdout + out/kernel_sweep.csv
 //!   sweep --threads 4      # worker threads (default: $UCFG_THREADS,
 //!                          # else available cores)
 //!
@@ -17,31 +19,51 @@
 //! The sweep is deterministic: the same `n` ceiling yields a
 //! byte-identical CSV regardless of the thread count.
 
-use ucfg_bench::sweep::sweep_csv;
+use ucfg_bench::sweep::{kernel_sweep_csv, sweep_csv};
 use ucfg_support::bench::out_dir;
 
 fn main() {
-    let mut max_n = 256usize;
+    let mut max_n: Option<usize> = None;
+    let mut kernels = false;
     let mut threads = ucfg_support::par::thread_count();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--threads" | "-j" => {
-                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                if let Some(v) = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok().filter(|&t| t >= 1))
+                {
                     threads = v;
+                    // Propagate to UCFG_THREADS so kernels that default to
+                    // par::thread_count() honour the flag too.
+                    ucfg_support::par::set_thread_count(v);
                 }
             }
+            "--kernels" => kernels = true,
             other => {
                 if let Ok(v) = other.parse() {
-                    max_n = v;
+                    max_n = Some(v);
                 }
             }
         }
     }
-    let csv = sweep_csv(max_n, threads);
+    let (csv, file) = if kernels {
+        // The exhaustive columns cap themselves (NA above their
+        // thresholds), so the default ceiling just bounds the cheap ones.
+        (
+            kernel_sweep_csv(max_n.unwrap_or(16), threads),
+            "kernel_sweep.csv",
+        )
+    } else {
+        (
+            sweep_csv(max_n.unwrap_or(256), threads),
+            "separation_sweep.csv",
+        )
+    };
     print!("{csv}");
     let dir = out_dir();
-    let path = dir.join("separation_sweep.csv");
+    let path = dir.join(file);
     if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &csv)) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {

@@ -252,6 +252,11 @@ pub fn t5_extraction() -> String {
         let disjoint = res.is_disjoint();
         assert!(covers, "{name}: extraction must cover L_n");
         assert!(res.rectangles.len() <= res.bound, "{name}: ℓ ≤ n|G|");
+        // Cross-check with the bitmap cover kernel (which also makes the
+        // n = 5 row cheap: the word-level verdicts cost microseconds).
+        let rep = cover::verify_cover(n, &cover::extraction_to_set_rectangles(n, &res));
+        assert_eq!(rep.covers_exactly, covers, "{name}: bitmap verdict");
+        assert_eq!(rep.disjoint, disjoint, "{name}: bitmap disjointness");
         if expect_disjoint {
             assert!(disjoint, "{name}: unambiguous input ⇒ disjoint cover");
         }
@@ -267,7 +272,9 @@ pub fn t5_extraction() -> String {
             disjoint
         );
     };
-    for n in 2..=4 {
+    // n = 5 (2^10-word domain) is affordable since the cover verdicts
+    // moved to the popcount bitmap kernel.
+    for n in 2..=5 {
         run_one("example4 (uCFG)", &example4_ucfg(n), n, true);
     }
     for n in 2..=3 {
@@ -382,7 +389,9 @@ pub fn t7_discrepancy() -> String {
 pub fn t8_lower_bounds() -> String {
     let mut out = header("T8  Cover-size lower bounds: rank and discrepancy");
     let _ = writeln!(out, "{:>4} {:>14} {:>14}", "n", "rank GF(2)", "rank GF(p)");
-    for n in [2usize, 4, 6, 8, 10] {
+    // n = 12 rides on the subset-enumeration row build (the old O(4^n)
+    // construction stopped paying at 10).
+    for n in [2usize, 4, 6, 8, 10, 12] {
         let g2 = rank::rank_gf2(n);
         assert_eq!(g2, (1 << n) - 1, "GF(2) rank");
         let gp = (n <= 8).then(|| rank::rank_mod_p(n));

@@ -82,6 +82,97 @@ pub fn sweep_csv(max_n: usize, threads: usize) -> String {
     csv
 }
 
+/// Header of the bitmap-kernel sweep CSV (without trailing newline).
+///
+/// Unlike [`CSV_HEADER`]'s closed-form columns, every cell here is the
+/// output of an exhaustive popcount kernel on [`ucfg_core::wordset`]
+/// bitmaps, so the CSV doubles as an end-to-end determinism witness: the
+/// CI job byte-compares it across `UCFG_THREADS` settings. Fields above a
+/// kernel's size threshold render as [`CSV_NA`].
+pub const KERNEL_CSV_HEADER: &str =
+    "n,cover_rects,covers_exactly,max_overlap,histogram_buckets,full_family_discrepancy,exact_max_discrepancy,rank_gf2";
+
+/// The `n` values visited by a kernel sweep up to `max_n`: the family `𝓛`
+/// needs `n ≡ 0 (mod 4)`, so the schedule is exactly the multiples of 4.
+pub fn kernel_sweep_schedule(max_n: usize) -> Vec<usize> {
+    (1..).map(|k| 4 * k).take_while(|&n| n <= max_n).collect()
+}
+
+fn kernel_csv_row(n: usize) -> String {
+    use ucfg_core::cover::{overlap_histogram_threads, verify_cover_threads};
+    use ucfg_core::discrepancy::{
+        discrepancy_threads, exact_max_discrepancy_threads, family_side_patterns,
+    };
+    use ucfg_core::partition::OrderedPartition;
+    use ucfg_core::rank::rank_gf2_threads;
+    use ucfg_core::rectangle::SetRectangle;
+
+    let na = || CSV_NA.to_string();
+    // The 2^{2n}-domain kernels (cover verification, histogram) and the
+    // 2^n × 2^n rank matrix are exhaustive: keep them to n ≤ 10. The
+    // discrepancy kernels live in the 2^n family-rank domain and scale to
+    // every scheduled n. Inner kernels run serially — the rows themselves
+    // are the parallel unit ([`kernel_sweep_csv`]).
+    let (cover_rects, covers_exactly, max_overlap, histogram_buckets) = if n <= 10 {
+        let rects = ucfg_core::cover::example8_cover(n);
+        let report = verify_cover_threads(n, &rects, 1);
+        let hist = overlap_histogram_threads(n, &rects, 1);
+        (
+            report.size.to_string(),
+            report.covers_exactly.to_string(),
+            report.max_overlap.to_string(),
+            hist.len().to_string(),
+        )
+    } else {
+        (na(), na(), na(), na())
+    };
+    let part = OrderedPartition::new(n, 1, n);
+    let full_family_discrepancy = if n <= 20 {
+        let (s_all, t_all) = family_side_patterns(n, part);
+        let full = SetRectangle::new(
+            part,
+            s_all.into_iter().collect(),
+            t_all.into_iter().collect(),
+        );
+        discrepancy_threads(n, &full, 1).to_string()
+    } else {
+        na()
+    };
+    // Above n = 8 the [1, n] cut has 2^{n/2} > 26 T-patterns, so the exact
+    // scan is infeasible (`None`); don't even enumerate the side patterns.
+    let exact_max = if n <= 12 {
+        exact_max_discrepancy_threads(n, part, 1).map_or_else(na, |v| v.to_string())
+    } else {
+        na()
+    };
+    let rank = if n <= 10 {
+        rank_gf2_threads(n, 1).to_string()
+    } else {
+        na()
+    };
+    format!(
+        "{n},{cover_rects},{covers_exactly},{max_overlap},{histogram_buckets},{full_family_discrepancy},{exact_max},{rank}"
+    )
+}
+
+/// Render the bitmap-kernel sweep CSV (header + one row per scheduled
+/// `n`). Rows are computed on up to `threads` workers but emitted in
+/// schedule order, and every kernel is bit-identical across worker
+/// counts, so the output is byte-identical for every `threads >= 1` —
+/// the property the CI determinism job asserts.
+pub fn kernel_sweep_csv(max_n: usize, threads: usize) -> String {
+    let schedule = kernel_sweep_schedule(max_n);
+    let rows = par::par_map_threads(&schedule, threads.max(1), |&n| kernel_csv_row(n));
+    let mut csv = String::with_capacity(64 * (rows.len() + 1));
+    csv.push_str(KERNEL_CSV_HEADER);
+    csv.push('\n');
+    for row in rows {
+        csv.push_str(&row);
+        csv.push('\n');
+    }
+    csv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +219,46 @@ mod tests {
         assert_eq!(single.lines().count(), 1 + sweep_schedule(13).len());
         let last = single.lines().last().unwrap();
         assert!(last.starts_with("13,"), "endpoint row present: {last}");
+    }
+
+    #[test]
+    fn kernel_schedule_is_the_multiples_of_four() {
+        assert_eq!(kernel_sweep_schedule(3), Vec::<usize>::new());
+        assert_eq!(kernel_sweep_schedule(4), vec![4]);
+        assert_eq!(kernel_sweep_schedule(17), vec![4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn kernel_csv_is_byte_identical_across_thread_counts() {
+        let single = kernel_sweep_csv(12, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(single, kernel_sweep_csv(12, threads), "threads = {threads}");
+        }
+        assert_eq!(single.lines().next(), Some(KERNEL_CSV_HEADER));
+        assert_eq!(single.lines().count(), 1 + kernel_sweep_schedule(12).len());
+    }
+
+    #[test]
+    fn kernel_csv_rows_match_the_kernels() {
+        let csv = kernel_sweep_csv(8, 2);
+        let columns = KERNEL_CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), columns, "row {line:?}");
+        }
+        // n = 4: Example 8's 4 rectangles cover exactly, |A| − |B| over 𝓛
+        // is −2^{3m} = −8, and the [1, 4] cut is exactly scannable.
+        let row4: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row4[0], "4");
+        assert_eq!(row4[1], "4");
+        assert_eq!(row4[2], "true");
+        assert_eq!(row4[5], "-8");
+        let part = ucfg_core::partition::OrderedPartition::new(4, 1, 4);
+        let exact = ucfg_core::discrepancy::exact_max_discrepancy_threads(4, part, 1).unwrap();
+        assert_eq!(row4[6], exact.to_string());
+        assert_eq!(row4[7], ucfg_core::rank::rank_gf2_threads(4, 1).to_string());
+        // n = 8 keeps every column concrete too (all kernels feasible).
+        let row8 = csv.lines().nth(2).unwrap();
+        assert!(!row8.contains(CSV_NA), "no NA at n = 8: {row8:?}");
     }
 
     #[test]

@@ -256,13 +256,37 @@ pub fn usage() -> String {
        ucfg determinize              CFG → uCFG (the [20] route), grammar on stdin\n\
        ucfg extract <n>              Proposition 7 extraction demo\n\
        ucfg rank    <n>              Theorem 17 rank certificates (parallel;\n\
-                                     set UCFG_THREADS to pin the worker count)\n"
+                                     set UCFG_THREADS to pin the worker count)\n\
+     \n\
+     global flags:\n\
+       --threads N | -j N            override UCFG_THREADS for this invocation\n"
         .to_string()
 }
 
 /// Dispatch a full argument vector (without the program name).
+///
+/// A `--threads N` (or `-j N`) pair anywhere in the arguments overrides
+/// `UCFG_THREADS` for this invocation via
+/// [`ucfg_support::par::set_thread_count`] before the command runs; every
+/// parallel kernel downstream picks the count up from
+/// [`ucfg_support::par::thread_count`].
 pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
-    match args {
+    let mut rest: Vec<String> = Vec::with_capacity(args.len());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" || a == "-j" {
+            let v = it.next().ok_or_else(|| err("--threads needs a value"))?;
+            let t: usize = v
+                .parse()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or_else(|| err(format!("--threads needs a positive integer, got {v:?}")))?;
+            ucfg_support::par::set_thread_count(t);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    match &rest[..] {
         [cmd, n, word] if cmd == "member" => cmd_member(n, word),
         [cmd, n] if cmd == "count" => cmd_count(n),
         [cmd, n] if cmd == "sizes" => cmd_sizes(n),
@@ -273,7 +297,7 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd, n] if cmd == "rank" => cmd_rank(n),
         [] => Ok(usage()),
         _ => Err(err(format!(
-            "unrecognised arguments: {args:?}\n\n{}",
+            "unrecognised arguments: {rest:?}\n\n{}",
             usage()
         ))),
     }
@@ -368,6 +392,28 @@ mod tests {
         assert!(cmd_rank("11").is_err());
         // n = 10 skips the O(2^{3n}) prime-field elimination.
         assert!(cmd_rank("0").is_err());
+    }
+
+    #[test]
+    fn threads_flag_round_trips_to_the_par_layer() {
+        // `--threads N` must land in ucfg_support::par::thread_count for
+        // every kernel the command runs.
+        let out = dispatch(
+            &["--threads".into(), "3".into(), "count".into(), "2".into()],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("7"));
+        assert_eq!(ucfg_support::par::thread_count(), 3);
+        // The short form, with no command → usage.
+        assert!(dispatch(&["-j".into(), "2".into()], "")
+            .unwrap()
+            .contains("usage"));
+        assert_eq!(ucfg_support::par::thread_count(), 2);
+        // Malformed values are rejected.
+        assert!(dispatch(&["--threads".into()], "").is_err());
+        assert!(dispatch(&["--threads".into(), "0".into()], "").is_err());
+        assert!(dispatch(&["--threads".into(), "x".into()], "").is_err());
     }
 
     #[test]

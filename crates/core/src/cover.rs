@@ -9,6 +9,7 @@ use crate::discrepancy;
 use crate::extract::ExtractionResult;
 use crate::rectangle::{example8_rectangle, SetRectangle};
 use crate::words::{enumerate_ln, ln_contains, Word};
+use crate::wordset::{self, OverlapCounter, WordSet};
 use ucfg_support::par;
 
 /// Outcome of verifying a family of rectangles against `L_n`.
@@ -27,19 +28,55 @@ pub struct CoverReport {
     pub max_overlap: usize,
 }
 
-/// Verify a family of set rectangles against `L_n` by exhaustive scan.
+/// Verify a family of set rectangles against `L_n`.
 ///
-/// The `2^{2n}` word scan runs on [`ucfg_support::par`] workers
-/// (`UCFG_THREADS` override) and merges per-chunk partials (an all-AND and
-/// a max) in fixed chunk order, so the report is bit-identical to the
-/// serial scan for every thread count.
+/// Bitmap kernel: each rectangle's bitmap is built in `O(|S|·|T|)`
+/// ([`SetRectangle::to_wordset`]) and accumulated into a bit-sliced
+/// [`OverlapCounter`], which yields coverage (union equals the cached
+/// `L_n` bitmap), disjointness and the maximum overlap in one pass of
+/// word-level popcount algebra — no per-word `BTreeSet` probes. The old
+/// scan survives as [`verify_cover_scalar`], the differential reference
+/// of the property tests.
 pub fn verify_cover(n: usize, rects: &[SetRectangle]) -> CoverReport {
     verify_cover_threads(n, rects, par::thread_count())
 }
 
 /// [`verify_cover`] with an explicit worker count (`threads = 1` is the
-/// serial reference path).
+/// serial reference path). The rectangle bitmaps are built on the
+/// deterministic parallel map and folded in rectangle order, so the
+/// report is bit-identical for every thread count.
 pub fn verify_cover_threads(n: usize, rects: &[SetRectangle], threads: usize) -> CoverReport {
+    assert!(2 * n <= 26, "exhaustive verification is 2^{{2n}}");
+    let ln = wordset::ln_bitmap(n);
+    let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
+    let mut counter = OverlapCounter::new(1u64 << (2 * n));
+    for bm in &bitmaps {
+        counter.add(bm);
+    }
+    let max_overlap = counter.max_count();
+    CoverReport {
+        size: rects.len(),
+        covers_exactly: counter.any() == *ln,
+        disjoint: max_overlap <= 1,
+        all_balanced: rects.iter().all(SetRectangle::is_balanced),
+        max_overlap,
+    }
+}
+
+/// The scalar reference for [`verify_cover`]: per-word membership probes
+/// over the whole `2^{2n}` domain.
+pub fn verify_cover_scalar(n: usize, rects: &[SetRectangle]) -> CoverReport {
+    verify_cover_scalar_threads(n, rects, par::thread_count())
+}
+
+/// [`verify_cover_scalar`] with an explicit worker count; per-chunk
+/// partials (an all-AND and a max) merge in fixed chunk order, so the
+/// report is bit-identical to the serial scan for every thread count.
+pub fn verify_cover_scalar_threads(
+    n: usize,
+    rects: &[SetRectangle],
+    threads: usize,
+) -> CoverReport {
     assert!(2 * n <= 26, "exhaustive verification is 2^{{2n}}");
     let partials = par::map_ranges_threads(0..(1u64 << (2 * n)), threads, |range| {
         let mut covers_exactly = true;
@@ -84,10 +121,37 @@ pub fn extraction_to_set_rectangles(n: usize, res: &ExtractionResult) -> Vec<Set
 /// `|A ∩ L_n| − |B ∩ L_n| = 12^m − 8^m`. Returns the vector of signed
 /// discrepancies and whether the identity holds.
 pub fn discrepancy_accounting(n: usize, rects: &[SetRectangle]) -> (Vec<i64>, bool) {
+    discrepancy_accounting_threads(n, rects, par::thread_count())
+}
+
+/// [`discrepancy_accounting`] with an explicit worker count: the
+/// rectangles are spread over the deterministic parallel map (each
+/// discrepancy computed with the serial bitmap kernel, avoiding nested
+/// thread pools); results stay in rectangle order, so the vector is
+/// bit-identical for every thread count.
+pub fn discrepancy_accounting_threads(
+    n: usize,
+    rects: &[SetRectangle],
+    threads: usize,
+) -> (Vec<i64>, bool) {
     assert!(discrepancy::supports_blocks(n));
-    // One exhaustive 𝓛-scan per rectangle: spread the rectangles over the
-    // deterministic parallel map (results stay in rectangle order).
-    let discs: Vec<i64> = par::par_map(rects, |r| discrepancy::discrepancy(n, r));
+    let discs: Vec<i64> = par::par_map_threads(rects, threads, |r| {
+        discrepancy::discrepancy_threads(n, r, 1)
+    });
+    let total: i64 = discs.iter().sum();
+    let m = (n / 4) as u64;
+    let expect = discrepancy::gap(m).to_u64().expect("small n") as i64;
+    (discs, total == expect)
+}
+
+/// The scalar reference for [`discrepancy_accounting`]: per-rectangle
+/// exhaustive `2^n` family scans ([`discrepancy::discrepancy_scalar`]).
+pub fn discrepancy_accounting_scalar(n: usize, rects: &[SetRectangle]) -> (Vec<i64>, bool) {
+    assert!(discrepancy::supports_blocks(n));
+    let discs: Vec<i64> = rects
+        .iter()
+        .map(|r| discrepancy::discrepancy_scalar_threads(n, r, 1))
+        .collect();
     let total: i64 = discs.iter().sum();
     let m = (n / 4) as u64;
     let expect = discrepancy::gap(m).to_u64().expect("small n") as i64;
@@ -113,8 +177,43 @@ pub fn implied_size_bound(n: usize, rects: &[SetRectangle]) -> usize {
 }
 
 /// Count the words of `L_n` covered exactly once / more than once — the
-/// quantitative "how non-disjoint is Example 8" figure.
+/// quantitative "how non-disjoint is Example 8" figure. `hist[k]` is the
+/// number of `L_n` members hit by exactly `k` rectangles; the length is
+/// the maximum hit count attained on `L_n` plus one.
 pub fn overlap_histogram(n: usize, rects: &[SetRectangle]) -> Vec<usize> {
+    overlap_histogram_threads(n, rects, par::thread_count())
+}
+
+/// [`overlap_histogram`] with an explicit worker count.
+///
+/// Bitmap kernel: the rectangle bitmaps (built on the deterministic
+/// parallel map) feed a bit-sliced [`OverlapCounter`]; `hist[k]` is then
+/// the popcount of the exact-`k` slice intersected with the cached `L_n`
+/// bitmap. Bit-identical to [`overlap_histogram_scalar`] for every
+/// thread count.
+pub fn overlap_histogram_threads(n: usize, rects: &[SetRectangle], threads: usize) -> Vec<usize> {
+    assert!(2 * n <= 26, "exhaustive histogram is 2^{{2n}}");
+    let ln = wordset::ln_bitmap(n);
+    let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
+    let mut counter = OverlapCounter::new(1u64 << (2 * n));
+    for bm in &bitmaps {
+        counter.add(bm);
+    }
+    // The counter's maximum ranges over all words; the histogram is
+    // indexed by hits over L_n members only, so trailing zero buckets
+    // (attained only outside L_n) are trimmed to match the scalar shape.
+    let mut hist: Vec<usize> = (0..=counter.max_count())
+        .map(|k| counter.exactly(k).and_count(&ln) as usize)
+        .collect();
+    while hist.len() > 1 && hist.last() == Some(&0) {
+        hist.pop();
+    }
+    hist
+}
+
+/// The scalar reference for [`overlap_histogram`]: per-member rectangle
+/// probes over the enumerated `L_n`.
+pub fn overlap_histogram_scalar(n: usize, rects: &[SetRectangle]) -> Vec<usize> {
     let mut hist = Vec::new();
     for w in enumerate_ln(n) {
         let hits = rects.iter().filter(|r| r.contains(w)).count();
@@ -224,5 +323,70 @@ mod tests {
         rects.pop(); // drop one slice → words with only the last witness are lost
         let rep = verify_cover(n, &rects);
         assert!(!rep.covers_exactly);
+        assert_eq!(rep, verify_cover_scalar(n, &rects));
+    }
+
+    #[test]
+    fn bitmap_cover_kernels_match_scalar_references() {
+        for n in [3usize, 4, 5] {
+            let mut rects = example8_cover(n);
+            assert_eq!(
+                verify_cover(n, &rects),
+                verify_cover_scalar(n, &rects),
+                "full cover, n={n}"
+            );
+            assert_eq!(
+                overlap_histogram(n, &rects),
+                overlap_histogram_scalar(n, &rects),
+                "full cover histogram, n={n}"
+            );
+            rects.pop();
+            assert_eq!(
+                verify_cover(n, &rects),
+                verify_cover_scalar(n, &rects),
+                "partial cover, n={n}"
+            );
+            assert_eq!(
+                overlap_histogram(n, &rects),
+                overlap_histogram_scalar(n, &rects),
+                "partial cover histogram, n={n}"
+            );
+        }
+        // The empty family: nothing covered, histogram collapses to the
+        // single zero-hits bucket.
+        let rep = verify_cover(3, &[]);
+        assert_eq!(rep, verify_cover_scalar(3, &[]));
+        assert!(!rep.covers_exactly);
+        assert_eq!(rep.max_overlap, 0);
+        let hist = overlap_histogram(3, &[]);
+        assert_eq!(hist, overlap_histogram_scalar(3, &[]));
+        assert_eq!(
+            hist,
+            vec![crate::words::ln_size(3).to_u64().unwrap() as usize]
+        );
+    }
+
+    #[test]
+    fn parallel_histogram_and_accounting_are_bit_identical() {
+        let n = 4;
+        let rects = example8_cover(n);
+        let hist1 = overlap_histogram_threads(n, &rects, 1);
+        let (discs1, ok1) = discrepancy_accounting_threads(n, &rects, 1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                hist1,
+                overlap_histogram_threads(n, &rects, threads),
+                "hist threads={threads}"
+            );
+            let (discs, ok) = discrepancy_accounting_threads(n, &rects, threads);
+            assert_eq!((&discs1, ok1), (&discs, ok), "accounting threads={threads}");
+        }
+        assert_eq!(hist1, overlap_histogram(n, &rects), "hist default");
+        let (discs_scalar, ok_scalar) = discrepancy_accounting_scalar(n, &rects);
+        assert_eq!(
+            (&discs1, ok1),
+            (&discs_scalar, ok_scalar),
+            "scalar accounting"
+        );
     }
 }

@@ -52,6 +52,33 @@ pub fn in_b(n: usize, w: Word) -> bool {
     in_family(n, w) && witness_count(n, w).is_multiple_of(2)
 }
 
+/// Perfect rank of a family member into `[0, 2^n)`: each of the `n/2`
+/// blocks holds exactly one element, and its index within the block
+/// (`0..4`) contributes two bits of the rank. This bijection is what lets
+/// the bitmap kernels index `𝓛` with `2^n` bits instead of the `2^{2n}`
+/// word domain (see [`crate::wordset`]).
+pub fn family_rank(n: usize, w: Word) -> u64 {
+    debug_assert!(in_family(n, w), "rank is defined on 𝓛 only");
+    let mut rank = 0u64;
+    for t in 0..n / 2 {
+        let nib = w >> (4 * t) & 0b1111;
+        rank |= u64::from(nib.trailing_zeros()) << (2 * t);
+    }
+    rank
+}
+
+/// Inverse of [`family_rank`]: the member of `𝓛` with rank `i`.
+pub fn family_unrank(n: usize, i: u64) -> Word {
+    debug_assert!(supports_blocks(n));
+    debug_assert!(i < 1u64 << n, "rank domain is [0, 2^n)");
+    let mut w = 0u64;
+    for t in 0..n / 2 {
+        let idx = i >> (2 * t) & 0b11;
+        w |= 1u64 << (4 * t + idx as usize);
+    }
+    w
+}
+
 /// Enumerate `𝓛` (size `2^n`; experiment-scale `n`).
 pub fn enumerate_family(n: usize) -> Vec<Word> {
     assert!(supports_blocks(n) && n <= 24, "family enumeration is 2^n");
@@ -112,20 +139,39 @@ pub fn lemma18_inequality_holds(m: u64) -> bool {
     &g * &g > BigUint::pow2(7 * m)
 }
 
-/// Signed discrepancy `|R ∩ A| − |R ∩ B|` of a rectangle, by exhaustive
-/// enumeration of `𝓛`.
+/// Signed discrepancy `|R ∩ A| − |R ∩ B|` of a rectangle.
 ///
-/// The `2^n` family scan runs on [`ucfg_support::par`] workers
-/// (`UCFG_THREADS` override); partial integer sums merge in fixed chunk
-/// order, so the result is bit-identical to the serial scan for every
-/// thread count.
+/// Bitmap kernel: the rectangle's family-rank bitmap is built in
+/// `O(|S|·|T|)` ([`crate::wordset::family_rectangle_bitmap`]) and the two
+/// intersection sizes are popcounts against the cached `A`/`B` bitmaps —
+/// no `2^n` family scan. The scalar scan survives as
+/// [`discrepancy_scalar`], the differential reference of the property
+/// tests.
 pub fn discrepancy(n: usize, r: &SetRectangle) -> i64 {
     discrepancy_threads(n, r, ucfg_support::par::thread_count())
 }
 
 /// [`discrepancy`] with an explicit worker count (`threads = 1` is the
-/// serial reference path).
+/// serial reference path). The bitmap build OR-merges per-chunk partials
+/// and the popcounts are order-free, so the result is bit-identical for
+/// every thread count.
 pub fn discrepancy_threads(n: usize, r: &SetRectangle, threads: usize) -> i64 {
+    let rect = crate::wordset::family_rectangle_bitmap_threads(n, r, threads);
+    let a = crate::wordset::family_a_bitmap(n);
+    let b = crate::wordset::family_b_bitmap(n);
+    rect.and_count(&a) as i64 - rect.and_count(&b) as i64
+}
+
+/// The scalar reference for [`discrepancy`]: exhaustive `2^n` family scan
+/// with per-member [`SetRectangle::contains`] probes.
+pub fn discrepancy_scalar(n: usize, r: &SetRectangle) -> i64 {
+    discrepancy_scalar_threads(n, r, ucfg_support::par::thread_count())
+}
+
+/// [`discrepancy_scalar`] with an explicit worker count; partial integer
+/// sums merge in fixed chunk order, so the result is bit-identical to the
+/// serial scan for every thread count.
+pub fn discrepancy_scalar_threads(n: usize, r: &SetRectangle, threads: usize) -> i64 {
     let fam = enumerate_family(n);
     ucfg_support::par::map_ranges_threads(0..fam.len() as u64, threads, |range| {
         fam[range.start as usize..range.end as usize]
@@ -277,31 +323,18 @@ pub fn adversarial_rectangle<R: Rng + ?Sized>(
     (SetRectangle::new(partition, s, t), d)
 }
 
-/// *Exact* maximum `||R∩A| − |R∩B||` over **all** rectangles of a
-/// partition, by enumerating every `T ⊆` (T-side patterns) and pairing it
-/// with its optimal `S` (for the maximising rectangle, `S` is always the
-/// set of rows with positive — resp. negative — total, so scanning all `T`
-/// with optimal `S` finds the true optimum).
-///
-/// Feasible only when the T-side has few patterns (`2^{|T-patterns|}`
-/// subsets); returns `None` above 20 patterns. For `n = 4` this covers
-/// every partition; for `n = 8` the neat ones.
-///
-/// The `2^{|T-patterns|}` subset scan runs on [`ucfg_support::par`]
-/// workers (`UCFG_THREADS` override); per-chunk maxima merge in fixed
-/// chunk order, so the result is bit-identical to the serial scan for
-/// every thread count.
-pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u64> {
-    exact_max_discrepancy_threads(n, partition, ucfg_support::par::thread_count())
-}
+/// The T-pattern cap for [`exact_max_discrepancy`]: above this many
+/// T-side patterns the `2^{|T-patterns|}` subset scan is declined
+/// (`None`). The Gray-code walk costs `O(|S|)` per subset, so 26 patterns
+/// (a 2^26 ≈ 6.7·10⁷-step scan) completes in seconds; the old full-rescan
+/// implementation capped out at 20.
+pub const EXACT_MAX_T_PATTERNS: usize = 26;
 
-/// [`exact_max_discrepancy`] with an explicit worker count (`threads = 1`
-/// is the serial reference path).
-pub fn exact_max_discrepancy_threads(
-    n: usize,
-    partition: OrderedPartition,
-    threads: usize,
-) -> Option<u64> {
+/// The distinct side patterns of `𝓛` under a partition: the projections
+/// of the family onto `Π₀` (the `S` candidates) and `Π₁` (the `T`
+/// candidates), each in ascending mask order. Rectangles built from any
+/// other patterns never meet `𝓛`.
+pub fn family_side_patterns(n: usize, partition: OrderedPartition) -> (Vec<u64>, Vec<u64>) {
     let fam = enumerate_family(n);
     let ins = partition.inside();
     let outs = partition.outside();
@@ -317,40 +350,99 @@ pub fn exact_max_discrepancy_threads(
         .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
-    if t_all.len() > 20 {
+    (s_all, t_all)
+}
+
+/// The `{−1, 0, +1}` score matrix of a partition in **column-major**
+/// layout (`f[j·rows + i]` is the sign of `s_all[i] ∪ t_all[j]`), the
+/// input format of [`gray_subset_max_threads`].
+fn family_score_matrix(n: usize, s_all: &[u64], t_all: &[u64]) -> Vec<i64> {
+    let rows = s_all.len();
+    let mut f = vec![0i64; rows * t_all.len()];
+    for (j, &v) in t_all.iter().enumerate() {
+        for (i, &u) in s_all.iter().enumerate() {
+            let w = u | v;
+            if in_family(n, w) {
+                f[j * rows + i] = if witness_count(n, w) % 2 == 1 { 1 } else { -1 };
+            }
+        }
+    }
+    f
+}
+
+/// *Exact* maximum `||R∩A| − |R∩B||` over **all** rectangles of a
+/// partition, by enumerating every `T ⊆` (T-side patterns) and pairing it
+/// with its optimal `S` (for the maximising rectangle, `S` is always the
+/// set of rows with positive — resp. negative — total, so scanning all `T`
+/// with optimal `S` finds the true optimum).
+///
+/// Feasible only when the T-side has few patterns (`2^{|T-patterns|}`
+/// subsets); returns `None` above [`EXACT_MAX_T_PATTERNS`]. For `n = 4`
+/// this covers every partition; for `n = 8` the neat ones.
+///
+/// The scan is a Gray-code walk ([`gray_subset_max_threads`]): each step
+/// flips a single T-pattern in or out and updates the per-row scores and
+/// the pos/neg totals incrementally, `O(|S|)` per subset instead of the
+/// `O(|S|·|T|)` rescan kept as [`exact_max_discrepancy_scalar`].
+pub fn exact_max_discrepancy(n: usize, partition: OrderedPartition) -> Option<u64> {
+    exact_max_discrepancy_threads(n, partition, ucfg_support::par::thread_count())
+}
+
+/// [`exact_max_discrepancy`] with an explicit worker count (`threads = 1`
+/// is the serial reference path).
+pub fn exact_max_discrepancy_threads(
+    n: usize,
+    partition: OrderedPartition,
+    threads: usize,
+) -> Option<u64> {
+    let (s_all, t_all) = family_side_patterns(n, partition);
+    if t_all.len() > EXACT_MAX_T_PATTERNS {
         return None;
     }
-    // f[u][v] ∈ {−1, 0, +1}.
-    let f: Vec<Vec<i64>> = s_all
-        .iter()
-        .map(|&u| {
-            t_all
-                .iter()
-                .map(|&v| {
-                    if in_family(n, u | v) {
-                        if witness_count(n, u | v) % 2 == 1 {
-                            1
-                        } else {
-                            -1
-                        }
-                    } else {
-                        0
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let f = family_score_matrix(n, &s_all, &t_all);
+    Some(gray_subset_max_threads(
+        &f,
+        s_all.len(),
+        t_all.len(),
+        threads,
+    ))
+}
+
+/// The scalar reference for [`exact_max_discrepancy`]: a full
+/// `O(|S|·|T|)` score rescan per subset. Kept for the differential
+/// property tests; use the Gray-code path for real scans.
+pub fn exact_max_discrepancy_scalar(n: usize, partition: OrderedPartition) -> Option<u64> {
+    exact_max_discrepancy_scalar_threads(n, partition, ucfg_support::par::thread_count())
+}
+
+/// [`exact_max_discrepancy_scalar`] with an explicit worker count;
+/// per-chunk maxima merge in fixed chunk order, so the result is
+/// bit-identical to the serial scan for every thread count.
+pub fn exact_max_discrepancy_scalar_threads(
+    n: usize,
+    partition: OrderedPartition,
+    threads: usize,
+) -> Option<u64> {
+    let (s_all, t_all) = family_side_patterns(n, partition);
+    if t_all.len() > EXACT_MAX_T_PATTERNS {
+        return None;
+    }
+    let rows = s_all.len();
+    let f = family_score_matrix(n, &s_all, &t_all);
     let best = ucfg_support::par::map_ranges_threads(0..(1u64 << t_all.len()), threads, |range| {
         let mut chunk_best: u64 = 0;
         for t_mask in range {
             let mut pos: i64 = 0;
             let mut neg: i64 = 0;
-            for row in &f {
+            for i in 0..rows {
                 let mut score: i64 = 0;
-                let mut m = t_mask as u32;
+                // A u64 mask throughout: the pre-Gray implementation
+                // narrowed this to u32, silently dropping columns ≥ 32 had
+                // the cap ever been raised past 32 patterns.
+                let mut m: u64 = t_mask;
                 while m != 0 {
                     let j = m.trailing_zeros() as usize;
-                    score += row[j];
+                    score += f[j * rows + i];
                     m &= m - 1;
                 }
                 if score > 0 {
@@ -367,6 +459,84 @@ pub fn exact_max_discrepancy_threads(
     .max()
     .unwrap_or(0);
     Some(best)
+}
+
+/// The Gray-code subset-maximum kernel behind [`exact_max_discrepancy`],
+/// public so the bench suite can drive it on synthetic matrices.
+///
+/// For a column-major score matrix `f` (`f[j·rows + i]`, `rows × cols`),
+/// every column subset `T` induces per-row scores
+/// `score_i(T) = Σ_{j ∈ T} f[j·rows + i]`; the kernel returns the maximum
+/// over all `2^cols` subsets of
+/// `max(Σ_{score_i > 0} score_i, −Σ_{score_i ≤ 0} score_i)` — i.e. the
+/// best rectangle discrepancy once the row set is chosen optimally for
+/// the subset.
+///
+/// Subsets are visited in Gray-code order (`g(i) = i ⊕ (i >> 1)`): step
+/// `i` flips exactly column `trailing_zeros(i)`, so the per-row scores
+/// and the pos/neg totals update in `O(rows)` per subset. The range is
+/// chunked on [`ucfg_support::par`]; each chunk initialises its scores at
+/// its first Gray code (`O(rows·cols)` once) and walks from there, and
+/// per-chunk maxima merge by `max`, so the result is bit-identical for
+/// every `threads ≥ 1`.
+pub fn gray_subset_max_threads(f: &[i64], rows: usize, cols: usize, threads: usize) -> u64 {
+    assert!(
+        cols <= EXACT_MAX_T_PATTERNS,
+        "2^{cols}-subset scan exceeds the documented cap"
+    );
+    assert_eq!(f.len(), rows * cols, "column-major rows×cols matrix");
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    let gray = |i: u64| i ^ (i >> 1);
+    ucfg_support::par::map_ranges_threads(0..(1u64 << cols), threads, |range| {
+        // Scores of the chunk's first subset, from scratch.
+        let mut scores = vec![0i64; rows];
+        let mut m = gray(range.start);
+        while m != 0 {
+            let j = m.trailing_zeros() as usize;
+            for (s, &c) in scores.iter_mut().zip(&f[j * rows..(j + 1) * rows]) {
+                *s += c;
+            }
+            m &= m - 1;
+        }
+        let mut pos: i64 = 0;
+        let mut neg: i64 = 0;
+        for &s in &scores {
+            if s > 0 {
+                pos += s;
+            } else {
+                neg += s;
+            }
+        }
+        let mut best = (pos as u64).max(neg.unsigned_abs());
+        // Walk the rest of the chunk: step i flips column trailing_zeros(i)
+        // to the value it has in gray(i).
+        for i in range.start + 1..range.end {
+            let j = i.trailing_zeros() as usize;
+            let added = gray(i) >> j & 1 == 1;
+            for (s, &c) in scores.iter_mut().zip(&f[j * rows..(j + 1) * rows]) {
+                let old = *s;
+                let new = if added { old + c } else { old - c };
+                *s = new;
+                if old > 0 {
+                    pos -= old;
+                } else {
+                    neg -= old;
+                }
+                if new > 0 {
+                    pos += new;
+                } else {
+                    neg += new;
+                }
+            }
+            best = best.max(pos as u64).max(neg.unsigned_abs());
+        }
+        best
+    })
+    .into_iter()
+    .max()
+    .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -389,6 +559,20 @@ mod tests {
             // Non-members: empty set, everything.
             assert!(!in_family(n, 0));
             assert!(!in_family(n, low_mask(2 * n)));
+        }
+    }
+
+    #[test]
+    fn family_rank_is_a_bijection() {
+        for n in [4usize, 8] {
+            let mut seen = vec![false; 1 << n];
+            for &w in &enumerate_family(n) {
+                let i = family_rank(n, w);
+                assert!(!seen[i as usize], "n={n}: rank {i} hit twice");
+                seen[i as usize] = true;
+                assert_eq!(family_unrank(n, i), w, "n={n} w={w:b}");
+            }
+            assert!(seen.iter().all(|&s| s), "n={n}: rank is onto [0, 2^n)");
         }
     }
 
@@ -532,6 +716,90 @@ mod tests {
             }
             assert_eq!(serial, exact_max_discrepancy(n, part), "{part:?} default");
         }
+    }
+
+    #[test]
+    fn gray_walk_matches_scalar_rescan() {
+        let n = 4;
+        for part in OrderedPartition::all_balanced(n) {
+            assert_eq!(
+                exact_max_discrepancy(n, part),
+                exact_max_discrepancy_scalar(n, part),
+                "{part:?}"
+            );
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    exact_max_discrepancy_threads(n, part, threads),
+                    exact_max_discrepancy_scalar_threads(n, part, threads),
+                    "{part:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_discrepancy_matches_scalar() {
+        let n = 8;
+        let mut rng = StdRng::seed_from_u64(12);
+        for part in OrderedPartition::all_balanced(n) {
+            let r = random_family_rectangle(n, part, &mut rng);
+            assert_eq!(discrepancy(n, &r), discrepancy_scalar(n, &r), "{part:?}");
+        }
+        // Empty rectangle: both zero.
+        let part = OrderedPartition::new(n, 1, n);
+        let empty = SetRectangle::new(part, BTreeSet::new(), BTreeSet::new());
+        assert_eq!(discrepancy(n, &empty), 0);
+        assert_eq!(discrepancy_scalar(n, &empty), 0);
+        // The full-family rectangle: discrepancy = |A| − |B| = −2^{3m}.
+        let (s_all, t_all) = family_side_patterns(n, part);
+        let full = SetRectangle::new(
+            part,
+            s_all.into_iter().collect(),
+            t_all.into_iter().collect(),
+        );
+        let m = (n / 4) as u64;
+        assert_eq!(discrepancy(n, &full), -(1i64 << (3 * m)));
+        assert_eq!(discrepancy_scalar(n, &full), discrepancy(n, &full));
+    }
+
+    #[test]
+    fn gray_kernel_on_synthetic_matrices() {
+        // Exhaustive cross-check on a dense synthetic matrix: the kernel
+        // must agree with a brute-force subset scan.
+        let (rows, cols) = (5usize, 7usize);
+        let f: Vec<i64> = (0..rows * cols)
+            .map(|k| ((k * 37 + 11) % 5) as i64 - 2)
+            .collect();
+        let brute = {
+            let mut best = 0u64;
+            for mask in 0u64..(1 << cols) {
+                let (mut pos, mut neg) = (0i64, 0i64);
+                for i in 0..rows {
+                    let score: i64 = (0..cols)
+                        .filter(|&j| mask >> j & 1 == 1)
+                        .map(|j| f[j * rows + i])
+                        .sum();
+                    if score > 0 {
+                        pos += score;
+                    } else {
+                        neg += score;
+                    }
+                }
+                best = best.max(pos as u64).max(neg.unsigned_abs());
+            }
+            best
+        };
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                gray_subset_max_threads(&f, rows, cols, threads),
+                brute,
+                "threads={threads}"
+            );
+        }
+        // Degenerate shapes.
+        assert_eq!(gray_subset_max_threads(&[], 0, 0, 4), 0);
+        assert_eq!(gray_subset_max_threads(&[], 0, 3, 4), 0);
+        assert_eq!(gray_subset_max_threads(&[1, -1], 2, 1, 4), 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! * [`neat`] — the Lemma 21 decomposition;
 //! * [`rank`] — the Theorem 17 rank-bound certificates;
 //! * [`cover`] — cover verification and end-to-end accounting;
+//! * [`wordset`] — popcount bitmaps backing the exhaustive kernels;
 //! * [`separation`] — the Theorem 1 size tables.
 //!
 //! # Example — the Theorem 1 pipeline at n = 3
@@ -56,6 +57,7 @@ pub mod rank;
 pub mod rectangle;
 pub mod separation;
 pub mod words;
+pub mod wordset;
 
 pub use partition::OrderedPartition;
 pub use rectangle::{SetRectangle, WordRectangle};

@@ -61,6 +61,22 @@ impl SetRectangle {
             .flat_map(move |&a| self.t.iter().map(move |&b| a | b))
     }
 
+    /// The rectangle's bitmap over the word domain `{a,b}^{2n}`, built in
+    /// `O(|S|·|T|)` inserts — one per member `u ∪ v` — instead of scanning
+    /// all `2^{2n}` words with [`SetRectangle::contains`]. The sides are
+    /// over disjoint position sets, so distinct pairs give distinct words
+    /// and the bitmap has exactly [`SetRectangle::len`] bits set.
+    pub fn to_wordset(&self, n: usize) -> crate::wordset::WordSet {
+        assert_eq!(n, self.partition.n, "rectangle is over words of length 2n");
+        let mut out = crate::wordset::WordSet::empty_words(n);
+        for &u in &self.s {
+            for &v in &self.t {
+                out.insert(u | v);
+            }
+        }
+        out
+    }
+
     /// The smallest rectangle over `partition` containing all of `set`
     /// (project to both sides and take the product).
     pub fn closure(partition: OrderedPartition, set: &BTreeSet<Word>) -> SetRectangle {
@@ -320,6 +336,23 @@ mod tests {
                 "w={w:08b}"
             );
         }
+    }
+
+    #[test]
+    fn to_wordset_matches_contains() {
+        let n = 4;
+        for k in 0..n {
+            let sr = example8_rectangle(n, k).to_set_rectangle(n);
+            let bm = sr.to_wordset(n);
+            assert_eq!(bm.count() as usize, sr.len(), "k={k}");
+            for w in 0..(1u64 << (2 * n)) {
+                assert_eq!(bm.contains(w), sr.contains(w), "k={k} w={w:b}");
+            }
+        }
+        // The empty rectangle yields the empty bitmap.
+        let part = OrderedPartition::new(n, 1, n);
+        let empty = SetRectangle::new(part, BTreeSet::new(), BTreeSet::from([0]));
+        assert!(empty.to_wordset(n).is_empty());
     }
 
     #[test]

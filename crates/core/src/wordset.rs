@@ -1,0 +1,693 @@
+//! Popcount word-set bitmaps: one bit per element of a `u64`-keyed
+//! domain, `Vec<u64>` backed.
+//!
+//! The exhaustive kernels of this crate all reduce to set algebra over two
+//! kinds of domain:
+//!
+//! * the **word domain** `{a,b}^{2n}` — bit `w` stands for the packed word
+//!   `w` of [`crate::words`] (`2^{2n}` bits);
+//! * the **family domain** — bit `i` stands for the `i`-th member of the
+//!   Section 4.2 family `𝓛` under the perfect rank of
+//!   [`crate::discrepancy::family_rank`] (`2^n` bits).
+//!
+//! A [`WordSet`] is agnostic to the interpretation: it is a plain bitset
+//! over `0..domain` with popcount set algebra (`and` / `or` / `andnot` /
+//! [`count`](WordSet::count) / [`and_count`](WordSet::and_count) /
+//! [`iter`](WordSet::iter)), so one `u64` of machine work covers 64
+//! scalar membership probes. Addressing is full `u64` (conceptually up to
+//! `2n = 64`), but *materialisation* is capped at [`MAX_DOMAIN_BITS`] bits
+//! so a stray call can never allocate beyond experiment scale.
+//!
+//! The canonical sets of the reproduction — `L_n`, the family `𝓛`, and
+//! its `A`/`B` split — are built once per `n` and cached process-wide
+//! ([`ln_bitmap`], [`family_bitmap`], [`family_a_bitmap`],
+//! [`family_b_bitmap`]); rectangle bitmaps are built in `O(|S|·|T|)` by
+//! [`crate::rectangle::SetRectangle::to_wordset`] instead of scanning the
+//! full domain.
+//!
+//! ```
+//! use ucfg_core::wordset::{self, WordSet};
+//!
+//! let n = 3;
+//! let ln = wordset::ln_bitmap(n);
+//! assert_eq!(ln.count(), 37); // 4³ − 3³
+//! let all = WordSet::full(1u64 << (2 * n));
+//! assert_eq!(all.andnot(&ln).count(), 27); // 3³ non-members
+//! ```
+
+use crate::discrepancy::{family_rank, in_a, supports_blocks};
+use crate::words::{ln_contains, Word};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use ucfg_support::par;
+
+/// Materialisation cap: a [`WordSet`] never allocates more than this many
+/// bits (`2^30` bits = 128 MiB). Word-domain sets therefore stop at
+/// `2n ≤ 30`, comfortably above the `2n ≤ 26` exhaustive-scan ceiling of
+/// the kernels; family-domain sets stop at `n ≤ 30`.
+pub const MAX_DOMAIN_BITS: u64 = 1 << 30;
+
+/// A bitset over the domain `0..domain` with popcount set algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordSet {
+    /// Number of addressable bits (bit `k` ⇔ element `k`).
+    domain: u64,
+    /// The backing words; bit `k` lives at `bits[k / 64] >> (k % 64)`.
+    bits: Vec<u64>,
+}
+
+fn blocks_for(domain: u64) -> usize {
+    assert!(
+        domain <= MAX_DOMAIN_BITS,
+        "WordSet domain {domain} exceeds the materialisation cap {MAX_DOMAIN_BITS}"
+    );
+    domain.div_ceil(64) as usize
+}
+
+impl WordSet {
+    /// The empty set over `0..domain`.
+    pub fn empty(domain: u64) -> WordSet {
+        WordSet {
+            domain,
+            bits: vec![0u64; blocks_for(domain)],
+        }
+    }
+
+    /// The full set `0..domain`.
+    pub fn full(domain: u64) -> WordSet {
+        let blocks = blocks_for(domain);
+        let mut bits = vec![u64::MAX; blocks];
+        if let Some(last) = bits.last_mut() {
+            let tail = domain % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        WordSet { domain, bits }
+    }
+
+    /// The empty word-domain set for words of length `2n`.
+    pub fn empty_words(n: usize) -> WordSet {
+        Self::empty(1u64 << (2 * n))
+    }
+
+    /// Build from a membership predicate by scanning the whole domain on
+    /// [`par::thread_count`] workers. The output is a pure function of the
+    /// predicate, so it is bit-identical for every worker count.
+    pub fn from_pred(domain: u64, pred: impl Fn(u64) -> bool + Sync) -> WordSet {
+        Self::from_pred_threads(domain, par::thread_count(), pred)
+    }
+
+    /// [`WordSet::from_pred`] with an explicit worker count.
+    pub fn from_pred_threads(
+        domain: u64,
+        threads: usize,
+        pred: impl Fn(u64) -> bool + Sync,
+    ) -> WordSet {
+        let blocks = blocks_for(domain);
+        // Chunk on 64-bit block boundaries so every worker owns whole
+        // backing words and the slabs concatenate without masking.
+        let chunk = blocks.div_ceil(64).max(1);
+        let num_chunks = blocks.div_ceil(chunk).max(1);
+        let slabs = par::run_chunks(num_chunks, threads, |ci| {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(blocks);
+            let mut slab = vec![0u64; hi - lo];
+            for (slot, bi) in slab.iter_mut().zip(lo..hi) {
+                let base = bi as u64 * 64;
+                let top = 64.min(domain - base);
+                let mut word = 0u64;
+                for b in 0..top {
+                    if pred(base + b) {
+                        word |= 1u64 << b;
+                    }
+                }
+                *slot = word;
+            }
+            slab
+        });
+        let mut bits = Vec::with_capacity(blocks);
+        for slab in slabs {
+            bits.extend_from_slice(&slab);
+        }
+        WordSet { domain, bits }
+    }
+
+    /// The addressable domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Insert element `k`.
+    #[inline]
+    pub fn insert(&mut self, k: u64) {
+        debug_assert!(
+            k < self.domain,
+            "element {k} outside domain {}",
+            self.domain
+        );
+        self.bits[(k / 64) as usize] |= 1u64 << (k % 64);
+    }
+
+    /// Remove element `k`.
+    #[inline]
+    pub fn remove(&mut self, k: u64) {
+        debug_assert!(k < self.domain);
+        self.bits[(k / 64) as usize] &= !(1u64 << (k % 64));
+    }
+
+    /// Membership probe.
+    #[inline]
+    pub fn contains(&self, k: u64) -> bool {
+        k < self.domain && self.bits[(k / 64) as usize] >> (k % 64) & 1 == 1
+    }
+
+    /// `|self|` by popcount.
+    pub fn count(&self) -> u64 {
+        self.bits.iter().map(|b| u64::from(b.count_ones())).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// `|self ∩ other|` without materialising the intersection — the
+    /// workhorse of the discrepancy and cover kernels.
+    pub fn and_count(&self, other: &WordSet) -> u64 {
+        self.check_domain(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| u64::from((a & b).count_ones()))
+            .sum()
+    }
+
+    /// Are the two sets disjoint?
+    pub fn is_disjoint(&self, other: &WordSet) -> bool {
+        self.check_domain(other);
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & b == 0)
+    }
+
+    /// Is `self ⊆ other`?
+    pub fn is_subset(&self, other: &WordSet) -> bool {
+        self.check_domain(other);
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn and(&self, other: &WordSet) -> WordSet {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn or(&self, other: &WordSet) -> WordSet {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// `self ∖ other` as a new set.
+    pub fn andnot(&self, other: &WordSet) -> WordSet {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn union_with(&mut self, other: &WordSet) {
+        self.check_domain(other);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &WordSet) {
+        self.check_domain(other);
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+    }
+
+    /// Iterate the members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bits.iter().enumerate().flat_map(|(bi, &word)| {
+            let base = bi as u64 * 64;
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let next = w & (w - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |w| base + u64::from(w.trailing_zeros()))
+        })
+    }
+
+    /// Direct read access to the backing words (for block-parallel folds).
+    pub fn blocks(&self) -> &[u64] {
+        &self.bits
+    }
+
+    fn check_domain(&self, other: &WordSet) {
+        assert_eq!(
+            self.domain, other.domain,
+            "set algebra across mismatched domains"
+        );
+    }
+
+    fn zip_with(&self, other: &WordSet, f: impl Fn(u64, u64) -> u64) -> WordSet {
+        self.check_domain(other);
+        WordSet {
+            domain: self.domain,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+/// A bit-sliced overlap counter: layer `i` holds bit `i` of a per-element
+/// hit count, so accumulating `ℓ` sets costs `O(ℓ · domain/64)` words of
+/// ripple-carry instead of `O(ℓ · domain)` scalar increments. This is how
+/// [`crate::cover::verify_cover`] gets disjointness, coverage and the
+/// maximum overlap in one pass.
+#[derive(Debug, Clone)]
+pub struct OverlapCounter {
+    domain: u64,
+    layers: Vec<WordSet>,
+}
+
+impl OverlapCounter {
+    /// An all-zero counter over `0..domain`.
+    pub fn new(domain: u64) -> OverlapCounter {
+        OverlapCounter {
+            domain,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Add one set: per-element saturating-free increment (a fresh layer
+    /// is appended whenever a carry ripples off the top).
+    pub fn add(&mut self, set: &WordSet) {
+        assert_eq!(self.domain, set.domain, "counter/set domain mismatch");
+        let mut carry = set.bits.clone();
+        for layer in &mut self.layers {
+            let mut any = false;
+            for (l, c) in layer.bits.iter_mut().zip(carry.iter_mut()) {
+                let new_carry = *l & *c;
+                *l ^= *c;
+                *c = new_carry;
+                any |= new_carry != 0;
+            }
+            if !any {
+                return;
+            }
+        }
+        if carry.iter().any(|&c| c != 0) {
+            self.layers.push(WordSet {
+                domain: self.domain,
+                bits: carry,
+            });
+        }
+    }
+
+    /// The maximum per-element count.
+    pub fn max_count(&self) -> usize {
+        // Walk layers top-down, keeping the mask of elements that attain
+        // every high bit committed so far.
+        let mut max = 0usize;
+        let mut mask: Option<Vec<u64>> = None;
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let hit: Vec<u64> = match &mask {
+                None => layer.bits.clone(),
+                Some(m) => layer.bits.iter().zip(m).map(|(&l, &mm)| l & mm).collect(),
+            };
+            if hit.iter().any(|&b| b != 0) {
+                max |= 1 << i;
+                mask = Some(hit);
+            }
+        }
+        max
+    }
+
+    /// The set of elements whose count is **exactly** `k`. Elements never
+    /// touched have count 0, so `exactly(0)` is the complement of the
+    /// union; a `k` above the attained maximum yields the empty set.
+    pub fn exactly(&self, k: usize) -> WordSet {
+        if self.layers.len() < usize::BITS as usize && k >> self.layers.len() != 0 {
+            return WordSet::empty(self.domain);
+        }
+        let mut out = WordSet::full(self.domain);
+        for (i, layer) in self.layers.iter().enumerate() {
+            if k >> i & 1 == 1 {
+                out.intersect_with(layer);
+            } else {
+                for (o, l) in out.bits.iter_mut().zip(&layer.bits) {
+                    *o &= !l;
+                }
+            }
+        }
+        out
+    }
+
+    /// The set of elements with count ≥ 1 (the union of everything added).
+    pub fn any(&self) -> WordSet {
+        let mut out = WordSet::empty(self.domain);
+        for layer in &self.layers {
+            out.union_with(layer);
+        }
+        out
+    }
+}
+
+/// Which canonical bitmap a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Canonical {
+    /// `L_n` over the word domain.
+    Ln,
+    /// The family `𝓛` over the word domain.
+    Family,
+    /// `A ⊆ 𝓛` (odd witness count) over the family-rank domain.
+    FamilyA,
+    /// `B = 𝓛 ∖ A` over the family-rank domain.
+    FamilyB,
+}
+
+/// The process-wide canonical-bitmap cache, keyed by (kind, n).
+type CanonicalCache = Mutex<BTreeMap<(Canonical, usize), Arc<WordSet>>>;
+
+fn cache() -> &'static CanonicalCache {
+    static CACHE: OnceLock<CanonicalCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn cached(kind: Canonical, n: usize, build: impl FnOnce() -> WordSet) -> Arc<WordSet> {
+    // The lock is NOT held across `build`: builders may recurse into the
+    // cache (e.g. `family_b_bitmap` builds from `family_a_bitmap`). A racy
+    // duplicate build is harmless — the content is deterministic and the
+    // first insert wins.
+    if let Some(hit) = cache()
+        .lock()
+        .expect("wordset cache poisoned")
+        .get(&(kind, n))
+    {
+        return hit.clone();
+    }
+    let built = Arc::new(build());
+    cache()
+        .lock()
+        .expect("wordset cache poisoned")
+        .entry((kind, n))
+        .or_insert(built)
+        .clone()
+}
+
+/// The canonical `L_n` bitmap over the word domain `{a,b}^{2n}` (cached
+/// per `n`; built once with the serial scan so the cached bytes never
+/// depend on the ambient thread count).
+pub fn ln_bitmap(n: usize) -> Arc<WordSet> {
+    assert!(2 * n <= 26, "word-domain materialisation is 2^{{2n}} bits");
+    cached(Canonical::Ln, n, || {
+        WordSet::from_pred_threads(1u64 << (2 * n), 1, |w| ln_contains(n, w as Word))
+    })
+}
+
+/// The family `𝓛` as a word-domain bitmap (cached per `n`; needs
+/// `n ≡ 0 mod 4`).
+pub fn family_bitmap(n: usize) -> Arc<WordSet> {
+    assert!(supports_blocks(n) && 2 * n <= 26);
+    cached(Canonical::Family, n, || {
+        WordSet::from_pred_threads(1u64 << (2 * n), 1, |w| {
+            crate::discrepancy::in_family(n, w as Word)
+        })
+    })
+}
+
+/// `A ⊆ 𝓛` (odd witness count) over the **family-rank domain**: bit `i`
+/// is set iff the member `family_unrank(n, i)` lies in `A`. Cached per
+/// `n`.
+pub fn family_a_bitmap(n: usize) -> Arc<WordSet> {
+    assert!(supports_blocks(n) && n <= 26, "family domain is 2^n bits");
+    cached(Canonical::FamilyA, n, || {
+        WordSet::from_pred_threads(1u64 << n, 1, |i| {
+            in_a(n, crate::discrepancy::family_unrank(n, i))
+        })
+    })
+}
+
+/// `B = 𝓛 ∖ A` over the family-rank domain. Cached per `n`.
+pub fn family_b_bitmap(n: usize) -> Arc<WordSet> {
+    assert!(supports_blocks(n) && n <= 26);
+    cached(Canonical::FamilyB, n, || {
+        let a = family_a_bitmap(n);
+        WordSet::full(1u64 << n).andnot(&a)
+    })
+}
+
+/// The family-rank bitmap of `R ∩ 𝓛` for a rectangle `R = S × T`, built
+/// in `O(min(|S|·|T|, 2^n))`: sparse rectangles rank each member pair
+/// `u ∪ v` directly, while rectangles whose product exceeds the family
+/// size (Example 8's cover rectangles, where `|S|·|T| ≫ |𝓛|`) fall back
+/// to one membership probe per family rank. Both routes produce the same
+/// set, so the choice never changes the bytes.
+pub fn family_rectangle_bitmap(n: usize, r: &crate::rectangle::SetRectangle) -> WordSet {
+    family_rectangle_bitmap_threads(n, r, par::thread_count())
+}
+
+/// [`family_rectangle_bitmap`] with an explicit worker count: the `S` side
+/// is chunked over the deterministic parallel layer and the partial
+/// bitmaps are OR-merged. The union is the same set for every chunking,
+/// so the bytes are bit-identical for every `threads ≥ 1`.
+pub fn family_rectangle_bitmap_threads(
+    n: usize,
+    r: &crate::rectangle::SetRectangle,
+    threads: usize,
+) -> WordSet {
+    assert!(supports_blocks(n) && n <= 26);
+    let domain = 1u64 << n;
+    let s: Vec<u64> = r.s.iter().copied().collect();
+    let t: Vec<u64> = r.t.iter().copied().collect();
+    if s.is_empty() || t.is_empty() {
+        return WordSet::empty(domain);
+    }
+    if (s.len() as u128) * (t.len() as u128) > u128::from(domain) {
+        // Dense rectangle: scanning the 2^n family ranks beats enumerating
+        // the |S|·|T| product.
+        return WordSet::from_pred_threads(domain, threads, |i| {
+            r.contains(crate::discrepancy::family_unrank(n, i))
+        });
+    }
+    let chunk = s.len().div_ceil(64).max(1);
+    let partials = par::run_chunks(s.len().div_ceil(chunk), threads, |ci| {
+        let lo = ci * chunk;
+        let mut part = WordSet::empty(domain);
+        for &u in &s[lo..(lo + chunk).min(s.len())] {
+            for &v in &t {
+                let w = u | v;
+                if crate::discrepancy::in_family(n, w) {
+                    part.insert(family_rank(n, w));
+                }
+            }
+        }
+        part
+    });
+    let mut out = WordSet::empty(domain);
+    for p in &partials {
+        out.union_with(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_full_and_membership() {
+        for domain in [0u64, 1, 63, 64, 65, 130] {
+            let e = WordSet::empty(domain);
+            let f = WordSet::full(domain);
+            assert_eq!(e.count(), 0, "domain {domain}");
+            assert_eq!(f.count(), domain, "domain {domain}");
+            assert!(e.is_empty());
+            for k in 0..domain {
+                assert!(!e.contains(k));
+                assert!(f.contains(k));
+            }
+            assert!(!f.contains(domain), "out-of-domain probe is false");
+        }
+    }
+
+    #[test]
+    fn algebra_matches_btreeset_model() {
+        let domain = 200u64;
+        let a_model: BTreeSet<u64> = (0..domain).filter(|k| k % 3 == 0).collect();
+        let b_model: BTreeSet<u64> = (0..domain).filter(|k| k % 5 == 1).collect();
+        let mut a = WordSet::empty(domain);
+        let mut b = WordSet::empty(domain);
+        a_model.iter().for_each(|&k| a.insert(k));
+        b_model.iter().for_each(|&k| b.insert(k));
+
+        assert_eq!(a.count(), a_model.len() as u64);
+        assert_eq!(
+            a.and(&b).iter().collect::<BTreeSet<_>>(),
+            &a_model & &b_model
+        );
+        assert_eq!(
+            a.or(&b).iter().collect::<BTreeSet<_>>(),
+            &a_model | &b_model
+        );
+        assert_eq!(
+            a.andnot(&b).iter().collect::<BTreeSet<_>>(),
+            &a_model - &b_model
+        );
+        assert_eq!(a.and_count(&b), (&a_model & &b_model).len() as u64);
+        assert_eq!(a.is_disjoint(&b), (&a_model & &b_model).is_empty());
+        assert!(a.is_subset(&a.or(&b)));
+        assert!(!a.or(&b).is_subset(&a) || b_model.is_subset(&a_model));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, a.or(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i, a.and(&b));
+
+        a.remove(0);
+        assert!(!a.contains(0));
+    }
+
+    #[test]
+    fn iter_ascending_and_roundtrip() {
+        let mut s = WordSet::empty(300);
+        for k in [0u64, 1, 63, 64, 127, 128, 255, 299] {
+            s.insert(k);
+        }
+        let got: Vec<u64> = s.iter().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 127, 128, 255, 299]);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn from_pred_is_thread_invariant() {
+        let domain = 1u64 << 14;
+        let serial = WordSet::from_pred_threads(domain, 1, |k| k.count_ones() % 3 == 0);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                WordSet::from_pred_threads(domain, threads, |k| k.count_ones() % 3 == 0),
+                "threads {threads}"
+            );
+        }
+        assert_eq!(
+            serial,
+            WordSet::from_pred(domain, |k| k.count_ones() % 3 == 0)
+        );
+    }
+
+    #[test]
+    fn ln_bitmap_matches_enumeration() {
+        for n in [2usize, 3, 5] {
+            let bm = ln_bitmap(n);
+            assert_eq!(bm.count(), words::ln_size(n).to_u64().unwrap(), "n={n}");
+            assert!(bm.iter().eq(words::ln_iter(n)), "n={n}");
+            // Cached: a second call returns the same allocation.
+            assert!(Arc::ptr_eq(&bm, &ln_bitmap(n)));
+        }
+    }
+
+    #[test]
+    fn family_bitmaps_match_scalar_membership() {
+        for n in [4usize, 8] {
+            let fam = family_bitmap(n);
+            let a = family_a_bitmap(n);
+            let b = family_b_bitmap(n);
+            assert_eq!(fam.count(), 1 << n, "|𝓛| = 2^n");
+            assert_eq!(a.count() + b.count(), 1 << n, "A ⊎ B = 𝓛");
+            assert!(a.is_disjoint(&b));
+            for i in 0..(1u64 << n) {
+                let w = crate::discrepancy::family_unrank(n, i);
+                assert!(fam.contains(w), "unrank lands in 𝓛");
+                assert_eq!(a.contains(i), in_a(n, w), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rectangle_bitmap_routes_agree_on_dense_rectangles() {
+        // Example 8's cover rectangles have |S|·|T| ≫ 2^n, so they take
+        // the family-rank scan route; the bytes must match the brute
+        // per-rank membership probe (the product route's invariant) for
+        // every thread count.
+        let n = 8usize;
+        let mut saw_dense = false;
+        for r in crate::cover::example8_cover(n) {
+            let expected = WordSet::from_pred_threads(1u64 << n, 1, |i| {
+                r.contains(crate::discrepancy::family_unrank(n, i))
+            });
+            saw_dense |= (r.s.len() as u128) * (r.t.len() as u128) > 1 << n;
+            for threads in [1usize, 4] {
+                assert_eq!(expected, family_rectangle_bitmap_threads(n, &r, threads));
+            }
+        }
+        assert!(saw_dense, "at least one rectangle exercises the scan route");
+    }
+
+    #[test]
+    fn overlap_counter_counts_exactly() {
+        let domain = 192u64;
+        let sets: Vec<WordSet> = (0..5u64)
+            .map(|s| WordSet::from_pred_threads(domain, 1, move |k| (k + s).is_multiple_of(s + 2)))
+            .collect();
+        let mut counter = OverlapCounter::new(domain);
+        for s in &sets {
+            counter.add(s);
+        }
+        let scalar_count = |k: u64| -> usize { sets.iter().filter(|s| s.contains(k)).count() };
+        let max = (0..domain).map(scalar_count).max().unwrap();
+        assert_eq!(counter.max_count(), max);
+        for k in 0..=max {
+            let exact = counter.exactly(k);
+            for e in 0..domain {
+                assert_eq!(exact.contains(e), scalar_count(e) == k, "k={k} e={e}");
+            }
+        }
+        assert_eq!(
+            counter.any().iter().collect::<Vec<_>>(),
+            (0..domain)
+                .filter(|&e| scalar_count(e) > 0)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn overlap_counter_empty_and_single() {
+        let c = OverlapCounter::new(128);
+        assert_eq!(c.max_count(), 0);
+        assert_eq!(c.exactly(0), WordSet::full(128));
+        assert!(c.any().is_empty());
+
+        let mut c = OverlapCounter::new(128);
+        let mut s = WordSet::empty(128);
+        s.insert(7);
+        for _ in 0..9 {
+            c.add(&s); // carries ripple through multiple layers
+        }
+        assert_eq!(c.max_count(), 9);
+        assert!(c.exactly(9).contains(7));
+        assert_eq!(c.exactly(9).count(), 1);
+        assert_eq!(c.exactly(0).count(), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn domain_cap_enforced() {
+        let _ = WordSet::empty(MAX_DOMAIN_BITS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched domains")]
+    fn mismatched_domains_panic() {
+        let _ = WordSet::empty(64).and_count(&WordSet::empty(128));
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests for the popcount bitmap kernels: every kernel rewritten
+//! onto [`ucfg_core::wordset`] must agree **exactly** with its retained
+//! `*_scalar` reference on randomly drawn inputs — random rectangle
+//! families, random partitions, random `n ≤ 8` — including the empty
+//! rectangle and the full-family rectangle, and must stay bit-identical
+//! across worker counts (1/2/8 is the contract the CI determinism job
+//! re-checks end to end).
+
+use std::collections::BTreeSet;
+
+use ucfg_core::cover::{
+    discrepancy_accounting_scalar, discrepancy_accounting_threads, example8_cover,
+    overlap_histogram_scalar, overlap_histogram_threads, verify_cover_scalar_threads,
+    verify_cover_threads,
+};
+use ucfg_core::discrepancy::{
+    self, discrepancy_scalar, discrepancy_threads, exact_max_discrepancy_scalar_threads,
+    exact_max_discrepancy_threads, family_side_patterns, random_family_rectangle,
+};
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rank::{rank_gf2_scalar_threads, rank_gf2_threads};
+use ucfg_core::rectangle::SetRectangle;
+use ucfg_support::prop::Gen;
+use ucfg_support::rng::{Rng, SeedableRng, StdRng};
+use ucfg_support::{prop_assert, prop_assert_eq, property};
+
+/// Worker counts the bitmap kernels are pinned across (satellite: the
+/// `*_threads` variants must be bit-identical at 1, 2, and 8 workers).
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// A random balanced-ish partition of `Z[1, 2n]` for rectangle draws.
+fn random_partition(n: usize, rng: &mut StdRng) -> OrderedPartition {
+    let i = rng.random_range(1..=n);
+    let j = rng.random_range(i..=2 * n - 1);
+    OrderedPartition::new(n, i, j)
+}
+
+/// A random rectangle family over a fresh partition each: the raw input
+/// shape of `verify_cover` / `overlap_histogram` / the accounting kernel.
+fn random_rect_family(n: usize, rng: &mut StdRng) -> Vec<SetRectangle> {
+    let mut rects = Vec::new();
+    if rng.random_range(0..2u8) == 0 {
+        rects.extend(example8_cover(n));
+    }
+    if discrepancy::supports_blocks(n) {
+        for _ in 0..rng.random_range(0..3usize) {
+            let part = random_partition(n, rng);
+            rects.push(random_family_rectangle(n, part, rng));
+        }
+    }
+    rects
+}
+
+/// The empty rectangle (both sides empty) over some partition of `Z[1, 2n]`.
+fn empty_rectangle(n: usize) -> SetRectangle {
+    SetRectangle::new(
+        OrderedPartition::new(n, 1, n),
+        BTreeSet::new(),
+        BTreeSet::new(),
+    )
+}
+
+/// The full-family rectangle at the `[1, n]` cut: block boundaries align
+/// with the cut, so `S × T` over all side patterns is exactly `𝓛`.
+fn full_family_rectangle(n: usize) -> SetRectangle {
+    let part = OrderedPartition::new(n, 1, n);
+    let (s_all, t_all) = family_side_patterns(n, part);
+    SetRectangle::new(
+        part,
+        s_all.into_iter().collect(),
+        t_all.into_iter().collect(),
+    )
+}
+
+property! {
+    cases = 24;
+    fn bitmap_verify_cover_matches_scalar(
+        n in |g: &mut Gen| g.int_in(3usize..=8),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rects = random_rect_family(n, &mut rng);
+        let reference = verify_cover_scalar_threads(n, &rects, 1);
+        for t in THREADS {
+            prop_assert_eq!(reference.clone(), verify_cover_threads(n, &rects, t));
+        }
+    }
+
+    cases = 24;
+    fn bitmap_discrepancy_matches_scalar(
+        // The family 𝓛 needs n ≡ 0 mod 4: draw n from {4, 8}.
+        k in |g: &mut Gen| g.int_in(1usize..=2),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let n = 4 * k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(n, &mut rng);
+        let r = random_family_rectangle(n, part, &mut rng);
+        let reference = discrepancy_scalar(n, &r);
+        for t in THREADS {
+            prop_assert_eq!(reference, discrepancy_threads(n, &r, t));
+        }
+    }
+
+    cases = 16;
+    fn bitmap_histogram_and_accounting_match_scalar(
+        k in |g: &mut Gen| g.int_in(1usize..=2),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let n = 4 * k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rects = random_rect_family(n, &mut rng);
+        let hist_ref = overlap_histogram_scalar(n, &rects);
+        let acct_ref = discrepancy_accounting_scalar(n, &rects);
+        for t in THREADS {
+            prop_assert_eq!(hist_ref.clone(), overlap_histogram_threads(n, &rects, t));
+            prop_assert_eq!(acct_ref.clone(), discrepancy_accounting_threads(n, &rects, t));
+        }
+    }
+
+    cases = 16;
+    fn gray_walk_matches_scalar_rescan(
+        i in |g: &mut Gen| g.int_in(1usize..=4),
+        j in |g: &mut Gen| g.int_in(4usize..=7),
+    ) {
+        let n = 4usize;
+        let part = OrderedPartition::new(n, i, j.max(i));
+        let reference = exact_max_discrepancy_scalar_threads(n, part, 1);
+        prop_assert!(reference.is_some(), "n = 4 is within every cap");
+        for t in THREADS {
+            prop_assert_eq!(reference, exact_max_discrepancy_threads(n, part, t));
+            prop_assert_eq!(reference, exact_max_discrepancy_scalar_threads(n, part, t));
+        }
+    }
+
+    cases = 12;
+    fn subset_enumeration_rank_matches_scalar(
+        n in |g: &mut Gen| g.int_in(1usize..=8),
+    ) {
+        let reference = rank_gf2_scalar_threads(n, 1);
+        for t in THREADS {
+            prop_assert_eq!(reference, rank_gf2_threads(n, t));
+        }
+    }
+
+    cases = 16;
+    fn rectangle_bitmap_matches_membership(
+        k in |g: &mut Gen| g.int_in(1usize..=2),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let n = 4 * k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(n, &mut rng);
+        let r = random_family_rectangle(n, part, &mut rng);
+        let bitmap = r.to_wordset(n);
+        prop_assert_eq!(bitmap.count() as usize, r.s.len() * r.t.len());
+        // Spot-check membership agreement on random words of the domain.
+        for _ in 0..64 {
+            let w = rng.random_range(0..1u64 << (2 * n));
+            prop_assert_eq!(bitmap.contains(w), r.contains(w));
+        }
+    }
+}
+
+/// The degenerate inputs every bitmap kernel must handle exactly like its
+/// scalar reference: the empty rectangle, the empty family, and the
+/// full-family rectangle whose product is `𝓛` itself.
+#[test]
+fn edge_case_rectangles_agree_with_scalar() {
+    for n in [4usize, 8] {
+        let empty = empty_rectangle(n);
+        assert_eq!(discrepancy_scalar(n, &empty), 0);
+        assert_eq!(discrepancy_threads(n, &empty, 1), 0);
+        assert!(empty.to_wordset(n).is_empty());
+
+        let full = full_family_rectangle(n);
+        let m = (n / 4) as u64;
+        // |A| − |B| over all of 𝓛 is −2^{3m} (Lemma 18's gap, exact).
+        assert_eq!(discrepancy_threads(n, &full, 2), -(1i64 << (3 * m)));
+        assert_eq!(
+            discrepancy_scalar(n, &full),
+            discrepancy_threads(n, &full, 2)
+        );
+
+        // Empty family: scalar and bitmap verdicts coincide field by field.
+        let none: Vec<SetRectangle> = Vec::new();
+        assert_eq!(
+            verify_cover_scalar_threads(n, &none, 1),
+            verify_cover_threads(n, &none, 8)
+        );
+        assert_eq!(
+            overlap_histogram_scalar(n, &none),
+            overlap_histogram_threads(n, &none, 8)
+        );
+        assert_eq!(
+            discrepancy_accounting_scalar(n, &none),
+            discrepancy_accounting_threads(n, &none, 8)
+        );
+
+        // A family of one empty rectangle covers nothing.
+        let singleton = vec![empty_rectangle(n)];
+        let report = verify_cover_threads(n, &singleton, 2);
+        assert!(!report.covers_exactly);
+        assert_eq!(report, verify_cover_scalar_threads(n, &singleton, 1));
+    }
+}

@@ -49,6 +49,16 @@ pub fn thread_count() -> usize {
     })
 }
 
+/// Override the worker-thread count for this process by setting
+/// [`THREADS_ENV`] — the funnel behind the binaries' `--threads` flag, so
+/// a per-invocation override reaches every kernel that defaults to
+/// [`thread_count`]. Kernel results are bit-identical across counts, so
+/// this only changes how fast they run.
+pub fn set_thread_count(threads: usize) {
+    assert!(threads >= 1, "thread count must be ≥ 1");
+    std::env::set_var(THREADS_ENV, threads.to_string());
+}
+
 /// The fixed chunk size for an input of `len` items: at most
 /// [`MAX_CHUNKS`] chunks, depending only on `len`.
 fn chunk_len(len: usize) -> usize {
