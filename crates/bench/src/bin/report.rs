@@ -6,30 +6,28 @@
 //!   report            # everything, to stdout + out/report_output.txt
 //!   report T5 T8      # selected experiments, stdout only
 //!   report --list     # available experiment ids
-//!   report --threads 4  # worker threads (overrides $UCFG_THREADS)
+//!   report --threads 4  # worker threads (overrides $UCFG_THREADS);
+//!                       # also -j 4, --threads=4, -j4
+//!   report --trace    # per-experiment metrics (or UCFG_TRACE=1):
+//!                     # summary to stderr + out/METRICS_report.json
 
 use ucfg_bench::experiments;
 use ucfg_support::bench::out_dir;
+use ucfg_support::{obs, par};
 
 fn main() {
-    // Strip a `--threads N` override (funnelled into UCFG_THREADS, so
-    // every parallel kernel in the experiments honours it); the remaining
-    // arguments are experiment ids.
+    // Strip the `--trace` and thread-override flags (the latter funnels
+    // into UCFG_THREADS, so every parallel kernel in the experiments
+    // honours it); the remaining arguments are experiment ids.
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let mut args: Vec<String> = Vec::with_capacity(raw.len());
-    let mut it = raw.into_iter();
-    while let Some(a) = it.next() {
-        if a == "--threads" || a == "-j" {
-            if let Some(v) = it
-                .next()
-                .and_then(|v| v.parse::<usize>().ok().filter(|&t| t >= 1))
-            {
-                ucfg_support::par::set_thread_count(v);
-            }
-        } else {
-            args.push(a);
-        }
+    let (raw, trace) = obs::strip_trace_flag(&raw);
+    if trace {
+        obs::set_enabled(true);
     }
+    let args = par::strip_thread_flags(&raw).unwrap_or_else(|e| {
+        eprintln!("report: {e}");
+        std::process::exit(2);
+    });
     if args.iter().any(|a| a == "--list" || a == "-l") {
         println!("available experiments (see DESIGN.md §5):");
         for id in experiments::ALL_EXPERIMENTS {
@@ -52,5 +50,12 @@ fn main() {
         for id in &args {
             print!("{}", experiments::run(id));
         }
+    }
+    if obs::enabled() {
+        match obs::write_metrics("report") {
+            Ok(p) => eprintln!("metrics written to {}", p.display()),
+            Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        }
+        eprintln!("{}", obs::summary());
     }
 }

@@ -9,7 +9,10 @@
 //!   sweep --kernels        # bitmap-kernel sweep (default max n 16) to
 //!                          # stdout + out/kernel_sweep.csv
 //!   sweep --threads 4      # worker threads (default: $UCFG_THREADS,
-//!                          # else available cores)
+//!                          # else available cores); also -j 4,
+//!                          # --threads=4, -j4
+//!   sweep --trace          # kernel metrics (or UCFG_TRACE=1): summary
+//!                          # table to stderr + out/METRICS_sweep.json
 //!
 //! Columns: n, |L_n| (log2), CFG size, pattern-NFA transitions, exact-NFA
 //! transitions, DAWG-uCFG size, Example 4 uCFG size (log2), Proposition 16
@@ -17,37 +20,39 @@
 //! the `NA` sentinel, so every row has the full column count.
 //!
 //! The sweep is deterministic: the same `n` ceiling yields a
-//! byte-identical CSV regardless of the thread count.
+//! byte-identical CSV regardless of the thread count — and so is the
+//! non-`"volatile"` section of the metrics JSON, which the CI
+//! determinism job byte-compares across `UCFG_THREADS` settings.
 
 use ucfg_bench::sweep::{kernel_sweep_csv, sweep_csv};
 use ucfg_support::bench::out_dir;
+use ucfg_support::{obs, par};
 
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (raw, trace) = obs::strip_trace_flag(&raw);
+    if trace {
+        obs::set_enabled(true);
+    }
+    let args = par::strip_thread_flags(&raw).unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(2);
+    });
     let mut max_n: Option<usize> = None;
     let mut kernels = false;
-    let mut threads = ucfg_support::par::thread_count();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    for a in &args {
         match a.as_str() {
-            "--threads" | "-j" => {
-                if let Some(v) = args
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok().filter(|&t| t >= 1))
-                {
-                    threads = v;
-                    // Propagate to UCFG_THREADS so kernels that default to
-                    // par::thread_count() honour the flag too.
-                    ucfg_support::par::set_thread_count(v);
-                }
-            }
             "--kernels" => kernels = true,
-            other => {
-                if let Ok(v) = other.parse() {
-                    max_n = Some(v);
+            other => match other.parse() {
+                Ok(v) => max_n = Some(v),
+                Err(_) => {
+                    eprintln!("sweep: unrecognised argument '{other}'");
+                    std::process::exit(2);
                 }
-            }
+            },
         }
     }
+    let threads = par::thread_count();
     let (csv, file) = if kernels {
         // The exhaustive columns cap themselves (NA above their
         // thresholds), so the default ceiling just bounds the cheap ones.
@@ -68,5 +73,12 @@ fn main() {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("sweep written to {}", path.display());
+    }
+    if obs::enabled() {
+        match obs::write_metrics("sweep") {
+            Ok(p) => eprintln!("metrics written to {}", p.display()),
+            Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        }
+        eprintln!("{}", obs::summary());
     }
 }

@@ -35,8 +35,11 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "T14", "T15", "T16", "T17", "T18", "T19", "T20", "T21", "T22", "T23", "T24",
 ];
 
-/// Dispatch by experiment id.
+/// Dispatch by experiment id. Under tracing, each experiment's wall time
+/// records into a per-id `report.<id>` span (dynamic name, so it skips
+/// the call-site handle cache of `obs::span!`).
 pub fn run(id: &str) -> String {
+    let _t = ucfg_support::obs::Span::start(&format!("report.{id}"));
     match id {
         "F1" => f1_parse_trees(),
         "F2" => f2_errata(),

@@ -7,7 +7,7 @@
 //! output.
 
 use ucfg_core::separation::{separation_row, SeparationRow};
-use ucfg_support::par;
+use ucfg_support::{obs, par};
 
 /// The CSV header line (without trailing newline).
 ///
@@ -44,6 +44,45 @@ pub fn sweep_schedule(max_n: usize) -> Vec<usize> {
     ns
 }
 
+/// Cheap end-to-end cross-check attached to every small-`n` sweep row
+/// (`n ≤ SELF_CHECK_MAX_N`): CYK-parse the full length-`2n` word domain
+/// against the CNF of the Appendix A grammar (one reused rule index) and
+/// compare the accept count with the cached `L_n` bitmap and the
+/// closed-form `|L_n|`. The closed-form sweep columns never touch the
+/// parsing or word-set kernels, so this keeps the sweep an end-to-end
+/// witness for them too — and, under `UCFG_TRACE=1`, feeds the metrics
+/// export nonzero `cyk.*` and `wordset.cache.*` counters. It asserts and
+/// returns nothing, so the CSV bytes are untouched.
+fn self_check_row(n: usize) {
+    const SELF_CHECK_MAX_N: usize = 5;
+    if n > SELF_CHECK_MAX_N {
+        return;
+    }
+    use ucfg_core::{ln_grammars::appendix_a_grammar, words, wordset};
+    use ucfg_grammar::cyk::{CykChart, CykRuleIndex};
+    use ucfg_grammar::normal_form::CnfGrammar;
+
+    let cnf = CnfGrammar::from_grammar(&appendix_a_grammar(n));
+    let index = CykRuleIndex::new(&cnf);
+    let accepted = (0..1u64 << (2 * n))
+        .filter(|&w| {
+            let word = cnf
+                .encode(&words::to_string(n, w))
+                .expect("appendix A grammar covers {a, b}");
+            CykChart::build_with_index(&cnf, &index, &word).accepted()
+        })
+        .count() as u64;
+    let ln = wordset::ln_bitmap(n);
+    assert_eq!(accepted, ln.count(), "CYK vs L_n bitmap at n = {n}");
+    assert_eq!(
+        Some(accepted),
+        words::ln_size(n).to_u64(),
+        "CYK vs closed-form |L_n| at n = {n}"
+    );
+    // A second bitmap request must come from the process-wide cache.
+    assert!(std::sync::Arc::ptr_eq(&ln, &wordset::ln_bitmap(n)));
+}
+
 fn csv_row(n: usize, row: &SeparationRow) -> String {
     format!(
         "{},{:.3},{},{},{},{},{:.3},{}",
@@ -70,6 +109,9 @@ fn csv_row(n: usize, row: &SeparationRow) -> String {
 pub fn sweep_csv(max_n: usize, threads: usize) -> String {
     let schedule = sweep_schedule(max_n);
     let rows = par::par_map_threads(&schedule, threads.max(1), |&n| {
+        obs::count!("sweep.rows");
+        let _t = obs::span!("sweep.row");
+        self_check_row(n);
         csv_row(n, &separation_row(n, 24, 9))
     });
     let mut csv = String::with_capacity(64 * (rows.len() + 1));
@@ -162,7 +204,11 @@ fn kernel_csv_row(n: usize) -> String {
 /// the property the CI determinism job asserts.
 pub fn kernel_sweep_csv(max_n: usize, threads: usize) -> String {
     let schedule = kernel_sweep_schedule(max_n);
-    let rows = par::par_map_threads(&schedule, threads.max(1), |&n| kernel_csv_row(n));
+    let rows = par::par_map_threads(&schedule, threads.max(1), |&n| {
+        obs::count!("sweep.kernel_rows");
+        let _t = obs::span!("sweep.kernel_row");
+        kernel_csv_row(n)
+    });
     let mut csv = String::with_capacity(64 * (rows.len() + 1));
     csv.push_str(KERNEL_CSV_HEADER);
     csv.push('\n');

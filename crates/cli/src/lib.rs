@@ -259,33 +259,29 @@ pub fn usage() -> String {
                                      set UCFG_THREADS to pin the worker count)\n\
      \n\
      global flags:\n\
-       --threads N | -j N            override UCFG_THREADS for this invocation\n"
+       --threads N | --threads=N | -j N | -jN\n\
+                                     override UCFG_THREADS for this invocation\n\
+       --trace                       kernel metrics (or UCFG_TRACE=1): summary\n\
+                                     to stderr + out/METRICS_ucfg.json\n"
         .to_string()
 }
 
 /// Dispatch a full argument vector (without the program name).
 ///
-/// A `--threads N` (or `-j N`) pair anywhere in the arguments overrides
+/// A thread-override flag anywhere in the arguments — any of the four
+/// spellings `--threads N`, `--threads=N`, `-j N`, `-jN` — overrides
 /// `UCFG_THREADS` for this invocation via
 /// [`ucfg_support::par::set_thread_count`] before the command runs; every
 /// parallel kernel downstream picks the count up from
-/// [`ucfg_support::par::thread_count`].
+/// [`ucfg_support::par::thread_count`]. A `--trace` flag switches the
+/// [`ucfg_support::obs`] metrics layer on (the binary then writes
+/// `out/METRICS_ucfg.json` and a summary at exit).
 pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
-    let mut rest: Vec<String> = Vec::with_capacity(args.len());
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--threads" || a == "-j" {
-            let v = it.next().ok_or_else(|| err("--threads needs a value"))?;
-            let t: usize = v
-                .parse()
-                .ok()
-                .filter(|&t| t >= 1)
-                .ok_or_else(|| err(format!("--threads needs a positive integer, got {v:?}")))?;
-            ucfg_support::par::set_thread_count(t);
-        } else {
-            rest.push(a.clone());
-        }
+    let (args, trace) = ucfg_support::obs::strip_trace_flag(args);
+    if trace {
+        ucfg_support::obs::set_enabled(true);
     }
+    let rest = ucfg_support::par::strip_thread_flags(&args).map_err(err)?;
     match &rest[..] {
         [cmd, n, word] if cmd == "member" => cmd_member(n, word),
         [cmd, n] if cmd == "count" => cmd_count(n),
@@ -410,10 +406,22 @@ mod tests {
             .unwrap()
             .contains("usage"));
         assert_eq!(ucfg_support::par::thread_count(), 2);
-        // Malformed values are rejected.
+        // The attached spellings must work too — they used to be passed
+        // through to the command router and rejected as bogus arguments.
+        let out = dispatch(&["--threads=5".into(), "count".into(), "2".into()], "").unwrap();
+        assert!(out.contains("7"));
+        assert_eq!(ucfg_support::par::thread_count(), 5);
+        let out = dispatch(&["-j4".into(), "count".into(), "2".into()], "").unwrap();
+        assert!(out.contains("7"));
+        assert_eq!(ucfg_support::par::thread_count(), 4);
+        // Malformed values are rejected, in every spelling.
         assert!(dispatch(&["--threads".into()], "").is_err());
         assert!(dispatch(&["--threads".into(), "0".into()], "").is_err());
         assert!(dispatch(&["--threads".into(), "x".into()], "").is_err());
+        assert!(dispatch(&["--threads=0".into()], "").is_err());
+        assert!(dispatch(&["--threads=x".into()], "").is_err());
+        assert!(dispatch(&["-j0".into()], "").is_err());
+        assert!(dispatch(&["-jx".into()], "").is_err());
     }
 
     #[test]

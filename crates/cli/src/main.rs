@@ -19,7 +19,7 @@ fn main() -> ExitCode {
     } else {
         String::new()
     };
-    match ucfg_cli::dispatch(&args, &stdin) {
+    let code = match ucfg_cli::dispatch(&args, &stdin) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
@@ -28,5 +28,15 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    };
+    // `dispatch` enables the metrics layer when `--trace` (or UCFG_TRACE=1)
+    // is present; export after the command has run.
+    if ucfg_support::obs::enabled() {
+        match ucfg_support::obs::write_metrics("ucfg") {
+            Ok(p) => eprintln!("metrics written to {}", p.display()),
+            Err(e) => eprintln!("warning: could not write metrics: {e}"),
+        }
+        eprintln!("{}", ucfg_support::obs::summary());
     }
+    code
 }

@@ -10,7 +10,7 @@ use crate::extract::ExtractionResult;
 use crate::rectangle::{example8_rectangle, SetRectangle};
 use crate::words::{enumerate_ln, ln_contains, Word};
 use crate::wordset::{self, OverlapCounter, WordSet};
-use ucfg_support::par;
+use ucfg_support::{obs, par};
 
 /// Outcome of verifying a family of rectangles against `L_n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,9 @@ pub fn verify_cover(n: usize, rects: &[SetRectangle]) -> CoverReport {
 /// report is bit-identical for every thread count.
 pub fn verify_cover_threads(n: usize, rects: &[SetRectangle], threads: usize) -> CoverReport {
     assert!(2 * n <= 26, "exhaustive verification is 2^{{2n}}");
+    obs::count!("cover.verify.calls");
+    obs::count!("cover.verify.rects", rects.len() as u64);
+    let _t = obs::span!("cover.verify");
     let ln = wordset::ln_bitmap(n);
     let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
     let mut counter = OverlapCounter::new(1u64 << (2 * n));
@@ -193,6 +196,8 @@ pub fn overlap_histogram(n: usize, rects: &[SetRectangle]) -> Vec<usize> {
 /// thread count.
 pub fn overlap_histogram_threads(n: usize, rects: &[SetRectangle], threads: usize) -> Vec<usize> {
     assert!(2 * n <= 26, "exhaustive histogram is 2^{{2n}}");
+    obs::count!("cover.histogram.calls");
+    let _t = obs::span!("cover.histogram");
     let ln = wordset::ln_bitmap(n);
     let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
     let mut counter = OverlapCounter::new(1u64 << (2 * n));

@@ -29,6 +29,7 @@ use crate::rectangle::SetRectangle;
 use crate::words::{witness_count, Word};
 use std::collections::BTreeSet;
 use ucfg_grammar::bignum::BigUint;
+use ucfg_support::obs;
 use ucfg_support::rng::Rng;
 
 /// Does `n` support the block structure (`n ≡ 0 mod 4`, `n ≥ 4`)?
@@ -156,6 +157,8 @@ pub fn discrepancy(n: usize, r: &SetRectangle) -> i64 {
 /// and the popcounts are order-free, so the result is bit-identical for
 /// every thread count.
 pub fn discrepancy_threads(n: usize, r: &SetRectangle, threads: usize) -> i64 {
+    obs::count!("discrepancy.calls");
+    let _t = obs::span!("discrepancy.bitmap");
     let rect = crate::wordset::family_rectangle_bitmap_threads(n, r, threads);
     let a = crate::wordset::family_a_bitmap(n);
     let b = crate::wordset::family_b_bitmap(n);
@@ -399,6 +402,8 @@ pub fn exact_max_discrepancy_threads(
     if t_all.len() > EXACT_MAX_T_PATTERNS {
         return None;
     }
+    obs::count!("discrepancy.exact_max.calls");
+    let _t = obs::span!("discrepancy.exact_max");
     let f = family_score_matrix(n, &s_all, &t_all);
     Some(gray_subset_max_threads(
         &f,
@@ -488,6 +493,8 @@ pub fn gray_subset_max_threads(f: &[i64], rows: usize, cols: usize, threads: usi
     if rows == 0 || cols == 0 {
         return 0;
     }
+    obs::count!("discrepancy.gray.subsets", 1u64 << cols);
+    let _t = obs::span!("discrepancy.gray");
     let gray = |i: u64| i ^ (i >> 1);
     ucfg_support::par::map_ranges_threads(0..(1u64 << cols), threads, |range| {
         // Scores of the chunk's first subset, from scratch.

@@ -9,7 +9,7 @@
 //! certifying an exponential lower bound for the fixed-partition case on
 //! concrete instances.
 
-use ucfg_support::par;
+use ucfg_support::{obs, par};
 
 /// Rank of the `L_n` communication matrix over GF(2), by bitset Gaussian
 /// elimination. `n ≤ 13` (matrix is `2^n × 2^n`).
@@ -32,6 +32,9 @@ pub fn rank_gf2(n: usize) -> usize {
 /// reference path).
 pub fn rank_gf2_threads(n: usize, threads: usize) -> usize {
     assert!(n <= 13, "matrix is 2^n × 2^n");
+    obs::count!("rank.gf2.calls");
+    obs::count!("rank.gf2.rows", 1u64 << n);
+    let _t = obs::span!("rank.gf2");
     let size = 1usize << n;
     let width = size.div_ceil(64);
     let mut rows: Vec<Vec<u64>> = par::map_ranges_threads(0..size as u64, threads, |range| {
@@ -134,6 +137,8 @@ pub fn rank_mod_p(n: usize) -> usize {
 /// serial reference path).
 pub fn rank_mod_p_threads(n: usize, threads: usize) -> usize {
     assert!(n <= 11, "O(2^(3n)) elimination");
+    obs::count!("rank.mod_p.calls");
+    let _t = obs::span!("rank.mod_p");
     const P: u128 = (1u128 << 61) - 1;
     let size = 1usize << n;
     let mut rows: Vec<Vec<u64>> = par::map_ranges_threads(0..size as u64, threads, |range| {

@@ -39,7 +39,7 @@ use crate::discrepancy::{family_rank, in_a, supports_blocks};
 use crate::words::{ln_contains, Word};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
-use ucfg_support::par;
+use ucfg_support::{obs, par};
 
 /// Materialisation cap: a [`WordSet`] never allocates more than this many
 /// bits (`2^30` bits = 128 MiB). Word-domain sets therefore stop at
@@ -62,6 +62,20 @@ fn blocks_for(domain: u64) -> usize {
         "WordSet domain {domain} exceeds the materialisation cap {MAX_DOMAIN_BITS}"
     );
     domain.div_ceil(64) as usize
+}
+
+/// The word-domain size `2^{2n}`, guarded **before** the shift: for
+/// `n ≥ 32` the raw `1u64 << (2 * n)` would overflow the shift (a
+/// confusing panic in debug, a silently wrapped — and wrong — domain in
+/// release), so the cap is checked on `2n` itself first.
+fn word_domain(n: usize) -> u64 {
+    let cap_log2 = MAX_DOMAIN_BITS.trailing_zeros() as usize;
+    assert!(
+        2 * n <= cap_log2,
+        "word domain 2^{} for n = {n} exceeds the materialisation cap {MAX_DOMAIN_BITS} (2n ≤ {cap_log2})",
+        2 * n
+    );
+    1u64 << (2 * n)
 }
 
 impl WordSet {
@@ -88,7 +102,7 @@ impl WordSet {
 
     /// The empty word-domain set for words of length `2n`.
     pub fn empty_words(n: usize) -> WordSet {
-        Self::empty(1u64 << (2 * n))
+        Self::empty(word_domain(n))
     }
 
     /// Build from a membership predicate by scanning the whole domain on
@@ -139,9 +153,17 @@ impl WordSet {
     }
 
     /// Insert element `k`.
+    ///
+    /// # Panics
+    ///
+    /// On `k >= domain`, in **every** profile. A `debug_assert!` here
+    /// would let a release-mode out-of-domain insert with
+    /// `k < blocks·64` silently set a bit past `domain` in the last
+    /// block — inflating [`count`](WordSet::count) and every popcount
+    /// kernel built on it — so the bound is a hard check.
     #[inline]
     pub fn insert(&mut self, k: u64) {
-        debug_assert!(
+        assert!(
             k < self.domain,
             "element {k} outside domain {}",
             self.domain
@@ -150,9 +172,17 @@ impl WordSet {
     }
 
     /// Remove element `k`.
+    ///
+    /// # Panics
+    ///
+    /// On `k >= domain`, in every profile (see [`insert`](WordSet::insert)).
     #[inline]
     pub fn remove(&mut self, k: u64) {
-        debug_assert!(k < self.domain);
+        assert!(
+            k < self.domain,
+            "element {k} outside domain {}",
+            self.domain
+        );
         self.bits[(k / 64) as usize] &= !(1u64 << (k % 64));
     }
 
@@ -371,8 +401,11 @@ enum Canonical {
     FamilyB,
 }
 
-/// The process-wide canonical-bitmap cache, keyed by (kind, n).
-type CanonicalCache = Mutex<BTreeMap<(Canonical, usize), Arc<WordSet>>>;
+/// The process-wide canonical-bitmap cache, keyed by (kind, n). Each key
+/// maps to a once-cell slot so a bitmap is built **exactly once** no
+/// matter how many threads race for it (latecomers block on the slot).
+type CacheSlot = Arc<OnceLock<Arc<WordSet>>>;
+type CanonicalCache = Mutex<BTreeMap<(Canonical, usize), CacheSlot>>;
 
 fn cache() -> &'static CanonicalCache {
     static CACHE: OnceLock<CanonicalCache> = OnceLock::new();
@@ -380,24 +413,58 @@ fn cache() -> &'static CanonicalCache {
 }
 
 fn cached(kind: Canonical, n: usize, build: impl FnOnce() -> WordSet) -> Arc<WordSet> {
-    // The lock is NOT held across `build`: builders may recurse into the
-    // cache (e.g. `family_b_bitmap` builds from `family_a_bitmap`). A racy
-    // duplicate build is harmless — the content is deterministic and the
-    // first insert wins.
-    if let Some(hit) = cache()
-        .lock()
-        .expect("wordset cache poisoned")
-        .get(&(kind, n))
-    {
-        return hit.clone();
-    }
-    let built = Arc::new(build());
-    cache()
+    use std::collections::btree_map::Entry;
+    let slot = match cache()
         .lock()
         .expect("wordset cache poisoned")
         .entry((kind, n))
-        .or_insert(built)
-        .clone()
+    {
+        Entry::Occupied(e) => e.get().clone(),
+        Entry::Vacant(v) => v.insert(Arc::new(OnceLock::new())).clone(),
+    };
+    // The map lock is NOT held across `build`: builders may recurse into
+    // the cache (e.g. `family_b_bitmap` builds from `family_a_bitmap`,
+    // a different key). The per-key once-cell guarantees exactly one
+    // build — concurrent callers for the same key block here instead of
+    // racing duplicate builds, so `wordset.cache.misses` counts each
+    // distinct key exactly once.
+    let mut built_here = false;
+    let set = slot
+        .get_or_init(|| {
+            built_here = true;
+            Arc::new(build())
+        })
+        .clone();
+    if built_here {
+        obs::count!("wordset.cache.misses");
+        obs::gauge_add!("wordset.cache.bytes", (set.blocks().len() * 8) as i64);
+        obs::gauge_set!("wordset.cache.len", canonical_cache_len() as i64);
+    } else {
+        obs::count!("wordset.cache.hits");
+    }
+    set
+}
+
+/// Number of canonical bitmaps currently cached (slots whose build has
+/// started; with the once-cell discipline that equals the distinct keys
+/// requested since the last [`clear_canonical_cache`]).
+pub fn canonical_cache_len() -> usize {
+    cache().lock().expect("wordset cache poisoned").len()
+}
+
+/// Drop every cached canonical bitmap and return how many entries were
+/// dropped. Outstanding `Arc` handles keep their data alive; the next
+/// request per key rebuilds (a fresh `wordset.cache.misses`). Bumps the
+/// `wordset.cache.clears` counter and resets the resident-bytes / length
+/// gauges, which track bytes built into the cache since the last clear.
+pub fn clear_canonical_cache() -> usize {
+    let mut map = cache().lock().expect("wordset cache poisoned");
+    let dropped = map.len();
+    map.clear();
+    obs::count!("wordset.cache.clears");
+    obs::gauge_set!("wordset.cache.bytes", 0);
+    obs::gauge_set!("wordset.cache.len", 0);
+    dropped
 }
 
 /// The canonical `L_n` bitmap over the word domain `{a,b}^{2n}` (cached
@@ -471,10 +538,12 @@ pub fn family_rectangle_bitmap_threads(
     if (s.len() as u128) * (t.len() as u128) > u128::from(domain) {
         // Dense rectangle: scanning the 2^n family ranks beats enumerating
         // the |S|·|T| product.
+        obs::count!("wordset.rect.scan_route");
         return WordSet::from_pred_threads(domain, threads, |i| {
             r.contains(crate::discrepancy::family_unrank(n, i))
         });
     }
+    obs::count!("wordset.rect.product_route");
     let chunk = s.len().div_ceil(64).max(1);
     let partials = par::run_chunks(s.len().div_ceil(chunk), threads, |ci| {
         let lo = ci * chunk;
@@ -585,8 +654,17 @@ mod tests {
         );
     }
 
+    /// Tests that rely on cache identity (`Arc::ptr_eq`) or clear the
+    /// process-wide cache must not interleave under the parallel runner.
+    fn cache_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn ln_bitmap_matches_enumeration() {
+        let _g = cache_gate();
         for n in [2usize, 3, 5] {
             let bm = ln_bitmap(n);
             assert_eq!(bm.count(), words::ln_size(n).to_u64().unwrap(), "n={n}");
@@ -683,6 +761,72 @@ mod tests {
     #[should_panic(expected = "materialisation cap")]
     fn domain_cap_enforced() {
         let _ = WordSet::empty(MAX_DOMAIN_BITS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_insert_panics_in_every_profile() {
+        // Regression: with `debug_assert!` bounds this silently set bit
+        // 100 of the last block in release, corrupting `count()`.
+        let mut s = WordSet::empty(100);
+        s.insert(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_remove_panics_in_every_profile() {
+        let mut s = WordSet::empty(100);
+        s.remove(127);
+    }
+
+    #[test]
+    fn out_of_domain_insert_cannot_corrupt_counts() {
+        // `insert(domain)` with domain < blocks·64 lands inside the last
+        // backing block; prove it can no longer inflate `count()`.
+        let mut s = WordSet::empty(100);
+        s.insert(99);
+        for k in [100u64, 101, 127] {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.insert(k)));
+            assert!(attempt.is_err(), "insert({k}) must panic");
+        }
+        assert_eq!(s.count(), 1, "tail bits stay clear after rejected inserts");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn empty_words_at_the_cap_boundary() {
+        // 2n = 30 is exactly the materialisation cap.
+        assert_eq!(WordSet::empty_words(15).domain(), MAX_DOMAIN_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn empty_words_overflow_gets_the_cap_message() {
+        // Regression: n = 32 used to evaluate `1u64 << 64` *before* the
+        // cap check — a shift-overflow panic in debug and a silently
+        // wrapped (domain = 1!) set in release. Now it dies with the
+        // cap message before the shift.
+        let _ = WordSet::empty_words(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn empty_words_just_past_the_cap_gets_the_cap_message() {
+        let _ = WordSet::empty_words(16);
+    }
+
+    #[test]
+    fn cache_clear_and_len_round_trip() {
+        let _g = cache_gate();
+        let before = canonical_cache_len();
+        let bm = ln_bitmap(2);
+        assert!(canonical_cache_len() >= 1.max(before));
+        let dropped = clear_canonical_cache();
+        assert!(dropped >= 1);
+        assert_eq!(canonical_cache_len(), 0);
+        // Outstanding handles stay valid; the next request rebuilds.
+        assert_eq!(bm.count(), ln_bitmap(2).count());
+        assert!(!Arc::ptr_eq(&bm, &ln_bitmap(2)));
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Contention test for the process-wide canonical-bitmap cache
+//! (`ucfg_core::wordset`): 8 threads hammer `ln_bitmap(n)` and the
+//! `obs` counters must show **exactly one build per `n`** — the
+//! per-key once-cell discipline, not the old racy-duplicate-build one —
+//! plus a clear/len round trip.
+//!
+//! This lives in its own integration-test binary (own process) because
+//! it flips the global `obs` switch and clears the global cache, which
+//! would interleave with the unit tests under the parallel runner.
+//! Everything is one `#[test]` for the same reason.
+
+use std::sync::Arc;
+use ucfg_core::wordset::{self, WordSet};
+use ucfg_support::obs;
+
+const THREADS: usize = 8;
+const ITERS: usize = 100;
+const NS: [usize; 6] = [1, 2, 3, 4, 5, 6];
+
+#[test]
+fn canonical_cache_builds_each_n_exactly_once_under_contention() {
+    obs::set_enabled(true);
+    let hits0 = obs::counter("wordset.cache.hits").value();
+    let misses0 = obs::counter("wordset.cache.misses").value();
+
+    let per_thread: Vec<Vec<Arc<WordSet>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut last = Vec::new();
+                    for _ in 0..ITERS {
+                        last = NS.iter().map(|&n| wordset::ln_bitmap(n)).collect();
+                    }
+                    last
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cache hammer thread panicked"))
+            .collect()
+    });
+
+    // Every thread ends up holding the same allocation per n.
+    for (t, thread_refs) in per_thread.iter().enumerate().skip(1) {
+        for (a, b) in per_thread[0].iter().zip(thread_refs) {
+            assert!(Arc::ptr_eq(a, b), "thread {t} saw a duplicate build");
+        }
+    }
+    for (&n, bm) in NS.iter().zip(&per_thread[0]) {
+        assert_eq!(bm.domain(), 1u64 << (2 * n), "n = {n}");
+    }
+
+    let calls = (THREADS * ITERS * NS.len()) as u64;
+    let misses = obs::counter("wordset.cache.misses").value() - misses0;
+    let hits = obs::counter("wordset.cache.hits").value() - hits0;
+    assert_eq!(misses, NS.len() as u64, "exactly one build per n");
+    assert_eq!(hits, calls - NS.len() as u64, "hits = calls − distinct n");
+    assert_eq!(obs::gauge("wordset.cache.len").value(), NS.len() as i64);
+    assert!(obs::gauge("wordset.cache.bytes").value() > 0);
+    assert_eq!(wordset::canonical_cache_len(), NS.len());
+
+    // Clear / len round trip: the cache empties, the gauges reset, and
+    // the next request is a rebuild (a fresh miss, a fresh allocation).
+    assert_eq!(wordset::clear_canonical_cache(), NS.len());
+    assert_eq!(wordset::canonical_cache_len(), 0);
+    assert_eq!(obs::counter("wordset.cache.clears").value(), 1);
+    assert_eq!(obs::gauge("wordset.cache.len").value(), 0);
+    assert_eq!(obs::gauge("wordset.cache.bytes").value(), 0);
+
+    let rebuilt = wordset::ln_bitmap(NS[2]);
+    assert!(
+        !Arc::ptr_eq(&per_thread[0][2], &rebuilt),
+        "post-clear request rebuilds instead of resurrecting"
+    );
+    assert_eq!(rebuilt.count(), per_thread[0][2].count());
+    assert_eq!(
+        obs::counter("wordset.cache.misses").value() - misses0,
+        NS.len() as u64 + 1
+    );
+}

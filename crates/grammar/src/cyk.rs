@@ -16,6 +16,7 @@ use crate::normal_form::CnfGrammar;
 use crate::parse_tree::{Child, ParseTree};
 use crate::symbol::{NonTerminal, Terminal};
 use std::collections::HashMap;
+use ucfg_support::obs;
 
 /// Binary rules re-indexed for the bitset CYK kernel.
 ///
@@ -50,6 +51,7 @@ const NO_RULE: u32 = u32::MAX;
 impl CykRuleIndex {
     /// Index the binary rules of `g` by left child.
     pub fn new(g: &CnfGrammar) -> Self {
+        obs::count!("cyk.index_builds");
         let nts = g.nonterminal_count();
         let words_per_set = nts.div_ceil(64);
         let mut c_masks = vec![0u64; nts * words_per_set];
@@ -88,7 +90,8 @@ impl<'g> CykChart<'g> {
     /// batches of words over one grammar, build a [`CykRuleIndex`] once
     /// and use [`CykChart::build_with_index`].
     pub fn build(g: &'g CnfGrammar, word: &[Terminal]) -> Self {
-        Self::build_with_index(g, &CykRuleIndex::new(g), word)
+        obs::count!("cyk.charts.throwaway_index");
+        Self::chart(g, &CykRuleIndex::new(g), word)
     }
 
     /// Parse `word` with the rule-indexed bitset kernel: for every span
@@ -96,10 +99,32 @@ impl<'g> CykChart<'g> {
     /// right cell with `B`'s rule group block-wise (word-level AND to find
     /// live right children, word-level OR to deposit heads).
     pub fn build_with_index(g: &'g CnfGrammar, index: &CykRuleIndex, word: &[Terminal]) -> Self {
+        obs::count!("cyk.charts.reused_index");
+        Self::chart(g, index, word)
+    }
+
+    /// Shared entry of [`CykChart::build`] / [`CykChart::build_with_index`]:
+    /// dispatch on the trace flag once per chart, so the untraced fill is
+    /// monomorphised without any counting code in its hot loops.
+    fn chart(g: &'g CnfGrammar, index: &CykRuleIndex, word: &[Terminal]) -> Self {
+        if obs::enabled() {
+            obs::count!("cyk.charts");
+            Self::fill::<true>(g, index, word)
+        } else {
+            Self::fill::<false>(g, index, word)
+        }
+    }
+
+    /// The bitset fill. With `TRACE`, rule-slab AND/OR word ops accumulate
+    /// in locals and flush to the `cyk.and_ops` / `cyk.or_ops` counters
+    /// once per chart; with `TRACE = false` the accumulation compiles out.
+    fn fill<const TRACE: bool>(g: &'g CnfGrammar, index: &CykRuleIndex, word: &[Terminal]) -> Self {
         let n = word.len();
         let words_per_set = index.words_per_set;
         let mut cells = vec![vec![0u64; words_per_set]; n * n.max(1)];
         let idx = |i: usize, len: usize| (len - 1) * n + i;
+        let mut and_ops: u64 = 0;
+        let mut or_ops: u64 = 0;
         // Length 1: terminal rules.
         for (i, &t) in word.iter().enumerate() {
             for &(a, tt) in g.term_rules() {
@@ -122,6 +147,9 @@ impl<'g> CykChart<'g> {
                             let b = bw * 64 + lbits.trailing_zeros() as usize;
                             lbits &= lbits - 1;
                             let c_mask = &index.c_masks[b * words_per_set..][..words_per_set];
+                            if TRACE {
+                                and_ops += words_per_set as u64;
+                            }
                             for (cw, (&cm, &rw)) in c_mask.iter().zip(right.iter()).enumerate() {
                                 let mut hits = cm & rw;
                                 while hits != 0 {
@@ -129,6 +157,9 @@ impl<'g> CykChart<'g> {
                                     hits &= hits - 1;
                                     let off = index.a_offset[b * index.nts + c] as usize;
                                     let mask = &index.a_slab[off..][..words_per_set];
+                                    if TRACE {
+                                        or_ops += words_per_set as u64;
+                                    }
                                     for (t, &m) in acc.iter_mut().zip(mask) {
                                         *t |= m;
                                     }
@@ -139,6 +170,10 @@ impl<'g> CykChart<'g> {
                 }
                 cells[idx(i, len)].copy_from_slice(&acc);
             }
+        }
+        if TRACE {
+            obs::count!("cyk.and_ops", and_ops);
+            obs::count!("cyk.or_ops", or_ops);
         }
         CykChart {
             g,
@@ -497,6 +532,33 @@ mod tests {
             assert!(CykChart::build_with_index(&cnf, &index, &word).accepted());
         }
         assert!(!CykChart::build_with_index(&cnf, &index, &cnf.encode("aba").unwrap()).accepted());
+    }
+
+    #[test]
+    fn traced_fill_matches_untraced_and_counts_work() {
+        let g = catalan();
+        let w = vec![Terminal(0); 6];
+        let untraced = CykChart::build(&g, &w);
+        obs::set_enabled(true);
+        let charts0 = obs::counter("cyk.charts").value();
+        let and0 = obs::counter("cyk.and_ops").value();
+        let or0 = obs::counter("cyk.or_ops").value();
+        let reused0 = obs::counter("cyk.charts.reused_index").value();
+        let traced = CykChart::build(&g, &w);
+        let index = CykRuleIndex::new(&g);
+        let traced_reuse = CykChart::build_with_index(&g, &index, &w);
+        obs::set_enabled(false);
+        // Same chart bytes on every path, traced or not.
+        assert_eq!(traced.cells, untraced.cells);
+        assert_eq!(traced_reuse.cells, untraced.cells);
+        assert_eq!(traced.cells, CykChart::build_scalar(&g, &w).cells);
+        assert!(obs::counter("cyk.charts").value() >= charts0 + 2);
+        assert!(obs::counter("cyk.charts.reused_index").value() > reused0);
+        assert!(
+            obs::counter("cyk.and_ops").value() > and0,
+            "AND ops counted"
+        );
+        assert!(obs::counter("cyk.or_ops").value() > or0, "OR ops counted");
     }
 
     #[test]

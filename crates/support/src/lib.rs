@@ -14,11 +14,16 @@
 //!   `criterion`),
 //! - [`par`] — a scoped, deterministic parallel-map layer (ordered
 //!   results, fixed chunking, `UCFG_THREADS` override, serial fallback)
-//!   for the exhaustive kernels (replaces `rayon`).
+//!   for the exhaustive kernels (replaces `rayon`),
+//! - [`obs`] — a process-wide observability layer (counters / gauges /
+//!   duration histograms behind atomics, RAII spans, a deterministic
+//!   `out/METRICS_*.json` exporter), off by default and switched on by
+//!   `UCFG_TRACE=1` or the binaries' `--trace` flag.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;

@@ -24,6 +24,7 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]); // ordered, regardless of threads
 //! ```
 
+use crate::obs;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -59,6 +60,39 @@ pub fn set_thread_count(threads: usize) {
     std::env::set_var(THREADS_ENV, threads.to_string());
 }
 
+/// Strip every thread-override flag from a binary's argument list,
+/// applying the override via [`set_thread_count`], and return the
+/// remaining arguments. All four conventional spellings are accepted:
+/// `--threads N`, `-j N`, `--threads=N` and `-jN`. A flag with a
+/// missing, zero or non-numeric count is an error (not silently
+/// ignored), so `--threads banana` can never be misread as a command.
+pub fn strip_thread_flags(args: &[String]) -> Result<Vec<String>, String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let spec: Option<std::borrow::Cow<'_, str>> = if arg == "--threads" || arg == "-j" {
+            match iter.next() {
+                Some(v) => Some(v.as_str().into()),
+                None => return Err(format!("{arg} requires a thread count")),
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            Some(v.into())
+        } else {
+            arg.strip_prefix("-j")
+                .filter(|v| !v.is_empty())
+                .map(|v| v.into())
+        };
+        match spec {
+            Some(v) => match parse_threads(Some(&v)) {
+                Some(t) => set_thread_count(t),
+                None => return Err(format!("invalid thread count '{v}' (want an integer ≥ 1)")),
+            },
+            None => rest.push(arg.clone()),
+        }
+    }
+    Ok(rest)
+}
+
 /// The fixed chunk size for an input of `len` items: at most
 /// [`MAX_CHUNKS`] chunks, depending only on `len`.
 fn chunk_len(len: usize) -> usize {
@@ -73,7 +107,12 @@ pub fn run_chunks<A: Send>(
     threads: usize,
     work: impl Fn(usize) -> A + Sync,
 ) -> Vec<A> {
+    obs::count!("par.calls");
+    obs::count!("par.chunks", num_chunks as u64);
     if threads <= 1 || num_chunks <= 1 {
+        // Which calls take the serial path depends on the worker count,
+        // so this counter lives in the volatile stratum.
+        obs::vcount!("par.serial_hits");
         return (0..num_chunks).map(work).collect();
     }
     let workers = threads.min(num_chunks);
@@ -90,6 +129,9 @@ pub fn run_chunks<A: Send>(
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= num_chunks {
+                            // Per-worker load: how evenly the atomic
+                            // queue spread the chunks (volatile).
+                            obs::record!("par.worker.chunks", done.len() as u64);
                             return done;
                         }
                         done.push((idx, work(idx)));
@@ -126,6 +168,7 @@ pub fn par_map_threads<T: Sync, U: Send>(
     if len == 0 {
         return Vec::new();
     }
+    obs::count!("par.items", len as u64);
     let chunk = chunk_len(len);
     let per_chunk = run_chunks(len.div_ceil(chunk), threads, |ci| {
         let lo = ci * chunk;
@@ -156,6 +199,7 @@ pub fn map_ranges_threads<A: Send>(
     if len == 0 {
         return Vec::new();
     }
+    obs::count!("par.items", len);
     let chunk = len.div_ceil(MAX_CHUNKS as u64).max(1);
     let num_chunks = len.div_ceil(chunk) as usize;
     run_chunks(num_chunks, threads, |ci| {
@@ -250,5 +294,42 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn strip_thread_flags_accepts_all_four_spellings() {
+        for form in [
+            &["--threads", "3", "cmd"][..],
+            &["-j", "3", "cmd"],
+            &["--threads=3", "cmd"],
+            &["-j3", "cmd"],
+        ] {
+            let rest = strip_thread_flags(&argv(form)).expect("valid spelling");
+            assert_eq!(rest, argv(&["cmd"]), "form {form:?}");
+            assert_eq!(thread_count(), 3, "form {form:?}");
+        }
+        // Later flags win; non-flag args pass through in order.
+        let rest = strip_thread_flags(&argv(&["a", "-j2", "b", "--threads=5"])).unwrap();
+        assert_eq!(rest, argv(&["a", "b"]));
+        assert_eq!(thread_count(), 5);
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn strip_thread_flags_rejects_bad_counts() {
+        for bad in [
+            &["--threads"][..],
+            &["-j"],
+            &["--threads", "0"],
+            &["--threads=banana"],
+            &["-j0"],
+            &["-jx"],
+        ] {
+            assert!(strip_thread_flags(&argv(bad)).is_err(), "form {bad:?}");
+        }
     }
 }
