@@ -243,6 +243,250 @@ pub fn cmd_determinize(src: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parsed flags for `ucfg serve`. Thread flags are stripped by
+/// [`dispatch`] before these are parsed, so `--threads`/-j` compose with
+/// every option here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Interface to bind (default loopback).
+    pub host: String,
+    /// TCP port (default 7878; `0` asks the OS for an ephemeral port).
+    pub port: u16,
+    /// Bounded batch-queue depth.
+    pub queue_depth: usize,
+    /// Per-request queue deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Artifact-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Maximum concurrent connections.
+    pub max_connections: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        let d = ucfg_serve::ServeConfig::default();
+        ServeArgs {
+            host: d.host,
+            port: d.port,
+            queue_depth: d.queue_depth,
+            deadline_ms: d.deadline_ms,
+            cache_capacity: d.cache_capacity,
+            max_connections: d.max_connections,
+        }
+    }
+}
+
+/// Pop the value for a `--flag VALUE` / `--flag=VALUE` pair. Returns
+/// `Ok(None)` when `args[*i]` is not this flag; advances `*i` past the
+/// consumed tokens otherwise.
+fn flag_value(args: &[String], i: &mut usize, name: &str) -> Result<Option<String>, CliError> {
+    let arg = &args[*i];
+    if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+        *i += 1;
+        return Ok(Some(v.to_string()));
+    }
+    if arg == name {
+        let v = args
+            .get(*i + 1)
+            .ok_or_else(|| err(format!("{name} needs a value")))?;
+        *i += 2;
+        return Ok(Some(v.clone()));
+    }
+    Ok(None)
+}
+
+fn parse_port(s: &str) -> Result<u16, CliError> {
+    s.parse()
+        .map_err(|_| err(format!("not a valid port: {s:?} (expected 0..=65535)")))
+}
+
+fn parse_positive<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| err(format!("not a valid {what}: {s:?}")))
+}
+
+/// Parse the flags of `ucfg serve`.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = flag_value(args, &mut i, "--port")? {
+            out.port = parse_port(&v)?;
+        } else if let Some(v) = flag_value(args, &mut i, "--host")? {
+            out.host = v;
+        } else if let Some(v) = flag_value(args, &mut i, "--queue-depth")? {
+            out.queue_depth = parse_positive(&v, "queue depth")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--deadline-ms")? {
+            out.deadline_ms = parse_positive(&v, "deadline")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--cache-capacity")? {
+            out.cache_capacity = parse_positive(&v, "cache capacity")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--max-connections")? {
+            out.max_connections = parse_positive(&v, "connection bound")?;
+        } else {
+            return Err(err(format!("unrecognised serve flag: {}", args[i])));
+        }
+    }
+    Ok(out)
+}
+
+/// `ucfg serve [--port N] [--host H] [...]` — run the query daemon.
+///
+/// Blocks until SIGTERM / ctrl-c / `POST /shutdown`, then drains
+/// in-flight batches and returns a one-line summary. The metrics layer
+/// is always on for the daemon; `out/METRICS_serve.json` (honouring
+/// `$UCFG_OUT_DIR`) is written after the graceful drain. The listening
+/// address goes to stderr *before* the accept loop starts so scripts
+/// can synchronise on it.
+pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let sa = parse_serve_args(args)?;
+    ucfg_support::obs::set_enabled(true);
+    ucfg_serve::Server::install_signal_handlers();
+    let server = ucfg_serve::Server::bind(ucfg_serve::ServeConfig {
+        host: sa.host,
+        port: sa.port,
+        queue_depth: sa.queue_depth,
+        deadline_ms: sa.deadline_ms,
+        cache_capacity: sa.cache_capacity,
+        max_connections: sa.max_connections,
+    })
+    .map_err(|e| err(format!("bind failed: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| err(format!("no local address: {e}")))?;
+    let threads = ucfg_support::par::thread_count();
+    eprintln!(
+        "ucfg-serve listening on {addr} ({threads} thread{})",
+        if threads == 1 { "" } else { "s" }
+    );
+    let summary = server
+        .run()
+        .map_err(|e| err(format!("server error: {e}")))?;
+    let metrics = ucfg_support::obs::write_metrics("serve")
+        .map_err(|e| err(format!("could not write metrics: {e}")))?;
+    Ok(format!(
+        "served {} requests; metrics written to {}\n",
+        summary.requests,
+        metrics.display()
+    ))
+}
+
+/// Parsed flags for `ucfg query`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryArgs {
+    /// Daemon host (default loopback).
+    pub host: String,
+    /// Daemon port — required; there is no default so a stray `query`
+    /// can't silently talk to an unrelated local service.
+    pub port: u16,
+    /// Script file (JSON lines); `None` means the script came on stdin.
+    pub file: Option<String>,
+    /// Send `POST /shutdown` after the script.
+    pub shutdown: bool,
+}
+
+/// Parse the flags of `ucfg query`.
+pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, CliError> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: Option<u16> = None;
+    let mut file = None;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = flag_value(args, &mut i, "--port")? {
+            port = Some(parse_port(&v)?);
+        } else if let Some(v) = flag_value(args, &mut i, "--host")? {
+            host = v;
+        } else if let Some(v) = flag_value(args, &mut i, "--file")? {
+            file = Some(v);
+        } else if args[i] == "--shutdown" {
+            shutdown = true;
+            i += 1;
+        } else {
+            return Err(err(format!("unrecognised query flag: {}", args[i])));
+        }
+    }
+    let port = port.ok_or_else(|| err("query needs --port N"))?;
+    Ok(QueryArgs {
+        host,
+        port,
+        file,
+        shutdown,
+    })
+}
+
+/// `ucfg query --port N [--file script.jsonl] [--shutdown]` — drive a
+/// running daemon with a script of JSON lines.
+///
+/// Each non-empty, non-`#` line is a JSON object whose `"path"` key
+/// routes the request; an optional `"method"` overrides the verb and
+/// every *other* key becomes the request body. Lines with no body keys
+/// default to `GET`, lines with body keys to `POST` — so
+/// `{"path": "/healthz"}` probes and
+/// `{"path": "/parse", "grammar": "S -> a", "word": "a"}` parses.
+/// The output is one `<status> <body>` line per request, in script
+/// order, suitable for byte-comparison across daemon configurations.
+pub fn cmd_query(args: &[String], stdin: &str) -> Result<String, CliError> {
+    let qa = parse_query_args(args)?;
+    let script = match &qa.file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| err(format!("could not read {path}: {e}")))?
+        }
+        None => stdin.to_string(),
+    };
+    let addr = format!("{}:{}", qa.host, qa.port);
+    let mut client = ucfg_serve::Client::connect_retry(&addr, std::time::Duration::from_secs(10))
+        .map_err(|e| err(format!("could not connect to {addr}: {e}")))?;
+    let mut out = String::new();
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = ucfg_serve::Json::parse(line)
+            .map_err(|e| err(format!("script line {}: {e}", lineno + 1)))?;
+        let entries = match v {
+            ucfg_serve::Json::Obj(entries) => entries,
+            _ => return Err(err(format!("script line {}: not an object", lineno + 1))),
+        };
+        let mut path = None;
+        let mut method = None;
+        let mut body_entries = Vec::new();
+        for (k, val) in entries {
+            match (k.as_str(), &val) {
+                ("path", ucfg_serve::Json::Str(s)) => path = Some(s.clone()),
+                ("method", ucfg_serve::Json::Str(s)) => method = Some(s.clone()),
+                ("path" | "method", _) => {
+                    return Err(err(format!(
+                        "script line {}: {k:?} must be a string",
+                        lineno + 1
+                    )))
+                }
+                _ => body_entries.push((k, val)),
+            }
+        }
+        let path =
+            path.ok_or_else(|| err(format!("script line {}: missing \"path\"", lineno + 1)))?;
+        let body = if body_entries.is_empty() {
+            None
+        } else {
+            Some(ucfg_serve::Json::Obj(body_entries).render())
+        };
+        let method =
+            method.unwrap_or_else(|| if body.is_none() { "GET" } else { "POST" }.to_string());
+        let r = client
+            .request(&method, &path, body.as_deref())
+            .map_err(|e| err(format!("script line {}: request failed: {e}", lineno + 1)))?;
+        let _ = writeln!(out, "{} {}", r.status, r.body.trim_end_matches('\n'));
+    }
+    if qa.shutdown {
+        let r = client
+            .request("POST", "/shutdown", None)
+            .map_err(|e| err(format!("shutdown request failed: {e}")))?;
+        let _ = writeln!(out, "{} {}", r.status, r.body.trim_end_matches('\n'));
+    }
+    Ok(out)
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "ucfg — the uCFG lower-bound toolkit (PODS 2025 reproduction)\n\
@@ -257,6 +501,13 @@ pub fn usage() -> String {
        ucfg extract <n>              Proposition 7 extraction demo\n\
        ucfg rank    <n>              Theorem 17 rank certificates (parallel;\n\
                                      set UCFG_THREADS to pin the worker count)\n\
+       ucfg serve [--port N] [--host H] [--queue-depth N]\n\
+                  [--deadline-ms N] [--cache-capacity N] [--max-connections N]\n\
+                                     run the resident query daemon (default\n\
+                                     port 7878; metrics → out/METRICS_serve.json)\n\
+       ucfg query --port N [--host H] [--file script.jsonl] [--shutdown]\n\
+                                     drive a daemon with JSON-lines requests\n\
+                                     (script from --file, else stdin)\n\
      \n\
      global flags:\n\
        --threads N | --threads=N | -j N | -jN\n\
@@ -291,6 +542,8 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd] if cmd == "determinize" => cmd_determinize(stdin),
         [cmd, n] if cmd == "extract" => cmd_extract(n),
         [cmd, n] if cmd == "rank" => cmd_rank(n),
+        [cmd, flags @ ..] if cmd == "serve" => cmd_serve(flags),
+        [cmd, flags @ ..] if cmd == "query" => cmd_query(flags, stdin),
         [] => Ok(usage()),
         _ => Err(err(format!(
             "unrecognised arguments: {rest:?}\n\n{}",
@@ -422,6 +675,126 @@ mod tests {
         assert!(dispatch(&["--threads=x".into()], "").is_err());
         assert!(dispatch(&["-j0".into()], "").is_err());
         assert!(dispatch(&["-jx".into()], "").is_err());
+    }
+
+    #[test]
+    fn serve_args_parse_and_reject() {
+        let d = parse_serve_args(&[]).unwrap();
+        assert_eq!(d.port, 7878);
+        assert_eq!(d.host, "127.0.0.1");
+        let a = parse_serve_args(&[
+            "--port".into(),
+            "9000".into(),
+            "--host=0.0.0.0".into(),
+            "--queue-depth".into(),
+            "8".into(),
+            "--deadline-ms=250".into(),
+            "--cache-capacity".into(),
+            "4".into(),
+            "--max-connections=2".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            a,
+            ServeArgs {
+                host: "0.0.0.0".into(),
+                port: 9000,
+                queue_depth: 8,
+                deadline_ms: 250,
+                cache_capacity: 4,
+                max_connections: 2,
+            }
+        );
+        // Malformed ports are hard errors, in both flag spellings.
+        for bad in ["x", "-1", "65536", "70000", "1.5", ""] {
+            assert!(
+                parse_serve_args(&["--port".into(), bad.into()]).is_err(),
+                "--port {bad} must be rejected"
+            );
+            assert!(
+                parse_serve_args(&[format!("--port={bad}")]).is_err(),
+                "--port={bad} must be rejected"
+            );
+        }
+        assert!(parse_serve_args(&["--port".into()]).is_err());
+        assert!(parse_serve_args(&["--bogus".into()]).is_err());
+        assert!(parse_serve_args(&["--queue-depth".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn query_args_parse_and_reject() {
+        let q = parse_query_args(&["--port".into(), "7878".into()]).unwrap();
+        assert_eq!(
+            q,
+            QueryArgs {
+                host: "127.0.0.1".into(),
+                port: 7878,
+                file: None,
+                shutdown: false,
+            }
+        );
+        let q = parse_query_args(&[
+            "--port=1234".into(),
+            "--host".into(),
+            "::1".into(),
+            "--file".into(),
+            "s.jsonl".into(),
+            "--shutdown".into(),
+        ])
+        .unwrap();
+        assert_eq!(q.port, 1234);
+        assert_eq!(q.file.as_deref(), Some("s.jsonl"));
+        assert!(q.shutdown);
+        // Port is mandatory and malformed ports are hard errors.
+        assert!(parse_query_args(&[]).is_err());
+        assert!(parse_query_args(&["--port".into(), "no".into()]).is_err());
+        assert!(parse_query_args(&["--port=99999".into()]).is_err());
+        assert!(parse_query_args(&["--wat".into()]).is_err());
+    }
+
+    #[test]
+    fn query_drives_a_live_daemon() {
+        // A real daemon on an ephemeral loopback port, driven through
+        // the same code path as `ucfg query` with a stdin script.
+        let server = ucfg_serve::Server::bind(ucfg_serve::ServeConfig {
+            port: 0,
+            ..ucfg_serve::ServeConfig::default()
+        })
+        .expect("bind");
+        let port = server.local_addr().expect("addr").port();
+        let join = std::thread::spawn(move || server.run().expect("run"));
+
+        // Script errors are reported with line numbers.
+        let bad = cmd_query(&["--port".into(), port.to_string()], "not json\n").unwrap_err();
+        assert!(bad.to_string().contains("line 1"), "{bad}");
+        let bad = cmd_query(
+            &["--port".into(), port.to_string()],
+            "{\"method\": \"GET\"}\n",
+        )
+        .unwrap_err();
+        assert!(bad.to_string().contains("missing \"path\""), "{bad}");
+
+        let script = "# probe, parse twice (second hits the cache), then stop\n\
+                      {\"path\": \"/healthz\"}\n\
+                      {\"path\": \"/parse\", \"grammar\": \"S -> a S b S | ()\", \"word\": \"ab\"}\n\
+                      {\"path\": \"/parse\", \"grammar\": \"S -> a S b S | ()\", \"word\": \"ab\"}\n";
+        let out = cmd_query(
+            &["--port".into(), port.to_string(), "--shutdown".into()],
+            script,
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[0].starts_with("200 "), "{out}");
+        assert!(lines[1].contains("\"member\":true"), "{out}");
+        assert!(lines[1].contains("\"cache\":\"miss\""), "{out}");
+        assert_eq!(
+            lines[2],
+            lines[1].replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+            "warm repeat identical apart from the cache tag"
+        );
+        assert!(lines[3].contains("draining"), "{out}");
+        join.join().expect("clean join");
     }
 
     #[test]

@@ -5,11 +5,17 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Only the grammar-reading commands consume stdin; don't block otherwise.
-    let stdin = if matches!(
-        args.first().map(String::as_str),
-        Some("check") | Some("determinize")
-    ) {
+    // Only the stdin-reading commands consume stdin; don't block
+    // otherwise. `query` reads its script from stdin unless --file
+    // supplies it.
+    let wants_stdin = match args.first().map(String::as_str) {
+        Some("check") | Some("determinize") => true,
+        Some("query") => !args
+            .iter()
+            .any(|a| a == "--file" || a.starts_with("--file=")),
+        _ => false,
+    };
+    let stdin = if wants_stdin {
         let mut buf = String::new();
         if std::io::stdin().read_to_string(&mut buf).is_err() {
             eprintln!("error: could not read stdin");

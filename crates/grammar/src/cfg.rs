@@ -175,6 +175,69 @@ impl Grammar {
         Ok(())
     }
 
+    /// A stable 64-bit content hash (FNV-1a over a canonical rule
+    /// serialisation), suitable as a content-addressed cache key for
+    /// compiled artifacts (CNF conversions, CYK rule indexes, Earley
+    /// tables).
+    ///
+    /// Canonicalisation guarantees two invariances, covered by unit
+    /// tests:
+    ///
+    /// - **renaming-insensitive** — non-terminal *names* never enter the
+    ///   hash, only their ids, so `S → A A` and `Start → Left Left`
+    ///   (same ids, different spellings) hash equal;
+    /// - **rule-order-insensitive** — rule encodings are sorted before
+    ///   hashing, so permuting `rules` leaves the digest unchanged.
+    ///   Rules are hashed as a *multiset*: a duplicated rule changes the
+    ///   digest, because duplicates change parse counts.
+    ///
+    /// The hash is *not* isomorphism-invariant: relabelling non-terminal
+    /// ids (or reordering the alphabet, which renumbers terminals)
+    /// produces a different digest. That is the right contract for
+    /// content addressing — equal hash means the compiled artifacts are
+    /// interchangeable byte for byte.
+    pub fn content_hash(&self) -> u64 {
+        use ucfg_support::fnv::Fnv1a;
+        let mut encoded: Vec<Vec<u8>> = self
+            .rules
+            .iter()
+            .map(|r| {
+                let mut e = Vec::with_capacity(4 + 5 * r.rhs.len());
+                e.extend_from_slice(&(r.lhs.0).to_le_bytes());
+                for &s in &r.rhs {
+                    match s {
+                        Symbol::T(t) => {
+                            e.push(0);
+                            e.extend_from_slice(&t.0.to_le_bytes());
+                        }
+                        Symbol::N(n) => {
+                            e.push(1);
+                            e.extend_from_slice(&n.0.to_le_bytes());
+                        }
+                    }
+                }
+                e
+            })
+            .collect();
+        encoded.sort_unstable();
+
+        let mut h = Fnv1a::new();
+        h.write(b"ucfg-cfg-v1");
+        h.write_usize(self.alphabet.len());
+        for &c in &self.alphabet {
+            h.write_u32(c as u32);
+        }
+        h.write_usize(self.nonterminal_names.len());
+        h.write_u32(self.start.0);
+        h.write_usize(encoded.len());
+        for e in &encoded {
+            // Length-prefix each rule so concatenations can't collide.
+            h.write_usize(e.len());
+            h.write(e);
+        }
+        h.finish()
+    }
+
     /// Render a symbol for display.
     pub fn symbol_str(&self, s: Symbol) -> String {
         match s {
@@ -274,6 +337,81 @@ mod tests {
 
         let g = Grammar::from_parts(vec!['a'], vec!["S".into()], vec![], NonTerminal(3));
         assert_eq!(g.validate(), Err(GrammarError::BadStart(NonTerminal(3))));
+    }
+
+    #[test]
+    fn content_hash_is_renaming_insensitive() {
+        // Same structure under ids, different non-terminal spellings.
+        let build = |names: [&str; 2]| {
+            let mut b = GrammarBuilder::new(&['a', 'b']);
+            let s = b.nonterminal(names[0]);
+            let a = b.nonterminal(names[1]);
+            b.rule(s, |r| r.n(a).n(a));
+            b.rule(a, |r| r.t('a'));
+            b.rule(a, |r| r.t('b'));
+            b.build(s)
+        };
+        let g = build(["S", "A"]);
+        let renamed = build(["Start", "Leaf"]);
+        assert_eq!(g.content_hash(), renamed.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_rule_order_insensitive() {
+        let g = tiny();
+        let mut rules = g.rules().to_vec();
+        rules.reverse();
+        let permuted =
+            Grammar::from_parts(g.alphabet().to_vec(), vec!["S".into()], rules, g.start());
+        assert_eq!(g.content_hash(), permuted.content_hash());
+    }
+
+    #[test]
+    fn content_hash_separates_different_grammars() {
+        let g = tiny();
+        // S → a S | a   differs from   S → a S | b
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s));
+        b.rule(s, |r| r.t('a'));
+        let other = b.build(s);
+        assert_ne!(g.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn content_hash_counts_duplicate_rules() {
+        // Duplicated rules double parse counts, so they must change the
+        // digest even though the generated language is unchanged.
+        let g = tiny();
+        let mut rules = g.rules().to_vec();
+        rules.push(rules[1].clone());
+        let doubled =
+            Grammar::from_parts(g.alphabet().to_vec(), vec!["S".into()], rules, g.start());
+        assert_ne!(g.content_hash(), doubled.content_hash());
+    }
+
+    #[test]
+    fn content_hash_depends_on_start_symbol() {
+        let mut b = GrammarBuilder::new(&['a']);
+        let s = b.nonterminal("S");
+        let t = b.nonterminal("T");
+        b.rule(s, |r| r.t('a'));
+        b.rule(t, |r| r.t('a').t('a'));
+        let from_s = b.build(s);
+        let from_t = Grammar::from_parts(
+            from_s.alphabet().to_vec(),
+            vec!["S".into(), "T".into()],
+            from_s.rules().to_vec(),
+            t,
+        );
+        assert_ne!(from_s.content_hash(), from_t.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_calls() {
+        let g = tiny();
+        assert_eq!(g.content_hash(), g.content_hash());
+        assert_eq!(g.content_hash(), g.clone().content_hash());
     }
 
     #[test]

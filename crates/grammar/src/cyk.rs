@@ -31,6 +31,7 @@ use ucfg_support::obs;
 /// Build it once per grammar ([`CykRuleIndex::new`]) and reuse it across
 /// words via [`CykChart::build_with_index`]; [`CykChart::build`] creates a
 /// throwaway index internally.
+#[derive(Debug)]
 pub struct CykRuleIndex {
     nts: usize,
     words_per_set: usize,

@@ -27,9 +27,21 @@ pub struct Earley<'g> {
 impl<'g> Earley<'g> {
     /// Wrap a grammar for recognition.
     pub fn new(g: &'g Grammar) -> Self {
+        Self::with_nullable(g, nullable(g))
+    }
+
+    /// Wrap a grammar with a precomputed nullable table (the "Earley
+    /// table" an artifact cache stores alongside the grammar), skipping
+    /// the per-construction [`nullable`] fixpoint.
+    ///
+    /// `precomputed` must be `nullable(g)` for this exact grammar; a
+    /// mismatched table gives wrong answers, so this is checked by a
+    /// debug assertion.
+    pub fn with_nullable(g: &'g Grammar, precomputed: Vec<bool>) -> Self {
+        debug_assert_eq!(precomputed, nullable(g), "nullable table mismatch");
         Earley {
             g,
-            nullable: nullable(g),
+            nullable: precomputed,
         }
     }
 
@@ -231,6 +243,19 @@ mod tests {
         assert!(e.recognize_str("a"));
         assert!(!e.recognize_str(""));
         assert!(!e.recognize_str("aa"));
+    }
+
+    #[test]
+    fn with_nullable_matches_new() {
+        let mut b = GrammarBuilder::new(&['a', 'b']);
+        let s = b.nonterminal("S");
+        b.rule(s, |r| r.t('a').n(s).t('b').n(s));
+        b.epsilon_rule(s);
+        let g = b.build(s);
+        let table = crate::analysis::nullable(&g);
+        let e = Earley::with_nullable(&g, table);
+        assert!(e.recognize_str("aabb"));
+        assert!(!e.recognize_str("ba"));
     }
 
     #[test]

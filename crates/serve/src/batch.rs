@@ -1,0 +1,445 @@
+//! The batching scheduler.
+//!
+//! `/parse` requests are enqueued (bounded; a full queue **load-sheds**
+//! instead of blocking) and a single scheduler thread drains the queue,
+//! groups the drained requests by grammar hash, resolves each group's
+//! compiled artifact through the [`ArtifactCache`] once, and runs the
+//! group as one batch on the deterministic `ucfg_support::par` pool —
+//! one `build_with_index` chart per word, all sharing the group's
+//! [`CykRuleIndex`](ucfg_grammar::cyk::CykRuleIndex).
+//!
+//! Each request carries its enqueue time; requests that sat in the
+//! queue past the configured deadline are answered with
+//! `deadline_exceeded` instead of being parsed.
+//!
+//! Determinism: batch *results* are pure functions of (grammar, word),
+//! so responses are byte-identical across thread counts and batch
+//! shapes. Batch *shapes* (how many requests a drain catches) depend on
+//! timing, so batch counters and sizes are volatile instruments.
+
+use crate::cache::{Artifact, ArtifactCache, GrammarArtifact};
+use crate::protocol::ApiError;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use ucfg_grammar::Grammar;
+use ucfg_support::{obs, par};
+
+/// The outcome of one `/parse` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOutcome {
+    /// Is the word in the language?
+    pub member: bool,
+    /// Exact number of parse trees, as a decimal string (may exceed
+    /// `u64`).
+    pub parse_count: String,
+    /// Does the word have ≥ 2 parse trees? (Word-level ambiguity — the
+    /// paper's uCFG condition is that *no* word has two trees.)
+    pub ambiguous: bool,
+    /// The grammar's content hash (hex), echoing the cache key.
+    pub grammar_hash: u64,
+    /// Did this request's batch group hit the artifact cache?
+    pub cache_hit: bool,
+    /// `Some(true)` when the Earley cross-check ran and agreed;
+    /// a disagreement is answered as an internal error instead.
+    pub cross_checked: Option<bool>,
+}
+
+/// One queued `/parse` request.
+pub struct ParseJob {
+    /// The grammar's content hash — the batch group key.
+    pub key: u64,
+    /// The parsed grammar, used to compile the artifact on a miss.
+    pub grammar: Grammar,
+    /// The word to test.
+    pub word: String,
+    /// Run the Earley cross-check?
+    pub check: bool,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Where the answer goes (the connection thread blocks on the
+    /// paired receiver).
+    pub reply: mpsc::Sender<Result<ParseOutcome, ApiError>>,
+}
+
+/// The bounded queue + scheduler.
+pub struct Scheduler {
+    queue: Mutex<VecDeque<ParseJob>>,
+    cv: Condvar,
+    depth: usize,
+    deadline: Duration,
+    stopping: AtomicBool,
+}
+
+impl Scheduler {
+    /// A scheduler with the given queue bound and per-request deadline.
+    pub fn new(depth: usize, deadline: Duration) -> Scheduler {
+        Scheduler {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            depth: depth.max(1),
+            deadline,
+            stopping: AtomicBool::new(false),
+        }
+    }
+
+    /// The queue bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current queue length (for `/healthz`).
+    pub fn queue_len(&self) -> usize {
+        self.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Enqueue a job, or shed it if the queue is full or the scheduler
+    /// is stopping. Never blocks.
+    pub fn try_enqueue(&self, job: ParseJob) -> Result<(), ApiError> {
+        if self.stopping.load(Ordering::SeqCst) {
+            return Err(ApiError::ShuttingDown);
+        }
+        {
+            let mut q = self.queue.lock().expect("queue poisoned");
+            if q.len() >= self.depth {
+                obs::count!("serve.rejects.load_shed");
+                return Err(ApiError::LoadShed { depth: self.depth });
+            }
+            q.push_back(job);
+            obs::gauge_set!("serve.queue.depth", q.len() as i64);
+        }
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Ask the drain loop to exit once the queue is empty.
+    pub fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// The scheduler thread body: drain, group by grammar hash, resolve
+    /// artifacts through `cache`, run each group as one parallel batch,
+    /// reply. Returns (after draining everything still queued) once
+    /// [`Scheduler::stop`] has been called.
+    pub fn run(&self, cache: &Mutex<ArtifactCache>) {
+        loop {
+            let batch: Vec<ParseJob> = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if !q.is_empty() {
+                        break;
+                    }
+                    if self.stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .expect("queue poisoned");
+                    q = guard;
+                }
+                let drained: Vec<ParseJob> = q.drain(..).collect();
+                obs::gauge_set!("serve.queue.depth", 0);
+                drained
+            };
+
+            obs::vcount!("serve.batches");
+            obs::record!("serve.batch.size", batch.len() as u64);
+
+            for (key, jobs) in group_by_key(batch) {
+                self.run_group(cache, key, jobs);
+            }
+        }
+    }
+
+    fn run_group(&self, cache: &Mutex<ArtifactCache>, key: u64, jobs: Vec<ParseJob>) {
+        // Split out jobs that overstayed their queue deadline.
+        let now = Instant::now();
+        let (live, dead): (Vec<ParseJob>, Vec<ParseJob>) = jobs
+            .into_iter()
+            .partition(|j| now.duration_since(j.enqueued) <= self.deadline);
+        for j in dead {
+            obs::count!("serve.rejects.deadline");
+            let waited_ms = now.duration_since(j.enqueued).as_millis() as u64;
+            let _ = j.reply.send(Err(ApiError::DeadlineExceeded { waited_ms }));
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // One artifact resolve per group: the whole point of batching.
+        let resolved = cache
+            .lock()
+            .expect("cache poisoned")
+            .get_or_insert_with(key, || {
+                Ok(Artifact::Grammar(GrammarArtifact::compile(
+                    live[0].grammar.clone(),
+                )))
+            });
+        let (art, hit) = match resolved {
+            Ok((Artifact::Grammar(g), hit)) => (g, hit),
+            Ok((Artifact::Rects(_), _)) => {
+                for j in live {
+                    let _ = j
+                        .reply
+                        .send(Err(ApiError::Internal("key collision in cache".into())));
+                }
+                return;
+            }
+            Err(e) => {
+                for j in live {
+                    let _ = j.reply.send(Err(e.clone()));
+                }
+                return;
+            }
+        };
+
+        let _t = obs::span!("serve.batch.run");
+        let outcomes = par::par_map(&live, |job| run_one(&art, job, hit));
+        for (job, outcome) in live.iter().zip(outcomes) {
+            let _ = job.reply.send(outcome);
+        }
+    }
+}
+
+/// Group jobs by key, preserving first-appearance order within and
+/// across groups.
+fn group_by_key(jobs: Vec<ParseJob>) -> Vec<(u64, Vec<ParseJob>)> {
+    let mut groups: Vec<(u64, Vec<ParseJob>)> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|(k, _)| *k == job.key) {
+            Some((_, g)) => g.push(job),
+            None => groups.push((job.key, vec![job])),
+        }
+    }
+    groups
+}
+
+/// Parse one word against a compiled artifact. Pure in (artifact,
+/// word), so batch results are thread-count independent.
+fn run_one(
+    art: &GrammarArtifact,
+    job: &ParseJob,
+    cache_hit: bool,
+) -> Result<ParseOutcome, ApiError> {
+    use ucfg_grammar::cyk::CykChart;
+
+    let word = match art.cnf.encode(&job.word) {
+        Some(w) => w,
+        None => {
+            // A letter outside the alphabet: trivially not a member.
+            return Ok(ParseOutcome {
+                member: false,
+                parse_count: "0".to_string(),
+                ambiguous: false,
+                grammar_hash: art.hash,
+                cache_hit,
+                cross_checked: None,
+            });
+        }
+    };
+
+    let chart = CykChart::build_with_index(&art.cnf, &art.index, &word);
+    let member = chart.accepted();
+    let count = chart.count_trees();
+    let ambiguous = !count.is_zero() && count != ucfg_grammar::BigUint::one();
+
+    let cross_checked = if job.check {
+        let earley_member = art.earley().recognize_str(&job.word);
+        if earley_member != member {
+            return Err(ApiError::Internal(format!(
+                "differential mismatch on {:?}: CYK {} vs Earley {}",
+                job.word, member, earley_member
+            )));
+        }
+        Some(true)
+    } else {
+        None
+    };
+
+    Ok(ParseOutcome {
+        member,
+        parse_count: count.to_string(),
+        ambiguous,
+        grammar_hash: art.hash,
+        cache_hit,
+        cross_checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn job(
+        grammar_src: &str,
+        word: &str,
+        check: bool,
+    ) -> (ParseJob, mpsc::Receiver<Result<ParseOutcome, ApiError>>) {
+        let g = ucfg_grammar::text::parse_grammar(grammar_src).unwrap();
+        let (tx, rx) = mpsc::channel();
+        (
+            ParseJob {
+                key: g.content_hash(),
+                grammar: g,
+                word: word.to_string(),
+                check,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn drain_once(sched: &Scheduler, cache: &Mutex<ArtifactCache>) {
+        // Run the loop to completion: stop() first so it exits after
+        // draining what's queued.
+        sched.stop();
+        sched.run(cache);
+    }
+
+    #[test]
+    fn batch_parses_and_counts() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sched = Scheduler::new(8, Duration::from_secs(5));
+        // S → A A ; A → a | b : length-2 words, unambiguous.
+        let src = "S -> A A\nA -> a | b";
+        let (j1, r1) = job(src, "ab", true);
+        let (j2, r2) = job(src, "abc", false);
+        let (j3, r3) = job(src, "a", false);
+        sched.try_enqueue(j1).unwrap();
+        sched.try_enqueue(j2).unwrap();
+        sched.try_enqueue(j3).unwrap();
+        drain_once(&sched, &cache);
+
+        let o1 = r1.recv().unwrap().unwrap();
+        assert!(o1.member);
+        assert_eq!(o1.parse_count, "1");
+        assert!(!o1.ambiguous);
+        assert_eq!(o1.cross_checked, Some(true));
+        assert!(!o1.cache_hit, "first group resolve is a miss");
+
+        // Foreign letter: clean non-membership.
+        let o2 = r2.recv().unwrap().unwrap();
+        assert!(!o2.member);
+        assert_eq!(o2.parse_count, "0");
+
+        let o3 = r3.recv().unwrap().unwrap();
+        assert!(!o3.member);
+    }
+
+    #[test]
+    fn ambiguity_is_detected_with_exact_counts() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sched = Scheduler::new(8, Duration::from_secs(5));
+        // S → S S | a : Catalan-many trees.
+        let (j, r) = job("S -> S S | a", "aaaa", false);
+        sched.try_enqueue(j).unwrap();
+        drain_once(&sched, &cache);
+        let o = r.recv().unwrap().unwrap();
+        assert!(o.member);
+        assert!(o.ambiguous);
+        assert_eq!(o.parse_count, "5", "C_3 = 5 trees for aaaa");
+    }
+
+    #[test]
+    fn shared_grammar_hash_resolves_once_and_hits_after_warmup() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sched = Scheduler::new(8, Duration::from_secs(5));
+        let (j1, r1) = job("S -> a S | b", "aab", false);
+        sched.try_enqueue(j1).unwrap();
+        drain_once(&sched, &cache);
+        assert!(!r1.recv().unwrap().unwrap().cache_hit);
+
+        // Second round, same grammar: the artifact is already cached.
+        let sched2 = Scheduler::new(8, Duration::from_secs(5));
+        let (j2, r2) = job("S -> a S | b", "b", false);
+        let (j3, r3) = job("S -> a S | b", "ab", false);
+        sched2.try_enqueue(j2).unwrap();
+        sched2.try_enqueue(j3).unwrap();
+        drain_once(&sched2, &cache);
+        assert!(r2.recv().unwrap().unwrap().cache_hit);
+        assert!(r3.recv().unwrap().unwrap().cache_hit);
+        assert_eq!(cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let sched = Scheduler::new(2, Duration::from_secs(5));
+        let (j1, _r1) = job("S -> a", "a", false);
+        let (j2, _r2) = job("S -> a", "a", false);
+        let (j3, _r3) = job("S -> a", "a", false);
+        sched.try_enqueue(j1).unwrap();
+        sched.try_enqueue(j2).unwrap();
+        let err = sched.try_enqueue(j3).unwrap_err();
+        assert_eq!(err, ApiError::LoadShed { depth: 2 });
+        assert_eq!(err.status(), 503);
+        assert_eq!(sched.queue_len(), 2);
+    }
+
+    #[test]
+    fn zero_deadline_rejects_queued_work() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sched = Scheduler::new(8, Duration::from_millis(0));
+        let (mut j, r) = job("S -> a", "a", false);
+        // Backdate the enqueue so the deadline has certainly passed.
+        j.enqueued = Instant::now() - Duration::from_millis(50);
+        sched.try_enqueue(j).unwrap();
+        drain_once(&sched, &cache);
+        let err = r.recv().unwrap().unwrap_err();
+        assert!(matches!(err, ApiError::DeadlineExceeded { .. }));
+        assert_eq!(err.status(), 504);
+    }
+
+    #[test]
+    fn stopping_scheduler_sheds_new_work() {
+        let sched = Scheduler::new(8, Duration::from_secs(5));
+        sched.stop();
+        let (j, _r) = job("S -> a", "a", false);
+        assert_eq!(sched.try_enqueue(j).unwrap_err(), ApiError::ShuttingDown);
+    }
+
+    #[test]
+    fn grouping_preserves_order() {
+        let (a1, _r1) = job("S -> a", "a", false);
+        let (b1, _r2) = job("S -> b", "b", false);
+        let (a2, _r3) = job("S -> a", "a", false);
+        let ka = a1.key;
+        let kb = b1.key;
+        assert_ne!(ka, kb);
+        let groups = group_by_key(vec![a1, b1, a2]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, ka);
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, kb);
+    }
+
+    #[test]
+    fn batch_results_match_across_thread_counts() {
+        let src = "S -> a S b S | ()";
+        let words = ["", "ab", "aabb", "abab", "ba", "aab"];
+        let mut per_threads = Vec::new();
+        for threads in [1, 4] {
+            let cache = Mutex::new(ArtifactCache::new(4));
+            let sched = Scheduler::new(16, Duration::from_secs(5));
+            let mut rxs = Vec::new();
+            for w in words {
+                let (j, r) = job(src, w, true);
+                sched.try_enqueue(j).unwrap();
+                rxs.push(r);
+            }
+            // Pin the pool width through the par layer for this run.
+            ucfg_support::par::set_thread_count(threads);
+            drain_once(&sched, &cache);
+            let outcomes: Vec<ParseOutcome> = rxs
+                .into_iter()
+                .map(|r| r.recv().unwrap().unwrap())
+                .collect();
+            per_threads.push(outcomes);
+        }
+        assert_eq!(per_threads[0], per_threads[1]);
+    }
+}

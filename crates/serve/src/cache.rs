@@ -1,0 +1,295 @@
+//! The content-addressed artifact cache.
+//!
+//! Keys are stable FNV-1a digests ([`Grammar::content_hash`] for
+//! grammars, [`crate::protocol::RectRequest::cache_key`] for rectangle
+//! families); values are the expensive compiled artifacts a one-shot
+//! binary rebuilds on every run:
+//!
+//! - [`GrammarArtifact`] — the parsed [`Grammar`], its CNF conversion,
+//!   the flat-slab [`CykRuleIndex`], and the Earley nullable table;
+//! - [`RectsArtifact`] — a materialised rectangle family for the
+//!   cover/discrepancy kernels.
+//!
+//! (The canonical `L_n` bitmaps have their own process-wide cache in
+//! `ucfg_core::wordset`; the kernels hit it automatically and its
+//! traffic shows up under the `wordset.cache.*` counters.)
+//!
+//! Eviction is LRU under a fixed entry capacity. Instrumentation:
+//! `serve.cache.hits` / `serve.cache.misses` / `serve.cache.evictions`
+//! counters and the `serve.cache.len` gauge.
+
+use crate::protocol::{ApiError, RectFamily, RectRequest};
+use std::collections::HashMap;
+use std::sync::Arc;
+use ucfg_core::cover::extraction_to_set_rectangles;
+use ucfg_core::extract::extract_cover;
+use ucfg_core::ln_grammars::example4_ucfg;
+use ucfg_core::SetRectangle;
+use ucfg_grammar::analysis::nullable;
+use ucfg_grammar::cyk::CykRuleIndex;
+use ucfg_grammar::earley::Earley;
+use ucfg_grammar::{CnfGrammar, Grammar};
+use ucfg_support::obs;
+
+/// Everything `/parse` needs, compiled once per distinct grammar hash.
+#[derive(Debug)]
+pub struct GrammarArtifact {
+    /// The grammar's [`Grammar::content_hash`].
+    pub hash: u64,
+    /// The original grammar (Earley runs on this — it handles non-CNF
+    /// bodies directly).
+    pub grammar: Grammar,
+    /// The Earley table: the nullable fixpoint, precomputed.
+    pub nullable: Vec<bool>,
+    /// The Chomsky normal form the CYK chart parses with.
+    pub cnf: CnfGrammar,
+    /// The flat-slab bitset rule index shared by every chart.
+    pub index: CykRuleIndex,
+}
+
+impl GrammarArtifact {
+    /// Compile the full artifact set for `grammar`.
+    pub fn compile(grammar: Grammar) -> Arc<GrammarArtifact> {
+        let _t = obs::span!("serve.compile.grammar");
+        let hash = grammar.content_hash();
+        let nullable = nullable(&grammar);
+        let cnf = CnfGrammar::from_grammar(&grammar);
+        let index = CykRuleIndex::new(&cnf);
+        Arc::new(GrammarArtifact {
+            hash,
+            grammar,
+            nullable,
+            cnf,
+            index,
+        })
+    }
+
+    /// An Earley recogniser borrowing this artifact's grammar and
+    /// precomputed table.
+    pub fn earley(&self) -> Earley<'_> {
+        Earley::with_nullable(&self.grammar, self.nullable.clone())
+    }
+}
+
+/// A materialised rectangle family.
+#[derive(Debug)]
+pub struct RectsArtifact {
+    /// The half-length parameter.
+    pub n: usize,
+    /// The rectangles.
+    pub rects: Vec<SetRectangle>,
+}
+
+impl RectsArtifact {
+    /// Build the family for a bounds-checked [`RectRequest`].
+    pub fn build(req: RectRequest) -> Result<Arc<RectsArtifact>, ApiError> {
+        let _t = obs::span!("serve.compile.rects");
+        let rects = match req.family {
+            RectFamily::Example8 => ucfg_core::cover::example8_cover(req.n),
+            RectFamily::Extraction => {
+                let cnf = CnfGrammar::from_grammar(&example4_ucfg(req.n));
+                let res = extract_cover(&cnf, 2 * req.n)
+                    .map_err(|e| ApiError::Internal(format!("extraction failed: {e:?}")))?;
+                extraction_to_set_rectangles(req.n, &res)
+            }
+        };
+        Ok(Arc::new(RectsArtifact { n: req.n, rects }))
+    }
+}
+
+/// A cached artifact (cheap to clone — contents are behind `Arc`s).
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A compiled grammar.
+    Grammar(Arc<GrammarArtifact>),
+    /// A rectangle family.
+    Rects(Arc<RectsArtifact>),
+}
+
+impl Artifact {
+    /// The grammar artifact, if that's what this is.
+    pub fn as_grammar(&self) -> Option<&Arc<GrammarArtifact>> {
+        match self {
+            Artifact::Grammar(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The rectangle family, if that's what this is.
+    pub fn as_rects(&self) -> Option<&Arc<RectsArtifact>> {
+        match self {
+            Artifact::Rects(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+struct Entry {
+    value: Artifact,
+    last_used: u64,
+}
+
+/// An LRU map from content hash to compiled [`Artifact`].
+pub struct ArtifactCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifacts (min 1).
+    pub fn new(capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Current number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fetch `key`, or build, insert, and (if over capacity) evict the
+    /// least-recently-used entry. Returns the artifact and whether it
+    /// was a hit. `build` may fail (e.g. extraction bounds); failures
+    /// are not cached.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: u64,
+        build: impl FnOnce() -> Result<Artifact, ApiError>,
+    ) -> Result<(Artifact, bool), ApiError> {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.last_used = self.tick;
+            obs::count!("serve.cache.hits");
+            return Ok((e.value.clone(), true));
+        }
+        obs::count!("serve.cache.misses");
+        let value = build()?;
+        self.entries.insert(
+            key,
+            Entry {
+                value: value.clone(),
+                last_used: self.tick,
+            },
+        );
+        while self.entries.len() > self.capacity {
+            if let Some((&lru, _)) = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+            {
+                self.entries.remove(&lru);
+                obs::count!("serve.cache.evictions");
+            } else {
+                break;
+            }
+        }
+        obs::gauge_set!("serve.cache.len", self.entries.len() as i64);
+        Ok((value, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn grammar_artifact(src: &str) -> Artifact {
+        let g = ucfg_grammar::text::parse_grammar(src).unwrap();
+        Artifact::Grammar(GrammarArtifact::compile(g))
+    }
+
+    #[test]
+    fn compile_produces_consistent_pieces() {
+        let g = ucfg_grammar::text::parse_grammar("S -> a S b S | ()").unwrap();
+        let art = GrammarArtifact::compile(g);
+        assert_eq!(art.hash, art.grammar.content_hash());
+        // Dyck word: both engines agree through the artifact's parts.
+        let e = art.earley();
+        assert!(e.recognize_str("aabb"));
+        let w = art.cnf.encode("aabb").unwrap();
+        let chart = ucfg_grammar::cyk::CykChart::build_with_index(&art.cnf, &art.index, &w);
+        assert!(chart.accepted());
+    }
+
+    #[test]
+    fn hit_then_miss_accounting() {
+        let mut c = ArtifactCache::new(4);
+        let (a1, hit1) = c
+            .get_or_insert_with(1, || Ok(grammar_artifact("S -> a")))
+            .unwrap();
+        assert!(!hit1);
+        let (a2, hit2) = c
+            .get_or_insert_with(1, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(hit2);
+        // Same Arc, not a recompile.
+        assert!(Arc::ptr_eq(
+            a1.as_grammar().unwrap(),
+            a2.as_grammar().unwrap()
+        ));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = ArtifactCache::new(2);
+        c.get_or_insert_with(1, || Ok(grammar_artifact("S -> a")))
+            .unwrap();
+        c.get_or_insert_with(2, || Ok(grammar_artifact("S -> b")))
+            .unwrap();
+        // Touch 1 so 2 is the LRU.
+        c.get_or_insert_with(1, || panic!("hit expected")).unwrap();
+        c.get_or_insert_with(3, || Ok(grammar_artifact("S -> a b")))
+            .unwrap();
+        assert_eq!(c.len(), 2);
+        let (_, hit1) = c.get_or_insert_with(1, || panic!("1 evicted")).unwrap();
+        assert!(hit1);
+        let (_, hit2) = c
+            .get_or_insert_with(2, || Ok(grammar_artifact("S -> b")))
+            .unwrap();
+        assert!(!hit2, "2 should have been evicted");
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let mut c = ArtifactCache::new(2);
+        let r = c.get_or_insert_with(9, || Err(ApiError::BadRequest("no".into())));
+        assert!(r.is_err());
+        assert_eq!(c.len(), 0);
+        // A later successful build under the same key works.
+        let (_, hit) = c
+            .get_or_insert_with(9, || Ok(grammar_artifact("S -> a")))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn capacity_one_still_serves() {
+        let mut c = ArtifactCache::new(0); // clamped to 1
+        c.get_or_insert_with(1, || Ok(grammar_artifact("S -> a")))
+            .unwrap();
+        c.get_or_insert_with(2, || Ok(grammar_artifact("S -> b")))
+            .unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn rects_artifacts_build_for_both_families() {
+        let req = |src: &str| RectRequest::from_json(&Json::parse(src).unwrap(), false).unwrap();
+        let e8 = RectsArtifact::build(req(r#"{"n":4,"family":"example8"}"#)).unwrap();
+        assert_eq!(e8.rects.len(), 4);
+        let ex = RectsArtifact::build(req(r#"{"n":3,"family":"extraction"}"#)).unwrap();
+        assert!(!ex.rects.is_empty());
+        assert_eq!(ex.n, 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! A minimal blocking HTTP/1.1 client for the serve protocol.
+//!
+//! Used by `ucfg query` (and CI) to drive a running daemon: one
+//! keep-alive connection, sequential request/response. Connection setup
+//! retries for a bounded window so scripts can race server startup.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A keep-alive connection to a serve daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// One response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body, verbatim (single JSON line for API endpoints).
+    pub body: String,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A stuck server should fail the script, not hang it.
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connect, retrying on `ECONNREFUSED`-style failures until
+    /// `within` elapses — covers the window between spawning the server
+    /// process and its `bind`.
+    pub fn connect_retry(addr: &str, within: Duration) -> io::Result<Client> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() < within => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send one request and read its response. `body = None` sends a
+    /// bodyless request (GET-style).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        let payload = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{} {} HTTP/1.1\r\nHost: ucfg-serve\r\nContent-Length: {}\r\n\r\n",
+            method,
+            path,
+            payload.len()
+        )?;
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok(Response { status, body })
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut buf = Vec::new();
+        loop {
+            let mut byte = [0u8; 1];
+            match self.reader.read(&mut byte)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof in response head",
+                    ))
+                }
+                _ => {
+                    if byte[0] == b'\n' {
+                        if buf.last() == Some(&b'\r') {
+                            buf.pop();
+                        }
+                        return String::from_utf8(buf).map_err(|_| {
+                            io::Error::new(io::ErrorKind::InvalidData, "non-utf8 header")
+                        });
+                    }
+                    buf.push(byte[0]);
+                }
+            }
+        }
+    }
+}
+
+// The client is exercised end-to-end against a real server in
+// `tests/serve_e2e.rs`; pure parsing paths are covered there too.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_retry_gives_up_with_the_underlying_error() {
+        // Port 1 on loopback is essentially never listening.
+        let err = Client::connect_retry("127.0.0.1:1", Duration::from_millis(120)).unwrap_err();
+        // Any error kind is fine — the point is it returns, bounded.
+        let _ = err;
+    }
+}

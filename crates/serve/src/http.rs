@@ -1,0 +1,317 @@
+//! A minimal HTTP/1.1 reader/writer over any `Read`/`Write` pair.
+//!
+//! Just enough of RFC 9112 for the JSON-lines protocol: request line,
+//! headers, `Content-Length` bodies, keep-alive. No chunked transfer
+//! coding, no multipart, no TLS. Parsing is generic over [`BufRead`] so
+//! it unit-tests on in-memory buffers and the server/client share one
+//! implementation.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body; grammars are text, so 1 MiB is
+/// already generous and the bound keeps a rogue client from ballooning
+/// the process.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Largest accepted request line or header line.
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …, uppercased by the client already.
+    pub method: String,
+    /// The path, e.g. `/parse` (query strings are kept verbatim).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (may be empty).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8, or `None` if it isn't.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Outcome of one read attempt on a keep-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was read.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Eof,
+    /// The read timed out before *any* byte arrived — the connection is
+    /// idle, not broken; the caller decides whether to keep waiting
+    /// (e.g. until shutdown is signalled).
+    Idle,
+    /// The peer sent something that is not HTTP or exceeded a bound;
+    /// the caller should answer 400 (message included) and close.
+    Malformed(String),
+}
+
+/// Read one request. Timeouts that strike *before* the first byte
+/// surface as [`ReadOutcome::Idle`]; mid-request timeouts and any other
+/// I/O error propagate as `Err` (the connection is unusable).
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
+    // Peek for the first byte so an idle keep-alive connection can be
+    // distinguished from a broken one.
+    match reader.fill_buf() {
+        Ok([]) => return Ok(ReadOutcome::Eof),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            return Ok(ReadOutcome::Idle)
+        }
+        Err(e) => return Err(e),
+    }
+
+    let line = match read_line(reader)? {
+        Some(l) => l,
+        None => return Ok(ReadOutcome::Eof),
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Ok(ReadOutcome::Malformed(format!("bad request line {line:?}"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Ok(ReadOutcome::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader)? {
+            Some(l) => l,
+            None => return Ok(ReadOutcome::Malformed("eof in headers".into())),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Ok(ReadOutcome::Malformed("too many headers".into()));
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            }
+            None => return Ok(ReadOutcome::Malformed(format!("bad header {line:?}"))),
+        }
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(ReadOutcome::Malformed(
+            "chunked transfer coding not supported".into(),
+        ));
+    }
+
+    let len = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) if n <= MAX_BODY_BYTES => n,
+            Ok(_) => return Ok(ReadOutcome::Malformed("body too large".into())),
+            Err(_) => return Ok(ReadOutcome::Malformed(format!("bad content-length {v:?}"))),
+        },
+    };
+
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Read a CRLF- (or bare-LF-) terminated line, without the terminator.
+/// `None` means EOF before any byte of the line.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-line"))
+                }
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let s = String::from_utf8(buf)
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 line"))?;
+                    return Ok(Some(s));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The reason phrase for the status codes the protocol uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response. The body is sent verbatim with an exact
+/// `Content-Length`, so JSON-lines bodies keep their trailing newline.
+pub fn write_response(w: &mut impl Write, status: u16, body: &[u8], close: bool) -> io::Result<()> {
+    let conn = if close { "close" } else { "keep-alive" };
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+        conn
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> ReadOutcome {
+        read_request(&mut BufReader::new(bytes)).unwrap()
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /parse HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        match parse(raw) {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.method, "POST");
+                assert_eq!(r.path, "/parse");
+                assert_eq!(r.header("host"), Some("x"));
+                assert_eq!(r.body_str(), Some("hello world"));
+                assert!(!r.wants_close());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        match parse(b"GET /healthz HTTP/1.1\nConnection: Close\n\n") {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.method, "GET");
+                assert!(r.body.is_empty());
+                assert!(r.wants_close());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_requests_on_one_connection() {
+        let raw: Vec<u8> = [
+            &b"POST /parse HTTP/1.1\r\nContent-Length: 2\r\n\r\nab"[..],
+            &b"GET /metrics HTTP/1.1\r\n\r\n"[..],
+        ]
+        .concat();
+        let mut reader = BufReader::new(&raw[..]);
+        match read_request(&mut reader).unwrap() {
+            ReadOutcome::Request(r) => assert_eq!(r.body_str(), Some("ab")),
+            other => panic!("{other:?}"),
+        }
+        match read_request(&mut reader).unwrap() {
+            ReadOutcome::Request(r) => assert_eq!(r.path, "/metrics"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            read_request(&mut reader).unwrap(),
+            ReadOutcome::Eof
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_are_reported_not_fatal() {
+        for raw in [
+            &b"NONSENSE\r\n\r\n"[..],
+            &b"GET /x HTTP/2.0\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(raw), ReadOutcome::Malformed(_)),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(raw.as_bytes()), ReadOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn response_bytes_are_exact() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, b"{\"ok\":true}\n", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 12\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}\n"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 503, b"x", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("503 Service Unavailable"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! Wire protocol: typed requests, error codes, and JSON bodies.
+//!
+//! Every response body is a single JSON line. Errors carry a stable
+//! machine-readable `error` code plus a human `message`:
+//!
+//! | HTTP | `error` code         | meaning                                     |
+//! |------|----------------------|---------------------------------------------|
+//! | 400  | `bad_request`        | malformed JSON / unknown field / bad bounds |
+//! | 404  | `not_found`          | unknown path                                |
+//! | 405  | `method_not_allowed` | known path, wrong verb                      |
+//! | 500  | `internal`           | invariant breach (e.g. differential mismatch) |
+//! | 503  | `load_shed`          | queue full — retry later                    |
+//! | 503  | `shutting_down`      | server is draining                          |
+//! | 504  | `deadline_exceeded`  | request overstayed its queue deadline       |
+
+use crate::json::Json;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example3_grammar, example4_ucfg};
+use ucfg_grammar::text::parse_grammar;
+use ucfg_grammar::Grammar;
+use ucfg_support::fnv::Fnv1a;
+
+/// Longest word `/parse` accepts; CYK is `O(n³)` per word, so the bound
+/// keeps one query from monopolising the pool.
+pub const MAX_WORD_LEN: usize = 512;
+/// Largest `n` for the exhaustive cover/discrepancy kernels (they walk
+/// `2^{2n}` words, and the bitmap layer asserts `2n ≤ 26`).
+pub const MAX_COVER_N: usize = 13;
+/// Largest `n` for the Proposition 7 extraction family (the Example 4
+/// uCFG is `2^Θ(n)`).
+pub const MAX_EXTRACTION_N: usize = 6;
+/// Largest `n` for the exponential Example 4 builtin.
+pub const MAX_EXAMPLE4_N: usize = 10;
+/// Largest `n` for the polynomial builtins.
+pub const MAX_BUILTIN_N: usize = 128;
+
+/// A protocol-level failure, mapped onto HTTP status + error code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// 400 — the request is malformed or out of bounds.
+    BadRequest(String),
+    /// 404 — no such endpoint.
+    NotFound(String),
+    /// 405 — endpoint exists, verb is wrong.
+    MethodNotAllowed(String),
+    /// 503 — the batch queue is full; the request was shed, not queued.
+    LoadShed {
+        /// The configured queue bound that was hit.
+        depth: usize,
+    },
+    /// 503 — the server is draining for shutdown.
+    ShuttingDown,
+    /// 504 — the request waited longer than the configured deadline.
+    DeadlineExceeded {
+        /// How long the request sat in the queue, in milliseconds.
+        waited_ms: u64,
+    },
+    /// 500 — an internal invariant failed.
+    Internal(String),
+}
+
+impl ApiError {
+    /// The HTTP status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            ApiError::BadRequest(_) => 400,
+            ApiError::NotFound(_) => 404,
+            ApiError::MethodNotAllowed(_) => 405,
+            ApiError::LoadShed { .. } | ApiError::ShuttingDown => 503,
+            ApiError::DeadlineExceeded { .. } => 504,
+            ApiError::Internal(_) => 500,
+        }
+    }
+
+    /// The stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ApiError::BadRequest(_) => "bad_request",
+            ApiError::NotFound(_) => "not_found",
+            ApiError::MethodNotAllowed(_) => "method_not_allowed",
+            ApiError::LoadShed { .. } => "load_shed",
+            ApiError::ShuttingDown => "shutting_down",
+            ApiError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ApiError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> String {
+        match self {
+            ApiError::BadRequest(m) | ApiError::Internal(m) => m.clone(),
+            ApiError::NotFound(p) => format!("no such endpoint {p:?}"),
+            ApiError::MethodNotAllowed(p) => format!("wrong method for {p:?}"),
+            ApiError::LoadShed { depth } => {
+                format!("queue full (depth {depth}); request shed, retry later")
+            }
+            ApiError::ShuttingDown => "server is draining".to_string(),
+            ApiError::DeadlineExceeded { waited_ms } => {
+                format!("request waited {waited_ms} ms in queue, past its deadline")
+            }
+        }
+    }
+
+    /// The single-line JSON body (with trailing newline).
+    pub fn body(&self) -> String {
+        let mut b = Json::obj(vec![
+            ("error", Json::str(self.code())),
+            ("message", Json::str(self.message())),
+        ])
+        .render();
+        b.push('\n');
+        b
+    }
+}
+
+/// How `/parse` names its grammar: inline text or a named builtin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrammarSpec {
+    /// Inline grammar text in the workspace's `S -> a S | b` format.
+    Text(String),
+    /// A builtin family from `ucfg_core::ln_grammars` at parameter `n`.
+    Builtin {
+        /// `appendix-a`, `example3`, or `example4`.
+        which: String,
+        /// The family parameter.
+        n: usize,
+    },
+}
+
+impl GrammarSpec {
+    /// Extract a spec from a request body: either `"grammar": "<text>"`
+    /// or `"builtin": "<name>", "n": <int>`.
+    pub fn from_json(body: &Json) -> Result<GrammarSpec, ApiError> {
+        match (body.get("grammar"), body.get("builtin")) {
+            (Some(_), Some(_)) => Err(ApiError::BadRequest(
+                "give either \"grammar\" or \"builtin\", not both".into(),
+            )),
+            (Some(g), None) => {
+                let text = g
+                    .as_str()
+                    .ok_or_else(|| ApiError::BadRequest("\"grammar\" must be a string".into()))?;
+                Ok(GrammarSpec::Text(text.to_string()))
+            }
+            (None, Some(b)) => {
+                let which = b
+                    .as_str()
+                    .ok_or_else(|| ApiError::BadRequest("\"builtin\" must be a string".into()))?;
+                let n = body.get("n").and_then(Json::as_usize).ok_or_else(|| {
+                    ApiError::BadRequest("builtin needs integer \"n\" ≥ 0".into())
+                })?;
+                Ok(GrammarSpec::Builtin {
+                    which: which.to_string(),
+                    n,
+                })
+            }
+            (None, None) => Err(ApiError::BadRequest(
+                "missing \"grammar\" (text) or \"builtin\"+\"n\"".into(),
+            )),
+        }
+    }
+
+    /// Materialise the grammar (bounds-checked).
+    pub fn build(&self) -> Result<Grammar, ApiError> {
+        match self {
+            GrammarSpec::Text(src) => parse_grammar(src).map_err(|e| {
+                ApiError::BadRequest(format!("grammar text, line {}: {}", e.line, e.msg))
+            }),
+            GrammarSpec::Builtin { which, n } => {
+                let n = *n;
+                match which.as_str() {
+                    "appendix-a" if (1..=MAX_BUILTIN_N).contains(&n) => Ok(appendix_a_grammar(n)),
+                    "example3" if (1..=MAX_BUILTIN_N).contains(&n) => Ok(example3_grammar(n)),
+                    "example4" | "ucfg" if (1..=MAX_EXAMPLE4_N).contains(&n) => {
+                        Ok(example4_ucfg(n))
+                    }
+                    "example4" | "ucfg" => Err(ApiError::BadRequest(format!(
+                        "example4 is exponential; need 1 ≤ n ≤ {MAX_EXAMPLE4_N}"
+                    ))),
+                    "appendix-a" | "example3" => Err(ApiError::BadRequest(format!(
+                        "need 1 ≤ n ≤ {MAX_BUILTIN_N}"
+                    ))),
+                    other => Err(ApiError::BadRequest(format!(
+                        "unknown builtin {other:?} (appendix-a | example3 | example4)"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+/// A `/parse` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRequest {
+    /// Which grammar.
+    pub spec: GrammarSpec,
+    /// The word to test.
+    pub word: String,
+    /// Cross-check CYK membership against Earley on the original
+    /// (pre-CNF) grammar.
+    pub check: bool,
+}
+
+impl ParseRequest {
+    /// Parse and bounds-check a `/parse` body.
+    pub fn from_json(body: &Json) -> Result<ParseRequest, ApiError> {
+        let spec = GrammarSpec::from_json(body)?;
+        let word = body
+            .get("word")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ApiError::BadRequest("missing string \"word\"".into()))?;
+        if word.chars().count() > MAX_WORD_LEN {
+            return Err(ApiError::BadRequest(format!(
+                "word longer than {MAX_WORD_LEN} letters"
+            )));
+        }
+        let check = body.get("check").and_then(Json::as_bool).unwrap_or(false);
+        Ok(ParseRequest {
+            spec,
+            word: word.to_string(),
+            check,
+        })
+    }
+}
+
+/// The rectangle families the cover/discrepancy endpoints know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RectFamily {
+    /// The Example 8 cover of `L_n` by `n` balanced rectangles.
+    Example8,
+    /// The Proposition 7 extraction from the Example 4 uCFG.
+    Extraction,
+}
+
+impl RectFamily {
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RectFamily::Example8 => "example8",
+            RectFamily::Extraction => "extraction",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<RectFamily, ApiError> {
+        match s {
+            "example8" => Ok(RectFamily::Example8),
+            "extraction" => Ok(RectFamily::Extraction),
+            other => Err(ApiError::BadRequest(format!(
+                "unknown family {other:?} (example8 | extraction)"
+            ))),
+        }
+    }
+}
+
+/// A `/cover/verify` or `/discrepancy` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RectRequest {
+    /// The half-length parameter (`L_n ⊆ {a,b}^{2n}`).
+    pub n: usize,
+    /// Which rectangle family.
+    pub family: RectFamily,
+}
+
+impl RectRequest {
+    /// Parse and bounds-check a rectangle-family body. `need_blocks`
+    /// additionally requires the Section 4 block structure
+    /// (`discrepancy` needs `n ≡ 0 mod 4`).
+    pub fn from_json(body: &Json, need_blocks: bool) -> Result<RectRequest, ApiError> {
+        let n = body
+            .get("n")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ApiError::BadRequest("missing integer \"n\" ≥ 1".into()))?;
+        let family = body
+            .get("family")
+            .and_then(Json::as_str)
+            .map(RectFamily::from_str)
+            .transpose()?
+            .unwrap_or(RectFamily::Example8);
+        if !(1..=MAX_COVER_N).contains(&n) {
+            return Err(ApiError::BadRequest(format!(
+                "exhaustive kernels need 1 ≤ n ≤ {MAX_COVER_N}"
+            )));
+        }
+        if family == RectFamily::Extraction && n > MAX_EXTRACTION_N {
+            return Err(ApiError::BadRequest(format!(
+                "extraction family needs n ≤ {MAX_EXTRACTION_N}"
+            )));
+        }
+        if need_blocks && !ucfg_core::discrepancy::supports_blocks(n) {
+            return Err(ApiError::BadRequest(
+                "discrepancy needs the 4-block structure: n ≥ 4 and n ≡ 0 mod 4".into(),
+            ));
+        }
+        Ok(RectRequest { n, family })
+    }
+
+    /// The artifact-cache key for this family.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(b"ucfg-rects-v1")
+            .write(self.family.name().as_bytes())
+            .write_usize(self.n);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(src: &str) -> Json {
+        Json::parse(src).unwrap()
+    }
+
+    #[test]
+    fn parse_request_text_form() {
+        let r =
+            ParseRequest::from_json(&body(r#"{"grammar":"S -> a S | b","word":"aab"}"#)).unwrap();
+        assert_eq!(r.spec, GrammarSpec::Text("S -> a S | b".into()));
+        assert_eq!(r.word, "aab");
+        assert!(!r.check);
+        assert!(r.spec.build().is_ok());
+    }
+
+    #[test]
+    fn parse_request_builtin_form() {
+        let r = ParseRequest::from_json(&body(
+            r#"{"builtin":"example4","n":3,"word":"ab","check":true}"#,
+        ))
+        .unwrap();
+        assert!(matches!(r.spec, GrammarSpec::Builtin { ref which, n: 3 } if which == "example4"));
+        assert!(r.check);
+        assert!(r.spec.build().is_ok());
+    }
+
+    #[test]
+    fn parse_request_rejections() {
+        for (src, want) in [
+            (r#"{"word":"a"}"#, "missing \"grammar\""),
+            (
+                r#"{"grammar":"S -> a","builtin":"example3","n":1,"word":"a"}"#,
+                "not both",
+            ),
+            (r#"{"grammar":7,"word":"a"}"#, "must be a string"),
+            (r#"{"grammar":"S -> a"}"#, "missing string \"word\""),
+            (r#"{"builtin":"example4","word":"a"}"#, "integer \"n\""),
+            (r#"{"builtin":"nope","n":1,"word":"a"}"#, ""),
+        ] {
+            let err = match ParseRequest::from_json(&body(src)) {
+                Err(e) => e,
+                Ok(r) => match r.spec.build() {
+                    Err(e) => e,
+                    Ok(_) => panic!("accepted {src}"),
+                },
+            };
+            assert_eq!(err.status(), 400, "{src}");
+            assert!(err.message().contains(want), "{src}: {}", err.message());
+        }
+    }
+
+    #[test]
+    fn builtin_bounds_are_hard() {
+        for src in [
+            r#"{"builtin":"example4","n":11,"word":"a"}"#,
+            r#"{"builtin":"example3","n":0,"word":"a"}"#,
+            r#"{"builtin":"appendix-a","n":129,"word":"a"}"#,
+        ] {
+            let r = ParseRequest::from_json(&body(src)).unwrap();
+            assert!(r.spec.build().is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn oversized_word_is_rejected() {
+        let w = "a".repeat(MAX_WORD_LEN + 1);
+        let src = format!(r#"{{"grammar":"S -> a","word":"{w}"}}"#);
+        assert!(ParseRequest::from_json(&body(&src)).is_err());
+    }
+
+    #[test]
+    fn rect_request_bounds() {
+        let r = RectRequest::from_json(&body(r#"{"n":4,"family":"example8"}"#), false).unwrap();
+        assert_eq!(r.n, 4);
+        assert_eq!(r.family, RectFamily::Example8);
+
+        // Default family is example8.
+        let r = RectRequest::from_json(&body(r#"{"n":3}"#), false).unwrap();
+        assert_eq!(r.family, RectFamily::Example8);
+
+        assert!(RectRequest::from_json(&body(r#"{"n":14}"#), false).is_err());
+        assert!(RectRequest::from_json(&body(r#"{"n":0}"#), false).is_err());
+        assert!(RectRequest::from_json(&body(r#"{"n":7,"family":"extraction"}"#), false).is_err());
+        assert!(RectRequest::from_json(&body(r#"{"n":1,"family":"x"}"#), false).is_err());
+        // Blocks requirement: n = 6 verifies but has no 4-block structure.
+        assert!(RectRequest::from_json(&body(r#"{"n":6}"#), false).is_ok());
+        assert!(RectRequest::from_json(&body(r#"{"n":6}"#), true).is_err());
+        assert!(RectRequest::from_json(&body(r#"{"n":8}"#), true).is_ok());
+    }
+
+    #[test]
+    fn rect_cache_keys_separate_families_and_sizes() {
+        let k = |src: &str| {
+            RectRequest::from_json(&body(src), false)
+                .unwrap()
+                .cache_key()
+        };
+        let a = k(r#"{"n":4,"family":"example8"}"#);
+        let b = k(r#"{"n":5,"family":"example8"}"#);
+        let c = k(r#"{"n":4,"family":"extraction"}"#);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, k(r#"{"n":4}"#));
+    }
+
+    #[test]
+    fn error_bodies_are_single_json_lines() {
+        let errors = [
+            ApiError::BadRequest("x".into()),
+            ApiError::NotFound("/nope".into()),
+            ApiError::MethodNotAllowed("/parse".into()),
+            ApiError::LoadShed { depth: 8 },
+            ApiError::ShuttingDown,
+            ApiError::DeadlineExceeded { waited_ms: 12 },
+            ApiError::Internal("y".into()),
+        ];
+        for e in errors {
+            let b = e.body();
+            assert!(b.ends_with('\n'));
+            assert_eq!(b.trim_end().lines().count(), 1);
+            let v = Json::parse(b.trim_end()).unwrap();
+            assert_eq!(v.get("error").and_then(Json::as_str), Some(e.code()));
+            assert!(e.status() >= 400);
+        }
+    }
+}

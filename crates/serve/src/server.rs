@@ -1,0 +1,567 @@
+//! The TCP server: accept loop, routing, and graceful shutdown.
+//!
+//! Threading model: one accept loop (non-blocking, polled), one
+//! scheduler thread (the batcher), and one thread per live connection
+//! (bounded). Shutdown — via SIGTERM/SIGINT, `POST /shutdown`, or a
+//! [`ServerHandle`] — runs in strict order: stop accepting, join the
+//! connection threads (their in-flight requests complete, which
+//! requires the scheduler to still be running), then stop and join the
+//! scheduler once no producer remains. That ordering is what makes
+//! "drain in-flight batches" a guarantee instead of a race.
+
+use crate::batch::{ParseJob, ParseOutcome, Scheduler};
+use crate::cache::{Artifact, ArtifactCache, RectsArtifact};
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::json::Json;
+use crate::protocol::{ApiError, ParseRequest, RectRequest};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use ucfg_support::{obs, par};
+
+/// Set by the SIGTERM/SIGINT handlers; polled by every accept loop.
+/// Process-global because signal dispositions are process-global.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SIGNAL_SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // An atomic store is async-signal-safe; everything else happens
+        // on the accept loop when it next polls the flag.
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM and SIGINT to the shutdown flag. Uses the libc
+    /// `signal(2)` symbol std already links — the workspace stays
+    /// dependency-free.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler: extern "C" fn(i32) = on_signal;
+        unsafe {
+            signal(SIGINT, handler as usize);
+            signal(SIGTERM, handler as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    /// No-op off Unix; `POST /shutdown` and [`super::ServerHandle`]
+    /// still provide graceful shutdown.
+    pub fn install() {}
+}
+
+/// Server configuration. `Default` gives the documented defaults; the
+/// CLI overrides port/threads, tests override the bounds.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind (default loopback).
+    pub host: String,
+    /// TCP port; 0 asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Bounded batch-queue depth; a full queue load-sheds.
+    pub queue_depth: usize,
+    /// Per-request queue deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Artifact-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Maximum concurrent connections; excess connections get an
+    /// immediate 503 and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 7878,
+            queue_depth: 256,
+            deadline_ms: 10_000,
+            cache_capacity: 64,
+            max_connections: 64,
+        }
+    }
+}
+
+pub(crate) struct State {
+    cfg: ServeConfig,
+    cache: Mutex<ArtifactCache>,
+    sched: Scheduler,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests: AtomicU64,
+}
+
+impl State {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// A clonable handle for telling a running server to drain and exit
+/// (used by tests and by in-process embedders like `serve_bench`).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<State>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// What [`Server::run`] reports after a graceful drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Total HTTP requests answered (any status).
+    pub requests: u64,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Bind `cfg.host:cfg.port` and prepare the state. Does not accept
+    /// yet — call [`Server::run`].
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(State {
+            cache: Mutex::new(ArtifactCache::new(cfg.cache_capacity)),
+            sched: Scheduler::new(cfg.queue_depth, Duration::from_millis(cfg.deadline_ms)),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            cfg,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// Where the server actually listens (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle, safe to move to another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Install SIGTERM/SIGINT handlers that trigger graceful shutdown.
+    /// Call once from the CLI; in-process embedders skip this and use
+    /// [`Server::handle`].
+    pub fn install_signal_handlers() {
+        sig::install();
+    }
+
+    /// Serve until shutdown is requested, then drain and return.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let state = Arc::clone(&self.state);
+
+        let sched_state = Arc::clone(&state);
+        let scheduler = thread::Builder::new()
+            .name("ucfg-serve-batch".into())
+            .spawn(move || sched_state.sched.run(&sched_state.cache))?;
+
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    workers.retain(|h| !h.is_finished());
+                    if workers.len() >= state.cfg.max_connections {
+                        obs::count!("serve.rejects.connections");
+                        let mut s = stream;
+                        let body = ApiError::LoadShed {
+                            depth: state.cfg.max_connections,
+                        }
+                        .body();
+                        let _ = write_response(&mut s, 503, body.as_bytes(), true);
+                        continue;
+                    }
+                    let conn_state = Arc::clone(&state);
+                    let h = thread::Builder::new()
+                        .name("ucfg-serve-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(conn_state, stream);
+                        })?;
+                    workers.push(h);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Graceful drain: connections first (the scheduler must stay
+        // alive while they finish their in-flight requests), then the
+        // scheduler, which exits once the queue is empty.
+        state.shutdown.store(true, Ordering::SeqCst);
+        for h in workers {
+            let _ = h.join();
+        }
+        state.sched.stop();
+        let _ = scheduler.join();
+
+        Ok(ServeSummary {
+            requests: state.requests.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Per-connection loop: keep-alive request/response until EOF, error,
+/// client `Connection: close`, or server shutdown.
+fn handle_connection(state: Arc<State>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Short read timeout so idle keep-alive connections notice shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        match read_request(&mut reader)? {
+            ReadOutcome::Eof => return Ok(()),
+            ReadOutcome::Idle => {
+                if state.shutting_down() {
+                    return Ok(());
+                }
+            }
+            ReadOutcome::Malformed(msg) => {
+                let body = ApiError::BadRequest(msg).body();
+                state.requests.fetch_add(1, Ordering::SeqCst);
+                write_response(&mut writer, 400, body.as_bytes(), true)?;
+                return Ok(());
+            }
+            ReadOutcome::Request(req) => {
+                let (status, body) = route(&state, &req);
+                state.requests.fetch_add(1, Ordering::SeqCst);
+                // After a shutdown request (or signal) finish this
+                // response, then close.
+                let close = req.wants_close() || state.shutting_down();
+                write_response(&mut writer, status, body.as_bytes(), close)?;
+                if close {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch one request to its endpoint. Infallible: protocol errors
+/// become their JSON error bodies.
+fn route(state: &State, req: &Request) -> (u16, String) {
+    let result = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            obs::count!("serve.requests.healthz");
+            Ok(healthz(state))
+        }
+        ("GET", "/metrics") => {
+            obs::count!("serve.requests.metrics");
+            Ok(obs::export_json("serve"))
+        }
+        ("GET", "/metrics/deterministic") => {
+            obs::count!("serve.requests.metrics");
+            Ok(obs::export_deterministic("serve"))
+        }
+        ("POST", "/parse") => {
+            obs::count!("serve.requests.parse");
+            parse_endpoint(state, req)
+        }
+        ("POST", "/cover/verify") => {
+            obs::count!("serve.requests.cover");
+            rect_endpoint(state, req, false)
+        }
+        ("POST", "/discrepancy") => {
+            obs::count!("serve.requests.discrepancy");
+            rect_endpoint(state, req, true)
+        }
+        ("POST", "/shutdown") => {
+            obs::count!("serve.requests.shutdown");
+            state.shutdown.store(true, Ordering::SeqCst);
+            Ok(single_line(Json::obj(vec![("draining", Json::Bool(true))])))
+        }
+        (
+            _,
+            "/healthz"
+            | "/metrics"
+            | "/metrics/deterministic"
+            | "/parse"
+            | "/cover/verify"
+            | "/discrepancy"
+            | "/shutdown",
+        ) => Err(ApiError::MethodNotAllowed(req.path.clone())),
+        (_, path) => Err(ApiError::NotFound(path.to_string())),
+    };
+    match result {
+        Ok(body) => (200, body),
+        Err(e) => (e.status(), e.body()),
+    }
+}
+
+fn single_line(v: Json) -> String {
+    let mut s = v.render();
+    s.push('\n');
+    s
+}
+
+fn healthz(state: &State) -> String {
+    single_line(Json::obj(vec![
+        ("status", Json::str("ok")),
+        ("queue_depth", Json::Int(state.sched.queue_len() as i64)),
+        (
+            "uptime_ms",
+            Json::Int(state.started.elapsed().as_millis() as i64),
+        ),
+        ("threads", Json::Int(par::thread_count() as i64)),
+    ]))
+}
+
+/// `POST /parse`: body → job → bounded queue → batch → outcome.
+fn parse_endpoint(state: &State, req: &Request) -> Result<String, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let preq = parse_body(req).and_then(|b| ParseRequest::from_json(&b))?;
+    let grammar = preq.spec.build()?;
+    let key = grammar.content_hash();
+
+    let (tx, rx) = mpsc::channel();
+    state.sched.try_enqueue(ParseJob {
+        key,
+        grammar,
+        word: preq.word,
+        check: preq.check,
+        enqueued: Instant::now(),
+        reply: tx,
+    })?;
+
+    // The scheduler always answers (parse, deadline reject, or drain);
+    // the generous timeout is a backstop against scheduler death, not
+    // part of the protocol.
+    let deadline = Duration::from_millis(state.cfg.deadline_ms) + Duration::from_secs(60);
+    let outcome = rx
+        .recv_timeout(deadline)
+        .map_err(|_| ApiError::Internal("scheduler did not answer".into()))??;
+    Ok(render_parse(&outcome))
+}
+
+fn render_parse(o: &ParseOutcome) -> String {
+    let mut fields = vec![
+        ("member", Json::Bool(o.member)),
+        ("parse_count", Json::str(o.parse_count.clone())),
+        ("ambiguous", Json::Bool(o.ambiguous)),
+        (
+            "grammar_hash",
+            Json::str(format!("{:016x}", o.grammar_hash)),
+        ),
+        ("cache", Json::str(if o.cache_hit { "hit" } else { "miss" })),
+    ];
+    if let Some(ok) = o.cross_checked {
+        fields.push(("cross_check", Json::str(if ok { "ok" } else { "mismatch" })));
+    }
+    single_line(Json::obj(fields))
+}
+
+/// `POST /cover/verify` and `POST /discrepancy` share the rectangle
+/// artifact path; the boolean picks the kernel.
+fn rect_endpoint(state: &State, req: &Request, discrepancy: bool) -> Result<String, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let rreq = parse_body(req).and_then(|b| RectRequest::from_json(&b, discrepancy))?;
+    let (artifact, hit) = state
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .get_or_insert_with(rreq.cache_key(), || {
+            RectsArtifact::build(rreq).map(Artifact::Rects)
+        })?;
+    let rects = artifact
+        .as_rects()
+        .ok_or_else(|| ApiError::Internal("key collision in cache".into()))?;
+
+    let cache_tag = ("cache", Json::str(if hit { "hit" } else { "miss" }));
+    let threads = par::thread_count();
+    if discrepancy {
+        let _t = obs::span!("serve.discrepancy");
+        let (discs, sums) =
+            ucfg_core::cover::discrepancy_accounting_threads(rreq.n, &rects.rects, threads);
+        Ok(single_line(Json::obj(vec![
+            ("n", Json::Int(rreq.n as i64)),
+            ("family", Json::str(rreq.family.name())),
+            ("size", Json::Int(rects.rects.len() as i64)),
+            (
+                "discrepancies",
+                Json::Arr(discs.into_iter().map(Json::Int).collect()),
+            ),
+            ("sums_to_gap", Json::Bool(sums)),
+            cache_tag,
+        ])))
+    } else {
+        let _t = obs::span!("serve.cover.verify");
+        let report = ucfg_core::cover::verify_cover_threads(rreq.n, &rects.rects, threads);
+        Ok(single_line(Json::obj(vec![
+            ("n", Json::Int(rreq.n as i64)),
+            ("family", Json::str(rreq.family.name())),
+            ("size", Json::Int(report.size as i64)),
+            ("covers_exactly", Json::Bool(report.covers_exactly)),
+            ("disjoint", Json::Bool(report.disjoint)),
+            ("all_balanced", Json::Bool(report.all_balanced)),
+            ("max_overlap", Json::Int(report.max_overlap as i64)),
+            cache_tag,
+        ])))
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, ApiError> {
+    let text = req
+        .body_str()
+        .ok_or_else(|| ApiError::BadRequest("body is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| ApiError::BadRequest(format!("body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(queue_depth: usize, deadline_ms: u64) -> Arc<State> {
+        let cfg = ServeConfig {
+            queue_depth,
+            deadline_ms,
+            ..ServeConfig::default()
+        };
+        Arc::new(State {
+            cache: Mutex::new(ArtifactCache::new(cfg.cache_capacity)),
+            sched: Scheduler::new(cfg.queue_depth, Duration::from_millis(cfg.deadline_ms)),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            cfg,
+        })
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn routing_basics() {
+        let state = test_state(8, 1000);
+        let (status, body) = route(&state, &get("/healthz"));
+        assert_eq!(status, 200);
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+
+        let (status, _) = route(&state, &get("/nope"));
+        assert_eq!(status, 404);
+        let (status, body) = route(&state, &get("/parse"));
+        assert_eq!(status, 405, "{body}");
+        let (status, body) = route(&state, &post("/parse", "not json"));
+        assert_eq!(status, 400, "{body}");
+    }
+
+    #[test]
+    fn metrics_endpoints_render() {
+        let state = test_state(8, 1000);
+        let (status, body) = route(&state, &get("/metrics"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"volatile\""));
+        let (status, det) = route(&state, &get("/metrics/deterministic"));
+        assert_eq!(status, 200);
+        assert!(!det.contains("\"volatile\""));
+        assert!(det.contains("\"counters\""));
+    }
+
+    #[test]
+    fn cover_and_discrepancy_endpoints_compute() {
+        let state = test_state(8, 1000);
+        let (status, body) = route(&state, &post("/cover/verify", r#"{"n":4}"#));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("size"), Some(&Json::Int(4)));
+        assert_eq!(v.get("covers_exactly"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("all_balanced"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+
+        // Warm repeat: same family resolves from the cache.
+        let (_, body) = route(&state, &post("/cover/verify", r#"{"n":4}"#));
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+
+        let (status, body) = route(&state, &post("/discrepancy", r#"{"n":4}"#));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("sums_to_gap"), Some(&Json::Bool(true)));
+
+        // n without block structure: 400 from /discrepancy only.
+        let (status, _) = route(&state, &post("/discrepancy", r#"{"n":6}"#));
+        assert_eq!(status, 400);
+        let (status, _) = route(&state, &post("/cover/verify", r#"{"n":6}"#));
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn shutdown_endpoint_flips_the_flag_and_sheds() {
+        let state = test_state(8, 1000);
+        assert!(!state.shutting_down());
+        let (status, body) = route(&state, &post("/shutdown", ""));
+        assert_eq!(status, 200);
+        assert!(body.contains("draining"));
+        assert!(state.shutting_down());
+        let (status, body) = route(&state, &post("/cover/verify", r#"{"n":4}"#));
+        assert_eq!(status, 503);
+        assert!(body.contains("shutting_down"), "{body}");
+    }
+
+    #[test]
+    fn render_parse_is_stable_json() {
+        let o = ParseOutcome {
+            member: true,
+            parse_count: "12".into(),
+            ambiguous: true,
+            grammar_hash: 0xabc,
+            cache_hit: false,
+            cross_checked: Some(true),
+        };
+        let line = render_parse(&o);
+        assert_eq!(
+            line,
+            "{\"member\":true,\"parse_count\":\"12\",\"ambiguous\":true,\
+             \"grammar_hash\":\"0000000000000abc\",\"cache\":\"miss\",\
+             \"cross_check\":\"ok\"}\n"
+        );
+    }
+}

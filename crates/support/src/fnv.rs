@@ -1,0 +1,131 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! The workspace needs a *stable* content hash — one that never changes
+//! across runs, platforms, or compiler versions — for content-addressed
+//! artifact caching (`Grammar::content_hash` in `ucfg-grammar` and the
+//! `ucfg-serve` artifact cache key their compiled `CykRuleIndex`es and
+//! canonical bitmaps by it). `std::hash` deliberately randomises its
+//! seed per process, so it cannot serve; FNV-1a is the canonical tiny,
+//! dependency-free, well-distributed choice for short keys.
+//!
+//! Reference: Fowler–Noll–Vo hash, variant 1a, 64-bit parameters
+//! (offset basis `0xcbf29ce484222325`, prime `0x100000001b3`).
+
+/// The FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// All `write_*` methods return `&mut Self` so hashes over composite
+/// structures chain naturally:
+///
+/// ```
+/// use ucfg_support::fnv::Fnv1a;
+/// let mut h = Fnv1a::new();
+/// h.write(b"rule").write_u32(3).write_u8(0);
+/// let digest = h.finish();
+/// assert_ne!(digest, Fnv1a::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+        self
+    }
+
+    /// Absorb one byte.
+    pub fn write_u8(&mut self, v: u8) -> &mut Self {
+        self.write(&[v])
+    }
+
+    /// Absorb a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorb a `usize`, widened to `u64` so 32- and 64-bit targets
+    /// agree.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash a byte slice in one shot.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the published FNV-1a test suite.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn chained_writes_match_one_shot() {
+        let mut chained = Fnv1a::new();
+        chained.write(b"foo").write(b"bar");
+        assert_eq!(chained.finish(), hash_bytes(b"foobar"));
+    }
+
+    #[test]
+    fn integer_writes_are_little_endian() {
+        let mut a = Fnv1a::new();
+        a.write_u32(0x0403_0201);
+        let mut b = Fnv1a::new();
+        b.write(&[1, 2, 3, 4]);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = Fnv1a::new();
+        c.write_usize(7);
+        let mut d = Fnv1a::new();
+        d.write_u64(7);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn small_perturbations_change_the_digest() {
+        let base = hash_bytes(b"S -> A A | a");
+        assert_ne!(base, hash_bytes(b"S -> A A | b"));
+        assert_ne!(base, hash_bytes(b"S -> A A | a "));
+    }
+}

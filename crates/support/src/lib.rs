@@ -18,11 +18,15 @@
 //! - [`obs`] — a process-wide observability layer (counters / gauges /
 //!   duration histograms behind atomics, RAII spans, a deterministic
 //!   `out/METRICS_*.json` exporter), off by default and switched on by
-//!   `UCFG_TRACE=1` or the binaries' `--trace` flag.
+//!   `UCFG_TRACE=1` or the binaries' `--trace` flag,
+//! - [`fnv`] — a stable FNV-1a 64-bit hasher for content-addressed
+//!   artifact caching (`std::hash` is seed-randomised per process, so
+//!   it cannot produce stable cache keys).
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fnv;
 pub mod obs;
 pub mod par;
 pub mod prop;

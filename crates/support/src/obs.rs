@@ -443,6 +443,25 @@ pub fn export_json(bin: &str) -> String {
     out
 }
 
+/// Render only the **deterministic stratum** of the registry — the
+/// `bin` tag, counters and gauges, with sorted keys — omitting the
+/// volatile section entirely. The output is byte-identical across
+/// worker counts for the same logical workload, so callers (e.g. the
+/// `ucfg-serve` `/metrics/deterministic` endpoint) can diff two live
+/// processes without the `sed '/"volatile"/,$d'` dance.
+pub fn export_deterministic(bin: &str) -> String {
+    let reg = registry();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bin\": \"{}\",", crate::bench::json_escape(bin));
+    let counters = snapshot(&reg.counters, Counter::value);
+    write_map(&mut out, 1, "counters", &counters, u64_json, true);
+    let gauges = snapshot(&reg.gauges, Gauge::value);
+    write_map(&mut out, 1, "gauges", &gauges, i64_json, false);
+    out.push_str("}\n");
+    out
+}
+
 fn snapshot<T, V>(
     map: &Mutex<BTreeMap<String, &'static T>>,
     read: impl Fn(&T) -> V,
