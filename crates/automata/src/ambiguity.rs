@@ -6,7 +6,7 @@
 //! `(p, q)` with `p ≠ q` that is both reachable from an initial pair and
 //! co-reachable from an accepting pair. This mirrors the role unambiguity
 //! plays for CFGs in the paper (UFA questions are surveyed in its
-//! introduction: [11], [16], [32]).
+//! introduction: \[11\], \[16\], \[32\]).
 
 use crate::nfa::{Nfa, State};
 use std::collections::BTreeSet;

@@ -3,7 +3,7 @@
 //! An NFA's right-linear grammar has one derivation per accepting run, so
 //! the conversion preserves ambiguity degrees exactly: a DFA (or any UFA)
 //! yields a uCFG. This is the bridge the experiments use to realise the
-//! generic CFG → uCFG upper bound of [20] (materialise the finite language,
+//! generic CFG → uCFG upper bound of \[20\] (materialise the finite language,
 //! build its DAWG, read off the right-linear uCFG) and to compare automata
 //! sizes with grammar sizes on an equal footing.
 

@@ -9,7 +9,7 @@
 //! In this reproduction the DAWG plays the role of the canonical
 //! unambiguous baseline: a DFA is trivially unambiguous, and its
 //! right-linear grammar (see [`crate::convert`]) is a uCFG — this realises
-//! the generic CFG → uCFG upper-bound route of [20] (experiment T12).
+//! the generic CFG → uCFG upper-bound route of \[20\] (experiment T12).
 //!
 //! ```
 //! use ucfg_automata::dawg::dawg_of_words;

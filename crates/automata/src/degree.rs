@@ -4,7 +4,7 @@
 //! function `amb(ℓ) = max_w,|w|=ℓ #accepting runs(w)` classifies automata
 //! into unambiguous / finitely / polynomially / exponentially ambiguous —
 //! the hierarchy from the unambiguity literature the paper's introduction
-//! surveys ([11], Weber–Seidl criteria):
+//! surveys (\[11\], Weber–Seidl criteria):
 //!
 //! * **EDA** (∃ a state with two distinct loops on the same word — a
 //!   same-SCC off-diagonal pair in the self-product) ⇔ exponential

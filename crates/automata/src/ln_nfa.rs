@@ -172,8 +172,8 @@ mod tests {
             let expect = all_words(2 * n).iter().filter(|w| word_in_ln(n, w)).count() as u64;
             let counts = a.accepted_word_counts(2 * n);
             assert_eq!(counts[2 * n].to_u64(), Some(expect), "n={n}");
-            for l in 0..2 * n {
-                assert_eq!(counts[l].to_u64(), Some(0), "n={n} l={l}");
+            for (l, c) in counts.iter().enumerate().take(2 * n) {
+                assert_eq!(c.to_u64(), Some(0), "n={n} l={l}");
             }
         }
     }

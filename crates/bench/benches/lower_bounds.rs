@@ -1,131 +1,7 @@
-//! Lower-bound machinery benches (experiments T5/T7/T8/T10 timing side):
-//! the Proposition 7 extraction, discrepancy evaluation over 𝓛, the rank
-//! certificates, and the Lemma 21 neat decomposition.
-
-use std::hint::black_box;
-use ucfg_core::discrepancy::{
-    adversarial_rectangle, discrepancy, enumerate_family, random_family_rectangle,
-};
-use ucfg_core::extract::extract_cover;
-use ucfg_core::ln_grammars::example4_ucfg;
-use ucfg_core::neat::neat_decomposition;
-use ucfg_core::partition::OrderedPartition;
-use ucfg_core::rank::{rank_gf2, rank_mod_p};
-use ucfg_grammar::normal_form::CnfGrammar;
-use ucfg_support::bench::Suite;
-use ucfg_support::rng::{SeedableRng, StdRng};
-
-fn bench_extraction(suite: &mut Suite) {
-    let mut g = suite.group("prop7_extraction");
-    for n in [2usize, 3] {
-        let cnf = CnfGrammar::from_grammar(&example4_ucfg(n));
-        g.bench(&format!("example4_ucfg/{n}"), || {
-            extract_cover(black_box(&cnf), 2 * n)
-                .unwrap()
-                .rectangles
-                .len()
-        });
-    }
-}
-
-fn bench_discrepancy(suite: &mut Suite) {
-    let mut g = suite.group("discrepancy");
-    for n in [8usize, 12, 16] {
-        g.bench(&format!("enumerate_family/{n}"), || {
-            enumerate_family(black_box(n)).len()
-        });
-        let mut rng = StdRng::seed_from_u64(1);
-        let part = OrderedPartition::new(n, 1, n);
-        let r = random_family_rectangle(n, part, &mut rng);
-        g.bench(&format!("rectangle_discrepancy/{n}"), || {
-            discrepancy(n, black_box(&r))
-        });
-    }
-}
-
-fn bench_adversarial(suite: &mut Suite) {
-    let mut g = suite.group("adversarial_search");
-    for n in [8usize, 12] {
-        g.bench(&format!("alternating_max/{n}"), || {
-            let mut rng = StdRng::seed_from_u64(7);
-            let part = OrderedPartition::new(n, 1, n);
-            adversarial_rectangle(black_box(n), part, 2, &mut rng).1
-        });
-    }
-}
-
-fn bench_rank(suite: &mut Suite) {
-    let mut g = suite.group("rank_bound");
-    for n in [6usize, 8, 10] {
-        g.bench(&format!("gf2/{n}"), || rank_gf2(black_box(n)));
-    }
-    for n in [5usize, 7] {
-        g.bench(&format!("mod_p/{n}"), || rank_mod_p(black_box(n)));
-    }
-}
-
-fn bench_neat(suite: &mut Suite) {
-    let mut g = suite.group("neat_decomposition");
-    for n in [8usize, 12] {
-        let mut rng = StdRng::seed_from_u64(2);
-        let part = OrderedPartition::new(n, 3, n + 2);
-        let r = random_family_rectangle(n, part, &mut rng);
-        g.bench(&format!("lemma21/{n}"), || {
-            neat_decomposition(black_box(&r)).map(|d| d.pieces.len())
-        });
-    }
-}
-
-fn bench_greedy_covers(suite: &mut Suite) {
-    use ucfg_core::greedy_cover::{greedy_disjoint_cover, greedy_disjoint_cover_middle_cut};
-    let mut g = suite.group("greedy_cover");
-    for n in [4usize, 5] {
-        g.bench(&format!("multi_partition/{n}"), || {
-            greedy_disjoint_cover(black_box(n)).len()
-        });
-        g.bench(&format!("middle_cut/{n}"), || {
-            greedy_disjoint_cover_middle_cut(black_box(n)).len()
-        });
-    }
-}
-
-fn bench_degree_classification(suite: &mut Suite) {
-    use ucfg_automata::degree::classify;
-    use ucfg_automata::ln_nfa::{exact_nfa, pattern_nfa};
-    let mut g = suite.group("nfa_degree");
-    for n in [3usize, 4] {
-        let exact = exact_nfa(n);
-        g.bench(&format!("exact_nfa/{n}"), || classify(black_box(&exact)));
-        let pat = pattern_nfa(n);
-        g.bench(&format!("pattern_nfa/{n}"), || classify(black_box(&pat)));
-    }
-}
-
-fn bench_fooling_and_exact_disc(suite: &mut Suite) {
-    use ucfg_core::comm::greedy_fooling_set;
-    use ucfg_core::discrepancy::exact_max_discrepancy;
-    let mut g = suite.group("comm_bounds");
-    for n in [4usize, 6] {
-        let part = OrderedPartition::new(n, 1, n);
-        g.bench(&format!("greedy_fooling/{n}"), || {
-            greedy_fooling_set(black_box(n), part).len()
-        });
-    }
-    let part4 = OrderedPartition::new(4, 1, 4);
-    g.bench("exact_max_discrepancy_n4", || {
-        exact_max_discrepancy(black_box(4), part4)
-    });
-}
+//! Thin wrapper: the suite body lives in `ucfg_bench::suites::lower_bounds` so
+//! `cargo bench` and `ucfg orchestrate` run exactly the same code.
+//! Run `-- --list` to enumerate benchmark ids without executing them.
 
 fn main() {
-    let mut suite = Suite::new("lower_bounds");
-    bench_extraction(&mut suite);
-    bench_discrepancy(&mut suite);
-    bench_adversarial(&mut suite);
-    bench_rank(&mut suite);
-    bench_neat(&mut suite);
-    bench_greedy_covers(&mut suite);
-    bench_degree_classification(&mut suite);
-    bench_fooling_and_exact_disc(&mut suite);
-    suite.finish();
+    ucfg_bench::suites::harness_main("lower_bounds");
 }

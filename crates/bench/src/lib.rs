@@ -1,14 +1,20 @@
-//! # ucfg-bench — experiment tables and in-tree benches
+//! # ucfg-bench — experiment tables, in-tree benches, and the orchestrator
 //!
 //! [`experiments`] regenerates every table/figure of the reproduction
 //! (DESIGN.md §5); `cargo run -p ucfg-bench --release --bin report` prints
-//! them all. The benches under `benches/` run on the in-tree
-//! `ucfg_support::bench` harness and time the hot paths (parsing,
-//! counting, extraction, rank, joins) over parameter sweeps. [`sweep`]
-//! renders the Theorem 1 separation CSV on a deterministic parallel
-//! runner.
+//! them all. The bench suites live in [`suites`] as library functions on
+//! the in-tree `ucfg_support::bench` harness; the targets under `benches/`
+//! and the unified `bench` binary are thin wrappers over the same
+//! registry, so `cargo bench`, `bench --all`, and the orchestrator cannot
+//! drift apart. [`sweep`] renders the Theorem 1 separation CSV on a
+//! deterministic parallel runner. [`orchestrate`] runs the whole matrix —
+//! experiments, bench suites, thread-pinned sweeps — as a cached,
+//! dependency-aware job graph with an HTML report and a baseline
+//! regression gate (`ucfg orchestrate`).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod orchestrate;
+pub mod suites;
 pub mod sweep;

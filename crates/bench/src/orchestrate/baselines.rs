@@ -1,0 +1,302 @@
+//! Baseline files: loading, saving, and checking a run against one.
+//!
+//! A baseline is a committed JSON file under `baselines/` with two
+//! strata, mirroring the run's artifacts:
+//!
+//! - `"exact"` — deterministic artifact digests (experiment tables,
+//!   sweep CSVs, thread-compare verdicts), compared bit-for-bit;
+//! - `"timed_ns"` — benchmark medians in nanoseconds, compared under
+//!   the tolerance policy stored alongside them (overridable from the
+//!   command line).
+//!
+//! The pure comparison semantics (ratios, noise floor, verdicts) live in
+//! [`ucfg_support::baseline`]; this module is the file format plus the
+//! entry-matching walk. Entries present in the run but absent from the
+//! baseline warn (new jobs must not fail the gate before their baseline
+//! is committed); entries present in the baseline but absent from the
+//! run are reported as stale so a shrunk matrix is visible in review.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ucfg_serve::Json;
+use ucfg_support::baseline::{compare_exact, compare_timed, Comparison, Tolerance};
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// The profile this baseline was recorded under (`smoke` / `full`).
+    pub profile: String,
+    /// The tolerance policy recorded with the data.
+    pub tolerance: Tolerance,
+    /// Deterministic artifact digests by entry name.
+    pub exact: BTreeMap<String, String>,
+    /// Benchmark medians (ns) by entry name.
+    pub timed_ns: BTreeMap<String, f64>,
+}
+
+impl Baseline {
+    /// An empty baseline for the given profile, with that profile's
+    /// default tolerance.
+    pub fn new(profile: &str) -> Baseline {
+        Baseline {
+            profile: profile.to_string(),
+            tolerance: default_tolerance(profile),
+            exact: BTreeMap::new(),
+            timed_ns: BTreeMap::new(),
+        }
+    }
+}
+
+/// The default tolerance policy per profile. Smoke timings are single
+/// iterations on shared runners, so the band is wide and the floor high;
+/// full-profile medians are sampled and gate much tighter.
+pub fn default_tolerance(profile: &str) -> Tolerance {
+    if profile == "smoke" {
+        Tolerance {
+            max_ratio: 5.0,
+            floor_ns: 1_000_000.0,
+        }
+    } else {
+        Tolerance {
+            max_ratio: 2.0,
+            floor_ns: 100_000.0,
+        }
+    }
+}
+
+/// Load a baseline file.
+pub fn load(path: &Path) -> Result<Baseline, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let v = Json::parse(&src).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+    let profile = v
+        .get("profile")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("baseline {}: missing \"profile\"", path.display()))?
+        .to_string();
+    let mut tolerance = default_tolerance(&profile);
+    if let Some(t) = v.get("tolerance") {
+        if let Some(r) = t.get("max_ratio").and_then(as_f64) {
+            tolerance.max_ratio = r;
+        }
+        if let Some(f) = t.get("floor_ns").and_then(as_f64) {
+            tolerance.floor_ns = f;
+        }
+    }
+    let mut exact = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = v.get("exact") {
+        for (k, val) in fields {
+            let d = val
+                .as_str()
+                .ok_or_else(|| format!("baseline {}: exact.{k} is not a string", path.display()))?;
+            exact.insert(k.clone(), d.to_string());
+        }
+    }
+    let mut timed_ns = BTreeMap::new();
+    if let Some(Json::Obj(fields)) = v.get("timed_ns") {
+        for (k, val) in fields {
+            let ns = as_f64(val).ok_or_else(|| {
+                format!("baseline {}: timed_ns.{k} is not a number", path.display())
+            })?;
+            timed_ns.insert(k.clone(), ns);
+        }
+    }
+    Ok(Baseline {
+        profile,
+        tolerance,
+        exact,
+        timed_ns,
+    })
+}
+
+fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Render a baseline as its on-disk JSON (sorted sections, one entry per
+/// line — the format is diff-reviewable in the repository).
+pub fn render(b: &Baseline) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"profile\": {},\n",
+        Json::str(&b.profile).render()
+    ));
+    out.push_str(&format!(
+        "  \"tolerance\": {{\"max_ratio\": {:?}, \"floor_ns\": {:?}}},\n",
+        b.tolerance.max_ratio, b.tolerance.floor_ns
+    ));
+    out.push_str("  \"exact\": {");
+    for (i, (k, v)) in b.exact.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {}: {}",
+            Json::str(k).render(),
+            Json::str(v).render()
+        ));
+    }
+    out.push_str("\n  },\n  \"timed_ns\": {");
+    for (i, (k, v)) in b.timed_ns.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!("    {}: {:.1}", Json::str(k).render(), v));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Write a baseline file (creating parent directories).
+pub fn save(path: &Path, b: &Baseline) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(b))
+}
+
+/// The outcome of checking a run against a baseline.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// One comparison per run entry, exact first then timed, each
+    /// stratum in name order.
+    pub comparisons: Vec<Comparison>,
+    /// Baseline entries the run did not produce (never gate).
+    pub stale: Vec<String>,
+}
+
+/// Compare a run's entries against a baseline under a tolerance policy.
+pub fn check(
+    run_exact: &BTreeMap<String, String>,
+    run_timed: &BTreeMap<String, f64>,
+    baseline: &Baseline,
+    tolerance: Tolerance,
+) -> CheckOutcome {
+    let mut comparisons = Vec::with_capacity(run_exact.len() + run_timed.len());
+    for (name, digest) in run_exact {
+        comparisons.push(compare_exact(
+            name,
+            baseline.exact.get(name).map(String::as_str),
+            digest,
+        ));
+    }
+    for (name, &median) in run_timed {
+        comparisons.push(compare_timed(
+            name,
+            baseline.timed_ns.get(name).copied(),
+            median,
+            tolerance,
+        ));
+    }
+    let stale = baseline
+        .exact
+        .keys()
+        .filter(|k| !run_exact.contains_key(*k))
+        .chain(
+            baseline
+                .timed_ns
+                .keys()
+                .filter(|k| !run_timed.contains_key(*k)),
+        )
+        .cloned()
+        .collect();
+    CheckOutcome { comparisons, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ucfg_support::baseline::Verdict;
+
+    fn sample() -> Baseline {
+        let mut b = Baseline::new("smoke");
+        b.exact.insert("exp/T1".into(), "fnv:00aa".into());
+        b.exact
+            .insert("check/separation_threads".into(), "fnv:ffff".into());
+        b.timed_ns.insert("bench/parsing/cyk/4".into(), 2_000_000.0);
+        b.timed_ns.insert("bench/parsing/tiny".into(), 5_000.0);
+        b
+    }
+
+    #[test]
+    fn round_trips_through_the_file_format() {
+        let b = sample();
+        let dir = std::env::temp_dir().join(format!("ucfg_orc_base_{}", std::process::id()));
+        let path = dir.join("smoke.json");
+        save(&path, &b).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_is_line_per_entry_and_parseable() {
+        let text = render(&sample());
+        assert!(Json::parse(&text).is_ok(), "{text}");
+        assert!(text
+            .lines()
+            .any(|l| l.trim_start().starts_with("\"exp/T1\"")));
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = load(Path::new("/nonexistent/baseline.json")).unwrap_err();
+        assert!(err.contains("cannot read baseline"), "{err}");
+    }
+
+    #[test]
+    fn check_classifies_regression_tolerance_and_missing() {
+        let b = sample();
+        let tol = b.tolerance;
+        let mut exact = BTreeMap::new();
+        exact.insert("exp/T1".to_string(), "fnv:00aa".to_string()); // identical
+        exact.insert("exp/T2".to_string(), "fnv:1234".to_string()); // no baseline
+        let mut timed = BTreeMap::new();
+        timed.insert("bench/parsing/cyk/4".to_string(), 30_000_000.0); // 15× slower
+        timed.insert("bench/parsing/tiny".to_string(), 50_000.0); // below floor
+        let out = check(&exact, &timed, &b, tol);
+        let verdict = |name: &str| {
+            out.comparisons
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.verdict.clone())
+                .unwrap()
+        };
+        assert_eq!(verdict("exp/T1"), Verdict::Ok);
+        assert_eq!(verdict("exp/T2"), Verdict::MissingBaseline);
+        assert_eq!(verdict("bench/parsing/cyk/4"), Verdict::Regression);
+        assert_eq!(verdict("bench/parsing/tiny"), Verdict::BelowFloor);
+        // The compare job's digest was in the baseline but not the run.
+        assert_eq!(out.stale, vec!["check/separation_threads".to_string()]);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let b = sample();
+        let mut timed = BTreeMap::new();
+        timed.insert("bench/parsing/cyk/4".to_string(), 3_000_000.0); // 1.5×
+        let out = check(&BTreeMap::new(), &timed, &b, b.tolerance);
+        assert!(
+            out.comparisons.iter().all(|c| !c.verdict.is_regression()),
+            "{:?}",
+            out.comparisons
+        );
+    }
+
+    #[test]
+    fn exact_mismatch_gates() {
+        let b = sample();
+        let mut exact = BTreeMap::new();
+        exact.insert("exp/T1".to_string(), "fnv:dead".to_string());
+        let out = check(&exact, &BTreeMap::new(), &b, b.tolerance);
+        assert!(out.comparisons[0].verdict.is_regression());
+    }
+
+    #[test]
+    fn profile_defaults_differ() {
+        assert!(default_tolerance("smoke").max_ratio > default_tolerance("full").max_ratio);
+        assert!(default_tolerance("smoke").floor_ns > default_tolerance("full").floor_ns);
+    }
+}

@@ -1,0 +1,192 @@
+//! The on-disk artifact cache behind the job graph.
+//!
+//! Deterministic jobs (experiment tables, sweep CSVs) are cached across
+//! orchestrator runs in the same shape as the serve layer's
+//! content-addressed artifact cache: an FNV-1a key addresses the
+//! artifact, hit/miss counters feed the observability layer, and a
+//! looked-up entry is trusted only if its stored job id matches (a key
+//! collision or a truncated file is a miss, never a wrong answer).
+//!
+//! Cache keys fold the job id, the job's parameters, and the
+//! [`grammar_fingerprint`] — the `Grammar::content_hash()` of the
+//! canonical grammars the matrix exercises plus the crate version — so
+//! changing a grammar construction (or bumping the crate) invalidates
+//! every dependent artifact. Timed bench jobs are never cached: a timing
+//! read from disk is not a measurement.
+
+use std::path::PathBuf;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example3_grammar, example4_ucfg, naive_grammar};
+use ucfg_serve::Json;
+use ucfg_support::fnv::Fnv1a;
+use ucfg_support::obs;
+
+/// The workspace-content fingerprint folded into every cache key:
+/// content hashes of the canonical grammar constructions (renaming- and
+/// rule-order-insensitive) plus the crate version.
+pub fn grammar_fingerprint() -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(env!("CARGO_PKG_VERSION").as_bytes());
+    for g in [
+        appendix_a_grammar(4),
+        example3_grammar(2),
+        example4_ucfg(4),
+        naive_grammar(3),
+    ] {
+        h.write_u64(g.content_hash());
+    }
+    h.finish()
+}
+
+/// A cached deterministic artifact: its exact digest and full text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedArtifact {
+    /// The exact digest (`fnv:<16 hex>`) of the artifact text.
+    pub digest: String,
+    /// The artifact text itself (experiment table, sweep CSV), kept so a
+    /// cache hit can still render the full HTML report.
+    pub text: String,
+}
+
+/// The per-run cache handle: a directory of `<key>.json` files plus
+/// hit/miss accounting.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    /// When `--refresh` is given, lookups always miss (stores still
+    /// happen, so a refresh run rebuilds the cache).
+    refresh: bool,
+    /// Lookups served from disk this run.
+    pub hits: u64,
+    /// Lookups that ran the job this run.
+    pub misses: u64,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the cache directory.
+    pub fn open(dir: PathBuf, refresh: bool) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            refresh,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Look up a job's artifact. A hit requires the file to parse and its
+    /// stored job id to match `job_id`.
+    pub fn load(&mut self, job_id: &str, key: u64) -> Option<CachedArtifact> {
+        let found = if self.refresh {
+            None
+        } else {
+            Self::read(&self.path(key), job_id)
+        };
+        match found {
+            Some(artifact) => {
+                self.hits += 1;
+                obs::counter("orchestrate.cache.hits").add(1);
+                Some(artifact)
+            }
+            None => {
+                self.misses += 1;
+                obs::counter("orchestrate.cache.misses").add(1);
+                None
+            }
+        }
+    }
+
+    fn read(path: &PathBuf, job_id: &str) -> Option<CachedArtifact> {
+        let src = std::fs::read_to_string(path).ok()?;
+        let v = Json::parse(&src).ok()?;
+        if v.get("job")?.as_str()? != job_id {
+            return None;
+        }
+        Some(CachedArtifact {
+            digest: v.get("digest")?.as_str()?.to_string(),
+            text: v.get("text")?.as_str()?.to_string(),
+        })
+    }
+
+    /// Store a job's artifact under its key.
+    pub fn store(&self, job_id: &str, key: u64, artifact: &CachedArtifact) -> std::io::Result<()> {
+        let v = Json::obj(vec![
+            ("job", Json::str(job_id)),
+            ("key", Json::str(format!("{key:016x}"))),
+            ("digest", Json::str(artifact.digest.clone())),
+            ("text", Json::str(artifact.text.clone())),
+        ]);
+        std::fs::write(self.path(key), v.render())
+    }
+}
+
+/// The exact digest of a deterministic artifact text.
+pub fn digest_of(text: &str) -> String {
+    format!(
+        "fnv:{:016x}",
+        ucfg_support::fnv::hash_bytes(text.as_bytes())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ucfg_orc_cache_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_hit_and_collision_guard() {
+        let dir = tmp_dir("rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = DiskCache::open(dir.clone(), false).unwrap();
+        let art = CachedArtifact {
+            digest: digest_of("hello"),
+            text: "hello".to_string(),
+        };
+        assert!(cache.load("exp/T1", 42).is_none(), "cold cache misses");
+        cache.store("exp/T1", 42, &art).unwrap();
+        assert_eq!(cache.load("exp/T1", 42), Some(art));
+        // Same key, different job id: a collision is a miss, not a wrong
+        // answer.
+        assert!(cache.load("exp/T2", 42).is_none());
+        assert_eq!((cache.hits, cache.misses), (1, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refresh_forces_misses_but_still_stores() {
+        let dir = tmp_dir("refresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        let art = CachedArtifact {
+            digest: digest_of("x"),
+            text: "x".to_string(),
+        };
+        {
+            let cache = DiskCache::open(dir.clone(), true).unwrap();
+            cache.store("j", 7, &art).unwrap();
+        }
+        let mut fresh = DiskCache::open(dir.clone(), true).unwrap();
+        assert!(fresh.load("j", 7).is_none(), "--refresh ignores the disk");
+        let mut warm = DiskCache::open(dir.clone(), false).unwrap();
+        assert_eq!(warm.load("j", 7), Some(art));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(grammar_fingerprint(), grammar_fingerprint());
+        assert_ne!(grammar_fingerprint(), 0);
+    }
+
+    #[test]
+    fn digest_format() {
+        let d = digest_of("abc");
+        assert!(d.starts_with("fnv:") && d.len() == 4 + 16, "{d}");
+        assert_ne!(digest_of("abc"), digest_of("abd"));
+    }
+}

@@ -1,0 +1,509 @@
+//! The job matrix and its executor.
+//!
+//! The matrix covers the whole reproduction: every experiment table
+//! (`exp/<id>`), every bench suite from the shared registry
+//! (`bench/<suite>`), the separation and kernel sweeps pinned at 1 and 4
+//! worker threads (`sweep/<which>@t<N>`), and derived comparison jobs
+//! (`check/<which>_threads`) that assert the thread-pinned sweeps are
+//! byte-identical — the determinism contract, enforced inside one run.
+//!
+//! Jobs are executed serially in dependency (topological) order; a
+//! comparison job names its dependencies by job id and is skipped when a
+//! filter removed them. Deterministic jobs consult the
+//! [`DiskCache`] before running and publish
+//! their artifact digest into the run's deterministic stratum; bench
+//! jobs are never cached and publish timed medians instead. A panicking
+//! job is caught, reported as failed, and does not stop the graph.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use super::cache::{digest_of, grammar_fingerprint, CachedArtifact, DiskCache};
+use crate::{experiments, suites, sweep};
+use ucfg_support::bench::Options;
+use ucfg_support::fnv::Fnv1a;
+
+/// What a job runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// One experiment table (`experiments::run(id)`); deterministic text.
+    Experiment(&'static str),
+    /// One bench suite from the shared registry; timed entries.
+    BenchSuite(&'static str),
+    /// A sweep CSV at a pinned worker-thread count; deterministic text.
+    Sweep {
+        /// Bitmap-kernel sweep (vs the Theorem 1 separation sweep).
+        kernels: bool,
+        /// Sweep ceiling.
+        max_n: usize,
+        /// Pinned worker threads for this job.
+        threads: usize,
+    },
+    /// Byte-compare the digests of two sweep jobs (the thread-count
+    /// determinism contract); deterministic verdict text.
+    ThreadCompare {
+        /// Which sweep pair to compare.
+        kernels: bool,
+    },
+}
+
+/// One node of the job graph.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Stable job id (`exp/T5`, `bench/parsing`, `sweep/kernels@t4`, …).
+    pub id: String,
+    /// What to run.
+    pub kind: JobKind,
+    /// Ids of jobs whose artifacts this job consumes.
+    pub deps: Vec<String>,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion.
+    Ok,
+    /// Artifact served from the disk cache.
+    Cached,
+    /// Panicked, or an invariant (thread-compare) failed.
+    Failed(String),
+    /// Not run: a dependency failed or was filtered out.
+    Skipped(String),
+}
+
+impl JobStatus {
+    /// Does this status fail the run?
+    pub fn is_failure(&self) -> bool {
+        matches!(self, JobStatus::Failed(_))
+    }
+}
+
+/// One timed benchmark produced by a bench job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEntry {
+    /// Baseline entry name (`bench/<suite>/<group>/<id>`).
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Single smoke iteration (vs a sampled median).
+    pub smoke: bool,
+}
+
+/// One executed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job id.
+    pub id: String,
+    /// Short kind label for the report (`experiment`, `bench`, …).
+    pub kind: &'static str,
+    /// How it ended.
+    pub status: JobStatus,
+    /// Wall time of this run (0 for cached/skipped jobs).
+    pub duration_ns: f64,
+    /// Exact artifact digest, for deterministic jobs.
+    pub digest: Option<String>,
+    /// The artifact text (experiment table, CSV, verdict, bench JSON
+    /// lines), rendered into the HTML report.
+    pub detail: Option<String>,
+    /// Timed medians, for bench jobs.
+    pub timed: Vec<TimedEntry>,
+}
+
+/// Build the full job matrix. `--smoke` shrinks the sweep ceilings and
+/// runs each benchmark once; the job *set* is the same in both profiles.
+pub fn matrix(smoke: bool) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for id in experiments::ALL_EXPERIMENTS {
+        jobs.push(JobSpec {
+            id: format!("exp/{id}"),
+            kind: JobKind::Experiment(id),
+            deps: Vec::new(),
+        });
+    }
+    for suite in suites::ALL_SUITES {
+        jobs.push(JobSpec {
+            id: format!("bench/{suite}"),
+            kind: JobKind::BenchSuite(suite),
+            deps: Vec::new(),
+        });
+    }
+    let (sep_n, ker_n) = if smoke { (64, 12) } else { (256, 16) };
+    for (kernels, max_n) in [(false, sep_n), (true, ker_n)] {
+        let which = if kernels { "kernels" } else { "separation" };
+        for threads in [1usize, 4] {
+            jobs.push(JobSpec {
+                id: format!("sweep/{which}@t{threads}"),
+                kind: JobKind::Sweep {
+                    kernels,
+                    max_n,
+                    threads,
+                },
+                deps: Vec::new(),
+            });
+        }
+        jobs.push(JobSpec {
+            id: format!("check/{which}_threads"),
+            kind: JobKind::ThreadCompare { kernels },
+            deps: vec![format!("sweep/{which}@t1"), format!("sweep/{which}@t4")],
+        });
+    }
+    jobs
+}
+
+/// The cache key of a deterministic job: job id + parameters + the
+/// grammar fingerprint. Bench jobs return `None` (never cached).
+pub fn cache_key(spec: &JobSpec, fingerprint: u64) -> Option<u64> {
+    let mut h = Fnv1a::new();
+    h.write(spec.id.as_bytes()).write_u64(fingerprint);
+    match spec.kind {
+        JobKind::Experiment(_) => {}
+        JobKind::BenchSuite(_) => return None,
+        JobKind::Sweep {
+            kernels,
+            max_n,
+            threads,
+        } => {
+            h.write_u8(u8::from(kernels))
+                .write_usize(max_n)
+                .write_usize(threads);
+        }
+        // Derived from its deps in microseconds; caching buys nothing.
+        JobKind::ThreadCompare { .. } => return None,
+    }
+    Some(h.finish())
+}
+
+/// Execution settings the job bodies need.
+pub struct ExecOptions {
+    /// Smoke mode: one iteration per benchmark.
+    pub smoke: bool,
+    /// Where bench suites write their `BENCH_<suite>.json`.
+    pub bench_out_dir: std::path::PathBuf,
+}
+
+/// Execute the matrix in order, consulting `cache` for deterministic
+/// jobs. `progress` is called after each job with (done, total, result).
+pub fn execute(
+    specs: &[JobSpec],
+    cache: &mut DiskCache,
+    opts: &ExecOptions,
+    mut progress: impl FnMut(usize, usize, &JobResult),
+) -> Vec<JobResult> {
+    let fingerprint = grammar_fingerprint();
+    let total = specs.len();
+    let mut results: Vec<JobResult> = Vec::with_capacity(total);
+    for (done, spec) in specs.iter().enumerate() {
+        let result = run_one(spec, fingerprint, cache, opts, &results);
+        progress(done + 1, total, &result);
+        results.push(result);
+    }
+    results
+}
+
+fn run_one(
+    spec: &JobSpec,
+    fingerprint: u64,
+    cache: &mut DiskCache,
+    opts: &ExecOptions,
+    prior: &[JobResult],
+) -> JobResult {
+    let kind_label = match spec.kind {
+        JobKind::Experiment(_) => "experiment",
+        JobKind::BenchSuite(_) => "bench",
+        JobKind::Sweep { .. } => "sweep",
+        JobKind::ThreadCompare { .. } => "compare",
+    };
+    let mut result = JobResult {
+        id: spec.id.clone(),
+        kind: kind_label,
+        status: JobStatus::Ok,
+        duration_ns: 0.0,
+        digest: None,
+        detail: None,
+        timed: Vec::new(),
+    };
+
+    // Dependency check: every dep must exist among prior results and
+    // have produced a digest.
+    let mut dep_digests = Vec::with_capacity(spec.deps.len());
+    for dep in &spec.deps {
+        match prior.iter().find(|r| &r.id == dep) {
+            Some(r) if !r.status.is_failure() => match &r.digest {
+                Some(d) => dep_digests.push((dep.clone(), d.clone())),
+                None => {
+                    result.status = JobStatus::Skipped(format!("dependency {dep} has no artifact"));
+                    return result;
+                }
+            },
+            Some(_) => {
+                result.status = JobStatus::Skipped(format!("dependency {dep} failed"));
+                return result;
+            }
+            None => {
+                result.status =
+                    JobStatus::Skipped(format!("dependency {dep} not in this run (filtered?)"));
+                return result;
+            }
+        }
+    }
+
+    // Cache lookup for deterministic jobs.
+    let key = cache_key(spec, fingerprint);
+    if let Some(key) = key {
+        if let Some(hit) = cache.load(&spec.id, key) {
+            result.status = JobStatus::Cached;
+            result.digest = Some(hit.digest);
+            result.detail = Some(hit.text);
+            return result;
+        }
+    }
+
+    let start = Instant::now();
+    let body: Result<(Option<String>, Vec<TimedEntry>), String> = match &spec.kind {
+        JobKind::Experiment(id) => catch_unwind(AssertUnwindSafe(|| experiments::run(id)))
+            .map(|text| (Some(text), Vec::new()))
+            .map_err(panic_message),
+        JobKind::BenchSuite(name) => {
+            let bench_opts = Options {
+                smoke: opts.smoke,
+                out_dir: opts.bench_out_dir.clone(),
+                ..Options::default()
+            };
+            catch_unwind(AssertUnwindSafe(|| {
+                let suite = suites::build(name, bench_opts).expect("registered suite");
+                let timed = suite
+                    .results()
+                    .into_iter()
+                    .map(|e| TimedEntry {
+                        name: format!("bench/{name}/{}/{}", e.group, e.id),
+                        median_ns: e.stats.median_ns,
+                        smoke: e.smoke,
+                    })
+                    .collect();
+                let lines = suite.json_lines();
+                suite.finish(); // writes out/BENCH_<suite>.json
+                (Some(lines), timed)
+            }))
+            .map_err(panic_message)
+        }
+        JobKind::Sweep {
+            kernels,
+            max_n,
+            threads,
+        } => {
+            let (kernels, max_n, threads) = (*kernels, *max_n, *threads);
+            catch_unwind(AssertUnwindSafe(|| {
+                let csv = if kernels {
+                    sweep::kernel_sweep_csv(max_n, threads)
+                } else {
+                    sweep::sweep_csv(max_n, threads)
+                };
+                (Some(csv), Vec::new())
+            }))
+            .map_err(panic_message)
+        }
+        JobKind::ThreadCompare { .. } => {
+            let (a, b) = (&dep_digests[0], &dep_digests[1]);
+            if a.1 == b.1 {
+                Ok((Some("identical".to_string()), Vec::new()))
+            } else {
+                Err(format!(
+                    "thread-count determinism violated: {} = {} but {} = {}",
+                    a.0, a.1, b.0, b.1
+                ))
+            }
+        }
+    };
+    result.duration_ns = start.elapsed().as_nanos() as f64;
+
+    match body {
+        Ok((text, timed)) => {
+            result.timed = timed;
+            if let Some(text) = text {
+                // Bench JSON lines are volatile (timings); only
+                // deterministic kinds publish a digest.
+                if !matches!(spec.kind, JobKind::BenchSuite(_)) {
+                    let digest = digest_of(&text);
+                    if let Some(key) = key {
+                        let artifact = CachedArtifact {
+                            digest: digest.clone(),
+                            text: text.clone(),
+                        };
+                        if let Err(e) = cache.store(&spec.id, key, &artifact) {
+                            eprintln!("warning: could not cache {}: {e}", spec.id);
+                        }
+                    }
+                    result.digest = Some(digest);
+                }
+                result.detail = Some(text);
+            }
+        }
+        Err(msg) => result.status = JobStatus::Failed(msg),
+    }
+    result
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_everything_in_dependency_order() {
+        let jobs = matrix(true);
+        // Every experiment, every suite, 4 sweeps, 2 compares.
+        assert_eq!(
+            jobs.len(),
+            experiments::ALL_EXPERIMENTS.len() + suites::ALL_SUITES.len() + 6
+        );
+        let ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        assert!(ids.contains(&"exp/T8"));
+        assert!(ids.contains(&"bench/serve_bench"));
+        assert!(ids.contains(&"sweep/kernels@t4"));
+        // Topological: every dep appears before its dependent.
+        for (i, j) in jobs.iter().enumerate() {
+            for dep in &j.deps {
+                let at = ids.iter().position(|id| id == dep);
+                assert!(at.is_some_and(|d| d < i), "{} dep {dep} out of order", j.id);
+            }
+        }
+        // Ids are unique.
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn cache_keys_separate_jobs_and_params() {
+        let fp = grammar_fingerprint();
+        let jobs = matrix(true);
+        let keys: Vec<Option<u64>> = jobs.iter().map(|j| cache_key(j, fp)).collect();
+        // Bench and compare jobs are never cached.
+        for (j, k) in jobs.iter().zip(&keys) {
+            let expect_none = matches!(
+                j.kind,
+                JobKind::BenchSuite(_) | JobKind::ThreadCompare { .. }
+            );
+            assert_eq!(k.is_none(), expect_none, "{}", j.id);
+        }
+        // All present keys are distinct.
+        let mut present: Vec<u64> = keys.iter().flatten().copied().collect();
+        let n = present.len();
+        present.sort_unstable();
+        present.dedup();
+        assert_eq!(present.len(), n);
+        // The smoke and full sweep jobs differ (different max_n).
+        let full = matrix(false);
+        let smoke_sweep = jobs
+            .iter()
+            .position(|j| j.id == "sweep/separation@t1")
+            .unwrap();
+        let full_sweep = full
+            .iter()
+            .position(|j| j.id == "sweep/separation@t1")
+            .unwrap();
+        assert_ne!(
+            cache_key(&jobs[smoke_sweep], fp),
+            cache_key(&full[full_sweep], fp)
+        );
+        // A different fingerprint shifts every key.
+        assert_ne!(cache_key(&jobs[0], fp), cache_key(&jobs[0], fp ^ 1),);
+    }
+
+    fn tmp_cache(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!("ucfg_orc_jobs_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskCache::open(dir, false).unwrap()
+    }
+
+    #[test]
+    fn execute_runs_compare_after_sweeps_and_caches_experiments() {
+        // A miniature graph: one experiment, two tiny sweeps, a compare.
+        let specs = vec![
+            JobSpec {
+                id: "exp/F1".into(),
+                kind: JobKind::Experiment("F1"),
+                deps: vec![],
+            },
+            JobSpec {
+                id: "sweep/separation@t1".into(),
+                kind: JobKind::Sweep {
+                    kernels: false,
+                    max_n: 4,
+                    threads: 1,
+                },
+                deps: vec![],
+            },
+            JobSpec {
+                id: "sweep/separation@t4".into(),
+                kind: JobKind::Sweep {
+                    kernels: false,
+                    max_n: 4,
+                    threads: 4,
+                },
+                deps: vec![],
+            },
+            JobSpec {
+                id: "check/separation_threads".into(),
+                kind: JobKind::ThreadCompare { kernels: false },
+                deps: vec!["sweep/separation@t1".into(), "sweep/separation@t4".into()],
+            },
+        ];
+        let mut cache = tmp_cache("exec");
+        let opts = ExecOptions {
+            smoke: true,
+            bench_out_dir: std::env::temp_dir(),
+        };
+        let mut seen = 0usize;
+        let results = execute(&specs, &mut cache, &opts, |done, total, _| {
+            assert_eq!(total, 4);
+            seen = done;
+        });
+        assert_eq!(seen, 4);
+        assert!(
+            results.iter().all(|r| r.status == JobStatus::Ok),
+            "{results:?}"
+        );
+        // The compare saw identical digests (deterministic across threads).
+        assert_eq!(results[3].detail.as_deref(), Some("identical"));
+        assert_eq!(results[1].digest, results[2].digest);
+        // A second execution hits the cache for all deterministic jobs.
+        let rerun = execute(&specs, &mut cache, &opts, |_, _, _| {});
+        for r in &rerun[..3] {
+            assert_eq!(r.status, JobStatus::Cached, "{}", r.id);
+        }
+        assert_eq!(rerun[3].status, JobStatus::Ok, "compares never cache");
+        assert_eq!(rerun[0].digest, results[0].digest);
+        assert_eq!(rerun[0].detail, results[0].detail);
+    }
+
+    #[test]
+    fn missing_dependency_skips_the_job() {
+        let specs = vec![JobSpec {
+            id: "check/separation_threads".into(),
+            kind: JobKind::ThreadCompare { kernels: false },
+            deps: vec!["sweep/separation@t1".into(), "sweep/separation@t4".into()],
+        }];
+        let mut cache = tmp_cache("skip");
+        let opts = ExecOptions {
+            smoke: true,
+            bench_out_dir: std::env::temp_dir(),
+        };
+        let results = execute(&specs, &mut cache, &opts, |_, _, _| {});
+        assert!(
+            matches!(&results[0].status, JobStatus::Skipped(m) if m.contains("not in this run")),
+            "{:?}",
+            results[0].status
+        );
+    }
+}

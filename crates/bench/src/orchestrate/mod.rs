@@ -1,0 +1,429 @@
+//! # The experiment orchestrator behind `ucfg orchestrate`.
+//!
+//! Runs the full reproduction matrix — every experiment table, every
+//! bench suite from the shared registry, and the separation/kernel
+//! sweeps pinned at 1 and 4 worker threads — as a dependency-aware job
+//! graph with per-job artifact caching, live progress, a self-contained
+//! HTML report, and a baseline regression gate:
+//!
+//! - [`jobs`] — the matrix, the serial topological executor, and the
+//!   in-run thread-determinism comparison jobs;
+//! - [`cache`] — the on-disk FNV-keyed artifact cache (serve-layer
+//!   shape: content-addressed, hit/miss counters, collisions are
+//!   misses);
+//! - [`baselines`] — the committed `baselines/<profile>.json` format
+//!   and the run-vs-baseline walk (exact digests bit-for-bit, timed
+//!   medians under a tolerance policy);
+//! - [`render`] — the static HTML report (inline CSS, no scripts).
+//!
+//! Outputs land under `<out>/orchestrate/`: `report.html`, `run.json`
+//! (everything, including timings — volatile), `deterministic.json`
+//! (artifact digests only — byte-identical across `UCFG_THREADS`, the
+//! file CI diffs), and one CSV per sweep job. Bench suites additionally
+//! write their usual `BENCH_<suite>.json` into `<out>/`.
+
+pub mod baselines;
+pub mod cache;
+pub mod jobs;
+pub mod render;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use jobs::{JobResult, JobStatus};
+use ucfg_serve::Json;
+use ucfg_support::baseline::{Comparison, DiffSummary, Tolerance};
+
+/// Orchestrator settings, as parsed by the CLI.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Smoke profile: one iteration per benchmark, smaller sweeps.
+    pub smoke: bool,
+    /// Compare against the baseline and fail on regressions.
+    pub check: bool,
+    /// Write the run out as the new baseline for this profile.
+    pub write_baseline: bool,
+    /// Baseline path override (default `baselines/<profile>.json`).
+    pub baseline_path: Option<PathBuf>,
+    /// Output root (default `$UCFG_OUT_DIR`, else `out/`).
+    pub out_dir: Option<PathBuf>,
+    /// Cache directory override (default `<out>/orchestrate/cache`).
+    pub cache_dir: Option<PathBuf>,
+    /// Ignore cached artifacts (still refreshes them).
+    pub refresh: bool,
+    /// Tolerance-ratio override for timed comparisons.
+    pub max_ratio: Option<f64>,
+    /// Noise-floor override (ns) for timed comparisons.
+    pub floor_ns: Option<f64>,
+    /// Substring filter on job ids.
+    pub filter: Option<String>,
+    /// List the job matrix without running anything.
+    pub list: bool,
+}
+
+impl Config {
+    /// The profile name (`smoke` / `full`) this configuration runs.
+    pub fn profile(&self) -> &'static str {
+        if self.smoke {
+            "smoke"
+        } else {
+            "full"
+        }
+    }
+}
+
+/// Everything the report (HTML and JSON) shows about a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Profile name.
+    pub profile: String,
+    /// Ambient worker-thread count (`UCFG_THREADS` / cores).
+    pub threads: usize,
+    /// Executed jobs, in graph order.
+    pub jobs: Vec<JobResult>,
+    /// Artifact-cache hits this run.
+    pub cache_hits: u64,
+    /// Artifact-cache misses this run.
+    pub cache_misses: u64,
+    /// Whether a baseline check ran.
+    pub checked: bool,
+    /// Baseline path (or why none was used), for display.
+    pub baseline_label: String,
+    /// The tolerance policy in force.
+    pub tolerance: Tolerance,
+    /// Run-vs-baseline comparisons (empty when unchecked).
+    pub comparisons: Vec<Comparison>,
+    /// Tally of the comparisons.
+    pub diff_summary: DiffSummary,
+    /// Baseline entries this run did not produce.
+    pub stale_baseline_entries: Vec<String>,
+    /// Total wall time of the run.
+    pub total_duration_ns: f64,
+}
+
+/// The orchestrator's result, as the CLI consumes it.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Human summary for stdout.
+    pub summary: String,
+    /// Baseline regressions (timed past tolerance, or exact mismatch).
+    pub regressions: usize,
+    /// Jobs that failed (panic or determinism violation).
+    pub failed_jobs: usize,
+}
+
+impl Outcome {
+    /// Should the process exit nonzero?
+    pub fn is_failure(&self) -> bool {
+        self.regressions > 0 || self.failed_jobs > 0
+    }
+}
+
+/// Run the orchestrator.
+pub fn run(cfg: &Config) -> Result<Outcome, String> {
+    let start = Instant::now();
+    let out_root = cfg
+        .out_dir
+        .clone()
+        .unwrap_or_else(ucfg_support::bench::out_dir);
+    let orc_dir = out_root.join("orchestrate");
+    let cache_dir = cfg
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| orc_dir.join("cache"));
+
+    // The matrix, optionally filtered.
+    let mut specs = jobs::matrix(cfg.smoke);
+    if let Some(filter) = &cfg.filter {
+        specs.retain(|s| s.id.contains(filter.as_str()));
+    }
+    if cfg.list {
+        let mut out = String::new();
+        for s in &specs {
+            out.push_str(&s.id);
+            out.push('\n');
+        }
+        return Ok(Outcome {
+            summary: out,
+            regressions: 0,
+            failed_jobs: 0,
+        });
+    }
+    if specs.is_empty() {
+        return Err(format!(
+            "no jobs match filter {:?}",
+            cfg.filter.as_deref().unwrap_or("")
+        ));
+    }
+
+    std::fs::create_dir_all(&orc_dir)
+        .map_err(|e| format!("cannot create {}: {e}", orc_dir.display()))?;
+    let mut cache = cache::DiskCache::open(cache_dir, cfg.refresh)
+        .map_err(|e| format!("cannot open artifact cache: {e}"))?;
+
+    // Execute, with live progress on stderr.
+    let exec_opts = jobs::ExecOptions {
+        smoke: cfg.smoke,
+        bench_out_dir: out_root.clone(),
+    };
+    let results = jobs::execute(&specs, &mut cache, &exec_opts, |done, total, r| {
+        let status = match &r.status {
+            JobStatus::Ok => format!("ok in {}", ucfg_support::baseline::format_ns(r.duration_ns)),
+            JobStatus::Cached => "cached".to_string(),
+            JobStatus::Failed(m) => format!("FAILED: {m}"),
+            JobStatus::Skipped(m) => format!("skipped: {m}"),
+        };
+        eprintln!("[{done}/{total}] {} … {status}", r.id);
+    });
+
+    // Collect the two strata.
+    let mut exact: BTreeMap<String, String> = BTreeMap::new();
+    let mut timed: BTreeMap<String, f64> = BTreeMap::new();
+    for r in &results {
+        if let Some(d) = &r.digest {
+            exact.insert(r.id.clone(), d.clone());
+        }
+        for t in &r.timed {
+            timed.insert(t.name.clone(), t.median_ns);
+        }
+    }
+
+    // Write sweep CSVs (informational copies of the deterministic
+    // artifacts; the digests in deterministic.json are authoritative).
+    for r in &results {
+        if r.kind == "sweep" {
+            if let Some(text) = &r.detail {
+                let name = format!("{}.csv", r.id.replace(['/', '@'], "_"));
+                let _ = std::fs::write(orc_dir.join(name), text);
+            }
+        }
+    }
+
+    // Baseline handling.
+    let profile = cfg.profile();
+    let baseline_path = cfg
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("baselines").join(format!("{profile}.json")));
+    let mut tolerance = baselines::default_tolerance(profile);
+    let mut checked = false;
+    let mut comparisons = Vec::new();
+    let mut stale = Vec::new();
+    let mut baseline_label = "not checked".to_string();
+    if cfg.check {
+        let baseline = baselines::load(&baseline_path)?;
+        tolerance = baseline.tolerance;
+        if let Some(r) = cfg.max_ratio {
+            tolerance.max_ratio = r;
+        }
+        if let Some(f) = cfg.floor_ns {
+            tolerance.floor_ns = f;
+        }
+        let outcome = baselines::check(&exact, &timed, &baseline, tolerance);
+        comparisons = outcome.comparisons;
+        stale = outcome.stale;
+        checked = true;
+        baseline_label = baseline_path.display().to_string();
+    }
+    if cfg.write_baseline {
+        let mut b = baselines::Baseline::new(profile);
+        if let Some(r) = cfg.max_ratio {
+            b.tolerance.max_ratio = r;
+        }
+        if let Some(f) = cfg.floor_ns {
+            b.tolerance.floor_ns = f;
+        }
+        b.exact = exact.clone();
+        b.timed_ns = timed.clone();
+        baselines::save(&baseline_path, &b)
+            .map_err(|e| format!("cannot write baseline {}: {e}", baseline_path.display()))?;
+        eprintln!("baseline written to {}", baseline_path.display());
+    }
+
+    let diff_summary = DiffSummary::of(&comparisons);
+    let failed_jobs = results.iter().filter(|r| r.status.is_failure()).count();
+    let report = RunReport {
+        profile: profile.to_string(),
+        threads: ucfg_support::par::thread_count(),
+        jobs: results,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        checked,
+        baseline_label,
+        tolerance,
+        comparisons,
+        diff_summary,
+        stale_baseline_entries: stale,
+        total_duration_ns: start.elapsed().as_nanos() as f64,
+    };
+
+    // deterministic.json: the byte-comparable stratum — digests only,
+    // sorted, no timings, no cache state.
+    let det = Json::Obj(
+        exact
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+            .collect(),
+    );
+    let det_path = orc_dir.join("deterministic.json");
+    std::fs::write(&det_path, det.render() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", det_path.display()))?;
+
+    // run.json: the full volatile record.
+    let run_path = orc_dir.join("run.json");
+    std::fs::write(&run_path, run_json(&report).render() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", run_path.display()))?;
+
+    // report.html.
+    let html_path = orc_dir.join("report.html");
+    std::fs::write(&html_path, render::render_report(&report))
+        .map_err(|e| format!("cannot write {}: {e}", html_path.display()))?;
+
+    Ok(Outcome {
+        summary: summary_text(&report, &det_path, &html_path),
+        regressions: report.diff_summary.regressions,
+        failed_jobs,
+    })
+}
+
+fn summary_text(
+    report: &RunReport,
+    det_path: &std::path::Path,
+    html_path: &std::path::Path,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let ran = report
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Ok)
+        .count();
+    let cached = report
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Cached)
+        .count();
+    let failed = report.jobs.iter().filter(|j| j.status.is_failure()).count();
+    let _ = writeln!(
+        out,
+        "orchestrate [{}]: {} jobs ({ran} ran, {cached} cached, {failed} failed) in {}",
+        report.profile,
+        report.jobs.len(),
+        ucfg_support::baseline::format_ns(report.total_duration_ns)
+    );
+    for j in &report.jobs {
+        if let JobStatus::Failed(m) = &j.status {
+            let _ = writeln!(out, "  FAILED {}: {m}", j.id);
+        }
+    }
+    if report.checked {
+        let _ = writeln!(
+            out,
+            "baseline {}: {}",
+            report.baseline_label,
+            report.diff_summary.render()
+        );
+        for c in &report.comparisons {
+            if c.verdict.is_regression() {
+                let _ = writeln!(
+                    out,
+                    "  REGRESSION {}: baseline {} vs measured {}{}",
+                    c.name,
+                    c.baseline,
+                    c.measured,
+                    c.ratio.map_or(String::new(), |r| format!(" ({r:.2}×)"))
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "deterministic stratum → {}", det_path.display());
+    let _ = writeln!(out, "report → {}", html_path.display());
+    out
+}
+
+fn run_json(report: &RunReport) -> Json {
+    let jobs = report
+        .jobs
+        .iter()
+        .map(|j| {
+            let (status, note) = match &j.status {
+                JobStatus::Ok => ("ok", String::new()),
+                JobStatus::Cached => ("cached", String::new()),
+                JobStatus::Failed(m) => ("failed", m.clone()),
+                JobStatus::Skipped(m) => ("skipped", m.clone()),
+            };
+            let mut fields = vec![
+                ("id", Json::str(j.id.clone())),
+                ("kind", Json::str(j.kind)),
+                ("status", Json::str(status)),
+                ("duration_ns", Json::Float(j.duration_ns)),
+            ];
+            if !note.is_empty() {
+                fields.push(("note", Json::str(note)));
+            }
+            if let Some(d) = &j.digest {
+                fields.push(("digest", Json::str(d.clone())));
+            }
+            if !j.timed.is_empty() {
+                fields.push((
+                    "timed",
+                    Json::Arr(
+                        j.timed
+                            .iter()
+                            .map(|t| {
+                                Json::obj(vec![
+                                    ("name", Json::str(t.name.clone())),
+                                    ("median_ns", Json::Float(t.median_ns)),
+                                    ("smoke", Json::Bool(t.smoke)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    let comparisons = report
+        .comparisons
+        .iter()
+        .map(|c| {
+            let mut fields = vec![
+                ("name", Json::str(c.name.clone())),
+                ("baseline", Json::str(c.baseline.clone())),
+                ("measured", Json::str(c.measured.clone())),
+                ("verdict", Json::str(format!("{:?}", c.verdict))),
+            ];
+            if let Some(r) = c.ratio {
+                fields.push(("ratio", Json::Float(r)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("profile", Json::str(report.profile.clone())),
+        ("threads", Json::Int(report.threads as i64)),
+        ("cache_hits", Json::Int(report.cache_hits as i64)),
+        ("cache_misses", Json::Int(report.cache_misses as i64)),
+        ("total_duration_ns", Json::Float(report.total_duration_ns)),
+        ("jobs", Json::Arr(jobs)),
+        ("checked", Json::Bool(report.checked)),
+        ("baseline", Json::str(report.baseline_label.clone())),
+        (
+            "regressions",
+            Json::Int(report.diff_summary.regressions as i64),
+        ),
+        ("comparisons", Json::Arr(comparisons)),
+        (
+            "stale_baseline_entries",
+            Json::Arr(
+                report
+                    .stale_baseline_entries
+                    .iter()
+                    .map(|s| Json::str(s.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,158 @@
+//! Rendering a finished run: the self-contained HTML report.
+//!
+//! Pure `&RunReport → String` on top of [`ucfg_support::html`], so the
+//! whole report is golden-file-testable: no clocks, no environment reads
+//! — everything shown comes from the report value.
+
+use super::jobs::{JobResult, JobStatus};
+use super::RunReport;
+use ucfg_support::baseline::{format_ns, Verdict};
+use ucfg_support::html::{badge, details, pre, Document, Table};
+
+fn status_badge(status: &JobStatus) -> String {
+    match status {
+        JobStatus::Ok => badge("ok", "ok"),
+        JobStatus::Cached => badge("ok", "cached"),
+        JobStatus::Failed(_) => badge("fail", "failed"),
+        JobStatus::Skipped(_) => badge("warn", "skipped"),
+    }
+}
+
+fn verdict_badge(v: &Verdict) -> String {
+    match v {
+        Verdict::Ok => badge("ok", "ok"),
+        Verdict::Improved => badge("ok", "improved"),
+        Verdict::Regression => badge("fail", "regression"),
+        Verdict::BelowFloor => badge("warn", "below floor"),
+        Verdict::MissingBaseline => badge("warn", "no baseline"),
+    }
+}
+
+fn artifact_cell(job: &JobResult) -> String {
+    match (&job.digest, job.timed.len()) {
+        (Some(d), _) => d.clone(),
+        (None, 0) => match &job.status {
+            JobStatus::Failed(msg) | JobStatus::Skipped(msg) => msg.clone(),
+            _ => "—".to_string(),
+        },
+        (None, n) => format!("{n} timed entries"),
+    }
+}
+
+/// Render the self-contained HTML report for a finished run.
+pub fn render_report(run: &RunReport) -> String {
+    let mut doc = Document::new(&format!("ucfg orchestrate — {} run", run.profile));
+
+    // Setup.
+    let mut setup = Table::new("setup", &["Key", "Value"]);
+    let ran = run
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Ok)
+        .count();
+    let cached = run
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Cached)
+        .count();
+    let failed = run.jobs.iter().filter(|j| j.status.is_failure()).count();
+    let skipped = run.jobs.len() - ran - cached - failed;
+    setup.row(&["profile", &run.profile]);
+    setup.row(&["worker threads", &run.threads.to_string()]);
+    setup.row(&[
+        "jobs",
+        &format!(
+            "{} total: {ran} ran, {cached} cached, {failed} failed, {skipped} skipped",
+            run.jobs.len()
+        ),
+    ]);
+    setup.row(&[
+        "artifact cache",
+        &format!("{} hits, {} misses", run.cache_hits, run.cache_misses),
+    ]);
+    setup.row(&["baseline", &run.baseline_label]);
+    setup.row(&[
+        "tolerance",
+        &format!(
+            "fail timed entries over {:.2}× baseline; floor {}",
+            run.tolerance.max_ratio,
+            format_ns(run.tolerance.floor_ns)
+        ),
+    ]);
+    setup.row(&["total wall time", &format_ns(run.total_duration_ns)]);
+    doc.section("Setup", &setup.render());
+
+    // Job summary. The status column holds pre-rendered badge HTML, so
+    // the table body is written directly (cells escaped individually).
+    let mut body = String::from(
+        "<table class=\"summary\">\n<thead><tr><th>Job</th><th>Kind</th>\
+         <th>Status</th><th>Duration</th><th>Artifact</th></tr></thead>\n<tbody>\n",
+    );
+    for job in &run.jobs {
+        let dur = if job.duration_ns > 0.0 {
+            format_ns(job.duration_ns)
+        } else {
+            "—".to_string()
+        };
+        body.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            ucfg_support::html::escape(&job.id),
+            job.kind,
+            status_badge(&job.status),
+            ucfg_support::html::escape(&dur),
+            ucfg_support::html::escape(&artifact_cell(job)),
+        ));
+    }
+    body.push_str("</tbody></table>\n");
+    doc.section("Jobs", &body);
+
+    // Baseline check.
+    if run.checked {
+        let mut sec = pre(&run.diff_summary.render());
+        let mut table = String::from(
+            "<table class=\"data\">\n<thead><tr><th>Entry</th><th>Baseline</th>\
+             <th>Measured</th><th>Ratio</th><th>Verdict</th></tr></thead>\n<tbody>\n",
+        );
+        for c in &run.comparisons {
+            let ratio = c.ratio.map_or("—".to_string(), |r| format!("{r:.2}×"));
+            table.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                ucfg_support::html::escape(&c.name),
+                ucfg_support::html::escape(&c.baseline),
+                ucfg_support::html::escape(&c.measured),
+                ucfg_support::html::escape(&ratio),
+                verdict_badge(&c.verdict),
+            ));
+        }
+        table.push_str("</tbody></table>\n");
+        sec.push_str(&table);
+        if !run.stale_baseline_entries.is_empty() {
+            sec.push_str(&details(
+                &format!(
+                    "{} baseline entr{} not produced by this run",
+                    run.stale_baseline_entries.len(),
+                    if run.stale_baseline_entries.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                ),
+                &pre(&run.stale_baseline_entries.join("\n")),
+            ));
+        }
+        doc.section("Baseline check", &sec);
+    }
+
+    // Per-job artifacts, collapsible.
+    let mut artifacts = String::new();
+    for job in &run.jobs {
+        if let Some(text) = &job.detail {
+            artifacts.push_str(&details(&job.id, &pre(text)));
+        } else if let JobStatus::Failed(msg) = &job.status {
+            artifacts.push_str(&details(&format!("{} (failed)", job.id), &pre(msg)));
+        }
+    }
+    doc.section("Artifacts", &artifacts);
+
+    doc.render()
+}

@@ -1,0 +1,89 @@
+//! Counting benches (experiment T13/T15 timing side): the algorithmic win
+//! of unambiguity — linear-time DP on the uCFG / deterministic circuit vs
+//! materialisation — and the factorised-join gap.
+
+use std::hint::black_box;
+use ucfg_automata::ln_nfa::exact_nfa;
+use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
+use ucfg_factorized::convert::grammar_to_circuit;
+use ucfg_factorized::join::{
+    complete_chain, factorized_path_join, materialized_path_join, path_join_count,
+};
+use ucfg_grammar::count::derivation_counts_by_length;
+use ucfg_grammar::language::word_counts_by_length;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_support::bench::{Options, Suite};
+
+fn bench_count_ln(suite: &mut Suite) {
+    let mut g = suite.group("count_ln_words");
+    for n in [4usize, 5, 6] {
+        // (a) uCFG derivation-count DP: counts words because unambiguous.
+        let ucfg = CnfGrammar::from_grammar(&example4_ucfg(n));
+        g.bench(&format!("ucfg_dp/{n}"), || {
+            derivation_counts_by_length(black_box(&ucfg), 2 * n).pop()
+        });
+        // (b) ambiguous CFG: the same DP over-counts, so words must be
+        // materialised and deduplicated.
+        let cfg = CnfGrammar::from_grammar(&appendix_a_grammar(n));
+        g.bench(&format!("ambiguous_materialize/{n}"), || {
+            word_counts_by_length(black_box(&cfg), 2 * n).pop()
+        });
+        // (c) deterministic circuit.
+        let circ = grammar_to_circuit(&example4_ucfg(n)).unwrap();
+        g.bench(&format!("circuit/{n}"), || {
+            black_box(&circ).count_derivations()
+        });
+    }
+}
+
+fn bench_count_automata(suite: &mut Suite) {
+    let mut g = suite.group("count_via_automata");
+    for n in [4usize, 6, 8] {
+        let nfa = exact_nfa(n);
+        g.bench(&format!("nfa_subset_count/{n}"), || {
+            black_box(&nfa).accepted_word_counts(2 * n).pop()
+        });
+    }
+}
+
+fn bench_factorized_join(suite: &mut Suite) {
+    let mut g = suite.group("factorized_join");
+    for (d, k) in [(3u32, 5usize), (4, 6)] {
+        let rels = complete_chain(d, k);
+        g.bench(&format!("build_circuit/d{d}k{k}"), || {
+            factorized_path_join(black_box(&rels)).size()
+        });
+        g.bench(&format!("count_dp/d{d}k{k}"), || {
+            path_join_count(black_box(&rels))
+        });
+        g.bench(&format!("materialize/d{d}k{k}"), || {
+            materialized_path_join(black_box(&rels)).len()
+        });
+    }
+}
+
+fn bench_semiring_inside(suite: &mut Suite) {
+    use ucfg_grammar::weighted::{inside_at, Count, MinPlus, TableWeights, UnitWeights};
+    let mut g = suite.group("semiring_inside");
+    for n in [4usize, 5] {
+        let ucfg = CnfGrammar::from_grammar(&example4_ucfg(n));
+        g.bench(&format!("count/{n}"), || {
+            inside_at::<Count>(black_box(&ucfg), &UnitWeights, 2 * n)
+        });
+        let w = TableWeights(vec![MinPlus(Some(1)), MinPlus(Some(0))]);
+        g.bench(&format!("tropical/{n}"), || {
+            inside_at::<MinPlus>(black_box(&ucfg), &w, 2 * n)
+        });
+    }
+}
+
+/// Build and execute the suite; the caller decides what to do with the
+/// finished records (write them via [`Suite::finish`], or read them).
+pub(super) fn build(opts: Options) -> Suite {
+    let mut suite = Suite::with_options("counting", opts);
+    bench_count_ln(&mut suite);
+    bench_count_automata(&mut suite);
+    bench_factorized_join(&mut suite);
+    bench_semiring_inside(&mut suite);
+    suite
+}

@@ -1,0 +1,155 @@
+//! Serial-vs-parallel kernel benches on the [`ucfg_support::par`] layer,
+//! plus the scalar-vs-bitset CYK comparison. Each group times the serial
+//! reference (`threads = 1`, the exact pre-parallel code path) against the
+//! same kernel on the deterministic parallel map, so the emitted
+//! `out/BENCH_par_kernels.json` records the speedup (or, on a single-core
+//! runner, the scheduling overhead) side by side.
+//!
+//! The parallel ids bench at `max(UCFG_THREADS | cores, 2)` workers so the
+//! chunked code path is always exercised, even where `thread_count()` is 1.
+
+use std::hint::black_box;
+use ucfg_core::cover::{example8_cover, verify_cover_threads};
+use ucfg_core::discrepancy::{
+    discrepancy_threads, exact_max_discrepancy_threads, random_family_rectangle,
+};
+use ucfg_core::ln_grammars::example4_ucfg;
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rank::{rank_gf2_threads, rank_mod_p_threads};
+use ucfg_core::words;
+use ucfg_grammar::cyk::{CykChart, CykRuleIndex};
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_support::bench::{Options, Suite};
+use ucfg_support::par;
+use ucfg_support::rng::{SeedableRng, StdRng};
+
+/// Worker count for the "parallel" ids: the machine's thread count, but at
+/// least 2 so the chunked path (not the serial fallback) is what's timed.
+fn par_threads() -> usize {
+    par::thread_count().max(2)
+}
+
+fn bench_verify_cover(suite: &mut Suite) {
+    let t = par_threads();
+    let mut g = suite.group("verify_cover");
+    for n in [6usize, 8] {
+        let rects = example8_cover(n);
+        g.bench(&format!("serial/{n}"), || {
+            verify_cover_threads(black_box(n), &rects, 1).covers_exactly
+        });
+        g.bench(&format!("par{t}/{n}"), || {
+            verify_cover_threads(black_box(n), &rects, t).covers_exactly
+        });
+    }
+}
+
+fn bench_discrepancy(suite: &mut Suite) {
+    let t = par_threads();
+    let mut g = suite.group("discrepancy");
+    for n in [12usize, 16] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let part = OrderedPartition::new(n, 1, n);
+        let r = random_family_rectangle(n, part, &mut rng);
+        g.bench(&format!("serial/{n}"), || {
+            discrepancy_threads(black_box(n), &r, 1)
+        });
+        g.bench(&format!("par{t}/{n}"), || {
+            discrepancy_threads(black_box(n), &r, t)
+        });
+    }
+}
+
+fn bench_exact_max_discrepancy(suite: &mut Suite) {
+    let t = par_threads();
+    let mut g = suite.group("exact_max_discrepancy");
+    let n = 4usize;
+    let part = OrderedPartition::new(n, 1, n);
+    g.bench(&format!("serial/{n}"), || {
+        exact_max_discrepancy_threads(black_box(n), part, 1)
+    });
+    g.bench(&format!("par{t}/{n}"), || {
+        exact_max_discrepancy_threads(black_box(n), part, t)
+    });
+}
+
+fn bench_rank(suite: &mut Suite) {
+    let t = par_threads();
+    let mut g = suite.group("rank");
+    for n in [8usize, 10] {
+        g.bench(&format!("gf2_serial/{n}"), || {
+            rank_gf2_threads(black_box(n), 1)
+        });
+        g.bench(&format!("gf2_par{t}/{n}"), || {
+            rank_gf2_threads(black_box(n), t)
+        });
+    }
+    let n = 7usize;
+    g.bench(&format!("mod_p_serial/{n}"), || {
+        rank_mod_p_threads(black_box(n), 1)
+    });
+    g.bench(&format!("mod_p_par{t}/{n}"), || {
+        rank_mod_p_threads(black_box(n), t)
+    });
+}
+
+fn bench_enumerate_ln(suite: &mut Suite) {
+    let t = par_threads();
+    let mut g = suite.group("enumerate_ln");
+    for n in [8usize, 10] {
+        g.bench(&format!("serial/{n}"), || {
+            words::enumerate_ln_threads(black_box(n), 1).len()
+        });
+        g.bench(&format!("par{t}/{n}"), || {
+            words::enumerate_ln_threads(black_box(n), t).len()
+        });
+    }
+}
+
+fn bench_cyk_kernels(suite: &mut Suite) {
+    let mut g = suite.group("cyk_kernel");
+    for n in [4usize, 5] {
+        let cnf = CnfGrammar::from_grammar(&example4_ucfg(n));
+        let inputs: Vec<Vec<_>> = (0..16u64)
+            .map(|i| {
+                let w = i.wrapping_mul(0x9e3779b97f4a7c15) & words::low_mask(2 * n);
+                cnf.encode(&words::to_string(n, w)).unwrap()
+            })
+            .collect();
+        g.bench(&format!("scalar/{n}"), || {
+            let mut acc = 0usize;
+            for w in &inputs {
+                acc += usize::from(CykChart::build_scalar(black_box(&cnf), w).accepted());
+            }
+            acc
+        });
+        g.bench(&format!("bitset/{n}"), || {
+            let mut acc = 0usize;
+            for w in &inputs {
+                acc += usize::from(CykChart::build(black_box(&cnf), w).accepted());
+            }
+            acc
+        });
+        let index = CykRuleIndex::new(&cnf);
+        g.bench(&format!("bitset_reused_index/{n}"), || {
+            let mut acc = 0usize;
+            for w in &inputs {
+                acc +=
+                    usize::from(CykChart::build_with_index(black_box(&cnf), &index, w).accepted());
+            }
+            acc
+        });
+    }
+}
+
+/// Build and execute the suite; the caller decides what to do with the
+/// finished records (write them via [`Suite::finish`], or read them).
+pub(super) fn build(opts: Options) -> Suite {
+    let mut suite = Suite::with_options("par_kernels", opts);
+    bench_verify_cover(&mut suite);
+    bench_discrepancy(&mut suite);
+    bench_exact_max_discrepancy(&mut suite);
+    bench_rank(&mut suite);
+    bench_enumerate_ln(&mut suite);
+    bench_cyk_kernels(&mut suite);
+    suite
+}

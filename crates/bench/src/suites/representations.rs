@@ -1,0 +1,106 @@
+//! Representation-building benches (experiments T1/T3/T11/T12 timing
+//! side): constructing the paper's grammars, CNF conversion, Lemma 10
+//! annotation, DAWG construction, and the circuit isomorphism.
+
+use std::hint::black_box;
+use ucfg_automata::dawg::DawgBuilder;
+use ucfg_automata::ln_nfa::{exact_nfa, pattern_nfa};
+use ucfg_core::ln_grammars::{appendix_a_grammar, example4_ucfg};
+use ucfg_core::words;
+use ucfg_factorized::convert::grammar_to_circuit;
+use ucfg_grammar::annotated::annotate;
+use ucfg_grammar::normal_form::CnfGrammar;
+use ucfg_support::bench::{Options, Suite};
+
+fn bench_grammar_construction(suite: &mut Suite) {
+    let mut g = suite.group("grammar_construction");
+    for n in [256usize, 4096, 65536] {
+        g.bench(&format!("appendixA/{n}"), || {
+            appendix_a_grammar(black_box(n)).size()
+        });
+    }
+    for n in [6usize, 8, 10] {
+        g.bench(&format!("example4_ucfg/{n}"), || {
+            example4_ucfg(black_box(n)).size()
+        });
+    }
+}
+
+fn bench_cnf_and_annotation(suite: &mut Suite) {
+    let mut g = suite.group("transformations");
+    for n in [3usize, 4, 5] {
+        let gr = example4_ucfg(n);
+        g.bench(&format!("cnf/{n}"), || {
+            CnfGrammar::from_grammar(black_box(&gr)).size()
+        });
+        let cnf = CnfGrammar::from_grammar(&gr);
+        g.bench(&format!("annotate/{n}"), || {
+            annotate(black_box(&cnf), 2 * n).unwrap().cnf.size()
+        });
+        g.bench(&format!("to_circuit/{n}"), || {
+            grammar_to_circuit(black_box(&gr)).unwrap().size()
+        });
+    }
+}
+
+fn bench_dawg(suite: &mut Suite) {
+    let mut g = suite.group("dawg_build");
+    for n in [5usize, 6, 7] {
+        let mut sorted: Vec<String> = words::enumerate_ln(n)
+            .into_iter()
+            .map(|w| words::to_string(n, w))
+            .collect();
+        sorted.sort();
+        g.bench(&format!("ln_words/{n}"), || {
+            let mut builder = DawgBuilder::new(&['a', 'b']);
+            for w in &sorted {
+                builder.add(black_box(w));
+            }
+            builder.finish().state_count()
+        });
+    }
+}
+
+fn bench_nfa_construction(suite: &mut Suite) {
+    let mut g = suite.group("nfa_construction");
+    for n in [32usize, 64, 128] {
+        g.bench(&format!("pattern/{n}"), || {
+            pattern_nfa(black_box(n)).transition_count()
+        });
+    }
+    for n in [8usize, 16, 32] {
+        g.bench(&format!("exact_product/{n}"), || {
+            exact_nfa(black_box(n)).transition_count()
+        });
+    }
+}
+
+fn bench_regex(suite: &mut Suite) {
+    use ucfg_automata::regex::Regex;
+    let mut g = suite.group("regex_glushkov");
+    let patterns = [
+        ("ln_pattern", "(a|b)*a(a|b)(a|b)(a|b)a(a|b)*"),
+        ("nested_star", "((a|b)(ab)*b?)*"),
+    ];
+    for (name, pat) in patterns {
+        let r = Regex::parse(pat).unwrap();
+        g.bench(&format!("construct/{name}"), || {
+            black_box(&r).glushkov().transition_count()
+        });
+        let nfa = r.glushkov();
+        let word = "abababbaabab";
+        g.bench(&format!("match/{name}"), || black_box(&nfa).accepts(word));
+    }
+}
+
+/// Build and execute the suite; the caller decides what to do with the
+/// finished records (write them via [`Suite::finish`], or read them).
+pub(super) fn build(opts: Options) -> Suite {
+    let mut suite = Suite::with_options("representations", opts);
+    bench_grammar_construction(&mut suite);
+    bench_cnf_and_annotation(&mut suite);
+    bench_dawg(&mut suite);
+    bench_nfa_construction(&mut suite);
+    bench_regex(&mut suite);
+    suite
+}

@@ -1,0 +1,101 @@
+//! Request-latency benches against a live in-process serve daemon.
+//!
+//! One `ucfg_serve::Server` is bound on an ephemeral loopback port and
+//! driven over real TCP by the blocking client, so the numbers include
+//! the whole serving stack: socket, HTTP parsing, scheduler queue,
+//! batch execution, and artifact cache. Three tiers:
+//!
+//! * `healthz` — the protocol floor (no grammar work at all);
+//! * `parse/warm_hit` — one grammar repeated, so every request after
+//!   the first finds its compiled `CykRuleIndex` in the cache;
+//! * `parse/cold_miss` — more distinct grammars than the cache holds,
+//!   cycled round-robin, so the LRU evicts every entry before reuse and
+//!   every request pays CNF conversion + index compilation.
+//!
+//! The warm/cold gap in `out/BENCH_serve_bench.json` is the measured
+//! value of the content-addressed cache (EXPERIMENTS.md quotes it).
+
+use std::hint::black_box;
+use std::time::Duration;
+use ucfg_serve::{Client, ServeConfig, Server};
+use ucfg_support::bench::{Options, Suite};
+
+/// Distinct grammars for the cold tier: a shared productive core plus a
+/// per-index tail of rules, so every text hashes differently.
+fn distinct_grammar(i: usize) -> String {
+    let mut g = String::from("S -> a S b S | ()\n");
+    g.push_str("S -> a D b\nD -> b");
+    for _ in 0..=i {
+        g.push_str(" a");
+    }
+    g.push('\n');
+    g
+}
+
+/// Build and execute the suite; the caller decides what to do with the
+/// finished records (write them via [`Suite::finish`], or read them).
+/// The in-process daemon is spawned on entry and gracefully shut down
+/// before the suite is returned.
+pub(super) fn build(opts: Options) -> Suite {
+    // Small cache so the cold tier genuinely misses: 32 grammars cycled
+    // through an 8-entry LRU never hit.
+    const CACHE_CAPACITY: usize = 8;
+    const DISTINCT: usize = 32;
+
+    let server = Server::bind(ServeConfig {
+        port: 0,
+        cache_capacity: CACHE_CAPACITY,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral loopback port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let daemon = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+
+    let grammars: Vec<String> = (0..DISTINCT)
+        .map(|i| {
+            let text = distinct_grammar(i).replace('\n', "\\n");
+            format!("{{\"grammar\":\"{text}\",\"word\":\"aabb\"}}")
+        })
+        .collect();
+    let warm_body = grammars[0].clone();
+
+    let mut suite = Suite::with_options("serve_bench", opts);
+    {
+        let mut g = suite.group("request");
+        g.bench("healthz", || {
+            client
+                .request("GET", "/healthz", None)
+                .expect("healthz")
+                .status
+        });
+    }
+    {
+        let mut g = suite.group("parse");
+        // Prime the cache once so the warm tier is all hits.
+        client
+            .request("POST", "/parse", Some(&warm_body))
+            .expect("prime");
+        g.bench("warm_hit", || {
+            let r = client
+                .request("POST", "/parse", Some(black_box(&warm_body)))
+                .expect("warm parse");
+            assert_eq!(r.status, 200, "{}", r.body);
+            r.body.len()
+        });
+        let mut next = 0usize;
+        g.bench("cold_miss", || {
+            let body = &grammars[next % DISTINCT];
+            next += 1;
+            let r = client
+                .request("POST", "/parse", Some(black_box(body)))
+                .expect("cold parse");
+            assert_eq!(r.status, 200, "{}", r.body);
+            r.body.len()
+        });
+    }
+    handle.shutdown();
+    daemon.join().expect("graceful daemon exit");
+    suite
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the experiment orchestrator: the golden HTML
+//! report, and the cold-run → cached-check → regression lifecycle
+//! through the public `orchestrate::run` entry point.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use ucfg_bench::orchestrate::jobs::{JobResult, JobStatus, TimedEntry};
+use ucfg_bench::orchestrate::{self, render, Config, RunReport};
+use ucfg_support::baseline::{compare_exact, compare_timed, DiffSummary, Tolerance};
+
+/// A fully fixed two-job run: every field pinned, so the rendered report
+/// is byte-stable and can be compared against a committed golden file.
+fn fixed_report() -> RunReport {
+    let jobs = vec![
+        JobResult {
+            id: "exp/T1".to_string(),
+            kind: "experiment",
+            status: JobStatus::Ok,
+            duration_ns: 1_234_567.0,
+            digest: Some("fnv:00000000deadbeef".to_string()),
+            detail: Some("n  |L_n|\n1  1\n2  7 & <escaped>\n".to_string()),
+            timed: Vec::new(),
+        },
+        JobResult {
+            id: "bench/parsing".to_string(),
+            kind: "bench",
+            status: JobStatus::Failed("panicked: boom".to_string()),
+            duration_ns: 2_000_000.0,
+            digest: None,
+            detail: None,
+            timed: vec![TimedEntry {
+                name: "bench/parsing/cyk/4".to_string(),
+                median_ns: 1_500_000.0,
+                smoke: true,
+            }],
+        },
+    ];
+    let tolerance = Tolerance {
+        max_ratio: 5.0,
+        floor_ns: 1_000_000.0,
+    };
+    let comparisons = vec![
+        compare_exact(
+            "exp/T1",
+            Some("fnv:00000000deadbeef"),
+            "fnv:00000000deadbeef",
+        ),
+        compare_timed(
+            "bench/parsing/cyk/4",
+            Some(2_000_000.0),
+            1_500_000.0,
+            tolerance,
+        ),
+    ];
+    let diff_summary = DiffSummary::of(&comparisons);
+    RunReport {
+        profile: "smoke".to_string(),
+        threads: 4,
+        jobs,
+        cache_hits: 1,
+        cache_misses: 1,
+        checked: true,
+        baseline_label: "baselines/smoke.json".to_string(),
+        tolerance,
+        comparisons,
+        diff_summary,
+        stale_baseline_entries: vec!["exp/T99".to_string()],
+        total_duration_ns: 3_456_789_012.0,
+    }
+}
+
+#[test]
+fn html_report_matches_golden_file() {
+    let actual = render::render_report(&fixed_report());
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.html");
+    if std::env::var_os("UCFG_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden_path.display()));
+    if actual != golden {
+        let out = std::env::temp_dir().join("ucfg_orchestrate_report_actual.html");
+        std::fs::write(&out, &actual).unwrap();
+        panic!(
+            "rendered report differs from {}; actual written to {}\n\
+             (regenerate with UCFG_UPDATE_GOLDEN=1 cargo test -p ucfg-bench --test orchestrate)",
+            golden_path.display(),
+            out.display()
+        );
+    }
+}
+
+#[test]
+fn report_escapes_and_shows_the_essentials() {
+    let html = render::render_report(&fixed_report());
+    // Raw artifact text is escaped, never inline HTML.
+    assert!(html.contains("7 &amp; &lt;escaped&gt;"), "escaping");
+    assert!(!html.contains("<escaped>"));
+    // Both strata and the stale entry are visible.
+    assert!(html.contains("exp/T1"));
+    assert!(html.contains("bench/parsing/cyk/4"));
+    assert!(html.contains("exp/T99"));
+    // Self-contained: no scripts, no external fetches.
+    assert!(!html.contains("<script"));
+    assert!(!html.contains("http://") && !html.contains("https://"));
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ucfg_orc_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn lifecycle_cold_run_cached_check_then_regression() {
+    let root = tmp_dir("lifecycle");
+    let baseline = root.join("baselines/smoke.json");
+    let cfg = Config {
+        smoke: true,
+        filter: Some("exp/F".to_string()), // exp/F1 + exp/F2: fast, deterministic
+        out_dir: Some(root.join("out")),
+        cache_dir: Some(root.join("cache")),
+        baseline_path: Some(baseline.clone()),
+        write_baseline: true,
+        ..Config::default()
+    };
+
+    // Cold run: everything executes, a baseline is written.
+    let cold = orchestrate::run(&cfg).unwrap();
+    assert!(!cold.is_failure(), "{}", cold.summary);
+    assert!(baseline.is_file());
+    let det = root.join("out/orchestrate/deterministic.json");
+    let cold_det = std::fs::read_to_string(&det).unwrap();
+    assert!(cold_det.contains("exp/F1") && cold_det.contains("exp/F2"));
+    assert!(root.join("out/orchestrate/report.html").is_file());
+    assert!(root.join("out/orchestrate/run.json").is_file());
+
+    // Warm run under --check: artifacts come from the cache, digests
+    // still match the baseline, and the deterministic stratum is
+    // byte-identical to the cold run's.
+    let warm_cfg = Config {
+        write_baseline: false,
+        check: true,
+        ..cfg.clone()
+    };
+    let warm = orchestrate::run(&warm_cfg).unwrap();
+    assert!(!warm.is_failure(), "{}", warm.summary);
+    assert!(warm.summary.contains("2 cached"), "{}", warm.summary);
+    assert_eq!(std::fs::read_to_string(&det).unwrap(), cold_det);
+
+    // A tampered baseline digest is a regression and fails the check.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let broken = text.replace("fnv:", "fnv:f00d");
+    assert_ne!(text, broken);
+    std::fs::write(&baseline, broken).unwrap();
+    let bad = orchestrate::run(&warm_cfg).unwrap();
+    assert!(bad.is_failure());
+    assert!(bad.regressions >= 2, "{}", bad.summary);
+    assert!(bad.summary.contains("REGRESSION"), "{}", bad.summary);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn list_mode_names_every_job_without_running() {
+    let cfg = Config {
+        smoke: true,
+        list: true,
+        out_dir: Some(tmp_dir("list")),
+        ..Config::default()
+    };
+    let out = orchestrate::run(&cfg).unwrap();
+    let ids: Vec<&str> = out.summary.lines().collect();
+    assert_eq!(ids.len(), 39, "{ids:?}");
+    assert!(ids.contains(&"exp/T24"));
+    assert!(ids.contains(&"bench/wordset_kernels"));
+    assert!(ids.contains(&"check/kernels_threads"));
+    // Nothing was written: list mode is pure.
+    assert!(!tmp_dir("list").join("orchestrate").exists());
+}
+
+#[test]
+fn unmatched_filter_is_an_error() {
+    let cfg = Config {
+        smoke: true,
+        filter: Some("no-such-job".to_string()),
+        out_dir: Some(tmp_dir("nofilter")),
+        ..Config::default()
+    };
+    let err = orchestrate::run(&cfg).unwrap_err();
+    assert!(err.contains("no jobs match"), "{err}");
+}
+
+#[test]
+fn baseline_check_semantics_match_the_library() {
+    // The orchestrator's own check() is exercised end-to-end above; this
+    // pins the corner the gate depends on — exact mismatches regress even
+    // when every timed entry is fine.
+    let mut b = orchestrate::baselines::Baseline::new("smoke");
+    b.exact.insert("exp/F1".into(), "fnv:aaaa".into());
+    let mut exact = BTreeMap::new();
+    exact.insert("exp/F1".to_string(), "fnv:bbbb".to_string());
+    let out = orchestrate::baselines::check(&exact, &BTreeMap::new(), &b, b.tolerance);
+    let summary = DiffSummary::of(&out.comparisons);
+    assert_eq!(summary.regressions, 1);
+}

@@ -487,6 +487,80 @@ pub fn cmd_query(args: &[String], stdin: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parse the flags of `ucfg orchestrate`.
+pub fn parse_orchestrate_args(
+    args: &[String],
+) -> Result<ucfg_bench::orchestrate::Config, CliError> {
+    let mut cfg = ucfg_bench::orchestrate::Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = flag_value(args, &mut i, "--baseline")? {
+            cfg.baseline_path = Some(v.into());
+        } else if let Some(v) = flag_value(args, &mut i, "--out-dir")? {
+            cfg.out_dir = Some(v.into());
+        } else if let Some(v) = flag_value(args, &mut i, "--cache-dir")? {
+            cfg.cache_dir = Some(v.into());
+        } else if let Some(v) = flag_value(args, &mut i, "--tolerance")? {
+            let r: f64 = v
+                .parse()
+                .map_err(|_| err(format!("not a valid tolerance ratio: {v:?}")))?;
+            if r.is_nan() || r < 1.0 {
+                return Err(err(format!("--tolerance must be ≥ 1.0, got {v}")));
+            }
+            cfg.max_ratio = Some(r);
+        } else if let Some(v) = flag_value(args, &mut i, "--floor-ns")? {
+            let f: f64 = v
+                .parse()
+                .map_err(|_| err(format!("not a valid noise floor: {v:?}")))?;
+            if f.is_nan() || f < 0.0 {
+                return Err(err(format!("--floor-ns must be ≥ 0, got {v}")));
+            }
+            cfg.floor_ns = Some(f);
+        } else if let Some(v) = flag_value(args, &mut i, "--filter")? {
+            cfg.filter = Some(v);
+        } else if args[i] == "--smoke" {
+            cfg.smoke = true;
+            i += 1;
+        } else if args[i] == "--check" {
+            cfg.check = true;
+            i += 1;
+        } else if args[i] == "--write-baseline" {
+            cfg.write_baseline = true;
+            i += 1;
+        } else if args[i] == "--refresh" {
+            cfg.refresh = true;
+            i += 1;
+        } else if args[i] == "--list" {
+            cfg.list = true;
+            i += 1;
+        } else if !args[i].starts_with('-') && cfg.filter.is_none() {
+            cfg.filter = Some(args[i].clone());
+            i += 1;
+        } else {
+            return Err(err(format!("unrecognised orchestrate flag: {}", args[i])));
+        }
+    }
+    Ok(cfg)
+}
+
+/// `ucfg orchestrate [--smoke] [--check] [--write-baseline] …` — run the
+/// experiment matrix as a cached job graph; see
+/// [`ucfg_bench::orchestrate`].
+///
+/// Exits nonzero (via `Err`) when a job fails or — under `--check` — a
+/// baseline comparison regresses.
+pub fn cmd_orchestrate(args: &[String]) -> Result<String, CliError> {
+    let cfg = parse_orchestrate_args(args)?;
+    let outcome = ucfg_bench::orchestrate::run(&cfg).map_err(err)?;
+    if outcome.is_failure() {
+        return Err(err(format!(
+            "{}orchestrate failed: {} regression(s), {} failed job(s)",
+            outcome.summary, outcome.regressions, outcome.failed_jobs
+        )));
+    }
+    Ok(outcome.summary)
+}
+
 /// Usage text.
 pub fn usage() -> String {
     "ucfg — the uCFG lower-bound toolkit (PODS 2025 reproduction)\n\
@@ -508,6 +582,11 @@ pub fn usage() -> String {
        ucfg query --port N [--host H] [--file script.jsonl] [--shutdown]\n\
                                      drive a daemon with JSON-lines requests\n\
                                      (script from --file, else stdin)\n\
+       ucfg orchestrate [--smoke] [--check] [--write-baseline] [--list]\n\
+                  [--filter S] [--baseline PATH] [--out-dir DIR]\n\
+                  [--cache-dir DIR] [--refresh] [--tolerance R] [--floor-ns N]\n\
+                                     run the experiment matrix as a cached job\n\
+                                     graph; --check gates on baselines/<profile>.json\n\
      \n\
      global flags:\n\
        --threads N | --threads=N | -j N | -jN\n\
@@ -544,6 +623,7 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd, n] if cmd == "rank" => cmd_rank(n),
         [cmd, flags @ ..] if cmd == "serve" => cmd_serve(flags),
         [cmd, flags @ ..] if cmd == "query" => cmd_query(flags, stdin),
+        [cmd, flags @ ..] if cmd == "orchestrate" => cmd_orchestrate(flags),
         [] => Ok(usage()),
         _ => Err(err(format!(
             "unrecognised arguments: {rest:?}\n\n{}",

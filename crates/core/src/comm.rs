@@ -21,7 +21,7 @@ use crate::words::{self, Word};
 
 /// A nondeterministic protocol = a cover of the accepted set by
 /// rectangles (possibly over different partitions: the multi-partition
-/// model of [14]).
+/// model of \[14\]).
 #[derive(Debug, Clone)]
 pub struct NondetProtocol {
     /// The certificate rectangles.

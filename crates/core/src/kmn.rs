@@ -1,13 +1,13 @@
 //! The Kimelfeld–Martens–Niewerth upper bound, as an API: every CFG of a
 //! finite language can be converted to an *unambiguous* CFG with at most a
-//! double-exponential blow-up ([20]; the paper's related-work section
+//! double-exponential blow-up (\[20\]; the paper's related-work section
 //! notes this makes Theorem 1's separation optimal).
 //!
 //! The constructive route implemented here: materialise `L(G)` (single
 //! exponential in `|G|`, doubly exponential including word lengths), build
 //! its minimal DAWG, and read off the right-linear grammar — which is
 //! always unambiguous. [`determinize_grammar`] performs the conversion
-//! with full size accounting; [`double_exponential_ceiling`] is the
+//! with full size accounting; [`double_exponential_ceiling_log2`] is the
 //! theoretical worst case it stays under.
 
 use ucfg_automata::convert::dfa_to_grammar;
@@ -43,7 +43,7 @@ pub enum DeterminizeError {
 }
 
 /// Convert any finite-language CFG into an unambiguous CFG via the
-/// materialise-then-DAWG route of [20].
+/// materialise-then-DAWG route of \[20\].
 pub fn determinize_grammar(g: &Grammar) -> Result<Determinization, DeterminizeError> {
     let lang = finite_language(g).ok_or(DeterminizeError::InfiniteLanguage)?;
     if lang.contains("") {

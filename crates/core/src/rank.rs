@@ -4,7 +4,7 @@
 //! communication matrix `M[X][Y] = [X ∩ Y ≠ ∅]` (the complement of set
 //! disjointness). If `L_n` is a disjoint union of `ℓ` `[1,n]`-rectangles
 //! then `M` is a sum of `ℓ` rank-1 0/1 matrices, so `ℓ ≥ rank_F(M)` over
-//! *any* field `F` ([23]; textbook: [31, Ch. 2]). We compute the rank
+//! *any* field `F` (\[23\]; textbook: \[31, Ch. 2\]). We compute the rank
 //! exactly over GF(2) and over a large prime field; both equal `2^n − 1`,
 //! certifying an exponential lower bound for the fixed-partition case on
 //! concrete instances.

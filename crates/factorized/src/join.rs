@@ -160,7 +160,7 @@ pub fn factorized_path_join(rels: &[BinaryRelation]) -> Circuit {
 
 /// Aggregate over the join result without materialising it: the minimum
 /// total tuple weight, where each value `v` contributes `weight(v)` —
-/// the factorised-DB aggregation of [4], as a tropical circuit
+/// the factorised-DB aggregation of \[4\], as a tropical circuit
 /// evaluation.
 pub fn min_weight_tuple(rels: &[BinaryRelation], weight: impl Fn(u32) -> u64) -> Option<u64> {
     use ucfg_grammar::weighted::MinPlus;

@@ -1,7 +1,7 @@
 //! Ordering and random access on d-representations.
 //!
 //! The factorised-database operations of Bakibayev et al. ("aggregation
-//! and ordering in factorised databases", [4] in the paper): without
+//! and ordering in factorised databases", \[4\] in the paper): without
 //! materialising the language, compute the lexicographically extreme
 //! words, and random-access the `k`-th word of a *deterministic* circuit
 //! (`rank`/`unrank`). Both are linear-time DPs over the DAG.

@@ -1,7 +1,7 @@
 //! Ranked access to parse trees and words: `rank`/`unrank`.
 //!
 //! For a CNF grammar the counting DP of
-//! [`tree_count_table`](crate::count::tree_count_table) induces a canonical
+//! [`tree_count_table`] induces a canonical
 //! total order on the parse trees of each length (by terminal rule, then by
 //! binary rule, then by split point, then recursively left-then-right).
 //! [`Unranker`] realises the bijection `[0, #trees) ↔ trees` in both
@@ -9,7 +9,7 @@
 //!
 //! For an *unambiguous* grammar parse trees biject with words, so this is
 //! random access into the represented language — the factorised-database
-//! operation (e.g. [4] in the paper) that motivates deterministic
+//! operation (e.g. \[4\] in the paper) that motivates deterministic
 //! representations. On an ambiguous grammar `unrank` still works but
 //! several indices may map to the same word.
 

@@ -4,7 +4,7 @@
 //! Unambiguous Context Free Grammars via Communication Complexity”*
 //! (Mengel & Vinall-Smeeth, PODS 2025):
 //!
-//! * [`cfg`] / [`builder`] — grammars `(Σ, N, R, S)` with the paper's size
+//! * [`mod@cfg`] / [`builder`] — grammars `(Σ, N, R, S)` with the paper's size
 //!   measure `|G| = Σ|rhs|`;
 //! * [`analysis`] — trimming, finiteness, and the Observation 9 uniform
 //!   length analysis;

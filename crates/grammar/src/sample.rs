@@ -2,7 +2,7 @@
 //!
 //! The sampler draws a parse tree of a given length uniformly at random
 //! among all parse trees of that length, by descending the counting DP of
-//! [`tree_count_table`](crate::count::tree_count_table) with
+//! [`tree_count_table`] with
 //! weight-proportional choices. For an *unambiguous* grammar parse trees
 //! biject with words, so this is uniform sampling of words — one of the
 //! algorithmic advantages of uCFGs the paper's introduction highlights.

@@ -4,7 +4,7 @@
 //! computing Viterbi probabilities are all the *same* dynamic program over
 //! different semirings. This module provides the [`Semiring`] abstraction
 //! and the length-indexed inside algorithm over CNF grammars; the
-//! provenance-polynomial connection ([28] in the paper: factorised
+//! provenance-polynomial connection (\[28\] in the paper: factorised
 //! representations of provenance) is exercised by the polynomial semiring
 //! in the tests.
 //!

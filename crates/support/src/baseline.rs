@@ -1,0 +1,306 @@
+//! Baseline diffing: the pure comparison logic behind the orchestrator's
+//! `--check` regression gate.
+//!
+//! A committed baseline records, per job, either an exact digest (for
+//! deterministic outputs — experiment tables, sweep CSVs) or a timing
+//! median in nanoseconds (for bench records). A run is compared entry by
+//! entry: exact entries must match bit-for-bit, timed entries must stay
+//! within a configurable tolerance ratio, and timed entries below a
+//! noise floor are reported but never gate (single-digit-microsecond
+//! medians are scheduler noise on shared CI runners). Missing baselines
+//! are surfaced as warnings so newly added jobs don't fail the gate
+//! before their baseline is committed.
+
+/// Tolerance policy for timed comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum allowed `measured / baseline` ratio before a timed entry
+    /// counts as a regression (e.g. `2.0` = fail at >100% slower).
+    pub max_ratio: f64,
+    /// Baselines below this many nanoseconds never gate: they are too
+    /// close to timer/scheduler noise to compare meaningfully.
+    pub floor_ns: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            max_ratio: 2.0,
+            floor_ns: 100_000.0,
+        }
+    }
+}
+
+/// The outcome of comparing one entry against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance (timed) or bit-identical (exact).
+    Ok,
+    /// Timed entry got faster by more than the tolerance ratio — worth a
+    /// look (and a baseline refresh), but never a failure.
+    Improved,
+    /// Timed entry regressed past the tolerance ratio, or an exact entry
+    /// changed. Fails the `--check` gate.
+    Regression,
+    /// Baseline median is below the noise floor; not compared.
+    BelowFloor,
+    /// No baseline entry exists for this name; warned, not failed.
+    MissingBaseline,
+}
+
+impl Verdict {
+    /// Does this verdict fail a `--check` run?
+    pub fn is_regression(&self) -> bool {
+        matches!(self, Verdict::Regression)
+    }
+}
+
+/// One comparison row: the entry name, what was expected and measured,
+/// and the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Entry name (e.g. `bench/parsing/cyk_recognize/example4_ucfg/3`).
+    pub name: String,
+    /// Baseline value rendered for display (`"—"` when missing).
+    pub baseline: String,
+    /// Measured value rendered for display.
+    pub measured: String,
+    /// `measured / baseline` for timed entries.
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Compare a timed median against its baseline under a tolerance policy.
+pub fn compare_timed(
+    name: &str,
+    baseline_ns: Option<f64>,
+    measured_ns: f64,
+    tol: Tolerance,
+) -> Comparison {
+    let measured = format_ns(measured_ns);
+    match baseline_ns {
+        None => Comparison {
+            name: name.to_string(),
+            baseline: "—".to_string(),
+            measured,
+            ratio: None,
+            verdict: Verdict::MissingBaseline,
+        },
+        Some(base) => {
+            let ratio = if base > 0.0 {
+                measured_ns / base
+            } else {
+                f64::INFINITY
+            };
+            let verdict = if base < tol.floor_ns {
+                Verdict::BelowFloor
+            } else if ratio > tol.max_ratio {
+                Verdict::Regression
+            } else if ratio < 1.0 / tol.max_ratio {
+                Verdict::Improved
+            } else {
+                Verdict::Ok
+            };
+            Comparison {
+                name: name.to_string(),
+                baseline: format_ns(base),
+                measured,
+                ratio: Some(ratio),
+                verdict,
+            }
+        }
+    }
+}
+
+/// Compare a deterministic digest (or any exact string) against its
+/// baseline. A mismatch is always a [`Verdict::Regression`]: the
+/// deterministic stratum has no tolerance.
+pub fn compare_exact(name: &str, baseline: Option<&str>, measured: &str) -> Comparison {
+    match baseline {
+        None => Comparison {
+            name: name.to_string(),
+            baseline: "—".to_string(),
+            measured: measured.to_string(),
+            ratio: None,
+            verdict: Verdict::MissingBaseline,
+        },
+        Some(base) => Comparison {
+            name: name.to_string(),
+            baseline: base.to_string(),
+            measured: measured.to_string(),
+            ratio: None,
+            verdict: if base == measured {
+                Verdict::Ok
+            } else {
+                Verdict::Regression
+            },
+        },
+    }
+}
+
+/// Summary counts over a set of comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffSummary {
+    /// Entries within tolerance / bit-identical.
+    pub ok: usize,
+    /// Entries faster than the tolerance band.
+    pub improved: usize,
+    /// Entries that fail the gate.
+    pub regressions: usize,
+    /// Entries skipped as below the noise floor.
+    pub below_floor: usize,
+    /// Entries with no baseline.
+    pub missing: usize,
+}
+
+impl DiffSummary {
+    /// Tally a slice of comparisons.
+    pub fn of(comparisons: &[Comparison]) -> DiffSummary {
+        let mut s = DiffSummary::default();
+        for c in comparisons {
+            match c.verdict {
+                Verdict::Ok => s.ok += 1,
+                Verdict::Improved => s.improved += 1,
+                Verdict::Regression => s.regressions += 1,
+                Verdict::BelowFloor => s.below_floor += 1,
+                Verdict::MissingBaseline => s.missing += 1,
+            }
+        }
+        s
+    }
+
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} ok, {} improved, {} regression{}, {} below floor, {} missing baseline",
+            self.ok,
+            self.improved,
+            self.regressions,
+            if self.regressions == 1 { "" } else { "s" },
+            self.below_floor,
+            self.missing
+        )
+    }
+}
+
+/// Render nanoseconds human-readably (used in comparison rows).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: Tolerance = Tolerance {
+        max_ratio: 2.0,
+        floor_ns: 100_000.0,
+    };
+
+    #[test]
+    fn timed_regression_detected() {
+        let c = compare_timed("bench/x", Some(1_000_000.0), 2_500_000.0, TOL);
+        assert_eq!(c.verdict, Verdict::Regression);
+        assert!((c.ratio.unwrap() - 2.5).abs() < 1e-9);
+        assert!(c.verdict.is_regression());
+    }
+
+    #[test]
+    fn timed_within_tolerance() {
+        let c = compare_timed("bench/x", Some(1_000_000.0), 1_900_000.0, TOL);
+        assert_eq!(c.verdict, Verdict::Ok);
+        // Exactly at the boundary is still ok (gate is strict `>`).
+        let c = compare_timed("bench/x", Some(1_000_000.0), 2_000_000.0, TOL);
+        assert_eq!(c.verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn timed_improvement_flagged_not_failed() {
+        let c = compare_timed("bench/x", Some(1_000_000.0), 300_000.0, TOL);
+        assert_eq!(c.verdict, Verdict::Improved);
+        assert!(!c.verdict.is_regression());
+    }
+
+    #[test]
+    fn missing_baseline_is_a_warning() {
+        let c = compare_timed("bench/new", None, 5_000_000.0, TOL);
+        assert_eq!(c.verdict, Verdict::MissingBaseline);
+        assert_eq!(c.baseline, "—");
+        let c = compare_exact("exp/T9", None, "fnv:abc");
+        assert_eq!(c.verdict, Verdict::MissingBaseline);
+    }
+
+    #[test]
+    fn below_floor_never_gates() {
+        // A 10× blowup on a 2µs baseline is noise, not a regression.
+        let c = compare_timed("bench/tiny", Some(2_000.0), 20_000.0, TOL);
+        assert_eq!(c.verdict, Verdict::BelowFloor);
+        assert!(!c.verdict.is_regression());
+    }
+
+    #[test]
+    fn zero_baseline_regresses_instead_of_dividing_by_zero() {
+        let c = compare_timed(
+            "bench/zero",
+            Some(0.0),
+            1.0,
+            Tolerance {
+                max_ratio: 2.0,
+                floor_ns: 0.0,
+            },
+        );
+        assert_eq!(c.verdict, Verdict::Regression);
+    }
+
+    #[test]
+    fn exact_compare() {
+        assert_eq!(
+            compare_exact("exp/T1", Some("fnv:1"), "fnv:1").verdict,
+            Verdict::Ok
+        );
+        assert_eq!(
+            compare_exact("exp/T1", Some("fnv:1"), "fnv:2").verdict,
+            Verdict::Regression
+        );
+    }
+
+    #[test]
+    fn summary_tallies_and_renders() {
+        let cs = vec![
+            compare_exact("a", Some("x"), "x"),
+            compare_exact("b", Some("x"), "y"),
+            compare_timed("c", None, 1.0, TOL),
+            compare_timed("d", Some(1_000.0), 1_000.0, TOL),
+            compare_timed("e", Some(1_000_000.0), 200_000.0, TOL),
+        ];
+        let s = DiffSummary::of(&cs);
+        assert_eq!(
+            s,
+            DiffSummary {
+                ok: 1,
+                improved: 1,
+                regressions: 1,
+                below_floor: 1,
+                missing: 1,
+            }
+        );
+        assert!(s.render().contains("1 regression,"), "{}", s.render());
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(950.0), "950ns");
+        assert_eq!(format_ns(1_500.0), "1.50µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50ms");
+        assert_eq!(format_ns(3.1e9), "3.10s");
+    }
+}

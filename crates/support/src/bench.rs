@@ -10,6 +10,7 @@
 //!
 //! Flags (after `cargo bench ... --`):
 //! - `--smoke`       run every benchmark once, no statistics — the CI gate
+//! - `--list`        print each benchmark's `group/id` without running it
 //! - `--samples N`   timed batches per benchmark (default 20)
 //! - `--warmup-ms N` warmup budget per benchmark (default 50)
 //! - `--out-dir P`   where to write `BENCH_<suite>.json` (default `out/`,
@@ -35,6 +36,8 @@ use std::time::Instant;
 pub struct Options {
     /// Run each benchmark exactly once (CI smoke mode).
     pub smoke: bool,
+    /// List benchmark ids without running anything.
+    pub list: bool,
     /// Timed batches per benchmark.
     pub samples: usize,
     /// Warmup budget per benchmark, in milliseconds.
@@ -49,6 +52,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             smoke: false,
+            list: false,
             samples: 20,
             warmup_ms: 50,
             filter: None,
@@ -76,6 +80,7 @@ impl Options {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--smoke" => opts.smoke = true,
+                "--list" => opts.list = true,
                 "--samples" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         opts.samples = v;
@@ -183,11 +188,26 @@ impl Record {
     }
 }
 
+/// One finished benchmark's public record: what the orchestrator (or any
+/// other in-process consumer) reads instead of re-parsing the JSON file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Group name within the suite.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Whether this was a single smoke iteration.
+    pub smoke: bool,
+    /// Per-iteration statistics in nanoseconds.
+    pub stats: Stats,
+}
+
 /// A bench suite: the top-level object of a `harness = false` target.
 pub struct Suite {
     name: String,
     opts: Options,
     records: Vec<Record>,
+    listed: Vec<String>,
 }
 
 impl Suite {
@@ -207,12 +227,23 @@ impl Suite {
             name: name.to_string(),
             opts,
             records: Vec::new(),
+            listed: Vec::new(),
         }
     }
 
     /// Is this a smoke run?
     pub fn is_smoke(&self) -> bool {
         self.opts.smoke
+    }
+
+    /// Is this a `--list` run (benchmarks enumerated, nothing executed)?
+    pub fn is_list(&self) -> bool {
+        self.opts.list
+    }
+
+    /// The `group/id` names seen in `--list` mode, in registration order.
+    pub fn listed_ids(&self) -> &[String] {
+        &self.listed
     }
 
     /// Open a named benchmark group.
@@ -248,6 +279,19 @@ impl Suite {
         self.records.push(rec);
     }
 
+    /// The finished benchmarks as public records, in execution order.
+    pub fn results(&self) -> Vec<BenchEntry> {
+        self.records
+            .iter()
+            .map(|r| BenchEntry {
+                group: r.group.clone(),
+                id: r.id.clone(),
+                smoke: r.smoke,
+                stats: r.stats,
+            })
+            .collect()
+    }
+
     /// Render the JSON-lines payload (one line per benchmark).
     pub fn json_lines(&self) -> String {
         let mut out = String::new();
@@ -259,8 +303,11 @@ impl Suite {
     }
 
     /// Write `BENCH_<suite>.json` into the output directory and print a
-    /// pointer to it. Call this last.
+    /// pointer to it. Call this last. A `--list` run writes nothing.
     pub fn finish(self) {
+        if self.opts.list {
+            return;
+        }
         let path = self.opts.out_dir.join(format!("BENCH_{}.json", self.name));
         if let Err(e) = std::fs::create_dir_all(&self.opts.out_dir)
             .and_then(|()| std::fs::File::create(&path))
@@ -289,6 +336,11 @@ impl Group<'_> {
             if !full.contains(filter.as_str()) {
                 return;
             }
+        }
+        if self.suite.opts.list {
+            println!("{full}");
+            self.suite.listed.push(full);
+            return;
         }
         if self.suite.opts.smoke {
             let t = Instant::now();
@@ -413,6 +465,29 @@ mod tests {
         assert!(json.contains("\"suite\":\"t\""), "{json}");
         assert!(json.contains("\"group\":\"grp\""), "{json}");
         assert!(json.contains("\"smoke\":true"), "{json}");
+    }
+
+    #[test]
+    fn list_mode_enumerates_without_running() {
+        let mut calls = 0u32;
+        let mut suite = Suite::with_args("t", args(&["--list"]));
+        assert!(suite.is_list());
+        let mut g = suite.group("grp");
+        g.bench("one", || calls += 1);
+        g.bench("two", || calls += 1);
+        assert_eq!(calls, 0, "--list must not execute benchmark bodies");
+        assert_eq!(suite.listed_ids(), ["grp/one", "grp/two"]);
+        assert!(suite.is_empty(), "--list records no timings");
+        suite.finish(); // must not write BENCH_t.json (no panic, no file)
+    }
+
+    #[test]
+    fn list_mode_respects_filter() {
+        let mut suite = Suite::with_args("t", args(&["--list", "keep"]));
+        let mut g = suite.group("grp");
+        g.bench("keep_me", || ());
+        g.bench("drop_me", || ());
+        assert_eq!(suite.listed_ids(), ["grp/keep_me"]);
     }
 
     #[test]

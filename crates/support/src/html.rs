@@ -1,0 +1,211 @@
+//! A minimal static-HTML document builder for experiment reports.
+//!
+//! The orchestrator renders its run report as a single self-contained
+//! HTML file — inline CSS, no scripts, no external references — in the
+//! style of borealis' `report.html.jinja`: a green "setup" table, a blue
+//! "summary" table, and per-experiment sections with striped rows. The
+//! builder is deliberately tiny: escaped text cells, tables, `<pre>`
+//! blocks, and collapsible `<details>` sections are all a report needs,
+//! and a pure `String → String` pipeline keeps the renderer
+//! golden-file-testable.
+
+use std::fmt::Write as _;
+
+/// Escape a string for HTML text and attribute positions.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A table: a header row plus data rows, rendered with a CSS class that
+/// selects the header colour (`setup`, `summary`, or `data`).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// CSS class on the `<table>` element.
+    pub class: String,
+    /// Header cells.
+    pub header: Vec<String>,
+    /// Data rows; each row should have `header.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A new table with the given class and header cells.
+    pub fn new(class: &str, header: &[&str]) -> Table {
+        Table {
+            class: class.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one data row (cells are escaped at render time).
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Render the `<table>` element.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "<table class=\"{}\">", escape(&self.class));
+        out.push_str("<thead><tr>");
+        for h in &self.header {
+            let _ = write!(out, "<th>{}</th>", escape(h));
+        }
+        out.push_str("</tr></thead>\n<tbody>\n");
+        for row in &self.rows {
+            out.push_str("<tr>");
+            for cell in row {
+                let _ = write!(out, "<td>{}</td>", escape(cell));
+            }
+            out.push_str("</tr>\n");
+        }
+        out.push_str("</tbody></table>\n");
+        out
+    }
+}
+
+/// A preformatted block (monospace, scrollable).
+pub fn pre(text: &str) -> String {
+    format!("<pre>{}</pre>\n", escape(text))
+}
+
+/// A collapsible `<details>` block with an escaped summary line and a
+/// pre-rendered HTML body.
+pub fn details(summary: &str, body_html: &str) -> String {
+    format!(
+        "<details><summary>{}</summary>\n{}</details>\n",
+        escape(summary),
+        body_html
+    )
+}
+
+/// A status badge: a `<span>` whose class (`ok`, `warn`, `fail`) colours
+/// the text.
+pub fn badge(class: &str, text: &str) -> String {
+    format!(
+        "<span class=\"badge {}\">{}</span>",
+        escape(class),
+        escape(text)
+    )
+}
+
+/// A whole document: a title plus a list of `<section>`s, rendered with
+/// the report stylesheet inlined so the file is self-contained.
+#[derive(Debug, Clone)]
+pub struct Document {
+    title: String,
+    sections: Vec<(String, String)>,
+}
+
+const STYLE: &str = "\
+body { margin: 1em auto; max-width: 72em; padding: 0 1em;\n\
+       font-family: Arial, Helvetica, sans-serif; color: #222; }\n\
+h1 { border-bottom: 2px solid #ddd; padding-bottom: 0.2em; }\n\
+table { border-collapse: collapse; width: 100%; margin: 0.5em 0 1.5em; }\n\
+table td, table th { border: 1px solid #ddd; padding: 6px 8px;\n\
+                     text-align: left; font-size: 0.95em; }\n\
+table tr:nth-child(even) { background-color: #f2f2f2; }\n\
+table tr:hover { background-color: #e8e8e8; }\n\
+table.setup thead tr { background-color: #04aa6d; color: white; }\n\
+table.summary thead tr { background-color: #46a2bc; color: white; }\n\
+table.data thead tr { background-color: #666; color: white; }\n\
+pre { background: #f6f6f6; border: 1px solid #ddd; padding: 0.8em;\n\
+      overflow-x: auto; font-size: 0.9em; }\n\
+details { margin: 0.5em 0; }\n\
+details summary { cursor: pointer; font-weight: bold; }\n\
+.badge { padding: 1px 7px; border-radius: 8px; color: white;\n\
+         font-size: 0.85em; }\n\
+.badge.ok { background: #04aa6d; }\n\
+.badge.warn { background: #d98e00; }\n\
+.badge.fail { background: #cc3333; }\n";
+
+impl Document {
+    /// A new document with the given (escaped) title.
+    pub fn new(title: &str) -> Document {
+        Document {
+            title: title.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a `<section>` with an `<h1>` heading and pre-rendered HTML
+    /// body.
+    pub fn section(&mut self, heading: &str, body_html: &str) -> &mut Document {
+        self.sections
+            .push((heading.to_string(), body_html.to_string()));
+        self
+    }
+
+    /// Render the complete, self-contained HTML document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"UTF-8\" />\n");
+        let _ = writeln!(out, "<title>{}</title>", escape(&self.title));
+        let _ = write!(out, "<style>\n{STYLE}</style>\n</head>\n<body>\n");
+        for (heading, body) in &self.sections {
+            let _ = writeln!(out, "<section>\n<h1>{}</h1>", escape(heading));
+            out.push_str(body);
+            out.push_str("</section>\n");
+        }
+        out.push_str("</body>\n</html>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&#39;c");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn table_renders_escaped_cells() {
+        let mut t = Table::new("summary", &["Job", "Status"]);
+        t.row(&["sweep<1>", "ok"]);
+        let html = t.render();
+        assert!(html.contains("<table class=\"summary\">"), "{html}");
+        assert!(html.contains("<th>Job</th>"), "{html}");
+        assert!(html.contains("<td>sweep&lt;1&gt;</td>"), "{html}");
+        assert!(!html.contains("sweep<1>"), "{html}");
+    }
+
+    #[test]
+    fn document_is_self_contained() {
+        let mut d = Document::new("Run & Report");
+        d.section("Setup", &pre("threads: 4"));
+        d.section("Detail", &details("T1", &pre("table")));
+        let html = d.render();
+        assert!(html.starts_with("<!DOCTYPE html>"), "{html}");
+        assert!(html.contains("<title>Run &amp; Report</title>"), "{html}");
+        assert!(html.contains("<style>"), "{html}");
+        // Self-contained: no external references of any kind.
+        assert!(!html.contains("href="), "{html}");
+        assert!(!html.contains("src="), "{html}");
+        assert!(!html.contains("<script"), "{html}");
+        assert!(html.contains("<details><summary>T1</summary>"), "{html}");
+        assert!(html.ends_with("</html>\n"), "{html}");
+    }
+
+    #[test]
+    fn badges() {
+        assert_eq!(badge("ok", "pass"), "<span class=\"badge ok\">pass</span>");
+        assert!(badge("fail", "<x>").contains("&lt;x&gt;"));
+    }
+}

@@ -9,7 +9,7 @@
 //!   (replaces `rand`),
 //! - [`prop`] — a property-testing harness with generators, fixed-seed
 //!   replay, and bounded size-directed shrinking (replaces `proptest`),
-//! - [`bench`] — a warmup + median/p95 bench harness emitting
+//! - [`mod@bench`] — a warmup + median/p95 bench harness emitting
 //!   `out/BENCH_*.json` lines, with a `--smoke` mode for CI (replaces
 //!   `criterion`),
 //! - [`par`] — a scoped, deterministic parallel-map layer (ordered
@@ -21,12 +21,20 @@
 //!   `UCFG_TRACE=1` or the binaries' `--trace` flag,
 //! - [`fnv`] — a stable FNV-1a 64-bit hasher for content-addressed
 //!   artifact caching (`std::hash` is seed-randomised per process, so
-//!   it cannot produce stable cache keys).
+//!   it cannot produce stable cache keys),
+//! - [`html`] — a self-contained static-HTML document builder for the
+//!   orchestrator's run reports (tables, `<pre>` blocks, badges; inline
+//!   CSS, no scripts),
+//! - [`baseline`] — the pure baseline-diffing logic behind the
+//!   orchestrator's `--check` regression gate (tolerance ratios, noise
+//!   floors, exact-digest comparison).
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod bench;
 pub mod fnv;
+pub mod html;
 pub mod obs;
 pub mod par;
 pub mod prop;

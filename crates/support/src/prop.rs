@@ -1,7 +1,7 @@
 //! A lightweight property-testing harness (the workspace's in-tree
 //! replacement for `proptest`).
 //!
-//! A property is a generator plus a predicate. The [`property!`] macro
+//! A property is a generator plus a predicate. The [`property!`](crate::property) macro
 //! wires both into a `#[test]`:
 //!
 //! ```
@@ -231,7 +231,7 @@ fn exec_case<T>(
 }
 
 /// Run a property: `cfg.cases` generated cases, shrink on failure, panic
-/// with a replayable report. This is what [`property!`] expands to; call
+/// with a replayable report. This is what [`property!`](crate::property) expands to; call
 /// it directly for programmatic use.
 pub fn run<T: Debug>(
     name: &str,
