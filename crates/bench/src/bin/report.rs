@@ -8,6 +8,8 @@
 //!   report --list     # available experiment ids
 //!   report --threads 4  # worker threads (overrides $UCFG_THREADS);
 //!                       # also -j 4, --threads=4, -j4
+//!   report --chunk-bits N  # stream wordset kernels in N-bit chunks
+//!                          # (sets UCFG_WORDSET_CHUNK); also --chunk-bits=N
 //!   report --trace    # per-experiment metrics (or UCFG_TRACE=1):
 //!                     # summary to stderr + out/METRICS_report.json
 
@@ -25,6 +27,10 @@ fn main() {
         obs::set_enabled(true);
     }
     let args = par::strip_thread_flags(&raw).unwrap_or_else(|e| {
+        eprintln!("report: {e}");
+        std::process::exit(2);
+    });
+    let args = ucfg_core::wordset::chunked::strip_chunk_flags(&args).unwrap_or_else(|e| {
         eprintln!("report: {e}");
         std::process::exit(2);
     });

@@ -11,6 +11,10 @@
 //!   sweep --threads 4      # worker threads (default: $UCFG_THREADS,
 //!                          # else available cores); also -j 4,
 //!                          # --threads=4, -j4
+//!   sweep --chunk-bits N   # stream wordset kernels in N-bit chunks
+//!                          # (sets UCFG_WORDSET_CHUNK and forces the
+//!                          # chunked path below the cap); also
+//!                          # --chunk-bits=N
 //!   sweep --trace          # kernel metrics (or UCFG_TRACE=1): summary
 //!                          # table to stderr + out/METRICS_sweep.json
 //!
@@ -35,6 +39,10 @@ fn main() {
         obs::set_enabled(true);
     }
     let args = par::strip_thread_flags(&raw).unwrap_or_else(|e| {
+        eprintln!("sweep: {e}");
+        std::process::exit(2);
+    });
+    let args = ucfg_core::wordset::chunked::strip_chunk_flags(&args).unwrap_or_else(|e| {
         eprintln!("sweep: {e}");
         std::process::exit(2);
     });

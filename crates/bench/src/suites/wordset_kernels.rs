@@ -146,6 +146,31 @@ fn bench_gray_scan_full_cap(suite: &mut Suite) {
     });
 }
 
+fn bench_chunked(suite: &mut Suite) {
+    use ucfg_core::cover::cover_scan_threads;
+    use ucfg_core::wordset::chunked::{cover_scan_chunked_threads, logical_word_domain, ChunkPlan};
+    // The streamed path against the in-memory pass on the same input, at
+    // an n where both run: the delta is the price of chunking (extra
+    // `L_n` rebuild per chunk, no cached bitmap), paid to go past the cap.
+    let t = par_threads();
+    let mut g = suite.group("chunked");
+    for n in [10usize, 12] {
+        let rects = example8_cover(n);
+        g.bench(&format!("in_memory/{n}"), || {
+            cover_scan_threads(black_box(n), &rects, 1).union_count
+        });
+        for chunk_log2 in [16u32, 20] {
+            let plan = ChunkPlan::with_chunk_bits(logical_word_domain(n), 1 << chunk_log2);
+            g.bench(&format!("chunk_2pow{chunk_log2}/{n}"), || {
+                cover_scan_chunked_threads(black_box(n), &rects, 1, &plan).union_count
+            });
+            g.bench(&format!("chunk_2pow{chunk_log2}_par{t}/{n}"), || {
+                cover_scan_chunked_threads(black_box(n), &rects, t, &plan).union_count
+            });
+        }
+    }
+}
+
 fn bench_rank(suite: &mut Suite) {
     let mut g = suite.group("rank_gf2");
     let n = 10usize;
@@ -166,6 +191,7 @@ pub(super) fn build(opts: Options) -> Suite {
     bench_histogram_and_accounting(&mut suite);
     bench_exact_max(&mut suite);
     bench_gray_scan_full_cap(&mut suite);
+    bench_chunked(&mut suite);
     bench_rank(&mut suite);
     suite
 }

@@ -200,29 +200,160 @@ pub fn cmd_extract(n: &str) -> Result<String, CliError> {
 /// `ucfg rank <n>` — the Theorem 17 rank certificates for the `L_n`
 /// communication matrix under the `[1, n]` partition. Runs on the
 /// parallel kernels (worker count from `$UCFG_THREADS`, else all cores);
-/// the result is bit-identical for every thread count.
+/// the result is bit-identical for every thread count. Past `n = 10` the
+/// Gaussian elimination is infeasible, but the matrix census (ones count
+/// and digest) streams through `WordSetSource` up to `n = 18` — in
+/// chunks past the materialisation cap at `n ≥ 16`.
 pub fn cmd_rank(n: &str) -> Result<String, CliError> {
     let n = parse_n(n)?;
-    if n > 10 {
-        return Err(err("rank matrices are 2^n × 2^n; n ≤ 10"));
+    if n > 18 {
+        return Err(err("the rank matrix census streams 4^n bits; n ≤ 18"));
     }
     let threads = ucfg_support::par::thread_count();
-    let gf2 = ucfg_core::rank::rank_gf2(n);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Theorem 17 rank certificates for M_{{L_{n}}} ({threads} thread{}):",
         if threads == 1 { "" } else { "s" }
     );
-    let _ = writeln!(out, "  rank over GF(2):           {gf2}");
+    if n <= 10 {
+        let gf2 = ucfg_core::rank::rank_gf2(n);
+        let _ = writeln!(out, "  rank over GF(2):           {gf2}");
+    } else {
+        let source = ucfg_core::wordset::chunked::WordSetSource::for_word_domain(n);
+        let _ = writeln!(
+            out,
+            "  rank over GF(2):           (elimination needs n ≤ 10; census {})",
+            source.describe()
+        );
+    }
     if n <= 9 {
         let gfp = ucfg_core::rank::rank_mod_p(n);
         let _ = writeln!(out, "  rank over GF(2^61 − 1):    {gfp}");
     }
+    let scan = ucfg_core::rank::rank_matrix_scan(n);
+    let _ = writeln!(
+        out,
+        "  matrix ones (4^n − 3^n):   {} (digest {:016x})",
+        scan.ones, scan.digest
+    );
     let _ = writeln!(
         out,
         "  ⇒ any disjoint [1,n]-rectangle cover of L_{n} needs ≥ {} rectangles",
         (1u64 << n) - 1
+    );
+    Ok(out)
+}
+
+/// `ucfg cover <n>` — verify the Example 8 cover of `L_n` through the
+/// [`ucfg_core::wordset::chunked::WordSetSource`] routing: in-memory
+/// below the materialisation cap, chunked above it or whenever
+/// `--chunk-bits` / `UCFG_WORDSET_CHUNK` forces streaming. The scan line
+/// names the source, so logs show which path ran; everything below it is
+/// byte-identical across thread counts, chunk sizes, and the
+/// in-memory/chunked split — the CI determinism job byte-compares these
+/// lines.
+pub fn cmd_cover(n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    if n > 18 {
+        return Err(err("the cover scan streams 4^n bits; n ≤ 18"));
+    }
+    let threads = ucfg_support::par::thread_count();
+    let source = ucfg_core::wordset::chunked::WordSetSource::for_word_domain(n);
+    let rects = ucfg_core::cover::example8_cover(n);
+    let scan = ucfg_core::cover::cover_scan_threads(n, &rects, threads);
+    let mut out = String::new();
+    let _ = writeln!(out, "Example 8 cover of L_{n}, {}:", source.describe());
+    let _ = writeln!(out, "  rectangles:     {}", scan.size);
+    let _ = writeln!(out, "  covers exactly: {}", scan.covers_exactly);
+    let _ = writeln!(out, "  all balanced:   {}", scan.all_balanced);
+    let _ = writeln!(out, "  max overlap:    {}", scan.max_overlap);
+    let _ = writeln!(
+        out,
+        "  union:          count {} digest {:016x}",
+        scan.union_count, scan.union_digest
+    );
+    let _ = writeln!(
+        out,
+        "  L_{n}:            count {} digest {:016x}",
+        scan.ln_count, scan.ln_digest
+    );
+    Ok(out)
+}
+
+/// `ucfg discrepancy <n>` — the signed discrepancy `|R∩A| − |R∩B|` of
+/// the full-family rectangle `R = 𝓛` at the `[1, n]` cut, streamed over
+/// the family-rank domain through the [`WordSetSource`] routing (chunked
+/// past the cap or under `--chunk-bits`), and cross-checked against the
+/// exact closed-form ledger value `−2^{3m}` — the Lemma 19 bound met
+/// with equality.
+///
+/// [`WordSetSource`]: ucfg_core::wordset::chunked::WordSetSource
+pub fn cmd_discrepancy(n: &str) -> Result<String, CliError> {
+    let n = parse_n(n)?;
+    if !ucfg_core::discrepancy::supports_blocks(n) {
+        return Err(err("the family 𝓛 needs n ≡ 0 mod 4"));
+    }
+    if n > 32 {
+        return Err(err("the streamed scan probes 2^n family ranks; n ≤ 32"));
+    }
+    let threads = ucfg_support::par::thread_count();
+    let source = ucfg_core::wordset::chunked::WordSetSource::for_family_domain(n);
+    let rect = ucfg_core::discrepancy::full_family_rectangle(n);
+    let d = ucfg_core::discrepancy::discrepancy_threads(n, &rect, threads);
+    let acc = ucfg_core::discrepancy::family_accounting((n / 4) as u64);
+    let exact = &acc.full_family_discrepancy;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Full-family discrepancy at n = {n}, {}:",
+        source.describe()
+    );
+    let _ = writeln!(out, "  disc(𝓛) = |𝓛∩A| − |𝓛∩B|:   {d}");
+    let _ = writeln!(out, "  exact ledger −2^{{3m}}:       {exact}");
+    let _ = writeln!(
+        out,
+        "  streamed = exact:           {}",
+        if exact.to_i128() == Some(i128::from(d)) {
+            "true"
+        } else {
+            "FALSE"
+        }
+    );
+    Ok(out)
+}
+
+/// `ucfg accounting <m>` — the exact Lemma 18/19 ledger for the family
+/// `𝓛` at `n = 4m`, in closed form over the big-integer layer. Valid at
+/// any `m`, in particular `n ≥ 32` where enumeration and bitmaps are
+/// impossible and the signed quantities overflow `i64`; cross-checked
+/// against enumeration and the streamed kernels at every feasible `n`
+/// by the differential suite.
+pub fn cmd_accounting(m: &str) -> Result<String, CliError> {
+    let m: u64 = m.parse().map_err(|_| err(format!("not a number: {m}")))?;
+    if m == 0 || m > 1024 {
+        return Err(err("m must be in 1..=1024"));
+    }
+    let acc = ucfg_core::discrepancy::family_accounting(m);
+    let mut out = String::new();
+    let _ = writeln!(out, "Lemma 18/19 ledger for 𝓛 at m = {m} (n = {}):", 4 * m);
+    let _ = writeln!(out, "  |𝓛| = 16^m:                 {}", acc.family_size);
+    let _ = writeln!(out, "  |A| = (16^m − 8^m)/2:       {}", acc.a_size);
+    let _ = writeln!(out, "  |B| = (16^m + 8^m)/2:       {}", acc.b_size);
+    let _ = writeln!(out, "  |B ∖ L_n| = 12^m:           {}", acc.b_outside_ln);
+    let _ = writeln!(out, "  |A ∩ L_n| = |A|:            {}", acc.a_in_ln);
+    let _ = writeln!(out, "  |B ∩ L_n| = |B| − 12^m:     {}", acc.b_in_ln);
+    let _ = writeln!(out, "  gap = 12^m − 8^m:           {}", acc.gap);
+    let _ = writeln!(
+        out,
+        "  disc(𝓛) = |A| − |B|:        {}",
+        acc.full_family_discrepancy
+    );
+    let _ = writeln!(out, "  Lemma 19 bound 2^{{3m}}:      {}", acc.lemma19_bound);
+    let _ = writeln!(
+        out,
+        "  Lemma 18 (gap > 2^{{7m/2}}):   {}",
+        if acc.lemma18_holds { "holds" } else { "fails" }
     );
     Ok(out)
 }
@@ -575,6 +706,12 @@ pub fn usage() -> String {
        ucfg extract <n>              Proposition 7 extraction demo\n\
        ucfg rank    <n>              Theorem 17 rank certificates (parallel;\n\
                                      set UCFG_THREADS to pin the worker count)\n\
+       ucfg cover   <n>              verify the Example 8 cover of L_n (streams\n\
+                                     past the 2^30 cap; see --chunk-bits)\n\
+       ucfg discrepancy <n>          streamed full-family discrepancy at the\n\
+                                     [1,n] cut vs the exact −2^{3m} ledger\n\
+       ucfg accounting <m>           exact Lemma 18/19 ledger for 𝓛 at n = 4m\n\
+                                     (big-integer; any m, way past enumeration)\n\
        ucfg serve [--port N] [--host H] [--queue-depth N]\n\
                   [--deadline-ms N] [--cache-capacity N] [--max-connections N]\n\
                                      run the resident query daemon (default\n\
@@ -592,7 +729,11 @@ pub fn usage() -> String {
        --threads N | --threads=N | -j N | -jN\n\
                                      override UCFG_THREADS for this invocation\n\
        --trace                       kernel metrics (or UCFG_TRACE=1): summary\n\
-                                     to stderr + out/METRICS_ucfg.json\n"
+                                     to stderr + out/METRICS_ucfg.json\n\
+       --chunk-bits N | --chunk-bits=N\n\
+                                     override UCFG_WORDSET_CHUNK: stream wordset\n\
+                                     kernels in N-bit chunks (power of two ≥ 64)\n\
+                                     and force the chunked path below the cap\n"
         .to_string()
 }
 
@@ -605,13 +746,18 @@ pub fn usage() -> String {
 /// parallel kernel downstream picks the count up from
 /// [`ucfg_support::par::thread_count`]. A `--trace` flag switches the
 /// [`ucfg_support::obs`] metrics layer on (the binary then writes
-/// `out/METRICS_ucfg.json` and a summary at exit).
+/// `out/METRICS_ucfg.json` and a summary at exit). A `--chunk-bits N` /
+/// `--chunk-bits=N` flag anywhere sets `UCFG_WORDSET_CHUNK` for this
+/// invocation via [`ucfg_core::wordset::chunked::set_chunk_bits`] — the
+/// wordset kernels then stream in `N`-bit chunks even below the
+/// materialisation cap.
 pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
     let (args, trace) = ucfg_support::obs::strip_trace_flag(args);
     if trace {
         ucfg_support::obs::set_enabled(true);
     }
     let rest = ucfg_support::par::strip_thread_flags(&args).map_err(err)?;
+    let rest = ucfg_core::wordset::chunked::strip_chunk_flags(&rest).map_err(err)?;
     match &rest[..] {
         [cmd, n, word] if cmd == "member" => cmd_member(n, word),
         [cmd, n] if cmd == "count" => cmd_count(n),
@@ -621,6 +767,9 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd] if cmd == "determinize" => cmd_determinize(stdin),
         [cmd, n] if cmd == "extract" => cmd_extract(n),
         [cmd, n] if cmd == "rank" => cmd_rank(n),
+        [cmd, n] if cmd == "cover" => cmd_cover(n),
+        [cmd, n] if cmd == "discrepancy" => cmd_discrepancy(n),
+        [cmd, m] if cmd == "accounting" => cmd_accounting(m),
         [cmd, flags @ ..] if cmd == "serve" => cmd_serve(flags),
         [cmd, flags @ ..] if cmd == "query" => cmd_query(flags, stdin),
         [cmd, flags @ ..] if cmd == "orchestrate" => cmd_orchestrate(flags),
@@ -718,9 +867,79 @@ mod tests {
         assert!(out.contains("GF(2):           15"), "{out}");
         assert!(out.contains("GF(2^61 − 1):    15"), "{out}");
         assert!(out.contains("≥ 15 rectangles"), "{out}");
-        assert!(cmd_rank("11").is_err());
-        // n = 10 skips the O(2^{3n}) prime-field elimination.
+        // Past the elimination ceiling only the streamed census runs:
+        // ones = 4^11 − 3^11 with the census source named in the banner.
+        let out = cmd_rank("11").unwrap();
+        assert!(out.contains("elimination needs n ≤ 10"), "{out}");
+        assert!(out.contains("matrix ones (4^n − 3^n):   4017157"), "{out}");
+        assert!(cmd_rank("19").is_err());
         assert!(cmd_rank("0").is_err());
+    }
+
+    #[test]
+    fn cover_command() {
+        let out = cmd_cover("4").unwrap();
+        assert!(out.contains("rectangles:     4"), "{out}");
+        assert!(out.contains("covers exactly: true"), "{out}");
+        assert!(out.contains("all balanced:   true"), "{out}");
+        assert!(out.contains("max overlap:    4"), "{out}");
+        // |L_4| = 4^4 − 3^4 = 175, and the union equals it.
+        assert_eq!(out.matches("count 175").count(), 2, "{out}");
+        assert!(cmd_cover("19").is_err());
+        assert!(cmd_cover("0").is_err());
+    }
+
+    #[test]
+    fn discrepancy_command() {
+        // n = 8 (m = 2): disc(𝓛) = −2^6 = −64, streamed = ledger.
+        let out = cmd_discrepancy("8").unwrap();
+        assert!(out.contains("disc(𝓛) = |𝓛∩A| − |𝓛∩B|:   -64"), "{out}");
+        assert!(out.contains("exact ledger −2^{3m}:       -64"), "{out}");
+        assert!(out.contains("streamed = exact:           true"), "{out}");
+        assert!(cmd_discrepancy("6").is_err(), "n ≢ 0 mod 4");
+        assert!(cmd_discrepancy("36").is_err(), "past the scan ceiling");
+    }
+
+    #[test]
+    fn accounting_command() {
+        // m = 2 (n = 8): enumeration-checkable numbers.
+        let out = cmd_accounting("2").unwrap();
+        assert!(out.contains("|𝓛| = 16^m:                 256"), "{out}");
+        assert!(out.contains("gap = 12^m − 8^m:           80"), "{out}");
+        assert!(out.contains("disc(𝓛) = |A| − |B|:        -64"), "{out}");
+        // m = 8 (n = 32): past every enumeration/materialisation cap.
+        let out = cmd_accounting("8").unwrap();
+        assert!(out.contains("4294967296"), "16^8: {out}"); // |𝓛| = 2^32
+        assert!(out.contains("-16777216"), "−2^24: {out}");
+        assert!(out.contains("holds"), "{out}");
+        assert!(cmd_accounting("0").is_err());
+        assert!(cmd_accounting("1025").is_err());
+        assert!(cmd_accounting("x").is_err());
+    }
+
+    #[test]
+    fn chunk_flag_round_trips_to_the_wordset_layer() {
+        // --chunk-bits must force the chunked path below the cap, and
+        // every line after the source banner must be byte-identical to
+        // the in-memory pass — the invariant CI's determinism job pins.
+        let chunked = dispatch(
+            &["--chunk-bits=1024".into(), "cover".into(), "4".into()],
+            "",
+        )
+        .unwrap();
+        assert!(chunked.contains("chunked"), "{chunked}");
+        std::env::remove_var(ucfg_core::wordset::chunked::CHUNK_ENV);
+        let inmem = dispatch(&["cover".into(), "4".into()], "").unwrap();
+        assert!(inmem.contains("in-memory"), "{inmem}");
+        let tail = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(tail(&chunked), tail(&inmem));
+        // Malformed sizes are hard errors in both spellings, and must
+        // not leave an override behind.
+        assert!(dispatch(&["--chunk-bits".into()], "").is_err());
+        assert!(dispatch(&["--chunk-bits".into(), "banana".into()], "").is_err());
+        assert!(dispatch(&["--chunk-bits=63".into(), "count".into(), "2".into()], "").is_err());
+        assert!(dispatch(&["--chunk-bits=0".into()], "").is_err());
+        assert!(std::env::var(ucfg_core::wordset::chunked::CHUNK_ENV).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::discrepancy;
 use crate::extract::ExtractionResult;
 use crate::rectangle::{example8_rectangle, SetRectangle};
 use crate::words::{enumerate_ln, ln_contains, Word};
+use crate::wordset::chunked::{self, CoverScan, WordSetSource};
 use crate::wordset::{self, OverlapCounter, WordSet};
 use ucfg_support::{obs, par};
 
@@ -46,23 +47,63 @@ pub fn verify_cover(n: usize, rects: &[SetRectangle]) -> CoverReport {
 /// deterministic parallel map and folded in rectangle order, so the
 /// report is bit-identical for every thread count.
 pub fn verify_cover_threads(n: usize, rects: &[SetRectangle], threads: usize) -> CoverReport {
-    assert!(2 * n <= 26, "exhaustive verification is 2^{{2n}}");
+    cover_scan_threads(n, rects, threads).into_report()
+}
+
+impl CoverScan {
+    /// Collapse the scan aggregates into the classic [`CoverReport`].
+    pub fn into_report(self) -> CoverReport {
+        CoverReport {
+            size: self.size,
+            covers_exactly: self.covers_exactly,
+            disjoint: self.max_overlap <= 1,
+            all_balanced: self.all_balanced,
+            max_overlap: self.max_overlap,
+        }
+    }
+}
+
+/// The full cover-verification scan — the [`CoverReport`] facts plus the
+/// union / `L_n` counts and order-invariant digests the differential
+/// suite and the CI chunked-determinism job byte-compare.
+pub fn cover_scan(n: usize, rects: &[SetRectangle]) -> CoverScan {
+    cover_scan_threads(n, rects, par::thread_count())
+}
+
+/// [`cover_scan`] with an explicit worker count, routed through
+/// [`WordSetSource`]: in-memory below the materialisation cap (the PR 3
+/// bitmap kernel, one `OverlapCounter` over the whole domain), chunked
+/// above it or when `UCFG_WORDSET_CHUNK` forces the streamed path. Both
+/// paths fold the same per-word facts with order-free merges, so the scan
+/// is bit-identical across thread counts, chunk sizes, and the two
+/// routes.
+pub fn cover_scan_threads(n: usize, rects: &[SetRectangle], threads: usize) -> CoverScan {
     obs::count!("cover.verify.calls");
     obs::count!("cover.verify.rects", rects.len() as u64);
     let _t = obs::span!("cover.verify");
-    let ln = wordset::ln_bitmap(n);
-    let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
-    let mut counter = OverlapCounter::new(1u64 << (2 * n));
-    for bm in &bitmaps {
-        counter.add(bm);
-    }
-    let max_overlap = counter.max_count();
-    CoverReport {
-        size: rects.len(),
-        covers_exactly: counter.any() == *ln,
-        disjoint: max_overlap <= 1,
-        all_balanced: rects.iter().all(SetRectangle::is_balanced),
-        max_overlap,
+    match WordSetSource::for_word_domain(n) {
+        WordSetSource::Chunked(plan) => {
+            chunked::cover_scan_chunked_threads(n, rects, threads, &plan)
+        }
+        WordSetSource::InMemory { .. } => {
+            let ln = wordset::ln_bitmap(n);
+            let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
+            let mut counter = OverlapCounter::new(wordset::word_domain(n));
+            for bm in &bitmaps {
+                counter.add(bm);
+            }
+            let union = counter.any();
+            CoverScan {
+                size: rects.len(),
+                covers_exactly: union == *ln,
+                all_balanced: rects.iter().all(SetRectangle::is_balanced),
+                max_overlap: counter.max_count(),
+                union_count: union.count(),
+                union_digest: chunked::set_digest(&union),
+                ln_count: ln.count(),
+                ln_digest: chunked::set_digest(&ln),
+            }
+        }
     }
 }
 
@@ -195,12 +236,14 @@ pub fn overlap_histogram(n: usize, rects: &[SetRectangle]) -> Vec<usize> {
 /// bitmap. Bit-identical to [`overlap_histogram_scalar`] for every
 /// thread count.
 pub fn overlap_histogram_threads(n: usize, rects: &[SetRectangle], threads: usize) -> Vec<usize> {
-    assert!(2 * n <= 26, "exhaustive histogram is 2^{{2n}}");
     obs::count!("cover.histogram.calls");
     let _t = obs::span!("cover.histogram");
+    if let WordSetSource::Chunked(plan) = WordSetSource::for_word_domain(n) {
+        return chunked::overlap_histogram_chunked_threads(n, rects, threads, &plan);
+    }
     let ln = wordset::ln_bitmap(n);
     let bitmaps: Vec<WordSet> = par::par_map_threads(rects, threads, |r| r.to_wordset(n));
-    let mut counter = OverlapCounter::new(1u64 << (2 * n));
+    let mut counter = OverlapCounter::new(wordset::word_domain(n));
     for bm in &bitmaps {
         counter.add(bm);
     }

@@ -28,7 +28,7 @@ use crate::partition::OrderedPartition;
 use crate::rectangle::SetRectangle;
 use crate::words::{witness_count, Word};
 use std::collections::BTreeSet;
-use ucfg_grammar::bignum::BigUint;
+use ucfg_grammar::bignum::{BigInt, BigUint};
 use ucfg_support::obs;
 use ucfg_support::rng::Rng;
 
@@ -159,6 +159,10 @@ pub fn discrepancy(n: usize, r: &SetRectangle) -> i64 {
 pub fn discrepancy_threads(n: usize, r: &SetRectangle, threads: usize) -> i64 {
     obs::count!("discrepancy.calls");
     let _t = obs::span!("discrepancy.bitmap");
+    use crate::wordset::chunked::{self, WordSetSource};
+    if let WordSetSource::Chunked(plan) = WordSetSource::for_family_domain(n) {
+        return chunked::discrepancy_chunked_threads(n, r, threads, &plan);
+    }
     let rect = crate::wordset::family_rectangle_bitmap_threads(n, r, threads);
     let a = crate::wordset::family_a_bitmap(n);
     let b = crate::wordset::family_b_bitmap(n);
@@ -196,6 +200,62 @@ pub fn discrepancy_scalar_threads(n: usize, r: &SetRectangle, threads: usize) ->
 /// The Lemma 19 bound for `[1, n]`-rectangles: `2^{3m}`.
 pub fn lemma19_bound(m: u64) -> BigUint {
     BigUint::pow2(3 * m)
+}
+
+/// The complete Lemma 18/19 ledger for the family at `n = 4m`, every
+/// quantity in exact closed form over [`BigUint`]/[`BigInt`] — valid at
+/// any `m`, in particular `n ≥ 32` where enumeration is impossible and
+/// the signed quantities (`gap`, the full-family discrepancy `−2^{3m}`)
+/// overflow machine integers. Cross-checked against exhaustive
+/// enumeration at every `m` where both are feasible (see the tests and
+/// `crates/core/tests/chunked_differential.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyAccounting {
+    /// The block parameter `m` (so `n = 4m`).
+    pub m: u64,
+    /// `|𝓛| = 16^m`.
+    pub family_size: BigUint,
+    /// `|A| = (16^m − 8^m) / 2`.
+    pub a_size: BigUint,
+    /// `|B| = (16^m + 8^m) / 2`.
+    pub b_size: BigUint,
+    /// `|B ∖ L_n| = 12^m` (Lemma 18).
+    pub b_outside_ln: BigUint,
+    /// `|A ∩ L_n| = |A|` — `A ⊆ L_n` since an odd witness count is ≥ 1.
+    pub a_in_ln: BigUint,
+    /// `|B ∩ L_n| = |B| − 12^m`.
+    pub b_in_ln: BigUint,
+    /// The signed gap `|A ∩ L_n| − |B ∩ L_n| = 12^m − 8^m`.
+    pub gap: BigInt,
+    /// The signed discrepancy of the full-family rectangle `𝓛` itself:
+    /// `|A| − |B| = −2^{3m}` — Lemma 19's bound met with equality, on the
+    /// negative side.
+    pub full_family_discrepancy: BigInt,
+    /// The Lemma 19 bound `2^{3m}` for `[1, n]`-rectangles.
+    pub lemma19_bound: BigUint,
+    /// Does Lemma 18's inequality `gap > 2^{7m/2}` hold (exact check)?
+    pub lemma18_holds: bool,
+}
+
+/// The exact [`FamilyAccounting`] at block parameter `m`.
+pub fn family_accounting(m: u64) -> FamilyAccounting {
+    let a = a_size(m);
+    let b = b_size(m);
+    let outside = b_outside_ln(m);
+    let b_in_ln = b.checked_sub(&outside).expect("|B| ≥ 12^m");
+    FamilyAccounting {
+        m,
+        family_size: family_size(m),
+        a_size: a.clone(),
+        b_size: b.clone(),
+        b_outside_ln: outside,
+        a_in_ln: a.clone(),
+        gap: BigInt::sub_unsigned(&a, &b_in_ln),
+        b_in_ln,
+        full_family_discrepancy: BigInt::sub_unsigned(&a, &b),
+        lemma19_bound: lemma19_bound(m),
+        lemma18_holds: lemma18_inequality_holds(m),
+    }
 }
 
 /// Exact check of the Lemma 23 bound `|d| ≤ 2^{10m/3}` as `|d|³ ≤ 2^{10m}`.
@@ -354,6 +414,29 @@ pub fn family_side_patterns(n: usize, partition: OrderedPartition) -> (Vec<u64>,
         .into_iter()
         .collect();
     (s_all, t_all)
+}
+
+/// The full-family rectangle `R = 𝓛` at the block-aligned `[1, n]` cut,
+/// built directly — one one-hot nibble per 4-block and side, `|S| = |T|
+/// = 2^{n/2}` — so it exists at every `n` the family supports.
+/// [`family_side_patterns`] computes the same sides but enumerates all
+/// `2^n` members first, which stops at `n = 24`; this constructor is
+/// what lets the streamed discrepancy kernel run at `n = 32`.
+pub fn full_family_rectangle(n: usize) -> SetRectangle {
+    assert!(supports_blocks(n));
+    let part = OrderedPartition::new(n, 1, n);
+    let half = n / 4;
+    let side = |base: usize| -> BTreeSet<u64> {
+        (0..1u64 << (2 * half))
+            .map(|i| {
+                (0..half).fold(0u64, |w, t| {
+                    let idx = (i >> (2 * t)) & 0b11;
+                    w | 1u64 << (4 * (base + t) + idx as usize)
+                })
+            })
+            .collect()
+    };
+    SetRectangle::new(part, side(0), side(half))
 }
 
 /// The `{−1, 0, +1}` score matrix of a partition in **column-major**
@@ -617,6 +700,100 @@ mod tests {
             };
             assert_eq!(gap(m).to_u64(), Some(gap_count as u64), "gap = 12^m − 8^m");
         }
+    }
+
+    #[test]
+    fn family_accounting_matches_enumeration() {
+        // Every closed-form field of the ledger against exhaustive counts
+        // at the m where enumeration is feasible.
+        for n in [4usize, 8, 12] {
+            let m = (n / 4) as u64;
+            let acc = family_accounting(m);
+            let fam = enumerate_family(n);
+            let count = |p: &dyn Fn(Word) -> bool| fam.iter().filter(|&&w| p(w)).count() as u64;
+            assert_eq!(acc.family_size.to_u64(), Some(fam.len() as u64), "n={n}");
+            assert_eq!(acc.a_size.to_u64(), Some(count(&|w| in_a(n, w))), "n={n}");
+            assert_eq!(acc.b_size.to_u64(), Some(count(&|w| in_b(n, w))), "n={n}");
+            assert_eq!(
+                acc.b_outside_ln.to_u64(),
+                Some(count(&|w| in_b(n, w) && !ln_contains(n, w))),
+                "n={n}"
+            );
+            assert_eq!(
+                acc.a_in_ln.to_u64(),
+                Some(count(&|w| in_a(n, w) && ln_contains(n, w))),
+                "n={n}: A ⊆ L_n"
+            );
+            assert_eq!(
+                acc.b_in_ln.to_u64(),
+                Some(count(&|w| in_b(n, w) && ln_contains(n, w))),
+                "n={n}"
+            );
+            assert_eq!(
+                acc.gap.to_i128(),
+                Some(
+                    count(&|w| in_a(n, w)) as i128
+                        - count(&|w| in_b(n, w) && ln_contains(n, w)) as i128
+                ),
+                "n={n}"
+            );
+            // The full-family rectangle's signed discrepancy is the
+            // enumerated |A| − |B| = −2^{3m}, and the chunked/bitmap
+            // kernels agree on it where they can run.
+            assert_eq!(
+                acc.full_family_discrepancy.to_i128(),
+                Some(count(&|w| in_a(n, w)) as i128 - count(&|w| in_b(n, w)) as i128),
+                "n={n}"
+            );
+            assert!(acc.full_family_discrepancy.is_negative());
+            assert_eq!(
+                acc.full_family_discrepancy.magnitude(),
+                &acc.lemma19_bound,
+                "Lemma 19 met with equality by 𝓛 itself"
+            );
+            assert_eq!(acc.lemma18_holds, lemma18_inequality_holds(m));
+        }
+        // The ledger stays internally consistent far beyond enumeration.
+        for m in [8u64, 16, 32, 64] {
+            let acc = family_accounting(m);
+            assert_eq!(
+                &(&acc.a_in_ln + &acc.b_in_ln) + &acc.b_outside_ln,
+                acc.family_size,
+                "m={m}: 𝓛 splits into A ⊎ (B∩L_n) ⊎ (B∖L_n)"
+            );
+            assert_eq!(
+                acc.gap,
+                BigInt::sub_unsigned(&b_outside_ln(m), &BigUint::pow2(3 * m)),
+                "m={m}: gap = 12^m − 8^m"
+            );
+            assert!(acc.lemma18_holds, "m={m}");
+            assert!(!acc.gap.is_negative());
+        }
+    }
+
+    #[test]
+    fn full_family_rectangle_matches_the_enumerated_sides() {
+        // The direct per-block constructor equals the enumeration route
+        // at every n where the latter runs, and its product is 𝓛 itself.
+        for n in [4usize, 8, 12] {
+            let r = full_family_rectangle(n);
+            let (s_all, t_all) = family_side_patterns(n, OrderedPartition::new(n, 1, n));
+            assert_eq!(r.s.iter().copied().collect::<Vec<_>>(), s_all, "n={n}");
+            assert_eq!(r.t.iter().copied().collect::<Vec<_>>(), t_all, "n={n}");
+            assert_eq!(r.s.len() as u64, 1u64 << (n / 2), "n={n}");
+            for &w in &enumerate_family(n) {
+                assert!(r.contains(w), "n={n} w={w:b}");
+            }
+        }
+        // Existence past the enumeration ceiling: 2^16 patterns per side
+        // at n = 32, every member a one-nibble-per-block pattern.
+        let r = full_family_rectangle(32);
+        assert_eq!(r.s.len(), 1 << 16);
+        assert_eq!(r.t.len(), 1 << 16);
+        assert!(r
+            .s
+            .iter()
+            .all(|&u| (0..8).all(|t| (u >> (4 * t) & 0xf).count_ones() == 1)));
     }
 
     #[test]

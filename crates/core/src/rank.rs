@@ -9,7 +9,32 @@
 //! certifying an exponential lower bound for the fixed-partition case on
 //! concrete instances.
 
+use crate::wordset::chunked::{self, WordSetSource};
+use crate::wordset::WordSet;
 use ucfg_support::{obs, par};
+
+/// Row `X` of the GF(2) communication matrix as a bitset of width
+/// `width = ⌈2^n / 64⌉` words: bit `Y` is set iff `X ∩ Y ≠ ∅`. Built
+/// output-sensitively — start from the all-ones row and clear the
+/// `2^{n−|X|}` subsets of `~X` by the standard descending subset walk
+/// (`s−1 & m`), including the empty set, for `Σ_X 2^{n−|X|} = 3^n` total
+/// work instead of the `O(4^n)` bit-by-bit scan.
+fn gf2_row(x: u64, size: usize, width: usize) -> Vec<u64> {
+    let mut row = vec![u64::MAX; width];
+    if !size.is_multiple_of(64) {
+        row[width - 1] = (1u64 << (size % 64)) - 1;
+    }
+    let m = !x & (size as u64 - 1);
+    let mut s = m;
+    loop {
+        row[(s / 64) as usize] &= !(1u64 << (s % 64));
+        if s == 0 {
+            break;
+        }
+        s = (s - 1) & m;
+    }
+    row
+}
 
 /// Rank of the `L_n` communication matrix over GF(2), by bitset Gaussian
 /// elimination. `n ≤ 13` (matrix is `2^n × 2^n`).
@@ -38,31 +63,70 @@ pub fn rank_gf2_threads(n: usize, threads: usize) -> usize {
     let size = 1usize << n;
     let width = size.div_ceil(64);
     let mut rows: Vec<Vec<u64>> = par::map_ranges_threads(0..size as u64, threads, |range| {
-        range
-            .map(|x| {
-                let mut row = vec![u64::MAX; width];
-                if !size.is_multiple_of(64) {
-                    row[width - 1] = (1u64 << (size % 64)) - 1;
-                }
-                // Clear the subsets of ~x via the standard descending
-                // subset walk (s−1 & m), including the empty set.
-                let m = !x & (size as u64 - 1);
-                let mut s = m;
-                loop {
-                    row[(s / 64) as usize] &= !(1u64 << (s % 64));
-                    if s == 0 {
-                        break;
-                    }
-                    s = (s - 1) & m;
-                }
-                row
-            })
-            .collect::<Vec<_>>()
+        range.map(|x| gf2_row(x, size, width)).collect::<Vec<_>>()
     })
     .into_iter()
     .flatten()
     .collect();
     gf2_rank_of_rows(&mut rows)
+}
+
+/// A streamed census of the `L_n` communication matrix: the matrix is
+/// flattened row-major into `4^n` bits (bit `k` is set iff
+/// `(k >> n) ∩ (k mod 2^n) ≠ ∅`), the same shape the GF(2) row build
+/// materialises, and scanned through [`WordSetSource`] — in one piece
+/// below the cap, chunk by chunk above it (or whenever
+/// [`chunked::CHUNK_ENV`] forces the chunked path), so the census runs at
+/// `n = 16`–`18` where the dense matrix cannot be held. The digest uses
+/// the [`chunked::set_digest`] scheme, so it is bit-identical across
+/// thread counts, chunk sizes, and the in-memory/chunked split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankMatrixScan {
+    /// Number of matrix rows, `2^n`.
+    pub rows: u64,
+    /// Number of ones `|{(X, Y) : X ∩ Y ≠ ∅}| = 4^n − 3^n`.
+    pub ones: u64,
+    /// Order-invariant digest of the flattened matrix.
+    pub digest: u64,
+}
+
+/// [`rank_matrix_scan_threads`] at the ambient worker count.
+pub fn rank_matrix_scan(n: usize) -> RankMatrixScan {
+    rank_matrix_scan_threads(n, par::thread_count())
+}
+
+/// The streamed [`RankMatrixScan`] with an explicit worker count
+/// (`threads = 1` is the serial reference path; results are
+/// bit-identical for every thread count and chunk size).
+pub fn rank_matrix_scan_threads(n: usize, threads: usize) -> RankMatrixScan {
+    obs::count!("rank.matrix_scan.calls");
+    let _t = obs::span!("rank.matrix_scan");
+    let mask = (1u64 << n) - 1;
+    let pred = move |k: u64| (k >> n) & (k & mask) != 0;
+    let rows = 1u64 << n;
+    match WordSetSource::for_word_domain(n) {
+        WordSetSource::InMemory { domain } => {
+            let m = WordSet::from_pred_threads(domain, threads, pred);
+            RankMatrixScan {
+                rows,
+                ones: m.count(),
+                digest: chunked::set_digest(&m),
+            }
+        }
+        WordSetSource::Chunked(plan) => {
+            obs::count!("rank.matrix_scan.chunks", plan.num_chunks() as u64);
+            let chunks = par::run_chunks(plan.num_chunks(), threads, |ci| {
+                let range = plan.chunk_range(ci);
+                let (base, len) = (range.start, range.end - range.start);
+                let slab = WordSet::from_pred_threads(len, 1, |k| pred(base + k));
+                (slab.count(), chunked::digest_words(base, slab.blocks()))
+            });
+            let (ones, digest) = chunks
+                .into_iter()
+                .fold((0u64, 0u64), |(c, d), (cc, cd)| (c + cc, d ^ cd));
+            RankMatrixScan { rows, ones, digest }
+        }
+    }
 }
 
 /// The scalar reference for [`rank_gf2`]: the `O(4^n)` bit-by-bit row
@@ -285,6 +349,35 @@ mod tests {
                 rank_gf2_scalar_threads(8, threads),
                 "threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn matrix_scan_census_is_exact() {
+        // ones = #{(X,Y) : X∩Y ≠ ∅} = 4^n − 3^n, and the scan is
+        // bit-identical across thread counts.
+        for n in [1usize, 4, 6, 8, 10] {
+            let scan = rank_matrix_scan_threads(n, 1);
+            assert_eq!(scan.rows, 1u64 << n, "n={n}");
+            assert_eq!(scan.ones, 4u64.pow(n as u32) - 3u64.pow(n as u32), "n={n}");
+            for threads in [2usize, 8] {
+                assert_eq!(scan, rank_matrix_scan_threads(n, threads), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_scan_digest_matches_the_row_build() {
+        // At n ≥ 6 each GF(2) row occupies whole 64-bit words, so the
+        // flattened-matrix digest must equal the XOR of per-row digests of
+        // the very rows the elimination consumes.
+        for n in [6usize, 7, 8] {
+            let size = 1usize << n;
+            let width = size.div_ceil(64);
+            let from_rows = (0..size as u64)
+                .map(|x| chunked::digest_words(x << n, &gf2_row(x, size, width)))
+                .fold(0u64, |d, rd| d ^ rd);
+            assert_eq!(rank_matrix_scan_threads(n, 1).digest, from_rows, "n={n}");
         }
     }
 

@@ -41,11 +41,35 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use ucfg_support::{obs, par};
 
+pub mod chunked;
+
 /// Materialisation cap: a [`WordSet`] never allocates more than this many
 /// bits (`2^30` bits = 128 MiB). Word-domain sets therefore stop at
 /// `2n ≤ 30`, comfortably above the `2n ≤ 26` exhaustive-scan ceiling of
 /// the kernels; family-domain sets stop at `n ≤ 30`.
 pub const MAX_DOMAIN_BITS: u64 = 1 << 30;
+
+// Block indices are computed as `(k / 64) as usize`. The cap bounds the
+// block count at `2^24`, which must fit a `usize` for that cast to be
+// lossless — true on every 32/64-bit target, checked here so a future cap
+// raise (or an exotic target) fails at compile time instead of silently
+// truncating indices.
+const _: () = assert!(MAX_DOMAIN_BITS / 64 <= usize::MAX as u64);
+#[cfg(target_pointer_width = "16")]
+compile_error!("WordSet block indexing requires usize to hold MAX_DOMAIN_BITS / 64 block indices");
+
+/// The backing-word index for element `k`, checked against `usize` in
+/// debug builds (the compile-time assert above proves it for every `k`
+/// below the cap; this catches out-of-contract callers early).
+#[inline]
+fn block_index(k: u64) -> usize {
+    debug_assert!(
+        k / 64 <= usize::MAX as u64,
+        "block index {} truncates on this target",
+        k / 64
+    );
+    (k / 64) as usize
+}
 
 /// A bitset over the domain `0..domain` with popcount set algebra.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +91,10 @@ fn blocks_for(domain: u64) -> usize {
 /// The word-domain size `2^{2n}`, guarded **before** the shift: for
 /// `n ≥ 32` the raw `1u64 << (2 * n)` would overflow the shift (a
 /// confusing panic in debug, a silently wrapped — and wrong — domain in
-/// release), so the cap is checked on `2n` itself first.
-fn word_domain(n: usize) -> u64 {
+/// release), so the cap is checked on `2n` itself first. Every
+/// word-domain materialisation in this module routes through here; use
+/// [`chunked::logical_word_domain`] for the unguarded logical size.
+pub fn word_domain(n: usize) -> u64 {
     let cap_log2 = MAX_DOMAIN_BITS.trailing_zeros() as usize;
     assert!(
         2 * n <= cap_log2,
@@ -76,6 +102,19 @@ fn word_domain(n: usize) -> u64 {
         2 * n
     );
     1u64 << (2 * n)
+}
+
+/// The family-rank domain size `2^n`, guarded like [`word_domain`]: the
+/// cap is checked on `n` before the shift so `n ≥ 64` can never wrap the
+/// domain in release builds, and every family-domain materialisation gets
+/// the same cap message.
+pub fn family_domain(n: usize) -> u64 {
+    let cap_log2 = MAX_DOMAIN_BITS.trailing_zeros() as usize;
+    assert!(
+        n <= cap_log2,
+        "family domain 2^{n} for n = {n} exceeds the materialisation cap {MAX_DOMAIN_BITS} (n ≤ {cap_log2})"
+    );
+    1u64 << n
 }
 
 impl WordSet {
@@ -168,7 +207,7 @@ impl WordSet {
             "element {k} outside domain {}",
             self.domain
         );
-        self.bits[(k / 64) as usize] |= 1u64 << (k % 64);
+        self.bits[block_index(k)] |= 1u64 << (k % 64);
     }
 
     /// Remove element `k`.
@@ -183,13 +222,13 @@ impl WordSet {
             "element {k} outside domain {}",
             self.domain
         );
-        self.bits[(k / 64) as usize] &= !(1u64 << (k % 64));
+        self.bits[block_index(k)] &= !(1u64 << (k % 64));
     }
 
     /// Membership probe.
     #[inline]
     pub fn contains(&self, k: u64) -> bool {
-        k < self.domain && self.bits[(k / 64) as usize] >> (k % 64) & 1 == 1
+        k < self.domain && self.bits[block_index(k)] >> (k % 64) & 1 == 1
     }
 
     /// `|self|` by popcount.
@@ -471,20 +510,22 @@ pub fn clear_canonical_cache() -> usize {
 /// per `n`; built once with the serial scan so the cached bytes never
 /// depend on the ambient thread count).
 pub fn ln_bitmap(n: usize) -> Arc<WordSet> {
-    assert!(2 * n <= 26, "word-domain materialisation is 2^{{2n}} bits");
+    // Regression (same class PR 4 fixed in `empty_words`): the domain is
+    // computed through the guarded helper so `n ≥ 16` dies with the cap
+    // message *before* the `1u64 << (2 * n)` shift can wrap in release.
+    let domain = word_domain(n);
     cached(Canonical::Ln, n, || {
-        WordSet::from_pred_threads(1u64 << (2 * n), 1, |w| ln_contains(n, w as Word))
+        WordSet::from_pred_threads(domain, 1, |w| ln_contains(n, w as Word))
     })
 }
 
 /// The family `𝓛` as a word-domain bitmap (cached per `n`; needs
 /// `n ≡ 0 mod 4`).
 pub fn family_bitmap(n: usize) -> Arc<WordSet> {
-    assert!(supports_blocks(n) && 2 * n <= 26);
+    assert!(supports_blocks(n));
+    let domain = word_domain(n);
     cached(Canonical::Family, n, || {
-        WordSet::from_pred_threads(1u64 << (2 * n), 1, |w| {
-            crate::discrepancy::in_family(n, w as Word)
-        })
+        WordSet::from_pred_threads(domain, 1, |w| crate::discrepancy::in_family(n, w as Word))
     })
 }
 
@@ -492,9 +533,10 @@ pub fn family_bitmap(n: usize) -> Arc<WordSet> {
 /// is set iff the member `family_unrank(n, i)` lies in `A`. Cached per
 /// `n`.
 pub fn family_a_bitmap(n: usize) -> Arc<WordSet> {
-    assert!(supports_blocks(n) && n <= 26, "family domain is 2^n bits");
+    assert!(supports_blocks(n));
+    let domain = family_domain(n);
     cached(Canonical::FamilyA, n, || {
-        WordSet::from_pred_threads(1u64 << n, 1, |i| {
+        WordSet::from_pred_threads(domain, 1, |i| {
             in_a(n, crate::discrepancy::family_unrank(n, i))
         })
     })
@@ -502,10 +544,11 @@ pub fn family_a_bitmap(n: usize) -> Arc<WordSet> {
 
 /// `B = 𝓛 ∖ A` over the family-rank domain. Cached per `n`.
 pub fn family_b_bitmap(n: usize) -> Arc<WordSet> {
-    assert!(supports_blocks(n) && n <= 26);
+    assert!(supports_blocks(n));
+    let domain = family_domain(n);
     cached(Canonical::FamilyB, n, || {
         let a = family_a_bitmap(n);
-        WordSet::full(1u64 << n).andnot(&a)
+        WordSet::full(domain).andnot(&a)
     })
 }
 
@@ -528,8 +571,8 @@ pub fn family_rectangle_bitmap_threads(
     r: &crate::rectangle::SetRectangle,
     threads: usize,
 ) -> WordSet {
-    assert!(supports_blocks(n) && n <= 26);
-    let domain = 1u64 << n;
+    assert!(supports_blocks(n));
+    let domain = family_domain(n);
     let s: Vec<u64> = r.s.iter().copied().collect();
     let t: Vec<u64> = r.t.iter().copied().collect();
     if s.is_empty() || t.is_empty() {
@@ -813,6 +856,64 @@ mod tests {
     #[should_panic(expected = "materialisation cap")]
     fn empty_words_just_past_the_cap_gets_the_cap_message() {
         let _ = WordSet::empty_words(16);
+    }
+
+    #[test]
+    fn guarded_domains_at_the_cap_boundary() {
+        // 2n = 30 (n = 15) and n = 30 sit exactly at the cap: the guarded
+        // helpers return the cap itself without panicking. Checked on the
+        // helpers directly — building a 128 MiB bitmap just to probe the
+        // boundary would be the expensive way to say the same thing.
+        assert_eq!(word_domain(15), MAX_DOMAIN_BITS);
+        assert_eq!(family_domain(30), MAX_DOMAIN_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn ln_bitmap_just_past_the_cap_gets_the_cap_message() {
+        let _ = ln_bitmap(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn ln_bitmap_overflow_gets_the_cap_message() {
+        // Regression: n = 32 used to hit `1u64 << 64` before any check —
+        // the exact masked-shift class PR 4 fixed in `empty_words`.
+        let _ = ln_bitmap(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn family_bitmap_just_past_the_cap_gets_the_cap_message() {
+        let _ = family_bitmap(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn family_a_bitmap_overflow_gets_the_cap_message() {
+        // `supports_blocks(32)` holds (2n = 64), so before the guarded
+        // helper this reached `1u64 << 32`-sized allocation paths; the
+        // family-domain guard now dies first with the cap message.
+        let _ = family_a_bitmap(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn family_b_bitmap_overflow_gets_the_cap_message() {
+        let _ = family_b_bitmap(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialisation cap")]
+    fn family_rectangle_bitmap_overflow_gets_the_cap_message() {
+        // The guard fires on the domain computation, before S/T are even
+        // looked at, so an empty rectangle suffices.
+        let r = crate::rectangle::SetRectangle::new(
+            crate::partition::OrderedPartition::new(32, 1, 32),
+            BTreeSet::new(),
+            BTreeSet::new(),
+        );
+        let _ = family_rectangle_bitmap_threads(32, &r, 1);
     }
 
     #[test]

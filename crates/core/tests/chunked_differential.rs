@@ -1,0 +1,240 @@
+//! Differential suite for the chunked wordset algebra: every streamed
+//! kernel must agree **exactly** — counts, digests, verdicts, signed sums
+//! — with its in-memory counterpart, across chunk sizes and worker
+//! counts, on exhaustive small-`n` domains and random rectangle families.
+//! The in-memory kernels are themselves pinned to their `*_scalar`
+//! references by `wordset_kernels.rs`, so equality here chains all the
+//! way down.
+//!
+//! Chunk plans are passed explicitly ([`ChunkPlan::with_chunk_bits`]), so
+//! nothing here touches the `UCFG_WORDSET_CHUNK` environment variable and
+//! the suite is safe under the parallel test runner.
+
+use std::collections::BTreeSet;
+
+use ucfg_core::cover::{cover_scan_threads, example8_cover, overlap_histogram_threads};
+use ucfg_core::discrepancy::{
+    discrepancy_threads, family_accounting, family_size, full_family_rectangle,
+    random_family_rectangle, supports_blocks,
+};
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rectangle::SetRectangle;
+use ucfg_core::wordset::chunked::{
+    cover_scan_chunked_threads, discrepancy_chunked_threads, family_rectangle_scan_chunked_threads,
+    logical_family_domain, logical_word_domain, overlap_histogram_chunked_threads, set_digest,
+    ChunkPlan,
+};
+use ucfg_core::wordset::family_rectangle_bitmap_threads;
+use ucfg_support::prop::Gen;
+use ucfg_support::rng::{Rng, SeedableRng, StdRng};
+use ucfg_support::{prop_assert_eq, property};
+
+/// Worker counts every chunked kernel is pinned across.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Chunk sizes (bits) for the word-domain matrix: deliberately tiny so
+/// even `n = 4` (256-bit domain) splits into many chunks.
+const WORD_CHUNKS: [u64; 3] = [1 << 10, 1 << 16, 1 << 20];
+
+fn random_partition(n: usize, rng: &mut StdRng) -> OrderedPartition {
+    let i = rng.random_range(1..=n);
+    let j = rng.random_range(i..=2 * n - 1);
+    OrderedPartition::new(n, i, j)
+}
+
+fn random_rect_family(n: usize, rng: &mut StdRng) -> Vec<SetRectangle> {
+    let mut rects = Vec::new();
+    if rng.random_range(0..2u8) == 0 {
+        rects.extend(example8_cover(n));
+    }
+    if supports_blocks(n) {
+        for _ in 0..rng.random_range(0..3usize) {
+            let part = random_partition(n, rng);
+            rects.push(random_family_rectangle(n, part, rng));
+        }
+    }
+    rects
+}
+
+/// Compare chunked and in-memory cover kernels for one `(n, rects)`
+/// input across the given chunk sizes and all of [`THREADS`].
+fn assert_cover_kernels_agree(n: usize, rects: &[SetRectangle], chunks: &[u64]) {
+    let reference = cover_scan_threads(n, rects, 1);
+    let hist_reference = overlap_histogram_threads(n, rects, 1);
+    for &chunk in chunks {
+        let plan = ChunkPlan::with_chunk_bits(logical_word_domain(n), chunk);
+        for t in THREADS {
+            assert_eq!(
+                reference,
+                cover_scan_chunked_threads(n, rects, t, &plan),
+                "cover scan: n={n} chunk={chunk} threads={t}"
+            );
+            assert_eq!(
+                hist_reference,
+                overlap_histogram_chunked_threads(n, rects, t, &plan),
+                "histogram: n={n} chunk={chunk} threads={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cover_kernels_exhaustive_small_n() {
+    for n in [2usize, 4, 6, 8] {
+        assert_cover_kernels_agree(n, &example8_cover(n), &WORD_CHUNKS);
+        // The empty family must also stream cleanly (union empty,
+        // covers_exactly false, histogram all-in-bucket-0).
+        assert_cover_kernels_agree(n, &[], &WORD_CHUNKS);
+    }
+}
+
+#[test]
+fn cover_kernels_at_larger_n() {
+    // 4^10 = 2^20 and 4^12 = 2^24 logical bits: many chunks at 2^16 /
+    // 2^20, still a single-digit-second debug run.
+    assert_cover_kernels_agree(10, &example8_cover(10), &[1 << 16]);
+    let n = 12;
+    let reference = cover_scan_threads(n, &example8_cover(n), 8);
+    let plan = ChunkPlan::with_chunk_bits(logical_word_domain(n), 1 << 20);
+    for t in [1usize, 8] {
+        assert_eq!(
+            reference,
+            cover_scan_chunked_threads(n, &example8_cover(n), t, &plan),
+            "n={n} threads={t}"
+        );
+    }
+}
+
+#[test]
+fn family_kernels_chunked_equals_in_memory() {
+    for n in [4usize, 8, 12] {
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ n as u64);
+        let mut rects = vec![
+            full_family_rectangle(n),
+            SetRectangle::new(
+                OrderedPartition::new(n, 1, n),
+                BTreeSet::new(),
+                BTreeSet::new(),
+            ),
+        ];
+        for _ in 0..4 {
+            let part = random_partition(n, &mut rng);
+            rects.push(random_family_rectangle(n, part, &mut rng));
+        }
+        for r in &rects {
+            let d_ref = discrepancy_threads(n, r, 1);
+            let bitmap = family_rectangle_bitmap_threads(n, r, 1);
+            let (count_ref, digest_ref) = (bitmap.count(), set_digest(&bitmap));
+            for chunk in [64u64, 256, 1 << 10] {
+                let plan = ChunkPlan::with_chunk_bits(logical_family_domain(n), chunk);
+                for t in THREADS {
+                    assert_eq!(
+                        d_ref,
+                        discrepancy_chunked_threads(n, r, t, &plan),
+                        "discrepancy: n={n} chunk={chunk} threads={t}"
+                    );
+                    assert_eq!(
+                        (count_ref, digest_ref),
+                        family_rectangle_scan_chunked_threads(n, r, t, &plan),
+                        "rect scan: n={n} chunk={chunk} threads={t}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bignum_accounting_matches_the_kernels() {
+    // The closed-form BigInt ledger must agree with what the streamed
+    // kernels measure wherever both can run.
+    for n in [4usize, 8, 12] {
+        let m = (n / 4) as u64;
+        let acc = family_accounting(m);
+        let full = full_family_rectangle(n);
+        let plan = ChunkPlan::with_chunk_bits(logical_family_domain(n), 64);
+        assert_eq!(
+            Some(i128::from(discrepancy_chunked_threads(n, &full, 8, &plan))),
+            acc.full_family_discrepancy.to_i128(),
+            "n={n}: full-family discrepancy is −2^{{3m}} exactly"
+        );
+        let (count, _) = family_rectangle_scan_chunked_threads(n, &full, 8, &plan);
+        assert_eq!(Some(count), acc.family_size.to_u64(), "n={n}");
+        assert_eq!(acc.family_size, family_size(m));
+    }
+    // Past every enumeration/materialisation cap the ledger still knows
+    // the answer: the full-family discrepancy at n = 32 (m = 8) and far
+    // beyond, exact where i64 kernels could never go.
+    for m in [8u64, 16, 40] {
+        let acc = family_accounting(m);
+        assert!(acc.full_family_discrepancy.is_negative());
+        assert_eq!(acc.full_family_discrepancy.magnitude(), &acc.lemma19_bound);
+        assert!(acc.lemma18_holds, "m={m}");
+    }
+}
+
+property! {
+    cases = 16;
+    fn chunked_cover_scan_matches_in_memory_on_random_families(
+        n in |g: &mut Gen| g.int_in(3usize..=8),
+        chunk in |g: &mut Gen| *g.choice(&WORD_CHUNKS),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rects = random_rect_family(n, &mut rng);
+        let reference = cover_scan_threads(n, &rects, 1);
+        let plan = ChunkPlan::with_chunk_bits(logical_word_domain(n), chunk);
+        for t in THREADS {
+            prop_assert_eq!(reference, cover_scan_chunked_threads(n, &rects, t, &plan));
+        }
+    }
+
+    cases = 16;
+    fn chunked_family_kernels_match_in_memory_on_random_rectangles(
+        k in |g: &mut Gen| g.int_in(1usize..=2),
+        chunk in |g: &mut Gen| *g.choice(&[64u64, 256, 1 << 10]),
+        seed in |g: &mut Gen| g.int_in(0u64..1 << 48),
+    ) {
+        let n = 4 * k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let part = random_partition(n, &mut rng);
+        let r = random_family_rectangle(n, part, &mut rng);
+        let plan = ChunkPlan::with_chunk_bits(logical_family_domain(n), chunk);
+        let d_ref = discrepancy_threads(n, &r, 1);
+        let bitmap = family_rectangle_bitmap_threads(n, &r, 1);
+        for t in THREADS {
+            prop_assert_eq!(d_ref, discrepancy_chunked_threads(n, &r, t, &plan));
+            prop_assert_eq!(
+                (bitmap.count(), set_digest(&bitmap)),
+                family_rectangle_scan_chunked_threads(n, &r, t, &plan)
+            );
+        }
+    }
+}
+
+/// The acceptance matrix: every `n ≤ 15` word domain, chunked vs
+/// in-memory, equal counts and digests. `2^30` logical bits at the top —
+/// run in release (`cargo test --release -- --ignored full_matrix`).
+#[test]
+#[ignore = "minutes in debug; run with --release -- --ignored"]
+fn full_matrix_to_n15_chunked_equals_in_memory() {
+    for n in 2usize..=12 {
+        assert_cover_kernels_agree(n, &example8_cover(n), &WORD_CHUNKS);
+    }
+    for n in [13usize, 14, 15] {
+        let rects = example8_cover(n);
+        let reference = cover_scan_threads(n, &rects, 8);
+        assert!(reference.covers_exactly, "Example 8 covers L_{n}");
+        assert_eq!(reference.max_overlap, n, "central words hit all n spans");
+        for chunk in [1 << 20, 1 << 26] {
+            let plan = ChunkPlan::with_chunk_bits(logical_word_domain(n), chunk);
+            for t in [1usize, 8] {
+                assert_eq!(
+                    reference,
+                    cover_scan_chunked_threads(n, &rects, t, &plan),
+                    "n={n} chunk={chunk} threads={t}"
+                );
+            }
+        }
+    }
+}

@@ -462,6 +462,184 @@ impl FromStr for BigUint {
     }
 }
 
+/// An arbitrary-precision **signed** integer in sign-magnitude form.
+///
+/// The Lemma 18/19 accounting at `n ≥ 32` works with *signed* exact
+/// quantities — per-rectangle discrepancies `|R∩A| − |R∩B|` and the gap
+/// `|A∩L_n| − |B∩L_n|` — whose magnitudes overflow `i128` long before the
+/// interesting `m`, so the signed layer sits on top of [`BigUint`].
+///
+/// Invariant: zero is always non-negative (`negative` is false), so
+/// `Eq`/`Ord` derive from the normal form directly.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigInt {
+    negative: bool,
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigInt::default()
+    }
+
+    /// Construct from a sign and magnitude (normalising `-0` to `+0`).
+    pub fn from_sign_magnitude(negative: bool, magnitude: BigUint) -> Self {
+        BigInt {
+            negative: negative && !magnitude.is_zero(),
+            magnitude,
+        }
+    }
+
+    /// Construct from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        Self::from_sign_magnitude(v < 0, BigUint::from_u64(v.unsigned_abs()))
+    }
+
+    /// The exact difference `a − b` of two unsigned values.
+    pub fn sub_unsigned(a: &BigUint, b: &BigUint) -> Self {
+        Self::from_sign_magnitude(a < b, a.abs_diff(b))
+    }
+
+    /// True iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// True iff the value is < 0.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// The value as an `i128`, if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.magnitude.to_u128()?;
+        if self.negative {
+            (m <= 1u128 << 127).then(|| (m as i128).wrapping_neg())
+        } else {
+            i128::try_from(m).ok()
+        }
+    }
+
+    /// The negation.
+    pub fn neg(&self) -> Self {
+        Self::from_sign_magnitude(!self.negative, self.magnitude.clone())
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        Self::from_sign_magnitude(false, v)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        Self::from_i64(v)
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.negative == rhs.negative {
+            BigInt::from_sign_magnitude(self.negative, &self.magnitude + &rhs.magnitude)
+        } else if self.magnitude >= rhs.magnitude {
+            BigInt::from_sign_magnitude(self.negative, self.magnitude.abs_diff(&rhs.magnitude))
+        } else {
+            BigInt::from_sign_magnitude(rhs.negative, rhs.magnitude.abs_diff(&self.magnitude))
+        }
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        &self + &rhs
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    // Subtraction in sign-magnitude form really is addition of the
+    // negation; the signed-add cases above do the magnitude work.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &rhs.neg()
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        &self - &rhs
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_magnitude(
+            self.negative != rhs.negative,
+            &self.magnitude * &rhs.magnitude,
+        )
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        &self * &rhs
+    }
+}
+
+impl Sum for BigInt {
+    fn sum<I: Iterator<Item = BigInt>>(iter: I) -> BigInt {
+        let mut acc = BigInt::zero();
+        for v in iter {
+            acc = &acc + &v;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-")?;
+        }
+        self.magnitude.fmt(f)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +813,63 @@ mod tests {
     fn sum_iterator() {
         let total: BigUint = (1u64..=100).map(BigUint::from_u64).sum();
         assert_eq!(total.to_u64(), Some(5050));
+    }
+
+    #[test]
+    fn bigint_matches_i128_model() {
+        let cases: Vec<i128> = vec![
+            0,
+            1,
+            -1,
+            7,
+            -7,
+            i64::MAX as i128,
+            i64::MIN as i128,
+            (1i128 << 100) + 17,
+            -((1i128 << 100) + 17),
+        ];
+        let to_big =
+            |v: i128| BigInt::from_sign_magnitude(v < 0, BigUint::from_u128(v.unsigned_abs()));
+        for &a in &cases {
+            assert_eq!(to_big(a).to_i128(), Some(a), "roundtrip {a}");
+            for &b in &cases {
+                assert_eq!(
+                    (&to_big(a) + &to_big(b)).to_i128(),
+                    a.checked_add(b),
+                    "{a}+{b}"
+                );
+                assert_eq!(
+                    (&to_big(a) - &to_big(b)).to_i128(),
+                    a.checked_sub(b),
+                    "{a}-{b}"
+                );
+                if let Some(p) = a.checked_mul(b) {
+                    assert_eq!((&to_big(a) * &to_big(b)).to_i128(), Some(p), "{a}*{b}");
+                }
+                assert_eq!(to_big(a).cmp(&to_big(b)), a.cmp(&b), "cmp {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bigint_normalises_negative_zero() {
+        let z = BigInt::from_sign_magnitude(true, BigUint::zero());
+        assert!(!z.is_negative());
+        assert_eq!(z, BigInt::zero());
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(BigInt::from_i64(-5).to_string(), "-5");
+        assert_eq!(BigInt::from_i64(-5).neg().to_string(), "5");
+    }
+
+    #[test]
+    fn bigint_sub_unsigned_signs() {
+        let a = BigUint::small_pow(12, 8);
+        let b = BigUint::pow2(24);
+        let d = BigInt::sub_unsigned(&a, &b);
+        assert!(!d.is_negative(), "12^8 > 2^24");
+        assert_eq!(BigInt::sub_unsigned(&b, &a), d.neg());
+        let total: BigInt = [d.clone(), d.neg()].into_iter().sum();
+        assert!(total.is_zero());
     }
 
     #[test]

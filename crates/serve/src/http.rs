@@ -83,8 +83,9 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     }
 
     let line = match read_line(reader)? {
-        Some(l) => l,
-        None => return Ok(ReadOutcome::Eof),
+        LineRead::Line(l) => l,
+        LineRead::Eof => return Ok(ReadOutcome::Eof),
+        LineRead::Malformed(msg) => return Ok(ReadOutcome::Malformed(msg)),
     };
     let mut parts = line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -98,8 +99,9 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     let mut headers = Vec::new();
     loop {
         let line = match read_line(reader)? {
-            Some(l) => l,
-            None => return Ok(ReadOutcome::Malformed("eof in headers".into())),
+            LineRead::Line(l) => l,
+            LineRead::Eof => return Ok(ReadOutcome::Malformed("eof in headers".into())),
+            LineRead::Malformed(msg) => return Ok(ReadOutcome::Malformed(msg)),
         };
         if line.is_empty() {
             break;
@@ -144,37 +146,57 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     }))
 }
 
+/// Outcome of reading one line: protocol-level problems (over-long or
+/// non-UTF-8 lines) are data the *peer* sent, so they surface as
+/// [`LineRead::Malformed`] and earn a wire-level 400 — only genuine I/O
+/// failures (including EOF mid-line) come back as `Err`.
+enum LineRead {
+    /// A complete line, terminator stripped.
+    Line(String),
+    /// EOF before any byte of the line.
+    Eof,
+    /// The peer sent a line we refuse to parse; answer 400.
+    Malformed(String),
+}
+
 /// Read a CRLF- (or bare-LF-) terminated line, without the terminator.
-/// `None` means EOF before any byte of the line.
-fn read_line(reader: &mut impl BufRead) -> io::Result<Option<String>> {
+fn read_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
     let mut buf = Vec::new();
     loop {
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
             Ok(0) => {
                 return if buf.is_empty() {
-                    Ok(None)
+                    Ok(LineRead::Eof)
                 } else {
                     Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-line"))
                 }
             }
             Ok(_) => {
                 if byte[0] == b'\n' {
-                    if buf.last() == Some(&b'\r') {
-                        buf.pop();
-                    }
-                    let s = String::from_utf8(buf)
-                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 line"))?;
-                    return Ok(Some(s));
+                    return Ok(match String::from_utf8(chomp_cr(buf)) {
+                        Ok(s) => LineRead::Line(s),
+                        Err(_) => LineRead::Malformed("non-utf8 line".into()),
+                    });
                 }
                 buf.push(byte[0]);
                 if buf.len() > MAX_LINE_BYTES {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                    // No need to drain to the terminator: the caller
+                    // answers 400 with `Connection: close`.
+                    return Ok(LineRead::Malformed("line too long".into()));
                 }
             }
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Strip a trailing `\r` (the CR of a CRLF terminator).
+fn chomp_cr(mut buf: Vec<u8>) -> Vec<u8> {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    buf
 }
 
 /// The reason phrase for the status codes the protocol uses.
@@ -313,5 +335,101 @@ mod tests {
     fn truncated_body_is_an_io_error() {
         let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
         assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn overlong_and_non_utf8_lines_earn_a_400_not_an_error() {
+        let mut raw = vec![b'A'; MAX_LINE_BYTES + 10];
+        raw.extend_from_slice(b" /x HTTP/1.1\r\n\r\n");
+        assert!(matches!(parse(&raw), ReadOutcome::Malformed(m) if m == "line too long"));
+
+        let raw = b"GET /\xff\xfe HTTP/1.1\r\n\r\n";
+        assert!(matches!(parse(&raw[..]), ReadOutcome::Malformed(m) if m == "non-utf8 line"));
+
+        // The same two problems inside a *header* line, after a clean
+        // request line.
+        let mut raw = b"GET /x HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'y', MAX_LINE_BYTES + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&raw), ReadOutcome::Malformed(_)));
+        assert!(matches!(
+            parse(&b"GET /x HTTP/1.1\r\nX-Bin: \xff\xff\r\n\r\n"[..]),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    mod properties {
+        use super::super::*;
+        use std::io::BufReader;
+        use ucfg_support::prop::Gen;
+        use ucfg_support::{prop_assert, property};
+
+        /// A plausible request serialised to bytes, for prefix mangling.
+        fn well_formed(g: &mut Gen) -> Vec<u8> {
+            let body_len = g.len_in(0..64);
+            let body: Vec<u8> = (0..body_len).map(|_| g.int_in(0u8..=255)).collect();
+            let path = g.string_of(&['a', 'b', '/', '?', '='], 1..=12);
+            let mut raw =
+                format!("POST /{path} HTTP/1.1\r\nHost: x\r\nContent-Length: {body_len}\r\n\r\n")
+                    .into_bytes();
+            raw.extend_from_slice(&body);
+            raw
+        }
+
+        property! {
+            cases = 256;
+            // Truncating a valid request anywhere must yield Eof, a 400,
+            // a complete parse, or a clean `Err` — never a panic.
+            fn truncated_prefixes_never_panic(
+                raw in well_formed,
+                cut in |g: &mut Gen| g.int_in(0usize..1 << 9),
+            ) {
+                let cut = cut.min(raw.len());
+                let outcome = read_request(&mut BufReader::new(&raw[..cut]));
+                if cut == raw.len() {
+                    prop_assert!(
+                        matches!(outcome, Ok(ReadOutcome::Request(_))),
+                        "whole request must parse: {outcome:?}"
+                    );
+                }
+            }
+        }
+
+        property! {
+            cases = 256;
+            // Arbitrary bytes — binary garbage, oversized runs with no
+            // terminator, stray newlines — must never panic, and any
+            // rejected input must carry a non-empty 400 message.
+            fn random_bytes_never_panic(
+                raw in |g: &mut Gen| {
+                    let len = g.len_in(0..2048);
+                    (0..len).map(|_| g.int_in(0u8..=255)).collect::<Vec<u8>>()
+                },
+            ) {
+                if let Ok(ReadOutcome::Malformed(msg)) =
+                    read_request(&mut BufReader::new(&raw[..]))
+                {
+                    prop_assert!(!msg.is_empty(), "400 needs a reason");
+                }
+            }
+        }
+
+        property! {
+            cases = 64;
+            // A run longer than MAX_LINE_BYTES with no newline is the
+            // classic slowloris-ish probe: wire-level 400, not an `Err`
+            // that silently drops the connection.
+            fn oversized_first_line_is_malformed(
+                extra in |g: &mut Gen| g.int_in(1usize..1 << 10),
+                byte in |g: &mut Gen| *g.choice(&[b'A', b' ', b'/', 0xff]),
+            ) {
+                let raw = vec![byte; MAX_LINE_BYTES + extra];
+                let outcome = read_request(&mut BufReader::new(&raw[..]));
+                prop_assert!(
+                    matches!(outcome, Ok(ReadOutcome::Malformed(ref m)) if m == "line too long"),
+                    "{outcome:?}"
+                );
+            }
+        }
     }
 }
