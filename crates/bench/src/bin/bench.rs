@@ -57,10 +57,24 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let mut empty_suites: Vec<&str> = Vec::new();
     for name in selected {
         println!("=== suite {name} ===");
         let opts = Options::parse(harness_args.iter().cloned());
         let suite = suites::build(name, opts).expect("selected from ALL_SUITES");
+        // A run (not a `--list`) that records nothing measured nothing —
+        // typically a filter that matches no benchmark id. CI treats a
+        // silently-empty suite as a failure, so flag it here.
+        if !suite.is_list() && suite.is_empty() {
+            empty_suites.push(name);
+        }
         suite.finish();
+    }
+    if !empty_suites.is_empty() {
+        eprintln!(
+            "bench: no measurement rows from suite(s): {} (filter matched nothing?)",
+            empty_suites.join(" ")
+        );
+        std::process::exit(1);
     }
 }

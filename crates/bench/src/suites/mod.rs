@@ -19,10 +19,11 @@ mod par_kernels;
 mod parsing;
 mod representations;
 mod serve_bench;
+mod simd_kernels;
 mod wordset_kernels;
 
 /// Every bench suite, in canonical order. This is the single source of
-/// truth for "the seven bench suites": CI's bench-smoke job iterates
+/// truth for "the eight bench suites": CI's bench-smoke job iterates
 /// `bench --list` (which prints this), and the orchestrator's job matrix
 /// is generated from it, so a suite added here is automatically picked
 /// up by both.
@@ -33,6 +34,7 @@ pub const ALL_SUITES: &[&str] = &[
     "representations",
     "par_kernels",
     "wordset_kernels",
+    "simd_kernels",
     "serve_bench",
 ];
 
@@ -46,6 +48,7 @@ pub fn build(name: &str, opts: Options) -> Option<Suite> {
         "representations" => representations::build(opts),
         "par_kernels" => par_kernels::build(opts),
         "wordset_kernels" => wordset_kernels::build(opts),
+        "simd_kernels" => simd_kernels::build(opts),
         "serve_bench" => serve_bench::build(opts),
         _ => return None,
     })

@@ -1,0 +1,84 @@
+//! Dispatched-vs-scalar benches on the [`ucfg_support::simd`] layer.
+//!
+//! Every group times the runtime-dispatched entry point (AVX2 where the
+//! CPU has it, scalar under `UCFG_NO_SIMD=1`) against its always-scalar
+//! twin on the exact same buffers, so `out/BENCH_simd_kernels.json`
+//! records the raw kernel speedup side by side — the per-op analogue of
+//! the end-to-end numbers in `wordset_kernels`. Slice lengths cover an
+//! L1-resident working set, an L2-sized one, and a ragged length that
+//! leaves a scalar remainder after the 256-bit lanes.
+
+use std::hint::black_box;
+use ucfg_support::bench::{Options, Suite};
+use ucfg_support::simd;
+
+/// Word counts: 1 KiB, 128 KiB, and a lane-ragged tail (4·k + 3).
+const LENS: &[usize] = &[128, 16_384, 4_099];
+
+fn buf(len: usize, seed: u64) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| (i ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
+
+fn bench_counts(suite: &mut Suite) {
+    let mut g = suite.group("popcount");
+    for &len in LENS {
+        let a = buf(len, 0xA5);
+        g.bench(&format!("dispatch/{len}"), || simd::count(black_box(&a)));
+        g.bench(&format!("scalar/{len}"), || {
+            simd::count_scalar(black_box(&a))
+        });
+    }
+}
+
+fn bench_fused(suite: &mut Suite) {
+    let mut g = suite.group("fused_and_count");
+    for &len in LENS {
+        let a = buf(len, 0xA5);
+        let b = buf(len, 0x5A);
+        g.bench(&format!("dispatch/{len}"), || {
+            simd::and_count(black_box(&a), black_box(&b))
+        });
+        g.bench(&format!("scalar/{len}"), || {
+            simd::and_count_scalar(black_box(&a), black_box(&b))
+        });
+    }
+    let mut g = suite.group("fused_andnot_count");
+    for &len in LENS {
+        let a = buf(len, 0xC3);
+        let b = buf(len, 0x3C);
+        g.bench(&format!("dispatch/{len}"), || {
+            simd::andnot_count(black_box(&a), black_box(&b))
+        });
+        g.bench(&format!("scalar/{len}"), || {
+            simd::andnot_count_scalar(black_box(&a), black_box(&b))
+        });
+    }
+}
+
+fn bench_assign(suite: &mut Suite) {
+    let mut g = suite.group("or_assign");
+    for &len in LENS {
+        let src = buf(len, 0x77);
+        let mut dst = buf(len, 0x11);
+        g.bench(&format!("dispatch/{len}"), || {
+            simd::or_assign(black_box(&mut dst), black_box(&src));
+            dst[0]
+        });
+        let mut dst = buf(len, 0x11);
+        g.bench(&format!("scalar/{len}"), || {
+            simd::or_assign_scalar(black_box(&mut dst), black_box(&src));
+            dst[0]
+        });
+    }
+}
+
+/// Build and run the suite under `opts`.
+pub(super) fn build(opts: Options) -> Suite {
+    let mut suite = Suite::with_options("simd_kernels", opts);
+    bench_counts(&mut suite);
+    bench_fused(&mut suite);
+    bench_assign(&mut suite);
+    suite
+}

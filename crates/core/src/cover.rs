@@ -251,7 +251,7 @@ pub fn overlap_histogram_threads(n: usize, rects: &[SetRectangle], threads: usiz
     // indexed by hits over L_n members only, so trailing zero buckets
     // (attained only outside L_n) are trimmed to match the scalar shape.
     let mut hist: Vec<usize> = (0..=counter.max_count())
-        .map(|k| counter.exactly(k).and_count(&ln) as usize)
+        .map(|k| counter.exactly_and_count(k, &ln) as usize)
         .collect();
     while hist.len() > 1 && hist.last() == Some(&0) {
         hist.pop();

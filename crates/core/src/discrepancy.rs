@@ -37,10 +37,21 @@ pub fn supports_blocks(n: usize) -> bool {
     n >= 4 && n.is_multiple_of(4) && 2 * n <= 64
 }
 
+/// Repeating `0b0001` nibbles — the SWAR lane mask of the 4-blocks.
+const NIBBLE_ONES: u64 = 0x1111_1111_1111_1111;
+
 /// Is `w` in the family `𝓛` (exactly one element per 4-block)?
+///
+/// Branchless SWAR: two masked adds leave each 4-bit lane holding its
+/// popcount, and membership is one comparison against the all-ones lane
+/// pattern — the rectangle-bitmap product route probes this once per
+/// `(u, v)` pair, where the old per-block loop dominated the build.
 pub fn in_family(n: usize, w: Word) -> bool {
     debug_assert!(supports_blocks(n));
-    (0..n / 2).all(|t| (w >> (4 * t) & 0b1111).count_ones() == 1)
+    let w = w & crate::words::low_mask(2 * n);
+    let pairs = (w & 0x5555_5555_5555_5555) + ((w >> 1) & 0x5555_5555_5555_5555);
+    let nib = (pairs & 0x3333_3333_3333_3333) + ((pairs >> 2) & 0x3333_3333_3333_3333);
+    nib == NIBBLE_ONES & crate::words::low_mask(2 * n)
 }
 
 /// Is `w ∈ A` (member of `𝓛` with an odd number of witnessing pairs)?
@@ -60,12 +71,44 @@ pub fn in_b(n: usize, w: Word) -> bool {
 /// word domain (see [`crate::wordset`]).
 pub fn family_rank(n: usize, w: Word) -> u64 {
     debug_assert!(in_family(n, w), "rank is defined on 𝓛 only");
-    let mut rank = 0u64;
-    for t in 0..n / 2 {
-        let nib = w >> (4 * t) & 0b1111;
-        rank |= u64::from(nib.trailing_zeros()) << (2 * t);
-    }
-    rank
+    rank_fold(w & crate::words::low_mask(2 * n))
+}
+
+/// The SWAR body of [`family_rank`]: branchless `trailing_zeros` per
+/// one-hot nibble — for index bits `b1 b0` of each block, `b0` is set by
+/// nibble values {2, 8} and `b1` by {4, 8} — then the per-nibble 2-bit
+/// indices fold down to a packed rank by halving the stride. Zero nibbles
+/// contribute zero bits, so the fold is also the per-*side* rank
+/// contribution of an aligned partition (see [`side_rank_contrib`]).
+#[inline]
+fn rank_fold(w: u64) -> u64 {
+    let b0 = (w >> 1 | w >> 3) & NIBBLE_ONES;
+    let b1 = (w >> 2 | w >> 3) & NIBBLE_ONES;
+    let y = b0 | (b1 << 1);
+    let y = (y | (y >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    let y = (y | (y >> 4)) & 0x00FF_00FF_00FF_00FF;
+    let y = (y | (y >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (y | (y >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// Is `mask` a union of whole 4-blocks (no straddled nibble)? For such a
+/// partition side the family membership test and the rank split cleanly
+/// across the sides, which is what the aligned rectangle-bitmap route
+/// exploits.
+pub(crate) fn nibble_aligned(mask: u64) -> bool {
+    mask == (mask & NIBBLE_ONES).wrapping_mul(0xF)
+}
+
+/// One-sided family check + rank contribution for a mask confined to the
+/// nibble-aligned side `side_mask`: `Some(contrib)` iff every side nibble
+/// of `u` is one-hot (members of `𝓛` project to exactly that), where
+/// `family_rank(n, u | v) = contrib(u) | contrib(v)` for the two sides of
+/// an aligned partition. `None` means no `u | v` pair can lie in `𝓛`.
+pub(crate) fn side_rank_contrib(side_mask: u64, u: u64) -> Option<u64> {
+    debug_assert!(nibble_aligned(side_mask) && u & !side_mask == 0);
+    let pairs = (u & 0x5555_5555_5555_5555) + ((u >> 1) & 0x5555_5555_5555_5555);
+    let nib = (pairs & 0x3333_3333_3333_3333) + ((pairs >> 2) & 0x3333_3333_3333_3333);
+    (nib == side_mask & NIBBLE_ONES).then(|| rank_fold(u))
 }
 
 /// Inverse of [`family_rank`]: the member of `𝓛` with rank `i`.
@@ -165,8 +208,9 @@ pub fn discrepancy_threads(n: usize, r: &SetRectangle, threads: usize) -> i64 {
     }
     let rect = crate::wordset::family_rectangle_bitmap_threads(n, r, threads);
     let a = crate::wordset::family_a_bitmap(n);
-    let b = crate::wordset::family_b_bitmap(n);
-    rect.and_count(&a) as i64 - rect.and_count(&b) as i64
+    // B = 𝓛 ∖ A on the family-rank domain, so |R ∩ B| is the fused
+    // `R ∖ A` popcount — one pass over `rect`/`A`, no `B` bitmap at all.
+    rect.and_count(&a) as i64 - rect.andnot_count(&a) as i64
 }
 
 /// The scalar reference for [`discrepancy`]: exhaustive `2^n` family scan

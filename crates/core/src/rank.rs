@@ -177,9 +177,7 @@ pub fn gf2_rank_of_rows(rows: &mut [Vec<u64>]) -> usize {
         let pivot = rows[pivot_row].clone();
         for (r, row) in rows.iter_mut().enumerate() {
             if r != pivot_row && row[w] >> b & 1 == 1 {
-                for (cell, p) in row.iter_mut().zip(&pivot) {
-                    *cell ^= p;
-                }
+                ucfg_support::simd::xor_assign(row, &pivot);
             }
         }
         pivot_row += 1;

@@ -62,19 +62,17 @@ impl SetRectangle {
     }
 
     /// The rectangle's bitmap over the word domain `{a,b}^{2n}`, built in
-    /// `O(|S|·|T|)` inserts — one per member `u ∪ v` — instead of scanning
-    /// all `2^{2n}` words with [`SetRectangle::contains`]. The sides are
+    /// `O(|S|·|T|)` — via the grouped product kernel
+    /// [`crate::wordset::pair_or_bitmap`], which collapses pairs sharing a
+    /// backing word into single register ORs — instead of scanning all
+    /// `2^{2n}` words with [`SetRectangle::contains`]. The sides are
     /// over disjoint position sets, so distinct pairs give distinct words
     /// and the bitmap has exactly [`SetRectangle::len`] bits set.
     pub fn to_wordset(&self, n: usize) -> crate::wordset::WordSet {
         assert_eq!(n, self.partition.n, "rectangle is over words of length 2n");
-        let mut out = crate::wordset::WordSet::empty_words(n);
-        for &u in &self.s {
-            for &v in &self.t {
-                out.insert(u | v);
-            }
-        }
-        out
+        let s: Vec<u64> = self.s.iter().copied().collect();
+        let t: Vec<u64> = self.t.iter().copied().collect();
+        crate::wordset::pair_or_bitmap(crate::wordset::word_domain(n), &s, &t)
     }
 
     /// The smallest rectangle over `partition` containing all of `set`

@@ -39,7 +39,7 @@ use crate::discrepancy::{family_rank, in_a, supports_blocks};
 use crate::words::{ln_contains, Word};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
-use ucfg_support::{obs, par};
+use ucfg_support::{arena, obs, par, simd};
 
 pub mod chunked;
 
@@ -72,12 +72,23 @@ fn block_index(k: u64) -> usize {
 }
 
 /// A bitset over the domain `0..domain` with popcount set algebra.
+///
+/// Bulk algebra dispatches through [`ucfg_support::simd`] (AVX2 when the
+/// CPU has it, the scalar reference otherwise — see `UCFG_NO_SIMD`), and
+/// backing slabs are pooled through [`ucfg_support::arena`]: dropping a
+/// `WordSet` recycles its words for the next one of similar size.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WordSet {
     /// Number of addressable bits (bit `k` ⇔ element `k`).
     domain: u64,
     /// The backing words; bit `k` lives at `bits[k / 64] >> (k % 64)`.
     bits: Vec<u64>,
+}
+
+impl Drop for WordSet {
+    fn drop(&mut self) {
+        arena::recycle(std::mem::take(&mut self.bits));
+    }
 }
 
 fn blocks_for(domain: u64) -> usize {
@@ -122,14 +133,14 @@ impl WordSet {
     pub fn empty(domain: u64) -> WordSet {
         WordSet {
             domain,
-            bits: vec![0u64; blocks_for(domain)],
+            bits: arena::take_zeroed(blocks_for(domain)),
         }
     }
 
     /// The full set `0..domain`.
     pub fn full(domain: u64) -> WordSet {
-        let blocks = blocks_for(domain);
-        let mut bits = vec![u64::MAX; blocks];
+        let mut bits = arena::take_zeroed(blocks_for(domain));
+        bits.fill(u64::MAX);
         if let Some(last) = bits.last_mut() {
             let tail = domain % 64;
             if tail != 0 {
@@ -165,7 +176,7 @@ impl WordSet {
         let slabs = par::run_chunks(num_chunks, threads, |ci| {
             let lo = ci * chunk;
             let hi = (lo + chunk).min(blocks);
-            let mut slab = vec![0u64; hi - lo];
+            let mut slab = arena::take_zeroed(hi - lo);
             for (slot, bi) in slab.iter_mut().zip(lo..hi) {
                 let base = bi as u64 * 64;
                 let top = 64.min(domain - base);
@@ -179,9 +190,12 @@ impl WordSet {
             }
             slab
         });
-        let mut bits = Vec::with_capacity(blocks);
+        let mut bits = arena::take_zeroed(blocks);
+        let mut at = 0usize;
         for slab in slabs {
-            bits.extend_from_slice(&slab);
+            bits[at..at + slab.len()].copy_from_slice(&slab);
+            at += slab.len();
+            arena::recycle(slab);
         }
         WordSet { domain, bits }
     }
@@ -233,7 +247,7 @@ impl WordSet {
 
     /// `|self|` by popcount.
     pub fn count(&self) -> u64 {
-        self.bits.iter().map(|b| u64::from(b.count_ones())).sum()
+        simd::count(&self.bits)
     }
 
     /// Is the set empty?
@@ -245,11 +259,22 @@ impl WordSet {
     /// workhorse of the discrepancy and cover kernels.
     pub fn and_count(&self, other: &WordSet) -> u64 {
         self.check_domain(other);
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .map(|(a, b)| u64::from((a & b).count_ones()))
-            .sum()
+        simd::and_count(&self.bits, &other.bits)
+    }
+
+    /// `|self ∪ other|` without materialising the union.
+    pub fn or_count(&self, other: &WordSet) -> u64 {
+        self.check_domain(other);
+        simd::or_count(&self.bits, &other.bits)
+    }
+
+    /// `|self ∖ other|` without materialising the difference — with
+    /// [`and_count`](WordSet::and_count) this splits a rectangle across
+    /// an `A`/`B` partition in one pass over each operand instead of
+    /// materialising the complement side.
+    pub fn andnot_count(&self, other: &WordSet) -> u64 {
+        self.check_domain(other);
+        simd::andnot_count(&self.bits, &other.bits)
     }
 
     /// Are the two sets disjoint?
@@ -266,33 +291,41 @@ impl WordSet {
 
     /// `self ∩ other` as a new set.
     pub fn and(&self, other: &WordSet) -> WordSet {
-        self.zip_with(other, |a, b| a & b)
+        let mut out = self.combine_buf(other);
+        simd::and_into(&mut out.bits, &self.bits, &other.bits);
+        out
     }
 
     /// `self ∪ other` as a new set.
     pub fn or(&self, other: &WordSet) -> WordSet {
-        self.zip_with(other, |a, b| a | b)
+        let mut out = self.combine_buf(other);
+        simd::or_into(&mut out.bits, &self.bits, &other.bits);
+        out
     }
 
     /// `self ∖ other` as a new set.
     pub fn andnot(&self, other: &WordSet) -> WordSet {
-        self.zip_with(other, |a, b| a & !b)
+        let mut out = self.combine_buf(other);
+        simd::andnot_into(&mut out.bits, &self.bits, &other.bits);
+        out
     }
 
     /// In-place `self ∪= other`.
     pub fn union_with(&mut self, other: &WordSet) {
         self.check_domain(other);
-        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
-            *a |= b;
-        }
+        simd::or_assign(&mut self.bits, &other.bits);
     }
 
     /// In-place `self ∩= other`.
     pub fn intersect_with(&mut self, other: &WordSet) {
         self.check_domain(other);
-        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
-            *a &= b;
-        }
+        simd::and_assign(&mut self.bits, &other.bits);
+    }
+
+    /// In-place `self ∖= other`.
+    pub fn subtract_with(&mut self, other: &WordSet) {
+        self.check_domain(other);
+        simd::andnot_assign(&mut self.bits, &other.bits);
     }
 
     /// Iterate the members in ascending order.
@@ -319,16 +352,13 @@ impl WordSet {
         );
     }
 
-    fn zip_with(&self, other: &WordSet, f: impl Fn(u64, u64) -> u64) -> WordSet {
+    /// An uninitialised-content result set for a binary combine (the
+    /// caller overwrites every word), pooled through the arena.
+    fn combine_buf(&self, other: &WordSet) -> WordSet {
         self.check_domain(other);
         WordSet {
             domain: self.domain,
-            bits: self
-                .bits
-                .iter()
-                .zip(&other.bits)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            bits: arena::take_zeroed(self.bits.len()),
         }
     }
 }
@@ -342,6 +372,9 @@ impl WordSet {
 pub struct OverlapCounter {
     domain: u64,
     layers: Vec<WordSet>,
+    /// Reused ripple-carry buffer so [`add`](OverlapCounter::add) never
+    /// allocates an intermediate bitmap per accumulated set.
+    scratch: Vec<u64>,
 }
 
 impl OverlapCounter {
@@ -350,6 +383,7 @@ impl OverlapCounter {
         OverlapCounter {
             domain,
             layers: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -357,23 +391,20 @@ impl OverlapCounter {
     /// is appended whenever a carry ripples off the top).
     pub fn add(&mut self, set: &WordSet) {
         assert_eq!(self.domain, set.domain, "counter/set domain mismatch");
-        let mut carry = set.bits.clone();
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&set.bits);
+        let carry = &mut self.scratch;
         for layer in &mut self.layers {
-            let mut any = false;
-            for (l, c) in layer.bits.iter_mut().zip(carry.iter_mut()) {
-                let new_carry = *l & *c;
-                *l ^= *c;
-                *c = new_carry;
-                any |= new_carry != 0;
-            }
-            if !any {
+            if !simd::carry_save(&mut layer.bits, carry) {
                 return;
             }
         }
         if carry.iter().any(|&c| c != 0) {
+            let mut bits = arena::take_zeroed(carry.len());
+            bits.copy_from_slice(carry);
             self.layers.push(WordSet {
                 domain: self.domain,
-                bits: carry,
+                bits,
             });
         }
     }
@@ -409,12 +440,42 @@ impl OverlapCounter {
             if k >> i & 1 == 1 {
                 out.intersect_with(layer);
             } else {
-                for (o, l) in out.bits.iter_mut().zip(&layer.bits) {
-                    *o &= !l;
-                }
+                out.subtract_with(layer);
             }
         }
         out
+    }
+
+    /// `|exactly(k) ∩ other|` without materialising the count-`k` set:
+    /// one streaming pass over the layer words, early-skipping words
+    /// where `other` is empty. This is what the overlap-histogram kernel
+    /// calls per `k`, replacing a full-domain temporary per histogram
+    /// bucket with a pure fold.
+    pub fn exactly_and_count(&self, k: usize, other: &WordSet) -> u64 {
+        assert_eq!(self.domain, other.domain, "counter/set domain mismatch");
+        if self.layers.len() < usize::BITS as usize && k >> self.layers.len() != 0 {
+            return 0;
+        }
+        if self.layers.is_empty() {
+            // No sets accumulated: every element has count 0.
+            return if k == 0 { other.count() } else { 0 };
+        }
+        let mut total = 0u64;
+        for (w, &ow) in other.bits.iter().enumerate() {
+            if ow == 0 {
+                continue;
+            }
+            let mut x = ow;
+            for (i, layer) in self.layers.iter().enumerate() {
+                let l = layer.bits[w];
+                x &= if k >> i & 1 == 1 { l } else { !l };
+                if x == 0 {
+                    break;
+                }
+            }
+            total += u64::from(x.count_ones());
+        }
+        total
     }
 
     /// The set of elements with count ≥ 1 (the union of everything added).
@@ -552,6 +613,90 @@ pub fn family_b_bitmap(n: usize) -> Arc<WordSet> {
     })
 }
 
+/// The bitmap `{ a | b : a ∈ s, b ∈ t }` over `domain` — the shared
+/// product-construction kernel of [`crate::rectangle::SetRectangle::to_wordset`]
+/// and the aligned-partition route of [`family_rectangle_bitmap_threads`].
+///
+/// Instead of one read-modify-write per pair, the inner side is grouped by
+/// high word (`b >> 6`): for a fixed low-6-bit pattern of `a`, each group
+/// collapses to a single precomputed 64-bit mask (`⋁ 1 << ((a & 63) | (b
+/// & 63))`), so the hot loop does one register OR per `(a, group)` — the
+/// per-low-pattern mask columns are built lazily, at most 64 of them, so
+/// the setup cost stays below one pass over the pairs. Duplicate members
+/// OR harmlessly; the result is the exact member set in every case.
+///
+/// Panics if any `a | b` lies outside `domain` (the per-pair `insert`
+/// builder enforced the same contract).
+pub fn pair_or_bitmap(domain: u64, s: &[u64], t: &[u64]) -> WordSet {
+    let mut out = WordSet::empty(domain);
+    if s.is_empty() || t.is_empty() {
+        return out;
+    }
+    // The grouped (inner) side should be the one with the richer low-bit
+    // variety: its groups then hold several members each, and every group
+    // OR replaces that many per-pair stores.
+    let distinct_lows = |keys: &[u64]| {
+        keys.iter()
+            .fold(0u64, |m, &k| m | 1u64 << (k & 63))
+            .count_ones()
+    };
+    let (outer, inner) = if distinct_lows(s) >= distinct_lows(t) {
+        (t, s)
+    } else {
+        (s, t)
+    };
+    // Ascending order groups equal high words contiguously.
+    let mut inner_sorted: Vec<u64> = inner.to_vec();
+    inner_sorted.sort_unstable();
+    let mut group_hi: Vec<usize> = Vec::new();
+    let mut group_start: Vec<u32> = Vec::new();
+    let mut lows: Vec<u8> = Vec::with_capacity(inner_sorted.len());
+    for &b in &inner_sorted {
+        let hi = block_index(b);
+        if group_hi.last() != Some(&hi) {
+            group_hi.push(hi);
+            group_start.push(lows.len() as u32);
+        }
+        lows.push((b & 63) as u8);
+    }
+    group_start.push(lows.len() as u32);
+    let blocks = out.bits.len();
+    let tail_allowed = if domain.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (domain % 64)) - 1
+    };
+    // cols[al][g]: the group-g mask for outer keys with low bits `al`
+    // (empty = not built yet; a built column always has ≥ 1 group).
+    let mut cols: Vec<Vec<u64>> = vec![Vec::new(); 64];
+    for &a in outer {
+        let ah = block_index(a);
+        let al = (a & 63) as usize;
+        if cols[al].is_empty() {
+            cols[al] = group_hi
+                .iter()
+                .enumerate()
+                .map(|(g, _)| {
+                    lows[group_start[g] as usize..group_start[g + 1] as usize]
+                        .iter()
+                        .fold(0u64, |m, &bl| m | 1u64 << (al as u32 | u32::from(bl)))
+                })
+                .collect();
+        }
+        let col = &cols[al];
+        for (g, &hi) in group_hi.iter().enumerate() {
+            let block = ah | hi;
+            let mask = col[g];
+            assert!(
+                block < blocks && (block + 1 < blocks || mask & !tail_allowed == 0),
+                "pair_or_bitmap: member out of the {domain}-bit domain"
+            );
+            out.bits[block] |= mask;
+        }
+    }
+    out
+}
+
 /// The family-rank bitmap of `R ∩ 𝓛` for a rectangle `R = S × T`, built
 /// in `O(min(|S|·|T|, 2^n))`: sparse rectangles rank each member pair
 /// `u ∪ v` directly, while rectangles whose product exceeds the family
@@ -577,6 +722,44 @@ pub fn family_rectangle_bitmap_threads(
     let t: Vec<u64> = r.t.iter().copied().collect();
     if s.is_empty() || t.is_empty() {
         return WordSet::empty(domain);
+    }
+    // Aligned fast route: when the partition cuts on 4-block boundaries
+    // (the `[1, n]` cut of the discrepancy experiments always does), the
+    // family test and the rank both split across the sides, so each side
+    // reduces once to its valid members' rank contributions and the
+    // product becomes a pure `contrib(u) | contrib(v)` sweep through the
+    // grouped [`pair_or_bitmap`] kernel — no per-pair membership or rank
+    // work at all. Both routes build the same set, so the choice never
+    // changes the bytes.
+    use crate::discrepancy::{nibble_aligned, side_rank_contrib};
+    let low = crate::words::low_mask(2 * n);
+    let ins = r.partition.inside() & low;
+    let outs = r.partition.outside() & low;
+    if nibble_aligned(ins) && s.iter().all(|&u| u & !ins == 0) && t.iter().all(|&v| v & !outs == 0)
+    {
+        obs::count!("wordset.rect.aligned_route");
+        let sv: Vec<u64> = s
+            .iter()
+            .filter_map(|&u| side_rank_contrib(ins, u))
+            .collect();
+        let mut tv: Vec<u64> = t
+            .iter()
+            .filter_map(|&v| side_rank_contrib(outs, v))
+            .collect();
+        tv.sort_unstable();
+        if sv.is_empty() || tv.is_empty() {
+            return WordSet::empty(domain);
+        }
+        let chunk = sv.len().div_ceil(threads.max(1)).max(1);
+        let partials = par::run_chunks(sv.len().div_ceil(chunk), threads, |ci| {
+            let lo = ci * chunk;
+            pair_or_bitmap(domain, &sv[lo..(lo + chunk).min(sv.len())], &tv)
+        });
+        let mut out = WordSet::empty(domain);
+        for p in &partials {
+            out.union_with(p);
+        }
+        return out;
     }
     if (s.len() as u128) * (t.len() as u128) > u128::from(domain) {
         // Dense rectangle: scanning the 2^n family ranks beats enumerating
@@ -752,6 +935,93 @@ mod tests {
             }
         }
         assert!(saw_dense, "at least one rectangle exercises the scan route");
+    }
+
+    #[test]
+    fn pair_or_bitmap_matches_per_pair_inserts() {
+        // The grouped product kernel against the naive per-pair insert
+        // loop, over ragged and word-aligned domains, with key sets that
+        // collide, interleave high words, and sit on the domain boundary.
+        let keysets: &[(&[u64], &[u64])] = &[
+            (&[0], &[0]),
+            (&[0, 3, 5], &[0, 8, 16, 24]),
+            (&[1, 2, 4, 64, 129], &[0, 32, 63]),
+            (&[0, 63, 64, 127, 128], &[0, 1, 2, 3]),
+            (&[6, 70, 134], &[1, 57]),
+        ];
+        for &(s, t) in keysets {
+            let max = s
+                .iter()
+                .flat_map(|&a| t.iter().map(move |&b| a | b))
+                .max()
+                .unwrap();
+            for domain in [max + 1, (max + 1).next_multiple_of(64), max + 77] {
+                let mut expected = WordSet::empty(domain);
+                for &a in s {
+                    for &b in t {
+                        expected.insert(a | b);
+                    }
+                }
+                assert_eq!(expected, pair_or_bitmap(domain, s, t), "domain {domain}");
+                // Symmetric in the sides.
+                assert_eq!(expected, pair_or_bitmap(domain, t, s), "domain {domain}");
+            }
+        }
+        // Empty sides give the empty set.
+        assert!(pair_or_bitmap(100, &[], &[1]).is_empty());
+        assert!(pair_or_bitmap(100, &[1], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the")]
+    fn pair_or_bitmap_rejects_out_of_domain_members() {
+        let _ = pair_or_bitmap(64, &[1], &[64]);
+    }
+
+    #[test]
+    fn aligned_rectangle_route_matches_the_per_pair_route() {
+        // The block-aligned [1, n] cut takes the rank-contribution fast
+        // route; its bytes must equal the brute per-rank membership probe
+        // for sparse and dense sides alike, at every thread count.
+        use crate::partition::OrderedPartition;
+        use std::collections::BTreeSet;
+        for n in [4usize, 8] {
+            let part = OrderedPartition::new(n, 1, n);
+            let (s_all, t_all) = crate::discrepancy::family_side_patterns(n, part);
+            let cases: Vec<(BTreeSet<u64>, BTreeSet<u64>)> = vec![
+                (
+                    s_all.iter().copied().step_by(3).collect(),
+                    t_all.iter().copied().step_by(2).collect(),
+                ),
+                (
+                    s_all.iter().copied().collect(),
+                    t_all.iter().copied().collect(),
+                ),
+                // An invalid S member (two bits in one block) contributes
+                // nothing on any route.
+                (
+                    BTreeSet::from([0b11u64, s_all[0]]),
+                    t_all.iter().copied().collect(),
+                ),
+            ];
+            for (s, t) in cases {
+                let r = crate::rectangle::SetRectangle {
+                    partition: part,
+                    s,
+                    t,
+                };
+                let expected = WordSet::from_pred_threads(1u64 << n, 1, |i| {
+                    r.contains(crate::discrepancy::family_unrank(n, i))
+                });
+                for threads in [1usize, 2, 8] {
+                    assert_eq!(
+                        expected,
+                        family_rectangle_bitmap_threads(n, &r, threads),
+                        "n={n} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -422,7 +422,7 @@ pub fn overlap_histogram_chunked_threads(
             counter.add(&rect_word_chunk(r, plan.chunk_bits(), base, len));
         }
         (0..=counter.max_count())
-            .map(|k| counter.exactly(k).and_count(&ln) as usize)
+            .map(|k| counter.exactly_and_count(k, &ln) as usize)
             .collect::<Vec<usize>>()
     });
     let mut hist = Vec::new();

@@ -1,0 +1,168 @@
+//! Tail-boundary SIMD differential suite (PR 8).
+//!
+//! The word-set algebra dispatches through [`ucfg_support::simd`] — AVX2
+//! kernels that step 4–8 words at a time with a scalar remainder loop.
+//! These tests pin the boundary behaviour: domains that end mid-word and
+//! mid-256-bit-lane, fused counts against their materialised equivalents,
+//! and the public scalar twins against the dispatched entry points on the
+//! exact same inputs. The CI determinism job runs this file twice — once
+//! with the runtime dispatch and once under `UCFG_NO_SIMD=1` — and
+//! byte-compares the kernels' deterministic metrics between the modes.
+
+use std::collections::BTreeSet;
+use ucfg_core::cover::{cover_scan_threads, example8_cover};
+use ucfg_core::discrepancy::{discrepancy_scalar_threads, discrepancy_threads};
+use ucfg_core::partition::OrderedPartition;
+use ucfg_core::rectangle::SetRectangle;
+use ucfg_core::wordset::WordSet;
+use ucfg_support::simd;
+
+/// Domains straddling every boundary the kernels care about: sub-word,
+/// word-aligned, ragged tails just around the 256-bit lane width, and a
+/// few wide enough to hit the unrolled inner loops.
+const DOMAINS: &[u64] = &[
+    1, 2, 63, 64, 65, 127, 128, 129, 191, 255, 256, 257, 300, 319, 320, 511, 512, 513, 1000, 1025,
+];
+
+/// Deterministic pseudo-random set over `domain` (split-mix style walk —
+/// no RNG dependency, identical bytes on every run and platform).
+fn scatter(domain: u64, seed: u64) -> (WordSet, BTreeSet<u64>) {
+    let mut ws = WordSet::empty(domain);
+    let mut model = BTreeSet::new();
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..domain.div_ceil(2) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % domain;
+        ws.insert(k);
+        model.insert(k);
+    }
+    (ws, model)
+}
+
+#[test]
+fn fused_counts_match_materialised_algebra_on_ragged_domains() {
+    for &domain in DOMAINS {
+        let (a, ma) = scatter(domain, domain + 1);
+        let (b, mb) = scatter(domain, 3 * domain + 7);
+        assert_eq!(a.count(), ma.len() as u64, "domain {domain}");
+        assert_eq!(
+            a.and_count(&b),
+            ma.intersection(&mb).count() as u64,
+            "and domain {domain}"
+        );
+        assert_eq!(
+            a.or_count(&b),
+            ma.union(&mb).count() as u64,
+            "or domain {domain}"
+        );
+        assert_eq!(
+            a.andnot_count(&b),
+            ma.difference(&mb).count() as u64,
+            "andnot domain {domain}"
+        );
+        // Fused == materialise-then-count, in both argument orders.
+        assert_eq!(a.and_count(&b), a.and(&b).count(), "domain {domain}");
+        assert_eq!(a.or_count(&b), b.or(&a).count(), "domain {domain}");
+        assert_eq!(a.andnot_count(&b), a.andnot(&b).count(), "domain {domain}");
+        assert_eq!(b.andnot_count(&a), b.andnot(&a).count(), "domain {domain}");
+        // The full set keeps the tail clear: the complement count closes.
+        let full = WordSet::full(domain);
+        assert_eq!(full.count(), domain, "domain {domain}");
+        assert_eq!(full.andnot_count(&a), domain - a.count(), "domain {domain}");
+    }
+}
+
+#[test]
+fn dispatched_kernels_match_scalar_twins_on_every_tail_shape() {
+    // Raw-slice twins: whatever backend the dispatch picked (AVX2 here,
+    // scalar under UCFG_NO_SIMD=1), the answers must be byte-identical to
+    // the always-scalar reference on lengths around every lane boundary.
+    for words in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 11, 16, 17, 33] {
+        let a: Vec<u64> = (0..words as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5)
+            .collect();
+        let b: Vec<u64> = (0..words as u64)
+            .map(|i| (i ^ 0x33).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .collect();
+        assert_eq!(simd::count(&a), simd::count_scalar(&a), "len {words}");
+        assert_eq!(
+            simd::and_count(&a, &b),
+            simd::and_count_scalar(&a, &b),
+            "len {words}"
+        );
+        assert_eq!(
+            simd::or_count(&a, &b),
+            simd::or_count_scalar(&a, &b),
+            "len {words}"
+        );
+        assert_eq!(
+            simd::andnot_count(&a, &b),
+            simd::andnot_count_scalar(&a, &b),
+            "len {words}"
+        );
+        let mut out_simd = vec![0u64; words];
+        let mut out_scalar = vec![0u64; words];
+        simd::and_into(&mut out_simd, &a, &b);
+        simd::and_into_scalar(&mut out_scalar, &a, &b);
+        assert_eq!(out_simd, out_scalar, "and_into len {words}");
+        out_simd.copy_from_slice(&a);
+        out_scalar.copy_from_slice(&a);
+        simd::or_assign(&mut out_simd, &b);
+        simd::or_assign_scalar(&mut out_scalar, &b);
+        assert_eq!(out_simd, out_scalar, "or_assign len {words}");
+    }
+}
+
+#[test]
+fn cover_scan_is_identical_across_threads_on_boundary_word_lengths() {
+    // n = 2 is the one word domain with a sub-word bitmap (16 bits); the
+    // odd n exercise domains that are whole words but partial 256-bit
+    // lanes. The scan struct carries counts and digests, so equality here
+    // is byte-equality of everything CI compares.
+    for n in [2usize, 3, 5] {
+        let rects = example8_cover(n);
+        let serial = cover_scan_threads(n, &rects, 1);
+        assert!(serial.covers_exactly, "n={n}");
+        for threads in [2usize, 8] {
+            assert_eq!(
+                serial,
+                cover_scan_threads(n, &rects, threads),
+                "n={n} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn discrepancy_is_identical_across_threads_on_the_ragged_family_domain() {
+    // n = 4 has a 16-bit family domain — the bitmap is a single ragged
+    // word, the worst case for tail masking; n = 8 is a whole-word,
+    // partial-lane domain. Exercise sparse, full and non-aligned cuts.
+    for n in [4usize, 8] {
+        let mut parts = vec![OrderedPartition::new(n, 1, n)];
+        parts.extend(OrderedPartition::all_balanced(n));
+        for part in parts {
+            let (s_all, t_all) = ucfg_core::discrepancy::family_side_patterns(n, part);
+            let r = SetRectangle::new(
+                part,
+                s_all.iter().copied().step_by(2).collect(),
+                t_all.iter().copied().collect(),
+            );
+            let serial = discrepancy_threads(n, &r, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    serial,
+                    discrepancy_threads(n, &r, threads),
+                    "{part:?} threads={threads}"
+                );
+            }
+            assert_eq!(
+                serial,
+                discrepancy_scalar_threads(n, &r, 1),
+                "{part:?} scalar"
+            );
+        }
+    }
+}

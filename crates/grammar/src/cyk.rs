@@ -16,7 +16,7 @@ use crate::normal_form::CnfGrammar;
 use crate::parse_tree::{Child, ParseTree};
 use crate::symbol::{NonTerminal, Terminal};
 use std::collections::HashMap;
-use ucfg_support::obs;
+use ucfg_support::{arena, obs, simd};
 
 /// Binary rules re-indexed for the bitset CYK kernel.
 ///
@@ -45,6 +45,12 @@ pub struct CykRuleIndex {
     a_offset: Vec<u32>,
     /// Head bitsets, one `words_per_set` block per distinct `(B, C)` pair.
     a_slab: Vec<u64>,
+    /// Bitset of left children that head at least one binary rule
+    /// (`words_per_set` words): ANDed into each left cell before the bit
+    /// walk, so non-terminals that never combine rightward — terminal-only
+    /// producers, most of a CNF conversion's chain symbols — cost nothing
+    /// per split.
+    left_live: Vec<u64>,
 }
 
 const NO_RULE: u32 = u32::MAX;
@@ -58,7 +64,9 @@ impl CykRuleIndex {
         let mut c_masks = vec![0u64; nts * words_per_set];
         let mut a_offset = vec![NO_RULE; nts * nts];
         let mut a_slab = Vec::new();
+        let mut left_live = vec![0u64; words_per_set];
         for &(a, b, c) in g.bin_rules() {
+            left_live[b.index() / 64] |= 1u64 << (b.index() % 64);
             c_masks[b.index() * words_per_set + c.index() / 64] |= 1u64 << (c.index() % 64);
             let slot = &mut a_offset[b.index() * nts + c.index()];
             if *slot == NO_RULE {
@@ -73,17 +81,31 @@ impl CykRuleIndex {
             c_masks,
             a_offset,
             a_slab,
+            left_live,
         }
     }
 }
 
 /// A filled CYK chart for one word.
+///
+/// The chart is one flat slab — span `(i, len)` owns the `words_per_set`
+/// words at `((len-1) * n + i) * words_per_set` — so filling a chart costs
+/// one allocation instead of one per cell, span rows are contiguous in
+/// memory (the fill streams them L1/L2-resident), and the slab is pooled
+/// through [`ucfg_support::arena`] across charts: the serve daemon's
+/// batch path parses request after request without touching the
+/// allocator.
 pub struct CykChart<'g> {
     g: &'g CnfGrammar,
     word: Vec<Terminal>,
-    /// `cells[(len-1) * n + i]` = bitset of non-terminals deriving
-    /// `word[i .. i+len]`.
-    cells: Vec<Vec<u64>>,
+    words_per_set: usize,
+    cells: Vec<u64>,
+}
+
+impl Drop for CykChart<'_> {
+    fn drop(&mut self) {
+        arena::recycle(std::mem::take(&mut self.cells));
+    }
 }
 
 impl<'g> CykChart<'g> {
@@ -119,57 +141,108 @@ impl<'g> CykChart<'g> {
     /// The bitset fill. With `TRACE`, rule-slab AND/OR word ops accumulate
     /// in locals and flush to the `cyk.and_ops` / `cyk.or_ops` counters
     /// once per chart; with `TRACE = false` the accumulation compiles out.
+    ///
+    /// The span loop is **cache-blocked**: for a fixed `(len, split)` the
+    /// inner loop walks `i`, so the three rows it touches — the length-
+    /// `split` row (left cells), the length-`(len-split)` row (right
+    /// cells) and the output row — are each streamed contiguously through
+    /// the flat slab instead of jumping rows per split. Heads OR directly
+    /// into the output cell (it starts zeroed), which also drops the old
+    /// per-cell accumulator copy. Grammars with ≤ 64 non-terminals (one
+    /// word per cell — the common case here) take a scalar-register fast
+    /// path; wider grammars combine cells block-wise, dispatching through
+    /// [`ucfg_support::simd`] once cells are wide enough for 256-bit
+    /// lanes.
     fn fill<const TRACE: bool>(g: &'g CnfGrammar, index: &CykRuleIndex, word: &[Terminal]) -> Self {
         let n = word.len();
-        let words_per_set = index.words_per_set;
-        let mut cells = vec![vec![0u64; words_per_set]; n * n.max(1)];
-        let idx = |i: usize, len: usize| (len - 1) * n + i;
+        let wps = index.words_per_set;
+        let mut cells = arena::take_zeroed(n * n * wps);
         let mut and_ops: u64 = 0;
         let mut or_ops: u64 = 0;
         // Length 1: terminal rules.
         for (i, &t) in word.iter().enumerate() {
             for &(a, tt) in g.term_rules() {
                 if tt == t {
-                    cells[idx(i, 1)][a.index() / 64] |= 1u64 << (a.index() % 64);
+                    cells[i * wps + a.index() / 64] |= 1u64 << (a.index() % 64);
                 }
             }
         }
-        // Longer spans.
-        let mut acc = vec![0u64; words_per_set];
+        // Longer spans. Rows below `len` are complete, so the slab splits
+        // into a read-only prefix and the output row without aliasing.
         for len in 2..=n {
-            for i in 0..=n - len {
-                acc.iter_mut().for_each(|w| *w = 0);
-                for split in 1..len {
-                    let left = &cells[idx(i, split)];
-                    let right = &cells[idx(i + split, len - split)];
-                    for (bw, &lword) in left.iter().enumerate() {
-                        let mut lbits = lword;
+            let (done, out_row) = cells.split_at_mut((len - 1) * n * wps);
+            for split in 1..len {
+                let lrow = &done[(split - 1) * n * wps..];
+                let rrow = &done[(len - split - 1) * n * wps..];
+                if wps == 1 {
+                    let live = index.left_live[0];
+                    for i in 0..=n - len {
+                        let mut lbits = lrow[i] & live;
+                        let rw = rrow[i + split];
+                        if lbits == 0 || rw == 0 {
+                            continue;
+                        }
+                        let mut out = out_row[i];
                         while lbits != 0 {
-                            let b = bw * 64 + lbits.trailing_zeros() as usize;
+                            let b = lbits.trailing_zeros() as usize;
                             lbits &= lbits - 1;
-                            let c_mask = &index.c_masks[b * words_per_set..][..words_per_set];
+                            let mut hits = index.c_masks[b] & rw;
                             if TRACE {
-                                and_ops += words_per_set as u64;
+                                and_ops += 1;
                             }
-                            for (cw, (&cm, &rw)) in c_mask.iter().zip(right.iter()).enumerate() {
-                                let mut hits = cm & rw;
-                                while hits != 0 {
-                                    let c = cw * 64 + hits.trailing_zeros() as usize;
-                                    hits &= hits - 1;
-                                    let off = index.a_offset[b * index.nts + c] as usize;
-                                    let mask = &index.a_slab[off..][..words_per_set];
-                                    if TRACE {
-                                        or_ops += words_per_set as u64;
-                                    }
-                                    for (t, &m) in acc.iter_mut().zip(mask) {
-                                        *t |= m;
+                            while hits != 0 {
+                                let c = hits.trailing_zeros() as usize;
+                                hits &= hits - 1;
+                                let off = index.a_offset[b * index.nts + c] as usize;
+                                out |= index.a_slab[off];
+                                if TRACE {
+                                    or_ops += 1;
+                                }
+                            }
+                        }
+                        out_row[i] = out;
+                    }
+                } else {
+                    for i in 0..=n - len {
+                        let left = &lrow[i * wps..][..wps];
+                        let right = &rrow[(i + split) * wps..][..wps];
+                        if right.iter().all(|&rw| rw == 0) {
+                            continue;
+                        }
+                        let out = &mut out_row[i * wps..][..wps];
+                        for (bw, &lword) in left.iter().enumerate() {
+                            let mut lbits = lword & index.left_live[bw];
+                            while lbits != 0 {
+                                let b = bw * 64 + lbits.trailing_zeros() as usize;
+                                lbits &= lbits - 1;
+                                let c_mask = &index.c_masks[b * wps..][..wps];
+                                if TRACE {
+                                    and_ops += wps as u64;
+                                }
+                                for (cw, (&cm, &rw)) in c_mask.iter().zip(right.iter()).enumerate()
+                                {
+                                    let mut hits = cm & rw;
+                                    while hits != 0 {
+                                        let c = cw * 64 + hits.trailing_zeros() as usize;
+                                        hits &= hits - 1;
+                                        let off = index.a_offset[b * index.nts + c] as usize;
+                                        let mask = &index.a_slab[off..][..wps];
+                                        if TRACE {
+                                            or_ops += wps as u64;
+                                        }
+                                        if wps >= 4 {
+                                            simd::or_assign(out, mask);
+                                        } else {
+                                            for (t, &m) in out.iter_mut().zip(mask) {
+                                                *t |= m;
+                                            }
+                                        }
                                     }
                                 }
                             }
                         }
                     }
                 }
-                cells[idx(i, len)].copy_from_slice(&acc);
             }
         }
         if TRACE {
@@ -179,6 +252,7 @@ impl<'g> CykChart<'g> {
         CykChart {
             g,
             word: word.to_vec(),
+            words_per_set: wps,
             cells,
         }
     }
@@ -190,13 +264,13 @@ impl<'g> CykChart<'g> {
         let n = word.len();
         let nts = g.nonterminal_count();
         let words_per_set = nts.div_ceil(64);
-        let mut cells = vec![vec![0u64; words_per_set]; n * n.max(1)];
-        let idx = |i: usize, len: usize| (len - 1) * n + i;
+        let mut cells = vec![0u64; n * n * words_per_set];
+        let idx = |i: usize, len: usize| ((len - 1) * n + i) * words_per_set;
         // Length 1: terminal rules.
         for (i, &t) in word.iter().enumerate() {
             for &(a, tt) in g.term_rules() {
                 if tt == t {
-                    cells[idx(i, 1)][a.index() / 64] |= 1u64 << (a.index() % 64);
+                    cells[idx(i, 1) + a.index() / 64] |= 1u64 << (a.index() % 64);
                 }
             }
         }
@@ -206,10 +280,10 @@ impl<'g> CykChart<'g> {
                 for split in 1..len {
                     let (li, ri) = (idx(i, split), idx(i + split, len - split));
                     for &(a, b, c) in g.bin_rules() {
-                        let bset = cells[li][b.index() / 64] >> (b.index() % 64) & 1;
-                        let cset = cells[ri][c.index() / 64] >> (c.index() % 64) & 1;
+                        let bset = cells[li + b.index() / 64] >> (b.index() % 64) & 1;
+                        let cset = cells[ri + c.index() / 64] >> (c.index() % 64) & 1;
                         if bset & cset == 1 {
-                            cells[idx(i, len)][a.index() / 64] |= 1u64 << (a.index() % 64);
+                            cells[idx(i, len) + a.index() / 64] |= 1u64 << (a.index() % 64);
                         }
                     }
                 }
@@ -218,12 +292,14 @@ impl<'g> CykChart<'g> {
         CykChart {
             g,
             word: word.to_vec(),
+            words_per_set,
             cells,
         }
     }
 
     fn cell(&self, i: usize, len: usize) -> &[u64] {
-        &self.cells[(len - 1) * self.word.len() + i]
+        let at = ((len - 1) * self.word.len() + i) * self.words_per_set;
+        &self.cells[at..at + self.words_per_set]
     }
 
     /// Does non-terminal `a` derive `word[i .. i+len]`?

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use ucfg_grammar::Grammar;
-use ucfg_support::{obs, par};
+use ucfg_support::{arena, obs, par};
 
 /// The outcome of one `/parse` request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +151,11 @@ impl Scheduler {
             for (key, jobs) in group_by_key(batch) {
                 self.run_group(cache, key, jobs);
             }
+            // Batch boundary: the chart slabs and word-set buffers this
+            // batch borrowed from the arena have all been recycled — mark
+            // the epoch so `arena.peak_bytes` tracks per-batch high-water
+            // and the pooled buffers serve the next drain allocation-free.
+            arena::reset();
         }
     }
 

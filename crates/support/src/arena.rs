@@ -1,0 +1,261 @@
+//! A process-wide pooled arena for `u64` bitset slabs.
+//!
+//! The serve daemon's batching scheduler and the chunked word-set algebra
+//! both allocate the same shapes over and over: CYK chart slabs, per-chunk
+//! block buffers, rectangle bitmaps. Each one is freed microseconds after
+//! it is built, so under steady traffic the allocator is pure overhead.
+//! This arena keeps those buffers alive across requests:
+//!
+//! * [`take_zeroed`] hands out a zeroed `Vec<u64>` — reusing a pooled
+//!   buffer when one is big enough, allocating otherwise;
+//! * [`recycle`] returns a buffer to the pool (bounded in buffer count
+//!   and total words, so the pool can never grow without limit);
+//! * [`reset`] marks a batch boundary: the serve scheduler calls it after
+//!   every drained batch, which records the batch's memory high-water
+//!   into the `arena.peak_bytes` histogram and bumps `arena.resets`.
+//!
+//! The pool is deliberately **global and lock-protected** rather than
+//! thread-local: the deterministic parallel layer ([`crate::par`]) spawns
+//! scoped worker threads per call, so thread-local pools would die with
+//! every parallel call and nothing would ever be reused across requests.
+//! The mutex is held only for a pop/push, never across allocation of new
+//! memory or zeroing.
+//!
+//! Pooling never changes results — a buffer from the pool is
+//! indistinguishable from a fresh allocation (same length, all zeros) —
+//! so the byte-identical-across-`UCFG_THREADS` guarantee is unaffected.
+//! All counters here live on the **volatile** metric stratum: pool hits
+//! depend on scheduling order, and the deterministic stratum is
+//! byte-compared across thread counts in CI.
+
+use crate::obs;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Buffers shorter than this many words bypass the pool entirely: tiny
+/// allocations are cheap and the mutex round-trip is not worth it.
+pub const MIN_POOLED_WORDS: usize = 32;
+
+/// The pool never holds more than this many buffers.
+const MAX_POOLED_BUFS: usize = 64;
+
+/// The pool never retains more than this many words total (128 MiB).
+const MAX_POOLED_WORDS: usize = 1 << 24;
+
+struct Pool {
+    /// Recycled buffers, unordered; selection is best-fit by capacity.
+    free: Vec<Vec<u64>>,
+    /// Total capacity (in words) retained across `free`.
+    retained_words: usize,
+}
+
+fn pool() -> &'static Mutex<Pool> {
+    static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Mutex::new(Pool {
+            free: Vec::new(),
+            retained_words: 0,
+        })
+    })
+}
+
+/// Words currently handed out and not yet recycled, and its high-water
+/// mark since the last [`reset`]. Approximate: buffers that were created
+/// outside the arena but recycled into it (e.g. a cloned bitset) are not
+/// in the taken tally, so the live count saturates at zero from below.
+static LIVE_WORDS: AtomicI64 = AtomicI64::new(0);
+static PEAK_WORDS: AtomicI64 = AtomicI64::new(0);
+
+fn lock() -> std::sync::MutexGuard<'static, Pool> {
+    pool().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn track_take(words: usize) {
+    let live = LIVE_WORDS.fetch_add(words as i64, Ordering::Relaxed) + words as i64;
+    PEAK_WORDS.fetch_max(live, Ordering::Relaxed);
+}
+
+/// A zeroed `Vec<u64>` of exactly `words` elements, reusing a pooled
+/// buffer when one with sufficient capacity is available.
+pub fn take_zeroed(words: usize) -> Vec<u64> {
+    if words < MIN_POOLED_WORDS {
+        return vec![0u64; words];
+    }
+    let reused = {
+        let mut p = lock();
+        // Best fit: the smallest pooled buffer that is big enough, so a
+        // huge retained slab is not burned on a small request.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, buf) in p.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= words && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        best.map(|(i, _)| {
+            let buf = p.free.swap_remove(i);
+            p.retained_words -= buf.capacity();
+            buf
+        })
+    };
+    match reused {
+        Some(mut buf) => {
+            obs::vcount!("arena.hits");
+            track_take(buf.capacity());
+            buf.clear();
+            buf.resize(words, 0);
+            buf
+        }
+        None => {
+            obs::vcount!("arena.misses");
+            track_take(words);
+            vec![0u64; words]
+        }
+    }
+}
+
+/// Return a buffer to the pool. Buffers below [`MIN_POOLED_WORDS`], and
+/// anything beyond the pool's retention caps, are simply dropped.
+pub fn recycle(buf: Vec<u64>) {
+    let cap = buf.capacity();
+    LIVE_WORDS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+            Some((live - cap as i64).max(0))
+        })
+        .ok();
+    if cap < MIN_POOLED_WORDS {
+        return;
+    }
+    let mut p = lock();
+    if p.free.len() >= MAX_POOLED_BUFS || p.retained_words + cap > MAX_POOLED_WORDS {
+        obs::vcount!("arena.drops");
+        return;
+    }
+    p.retained_words += cap;
+    p.free.push(buf);
+    obs::vcount!("arena.recycled");
+}
+
+/// Mark a batch boundary: records the high-water of live arena bytes
+/// since the previous reset into the `arena.peak_bytes` histogram, bumps
+/// the `arena.resets` counter, and restarts the high-water tracking from
+/// the current live level. The pooled buffers themselves stay resident —
+/// that is the point of the arena.
+pub fn reset() {
+    let live = LIVE_WORDS.load(Ordering::Relaxed);
+    let peak = PEAK_WORDS.swap(live, Ordering::Relaxed);
+    obs::vcount!("arena.resets");
+    obs::record!("arena.peak_bytes", (peak.max(0) as u64).saturating_mul(8));
+}
+
+/// Drop every pooled buffer and return how many were dropped (memory
+/// pressure relief, and test isolation).
+pub fn clear() -> usize {
+    let mut p = lock();
+    let dropped = p.free.len();
+    p.free.clear();
+    p.retained_words = 0;
+    dropped
+}
+
+/// Number of buffers currently retained in the pool.
+pub fn pooled_buffers() -> usize {
+    lock().free.len()
+}
+
+/// Total words currently retained in the pool.
+pub fn pooled_words() -> usize {
+    lock().retained_words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The pool is process-global; tests that assert on its contents must
+    /// not interleave under the parallel test runner.
+    fn gate() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn take_is_zeroed_and_exact_length() {
+        let _g = gate();
+        for words in [0, 1, MIN_POOLED_WORDS, 100, 4096] {
+            let buf = take_zeroed(words);
+            assert_eq!(buf.len(), words);
+            assert!(buf.iter().all(|&w| w == 0), "words={words}");
+            recycle(buf);
+        }
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_and_rezeroed() {
+        let _g = gate();
+        clear();
+        let mut buf = take_zeroed(1024);
+        buf.iter_mut().for_each(|w| *w = u64::MAX);
+        let ptr = buf.as_ptr();
+        recycle(buf);
+        assert_eq!(pooled_buffers(), 1);
+        // Same request size gets the same allocation back, zeroed.
+        let again = take_zeroed(1024);
+        assert_eq!(again.as_ptr(), ptr);
+        assert!(again.iter().all(|&w| w == 0));
+        assert_eq!(pooled_buffers(), 0);
+        recycle(again);
+        clear();
+    }
+
+    #[test]
+    fn tiny_buffers_bypass_the_pool() {
+        let _g = gate();
+        clear();
+        recycle(take_zeroed(MIN_POOLED_WORDS - 1));
+        assert_eq!(pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_sufficient_buffer() {
+        let _g = gate();
+        clear();
+        let small = take_zeroed(64);
+        let large = take_zeroed(4096);
+        let small_ptr = small.as_ptr();
+        recycle(large);
+        recycle(small);
+        let got = take_zeroed(48);
+        assert_eq!(got.as_ptr(), small_ptr, "small buffer is the best fit");
+        recycle(got);
+        clear();
+    }
+
+    #[test]
+    fn retention_caps_bound_the_pool() {
+        let _g = gate();
+        clear();
+        for _ in 0..(MAX_POOLED_BUFS + 8) {
+            recycle(vec![0u64; MIN_POOLED_WORDS]);
+        }
+        assert!(pooled_buffers() <= MAX_POOLED_BUFS);
+        assert!(pooled_words() <= MAX_POOLED_WORDS);
+        clear();
+        assert_eq!(pooled_buffers(), 0);
+        assert_eq!(pooled_words(), 0);
+    }
+
+    #[test]
+    fn reset_restarts_peak_tracking() {
+        let _g = gate();
+        // Smoke: reset never panics and live tracking survives foreign
+        // recycles (buffers the arena never handed out).
+        recycle(vec![0u64; 2048]);
+        reset();
+        let buf = take_zeroed(2048);
+        recycle(buf);
+        reset();
+        clear();
+    }
+}

@@ -27,10 +27,17 @@
 //!   CSS, no scripts),
 //! - [`baseline`] — the pure baseline-diffing logic behind the
 //!   orchestrator's `--check` regression gate (tolerance ratios, noise
-//!   floors, exact-digest comparison).
+//!   floors, exact-digest comparison),
+//! - [`simd`] — runtime-dispatched AVX2/scalar kernels for the `u64`
+//!   bitset slabs behind the word-set and CYK hot loops (`UCFG_NO_SIMD`
+//!   forces the always-tested scalar path),
+//! - [`arena`] — a bounded process-wide pool of `u64` slab buffers so the
+//!   serve daemon's per-request charts and chunk blocks stop paying
+//!   allocator traffic.
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod baseline;
 pub mod bench;
 pub mod fnv;
@@ -39,5 +46,6 @@ pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;
+pub mod simd;
 
 pub use rng::{Rng, SeedableRng, StdRng};

@@ -1,0 +1,559 @@
+//! Runtime-dispatched SIMD kernels for `u64` bitset slabs.
+//!
+//! Every hot loop in the workspace bottoms out in bulk word algebra over
+//! `&[u64]` slabs: AND/OR/ANDNOT combines, popcounts, fused
+//! combine-and-count folds, and the ripple-carry step of the bit-sliced
+//! overlap counter. This module owns those loops once, behind a runtime
+//! dispatch:
+//!
+//! * **AVX2 backend** (`x86_64` only): 256-bit `_mm256_{and,or,andnot}_si256`
+//!   lanes with the popcounts unrolled over the four extracted `u64` lanes.
+//!   Selected when `is_x86_feature_detected!` confirms **both** `avx2` and
+//!   `popcnt` (the default `x86-64` target lacks `popcnt`, so the scalar
+//!   `count_ones` compiles to a ~12-op SWAR sequence — the hardware
+//!   instruction is most of the win on the count kernels).
+//! * **Scalar backend**: plain `u64` loops, the always-tested reference on
+//!   every architecture. Forced by setting the [`NO_SIMD_ENV`]
+//!   (`UCFG_NO_SIMD=1`) environment variable, which CI uses to run the
+//!   whole kernel suite in both dispatch modes and byte-compare results.
+//!
+//! The choice is made once per process and cached in a `OnceLock`
+//! ([`backend`]). Both backends are pure functions of their inputs and
+//! produce bit-identical results (verified by the differential tests
+//! below and by the cross-mode CI job), so dispatch never changes any
+//! kernel's bytes — only its speed.
+//!
+//! Each public entry point bumps a **volatile** `obs` counter
+//! (`simd.dispatch.avx2` / `simd.dispatch.scalar`) so `/metrics` shows
+//! which path served a workload; volatile placement keeps the
+//! deterministic metric stratum byte-identical across dispatch modes.
+
+use crate::obs;
+use std::sync::OnceLock;
+
+/// Environment variable that forces the scalar backend when set to
+/// anything other than `0` or the empty string (`UCFG_NO_SIMD=1`).
+pub const NO_SIMD_ENV: &str = "UCFG_NO_SIMD";
+
+/// Which kernel backend the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// 256-bit AVX2 lanes + hardware popcount (`x86_64` with `avx2` and
+    /// `popcnt` detected at runtime).
+    Avx2,
+    /// Portable `u64` loops — the always-available reference path.
+    Scalar,
+}
+
+/// The backend this process dispatches to, detected once and cached.
+///
+/// Scalar is chosen when [`NO_SIMD_ENV`] is set, when the target is not
+/// `x86_64`, or when the CPU lacks `avx2`/`popcnt`.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        if forced_scalar() {
+            return Backend::Scalar;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt")
+            {
+                return Backend::Avx2;
+            }
+        }
+        Backend::Scalar
+    })
+}
+
+fn forced_scalar() -> bool {
+    match std::env::var(NO_SIMD_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+        Err(_) => false,
+    }
+}
+
+/// Record one dispatch decision on the volatile metric stratum.
+#[inline]
+fn note(backend: Backend) {
+    match backend {
+        Backend::Avx2 => obs::vcount!("simd.dispatch.avx2"),
+        Backend::Scalar => obs::vcount!("simd.dispatch.scalar"),
+    }
+}
+
+macro_rules! dispatch {
+    ($avx2:expr, $scalar:expr) => {{
+        let b = backend();
+        note(b);
+        match b {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Backend::Avx2` is only ever produced after runtime
+            // detection confirmed both `avx2` and `popcnt`.
+            Backend::Avx2 => unsafe { $avx2 },
+            _ => $scalar,
+        }
+    }};
+}
+
+/// `Σ popcount(a)`.
+pub fn count(a: &[u64]) -> u64 {
+    dispatch!(avx2::count(a), count_scalar(a))
+}
+
+/// `Σ popcount(a & b)`. Panics on length mismatch.
+pub fn and_count(a: &[u64], b: &[u64]) -> u64 {
+    check_len(a, b);
+    dispatch!(avx2::and_count(a, b), and_count_scalar(a, b))
+}
+
+/// `Σ popcount(a | b)`. Panics on length mismatch.
+pub fn or_count(a: &[u64], b: &[u64]) -> u64 {
+    check_len(a, b);
+    dispatch!(avx2::or_count(a, b), or_count_scalar(a, b))
+}
+
+/// `Σ popcount(a & !b)`. Panics on length mismatch.
+pub fn andnot_count(a: &[u64], b: &[u64]) -> u64 {
+    check_len(a, b);
+    dispatch!(avx2::andnot_count(a, b), andnot_count_scalar(a, b))
+}
+
+/// `out = a & b` elementwise. Panics unless all three lengths match.
+pub fn and_into(out: &mut [u64], a: &[u64], b: &[u64]) {
+    check_len(a, b);
+    check_len(out, a);
+    dispatch!(avx2::and_into(out, a, b), and_into_scalar(out, a, b))
+}
+
+/// `out = a | b` elementwise. Panics unless all three lengths match.
+pub fn or_into(out: &mut [u64], a: &[u64], b: &[u64]) {
+    check_len(a, b);
+    check_len(out, a);
+    dispatch!(avx2::or_into(out, a, b), or_into_scalar(out, a, b))
+}
+
+/// `out = a & !b` elementwise. Panics unless all three lengths match.
+pub fn andnot_into(out: &mut [u64], a: &[u64], b: &[u64]) {
+    check_len(a, b);
+    check_len(out, a);
+    dispatch!(avx2::andnot_into(out, a, b), andnot_into_scalar(out, a, b))
+}
+
+/// In-place `dst |= src`. Panics on length mismatch.
+pub fn or_assign(dst: &mut [u64], src: &[u64]) {
+    check_len(dst, src);
+    dispatch!(avx2::or_assign(dst, src), or_assign_scalar(dst, src))
+}
+
+/// In-place `dst &= src`. Panics on length mismatch.
+pub fn and_assign(dst: &mut [u64], src: &[u64]) {
+    check_len(dst, src);
+    dispatch!(avx2::and_assign(dst, src), and_assign_scalar(dst, src))
+}
+
+/// In-place `dst &= !src`. Panics on length mismatch.
+pub fn andnot_assign(dst: &mut [u64], src: &[u64]) {
+    check_len(dst, src);
+    dispatch!(
+        avx2::andnot_assign(dst, src),
+        andnot_assign_scalar(dst, src)
+    )
+}
+
+/// In-place `dst ^= src` (GF(2) row elimination). Panics on length
+/// mismatch.
+pub fn xor_assign(dst: &mut [u64], src: &[u64]) {
+    check_len(dst, src);
+    dispatch!(avx2::xor_assign(dst, src), xor_assign_scalar(dst, src))
+}
+
+/// One ripple-carry step of a bit-sliced counter: per word,
+/// `t = layer & carry; layer ^= carry; carry = t`. Returns `true` when
+/// any carry word is still nonzero (the caller ripples into the next
+/// layer). Panics on length mismatch.
+pub fn carry_save(layer: &mut [u64], carry: &mut [u64]) -> bool {
+    check_len(layer, carry);
+    dispatch!(
+        avx2::carry_save(layer, carry),
+        carry_save_scalar(layer, carry)
+    )
+}
+
+#[inline]
+fn check_len(a: &[u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "simd kernel slice length mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend — the portable reference. Public so differential tests
+// (and the forced `UCFG_NO_SIMD=1` CI pass) can pin the SIMD path to it.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`count`].
+pub fn count_scalar(a: &[u64]) -> u64 {
+    a.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Scalar reference for [`and_count`].
+pub fn and_count_scalar(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x & y).count_ones()))
+        .sum()
+}
+
+/// Scalar reference for [`or_count`].
+pub fn or_count_scalar(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x | y).count_ones()))
+        .sum()
+}
+
+/// Scalar reference for [`andnot_count`].
+pub fn andnot_count_scalar(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x & !y).count_ones()))
+        .sum()
+}
+
+/// Scalar reference for [`and_into`].
+pub fn and_into_scalar(out: &mut [u64], a: &[u64], b: &[u64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & y;
+    }
+}
+
+/// Scalar reference for [`or_into`].
+pub fn or_into_scalar(out: &mut [u64], a: &[u64], b: &[u64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x | y;
+    }
+}
+
+/// Scalar reference for [`andnot_into`].
+pub fn andnot_into_scalar(out: &mut [u64], a: &[u64], b: &[u64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x & !y;
+    }
+}
+
+/// Scalar reference for [`or_assign`].
+pub fn or_assign_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Scalar reference for [`and_assign`].
+pub fn and_assign_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+/// Scalar reference for [`andnot_assign`].
+pub fn andnot_assign_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= !s;
+    }
+}
+
+/// Scalar reference for [`xor_assign`].
+pub fn xor_assign_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Scalar reference for [`carry_save`].
+pub fn carry_save_scalar(layer: &mut [u64], carry: &mut [u64]) -> bool {
+    let mut any = 0u64;
+    for (l, c) in layer.iter_mut().zip(carry.iter_mut()) {
+        let t = *l & *c;
+        *l ^= *c;
+        *c = t;
+        any |= t;
+    }
+    any != 0
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend. Each kernel processes two 256-bit lanes (8 words) per
+// iteration with a scalar tail; counts pop the four `u64` lanes with the
+// hardware instruction (`popcnt` is enabled on these functions).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_loadu_si256, _mm256_or_si256,
+        _mm256_setzero_si256, _mm256_storeu_si256, _mm256_xor_si256,
+    };
+
+    #[inline]
+    unsafe fn load(p: *const u64) -> __m256i {
+        unsafe { _mm256_loadu_si256(p.cast()) }
+    }
+
+    #[inline]
+    unsafe fn store(p: *mut u64, v: __m256i) {
+        unsafe { _mm256_storeu_si256(p.cast(), v) }
+    }
+
+    /// Popcount one 256-bit lane via the four extracted `u64` words.
+    /// `count_ones` lowers to the hardware `popcnt` instruction here
+    /// because the enclosing kernels enable the `popcnt` feature.
+    #[inline]
+    unsafe fn pop4(v: __m256i) -> u64 {
+        let mut lanes = [0u64; 4];
+        unsafe { store(lanes.as_mut_ptr(), v) };
+        u64::from(lanes[0].count_ones())
+            + u64::from(lanes[1].count_ones())
+            + u64::from(lanes[2].count_ones())
+            + u64::from(lanes[3].count_ones())
+    }
+
+    macro_rules! count_kernel {
+        ($name:ident, |$x:ident, $y:ident| $vec:expr, |$a:ident, $b:ident| $tail:expr) => {
+            #[target_feature(enable = "avx2", enable = "popcnt")]
+            pub unsafe fn $name(a: &[u64], b: &[u64]) -> u64 {
+                let n = a.len();
+                let mut total = 0u64;
+                let mut i = 0usize;
+                while i + 8 <= n {
+                    let $x = unsafe { load(a.as_ptr().add(i)) };
+                    let $y = unsafe { load(b.as_ptr().add(i)) };
+                    let lo = $vec;
+                    let $x = unsafe { load(a.as_ptr().add(i + 4)) };
+                    let $y = unsafe { load(b.as_ptr().add(i + 4)) };
+                    let hi = $vec;
+                    total += unsafe { pop4(lo) + pop4(hi) };
+                    i += 4 + 4;
+                }
+                while i < n {
+                    let $a = a[i];
+                    let $b = b[i];
+                    total += u64::from(($tail).count_ones());
+                    i += 1;
+                }
+                total
+            }
+        };
+    }
+
+    count_kernel!(and_count, |x, y| _mm256_and_si256(x, y), |a, b| a & b);
+    count_kernel!(or_count, |x, y| _mm256_or_si256(x, y), |a, b| a | b);
+    // `_mm256_andnot_si256(x, y)` computes `!x & y`, so the operands swap
+    // to express `a & !b`.
+    count_kernel!(andnot_count, |x, y| _mm256_andnot_si256(y, x), |a, b| a
+        & !b);
+
+    #[target_feature(enable = "avx2", enable = "popcnt")]
+    pub unsafe fn count(a: &[u64]) -> u64 {
+        let n = a.len();
+        let mut total = 0u64;
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let lo = unsafe { load(a.as_ptr().add(i)) };
+            let hi = unsafe { load(a.as_ptr().add(i + 4)) };
+            total += unsafe { pop4(lo) + pop4(hi) };
+            i += 8;
+        }
+        while i < n {
+            total += u64::from(a[i].count_ones());
+            i += 1;
+        }
+        total
+    }
+
+    macro_rules! combine_into_kernel {
+        ($name:ident, |$x:ident, $y:ident| $vec:expr, |$a:ident, $b:ident| $tail:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(out: &mut [u64], a: &[u64], b: &[u64]) {
+                let n = out.len();
+                let mut i = 0usize;
+                while i + 4 <= n {
+                    let $x = unsafe { load(a.as_ptr().add(i)) };
+                    let $y = unsafe { load(b.as_ptr().add(i)) };
+                    unsafe { store(out.as_mut_ptr().add(i), $vec) };
+                    i += 4;
+                }
+                while i < n {
+                    let $a = a[i];
+                    let $b = b[i];
+                    out[i] = $tail;
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    combine_into_kernel!(and_into, |x, y| _mm256_and_si256(x, y), |a, b| a & b);
+    combine_into_kernel!(or_into, |x, y| _mm256_or_si256(x, y), |a, b| a | b);
+    combine_into_kernel!(andnot_into, |x, y| _mm256_andnot_si256(y, x), |a, b| a & !b);
+
+    macro_rules! assign_kernel {
+        ($name:ident, |$x:ident, $y:ident| $vec:expr, |$d:ident, $s:ident| $tail:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(dst: &mut [u64], src: &[u64]) {
+                let n = dst.len();
+                let mut i = 0usize;
+                while i + 4 <= n {
+                    let $x = unsafe { load(dst.as_ptr().add(i)) };
+                    let $y = unsafe { load(src.as_ptr().add(i)) };
+                    unsafe { store(dst.as_mut_ptr().add(i), $vec) };
+                    i += 4;
+                }
+                while i < n {
+                    let $d = dst[i];
+                    let $s = src[i];
+                    dst[i] = $tail;
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    assign_kernel!(or_assign, |x, y| _mm256_or_si256(x, y), |d, s| d | s);
+    assign_kernel!(and_assign, |x, y| _mm256_and_si256(x, y), |d, s| d & s);
+    assign_kernel!(andnot_assign, |x, y| _mm256_andnot_si256(y, x), |d, s| d
+        & !s);
+    assign_kernel!(xor_assign, |x, y| _mm256_xor_si256(x, y), |d, s| d ^ s);
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn carry_save(layer: &mut [u64], carry: &mut [u64]) -> bool {
+        let n = layer.len();
+        let mut i = 0usize;
+        let mut any_vec = _mm256_setzero_si256();
+        while i + 4 <= n {
+            let l = unsafe { load(layer.as_ptr().add(i)) };
+            let c = unsafe { load(carry.as_ptr().add(i)) };
+            let t = _mm256_and_si256(l, c);
+            unsafe { store(layer.as_mut_ptr().add(i), _mm256_xor_si256(l, c)) };
+            unsafe { store(carry.as_mut_ptr().add(i), t) };
+            any_vec = _mm256_or_si256(any_vec, t);
+            i += 4;
+        }
+        let mut any = {
+            let mut lanes = [0u64; 4];
+            unsafe { store(lanes.as_mut_ptr(), any_vec) };
+            lanes[0] | lanes[1] | lanes[2] | lanes[3]
+        };
+        while i < n {
+            let t = layer[i] & carry[i];
+            layer[i] ^= carry[i];
+            carry[i] = t;
+            any |= t;
+            i += 1;
+        }
+        any != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, SeedableRng, StdRng};
+
+    /// Slab lengths chosen to hit every tail shape: empty, sub-lane,
+    /// exactly one 256-bit lane, the 8-word unroll boundary, and ragged
+    /// tails just around both.
+    const LENS: [usize; 12] = [0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33];
+
+    fn slab(rng: &mut StdRng, len: usize) -> Vec<u64> {
+        (0..len).map(|_| rng.random::<u64>()).collect()
+    }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(0x51_D0);
+        for &len in &LENS {
+            for trial in 0..8 {
+                let a = slab(&mut rng, len);
+                let b = slab(&mut rng, len);
+                let ctx = format!("len={len} trial={trial}");
+
+                assert_eq!(count(&a), count_scalar(&a), "count {ctx}");
+                assert_eq!(and_count(&a, &b), and_count_scalar(&a, &b), "and {ctx}");
+                assert_eq!(or_count(&a, &b), or_count_scalar(&a, &b), "or {ctx}");
+                assert_eq!(
+                    andnot_count(&a, &b),
+                    andnot_count_scalar(&a, &b),
+                    "andnot {ctx}"
+                );
+
+                let mut got = vec![0u64; len];
+                let mut want = vec![0u64; len];
+                and_into(&mut got, &a, &b);
+                and_into_scalar(&mut want, &a, &b);
+                assert_eq!(got, want, "and_into {ctx}");
+                or_into(&mut got, &a, &b);
+                or_into_scalar(&mut want, &a, &b);
+                assert_eq!(got, want, "or_into {ctx}");
+                andnot_into(&mut got, &a, &b);
+                andnot_into_scalar(&mut want, &a, &b);
+                assert_eq!(got, want, "andnot_into {ctx}");
+
+                for (op, scalar) in [
+                    (
+                        or_assign as fn(&mut [u64], &[u64]),
+                        or_assign_scalar as fn(&mut [u64], &[u64]),
+                    ),
+                    (and_assign, and_assign_scalar),
+                    (andnot_assign, andnot_assign_scalar),
+                    (xor_assign, xor_assign_scalar),
+                ] {
+                    let mut got = a.clone();
+                    let mut want = a.clone();
+                    op(&mut got, &b);
+                    scalar(&mut want, &b);
+                    assert_eq!(got, want, "assign {ctx}");
+                }
+
+                let (mut l1, mut c1) = (a.clone(), b.clone());
+                let (mut l2, mut c2) = (a.clone(), b.clone());
+                assert_eq!(
+                    carry_save(&mut l1, &mut c1),
+                    carry_save_scalar(&mut l2, &mut c2),
+                    "carry flag {ctx}"
+                );
+                assert_eq!(l1, l2, "carry layer {ctx}");
+                assert_eq!(c1, c2, "carry words {ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_counts_agree_with_materialised_ops() {
+        let mut rng = StdRng::seed_from_u64(0xF0_5E);
+        for &len in &LENS {
+            let a = slab(&mut rng, len);
+            let b = slab(&mut rng, len);
+            let mut buf = vec![0u64; len];
+            and_into(&mut buf, &a, &b);
+            assert_eq!(and_count(&a, &b), count(&buf), "len={len}");
+            or_into(&mut buf, &a, &b);
+            assert_eq!(or_count(&a, &b), count(&buf), "len={len}");
+            andnot_into(&mut buf, &a, &b);
+            assert_eq!(andnot_count(&a, &b), count(&buf), "len={len}");
+        }
+    }
+
+    #[test]
+    fn backend_is_cached_and_consistent() {
+        assert_eq!(backend(), backend());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = and_count(&[0u64; 3], &[0u64; 4]);
+    }
+}
