@@ -387,10 +387,16 @@ pub struct ServeArgs {
     pub queue_depth: usize,
     /// Per-request queue deadline in milliseconds.
     pub deadline_ms: u64,
-    /// Artifact-cache capacity in entries.
+    /// Artifact-cache capacity in entries (total across shards).
     pub cache_capacity: usize,
-    /// Maximum concurrent connections.
+    /// Maximum concurrent connections (accept backpressure beyond).
     pub max_connections: usize,
+    /// Worker shards (per-shard cache + batch queue).
+    pub shards: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+    /// Per-request header+body deadline in milliseconds.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -403,6 +409,9 @@ impl Default for ServeArgs {
             deadline_ms: d.deadline_ms,
             cache_capacity: d.cache_capacity,
             max_connections: d.max_connections,
+            shards: d.shards,
+            max_body_bytes: d.max_body_bytes,
+            request_timeout_ms: d.request_timeout_ms,
         }
     }
 }
@@ -453,6 +462,12 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             out.cache_capacity = parse_positive(&v, "cache capacity")?;
         } else if let Some(v) = flag_value(args, &mut i, "--max-connections")? {
             out.max_connections = parse_positive(&v, "connection bound")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--shards")? {
+            out.shards = parse_positive(&v, "shard count")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--max-body-bytes")? {
+            out.max_body_bytes = parse_positive(&v, "body bound")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--request-timeout-ms")? {
+            out.request_timeout_ms = parse_positive(&v, "request timeout")?;
         } else {
             return Err(err(format!("unrecognised serve flag: {}", args[i])));
         }
@@ -479,6 +494,9 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         deadline_ms: sa.deadline_ms,
         cache_capacity: sa.cache_capacity,
         max_connections: sa.max_connections,
+        shards: sa.shards,
+        max_body_bytes: sa.max_body_bytes,
+        request_timeout_ms: sa.request_timeout_ms,
     })
     .map_err(|e| err(format!("bind failed: {e}")))?;
     let addr = server
@@ -486,8 +504,10 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| err(format!("no local address: {e}")))?;
     let threads = ucfg_support::par::thread_count();
     eprintln!(
-        "ucfg-serve listening on {addr} ({threads} thread{})",
-        if threads == 1 { "" } else { "s" }
+        "ucfg-serve listening on {addr} ({threads} thread{}, {} shard{})",
+        if threads == 1 { "" } else { "s" },
+        sa.shards,
+        if sa.shards == 1 { "" } else { "s" }
     );
     let summary = server
         .run()
@@ -513,6 +533,9 @@ pub struct QueryArgs {
     pub file: Option<String>,
     /// Send `POST /shutdown` after the script.
     pub shutdown: bool,
+    /// Per-response read timeout in milliseconds; `None` uses the
+    /// client default ([`ucfg_serve::client::DEFAULT_READ_TIMEOUT`]).
+    pub timeout_ms: Option<u64>,
 }
 
 /// Parse the flags of `ucfg query`.
@@ -521,6 +544,7 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, CliError> {
     let mut port: Option<u16> = None;
     let mut file = None;
     let mut shutdown = false;
+    let mut timeout_ms = None;
     let mut i = 0;
     while i < args.len() {
         if let Some(v) = flag_value(args, &mut i, "--port")? {
@@ -529,6 +553,12 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, CliError> {
             host = v;
         } else if let Some(v) = flag_value(args, &mut i, "--file")? {
             file = Some(v);
+        } else if let Some(v) = flag_value(args, &mut i, "--timeout-ms")? {
+            let ms: u64 = parse_positive(&v, "timeout")?;
+            if ms == 0 {
+                return Err(err("--timeout-ms must be ≥ 1"));
+            }
+            timeout_ms = Some(ms);
         } else if args[i] == "--shutdown" {
             shutdown = true;
             i += 1;
@@ -542,11 +572,14 @@ pub fn parse_query_args(args: &[String]) -> Result<QueryArgs, CliError> {
         port,
         file,
         shutdown,
+        timeout_ms,
     })
 }
 
-/// `ucfg query --port N [--file script.jsonl] [--shutdown]` — drive a
-/// running daemon with a script of JSON lines.
+/// `ucfg query --port N [--file script.jsonl] [--shutdown]
+/// [--timeout-ms N]` — drive a running daemon with a script of JSON
+/// lines. `--timeout-ms` bounds each response read (default 30 s) so a
+/// wedged daemon fails the script fast.
 ///
 /// Each non-empty, non-`#` line is a JSON object whose `"path"` key
 /// routes the request; an optional `"method"` overrides the verb and
@@ -565,8 +598,16 @@ pub fn cmd_query(args: &[String], stdin: &str) -> Result<String, CliError> {
         None => stdin.to_string(),
     };
     let addr = format!("{}:{}", qa.host, qa.port);
-    let mut client = ucfg_serve::Client::connect_retry(&addr, std::time::Duration::from_secs(10))
-        .map_err(|e| err(format!("could not connect to {addr}: {e}")))?;
+    let read_timeout = qa
+        .timeout_ms
+        .map(std::time::Duration::from_millis)
+        .unwrap_or(ucfg_serve::client::DEFAULT_READ_TIMEOUT);
+    let mut client = ucfg_serve::Client::connect_retry_with(
+        &addr,
+        std::time::Duration::from_secs(10),
+        Some(read_timeout),
+    )
+    .map_err(|e| err(format!("could not connect to {addr}: {e}")))?;
     let mut out = String::new();
     for (lineno, line) in script.lines().enumerate() {
         let line = line.trim();
@@ -714,10 +755,12 @@ pub fn usage() -> String {
                                      (big-integer; any m, way past enumeration)\n\
        ucfg serve [--port N] [--host H] [--queue-depth N]\n\
                   [--deadline-ms N] [--cache-capacity N] [--max-connections N]\n\
-                                     run the resident query daemon (default\n\
-                                     port 7878; metrics → out/METRICS_serve.json)\n\
+                  [--shards N] [--max-body-bytes N] [--request-timeout-ms N]\n\
+                                     run the resident query daemon: epoll event\n\
+                                     loop, N worker shards (default port 7878;\n\
+                                     metrics → out/METRICS_serve.json)\n\
        ucfg query --port N [--host H] [--file script.jsonl] [--shutdown]\n\
-                                     drive a daemon with JSON-lines requests\n\
+                  [--timeout-ms N]   drive a daemon with JSON-lines requests\n\
                                      (script from --file, else stdin)\n\
        ucfg orchestrate [--smoke] [--check] [--write-baseline] [--list]\n\
                   [--filter S] [--baseline PATH] [--out-dir DIR]\n\
@@ -981,6 +1024,9 @@ mod tests {
         let d = parse_serve_args(&[]).unwrap();
         assert_eq!(d.port, 7878);
         assert_eq!(d.host, "127.0.0.1");
+        assert_eq!(d.shards, 1);
+        assert_eq!(d.max_body_bytes, 4 << 20);
+        assert_eq!(d.request_timeout_ms, 10_000);
         let a = parse_serve_args(&[
             "--port".into(),
             "9000".into(),
@@ -991,6 +1037,10 @@ mod tests {
             "--cache-capacity".into(),
             "4".into(),
             "--max-connections=2".into(),
+            "--shards=4".into(),
+            "--max-body-bytes".into(),
+            "1024".into(),
+            "--request-timeout-ms=500".into(),
         ])
         .unwrap();
         assert_eq!(
@@ -1002,6 +1052,9 @@ mod tests {
                 deadline_ms: 250,
                 cache_capacity: 4,
                 max_connections: 2,
+                shards: 4,
+                max_body_bytes: 1024,
+                request_timeout_ms: 500,
             }
         );
         // Malformed ports are hard errors, in both flag spellings.
@@ -1018,6 +1071,9 @@ mod tests {
         assert!(parse_serve_args(&["--port".into()]).is_err());
         assert!(parse_serve_args(&["--bogus".into()]).is_err());
         assert!(parse_serve_args(&["--queue-depth".into(), "x".into()]).is_err());
+        assert!(parse_serve_args(&["--shards".into(), "x".into()]).is_err());
+        assert!(parse_serve_args(&["--max-body-bytes=huge".into()]).is_err());
+        assert!(parse_serve_args(&["--request-timeout-ms".into()]).is_err());
     }
 
     #[test]
@@ -1030,6 +1086,7 @@ mod tests {
                 port: 7878,
                 file: None,
                 shutdown: false,
+                timeout_ms: None,
             }
         );
         let q = parse_query_args(&[
@@ -1039,16 +1096,20 @@ mod tests {
             "--file".into(),
             "s.jsonl".into(),
             "--shutdown".into(),
+            "--timeout-ms=2500".into(),
         ])
         .unwrap();
         assert_eq!(q.port, 1234);
         assert_eq!(q.file.as_deref(), Some("s.jsonl"));
         assert!(q.shutdown);
+        assert_eq!(q.timeout_ms, Some(2500));
         // Port is mandatory and malformed ports are hard errors.
         assert!(parse_query_args(&[]).is_err());
         assert!(parse_query_args(&["--port".into(), "no".into()]).is_err());
         assert!(parse_query_args(&["--port=99999".into()]).is_err());
         assert!(parse_query_args(&["--wat".into()]).is_err());
+        assert!(parse_query_args(&["--port=1".into(), "--timeout-ms=0".into()]).is_err());
+        assert!(parse_query_args(&["--port=1".into(), "--timeout-ms=x".into()]).is_err());
     }
 
     #[test]

@@ -1,30 +1,76 @@
 //! The batching scheduler.
 //!
-//! `/parse` requests are enqueued (bounded; a full queue **load-sheds**
-//! instead of blocking) and a single scheduler thread drains the queue,
-//! groups the drained requests by grammar hash, resolves each group's
-//! compiled artifact through the [`ArtifactCache`] once, and runs the
-//! group as one batch on the deterministic `ucfg_support::par` pool —
-//! one `build_with_index` chart per word, all sharing the group's
-//! [`CykRuleIndex`](ucfg_grammar::cyk::CykRuleIndex).
+//! Compute requests (`/parse`, `/cover/verify`, `/discrepancy`) are
+//! enqueued as [`Job`]s (bounded; a full queue **load-sheds** instead
+//! of blocking) and a scheduler thread drains the queue, groups the
+//! drained parse jobs by grammar hash, resolves each group's compiled
+//! artifact through the [`ArtifactCache`] once, and runs the group as
+//! one batch on the deterministic `ucfg_support::par` pool — one
+//! `build_with_index` chart per word, all sharing the group's
+//! [`CykRuleIndex`](ucfg_grammar::cyk::CykRuleIndex). Rectangle jobs
+//! run one at a time; their kernels spread across the same pool
+//! internally.
+//!
+//! Replies travel through a [`ReplySink`] — a one-shot callback — so
+//! the same scheduler serves both the blocking unit tests (sink backed
+//! by an `mpsc` channel) and the nonblocking event loop (sink pushes a
+//! completion and wakes the poller).
 //!
 //! Each request carries its enqueue time; requests that sat in the
 //! queue past the configured deadline are answered with
-//! `deadline_exceeded` instead of being parsed.
+//! `deadline_exceeded` instead of being run.
 //!
-//! Determinism: batch *results* are pure functions of (grammar, word),
-//! so responses are byte-identical across thread counts and batch
-//! shapes. Batch *shapes* (how many requests a drain catches) depend on
-//! timing, so batch counters and sizes are volatile instruments.
+//! Determinism: batch *results* are pure functions of the request, so
+//! responses are byte-identical across thread counts, shard counts,
+//! and batch shapes. Batch *shapes* (how many requests a drain
+//! catches) depend on timing, so batch counters and sizes are volatile
+//! instruments.
 
-use crate::cache::{Artifact, ArtifactCache, GrammarArtifact};
-use crate::protocol::ApiError;
+use crate::cache::{Artifact, ArtifactCache, GrammarArtifact, RectsArtifact};
+use crate::json::Json;
+use crate::protocol::{ApiError, RectRequest};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use ucfg_grammar::Grammar;
 use ucfg_support::{arena, obs, par};
+
+/// A one-shot reply channel: the scheduler calls it exactly once with
+/// the job's result. Backed by whatever the enqueuer needs — an
+/// `mpsc::Sender` for blocking callers, a completion queue + poller
+/// wake for the event loop.
+pub struct ReplySink<T>(Box<dyn FnOnce(T) + Send>);
+
+impl<T: Send + 'static> ReplySink<T> {
+    /// Wrap an arbitrary one-shot callback.
+    pub fn from_fn(f: impl FnOnce(T) + Send + 'static) -> ReplySink<T> {
+        ReplySink(Box::new(f))
+    }
+
+    /// A sink/receiver pair for blocking callers: `send` forwards to
+    /// the returned receiver.
+    pub fn channel() -> (ReplySink<T>, mpsc::Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            ReplySink::from_fn(move |v| {
+                let _ = tx.send(v);
+            }),
+            rx,
+        )
+    }
+
+    /// Deliver the result, consuming the sink.
+    pub fn send(self, value: T) {
+        (self.0)(value)
+    }
+}
+
+impl<T> std::fmt::Debug for ReplySink<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReplySink")
+    }
+}
 
 /// The outcome of one `/parse` request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +93,7 @@ pub struct ParseOutcome {
 }
 
 /// One queued `/parse` request.
+#[derive(Debug)]
 pub struct ParseJob {
     /// The grammar's content hash — the batch group key.
     pub key: u64,
@@ -58,14 +105,54 @@ pub struct ParseJob {
     pub check: bool,
     /// When the job entered the queue.
     pub enqueued: Instant,
-    /// Where the answer goes (the connection thread blocks on the
-    /// paired receiver).
-    pub reply: mpsc::Sender<Result<ParseOutcome, ApiError>>,
+    /// Where the answer goes.
+    pub reply: ReplySink<Result<ParseOutcome, ApiError>>,
+}
+
+/// One queued `/cover/verify` or `/discrepancy` request. The reply is
+/// the rendered single-line JSON body.
+#[derive(Debug)]
+pub struct RectJob {
+    /// The bounds-checked request.
+    pub req: RectRequest,
+    /// `true` for `/discrepancy`, `false` for `/cover/verify`.
+    pub discrepancy: bool,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Where the rendered body goes.
+    pub reply: ReplySink<Result<String, ApiError>>,
+}
+
+/// Anything the scheduler can run.
+#[derive(Debug)]
+pub enum Job {
+    /// A `/parse` request (batched by grammar hash).
+    Parse(ParseJob),
+    /// A rectangle-family request (runs alone; its kernel parallelises
+    /// internally).
+    Rect(RectJob),
+}
+
+impl Job {
+    /// Answer the job with an error without running it.
+    fn reject(self, err: ApiError) {
+        match self {
+            Job::Parse(j) => j.reply.send(Err(err)),
+            Job::Rect(j) => j.reply.send(Err(err)),
+        }
+    }
+
+    fn enqueued(&self) -> Instant {
+        match self {
+            Job::Parse(j) => j.enqueued,
+            Job::Rect(j) => j.enqueued,
+        }
+    }
 }
 
 /// The bounded queue + scheduler.
 pub struct Scheduler {
-    queue: Mutex<VecDeque<ParseJob>>,
+    queue: Mutex<VecDeque<Job>>,
     cv: Condvar,
     depth: usize,
     deadline: Duration,
@@ -96,7 +183,7 @@ impl Scheduler {
 
     /// Enqueue a job, or shed it if the queue is full or the scheduler
     /// is stopping. Never blocks.
-    pub fn try_enqueue(&self, job: ParseJob) -> Result<(), ApiError> {
+    pub fn try_enqueue(&self, job: Job) -> Result<(), ApiError> {
         if self.stopping.load(Ordering::SeqCst) {
             return Err(ApiError::ShuttingDown);
         }
@@ -119,13 +206,13 @@ impl Scheduler {
         self.cv.notify_all();
     }
 
-    /// The scheduler thread body: drain, group by grammar hash, resolve
-    /// artifacts through `cache`, run each group as one parallel batch,
-    /// reply. Returns (after draining everything still queued) once
-    /// [`Scheduler::stop`] has been called.
+    /// The scheduler thread body: drain, group parse jobs by grammar
+    /// hash, resolve artifacts through `cache`, run each group as one
+    /// parallel batch, reply. Returns (after draining everything still
+    /// queued) once [`Scheduler::stop`] has been called.
     pub fn run(&self, cache: &Mutex<ArtifactCache>) {
         loop {
-            let batch: Vec<ParseJob> = {
+            let batch: Vec<Job> = {
                 let mut q = self.queue.lock().expect("queue poisoned");
                 loop {
                     if !q.is_empty() {
@@ -140,7 +227,7 @@ impl Scheduler {
                         .expect("queue poisoned");
                     q = guard;
                 }
-                let drained: Vec<ParseJob> = q.drain(..).collect();
+                let drained: Vec<Job> = q.drain(..).collect();
                 obs::gauge_set!("serve.queue.depth", 0);
                 drained
             };
@@ -148,8 +235,31 @@ impl Scheduler {
             obs::vcount!("serve.batches");
             obs::record!("serve.batch.size", batch.len() as u64);
 
-            for (key, jobs) in group_by_key(batch) {
+            // Reject everything that overstayed its queue deadline,
+            // then split by kind.
+            let now = Instant::now();
+            let mut parses = Vec::new();
+            let mut rects = Vec::new();
+            for job in batch {
+                let waited = now.duration_since(job.enqueued());
+                if waited > self.deadline {
+                    obs::count!("serve.rejects.deadline");
+                    job.reject(ApiError::DeadlineExceeded {
+                        waited_ms: waited.as_millis() as u64,
+                    });
+                    continue;
+                }
+                match job {
+                    Job::Parse(p) => parses.push(p),
+                    Job::Rect(r) => rects.push(r),
+                }
+            }
+
+            for (key, jobs) in group_by_key(parses) {
                 self.run_group(cache, key, jobs);
+            }
+            for job in rects {
+                run_rect(cache, job);
             }
             // Batch boundary: the chart slabs and word-set buffers this
             // batch borrowed from the arena have all been recycled — mark
@@ -160,51 +270,39 @@ impl Scheduler {
     }
 
     fn run_group(&self, cache: &Mutex<ArtifactCache>, key: u64, jobs: Vec<ParseJob>) {
-        // Split out jobs that overstayed their queue deadline.
-        let now = Instant::now();
-        let (live, dead): (Vec<ParseJob>, Vec<ParseJob>) = jobs
-            .into_iter()
-            .partition(|j| now.duration_since(j.enqueued) <= self.deadline);
-        for j in dead {
-            obs::count!("serve.rejects.deadline");
-            let waited_ms = now.duration_since(j.enqueued).as_millis() as u64;
-            let _ = j.reply.send(Err(ApiError::DeadlineExceeded { waited_ms }));
-        }
-        if live.is_empty() {
-            return;
-        }
-
         // One artifact resolve per group: the whole point of batching.
         let resolved = cache
             .lock()
             .expect("cache poisoned")
             .get_or_insert_with(key, || {
                 Ok(Artifact::Grammar(GrammarArtifact::compile(
-                    live[0].grammar.clone(),
+                    jobs[0].grammar.clone(),
                 )))
             });
         let (art, hit) = match resolved {
             Ok((Artifact::Grammar(g), hit)) => (g, hit),
             Ok((Artifact::Rects(_), _)) => {
-                for j in live {
-                    let _ = j
-                        .reply
+                for j in jobs {
+                    j.reply
                         .send(Err(ApiError::Internal("key collision in cache".into())));
                 }
                 return;
             }
             Err(e) => {
-                for j in live {
-                    let _ = j.reply.send(Err(e.clone()));
+                for j in jobs {
+                    j.reply.send(Err(e.clone()));
                 }
                 return;
             }
         };
 
         let _t = obs::span!("serve.batch.run");
-        let outcomes = par::par_map(&live, |job| run_one(&art, job, hit));
-        for (job, outcome) in live.iter().zip(outcomes) {
-            let _ = job.reply.send(outcome);
+        // The sinks aren't `Sync`, so the pool maps over (word, check)
+        // pairs and the replies fan out afterwards.
+        let inputs: Vec<(String, bool)> = jobs.iter().map(|j| (j.word.clone(), j.check)).collect();
+        let outcomes = par::par_map(&inputs, |(word, check)| run_one(&art, word, *check, hit));
+        for (job, outcome) in jobs.into_iter().zip(outcomes) {
+            job.reply.send(outcome);
         }
     }
 }
@@ -226,12 +324,13 @@ fn group_by_key(jobs: Vec<ParseJob>) -> Vec<(u64, Vec<ParseJob>)> {
 /// word), so batch results are thread-count independent.
 fn run_one(
     art: &GrammarArtifact,
-    job: &ParseJob,
+    job_word: &str,
+    check: bool,
     cache_hit: bool,
 ) -> Result<ParseOutcome, ApiError> {
     use ucfg_grammar::cyk::CykChart;
 
-    let word = match art.cnf.encode(&job.word) {
+    let word = match art.cnf.encode(job_word) {
         Some(w) => w,
         None => {
             // A letter outside the alphabet: trivially not a member.
@@ -251,12 +350,12 @@ fn run_one(
     let count = chart.count_trees();
     let ambiguous = !count.is_zero() && count != ucfg_grammar::BigUint::one();
 
-    let cross_checked = if job.check {
-        let earley_member = art.earley().recognize_str(&job.word);
+    let cross_checked = if check {
+        let earley_member = art.earley().recognize_str(job_word);
         if earley_member != member {
             return Err(ApiError::Internal(format!(
                 "differential mismatch on {:?}: CYK {} vs Earley {}",
-                job.word, member, earley_member
+                job_word, member, earley_member
             )));
         }
         Some(true)
@@ -274,6 +373,69 @@ fn run_one(
     })
 }
 
+/// Run one rectangle-family job: resolve the artifact, run the kernel
+/// across the deterministic pool, reply with the rendered body. Pure
+/// in the request, so the body is byte-identical across thread and
+/// shard counts.
+fn run_rect(cache: &Mutex<ArtifactCache>, job: RectJob) {
+    let resolved = cache
+        .lock()
+        .expect("cache poisoned")
+        .get_or_insert_with(job.req.cache_key(), || {
+            RectsArtifact::build(job.req).map(Artifact::Rects)
+        });
+    let (artifact, hit) = match resolved {
+        Ok(v) => v,
+        Err(e) => {
+            job.reply.send(Err(e));
+            return;
+        }
+    };
+    let Some(rects) = artifact.as_rects() else {
+        job.reply
+            .send(Err(ApiError::Internal("key collision in cache".into())));
+        return;
+    };
+
+    let single_line = |v: Json| {
+        let mut s = v.render();
+        s.push('\n');
+        s
+    };
+    let cache_tag = ("cache", Json::str(if hit { "hit" } else { "miss" }));
+    let threads = par::thread_count();
+    let body = if job.discrepancy {
+        let _t = obs::span!("serve.discrepancy");
+        let (discs, sums) =
+            ucfg_core::cover::discrepancy_accounting_threads(job.req.n, &rects.rects, threads);
+        single_line(Json::obj(vec![
+            ("n", Json::Int(job.req.n as i64)),
+            ("family", Json::str(job.req.family.name())),
+            ("size", Json::Int(rects.rects.len() as i64)),
+            (
+                "discrepancies",
+                Json::Arr(discs.into_iter().map(Json::Int).collect()),
+            ),
+            ("sums_to_gap", Json::Bool(sums)),
+            cache_tag,
+        ]))
+    } else {
+        let _t = obs::span!("serve.cover.verify");
+        let report = ucfg_core::cover::verify_cover_threads(job.req.n, &rects.rects, threads);
+        single_line(Json::obj(vec![
+            ("n", Json::Int(job.req.n as i64)),
+            ("family", Json::str(job.req.family.name())),
+            ("size", Json::Int(report.size as i64)),
+            ("covers_exactly", Json::Bool(report.covers_exactly)),
+            ("disjoint", Json::Bool(report.disjoint)),
+            ("all_balanced", Json::Bool(report.all_balanced)),
+            ("max_overlap", Json::Int(report.max_overlap as i64)),
+            cache_tag,
+        ]))
+    };
+    job.reply.send(Ok(body));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,7 +447,7 @@ mod tests {
         check: bool,
     ) -> (ParseJob, mpsc::Receiver<Result<ParseOutcome, ApiError>>) {
         let g = ucfg_grammar::text::parse_grammar(grammar_src).unwrap();
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = ReplySink::channel();
         (
             ParseJob {
                 key: g.content_hash(),
@@ -315,9 +477,9 @@ mod tests {
         let (j1, r1) = job(src, "ab", true);
         let (j2, r2) = job(src, "abc", false);
         let (j3, r3) = job(src, "a", false);
-        sched.try_enqueue(j1).unwrap();
-        sched.try_enqueue(j2).unwrap();
-        sched.try_enqueue(j3).unwrap();
+        sched.try_enqueue(Job::Parse(j1)).unwrap();
+        sched.try_enqueue(Job::Parse(j2)).unwrap();
+        sched.try_enqueue(Job::Parse(j3)).unwrap();
         drain_once(&sched, &cache);
 
         let o1 = r1.recv().unwrap().unwrap();
@@ -342,7 +504,7 @@ mod tests {
         let sched = Scheduler::new(8, Duration::from_secs(5));
         // S → S S | a : Catalan-many trees.
         let (j, r) = job("S -> S S | a", "aaaa", false);
-        sched.try_enqueue(j).unwrap();
+        sched.try_enqueue(Job::Parse(j)).unwrap();
         drain_once(&sched, &cache);
         let o = r.recv().unwrap().unwrap();
         assert!(o.member);
@@ -355,7 +517,7 @@ mod tests {
         let cache = Mutex::new(ArtifactCache::new(4));
         let sched = Scheduler::new(8, Duration::from_secs(5));
         let (j1, r1) = job("S -> a S | b", "aab", false);
-        sched.try_enqueue(j1).unwrap();
+        sched.try_enqueue(Job::Parse(j1)).unwrap();
         drain_once(&sched, &cache);
         assert!(!r1.recv().unwrap().unwrap().cache_hit);
 
@@ -363,11 +525,33 @@ mod tests {
         let sched2 = Scheduler::new(8, Duration::from_secs(5));
         let (j2, r2) = job("S -> a S | b", "b", false);
         let (j3, r3) = job("S -> a S | b", "ab", false);
-        sched2.try_enqueue(j2).unwrap();
-        sched2.try_enqueue(j3).unwrap();
+        sched2.try_enqueue(Job::Parse(j2)).unwrap();
+        sched2.try_enqueue(Job::Parse(j3)).unwrap();
         drain_once(&sched2, &cache);
         assert!(r2.recv().unwrap().unwrap().cache_hit);
         assert!(r3.recv().unwrap().unwrap().cache_hit);
+        assert_eq!(cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rect_jobs_run_and_render_through_the_queue() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sched = Scheduler::new(8, Duration::from_secs(5));
+        let req = RectRequest::from_json(&Json::parse(r#"{"n":4}"#).unwrap(), false).unwrap();
+        let (tx, rx) = ReplySink::channel();
+        sched
+            .try_enqueue(Job::Rect(RectJob {
+                req,
+                discrepancy: false,
+                enqueued: Instant::now(),
+                reply: tx,
+            }))
+            .unwrap();
+        drain_once(&sched, &cache);
+        let body = rx.recv().unwrap().unwrap();
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("covers_exactly"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
         assert_eq!(cache.lock().unwrap().len(), 1);
     }
 
@@ -377,9 +561,9 @@ mod tests {
         let (j1, _r1) = job("S -> a", "a", false);
         let (j2, _r2) = job("S -> a", "a", false);
         let (j3, _r3) = job("S -> a", "a", false);
-        sched.try_enqueue(j1).unwrap();
-        sched.try_enqueue(j2).unwrap();
-        let err = sched.try_enqueue(j3).unwrap_err();
+        sched.try_enqueue(Job::Parse(j1)).unwrap();
+        sched.try_enqueue(Job::Parse(j2)).unwrap();
+        let err = sched.try_enqueue(Job::Parse(j3)).unwrap_err();
         assert_eq!(err, ApiError::LoadShed { depth: 2 });
         assert_eq!(err.status(), 503);
         assert_eq!(sched.queue_len(), 2);
@@ -392,7 +576,7 @@ mod tests {
         let (mut j, r) = job("S -> a", "a", false);
         // Backdate the enqueue so the deadline has certainly passed.
         j.enqueued = Instant::now() - Duration::from_millis(50);
-        sched.try_enqueue(j).unwrap();
+        sched.try_enqueue(Job::Parse(j)).unwrap();
         drain_once(&sched, &cache);
         let err = r.recv().unwrap().unwrap_err();
         assert!(matches!(err, ApiError::DeadlineExceeded { .. }));
@@ -404,7 +588,10 @@ mod tests {
         let sched = Scheduler::new(8, Duration::from_secs(5));
         sched.stop();
         let (j, _r) = job("S -> a", "a", false);
-        assert_eq!(sched.try_enqueue(j).unwrap_err(), ApiError::ShuttingDown);
+        assert_eq!(
+            sched.try_enqueue(Job::Parse(j)).unwrap_err(),
+            ApiError::ShuttingDown
+        );
     }
 
     #[test]
@@ -433,7 +620,7 @@ mod tests {
             let mut rxs = Vec::new();
             for w in words {
                 let (j, r) = job(src, w, true);
-                sched.try_enqueue(j).unwrap();
+                sched.try_enqueue(Job::Parse(j)).unwrap();
                 rxs.push(r);
             }
             // Pin the pool width through the par layer for this run.

@@ -16,7 +16,11 @@
 //!
 //! Eviction is LRU under a fixed entry capacity. Instrumentation:
 //! `serve.cache.hits` / `serve.cache.misses` / `serve.cache.evictions`
-//! counters and the `serve.cache.len` gauge.
+//! deterministic counters, plus volatile per-shard
+//! `serve.shard.<i>.cache.{hits,misses,evictions}` counters when the
+//! cache is one shard of a [`crate::shard::ShardSet`] (volatile
+//! because shard layout depends on `--shards`, which must not perturb
+//! the deterministic metrics stratum).
 
 use crate::protocol::{ApiError, RectFamily, RectRequest};
 use std::collections::HashMap;
@@ -134,6 +138,9 @@ pub struct ArtifactCache {
     capacity: usize,
     tick: u64,
     entries: HashMap<u64, Entry>,
+    /// `Some(i)` when this cache is shard `i` of a sharded server —
+    /// adds volatile per-shard hit/miss/eviction counters.
+    shard: Option<usize>,
 }
 
 impl ArtifactCache {
@@ -143,6 +150,26 @@ impl ArtifactCache {
             capacity: capacity.max(1),
             tick: 0,
             entries: HashMap::new(),
+            shard: None,
+        }
+    }
+
+    /// A cache acting as shard `shard_idx`: identical behaviour, plus
+    /// volatile `serve.shard.<i>.cache.*` counters so the shard spread
+    /// is observable without touching the deterministic stratum.
+    pub fn with_shard(capacity: usize, shard_idx: usize) -> ArtifactCache {
+        ArtifactCache {
+            shard: Some(shard_idx),
+            ..ArtifactCache::new(capacity)
+        }
+    }
+
+    /// Bump this shard's volatile counter for `event` (hit/miss/…).
+    fn shard_count(&self, event: &str) {
+        if let Some(i) = self.shard {
+            if obs::enabled() {
+                obs::vcounter(&format!("serve.shard.{i}.cache.{event}")).add(1);
+            }
         }
     }
 
@@ -168,10 +195,13 @@ impl ArtifactCache {
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&key) {
             e.last_used = self.tick;
+            let value = e.value.clone();
             obs::count!("serve.cache.hits");
-            return Ok((e.value.clone(), true));
+            self.shard_count("hits");
+            return Ok((value, true));
         }
         obs::count!("serve.cache.misses");
+        self.shard_count("misses");
         let value = build()?;
         self.entries.insert(
             key,
@@ -189,11 +219,11 @@ impl ArtifactCache {
             {
                 self.entries.remove(&lru);
                 obs::count!("serve.cache.evictions");
+                self.shard_count("evictions");
             } else {
                 break;
             }
         }
-        obs::gauge_set!("serve.cache.len", self.entries.len() as i64);
         Ok((value, false))
     }
 }

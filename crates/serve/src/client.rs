@@ -3,10 +3,20 @@
 //! Used by `ucfg query` (and CI) to drive a running daemon: one
 //! keep-alive connection, sequential request/response. Connection setup
 //! retries for a bounded window so scripts can race server startup.
+//!
+//! The read timeout is configurable ([`Client::connect_with`] /
+//! `ucfg query --timeout-ms`) and defaults to
+//! [`DEFAULT_READ_TIMEOUT`], so a wedged daemon fails the script fast
+//! instead of stalling it for minutes.
 
 use std::io::{self, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// How long a response read may stall before the client gives up.
+/// Generous against the server's own 10 s queue deadline, far below
+/// the minutes a hung connection used to cost.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A keep-alive connection to a serve daemon.
 #[derive(Debug)]
@@ -25,12 +35,18 @@ pub struct Response {
 }
 
 impl Client {
-    /// Connect once.
+    /// Connect once with [`DEFAULT_READ_TIMEOUT`].
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_with(addr, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connect once with an explicit read timeout (`None` blocks
+    /// forever — only sensible for interactive experiments).
+    pub fn connect_with(addr: &str, read_timeout: Option<Duration>) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         // A stuck server should fail the script, not hang it.
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_read_timeout(read_timeout)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -39,11 +55,20 @@ impl Client {
 
     /// Connect, retrying on `ECONNREFUSED`-style failures until
     /// `within` elapses — covers the window between spawning the server
-    /// process and its `bind`.
+    /// process and its `bind`. Uses [`DEFAULT_READ_TIMEOUT`].
     pub fn connect_retry(addr: &str, within: Duration) -> io::Result<Client> {
+        Client::connect_retry_with(addr, within, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// [`Client::connect_retry`] with an explicit read timeout.
+    pub fn connect_retry_with(
+        addr: &str,
+        within: Duration,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let start = Instant::now();
         loop {
-            match Client::connect(addr) {
+            match Client::connect_with(addr, read_timeout) {
                 Ok(c) => return Ok(c),
                 Err(e) if start.elapsed() < within => {
                     let _ = e;
@@ -147,5 +172,32 @@ mod tests {
         let err = Client::connect_retry("127.0.0.1:1", Duration::from_millis(120)).unwrap_err();
         // Any error kind is fine — the point is it returns, bounded.
         let _ = err;
+    }
+
+    #[test]
+    fn read_timeout_cuts_off_a_wedged_server() {
+        use std::net::TcpListener;
+
+        // A listener that accepts and then never writes a byte.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+        let mut client = Client::connect_with(&addr, Some(Duration::from_millis(100))).unwrap();
+        let start = Instant::now();
+        let err = client.request("GET", "/healthz", None).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "{err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout must fire promptly, took {:?}",
+            start.elapsed()
+        );
+        drop(hold.join().unwrap());
     }
 }

@@ -2,20 +2,48 @@
 //!
 //! Just enough of RFC 9112 for the JSON-lines protocol: request line,
 //! headers, `Content-Length` bodies, keep-alive. No chunked transfer
-//! coding, no multipart, no TLS. Parsing is generic over [`BufRead`] so
-//! it unit-tests on in-memory buffers and the server/client share one
-//! implementation.
+//! coding, no multipart, no TLS.
+//!
+//! The core is the push-based [`Assembler`]: bytes go in via
+//! [`Assembler::push`] in whatever fragments the transport delivers
+//! (one epoll readiness burst, one `read` syscall, one byte), and
+//! complete requests come out of [`Assembler::next`]. The blocking
+//! [`read_request`] helper wraps an `Assembler` over a [`BufRead`] so
+//! the synchronous client-side tests and the nonblocking server share
+//! one parser.
 
 use std::io::{self, BufRead, Write};
 
-/// Largest accepted request body; grammars are text, so 1 MiB is
-/// already generous and the bound keeps a rogue client from ballooning
-/// the process.
-pub const MAX_BODY_BYTES: usize = 1 << 20;
-/// Largest accepted request line or header line.
+/// Default largest accepted request body (4 MiB). Grammars are text,
+/// so this is already generous, and the bound keeps a hostile
+/// `Content-Length` from allocating gigabytes. Overridable per server
+/// via [`Limits`] / `--max-body-bytes`.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+/// Default largest accepted request line or header line.
 pub const MAX_LINE_BYTES: usize = 8 << 10;
-/// Maximum number of headers per request.
+/// Default maximum number of headers per request.
 pub const MAX_HEADERS: usize = 64;
+
+/// Parser bounds, configurable per server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Largest accepted request body in bytes (`--max-body-bytes`).
+    pub max_body_bytes: usize,
+    /// Largest accepted request line or header line in bytes.
+    pub max_line_bytes: usize,
+    /// Maximum number of headers per request.
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_body_bytes: MAX_BODY_BYTES,
+            max_line_bytes: MAX_LINE_BYTES,
+            max_headers: MAX_HEADERS,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +79,306 @@ impl Request {
     }
 }
 
+/// A protocol-level rejection: data the *peer* sent that we refuse to
+/// parse. Maps to a wire status (400 or 413); I/O failures are a
+/// separate `io::Error` channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Not HTTP, or over a structural bound — answer 400.
+    Malformed(String),
+    /// The declared body exceeds the configured cap — answer 413.
+    TooLarge {
+        /// The configured `max_body_bytes` the request exceeded.
+        limit: usize,
+    },
+}
+
+impl WireError {
+    /// The HTTP status this rejection earns.
+    pub fn status(&self) -> u16 {
+        match self {
+            WireError::Malformed(_) => 400,
+            WireError::TooLarge { .. } => 413,
+        }
+    }
+
+    /// Human-readable reason for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            WireError::Malformed(m) => m.clone(),
+            WireError::TooLarge { limit } => {
+                format!("body exceeds max_body_bytes={limit}")
+            }
+        }
+    }
+}
+
+/// Where the assembler is inside the current request.
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for (or mid-way through) the request line.
+    RequestLine,
+    /// Request line parsed; accumulating header lines.
+    Headers {
+        method: String,
+        path: String,
+        headers: Vec<(String, String)>,
+    },
+    /// Headers done; `want` body bytes outstanding.
+    Body {
+        method: String,
+        path: String,
+        headers: Vec<(String, String)>,
+        want: usize,
+        got: Vec<u8>,
+    },
+    /// A [`WireError`] was reported; the connection must close.
+    Failed,
+}
+
+/// Incremental HTTP/1.1 request parser.
+///
+/// Feed raw bytes with [`push`](Assembler::push) exactly as they
+/// arrive off the wire; pull out zero or more complete requests with
+/// [`next`](Assembler::next). Pipelined requests in a single `push`
+/// are handled — each `next` call yields at most one. After an `Err`,
+/// the assembler is poisoned (the stream is unrecoverable mid-parse)
+/// and further `next` calls repeat the error.
+#[derive(Debug)]
+pub struct Assembler {
+    limits: Limits,
+    /// Unconsumed input; `pos` is the scan cursor (compacted lazily).
+    buf: Vec<u8>,
+    pos: usize,
+    phase: Phase,
+    error: Option<WireError>,
+}
+
+impl Assembler {
+    /// A fresh assembler with the given bounds.
+    pub fn new(limits: Limits) -> Assembler {
+        Assembler {
+            limits,
+            buf: Vec::new(),
+            pos: 0,
+            phase: Phase::RequestLine,
+            error: None,
+        }
+    }
+
+    /// Append raw wire bytes. Accepts any fragmentation, including one
+    /// byte at a time and several pipelined requests at once.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived keep-alive connection
+        // doesn't accrete every request it ever carried.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// No request is in flight and no bytes are buffered — the
+    /// connection is between requests (safe to idle-timeout softly).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::RequestLine) && self.pos >= self.buf.len()
+    }
+
+    /// Try to produce the next complete request from buffered bytes.
+    ///
+    /// `Ok(Some(_))` — one request, its bytes consumed. `Ok(None)` —
+    /// need more input. `Err(_)` — the peer broke protocol; answer
+    /// with [`WireError::status`] and close.
+    pub fn next(&mut self) -> Result<Option<Request>, WireError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        match self.advance() {
+            Ok(req) => Ok(req),
+            Err(e) => {
+                self.phase = Phase::Failed;
+                self.error = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, WireError> {
+        loop {
+            match &mut self.phase {
+                Phase::Failed => unreachable!("poisoned assembler re-entered"),
+                Phase::RequestLine => {
+                    let line = match self.take_line()? {
+                        Some(l) => l,
+                        None => return Ok(None),
+                    };
+                    if line.is_empty() {
+                        // Tolerate stray blank lines between requests
+                        // (RFC 9112 §2.2 robustness).
+                        continue;
+                    }
+                    let (method, path) = parse_request_line(&line)?;
+                    self.phase = Phase::Headers {
+                        method,
+                        path,
+                        headers: Vec::new(),
+                    };
+                }
+                Phase::Headers { .. } => {
+                    let line = match self.take_line()? {
+                        Some(l) => l,
+                        None => return Ok(None),
+                    };
+                    let Phase::Headers {
+                        method,
+                        path,
+                        headers,
+                    } = std::mem::replace(&mut self.phase, Phase::RequestLine)
+                    else {
+                        unreachable!()
+                    };
+                    if line.is_empty() {
+                        // End of head: validate framing headers now so a
+                        // hostile Content-Length never allocates.
+                        let want = body_len(&headers, &self.limits)?;
+                        if want == 0 {
+                            return Ok(Some(Request {
+                                method,
+                                path,
+                                headers,
+                                body: Vec::new(),
+                            }));
+                        }
+                        self.phase = Phase::Body {
+                            method,
+                            path,
+                            headers,
+                            want,
+                            got: Vec::with_capacity(want.min(64 << 10)),
+                        };
+                        continue;
+                    }
+                    let mut headers = headers;
+                    if headers.len() >= self.limits.max_headers {
+                        return Err(WireError::Malformed("too many headers".into()));
+                    }
+                    match line.split_once(':') {
+                        Some((name, value)) => headers
+                            .push((name.trim().to_ascii_lowercase(), value.trim().to_string())),
+                        None => return Err(WireError::Malformed(format!("bad header {line:?}"))),
+                    }
+                    self.phase = Phase::Headers {
+                        method,
+                        path,
+                        headers,
+                    };
+                }
+                Phase::Body { want, got, .. } => {
+                    let avail = self.buf.len() - self.pos;
+                    let take = avail.min(*want - got.len());
+                    got.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+                    self.pos += take;
+                    if got.len() < *want {
+                        return Ok(None);
+                    }
+                    let Phase::Body {
+                        method,
+                        path,
+                        headers,
+                        got,
+                        ..
+                    } = std::mem::replace(&mut self.phase, Phase::RequestLine)
+                    else {
+                        unreachable!()
+                    };
+                    return Ok(Some(Request {
+                        method,
+                        path,
+                        headers,
+                        body: got,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Extract one CRLF- (or bare-LF-) terminated line if complete;
+    /// `None` if the terminator hasn't arrived. Enforces the line
+    /// bound against the *unterminated* prefix too, so a slowloris
+    /// stream with no newline is rejected as soon as it crosses the
+    /// cap rather than buffered forever.
+    fn take_line(&mut self) -> Result<Option<String>, WireError> {
+        let hay = &self.buf[self.pos..];
+        match hay.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if i > self.limits.max_line_bytes {
+                    return Err(WireError::Malformed("line too long".into()));
+                }
+                let mut end = i;
+                if end > 0 && hay[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let line = String::from_utf8(hay[..end].to_vec())
+                    .map_err(|_| WireError::Malformed("non-utf8 line".into()))?;
+                self.pos += i + 1;
+                Ok(Some(line))
+            }
+            None if hay.len() > self.limits.max_line_bytes => {
+                Err(WireError::Malformed("line too long".into()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Split and validate `METHOD SP PATH SP VERSION`.
+fn parse_request_line(line: &str) -> Result<(String, String), WireError> {
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(WireError::Malformed(format!("bad request line {line:?}")));
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(WireError::Malformed(format!("bad version {version:?}")));
+    }
+    Ok((method.to_string(), path.to_string()))
+}
+
+/// Resolve the body length from the headers, rejecting unsupported
+/// transfer codings, duplicate/conflicting `Content-Length` (request
+/// smuggling vectors, RFC 9112 §6.3), and bodies over the cap.
+fn body_len(headers: &[(String, String)], limits: &Limits) -> Result<usize, WireError> {
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(WireError::Malformed(
+            "chunked transfer coding not supported".into(),
+        ));
+    }
+    let mut lens = headers.iter().filter(|(k, _)| k == "content-length");
+    let first = match lens.next() {
+        None => return Ok(0),
+        Some((_, v)) => v,
+    };
+    if lens.next().is_some() {
+        return Err(WireError::Malformed(
+            "duplicate content-length headers".into(),
+        ));
+    }
+    match first.parse::<usize>() {
+        Ok(n) if n <= limits.max_body_bytes => Ok(n),
+        Ok(_) => Err(WireError::TooLarge {
+            limit: limits.max_body_bytes,
+        }),
+        Err(_) => Err(WireError::Malformed(format!(
+            "bad content-length {first:?}"
+        ))),
+    }
+}
+
 /// Outcome of one read attempt on a keep-alive connection.
 #[derive(Debug)]
 pub enum ReadOutcome {
@@ -62,14 +390,20 @@ pub enum ReadOutcome {
     /// idle, not broken; the caller decides whether to keep waiting
     /// (e.g. until shutdown is signalled).
     Idle,
-    /// The peer sent something that is not HTTP or exceeded a bound;
-    /// the caller should answer 400 (message included) and close.
+    /// The peer sent something that is not HTTP or exceeded a
+    /// structural bound; the caller should answer 400 and close.
     Malformed(String),
+    /// The declared body exceeds the configured cap; answer 413.
+    TooLarge {
+        /// The configured `max_body_bytes` the request exceeded.
+        limit: usize,
+    },
 }
 
-/// Read one request. Timeouts that strike *before* the first byte
-/// surface as [`ReadOutcome::Idle`]; mid-request timeouts and any other
-/// I/O error propagate as `Err` (the connection is unusable).
+/// Read one request with default [`Limits`]. Timeouts that strike
+/// *before* the first byte surface as [`ReadOutcome::Idle`];
+/// mid-request timeouts and any other I/O error propagate as `Err`
+/// (the connection is unusable).
 pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
     // Peek for the first byte so an idle keep-alive connection can be
     // distinguished from a broken one.
@@ -82,121 +416,33 @@ pub fn read_request(reader: &mut impl BufRead) -> io::Result<ReadOutcome> {
         Err(e) => return Err(e),
     }
 
-    let line = match read_line(reader)? {
-        LineRead::Line(l) => l,
-        LineRead::Eof => return Ok(ReadOutcome::Eof),
-        LineRead::Malformed(msg) => return Ok(ReadOutcome::Malformed(msg)),
-    };
-    let mut parts = line.split(' ');
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
-        _ => return Ok(ReadOutcome::Malformed(format!("bad request line {line:?}"))),
-    };
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Ok(ReadOutcome::Malformed(format!("bad version {version:?}")));
-    }
-
-    let mut headers = Vec::new();
+    // Feed the assembler one byte at a time so a pipelined second
+    // request stays in the BufRead for the next call — the assembler
+    // never sees (and so never buffers) bytes past the request it
+    // returns.
+    let mut asm = Assembler::new(Limits::default());
     loop {
-        let line = match read_line(reader)? {
-            LineRead::Line(l) => l,
-            LineRead::Eof => return Ok(ReadOutcome::Malformed("eof in headers".into())),
-            LineRead::Malformed(msg) => return Ok(ReadOutcome::Malformed(msg)),
-        };
-        if line.is_empty() {
-            break;
+        match asm.next() {
+            Ok(Some(req)) => return Ok(ReadOutcome::Request(req)),
+            Ok(None) => {}
+            Err(WireError::Malformed(m)) => return Ok(ReadOutcome::Malformed(m)),
+            Err(WireError::TooLarge { limit }) => return Ok(ReadOutcome::TooLarge { limit }),
         }
-        if headers.len() >= MAX_HEADERS {
-            return Ok(ReadOutcome::Malformed("too many headers".into()));
-        }
-        match line.split_once(':') {
-            Some((name, value)) => {
-                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
-            }
-            None => return Ok(ReadOutcome::Malformed(format!("bad header {line:?}"))),
-        }
-    }
-
-    if headers
-        .iter()
-        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
-    {
-        return Ok(ReadOutcome::Malformed(
-            "chunked transfer coding not supported".into(),
-        ));
-    }
-
-    let len = match headers.iter().find(|(k, _)| k == "content-length") {
-        None => 0,
-        Some((_, v)) => match v.parse::<usize>() {
-            Ok(n) if n <= MAX_BODY_BYTES => n,
-            Ok(_) => return Ok(ReadOutcome::Malformed("body too large".into())),
-            Err(_) => return Ok(ReadOutcome::Malformed(format!("bad content-length {v:?}"))),
-        },
-    };
-
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
-
-    Ok(ReadOutcome::Request(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers,
-        body,
-    }))
-}
-
-/// Outcome of reading one line: protocol-level problems (over-long or
-/// non-UTF-8 lines) are data the *peer* sent, so they surface as
-/// [`LineRead::Malformed`] and earn a wire-level 400 — only genuine I/O
-/// failures (including EOF mid-line) come back as `Err`.
-enum LineRead {
-    /// A complete line, terminator stripped.
-    Line(String),
-    /// EOF before any byte of the line.
-    Eof,
-    /// The peer sent a line we refuse to parse; answer 400.
-    Malformed(String),
-}
-
-/// Read a CRLF- (or bare-LF-) terminated line, without the terminator.
-fn read_line(reader: &mut impl BufRead) -> io::Result<LineRead> {
-    let mut buf = Vec::new();
-    loop {
         let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    Ok(LineRead::Eof)
+        match reader.read(&mut byte)? {
+            0 => {
+                return if asm.is_idle() {
+                    Ok(ReadOutcome::Eof)
                 } else {
-                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof mid-line"))
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-request",
+                    ))
                 }
             }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    return Ok(match String::from_utf8(chomp_cr(buf)) {
-                        Ok(s) => LineRead::Line(s),
-                        Err(_) => LineRead::Malformed("non-utf8 line".into()),
-                    });
-                }
-                buf.push(byte[0]);
-                if buf.len() > MAX_LINE_BYTES {
-                    // No need to drain to the terminator: the caller
-                    // answers 400 with `Connection: close`.
-                    return Ok(LineRead::Malformed("line too long".into()));
-                }
-            }
-            Err(e) => return Err(e),
+            _ => asm.push(&byte),
         }
     }
-}
-
-/// Strip a trailing `\r` (the CR of a CRLF terminator).
-fn chomp_cr(mut buf: Vec<u8>) -> Vec<u8> {
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    buf
 }
 
 /// The reason phrase for the status codes the protocol uses.
@@ -206,6 +452,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -214,19 +461,27 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete response. The body is sent verbatim with an exact
-/// `Content-Length`, so JSON-lines bodies keep their trailing newline.
-pub fn write_response(w: &mut impl Write, status: u16, body: &[u8], close: bool) -> io::Result<()> {
+/// Serialise a complete response to bytes (for the nonblocking write
+/// path, which needs the frame up front to track partial writes). The
+/// body is included verbatim with an exact `Content-Length`, so
+/// JSON-lines bodies keep their trailing newline.
+pub fn render_response(status: u16, body: &[u8], close: bool) -> Vec<u8> {
     let conn = if close { "close" } else { "keep-alive" };
-    write!(
-        w,
+    let mut out = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         reason(status),
         body.len(),
         conn
-    )?;
-    w.write_all(body)?;
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Write a complete response to a blocking stream.
+pub fn write_response(w: &mut impl Write, status: u16, body: &[u8], close: bool) -> io::Result<()> {
+    w.write_all(&render_response(status, body, close))?;
     w.flush()
 }
 
@@ -307,12 +562,101 @@ mod tests {
     }
 
     #[test]
-    fn oversized_body_is_rejected() {
+    fn oversized_body_earns_413_not_an_allocation() {
         let raw = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
-        assert!(matches!(parse(raw.as_bytes()), ReadOutcome::Malformed(_)));
+        assert!(matches!(
+            parse(raw.as_bytes()),
+            ReadOutcome::TooLarge {
+                limit: MAX_BODY_BYTES
+            }
+        ));
+
+        // A hostile multi-gigabyte declaration must be rejected at
+        // header time — the assembler never allocates for the body.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        let mut asm = Assembler::new(Limits::default());
+        asm.push(raw);
+        assert!(matches!(asm.next(), Err(WireError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn duplicate_and_conflicting_content_lengths_are_rejected() {
+        for raw in [
+            &b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 8\r\n\r\nabc"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"[..],
+        ] {
+            let mut asm = Assembler::new(Limits::default());
+            asm.push(raw);
+            assert!(
+                matches!(asm.next(), Err(WireError::Malformed(ref m)) if m.contains("content-length")),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn assembler_handles_every_byte_split() {
+        let raw = b"POST /parse HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            let mut asm = Assembler::new(Limits::default());
+            asm.push(&raw[..cut]);
+            // At most one incomplete parse before the rest arrives.
+            assert!(asm.next().unwrap().is_none(), "cut={cut}");
+            asm.push(&raw[cut..]);
+            let req = asm.next().unwrap().expect("complete after rest");
+            assert_eq!(req.body_str(), Some("hello"));
+            assert!(asm.is_idle());
+        }
+    }
+
+    #[test]
+    fn assembler_yields_pipelined_requests_one_by_one() {
+        let raw: Vec<u8> = [
+            &b"POST /parse HTTP/1.1\r\nContent-Length: 2\r\n\r\nab"[..],
+            &b"GET /healthz HTTP/1.1\r\n\r\n"[..],
+            &b"GET /metr"[..],
+        ]
+        .concat();
+        let mut asm = Assembler::new(Limits::default());
+        asm.push(&raw);
+        assert_eq!(asm.next().unwrap().unwrap().path, "/parse");
+        assert_eq!(asm.next().unwrap().unwrap().path, "/healthz");
+        assert!(asm.next().unwrap().is_none());
+        assert!(!asm.is_idle(), "partial third request is buffered");
+        asm.push(b"ics HTTP/1.1\r\n\r\n");
+        assert_eq!(asm.next().unwrap().unwrap().path, "/metrics");
+        assert!(asm.is_idle());
+    }
+
+    #[test]
+    fn assembler_is_poisoned_after_wire_error() {
+        let mut asm = Assembler::new(Limits::default());
+        asm.push(b"NONSENSE\r\n");
+        assert!(asm.next().is_err());
+        asm.push(b"GET /x HTTP/1.1\r\n\r\n");
+        assert!(asm.next().is_err(), "errors are sticky");
+    }
+
+    #[test]
+    fn unterminated_oversized_line_is_rejected_early() {
+        // A slowloris stream that never sends a newline must be cut
+        // off once it crosses the line cap, not buffered forever.
+        let limits = Limits {
+            max_line_bytes: 64,
+            ..Limits::default()
+        };
+        let mut asm = Assembler::new(limits);
+        asm.push(&[b'A'; 64]);
+        assert!(asm.next().unwrap().is_none());
+        asm.push(&[b'A'; 8]);
+        assert!(matches!(
+            asm.next(),
+            Err(WireError::Malformed(ref m)) if m == "line too long"
+        ));
     }
 
     #[test]
@@ -329,6 +673,12 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("503 Service Unavailable"), "{text}");
         assert!(text.contains("Connection: close"), "{text}");
+
+        assert_eq!(reason(408), "Request Timeout");
+        let rendered = render_response(408, b"late", true);
+        let mut streamed = Vec::new();
+        write_response(&mut streamed, 408, b"late", true).unwrap();
+        assert_eq!(rendered, streamed);
     }
 
     #[test]
@@ -392,6 +742,31 @@ mod tests {
                         "whole request must parse: {outcome:?}"
                     );
                 }
+            }
+        }
+
+        property! {
+            cases = 256;
+            // Splitting a valid request into two pushes at any byte
+            // boundary must reassemble to the identical request.
+            fn any_split_reassembles_identically(
+                raw in well_formed,
+                cut in |g: &mut Gen| g.int_in(0usize..1 << 9),
+            ) {
+                let cut = cut.min(raw.len());
+                let mut whole = Assembler::new(Limits::default());
+                whole.push(&raw);
+                let expect = whole.next().unwrap().expect("well-formed parses");
+
+                let mut split = Assembler::new(Limits::default());
+                split.push(&raw[..cut]);
+                let early = split.next().unwrap();
+                split.push(&raw[cut..]);
+                let got = match early {
+                    Some(r) => r,
+                    None => split.next().unwrap().expect("complete after rest"),
+                };
+                prop_assert!(got == expect, "split at {cut} diverged");
             }
         }
 

@@ -7,7 +7,7 @@
 //! ([`http`]), and a hand-rolled JSON value ([`json`]) — no external
 //! crates.
 //!
-//! The serving layer is three pieces:
+//! The serving layer is four pieces:
 //!
 //! * [`cache`] — a content-addressed **artifact cache**: FNV-1a content
 //!   hashes (`Grammar::content_hash`, rectangle-family keys) address an
@@ -19,9 +19,17 @@
 //!   the deterministic `ucfg_support::par` pool, with a bounded queue
 //!   (full ⇒ `503 load_shed`, never blocking) and a per-request
 //!   deadline (`504 deadline_exceeded`);
-//! * [`server`] — the accept loop with **graceful shutdown**: SIGTERM /
-//!   ctrl-c / `POST /shutdown` stop the accept loop, let in-flight
-//!   connections finish, and drain the scheduler before exit.
+//! * [`shard`] — **worker shards**: `--shards` independent
+//!   cache + scheduler pairs, jobs routed by rendezvous hashing of the
+//!   content hash so a grammar's artifact compiles on exactly one
+//!   shard;
+//! * [`server`] — a nonblocking **epoll event loop**
+//!   (`ucfg_support::evloop`): edge-triggered readiness, incremental
+//!   request assembly ([`http::Assembler`]), accept backpressure at the
+//!   connection budget, per-request timeouts (`408`), body caps
+//!   (`413`), and **graceful shutdown** — SIGTERM / ctrl-c /
+//!   `POST /shutdown` stop the accept loop, let in-flight requests
+//!   finish, and drain the shard schedulers before exit.
 //!
 //! ## Endpoints
 //!
@@ -75,6 +83,7 @@ pub mod http;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::{Client, Response};
 pub use json::Json;

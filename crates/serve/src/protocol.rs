@@ -8,6 +8,8 @@
 //! | 400  | `bad_request`        | malformed JSON / unknown field / bad bounds |
 //! | 404  | `not_found`          | unknown path                                |
 //! | 405  | `method_not_allowed` | known path, wrong verb                      |
+//! | 408  | `request_timeout`    | request head/body trickled in too slowly    |
+//! | 413  | `payload_too_large`  | body over the `--max-body-bytes` cap        |
 //! | 500  | `internal`           | invariant breach (e.g. differential mismatch) |
 //! | 503  | `load_shed`          | queue full — retry later                    |
 //! | 503  | `shutting_down`      | server is draining                          |
@@ -42,6 +44,17 @@ pub enum ApiError {
     NotFound(String),
     /// 405 — endpoint exists, verb is wrong.
     MethodNotAllowed(String),
+    /// 408 — the peer trickled the request in past the per-request
+    /// deadline (slowloris defence).
+    RequestTimeout {
+        /// How long the server waited for the complete request, in ms.
+        waited_ms: u64,
+    },
+    /// 413 — the declared body exceeds the configured cap.
+    PayloadTooLarge {
+        /// The configured `--max-body-bytes` limit.
+        limit: usize,
+    },
     /// 503 — the batch queue is full; the request was shed, not queued.
     LoadShed {
         /// The configured queue bound that was hit.
@@ -65,6 +78,8 @@ impl ApiError {
             ApiError::BadRequest(_) => 400,
             ApiError::NotFound(_) => 404,
             ApiError::MethodNotAllowed(_) => 405,
+            ApiError::RequestTimeout { .. } => 408,
+            ApiError::PayloadTooLarge { .. } => 413,
             ApiError::LoadShed { .. } | ApiError::ShuttingDown => 503,
             ApiError::DeadlineExceeded { .. } => 504,
             ApiError::Internal(_) => 500,
@@ -77,6 +92,8 @@ impl ApiError {
             ApiError::BadRequest(_) => "bad_request",
             ApiError::NotFound(_) => "not_found",
             ApiError::MethodNotAllowed(_) => "method_not_allowed",
+            ApiError::RequestTimeout { .. } => "request_timeout",
+            ApiError::PayloadTooLarge { .. } => "payload_too_large",
             ApiError::LoadShed { .. } => "load_shed",
             ApiError::ShuttingDown => "shutting_down",
             ApiError::DeadlineExceeded { .. } => "deadline_exceeded",
@@ -90,6 +107,12 @@ impl ApiError {
             ApiError::BadRequest(m) | ApiError::Internal(m) => m.clone(),
             ApiError::NotFound(p) => format!("no such endpoint {p:?}"),
             ApiError::MethodNotAllowed(p) => format!("wrong method for {p:?}"),
+            ApiError::RequestTimeout { waited_ms } => {
+                format!("request incomplete after {waited_ms} ms; closing")
+            }
+            ApiError::PayloadTooLarge { limit } => {
+                format!("request body exceeds max_body_bytes={limit}")
+            }
             ApiError::LoadShed { depth } => {
                 format!("queue full (depth {depth}); request shed, retry later")
             }
@@ -416,6 +439,8 @@ mod tests {
             ApiError::BadRequest("x".into()),
             ApiError::NotFound("/nope".into()),
             ApiError::MethodNotAllowed("/parse".into()),
+            ApiError::RequestTimeout { waited_ms: 250 },
+            ApiError::PayloadTooLarge { limit: 4 << 20 },
             ApiError::LoadShed { depth: 8 },
             ApiError::ShuttingDown,
             ApiError::DeadlineExceeded { waited_ms: 12 },

@@ -1,28 +1,51 @@
-//! The TCP server: accept loop, routing, and graceful shutdown.
+//! The TCP server: epoll event loop, routing, shards, and graceful
+//! shutdown.
 //!
-//! Threading model: one accept loop (non-blocking, polled), one
-//! scheduler thread (the batcher), and one thread per live connection
-//! (bounded). Shutdown — via SIGTERM/SIGINT, `POST /shutdown`, or a
-//! [`ServerHandle`] — runs in strict order: stop accepting, join the
-//! connection threads (their in-flight requests complete, which
-//! requires the scheduler to still be running), then stop and join the
-//! scheduler once no producer remains. That ordering is what makes
-//! "drain in-flight batches" a guarantee instead of a race.
+//! Threading model: **one event-loop thread** owns every socket — the
+//! listener and all connections are nonblocking and edge-triggered
+//! through [`ucfg_support::evloop`] — plus one batch-scheduler thread
+//! per shard ([`ShardSet`]). Each connection is a small state machine:
+//! an incremental [`Assembler`] collects request bytes as they arrive,
+//! complete requests are routed, compute requests are enqueued on the
+//! shard owning their content hash, and the shard's reply lands in a
+//! completion queue that wakes the poller (eventfd) to write the
+//! response. At most one request per connection is in flight at a
+//! time; pipelined bytes wait in the assembler.
+//!
+//! Robustness on the connection path:
+//! - bodies over `--max-body-bytes` are answered `413` at header time
+//!   (nothing is allocated for the declared length);
+//! - a request that trickles in longer than `--request-timeout-ms`
+//!   is answered `408` and the connection closed (slowloris defence);
+//! - when live connections reach `--max-connections`, the listener is
+//!   deregistered from the poller (**accept backpressure**): new
+//!   connections queue in the kernel backlog instead of each burning a
+//!   thread, and accepting resumes as soon as a slot frees.
+//!
+//! Shutdown — via SIGTERM/SIGINT, `POST /shutdown`, or a
+//! [`ServerHandle`] — runs in strict order: stop accepting, close idle
+//! connections, let in-flight requests complete (their responses are
+//! sent `Connection: close`; the per-request deadline bounds the
+//! stragglers), then stop and join the shard schedulers once no
+//! producer remains. That ordering is what makes "drain in-flight
+//! batches" a guarantee instead of a race.
 
-use crate::batch::{ParseJob, ParseOutcome, Scheduler};
-use crate::cache::{Artifact, ArtifactCache, RectsArtifact};
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::batch::{Job, ParseJob, ParseOutcome, RectJob, ReplySink};
+use crate::http::{render_response, Assembler, Limits, Request, WireError};
 use crate::json::Json;
 use crate::protocol::{ApiError, ParseRequest, RectRequest};
-use std::io::{self, BufReader};
+use crate::shard::ShardSet;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+use ucfg_grammar::Grammar;
+use ucfg_support::evloop::{self, Event, Interest, Poller, Waker};
 use ucfg_support::{obs, par};
 
-/// Set by the SIGTERM/SIGINT handlers; polled by every accept loop.
+/// Set by the SIGTERM/SIGINT handlers; polled by every event loop.
 /// Process-global because signal dispositions are process-global.
 static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
@@ -36,7 +59,7 @@ mod sig {
 
     extern "C" fn on_signal(_signum: i32) {
         // An atomic store is async-signal-safe; everything else happens
-        // on the accept loop when it next polls the flag.
+        // on the event loop when it next polls the flag.
         SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
@@ -70,15 +93,25 @@ pub struct ServeConfig {
     pub host: String,
     /// TCP port; 0 asks the OS for an ephemeral port.
     pub port: u16,
-    /// Bounded batch-queue depth; a full queue load-sheds.
+    /// Bounded batch-queue depth per shard; a full queue load-sheds.
     pub queue_depth: usize,
     /// Per-request queue deadline in milliseconds.
     pub deadline_ms: u64,
-    /// Artifact-cache capacity (entries).
+    /// Artifact-cache capacity (entries, total across shards).
     pub cache_capacity: usize,
-    /// Maximum concurrent connections; excess connections get an
-    /// immediate 503 and are closed.
+    /// Maximum concurrent connections. At the budget the listener is
+    /// paused (accept backpressure) instead of answering 503; excess
+    /// connections wait in the kernel backlog.
     pub max_connections: usize,
+    /// Worker shards: per-shard artifact cache + batch queue, keyed by
+    /// content hash (`--shards`).
+    pub shards: usize,
+    /// Largest accepted request body in bytes (`--max-body-bytes`);
+    /// larger declarations are answered 413.
+    pub max_body_bytes: usize,
+    /// Overall header+body deadline per request in milliseconds
+    /// (`--request-timeout-ms`); slower clients are answered 408.
+    pub request_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -89,23 +122,58 @@ impl Default for ServeConfig {
             queue_depth: 256,
             deadline_ms: 10_000,
             cache_capacity: 64,
-            max_connections: 64,
+            max_connections: 10_000,
+            shards: 1,
+            max_body_bytes: crate::http::MAX_BODY_BYTES,
+            request_timeout_ms: 10_000,
         }
     }
 }
 
 pub(crate) struct State {
     cfg: ServeConfig,
-    cache: Mutex<ArtifactCache>,
-    sched: Scheduler,
+    shards: ShardSet,
     shutdown: AtomicBool,
     started: Instant,
     requests: AtomicU64,
+    /// Live connections (for `/healthz`).
+    connections: AtomicUsize,
+    /// Replies from shard threads, drained by the event loop.
+    completions: Mutex<Vec<Completion>>,
+    /// Wakes the poller when a completion lands; set once by `run`.
+    waker: OnceLock<Arc<Waker>>,
+}
+
+/// One finished compute job, addressed to connection `slot` as of
+/// generation `gen` (stale generations mean the connection died and
+/// was replaced; the completion is dropped).
+struct Completion {
+    slot: usize,
+    gen: u64,
+    status: u16,
+    body: String,
 }
 
 impl State {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// Deliver a shard reply to the event loop and wake it.
+fn push_completion(state: &State, slot: usize, gen: u64, status: u16, body: String) {
+    state
+        .completions
+        .lock()
+        .expect("completions poisoned")
+        .push(Completion {
+            slot,
+            gen,
+            status,
+            body,
+        });
+    if let Some(w) = state.waker.get() {
+        w.wake();
     }
 }
 
@@ -143,11 +211,18 @@ impl Server {
         let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
         listener.set_nonblocking(true)?;
         let state = Arc::new(State {
-            cache: Mutex::new(ArtifactCache::new(cfg.cache_capacity)),
-            sched: Scheduler::new(cfg.queue_depth, Duration::from_millis(cfg.deadline_ms)),
+            shards: ShardSet::new(
+                cfg.shards,
+                cfg.cache_capacity,
+                cfg.queue_depth,
+                Duration::from_millis(cfg.deadline_ms),
+            ),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             requests: AtomicU64::new(0),
+            connections: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker: OnceLock::new(),
             cfg,
         });
         Ok(Server { listener, state })
@@ -173,54 +248,46 @@ impl Server {
     }
 
     /// Serve until shutdown is requested, then drain and return.
+    /// Requires epoll, i.e. Linux (the constructor fails cleanly
+    /// elsewhere).
     pub fn run(self) -> io::Result<ServeSummary> {
         let state = Arc::clone(&self.state);
 
-        let sched_state = Arc::clone(&state);
-        let scheduler = thread::Builder::new()
-            .name("ucfg-serve-batch".into())
-            .spawn(move || sched_state.sched.run(&sched_state.cache))?;
+        // Best-effort: each connection is one fd; leave headroom for
+        // the listener, poller, eventfd, and stdio.
+        let _ = evloop::raise_nofile_limit(state.cfg.max_connections as u64 + 64);
 
-        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
-        while !state.shutting_down() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    workers.retain(|h| !h.is_finished());
-                    if workers.len() >= state.cfg.max_connections {
-                        obs::count!("serve.rejects.connections");
-                        let mut s = stream;
-                        let body = ApiError::LoadShed {
-                            depth: state.cfg.max_connections,
-                        }
-                        .body();
-                        let _ = write_response(&mut s, 503, body.as_bytes(), true);
-                        continue;
-                    }
-                    let conn_state = Arc::clone(&state);
-                    let h = thread::Builder::new()
-                        .name("ucfg-serve-conn".into())
-                        .spawn(move || {
-                            let _ = handle_connection(conn_state, stream);
-                        })?;
-                    workers.push(h);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let shard_threads = state.shards.spawn()?;
 
-        // Graceful drain: connections first (the scheduler must stay
-        // alive while they finish their in-flight requests), then the
-        // scheduler, which exits once the queue is empty.
-        state.shutdown.store(true, Ordering::SeqCst);
-        for h in workers {
+        let poller = Poller::new()?;
+        poller.add(
+            self.listener.as_raw_fd(),
+            TOKEN_LISTENER,
+            Interest::READABLE,
+        )?;
+        let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
+        let _ = state.waker.set(Arc::clone(&waker));
+
+        let mut evloop = EventLoop {
+            state: Arc::clone(&state),
+            poller,
+            listener: self.listener,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            accept_registered: true,
+            events: Vec::new(),
+        };
+        let result = evloop.run();
+
+        // No producer remains (all connections are closed), so the
+        // shard queues drain to empty and the threads exit.
+        state.shards.stop();
+        for h in shard_threads {
             let _ = h.join();
         }
-        state.sched.stop();
-        let _ = scheduler.join();
+        result?;
 
         Ok(ServeSummary {
             requests: state.requests.load(Ordering::SeqCst),
@@ -228,76 +295,482 @@ impl Server {
     }
 }
 
-/// Per-connection loop: keep-alive request/response until EOF, error,
-/// client `Connection: close`, or server shutdown.
-fn handle_connection(state: Arc<State>, stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    // Short read timeout so idle keep-alive connections notice shutdown.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+/// Token for the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token for the completion-queue eventfd.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
 
-    loop {
-        match read_request(&mut reader)? {
-            ReadOutcome::Eof => return Ok(()),
-            ReadOutcome::Idle => {
-                if state.shutting_down() {
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Incremental request parser.
+    asm: Assembler,
+    /// Pending response bytes (next write starts at `out_pos`).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A compute job is in flight; don't pump further requests.
+    awaiting_reply: bool,
+    /// Close once `out` is fully flushed.
+    close_after_write: bool,
+    /// The in-flight request asked for `Connection: close`.
+    pending_close: bool,
+    /// Deadline for completing the currently-assembling request
+    /// (slowloris defence); `None` while idle or awaiting a reply.
+    deadline: Option<Instant>,
+    /// Registered interest currently includes writable.
+    want_write: bool,
+    /// Slot generation, for matching completions.
+    gen: u64,
+}
+
+/// The single-threaded epoll loop owning every socket.
+struct EventLoop {
+    state: Arc<State>,
+    poller: Poller,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation counters (bumped on reuse).
+    gens: Vec<u64>,
+    free: Vec<usize>,
+    live: usize,
+    accept_registered: bool,
+    events: Vec<Event>,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        loop {
+            if self.state.shutting_down() {
+                self.pause_accept();
+                self.close_idle_conns();
+                if self.live == 0 {
                     return Ok(());
                 }
             }
-            ReadOutcome::Malformed(msg) => {
-                let body = ApiError::BadRequest(msg).body();
-                state.requests.fetch_add(1, Ordering::SeqCst);
-                write_response(&mut writer, 400, body.as_bytes(), true)?;
+
+            let timeout = self.next_timeout();
+            let mut events = std::mem::take(&mut self.events);
+            events.clear();
+            self.poller.wait(&mut events, Some(timeout))?;
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_sweep()?,
+                    TOKEN_WAKER => {
+                        if let Some(w) = self.state.waker.get() {
+                            w.drain();
+                        }
+                    }
+                    slot => self.on_conn_event(slot as usize, ev),
+                }
+            }
+            self.events = events;
+
+            self.deliver_completions();
+            self.enforce_deadlines();
+            self.maybe_resume_accept()?;
+        }
+    }
+
+    /// How long the next `epoll_wait` may block: bounded by the poll
+    /// tick (shutdown flag, completion races) and the nearest
+    /// per-request deadline.
+    fn next_timeout(&self) -> Duration {
+        let tick = Duration::from_millis(50);
+        let now = Instant::now();
+        self.conns
+            .iter()
+            .flatten()
+            .filter_map(|c| c.deadline)
+            .map(|d| d.saturating_duration_since(now))
+            .min()
+            .map_or(tick, |until| until.min(tick))
+    }
+
+    // ---- accepting --------------------------------------------------
+
+    fn accept_sweep(&mut self) -> io::Result<()> {
+        if !self.accept_registered {
+            return Ok(());
+        }
+        loop {
+            if self.live >= self.state.cfg.max_connections {
+                // Budget reached: stop listening. The kernel backlog
+                // holds new connections until a slot frees.
+                self.pause_accept();
                 return Ok(());
             }
-            ReadOutcome::Request(req) => {
-                let (status, body) = route(&state, &req);
-                state.requests.fetch_add(1, Ordering::SeqCst);
-                // After a shutdown request (or signal) finish this
-                // response, then close.
-                let close = req.wants_close() || state.shutting_down();
-                write_response(&mut writer, status, body.as_bytes(), close)?;
-                if close {
-                    return Ok(());
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.register_conn(stream)?,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // Transient per-connection accept failures
+                // (ECONNABORTED and friends): skip that connection.
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(0);
+            self.conns.len() - 1
+        });
+        self.gens[slot] += 1;
+        self.poller
+            .add(stream.as_raw_fd(), slot as u64, Interest::READABLE)?;
+        self.conns[slot] = Some(Conn {
+            stream,
+            asm: Assembler::new(Limits {
+                max_body_bytes: self.state.cfg.max_body_bytes,
+                ..Limits::default()
+            }),
+            out: Vec::new(),
+            out_pos: 0,
+            awaiting_reply: false,
+            close_after_write: false,
+            pending_close: false,
+            deadline: None,
+            want_write: false,
+            gen: self.gens[slot],
+        });
+        self.live += 1;
+        self.state.connections.store(self.live, Ordering::SeqCst);
+        obs::vcount!("serve.connections.accepted");
+        Ok(())
+    }
+
+    fn pause_accept(&mut self) {
+        if self.accept_registered {
+            let _ = self.poller.remove(self.listener.as_raw_fd());
+            self.accept_registered = false;
+        }
+    }
+
+    fn maybe_resume_accept(&mut self) -> io::Result<()> {
+        if !self.accept_registered
+            && !self.state.shutting_down()
+            && self.live < self.state.cfg.max_connections
+        {
+            self.poller.add(
+                self.listener.as_raw_fd(),
+                TOKEN_LISTENER,
+                Interest::READABLE,
+            )?;
+            self.accept_registered = true;
+            // Edge-triggered: connections that queued while paused
+            // won't produce a fresh edge, so sweep the backlog now.
+            self.accept_sweep()?;
+        }
+        Ok(())
+    }
+
+    // ---- connection I/O --------------------------------------------
+
+    fn on_conn_event(&mut self, slot: usize, ev: Event) {
+        if self.conns.get(slot).map_or(true, Option::is_none) {
+            return; // stale event for a closed connection
+        }
+        if ev.error {
+            self.close_conn(slot);
+            return;
+        }
+        if ev.readable || ev.hangup {
+            self.read_drain(slot);
+        }
+        if ev.writable && self.conns[slot].is_some() {
+            self.flush(slot);
+        }
+    }
+
+    /// Drain the socket until `WouldBlock` (edge-triggered contract),
+    /// then pump any complete requests.
+    fn read_drain(&mut self, slot: usize) {
+        let mut eof = false;
+        let mut buf = [0u8; 16 << 10];
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    eof = true;
+                    break;
                 }
+                Ok(n) => conn.asm.push(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        self.pump_requests(slot);
+        if eof {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.awaiting_reply || conn.out_pos < conn.out.len() {
+                // A reply is still owed or buffered: deliver it (the
+                // peer may have only shut down its write side), then
+                // close.
+                conn.close_after_write = true;
+            } else {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    /// Run the assembler: dispatch complete requests until input runs
+    /// out, a compute job goes in flight, or the connection errors.
+    fn pump_requests(&mut self, slot: usize) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    return;
+                };
+                if conn.awaiting_reply || conn.close_after_write {
+                    break;
+                }
+                conn.asm.next()
+            };
+            match step {
+                Ok(None) => break,
+                Ok(Some(req)) => {
+                    let routed = route(&self.state, &req);
+                    // Computed after routing so `POST /shutdown`'s own
+                    // response already carries `Connection: close`.
+                    let close = req.wants_close() || self.state.shutting_down();
+                    match routed {
+                        Routed::Ready(status, body) => {
+                            self.queue_response(slot, status, &body, close)
+                        }
+                        Routed::Enqueue(spec) => {
+                            let gen = {
+                                let conn = self.conns[slot].as_mut().expect("checked above");
+                                conn.awaiting_reply = true;
+                                conn.pending_close = close;
+                                conn.gen
+                            };
+                            if let Err(e) = enqueue_job(&self.state, spec, slot, gen) {
+                                if let Some(conn) = self.conns[slot].as_mut() {
+                                    conn.awaiting_reply = false;
+                                }
+                                self.queue_response(slot, e.status(), &e.body(), close);
+                            }
+                        }
+                    }
+                }
+                Err(we) => {
+                    let err = match we {
+                        WireError::Malformed(m) => ApiError::BadRequest(m),
+                        WireError::TooLarge { limit } => ApiError::PayloadTooLarge { limit },
+                    };
+                    self.queue_response(slot, err.status(), &err.body(), true);
+                    break;
+                }
+            }
+        }
+        // Deadline bookkeeping: a partially-assembled request is on
+        // the clock; an idle or reply-awaiting connection is not.
+        if let Some(conn) = self.conns[slot].as_mut() {
+            if conn.awaiting_reply || conn.asm.is_idle() {
+                conn.deadline = None;
+            } else if conn.deadline.is_none() {
+                conn.deadline =
+                    Some(Instant::now() + Duration::from_millis(self.state.cfg.request_timeout_ms));
+            }
+        }
+    }
+
+    /// Serialise a response onto the connection's write buffer and
+    /// flush as far as the socket allows.
+    fn queue_response(&mut self, slot: usize, status: u16, body: &str, close: bool) {
+        self.state.requests.fetch_add(1, Ordering::SeqCst);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let frame = render_response(status, body.as_bytes(), close);
+        conn.out.extend_from_slice(&frame);
+        if close {
+            conn.close_after_write = true;
+        }
+        self.flush(slot);
+    }
+
+    fn flush(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(slot);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self.poller.modify(
+                            conn.stream.as_raw_fd(),
+                            slot as u64,
+                            Interest::BOTH,
+                        );
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(slot);
+                    return;
+                }
+            }
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.close_after_write {
+            self.close_conn(slot);
+            return;
+        }
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), slot as u64, Interest::READABLE);
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            drop(conn);
+            self.free.push(slot);
+            self.live -= 1;
+            self.state.connections.store(self.live, Ordering::SeqCst);
+        }
+    }
+
+    // ---- completions and deadlines ---------------------------------
+
+    fn deliver_completions(&mut self) {
+        let done: Vec<Completion> = {
+            let mut guard = self.state.completions.lock().expect("completions poisoned");
+            std::mem::take(&mut *guard)
+        };
+        for c in done {
+            let matches = self.conns.get(c.slot).is_some_and(|s| {
+                s.as_ref()
+                    .is_some_and(|conn| conn.gen == c.gen && conn.awaiting_reply)
+            });
+            if !matches {
+                continue; // connection died; the reply has no home
+            }
+            let close = {
+                let conn = self.conns[c.slot].as_mut().expect("checked above");
+                conn.awaiting_reply = false;
+                conn.pending_close || self.state.shutting_down()
+            };
+            self.queue_response(c.slot, c.status, &c.body, close);
+            // The reply may have unblocked pipelined requests.
+            if self.conns[c.slot].is_some() {
+                self.pump_requests(c.slot);
+            }
+        }
+    }
+
+    /// Answer 408 to connections whose in-progress request overstayed
+    /// `--request-timeout-ms`.
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let expired = self.conns[slot]
+                .as_ref()
+                .and_then(|c| c.deadline)
+                .is_some_and(|d| now >= d);
+            if expired {
+                obs::vcount!("serve.rejects.request_timeout");
+                let err = ApiError::RequestTimeout {
+                    waited_ms: self.state.cfg.request_timeout_ms,
+                };
+                self.queue_response(slot, err.status(), &err.body(), true);
+            }
+        }
+    }
+
+    /// During shutdown: close connections with nothing in flight.
+    fn close_idle_conns(&mut self) {
+        for slot in 0..self.conns.len() {
+            let idle = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| !c.awaiting_reply && c.out_pos >= c.out.len() && c.asm.is_idle());
+            if idle {
+                self.close_conn(slot);
             }
         }
     }
 }
 
-/// Dispatch one request to its endpoint. Infallible: protocol errors
-/// become their JSON error bodies.
-fn route(state: &State, req: &Request) -> (u16, String) {
-    let result = match (req.method.as_str(), req.path.as_str()) {
+/// Where a routed request goes next.
+enum Routed {
+    /// Answer immediately (status, body).
+    Ready(u16, String),
+    /// Hand to a shard's batch queue.
+    Enqueue(JobSpec),
+}
+
+/// A compute request, validated and ready to enqueue.
+enum JobSpec {
+    /// `/parse`.
+    Parse {
+        key: u64,
+        grammar: Grammar,
+        word: String,
+        check: bool,
+    },
+    /// `/cover/verify` or `/discrepancy`.
+    Rect { req: RectRequest, discrepancy: bool },
+}
+
+/// Dispatch one request. Infallible: protocol errors become their JSON
+/// error bodies. Pure routing — no compute, no blocking.
+fn route(state: &State, req: &Request) -> Routed {
+    let result: Result<Routed, ApiError> = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             obs::count!("serve.requests.healthz");
-            Ok(healthz(state))
+            Ok(Routed::Ready(200, healthz(state)))
         }
         ("GET", "/metrics") => {
             obs::count!("serve.requests.metrics");
-            Ok(obs::export_json("serve"))
+            Ok(Routed::Ready(200, obs::export_json("serve")))
         }
         ("GET", "/metrics/deterministic") => {
             obs::count!("serve.requests.metrics");
-            Ok(obs::export_deterministic("serve"))
+            Ok(Routed::Ready(200, obs::export_deterministic("serve")))
         }
         ("POST", "/parse") => {
             obs::count!("serve.requests.parse");
-            parse_endpoint(state, req)
+            parse_spec(state, req)
         }
         ("POST", "/cover/verify") => {
             obs::count!("serve.requests.cover");
-            rect_endpoint(state, req, false)
+            rect_spec(state, req, false)
         }
         ("POST", "/discrepancy") => {
             obs::count!("serve.requests.discrepancy");
-            rect_endpoint(state, req, true)
+            rect_spec(state, req, true)
         }
         ("POST", "/shutdown") => {
             obs::count!("serve.requests.shutdown");
             state.shutdown.store(true, Ordering::SeqCst);
-            Ok(single_line(Json::obj(vec![("draining", Json::Bool(true))])))
+            Ok(Routed::Ready(
+                200,
+                single_line(Json::obj(vec![("draining", Json::Bool(true))])),
+            ))
         }
         (
             _,
@@ -312,8 +785,90 @@ fn route(state: &State, req: &Request) -> (u16, String) {
         (_, path) => Err(ApiError::NotFound(path.to_string())),
     };
     match result {
-        Ok(body) => (200, body),
-        Err(e) => (e.status(), e.body()),
+        Ok(r) => r,
+        Err(e) => Routed::Ready(e.status(), e.body()),
+    }
+}
+
+/// `POST /parse`: body → bounds-checked job spec.
+fn parse_spec(state: &State, req: &Request) -> Result<Routed, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let preq = parse_body(req).and_then(|b| ParseRequest::from_json(&b))?;
+    let grammar = preq.spec.build()?;
+    Ok(Routed::Enqueue(JobSpec::Parse {
+        key: grammar.content_hash(),
+        grammar,
+        word: preq.word,
+        check: preq.check,
+    }))
+}
+
+/// `POST /cover/verify` and `POST /discrepancy` share the rectangle
+/// path; the boolean picks the kernel.
+fn rect_spec(state: &State, req: &Request, discrepancy: bool) -> Result<Routed, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let rreq = parse_body(req).and_then(|b| RectRequest::from_json(&b, discrepancy))?;
+    Ok(Routed::Enqueue(JobSpec::Rect {
+        req: rreq,
+        discrepancy,
+    }))
+}
+
+/// Enqueue a validated spec on the shard owning its content hash. The
+/// reply sink pushes a completion and wakes the event loop.
+fn enqueue_job(state: &Arc<State>, spec: JobSpec, slot: usize, gen: u64) -> Result<(), ApiError> {
+    match spec {
+        JobSpec::Parse {
+            key,
+            grammar,
+            word,
+            check,
+        } => {
+            let st = Arc::clone(state);
+            let reply = ReplySink::from_fn(move |res: Result<ParseOutcome, ApiError>| {
+                let (status, body) = match res {
+                    Ok(o) => (200, render_parse(&o)),
+                    Err(e) => (e.status(), e.body()),
+                };
+                push_completion(&st, slot, gen, status, body);
+            });
+            state
+                .shards
+                .pick(key)
+                .sched
+                .try_enqueue(Job::Parse(ParseJob {
+                    key,
+                    grammar,
+                    word,
+                    check,
+                    enqueued: Instant::now(),
+                    reply,
+                }))
+        }
+        JobSpec::Rect { req, discrepancy } => {
+            let st = Arc::clone(state);
+            let reply = ReplySink::from_fn(move |res: Result<String, ApiError>| {
+                let (status, body) = match res {
+                    Ok(b) => (200, b),
+                    Err(e) => (e.status(), e.body()),
+                };
+                push_completion(&st, slot, gen, status, body);
+            });
+            state
+                .shards
+                .pick(req.cache_key())
+                .sched
+                .try_enqueue(Job::Rect(RectJob {
+                    req,
+                    discrepancy,
+                    enqueued: Instant::now(),
+                    reply,
+                }))
+        }
     }
 }
 
@@ -326,42 +881,18 @@ fn single_line(v: Json) -> String {
 fn healthz(state: &State) -> String {
     single_line(Json::obj(vec![
         ("status", Json::str("ok")),
-        ("queue_depth", Json::Int(state.sched.queue_len() as i64)),
+        ("queue_depth", Json::Int(state.shards.queue_len() as i64)),
+        (
+            "connections",
+            Json::Int(state.connections.load(Ordering::SeqCst) as i64),
+        ),
+        ("shards", Json::Int(state.shards.len() as i64)),
         (
             "uptime_ms",
             Json::Int(state.started.elapsed().as_millis() as i64),
         ),
         ("threads", Json::Int(par::thread_count() as i64)),
     ]))
-}
-
-/// `POST /parse`: body → job → bounded queue → batch → outcome.
-fn parse_endpoint(state: &State, req: &Request) -> Result<String, ApiError> {
-    if state.shutting_down() {
-        return Err(ApiError::ShuttingDown);
-    }
-    let preq = parse_body(req).and_then(|b| ParseRequest::from_json(&b))?;
-    let grammar = preq.spec.build()?;
-    let key = grammar.content_hash();
-
-    let (tx, rx) = mpsc::channel();
-    state.sched.try_enqueue(ParseJob {
-        key,
-        grammar,
-        word: preq.word,
-        check: preq.check,
-        enqueued: Instant::now(),
-        reply: tx,
-    })?;
-
-    // The scheduler always answers (parse, deadline reject, or drain);
-    // the generous timeout is a backstop against scheduler death, not
-    // part of the protocol.
-    let deadline = Duration::from_millis(state.cfg.deadline_ms) + Duration::from_secs(60);
-    let outcome = rx
-        .recv_timeout(deadline)
-        .map_err(|_| ApiError::Internal("scheduler did not answer".into()))??;
-    Ok(render_parse(&outcome))
 }
 
 fn render_parse(o: &ParseOutcome) -> String {
@@ -381,57 +912,6 @@ fn render_parse(o: &ParseOutcome) -> String {
     single_line(Json::obj(fields))
 }
 
-/// `POST /cover/verify` and `POST /discrepancy` share the rectangle
-/// artifact path; the boolean picks the kernel.
-fn rect_endpoint(state: &State, req: &Request, discrepancy: bool) -> Result<String, ApiError> {
-    if state.shutting_down() {
-        return Err(ApiError::ShuttingDown);
-    }
-    let rreq = parse_body(req).and_then(|b| RectRequest::from_json(&b, discrepancy))?;
-    let (artifact, hit) = state
-        .cache
-        .lock()
-        .expect("cache poisoned")
-        .get_or_insert_with(rreq.cache_key(), || {
-            RectsArtifact::build(rreq).map(Artifact::Rects)
-        })?;
-    let rects = artifact
-        .as_rects()
-        .ok_or_else(|| ApiError::Internal("key collision in cache".into()))?;
-
-    let cache_tag = ("cache", Json::str(if hit { "hit" } else { "miss" }));
-    let threads = par::thread_count();
-    if discrepancy {
-        let _t = obs::span!("serve.discrepancy");
-        let (discs, sums) =
-            ucfg_core::cover::discrepancy_accounting_threads(rreq.n, &rects.rects, threads);
-        Ok(single_line(Json::obj(vec![
-            ("n", Json::Int(rreq.n as i64)),
-            ("family", Json::str(rreq.family.name())),
-            ("size", Json::Int(rects.rects.len() as i64)),
-            (
-                "discrepancies",
-                Json::Arr(discs.into_iter().map(Json::Int).collect()),
-            ),
-            ("sums_to_gap", Json::Bool(sums)),
-            cache_tag,
-        ])))
-    } else {
-        let _t = obs::span!("serve.cover.verify");
-        let report = ucfg_core::cover::verify_cover_threads(rreq.n, &rects.rects, threads);
-        Ok(single_line(Json::obj(vec![
-            ("n", Json::Int(rreq.n as i64)),
-            ("family", Json::str(rreq.family.name())),
-            ("size", Json::Int(report.size as i64)),
-            ("covers_exactly", Json::Bool(report.covers_exactly)),
-            ("disjoint", Json::Bool(report.disjoint)),
-            ("all_balanced", Json::Bool(report.all_balanced)),
-            ("max_overlap", Json::Int(report.max_overlap as i64)),
-            cache_tag,
-        ])))
-    }
-}
-
 fn parse_body(req: &Request) -> Result<Json, ApiError> {
     let text = req
         .body_str()
@@ -442,21 +922,97 @@ fn parse_body(req: &Request) -> Result<Json, ApiError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
 
+    /// A state with live shard drain threads, so `route_sync` can
+    /// resolve Enqueue specs end to end. The threads park on their
+    /// condvars and die with the process.
     fn test_state(queue_depth: usize, deadline_ms: u64) -> Arc<State> {
         let cfg = ServeConfig {
             queue_depth,
             deadline_ms,
             ..ServeConfig::default()
         };
-        Arc::new(State {
-            cache: Mutex::new(ArtifactCache::new(cfg.cache_capacity)),
-            sched: Scheduler::new(cfg.queue_depth, Duration::from_millis(cfg.deadline_ms)),
+        let state = Arc::new(State {
+            shards: ShardSet::new(
+                cfg.shards,
+                cfg.cache_capacity,
+                cfg.queue_depth,
+                Duration::from_millis(cfg.deadline_ms),
+            ),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             requests: AtomicU64::new(0),
+            connections: AtomicUsize::new(0),
+            completions: Mutex::new(Vec::new()),
+            waker: OnceLock::new(),
             cfg,
-        })
+        });
+        state.shards.spawn().unwrap();
+        state
+    }
+
+    /// Route a request and, when it enqueues, run the job through the
+    /// state's live shards — the blocking analogue of the event loop.
+    fn route_sync(state: &Arc<State>, req: &Request) -> (u16, String) {
+        match route(state, req) {
+            Routed::Ready(status, body) => (status, body),
+            Routed::Enqueue(spec) => {
+                let (tx, rx) = mpsc::channel::<(u16, String)>();
+                let enqueued = match spec {
+                    JobSpec::Parse {
+                        key,
+                        grammar,
+                        word,
+                        check,
+                    } => {
+                        let reply =
+                            ReplySink::from_fn(move |res: Result<ParseOutcome, ApiError>| {
+                                let msg = match res {
+                                    Ok(o) => (200, render_parse(&o)),
+                                    Err(e) => (e.status(), e.body()),
+                                };
+                                let _ = tx.send(msg);
+                            });
+                        state
+                            .shards
+                            .pick(key)
+                            .sched
+                            .try_enqueue(Job::Parse(ParseJob {
+                                key,
+                                grammar,
+                                word,
+                                check,
+                                enqueued: Instant::now(),
+                                reply,
+                            }))
+                    }
+                    JobSpec::Rect { req, discrepancy } => {
+                        let reply = ReplySink::from_fn(move |res: Result<String, ApiError>| {
+                            let msg = match res {
+                                Ok(b) => (200, b),
+                                Err(e) => (e.status(), e.body()),
+                            };
+                            let _ = tx.send(msg);
+                        });
+                        state
+                            .shards
+                            .pick(req.cache_key())
+                            .sched
+                            .try_enqueue(Job::Rect(RectJob {
+                                req,
+                                discrepancy,
+                                enqueued: Instant::now(),
+                                reply,
+                            }))
+                    }
+                };
+                match enqueued {
+                    Ok(()) => rx.recv_timeout(Duration::from_secs(30)).expect("reply"),
+                    Err(e) => (e.status(), e.body()),
+                }
+            }
+        }
     }
 
     fn post(path: &str, body: &str) -> Request {
@@ -480,35 +1036,59 @@ mod tests {
     #[test]
     fn routing_basics() {
         let state = test_state(8, 1000);
-        let (status, body) = route(&state, &get("/healthz"));
+        let (status, body) = route_sync(&state, &get("/healthz"));
         assert_eq!(status, 200);
         let v = Json::parse(body.trim_end()).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(v.get("shards"), Some(&Json::Int(1)));
+        assert_eq!(v.get("connections"), Some(&Json::Int(0)));
 
-        let (status, _) = route(&state, &get("/nope"));
+        let (status, _) = route_sync(&state, &get("/nope"));
         assert_eq!(status, 404);
-        let (status, body) = route(&state, &get("/parse"));
+        let (status, body) = route_sync(&state, &get("/parse"));
         assert_eq!(status, 405, "{body}");
-        let (status, body) = route(&state, &post("/parse", "not json"));
+        let (status, body) = route_sync(&state, &post("/parse", "not json"));
         assert_eq!(status, 400, "{body}");
     }
 
     #[test]
     fn metrics_endpoints_render() {
         let state = test_state(8, 1000);
-        let (status, body) = route(&state, &get("/metrics"));
+        let (status, body) = route_sync(&state, &get("/metrics"));
         assert_eq!(status, 200);
         assert!(body.contains("\"volatile\""));
-        let (status, det) = route(&state, &get("/metrics/deterministic"));
+        let (status, det) = route_sync(&state, &get("/metrics/deterministic"));
         assert_eq!(status, 200);
         assert!(!det.contains("\"volatile\""));
         assert!(det.contains("\"counters\""));
     }
 
     #[test]
+    fn parse_requests_flow_through_the_shards() {
+        let state = test_state(8, 5000);
+        let (status, body) = route_sync(
+            &state,
+            &post("/parse", r#"{"grammar":"S -> a S | b","word":"aab"}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("member"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+
+        // Warm repeat: same grammar hash lands on the same shard and
+        // hits its cache.
+        let (_, body) = route_sync(
+            &state,
+            &post("/parse", r#"{"grammar":"S -> a S | b","word":"b"}"#),
+        );
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+    }
+
+    #[test]
     fn cover_and_discrepancy_endpoints_compute() {
-        let state = test_state(8, 1000);
-        let (status, body) = route(&state, &post("/cover/verify", r#"{"n":4}"#));
+        let state = test_state(8, 5000);
+        let (status, body) = route_sync(&state, &post("/cover/verify", r#"{"n":4}"#));
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(body.trim_end()).unwrap();
         assert_eq!(v.get("size"), Some(&Json::Int(4)));
@@ -517,19 +1097,19 @@ mod tests {
         assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
 
         // Warm repeat: same family resolves from the cache.
-        let (_, body) = route(&state, &post("/cover/verify", r#"{"n":4}"#));
+        let (_, body) = route_sync(&state, &post("/cover/verify", r#"{"n":4}"#));
         let v = Json::parse(body.trim_end()).unwrap();
         assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
 
-        let (status, body) = route(&state, &post("/discrepancy", r#"{"n":4}"#));
+        let (status, body) = route_sync(&state, &post("/discrepancy", r#"{"n":4}"#));
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(body.trim_end()).unwrap();
         assert_eq!(v.get("sums_to_gap"), Some(&Json::Bool(true)));
 
         // n without block structure: 400 from /discrepancy only.
-        let (status, _) = route(&state, &post("/discrepancy", r#"{"n":6}"#));
+        let (status, _) = route_sync(&state, &post("/discrepancy", r#"{"n":6}"#));
         assert_eq!(status, 400);
-        let (status, _) = route(&state, &post("/cover/verify", r#"{"n":6}"#));
+        let (status, _) = route_sync(&state, &post("/cover/verify", r#"{"n":6}"#));
         assert_eq!(status, 200);
     }
 
@@ -537,11 +1117,11 @@ mod tests {
     fn shutdown_endpoint_flips_the_flag_and_sheds() {
         let state = test_state(8, 1000);
         assert!(!state.shutting_down());
-        let (status, body) = route(&state, &post("/shutdown", ""));
+        let (status, body) = route_sync(&state, &post("/shutdown", ""));
         assert_eq!(status, 200);
         assert!(body.contains("draining"));
         assert!(state.shutting_down());
-        let (status, body) = route(&state, &post("/cover/verify", r#"{"n":4}"#));
+        let (status, body) = route_sync(&state, &post("/cover/verify", r#"{"n":4}"#));
         assert_eq!(status, 503);
         assert!(body.contains("shutting_down"), "{body}");
     }
@@ -562,6 +1142,47 @@ mod tests {
             "{\"member\":true,\"parse_count\":\"12\",\"ambiguous\":true,\
              \"grammar_hash\":\"0000000000000abc\",\"cache\":\"miss\",\
              \"cross_check\":\"ok\"}\n"
+        );
+    }
+
+    #[test]
+    fn sharded_responses_match_single_shard() {
+        let bodies: Vec<Vec<String>> = [1usize, 4]
+            .into_iter()
+            .map(|shards| {
+                let cfg = ServeConfig {
+                    shards,
+                    ..ServeConfig::default()
+                };
+                let state = Arc::new(State {
+                    shards: ShardSet::new(
+                        cfg.shards,
+                        cfg.cache_capacity,
+                        cfg.queue_depth,
+                        Duration::from_millis(cfg.deadline_ms),
+                    ),
+                    shutdown: AtomicBool::new(false),
+                    started: Instant::now(),
+                    requests: AtomicU64::new(0),
+                    connections: AtomicUsize::new(0),
+                    completions: Mutex::new(Vec::new()),
+                    waker: OnceLock::new(),
+                    cfg,
+                });
+                state.shards.spawn().unwrap();
+                [
+                    r#"{"grammar":"S -> a S | b","word":"aab"}"#,
+                    r#"{"grammar":"S -> S S | a","word":"aaa"}"#,
+                    r#"{"builtin":"example3","n":2,"word":"ab"}"#,
+                ]
+                .iter()
+                .map(|body| route_sync(&state, &post("/parse", body)).1)
+                .collect()
+            })
+            .collect();
+        assert_eq!(
+            bodies[0], bodies[1],
+            "shard count must not leak into bodies"
         );
     }
 }

@@ -1,0 +1,107 @@
+//! Synthetic high-concurrency load test against the event loop.
+//!
+//! The tentpole acceptance criterion for the event-driven serve layer:
+//! **≥ 2,000 concurrent keep-alive connections, zero dropped or wedged
+//! requests**. Fifty client threads open 41 connections each (2,050
+//! total), rendezvous at a barrier so every connection is open at
+//! once, then issue a health probe and a `/parse` on every connection.
+//! Every response must be a 200, and the server's own request counter
+//! must equal the exact number of requests sent — nothing dropped,
+//! nothing double-counted.
+//!
+//! Numbers from this test are recorded in `EXPERIMENTS.md` ("Serve
+//! layer under concurrency").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use ucfg_serve::{Client, ServeConfig, Server};
+
+const THREADS: usize = 50;
+const CONNS_PER_THREAD: usize = 41; // 50 × 41 = 2,050 concurrent
+const REQUESTS_PER_CONN: u64 = 2; // healthz + parse
+
+#[test]
+fn two_thousand_concurrent_keepalive_connections() {
+    // The client side needs ~2,050 sockets too; make sure this process
+    // may hold both halves plus headroom.
+    ucfg_support::evloop::raise_nofile_limit(16_384).expect("rlimit");
+
+    let server = Server::bind(ServeConfig {
+        port: 0,
+        max_connections: 4_096,
+        shards: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let ok = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let ok = Arc::clone(&ok);
+            std::thread::spawn(move || {
+                // Open every connection first …
+                let mut conns: Vec<Client> = (0..CONNS_PER_THREAD)
+                    .map(|_| {
+                        Client::connect_retry(&addr, Duration::from_secs(30)).expect("connect")
+                    })
+                    .collect();
+                // … and hold until all 2,050 are open simultaneously.
+                barrier.wait();
+                for (i, c) in conns.iter_mut().enumerate() {
+                    let r = c.request("GET", "/healthz", None).expect("healthz");
+                    assert_eq!(r.status, 200, "thread {t} conn {i}: {}", r.body);
+                    // Same grammar everywhere: after warm-up this is a
+                    // pure artifact-cache hit on one shard.
+                    let r = c
+                        .request(
+                            "POST",
+                            "/parse",
+                            Some(r#"{"grammar":"S -> a S | b","word":"aab"}"#),
+                        )
+                        .expect("parse");
+                    assert_eq!(r.status, 200, "thread {t} conn {i}: {}", r.body);
+                    assert!(r.body.contains("\"member\":true"), "{}", r.body);
+                    ok.fetch_add(REQUESTS_PER_CONN, Ordering::Relaxed);
+                }
+                // Connections close here (keep-alive until drop).
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let elapsed = t0.elapsed();
+
+    let sent = (THREADS * CONNS_PER_THREAD) as u64 * REQUESTS_PER_CONN;
+    assert_eq!(
+        ok.load(Ordering::Relaxed),
+        sent,
+        "every request must have been answered 200"
+    );
+
+    handle.shutdown();
+    let summary = join.join().expect("clean join");
+    assert_eq!(
+        summary.requests, sent,
+        "server must have answered exactly the {sent} requests sent \
+         (zero dropped, zero spurious)"
+    );
+
+    // Not an assertion — a datapoint for EXPERIMENTS.md.
+    eprintln!(
+        "load test: {} connections, {} requests in {:.2?} ({:.0} req/s)",
+        THREADS * CONNS_PER_THREAD,
+        sent,
+        elapsed,
+        sent as f64 / elapsed.as_secs_f64()
+    );
+}

@@ -1,10 +1,11 @@
 //! End-to-end tests against a real daemon on a loopback socket.
 //!
-//! The acceptance criteria from the serving issue, verified live:
+//! The acceptance criteria from the serving issues, verified live:
 //! warm repeats of the same `/parse` hit the artifact cache (hit
 //! counter up, no extra index build), responses are byte-identical
-//! across worker counts, and a full queue answers `503 load_shed`
-//! instead of blocking.
+//! across worker-thread *and* shard counts, the connection budget
+//! applies accept backpressure (late connections wait their turn
+//! instead of being refused), and queue deadlines answer 504.
 //!
 //! The obs registry is process-global, so everything runs inside one
 //! `#[test]` with sequential phases rather than racing tests.
@@ -46,6 +47,13 @@ fn end_to_end() {
     assert_eq!(health.status, 200);
     let v = Json::parse(health.body.trim_end()).unwrap();
     assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("shards"), Some(&Json::Int(1)));
+    assert_eq!(
+        v.get("connections"),
+        Some(&Json::Int(1)),
+        "our own connection is live: {}",
+        health.body
+    );
 
     let parse_body = r#"{"grammar":"S -> a S b S | ()","word":"aabb","check":true}"#;
     let hits_before = counter("serve.cache.hits");
@@ -174,7 +182,8 @@ fn end_to_end() {
         summary.requests
     );
 
-    // ---- Phase 2: thread-count independence of response bytes.
+    // ---- Phase 2: thread- and shard-count independence of response
+    // bytes.
     let script: Vec<(&str, &str, Option<&str>)> = vec![
         (
             "POST",
@@ -195,10 +204,11 @@ fn end_to_end() {
         ("POST", "/discrepancy", Some(r#"{"n":4}"#)),
     ];
     let mut transcripts = Vec::new();
-    for threads in [1usize, 4] {
+    for (threads, shards) in [(1usize, 1usize), (4, 4)] {
         ucfg_support::par::set_thread_count(threads);
         let (addr, handle, join) = start(ServeConfig {
             port: 0,
+            shards,
             ..ServeConfig::default()
         });
         let mut c = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
@@ -213,18 +223,25 @@ fn end_to_end() {
     }
     assert_eq!(
         transcripts[0], transcripts[1],
-        "responses must be byte-identical across UCFG_THREADS=1 and 4"
+        "responses must be byte-identical across (threads, shards) = (1,1) and (4,4)"
+    );
+    // The 4-shard run left its per-shard traffic in the volatile
+    // stratum (shard placement is layout-dependent, so it must never
+    // appear in the deterministic one).
+    let volatile = obs::export_json("serve");
+    assert!(
+        volatile.contains(".cache.hits") && volatile.contains("serve.shard."),
+        "per-shard counters recorded"
+    );
+    assert!(
+        !obs::export_deterministic("serve").contains("serve.shard."),
+        "per-shard counters must stay out of the deterministic stratum"
     );
 
-    // ---- Phase 3: a full queue load-sheds instead of blocking.
-    // queue_depth is clamped to 1 and the scheduler keeps draining, so
-    // stuff the queue faster than it drains by... instead, bind a server
-    // whose scheduler is intentionally saturated: deadline 0 still
-    // answers; the reliable deterministic route is depth=1 plus a
-    // concurrent burst. Simplest deterministic check: the scheduler's
-    // own bound, exercised through the public enqueue path, is covered
-    // in batch.rs unit tests; here we verify the wire-level 503 by
-    // shrinking max_connections to 1 and opening a second connection.
+    // ---- Phase 3: the connection budget applies *accept
+    // backpressure* — a connection over the budget parks in the kernel
+    // backlog and is served once a slot frees, rather than being
+    // answered 503 or dropped.
     let (addr, handle, join) = start(ServeConfig {
         port: 0,
         max_connections: 1,
@@ -233,27 +250,20 @@ fn end_to_end() {
     let mut keep = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
     let held = keep.request("GET", "/healthz", None).expect("healthz");
     assert_eq!(held.status, 200);
-    // Second concurrent connection: over the connection bound → 503.
-    let mut shed_status = None;
-    for _ in 0..100 {
-        let mut extra = match Client::connect_retry(&addr, Duration::from_secs(5)) {
-            Ok(c) => c,
-            Err(_) => continue,
-        };
-        match extra.request("GET", "/healthz", None) {
-            Ok(r) if r.status == 503 => {
-                assert!(r.body.contains("load_shed"), "{}", r.body);
-                shed_status = Some(r.status);
-                break;
-            }
-            // The first connection may have been reaped already; retry.
-            _ => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
+    // Second connection: TCP-accepted into the backlog, but its request
+    // can't be answered while the first holds the only slot.
+    let waiter = std::thread::spawn(move || {
+        let mut extra = Client::connect_retry(&addr, Duration::from_secs(5)).expect("connect");
+        extra.request("GET", "/healthz", None).expect("healthz")
+    });
+    // Give the waiter time to queue, then free the slot.
+    std::thread::sleep(Duration::from_millis(200));
+    drop(keep);
+    let late = waiter.join().expect("waiter thread");
     assert_eq!(
-        shed_status,
-        Some(503),
-        "connection bound must shed with 503"
+        late.status, 200,
+        "backpressured connection must be served once the slot frees: {}",
+        late.body
     );
     handle.shutdown();
     join.join().expect("clean join");

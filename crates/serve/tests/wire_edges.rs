@@ -1,0 +1,194 @@
+//! Malformed-wire edge cases against the live event loop, over raw
+//! sockets.
+//!
+//! Every scenario abuses one connection and then proves the server
+//! neither wedged nor leaked the slot: a clean probe still answers,
+//! and `/healthz`'s live-connection gauge drains back down. Covered:
+//! requests split at every byte boundary, duplicate and conflicting
+//! `Content-Length` headers, oversized request lines, declared bodies
+//! over the cap (413), abrupt mid-body disconnects, and a slowloris
+//! trickle cut off by the request deadline (408).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use ucfg_serve::{Client, Json, ServeConfig, Server};
+
+fn start(
+    cfg: ServeConfig,
+) -> (
+    String,
+    ucfg_serve::ServerHandle,
+    std::thread::JoinHandle<ucfg_serve::ServeSummary>,
+) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+    (addr, handle, join)
+}
+
+/// Read everything until EOF (the server closes after error statuses).
+fn read_to_close(stream: &mut TcpStream) -> String {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// The number of live connections the daemon reports.
+fn live_connections(addr: &str) -> i64 {
+    let mut probe = Client::connect_retry(addr, Duration::from_secs(5)).expect("probe connect");
+    let r = probe.request("GET", "/healthz", None).expect("healthz");
+    assert_eq!(r.status, 200);
+    Json::parse(r.body.trim_end())
+        .unwrap()
+        .get("connections")
+        .and_then(|v| match v {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        })
+        .expect("connections field")
+}
+
+/// Poll until the daemon's live-connection count (excluding the probe
+/// itself) drains to zero — i.e. every abused slot was reclaimed.
+fn assert_slots_drain(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        // The probe connection itself counts, hence == 1.
+        if live_connections(addr) == 1 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "connection slots failed to drain"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn wire_edges() {
+    let (addr, handle, join) = start(ServeConfig {
+        port: 0,
+        request_timeout_ms: 400,
+        ..ServeConfig::default()
+    });
+
+    // ---- Every byte boundary: a request split into two writes at any
+    // cut must still parse to the same 200.
+    let body = r#"{"grammar":"S -> a","word":"a"}"#;
+    let raw = format!(
+        "POST /parse HTTP/1.1\r\nHost: x\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes();
+    for cut in 1..raw.len() {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.write_all(&raw[..cut]).unwrap();
+        s.flush().unwrap();
+        // A small pause so the two fragments arrive as separate reads.
+        if cut % 7 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        s.write_all(&raw[cut..]).unwrap();
+        let reply = read_to_close(&mut s);
+        assert!(
+            reply.starts_with("HTTP/1.1 200") && reply.contains("\"member\":true"),
+            "cut={cut}: {reply}"
+        );
+    }
+    assert_slots_drain(&addr);
+
+    // ---- Pipelined requests in one write: answered in order on one
+    // connection.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let reply = read_to_close(&mut s);
+    assert_eq!(
+        reply.matches("HTTP/1.1 200").count(),
+        2,
+        "both pipelined requests answered: {reply}"
+    );
+
+    // ---- Duplicate and conflicting Content-Length: 400, connection
+    // closed (smuggling defence).
+    for dup in [
+        &b"POST /parse HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 8\r\n\r\nabc"[..],
+        &b"POST /parse HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"[..],
+    ] {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.write_all(dup).unwrap();
+        let reply = read_to_close(&mut s);
+        assert!(
+            reply.starts_with("HTTP/1.1 400") && reply.contains("content-length"),
+            "{reply}"
+        );
+    }
+
+    // ---- Oversized request line: 400 as soon as the cap is crossed,
+    // even with no newline in sight.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(&vec![b'A'; 9000]).unwrap();
+    let reply = read_to_close(&mut s);
+    assert!(
+        reply.starts_with("HTTP/1.1 400") && reply.contains("line too long"),
+        "{reply}"
+    );
+
+    // ---- Declared body over the cap: 413 at header time.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(b"POST /parse HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+        .unwrap();
+    let reply = read_to_close(&mut s);
+    assert!(
+        reply.starts_with("HTTP/1.1 413") && reply.contains("payload_too_large"),
+        "{reply}"
+    );
+    assert_slots_drain(&addr);
+
+    // ---- Abrupt mid-body disconnects: a burst of clients that die
+    // mid-request must all be reaped.
+    for _ in 0..16 {
+        let mut s = TcpStream::connect(&addr).expect("connect");
+        s.write_all(b"POST /parse HTTP/1.1\r\nContent-Length: 50\r\n\r\nonly-part")
+            .unwrap();
+        drop(s); // RST/FIN mid-body
+    }
+    assert_slots_drain(&addr);
+
+    // ---- Slowloris: a header trickle that never completes is cut off
+    // by the request deadline with 408, not held forever.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(b"GET /healthz HTTP/1.1\r\nX-Slow: ").unwrap();
+    let t0 = Instant::now();
+    let reply = read_to_close(&mut s);
+    assert!(
+        reply.starts_with("HTTP/1.1 408") && reply.contains("request_timeout"),
+        "{reply}"
+    );
+    assert!(
+        t0.elapsed() >= Duration::from_millis(300),
+        "deadline fired suspiciously early: {:?}",
+        t0.elapsed()
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "deadline took far too long: {:?}",
+        t0.elapsed()
+    );
+    assert_slots_drain(&addr);
+
+    // ---- An empty connect-then-close must not leak either.
+    drop(TcpStream::connect(&addr).expect("connect"));
+    assert_slots_drain(&addr);
+
+    handle.shutdown();
+    let summary = join.join().expect("clean join");
+    assert!(summary.requests > raw.len() as u64, "{:?}", summary);
+}

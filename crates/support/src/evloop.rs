@@ -1,0 +1,488 @@
+//! Thin nonblocking event-loop bindings: epoll via raw `libc` symbols.
+//!
+//! The serve daemon's accept/read path needs readiness notification for
+//! tens of thousands of sockets, which `std::net` alone cannot provide.
+//! Rather than pulling in `mio` (the workspace is dependency-free by
+//! design), this module binds the four `epoll` syscalls plus `eventfd`
+//! through `extern "C"` declarations against the libc `std` already
+//! links. The surface is deliberately tiny:
+//!
+//! * [`Poller`] — an `epoll` instance. Registrations are
+//!   **edge-triggered** (`EPOLLET`): an event fires on *transitions* to
+//!   readiness, so consumers must drain reads/writes until
+//!   `WouldBlock` before waiting again.
+//! * [`Event`] — one readiness report: a caller-chosen `u64` token plus
+//!   readable / writable / hangup / error bits.
+//! * [`Waker`] — an `eventfd` registered with a poller so other threads
+//!   (e.g. the batch schedulers completing a request) can interrupt a
+//!   blocking [`Poller::wait`].
+//! * [`raise_nofile_limit`] — best-effort `RLIMIT_NOFILE` bump so a
+//!   connection budget in the tens of thousands actually fits.
+//!
+//! Everything is Linux-only (epoll is a Linux API). On other targets the
+//! same types exist but every constructor returns
+//! [`std::io::ErrorKind::Unsupported`], so downstream code compiles
+//! everywhere and fails loudly only when an event loop is actually
+//! requested off-Linux.
+
+use std::io;
+use std::time::Duration;
+
+/// A raw file descriptor (mirrors `std::os::unix::io::RawFd` so the
+/// module's signatures exist on every target).
+pub type RawFd = i32;
+
+/// Which readiness transitions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hangs up).
+    pub readable: bool,
+    /// Wake when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — while a response is partially flushed.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+    /// The peer closed (EPOLLHUP / EPOLLRDHUP). Reads may still drain
+    /// buffered bytes; treat EOF from `read` as the real close signal.
+    pub hangup: bool,
+    /// The fd is in an error state (EPOLLERR).
+    pub error: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    // epoll_event is packed on x86 so the 64-bit data field straddles
+    // the usual alignment; other arches use natural layout.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+    pub const RLIMIT_NOFILE: i32 = 7;
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        pub fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+
+    pub fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLET | EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    pub fn decode(raw: &EpollEvent) -> Event {
+        let bits = raw.events;
+        Event {
+            token: raw.data,
+            readable: bits & EPOLLIN != 0,
+            writable: bits & EPOLLOUT != 0,
+            hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+            error: bits & EPOLLERR != 0,
+        }
+    }
+
+    pub fn timeout_ms(timeout: Option<Duration>) -> i32 {
+        match timeout {
+            None => -1,
+            // Round up so a 0 < t < 1 ms deadline does not busy-spin.
+            Some(t) => i32::try_from(t.as_millis()).unwrap_or(i32::MAX).max({
+                if t.is_zero() {
+                    0
+                } else {
+                    1
+                }
+            }),
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn unsupported() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        "ucfg_support::evloop requires Linux (epoll)",
+    )
+}
+
+/// An epoll instance. All registrations are edge-triggered; see the
+/// module docs for the drain-until-`WouldBlock` contract.
+#[derive(Debug)]
+pub struct Poller {
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    #[cfg(target_os = "linux")]
+    pub fn new() -> io::Result<Poller> {
+        let epfd = sys::cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    /// Unsupported off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn new() -> io::Result<Poller> {
+        Err(unsupported())
+    }
+
+    #[cfg(target_os = "linux")]
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: sys::interest_bits(interest),
+            data: token,
+        };
+        sys::cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` under `token`. Edge-triggered.
+    #[cfg(target_os = "linux")]
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Unsupported off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    /// Change the interest set (and/or token) of a registered fd.
+    #[cfg(target_os = "linux")]
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Unsupported off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    /// Deregister `fd`. Harmless to call for an fd that was never (or is
+    /// no longer) registered — `ENOENT` is swallowed, because closing an
+    /// fd already deregisters it implicitly.
+    #[cfg(target_os = "linux")]
+    pub fn remove(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        match sys::cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) }) {
+            Ok(_) => Ok(()),
+            Err(e) if e.raw_os_error() == Some(2) => Ok(()), // ENOENT
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Unsupported off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn remove(&self, _fd: RawFd) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    /// Block until at least one event or the timeout (`None` = forever),
+    /// appending decoded events to `out`. Returns the number appended.
+    /// `EINTR` surfaces as `Ok(0)` so signal-interrupted waits retry
+    /// naturally from the caller's loop.
+    #[cfg(target_os = "linux")]
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        const CAP: usize = 1024;
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; CAP];
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                raw.as_mut_ptr(),
+                CAP as i32,
+                sys::timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            return if e.kind() == io::ErrorKind::Interrupted {
+                Ok(0)
+            } else {
+                Err(e)
+            };
+        }
+        let n = n as usize;
+        out.extend(raw[..n].iter().map(sys::decode));
+        Ok(n)
+    }
+
+    /// Unsupported off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn wait(&self, _out: &mut Vec<Event>, _timeout: Option<Duration>) -> io::Result<usize> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// A cross-thread wakeup handle: an `eventfd` registered with a
+/// [`Poller`]. Any thread may call [`Waker::wake`]; the poller's owner
+/// sees an event carrying the waker's token and must call
+/// [`Waker::drain`] before waiting again (edge-triggered).
+#[derive(Debug)]
+pub struct Waker {
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    fd: RawFd,
+}
+
+// The waker only ever issues read(2)/write(2) on an eventfd, both of
+// which are thread-safe; the fd itself is a plain integer.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Create an eventfd and register it with `poller` under `token`.
+    #[cfg(target_os = "linux")]
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        let fd = sys::cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        let w = Waker { fd };
+        poller.add(fd, token, Interest::READABLE)?;
+        Ok(w)
+    }
+
+    /// Unsupported off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn new(_poller: &Poller, _token: u64) -> io::Result<Waker> {
+        Err(unsupported())
+    }
+
+    /// Make the next (or current) [`Poller::wait`] return promptly.
+    /// Cheap, coalescing, and safe from any thread.
+    #[cfg(target_os = "linux")]
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // A full eventfd counter (EAGAIN) already guarantees a pending
+        // wake, so the result is deliberately ignored.
+        unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// No-op off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn wake(&self) {}
+
+    /// Reset the eventfd counter so the edge can fire again.
+    #[cfg(target_os = "linux")]
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { sys::read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+
+    /// No-op off Linux.
+    #[cfg(not(target_os = "linux"))]
+    pub fn drain(&self) {}
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// Best-effort raise of `RLIMIT_NOFILE` so `want` descriptors fit: if
+/// the soft limit is below `want`, lift it towards the hard limit.
+/// Returns the resulting soft limit (or the error if the kernel refused
+/// — callers treat that as advisory, not fatal).
+#[cfg(target_os = "linux")]
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = sys::Rlimit { cur: 0, max: 0 };
+    sys::cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) })?;
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    let new = sys::Rlimit {
+        cur: want.min(lim.max),
+        max: lim.max,
+    };
+    sys::cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &new) })?;
+    Ok(new.cur)
+}
+
+/// Unsupported off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
+    Err(unsupported())
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn listener_readiness_and_tokens() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller
+            .add(listener.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+
+        // Nothing pending: a zero timeout returns without events.
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0, "{events:?}");
+
+        // A connection attempt makes the listener readable.
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        poller.remove(listener.as_raw_fd()).unwrap();
+        // Removing twice is fine (ENOENT is swallowed).
+        poller.remove(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn edge_triggered_stream_read_write() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.add(server.as_raw_fd(), 1, Interest::BOTH).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 1).expect("stream event");
+        assert!(ev.readable);
+        // A fresh socket is also writable on its first edge.
+        assert!(ev.writable);
+
+        let mut buf = [0u8; 16];
+        let mut s = &server;
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Peer hangup surfaces as a hangup-flagged event.
+        drop(client);
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.hangup));
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poller, 99).unwrap());
+        let w2 = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            // Multiple wakes coalesce into (at least) one event.
+            w2.wake();
+            w2.wake();
+            w2.wake();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        t.join().unwrap();
+        waker.drain();
+        // Drained: no stale edge left behind.
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert_eq!(n, 0, "{events:?}");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let before = raise_nofile_limit(0).unwrap();
+        assert!(before > 0);
+        // Asking for what we already have (or less) never lowers it.
+        let after = raise_nofile_limit(before).unwrap();
+        assert!(after >= before);
+    }
+}

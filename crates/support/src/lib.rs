@@ -33,13 +33,17 @@
 //!   forces the always-tested scalar path),
 //! - [`arena`] — a bounded process-wide pool of `u64` slab buffers so the
 //!   serve daemon's per-request charts and chunk blocks stop paying
-//!   allocator traffic.
+//!   allocator traffic,
+//! - [`evloop`] — thin edge-triggered `epoll` bindings (poller, events,
+//!   cross-thread waker, `RLIMIT_NOFILE` raise) for the serve daemon's
+//!   nonblocking accept/read path (Linux; stubs elsewhere).
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod baseline;
 pub mod bench;
+pub mod evloop;
 pub mod fnv;
 pub mod html;
 pub mod obs;
