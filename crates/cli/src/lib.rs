@@ -397,6 +397,8 @@ pub struct ServeArgs {
     pub max_body_bytes: usize,
     /// Per-request header+body deadline in milliseconds.
     pub request_timeout_ms: u64,
+    /// Close connections with no forward progress for this long (ms).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -412,6 +414,7 @@ impl Default for ServeArgs {
             shards: d.shards,
             max_body_bytes: d.max_body_bytes,
             request_timeout_ms: d.request_timeout_ms,
+            idle_timeout_ms: d.idle_timeout_ms,
         }
     }
 }
@@ -468,6 +471,8 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
             out.max_body_bytes = parse_positive(&v, "body bound")?;
         } else if let Some(v) = flag_value(args, &mut i, "--request-timeout-ms")? {
             out.request_timeout_ms = parse_positive(&v, "request timeout")?;
+        } else if let Some(v) = flag_value(args, &mut i, "--idle-timeout-ms")? {
+            out.idle_timeout_ms = parse_positive(&v, "idle timeout")?;
         } else {
             return Err(err(format!("unrecognised serve flag: {}", args[i])));
         }
@@ -497,6 +502,7 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         shards: sa.shards,
         max_body_bytes: sa.max_body_bytes,
         request_timeout_ms: sa.request_timeout_ms,
+        idle_timeout_ms: sa.idle_timeout_ms,
     })
     .map_err(|e| err(format!("bind failed: {e}")))?;
     let addr = server
@@ -756,6 +762,7 @@ pub fn usage() -> String {
        ucfg serve [--port N] [--host H] [--queue-depth N]\n\
                   [--deadline-ms N] [--cache-capacity N] [--max-connections N]\n\
                   [--shards N] [--max-body-bytes N] [--request-timeout-ms N]\n\
+                  [--idle-timeout-ms N]\n\
                                      run the resident query daemon: epoll event\n\
                                      loop, N worker shards (default port 7878;\n\
                                      metrics → out/METRICS_serve.json)\n\
@@ -1027,6 +1034,7 @@ mod tests {
         assert_eq!(d.shards, 1);
         assert_eq!(d.max_body_bytes, 4 << 20);
         assert_eq!(d.request_timeout_ms, 10_000);
+        assert_eq!(d.idle_timeout_ms, 60_000);
         let a = parse_serve_args(&[
             "--port".into(),
             "9000".into(),
@@ -1041,6 +1049,7 @@ mod tests {
             "--max-body-bytes".into(),
             "1024".into(),
             "--request-timeout-ms=500".into(),
+            "--idle-timeout-ms=2000".into(),
         ])
         .unwrap();
         assert_eq!(
@@ -1055,6 +1064,7 @@ mod tests {
                 shards: 4,
                 max_body_bytes: 1024,
                 request_timeout_ms: 500,
+                idle_timeout_ms: 2000,
             }
         );
         // Malformed ports are hard errors, in both flag spellings.
@@ -1074,6 +1084,7 @@ mod tests {
         assert!(parse_serve_args(&["--shards".into(), "x".into()]).is_err());
         assert!(parse_serve_args(&["--max-body-bytes=huge".into()]).is_err());
         assert!(parse_serve_args(&["--request-timeout-ms".into()]).is_err());
+        assert!(parse_serve_args(&["--idle-timeout-ms=x".into()]).is_err());
     }
 
     #[test]

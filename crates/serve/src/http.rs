@@ -56,6 +56,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (may be empty).
     pub body: Vec<u8>,
+    /// The request came in as HTTP/1.0, whose default (RFC 9112
+    /// Appendix C) is connection-close unless keep-alive is explicit.
+    pub http10: bool,
 }
 
 impl Request {
@@ -67,10 +70,15 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Did the client ask to close the connection after this exchange?
+    /// Should the connection close after this exchange? An explicit
+    /// `Connection` header wins; absent one, HTTP/1.1 defaults to
+    /// keep-alive and HTTP/1.0 to close.
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.http10,
+        }
     }
 
     /// The body as UTF-8, or `None` if it isn't.
@@ -122,12 +130,14 @@ enum Phase {
     Headers {
         method: String,
         path: String,
+        http10: bool,
         headers: Vec<(String, String)>,
     },
     /// Headers done; `want` body bytes outstanding.
     Body {
         method: String,
         path: String,
+        http10: bool,
         headers: Vec<(String, String)>,
         want: usize,
         got: Vec<u8>,
@@ -217,10 +227,11 @@ impl Assembler {
                         // (RFC 9112 §2.2 robustness).
                         continue;
                     }
-                    let (method, path) = parse_request_line(&line)?;
+                    let (method, path, http10) = parse_request_line(&line)?;
                     self.phase = Phase::Headers {
                         method,
                         path,
+                        http10,
                         headers: Vec::new(),
                     };
                 }
@@ -232,6 +243,7 @@ impl Assembler {
                     let Phase::Headers {
                         method,
                         path,
+                        http10,
                         headers,
                     } = std::mem::replace(&mut self.phase, Phase::RequestLine)
                     else {
@@ -247,11 +259,13 @@ impl Assembler {
                                 path,
                                 headers,
                                 body: Vec::new(),
+                                http10,
                             }));
                         }
                         self.phase = Phase::Body {
                             method,
                             path,
+                            http10,
                             headers,
                             want,
                             got: Vec::with_capacity(want.min(64 << 10)),
@@ -270,6 +284,7 @@ impl Assembler {
                     self.phase = Phase::Headers {
                         method,
                         path,
+                        http10,
                         headers,
                     };
                 }
@@ -284,6 +299,7 @@ impl Assembler {
                     let Phase::Body {
                         method,
                         path,
+                        http10,
                         headers,
                         got,
                         ..
@@ -296,6 +312,7 @@ impl Assembler {
                         path,
                         headers,
                         body: got,
+                        http10,
                     }));
                 }
             }
@@ -331,8 +348,9 @@ impl Assembler {
     }
 }
 
-/// Split and validate `METHOD SP PATH SP VERSION`.
-fn parse_request_line(line: &str) -> Result<(String, String), WireError> {
+/// Split and validate `METHOD SP PATH SP VERSION`. The third element
+/// of the result is whether the version was HTTP/1.0.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), WireError> {
     let mut parts = line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
@@ -343,7 +361,7 @@ fn parse_request_line(line: &str) -> Result<(String, String), WireError> {
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
         return Err(WireError::Malformed(format!("bad version {version:?}")));
     }
-    Ok((method.to_string(), path.to_string()))
+    Ok((method.to_string(), path.to_string(), version == "HTTP/1.0"))
 }
 
 /// Resolve the body length from the headers, rejecting unsupported
@@ -516,6 +534,30 @@ mod tests {
                 assert_eq!(r.method, "GET");
                 assert!(r.body.is_empty());
                 assert!(r.wants_close());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keep_alive() {
+        match parse(b"GET /healthz HTTP/1.0\r\n\r\n") {
+            ReadOutcome::Request(r) => {
+                assert!(r.http10);
+                assert!(r.wants_close(), "bare HTTP/1.0 closes by default");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(b"GET /healthz HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n") {
+            ReadOutcome::Request(r) => {
+                assert!(!r.wants_close(), "explicit keep-alive wins");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(b"GET /healthz HTTP/1.1\r\n\r\n") {
+            ReadOutcome::Request(r) => {
+                assert!(!r.http10);
+                assert!(!r.wants_close(), "HTTP/1.1 keeps alive by default");
             }
             other => panic!("{other:?}"),
         }

@@ -17,6 +17,10 @@
 //!   (nothing is allocated for the declared length);
 //! - a request that trickles in longer than `--request-timeout-ms`
 //!   is answered `408` and the connection closed (slowloris defence);
+//! - a connection with no forward progress for `--idle-timeout-ms` —
+//!   silent since accept, or never reading the response it is owed —
+//!   is closed outright, so silent peers cannot pin the connection
+//!   budget and starve accepts;
 //! - when live connections reach `--max-connections`, the listener is
 //!   deregistered from the poller (**accept backpressure**): new
 //!   connections queue in the kernel backlog instead of each burning a
@@ -112,6 +116,12 @@ pub struct ServeConfig {
     /// Overall header+body deadline per request in milliseconds
     /// (`--request-timeout-ms`); slower clients are answered 408.
     pub request_timeout_ms: u64,
+    /// How long a connection may sit with no forward progress — no
+    /// bytes read, no bytes written — before it is closed
+    /// (`--idle-timeout-ms`). This is what reclaims slots from clients
+    /// that connect and never send a byte, so silent connections
+    /// cannot pin the `max_connections` budget and starve accepts.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +136,7 @@ impl Default for ServeConfig {
             shards: 1,
             max_body_bytes: crate::http::MAX_BODY_BYTES,
             request_timeout_ms: 10_000,
+            idle_timeout_ms: 60_000,
         }
     }
 }
@@ -315,8 +326,14 @@ struct Conn {
     /// The in-flight request asked for `Connection: close`.
     pending_close: bool,
     /// Deadline for completing the currently-assembling request
-    /// (slowloris defence); `None` while idle or awaiting a reply.
+    /// (slowloris defence); `None` while idle, awaiting a reply, or
+    /// already marked to close.
     deadline: Option<Instant>,
+    /// Last moment the connection made forward progress (accepted,
+    /// bytes read, or bytes written). A connection stalled longer than
+    /// `--idle-timeout-ms` — silent since accept, or never reading its
+    /// final response — is closed outright.
+    last_activity: Instant,
     /// Registered interest currently includes writable.
     want_write: bool,
     /// Slot generation, for matching completions.
@@ -404,9 +421,21 @@ impl EventLoop {
                 Ok((stream, _peer)) => self.register_conn(stream)?,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                // Transient per-connection accept failures
-                // (ECONNABORTED and friends): skip that connection.
-                Err(_) => return Ok(()),
+                // The peer vanished between SYN and accept (ECONNABORTED
+                // and friends): that connection is gone from the queue,
+                // keep draining the rest.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => {}
+                // Resource errors (EMFILE/ENFILE/ENOBUFS…) leave the
+                // connection *in* the backlog, so under edge-triggered
+                // epoll simply returning would strand it until a fresh
+                // SYN. Park the listener instead; `maybe_resume_accept`
+                // re-arms it on the next tick — a level-style retry
+                // without a busy loop.
+                Err(_) => {
+                    obs::vcount!("serve.accept.errors");
+                    self.pause_accept();
+                    return Ok(());
+                }
             }
         }
     }
@@ -434,6 +463,7 @@ impl EventLoop {
             close_after_write: false,
             pending_close: false,
             deadline: None,
+            last_activity: Instant::now(),
             want_write: false,
             gen: self.gens[slot],
         });
@@ -500,7 +530,10 @@ impl EventLoop {
                     eof = true;
                     break;
                 }
-                Ok(n) => conn.asm.push(&buf[..n]),
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.asm.push(&buf[..n]);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -517,8 +550,10 @@ impl EventLoop {
             if conn.awaiting_reply || conn.out_pos < conn.out.len() {
                 // A reply is still owed or buffered: deliver it (the
                 // peer may have only shut down its write side), then
-                // close.
+                // close. No more request bytes can arrive, so the
+                // request deadline is moot.
                 conn.close_after_write = true;
+                conn.deadline = None;
             } else {
                 self.close_conn(slot);
             }
@@ -576,9 +611,10 @@ impl EventLoop {
             }
         }
         // Deadline bookkeeping: a partially-assembled request is on
-        // the clock; an idle or reply-awaiting connection is not.
+        // the clock; an idle, reply-awaiting, or closing connection is
+        // not.
         if let Some(conn) = self.conns[slot].as_mut() {
-            if conn.awaiting_reply || conn.asm.is_idle() {
+            if conn.awaiting_reply || conn.close_after_write || conn.asm.is_idle() {
                 conn.deadline = None;
             } else if conn.deadline.is_none() {
                 conn.deadline =
@@ -590,14 +626,19 @@ impl EventLoop {
     /// Serialise a response onto the connection's write buffer and
     /// flush as far as the socket allows.
     fn queue_response(&mut self, slot: usize, status: u16, body: &str, close: bool) {
-        self.state.requests.fetch_add(1, Ordering::SeqCst);
         let Some(conn) = self.conns[slot].as_mut() else {
-            return;
+            return; // slot already closed; nothing was sent, count nothing
         };
+        self.state.requests.fetch_add(1, Ordering::SeqCst);
         let frame = render_response(status, body.as_bytes(), close);
         conn.out.extend_from_slice(&frame);
+        conn.last_activity = Instant::now();
         if close {
             conn.close_after_write = true;
+            // The request clock stops once the closing response is
+            // queued — otherwise an unread response would re-trip the
+            // deadline every tick.
+            conn.deadline = None;
         }
         self.flush(slot);
     }
@@ -612,7 +653,10 @@ impl EventLoop {
                     self.close_conn(slot);
                     return;
                 }
-                Ok(n) => conn.out_pos += n,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     if !conn.want_write {
                         conn.want_write = true;
@@ -684,20 +728,37 @@ impl EventLoop {
     }
 
     /// Answer 408 to connections whose in-progress request overstayed
-    /// `--request-timeout-ms`.
+    /// `--request-timeout-ms`, and close connections that have made no
+    /// forward progress for `--idle-timeout-ms` (silent since accept,
+    /// or never reading the response owed to them).
     fn enforce_deadlines(&mut self) {
         let now = Instant::now();
+        let idle_after = Duration::from_millis(self.state.cfg.idle_timeout_ms);
         for slot in 0..self.conns.len() {
-            let expired = self.conns[slot]
-                .as_ref()
-                .and_then(|c| c.deadline)
-                .is_some_and(|d| now >= d);
-            if expired {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            // Already answered and closing: the request clock is off
+            // (queue_response cleared it); only the stall check below
+            // can still reap the slot if the peer never reads.
+            if !conn.close_after_write && conn.deadline.is_some_and(|d| now >= d) {
                 obs::vcount!("serve.rejects.request_timeout");
                 let err = ApiError::RequestTimeout {
                     waited_ms: self.state.cfg.request_timeout_ms,
                 };
+                // queue_response(close=true) clears the deadline, so
+                // the 408 is framed exactly once per request.
                 self.queue_response(slot, err.status(), &err.body(), true);
+                continue;
+            }
+            // Stall reaper. Connections awaiting a shard reply are
+            // exempt: the batch deadline bounds those, and the
+            // completion restarts the clock.
+            let stalled = !conn.awaiting_reply
+                && now.saturating_duration_since(conn.last_activity) >= idle_after;
+            if stalled {
+                obs::vcount!("serve.rejects.idle_timeout");
+                self.close_conn(slot);
             }
         }
     }
@@ -1021,6 +1082,7 @@ mod tests {
             path: path.into(),
             headers: vec![],
             body: body.as_bytes().to_vec(),
+            http10: false,
         }
     }
 
@@ -1030,6 +1092,7 @@ mod tests {
             path: path.into(),
             headers: vec![],
             body: vec![],
+            http10: false,
         }
     }
 

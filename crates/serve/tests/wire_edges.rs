@@ -184,6 +184,18 @@ fn wire_edges() {
     );
     assert_slots_drain(&addr);
 
+    // ---- HTTP/1.0 without a Connection header: answered, then the
+    // connection is closed (1.0 defaults to close), so read_to_close
+    // terminates without us sending Connection: close ourselves.
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+    let reply = read_to_close(&mut s);
+    assert!(
+        reply.starts_with("HTTP/1.1 200") && reply.contains("Connection: close"),
+        "{reply}"
+    );
+    assert_slots_drain(&addr);
+
     // ---- An empty connect-then-close must not leak either.
     drop(TcpStream::connect(&addr).expect("connect"));
     assert_slots_drain(&addr);
@@ -191,4 +203,49 @@ fn wire_edges() {
     handle.shutdown();
     let summary = join.join().expect("clean join");
     assert!(summary.requests > raw.len() as u64, "{:?}", summary);
+}
+
+/// Connections that never send a byte are on no request clock (that
+/// only starts with the first byte), so only the idle timeout can
+/// reclaim them. With the connection budget exhausted by silent peers,
+/// the listener is paused — the reaper must free the slots and accepts
+/// must resume, or one silent botnet blocks the daemon forever.
+#[test]
+fn silent_connections_are_reaped_and_unblock_accepts() {
+    let (addr, handle, join) = start(ServeConfig {
+        port: 0,
+        max_connections: 4,
+        idle_timeout_ms: 300,
+        ..ServeConfig::default()
+    });
+
+    // Fill the whole budget with connections that say nothing.
+    let silent: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(&addr).expect("connect"))
+        .collect();
+
+    // A real client behind them: its connection waits in the kernel
+    // backlog until the reaper frees slots, then must be served.
+    let t0 = Instant::now();
+    let mut probe = Client::connect_retry(&addr, Duration::from_secs(5)).expect("probe connect");
+    let r = probe.request("GET", "/healthz", None).expect("healthz");
+    assert_eq!(r.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "accepts did not resume after idle reaping: {:?}",
+        t0.elapsed()
+    );
+
+    // Every silent connection was closed by the server (EOF, no bytes).
+    for mut s in silent {
+        let leftovers = read_to_close(&mut s);
+        assert_eq!(leftovers, "", "silent conns get no response, just FIN");
+    }
+
+    handle.shutdown();
+    let summary = join.join().expect("clean join");
+    assert_eq!(
+        summary.requests, 1,
+        "only the probe's healthz is a request; reaped conns count zero"
+    );
 }
