@@ -1,0 +1,7 @@
+//! Thin wrapper: the suite body lives in `ucfg_bench::suites::stream_kernels`
+//! so `cargo bench` and `ucfg orchestrate` run exactly the same code.
+//! Run `-- --list` to enumerate benchmark ids without executing them.
+
+fn main() {
+    ucfg_bench::suites::harness_main("stream_kernels");
+}

@@ -20,10 +20,11 @@ mod parsing;
 mod representations;
 mod serve_bench;
 mod simd_kernels;
+mod stream_kernels;
 mod wordset_kernels;
 
 /// Every bench suite, in canonical order. This is the single source of
-/// truth for "the eight bench suites": CI's bench-smoke job iterates
+/// truth for "the nine bench suites": CI's bench-smoke job iterates
 /// `bench --list` (which prints this), and the orchestrator's job matrix
 /// is generated from it, so a suite added here is automatically picked
 /// up by both.
@@ -36,6 +37,7 @@ pub const ALL_SUITES: &[&str] = &[
     "wordset_kernels",
     "simd_kernels",
     "serve_bench",
+    "stream_kernels",
 ];
 
 /// Build and execute the named suite under the given options. Returns
@@ -50,6 +52,7 @@ pub fn build(name: &str, opts: Options) -> Option<Suite> {
         "wordset_kernels" => wordset_kernels::build(opts),
         "simd_kernels" => simd_kernels::build(opts),
         "serve_bench" => serve_bench::build(opts),
+        "stream_kernels" => stream_kernels::build(opts),
         _ => return None,
     })
 }

@@ -173,10 +173,11 @@ fn list_mode_names_every_job_without_running() {
     };
     let out = orchestrate::run(&cfg).unwrap();
     let ids: Vec<&str> = out.summary.lines().collect();
-    assert_eq!(ids.len(), 40, "{ids:?}");
+    assert_eq!(ids.len(), 41, "{ids:?}");
     assert!(ids.contains(&"exp/T24"));
     assert!(ids.contains(&"bench/wordset_kernels"));
     assert!(ids.contains(&"bench/simd_kernels"));
+    assert!(ids.contains(&"bench/stream_kernels"));
     assert!(ids.contains(&"check/kernels_threads"));
     // Nothing was written: list mode is pure.
     assert!(!tmp_dir("list").join("orchestrate").exists());

@@ -665,6 +665,218 @@ pub fn cmd_query(args: &[String], stdin: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parsed flags for `ucfg stream`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamArgs {
+    /// Daemon host (default loopback).
+    pub host: String,
+    /// Daemon port — required, like `ucfg query`.
+    pub port: u16,
+    /// Inline grammar text (mutually exclusive with `builtin`).
+    pub grammar: Option<String>,
+    /// Builtin family name (needs `n`).
+    pub builtin: Option<String>,
+    /// Builtin parameter.
+    pub n: Option<u64>,
+    /// Sliding-window capacity.
+    pub window: usize,
+    /// Optional product regex.
+    pub regex: Option<String>,
+    /// Session tag (defaults to empty).
+    pub name: String,
+    /// Token file; `None` means `--text` supplies the stream.
+    pub file: Option<String>,
+    /// Inline token text.
+    pub text: Option<String>,
+    /// Feed chunk size in characters.
+    pub chunk: usize,
+    /// Per-response read timeout override.
+    pub timeout_ms: Option<u64>,
+    /// Send `POST /shutdown` after closing the session.
+    pub shutdown: bool,
+}
+
+/// Parse the flags of `ucfg stream`.
+pub fn parse_stream_args(args: &[String]) -> Result<StreamArgs, CliError> {
+    let mut sa = StreamArgs {
+        host: "127.0.0.1".into(),
+        port: 0,
+        grammar: None,
+        builtin: None,
+        n: None,
+        window: 64,
+        regex: None,
+        name: String::new(),
+        file: None,
+        text: None,
+        chunk: 16,
+        timeout_ms: None,
+        shutdown: false,
+    };
+    let mut port: Option<u16> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = flag_value(args, &mut i, "--port")? {
+            port = Some(parse_port(&v)?);
+        } else if let Some(v) = flag_value(args, &mut i, "--host")? {
+            sa.host = v;
+        } else if let Some(v) = flag_value(args, &mut i, "--grammar")? {
+            sa.grammar = Some(v);
+        } else if let Some(v) = flag_value(args, &mut i, "--builtin")? {
+            sa.builtin = Some(v);
+        } else if let Some(v) = flag_value(args, &mut i, "--n")? {
+            sa.n = Some(parse_positive(&v, "n")?);
+        } else if let Some(v) = flag_value(args, &mut i, "--window")? {
+            sa.window = parse_positive::<usize>(&v, "window")?;
+            if sa.window == 0 {
+                return Err(err("--window must be ≥ 1"));
+            }
+        } else if let Some(v) = flag_value(args, &mut i, "--regex")? {
+            sa.regex = Some(v);
+        } else if let Some(v) = flag_value(args, &mut i, "--name")? {
+            sa.name = v;
+        } else if let Some(v) = flag_value(args, &mut i, "--file")? {
+            sa.file = Some(v);
+        } else if let Some(v) = flag_value(args, &mut i, "--text")? {
+            sa.text = Some(v);
+        } else if let Some(v) = flag_value(args, &mut i, "--chunk")? {
+            sa.chunk = parse_positive::<usize>(&v, "chunk")?;
+            if sa.chunk == 0 {
+                return Err(err("--chunk must be ≥ 1"));
+            }
+        } else if let Some(v) = flag_value(args, &mut i, "--timeout-ms")? {
+            let ms: u64 = parse_positive(&v, "timeout")?;
+            if ms == 0 {
+                return Err(err("--timeout-ms must be ≥ 1"));
+            }
+            sa.timeout_ms = Some(ms);
+        } else if args[i] == "--shutdown" {
+            sa.shutdown = true;
+            i += 1;
+        } else {
+            return Err(err(format!("unrecognised stream flag: {}", args[i])));
+        }
+    }
+    sa.port = port.ok_or_else(|| err("stream needs --port N"))?;
+    match (&sa.grammar, &sa.builtin) {
+        (Some(_), Some(_)) => return Err(err("give --grammar or --builtin, not both")),
+        (None, None) => return Err(err("stream needs --grammar SRC or --builtin NAME --n N")),
+        (None, Some(_)) if sa.n.is_none() => return Err(err("--builtin needs --n N")),
+        _ => {}
+    }
+    if sa.file.is_some() && sa.text.is_some() {
+        return Err(err("give --file or --text, not both"));
+    }
+    if sa.file.is_none() && sa.text.is_none() {
+        return Err(err("stream needs --file tokens.txt or --text CHARS"));
+    }
+    Ok(sa)
+}
+
+/// `ucfg stream --port N (--grammar SRC | --builtin NAME --n N)
+/// (--file tokens.txt | --text CHARS) [--window W] [--regex R]
+/// [--name S] [--chunk N] [--timeout-ms N] [--shutdown]` — drive a
+/// running daemon's streaming endpoints: open a session, feed the
+/// token stream in `--chunk`-character slices, query the final window,
+/// and close. Whitespace in the token source is ignored, so files can
+/// be line-wrapped.
+///
+/// The output is one `<status> <body>` line per request, in order
+/// (open, each feed, query, close), suitable for byte-comparison
+/// across daemon thread counts and shard layouts.
+pub fn cmd_stream(args: &[String]) -> Result<String, CliError> {
+    let sa = parse_stream_args(args)?;
+    let tokens: String = match &sa.file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| err(format!("could not read {path}: {e}")))?
+        }
+        None => sa.text.clone().unwrap_or_default(),
+    }
+    .chars()
+    .filter(|c| !c.is_whitespace())
+    .collect();
+    let addr = format!("{}:{}", sa.host, sa.port);
+    let read_timeout = sa
+        .timeout_ms
+        .map(std::time::Duration::from_millis)
+        .unwrap_or(ucfg_serve::client::DEFAULT_READ_TIMEOUT);
+    let mut client = ucfg_serve::Client::connect_retry_with(
+        &addr,
+        std::time::Duration::from_secs(10),
+        Some(read_timeout),
+    )
+    .map_err(|e| err(format!("could not connect to {addr}: {e}")))?;
+
+    use ucfg_serve::Json;
+    let mut open = Vec::new();
+    match (&sa.grammar, &sa.builtin) {
+        (Some(g), None) => open.push(("grammar".to_string(), Json::Str(g.clone()))),
+        (None, Some(b)) => {
+            open.push(("builtin".to_string(), Json::Str(b.clone())));
+            open.push(("n".to_string(), Json::Int(sa.n.unwrap_or(0) as i64)));
+        }
+        _ => unreachable!("parse_stream_args enforces exactly one"),
+    }
+    open.push(("window".to_string(), Json::Int(sa.window as i64)));
+    if let Some(r) = &sa.regex {
+        open.push(("regex".to_string(), Json::Str(r.clone())));
+    }
+    open.push(("name".to_string(), Json::Str(sa.name.clone())));
+
+    let mut out = String::new();
+    let send = |client: &mut ucfg_serve::Client,
+                out: &mut String,
+                path: &str,
+                body: String|
+     -> Result<(u16, String), CliError> {
+        let r = client
+            .request("POST", path, Some(&body))
+            .map_err(|e| err(format!("{path} request failed: {e}")))?;
+        let line = r.body.trim_end_matches('\n').to_string();
+        let _ = writeln!(out, "{} {}", r.status, line);
+        Ok((r.status, line))
+    };
+
+    let (status, body) = send(
+        &mut client,
+        &mut out,
+        "/stream/open",
+        Json::Obj(open).render(),
+    )?;
+    if status != 200 {
+        return Err(err(format!("open failed: {status} {body}")));
+    }
+    let session = Json::parse(&body)
+        .ok()
+        .and_then(|v| v.get("session").and_then(Json::as_str).map(str::to_string))
+        .ok_or_else(|| err(format!("open response has no session id: {body}")))?;
+
+    let chars: Vec<char> = tokens.chars().collect();
+    for slice in chars.chunks(sa.chunk) {
+        let chunk: String = slice.iter().collect();
+        let body = Json::Obj(vec![
+            ("session".to_string(), Json::Str(session.clone())),
+            ("tokens".to_string(), Json::Str(chunk)),
+        ])
+        .render();
+        let (status, body) = send(&mut client, &mut out, "/stream/feed", body)?;
+        if status != 200 {
+            return Err(err(format!("feed failed: {status} {body}")));
+        }
+    }
+
+    let sess_body = Json::Obj(vec![("session".to_string(), Json::Str(session.clone()))]).render();
+    send(&mut client, &mut out, "/stream/query", sess_body.clone())?;
+    send(&mut client, &mut out, "/stream/close", sess_body)?;
+    if sa.shutdown {
+        let r = client
+            .request("POST", "/shutdown", None)
+            .map_err(|e| err(format!("shutdown request failed: {e}")))?;
+        let _ = writeln!(out, "{} {}", r.status, r.body.trim_end_matches('\n'));
+    }
+    Ok(out)
+}
+
 /// Parse the flags of `ucfg orchestrate`.
 pub fn parse_orchestrate_args(
     args: &[String],
@@ -769,6 +981,12 @@ pub fn usage() -> String {
        ucfg query --port N [--host H] [--file script.jsonl] [--shutdown]\n\
                   [--timeout-ms N]   drive a daemon with JSON-lines requests\n\
                                      (script from --file, else stdin)\n\
+       ucfg stream --port N (--grammar SRC | --builtin NAME --n N)\n\
+                  (--file tokens.txt | --text CHARS) [--window W] [--regex R]\n\
+                  [--name S] [--chunk N] [--timeout-ms N] [--shutdown]\n\
+                                     drive a daemon's streaming endpoints:\n\
+                                     open a session, feed in chunks, query\n\
+                                     the window, close\n\
        ucfg orchestrate [--smoke] [--check] [--write-baseline] [--list]\n\
                   [--filter S] [--baseline PATH] [--out-dir DIR]\n\
                   [--cache-dir DIR] [--refresh] [--tolerance R] [--floor-ns N]\n\
@@ -822,6 +1040,7 @@ pub fn dispatch(args: &[String], stdin: &str) -> Result<String, CliError> {
         [cmd, m] if cmd == "accounting" => cmd_accounting(m),
         [cmd, flags @ ..] if cmd == "serve" => cmd_serve(flags),
         [cmd, flags @ ..] if cmd == "query" => cmd_query(flags, stdin),
+        [cmd, flags @ ..] if cmd == "stream" => cmd_stream(flags),
         [cmd, flags @ ..] if cmd == "orchestrate" => cmd_orchestrate(flags),
         [] => Ok(usage()),
         _ => Err(err(format!(
@@ -1165,6 +1384,97 @@ mod tests {
             "warm repeat identical apart from the cache tag"
         );
         assert!(lines[3].contains("draining"), "{out}");
+        join.join().expect("clean join");
+    }
+
+    #[test]
+    fn stream_args_parse_and_reject() {
+        let sa = parse_stream_args(&[
+            "--port=1234".into(),
+            "--grammar".into(),
+            "S -> a".into(),
+            "--text".into(),
+            "aaa".into(),
+            "--window=8".into(),
+            "--regex".into(),
+            "a*".into(),
+            "--chunk=2".into(),
+        ])
+        .unwrap();
+        assert_eq!(sa.port, 1234);
+        assert_eq!(sa.window, 8);
+        assert_eq!(sa.chunk, 2);
+        assert_eq!(sa.regex.as_deref(), Some("a*"));
+        // Port, grammar source, and token source are all mandatory;
+        // conflicting sources are hard errors.
+        assert!(parse_stream_args(&[]).is_err());
+        assert!(parse_stream_args(&["--port=1".into(), "--text=a".into()]).is_err());
+        assert!(parse_stream_args(&["--port=1".into(), "--grammar=S -> a".into()]).is_err());
+        assert!(parse_stream_args(&[
+            "--port=1".into(),
+            "--grammar=S -> a".into(),
+            "--builtin=example3".into(),
+            "--n=2".into(),
+            "--text=a".into(),
+        ])
+        .is_err());
+        assert!(parse_stream_args(&[
+            "--port=1".into(),
+            "--builtin=example3".into(),
+            "--text=a".into(),
+        ])
+        .is_err());
+        assert!(parse_stream_args(&[
+            "--port=1".into(),
+            "--grammar=S -> a".into(),
+            "--text=a".into(),
+            "--file=f".into(),
+        ])
+        .is_err());
+        assert!(parse_stream_args(&[
+            "--port=1".into(),
+            "--grammar=S -> a".into(),
+            "--text=a".into(),
+            "--window=0".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn stream_drives_a_live_daemon() {
+        let server = ucfg_serve::Server::bind(ucfg_serve::ServeConfig {
+            port: 0,
+            shards: 2,
+            ..ucfg_serve::ServeConfig::default()
+        })
+        .expect("bind");
+        let port = server.local_addr().expect("addr").port();
+        let join = std::thread::spawn(move || server.run().expect("run"));
+
+        let out = cmd_stream(&[
+            "--port".into(),
+            port.to_string(),
+            "--grammar".into(),
+            "S -> a S b | a b".into(),
+            "--window=8".into(),
+            "--regex".into(),
+            "a(a|b)*b".into(),
+            "--text".into(),
+            "aaaa bbbb".into(),
+            "--chunk=3".into(),
+            "--shutdown".into(),
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // open + 3 feed chunks (8 chars / 3) + query + close + shutdown.
+        assert_eq!(lines.len(), 7, "{out}");
+        assert!(lines[0].starts_with("200 "), "{out}");
+        assert!(lines[0].contains("\"session\""), "{out}");
+        assert!(lines[3].contains("\"member\":true"), "{out}");
+        assert!(lines[4].contains("\"window\":\"aaaabbbb\""), "{out}");
+        assert!(lines[4].contains("\"count\":\"1\""), "{out}");
+        assert!(lines[5].contains("\"closed\":true"), "{out}");
+        assert!(lines[6].contains("draining"), "{out}");
         join.join().expect("clean join");
     }
 

@@ -29,12 +29,17 @@
 use crate::cache::{Artifact, ArtifactCache, GrammarArtifact, RectsArtifact};
 use crate::json::Json;
 use crate::protocol::{ApiError, RectRequest};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use ucfg_grammar::Grammar;
+use ucfg_stream::{FeedReport, StreamError, StreamSession};
 use ucfg_support::{arena, obs, par};
+
+/// Most live stream sessions one shard holds; opening past the cap is
+/// shed (close a session first).
+pub const MAX_SESSIONS_PER_SHARD: usize = 256;
 
 /// A one-shot reply channel: the scheduler calls it exactly once with
 /// the job's result. Backed by whatever the enqueuer needs — an
@@ -123,6 +128,80 @@ pub struct RectJob {
     pub reply: ReplySink<Result<String, ApiError>>,
 }
 
+/// What a queued `/stream/*` request does to its session.
+#[derive(Debug)]
+pub enum StreamOp {
+    /// `/stream/open` — create (or reset) the session.
+    Open {
+        /// The session's grammar (already built and bounds-checked).
+        grammar: Grammar,
+        /// Sliding-window capacity in tokens.
+        window: usize,
+        /// Optional regex for the product layer.
+        regex: Option<String>,
+        /// Client-chosen session tag.
+        name: String,
+    },
+    /// `/stream/feed` with `"tokens"` — append characters.
+    Feed {
+        /// The characters to append.
+        text: String,
+    },
+    /// `/stream/feed` with `"truncate"` — rewind to a position.
+    Truncate {
+        /// Absolute stream position to rewind to.
+        to: u64,
+    },
+    /// `/stream/query` — the full window report.
+    Query,
+    /// `/stream/close` — drop the session.
+    Close,
+}
+
+/// One queued `/stream/*` request. The reply is the rendered
+/// single-line JSON body. Stream jobs run sequentially in drain order,
+/// so a session's history is a deterministic function of the request
+/// sequence.
+#[derive(Debug)]
+pub struct StreamJob {
+    /// The deterministic session id (also the shard-routing key).
+    pub session: u64,
+    /// What to do.
+    pub op: StreamOp,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Where the rendered body goes.
+    pub reply: ReplySink<Result<String, ApiError>>,
+}
+
+/// The live stream sessions owned by one shard, addressed by the
+/// deterministic session id (rendezvous-routed, so an id always lands
+/// on the shard holding its session).
+pub struct SessionStore {
+    sessions: HashMap<u64, StreamSession>,
+    capacity: usize,
+}
+
+impl SessionStore {
+    /// An empty store shedding opens past `capacity` sessions.
+    pub fn new(capacity: usize) -> SessionStore {
+        SessionStore {
+            sessions: HashMap::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// How many sessions are live.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// No sessions?
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
 /// Anything the scheduler can run.
 #[derive(Debug)]
 pub enum Job {
@@ -131,6 +210,9 @@ pub enum Job {
     /// A rectangle-family request (runs alone; its kernel parallelises
     /// internally).
     Rect(RectJob),
+    /// A `/stream/*` request (runs sequentially against the shard's
+    /// session store).
+    Stream(StreamJob),
 }
 
 impl Job {
@@ -139,6 +221,7 @@ impl Job {
         match self {
             Job::Parse(j) => j.reply.send(Err(err)),
             Job::Rect(j) => j.reply.send(Err(err)),
+            Job::Stream(j) => j.reply.send(Err(err)),
         }
     }
 
@@ -146,6 +229,7 @@ impl Job {
         match self {
             Job::Parse(j) => j.enqueued,
             Job::Rect(j) => j.enqueued,
+            Job::Stream(j) => j.enqueued,
         }
     }
 }
@@ -208,9 +292,10 @@ impl Scheduler {
 
     /// The scheduler thread body: drain, group parse jobs by grammar
     /// hash, resolve artifacts through `cache`, run each group as one
-    /// parallel batch, reply. Returns (after draining everything still
-    /// queued) once [`Scheduler::stop`] has been called.
-    pub fn run(&self, cache: &Mutex<ArtifactCache>) {
+    /// parallel batch, apply stream jobs to `sessions` in drain order,
+    /// reply. Returns (after draining everything still queued) once
+    /// [`Scheduler::stop`] has been called.
+    pub fn run(&self, cache: &Mutex<ArtifactCache>, sessions: &Mutex<SessionStore>) {
         loop {
             let batch: Vec<Job> = {
                 let mut q = self.queue.lock().expect("queue poisoned");
@@ -240,6 +325,7 @@ impl Scheduler {
             let now = Instant::now();
             let mut parses = Vec::new();
             let mut rects = Vec::new();
+            let mut streams = Vec::new();
             for job in batch {
                 let waited = now.duration_since(job.enqueued());
                 if waited > self.deadline {
@@ -252,9 +338,15 @@ impl Scheduler {
                 match job {
                     Job::Parse(p) => parses.push(p),
                     Job::Rect(r) => rects.push(r),
+                    Job::Stream(s) => streams.push(s),
                 }
             }
 
+            // Stream ops mutate session state, so they run strictly in
+            // drain (= arrival) order; each is O(feed · window).
+            for job in streams {
+                run_stream(sessions, job);
+            }
             for (key, jobs) in group_by_key(parses) {
                 self.run_group(cache, key, jobs);
             }
@@ -436,6 +528,132 @@ fn run_rect(cache: &Mutex<ArtifactCache>, job: RectJob) {
     job.reply.send(Ok(body));
 }
 
+fn stream_api_error(e: StreamError) -> ApiError {
+    ApiError::BadRequest(e.to_string())
+}
+
+fn hex_id(id: u64) -> Json {
+    Json::str(format!("{id:016x}"))
+}
+
+fn feed_body(id: u64, r: &FeedReport) -> String {
+    let mut s = Json::obj(vec![
+        ("session", hex_id(id)),
+        ("fed", Json::Int(r.fed as i64)),
+        ("evicted", Json::Int(r.evicted as i64)),
+        ("total", Json::Int(r.total as i64)),
+        ("base", Json::Int(r.base as i64)),
+        ("window_len", Json::Int(r.window_len as i64)),
+        ("member", Json::Bool(r.member)),
+    ])
+    .render();
+    s.push('\n');
+    s
+}
+
+/// Apply one `/stream/*` job to the shard's session store and render
+/// the single-line reply. Every body is a pure function of the
+/// session's request history, so stream responses are byte-identical
+/// across thread and shard counts.
+fn run_stream(sessions: &Mutex<SessionStore>, job: StreamJob) {
+    let _t = obs::span!("serve.stream.op");
+    let mut store = sessions.lock().expect("sessions poisoned");
+    let id = job.session;
+    let result: Result<String, ApiError> = match job.op {
+        StreamOp::Open {
+            grammar,
+            window,
+            regex,
+            name,
+        } => {
+            if store.sessions.len() >= store.capacity && !store.sessions.contains_key(&id) {
+                Err(ApiError::LoadShed {
+                    depth: store.capacity,
+                })
+            } else {
+                StreamSession::open(
+                    std::sync::Arc::new(grammar),
+                    window,
+                    regex.as_deref(),
+                    &name,
+                )
+                .map_err(stream_api_error)
+                .map(|s| {
+                    debug_assert_eq!(s.id(), id, "router and session disagree on the id");
+                    let mut fields = vec![
+                        ("session", hex_id(id)),
+                        (
+                            "grammar_hash",
+                            Json::str(format!("{:016x}", s.grammar().content_hash())),
+                        ),
+                        ("window", Json::Int(s.capacity() as i64)),
+                    ];
+                    let q = s.query();
+                    if let Some(p) = &q.product {
+                        fields.push(("product_nonempty", Json::Bool(p.nonempty)));
+                        fields.push(("dfa_states", Json::Int(p.dfa_states as i64)));
+                    }
+                    store.sessions.insert(id, s);
+                    let mut b = Json::obj(fields).render();
+                    b.push('\n');
+                    b
+                })
+            }
+        }
+        StreamOp::Feed { text } => match store.sessions.get_mut(&id) {
+            None => Err(ApiError::BadRequest(format!("no such session {id:016x}"))),
+            Some(s) => s
+                .feed(&text)
+                .map_err(stream_api_error)
+                .map(|r| feed_body(id, &r)),
+        },
+        StreamOp::Truncate { to } => match store.sessions.get_mut(&id) {
+            None => Err(ApiError::BadRequest(format!("no such session {id:016x}"))),
+            Some(s) => s
+                .truncate(to)
+                .map_err(stream_api_error)
+                .map(|r| feed_body(id, &r)),
+        },
+        StreamOp::Query => match store.sessions.get(&id) {
+            None => Err(ApiError::BadRequest(format!("no such session {id:016x}"))),
+            Some(s) => {
+                let q = s.query();
+                let mut fields = vec![
+                    ("session", hex_id(id)),
+                    ("total", Json::Int(q.total as i64)),
+                    ("base", Json::Int(q.base as i64)),
+                    ("window", Json::str(q.window.clone())),
+                    ("member", Json::Bool(q.member)),
+                    ("suffix_matches", Json::Int(q.suffix_matches as i64)),
+                    ("count", Json::str(q.count.clone())),
+                ];
+                if let Some(p) = &q.product {
+                    fields.push((
+                        "product",
+                        Json::obj(vec![
+                            ("nonempty", Json::Bool(p.nonempty)),
+                            ("matches", Json::Int(p.matches as i64)),
+                        ]),
+                    ));
+                }
+                let mut b = Json::obj(fields).render();
+                b.push('\n');
+                Ok(b)
+            }
+        },
+        StreamOp::Close => match store.sessions.remove(&id) {
+            None => Err(ApiError::BadRequest(format!("no such session {id:016x}"))),
+            Some(_) => {
+                let mut b =
+                    Json::obj(vec![("session", hex_id(id)), ("closed", Json::Bool(true))]).render();
+                b.push('\n');
+                Ok(b)
+            }
+        },
+    };
+    job.reply.send(result);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,7 +683,123 @@ mod tests {
         // Run the loop to completion: stop() first so it exits after
         // draining what's queued.
         sched.stop();
-        sched.run(cache);
+        sched.run(
+            cache,
+            &Mutex::new(SessionStore::new(MAX_SESSIONS_PER_SHARD)),
+        );
+    }
+
+    fn stream_job(
+        session: u64,
+        op: StreamOp,
+    ) -> (StreamJob, mpsc::Receiver<Result<String, ApiError>>) {
+        let (tx, rx) = ReplySink::channel();
+        (
+            StreamJob {
+                session,
+                op,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn stream_jobs_run_in_drain_order_against_the_store() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sessions = Mutex::new(SessionStore::new(MAX_SESSIONS_PER_SHARD));
+        let g = ucfg_grammar::text::parse_grammar("S -> a S b S | ()").unwrap();
+        let id = ucfg_stream::session_id(g.content_hash(), 8, None, "");
+
+        let sched = Scheduler::new(16, Duration::from_secs(5));
+        let (open, r_open) = stream_job(
+            id,
+            StreamOp::Open {
+                grammar: g,
+                window: 8,
+                regex: None,
+                name: String::new(),
+            },
+        );
+        let (feed, r_feed) = stream_job(
+            id,
+            StreamOp::Feed {
+                text: "aabb".into(),
+            },
+        );
+        let (query, r_query) = stream_job(id, StreamOp::Query);
+        let (close, r_close) = stream_job(id, StreamOp::Close);
+        // All four in one drain: open → feed → query → close, in order.
+        sched.try_enqueue(Job::Stream(open)).unwrap();
+        sched.try_enqueue(Job::Stream(feed)).unwrap();
+        sched.try_enqueue(Job::Stream(query)).unwrap();
+        sched.try_enqueue(Job::Stream(close)).unwrap();
+        sched.stop();
+        sched.run(&cache, &sessions);
+
+        let open_body = r_open.recv().unwrap().unwrap();
+        assert!(open_body.contains(&format!("{id:016x}")), "{open_body}");
+        let feed_body = r_feed.recv().unwrap().unwrap();
+        let v = Json::parse(feed_body.trim_end()).unwrap();
+        assert_eq!(v.get("fed"), Some(&Json::Int(4)));
+        assert_eq!(v.get("member"), Some(&Json::Bool(true)));
+        let query_body = r_query.recv().unwrap().unwrap();
+        let v = Json::parse(query_body.trim_end()).unwrap();
+        assert_eq!(v.get("window").and_then(Json::as_str), Some("aabb"));
+        assert_eq!(v.get("count").and_then(Json::as_str), Some("1"));
+        assert!(r_close.recv().unwrap().unwrap().contains("closed"));
+        assert!(sessions.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn stream_ops_on_unknown_sessions_are_rejected() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sessions = Mutex::new(SessionStore::new(MAX_SESSIONS_PER_SHARD));
+        let sched = Scheduler::new(16, Duration::from_secs(5));
+        let (q, r) = stream_job(7, StreamOp::Query);
+        sched.try_enqueue(Job::Stream(q)).unwrap();
+        sched.stop();
+        sched.run(&cache, &sessions);
+        let err = r.recv().unwrap().unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("no such session"));
+    }
+
+    #[test]
+    fn session_store_sheds_past_capacity() {
+        let cache = Mutex::new(ArtifactCache::new(4));
+        let sessions = Mutex::new(SessionStore::new(1));
+        let sched = Scheduler::new(16, Duration::from_secs(5));
+        let g1 = ucfg_grammar::text::parse_grammar("S -> a").unwrap();
+        let g2 = ucfg_grammar::text::parse_grammar("S -> b").unwrap();
+        let id1 = ucfg_stream::session_id(g1.content_hash(), 4, None, "");
+        let id2 = ucfg_stream::session_id(g2.content_hash(), 4, None, "");
+        let open = |g: ucfg_grammar::Grammar, id: u64| {
+            stream_job(
+                id,
+                StreamOp::Open {
+                    grammar: g,
+                    window: 4,
+                    regex: None,
+                    name: String::new(),
+                },
+            )
+        };
+        let (j1, r1) = open(g1.clone(), id1);
+        let (j2, r2) = open(g2, id2);
+        // Re-opening the session already held is allowed at capacity.
+        let (j3, r3) = open(g1, id1);
+        sched.try_enqueue(Job::Stream(j1)).unwrap();
+        sched.try_enqueue(Job::Stream(j2)).unwrap();
+        sched.try_enqueue(Job::Stream(j3)).unwrap();
+        sched.stop();
+        sched.run(&cache, &sessions);
+        assert!(r1.recv().unwrap().is_ok());
+        let err = r2.recv().unwrap().unwrap_err();
+        assert_eq!(err, ApiError::LoadShed { depth: 1 });
+        assert!(r3.recv().unwrap().is_ok());
+        assert_eq!(sessions.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -199,6 +199,10 @@ impl Assembler {
     /// `Ok(Some(_))` — one request, its bytes consumed. `Ok(None)` —
     /// need more input. `Err(_)` — the peer broke protocol; answer
     /// with [`WireError::status`] and close.
+    ///
+    /// Deliberately named like — but distinct from — `Iterator::next`:
+    /// this is a fallible pull with a tri-state result, not an iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<Request>, WireError> {
         if let Some(e) = &self.error {
             return Err(e.clone());

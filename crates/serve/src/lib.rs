@@ -38,9 +38,22 @@
 //! | POST | `/parse` | `{"grammar": "S -> a S \| b", "word": "aab"}` or `{"builtin": "example4", "n": 3, "word": "…"}`, optional `"check": true` |
 //! | POST | `/cover/verify` | `{"n": 4, "family": "example8" \| "extraction"}` |
 //! | POST | `/discrepancy` | `{"n": 4, "family": …}` (needs `n ≡ 0 mod 4`) |
+//! | POST | `/stream/open` | grammar spec + `{"window": 64, "regex": "a(a\|b)*b", "name": "tag"}` → deterministic session id |
+//! | POST | `/stream/feed` | `{"session": "<16 hex>", "tokens": "aabb"}` or `{"session": …, "truncate": 5}` |
+//! | POST | `/stream/query` | `{"session": "<16 hex>"}` → window, membership, counts, product matches |
+//! | POST | `/stream/close` | `{"session": "<16 hex>"}` |
 //! | POST | `/shutdown` | — |
 //! | GET | `/healthz` | — |
 //! | GET | `/metrics`, `/metrics/deterministic` | — |
+//!
+//! Streaming sessions (incremental Earley plus sliding-window
+//! membership plus `CFG ∩ regex` product queries, from `ucfg_stream`)
+//! live on the
+//! shard that owns their **deterministic session id** — a pure FNV
+//! hash of (grammar hash, window, regex, name) — so re-opening the
+//! same parameters lands on the same session from any client, and
+//! responses are byte-identical across thread counts and shard
+//! layouts.
 //!
 //! Responses are JSON lines; error codes are tabulated in [`protocol`].
 //! All instruments live under `serve.*` in the `ucfg_support::obs`

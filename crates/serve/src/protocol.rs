@@ -34,6 +34,16 @@ pub const MAX_EXTRACTION_N: usize = 6;
 pub const MAX_EXAMPLE4_N: usize = 10;
 /// Largest `n` for the polynomial builtins.
 pub const MAX_BUILTIN_N: usize = 128;
+/// Largest sliding-window capacity a `/stream/open` may request; the
+/// all-starts chart is `O(window²)` items in the worst case.
+pub const MAX_STREAM_WINDOW: usize = 1024;
+/// Most characters one `/stream/feed` may push (each is one incremental
+/// chart extension).
+pub const MAX_FEED_CHARS: usize = 4096;
+/// Longest regex a `/stream/open` may register.
+pub const MAX_REGEX_LEN: usize = 256;
+/// Longest session name.
+pub const MAX_NAME_LEN: usize = 64;
 
 /// A protocol-level failure, mapped onto HTTP status + error code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -325,6 +335,141 @@ impl RectRequest {
     }
 }
 
+/// A `/stream/open` request: grammar + window capacity + optional regex
+/// and name. The session id is a pure function of these, so re-opening
+/// with identical parameters addresses (and resets) the same session on
+/// the same shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOpenRequest {
+    /// Which grammar the session parses against.
+    pub spec: GrammarSpec,
+    /// Sliding-window capacity in tokens (1..=`MAX_STREAM_WINDOW`).
+    pub window: usize,
+    /// Optional regex for the `CFG ∩ regex` product layer.
+    pub regex: Option<String>,
+    /// Client-chosen tag distinguishing otherwise identical sessions.
+    pub name: String,
+}
+
+impl StreamOpenRequest {
+    /// Parse and bounds-check a `/stream/open` body.
+    pub fn from_json(body: &Json) -> Result<StreamOpenRequest, ApiError> {
+        let spec = GrammarSpec::from_json(body)?;
+        let window = body
+            .get("window")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ApiError::BadRequest("missing integer \"window\" ≥ 1".into()))?;
+        if !(1..=MAX_STREAM_WINDOW).contains(&window) {
+            return Err(ApiError::BadRequest(format!(
+                "window must be 1..={MAX_STREAM_WINDOW}"
+            )));
+        }
+        let regex = match body.get("regex") {
+            None => None,
+            Some(r) => {
+                let r = r
+                    .as_str()
+                    .ok_or_else(|| ApiError::BadRequest("\"regex\" must be a string".into()))?;
+                if r.chars().count() > MAX_REGEX_LEN {
+                    return Err(ApiError::BadRequest(format!(
+                        "regex longer than {MAX_REGEX_LEN} characters"
+                    )));
+                }
+                Some(r.to_string())
+            }
+        };
+        let name = match body.get("name") {
+            None => String::new(),
+            Some(n) => {
+                let n = n
+                    .as_str()
+                    .ok_or_else(|| ApiError::BadRequest("\"name\" must be a string".into()))?;
+                if n.chars().count() > MAX_NAME_LEN {
+                    return Err(ApiError::BadRequest(format!(
+                        "name longer than {MAX_NAME_LEN} characters"
+                    )));
+                }
+                n.to_string()
+            }
+        };
+        Ok(StreamOpenRequest {
+            spec,
+            window,
+            regex,
+            name,
+        })
+    }
+}
+
+/// Pull the `"session"` field (16 hex digits, as `/stream/open` returns
+/// it) out of a stream request body.
+pub fn session_from_json(body: &Json) -> Result<u64, ApiError> {
+    let s = body
+        .get("session")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::BadRequest("missing string \"session\"".into()))?;
+    u64::from_str_radix(s, 16)
+        .map_err(|_| ApiError::BadRequest("\"session\" must be 16 hex digits".into()))
+}
+
+/// A `/stream/feed` request: either new tokens or a truncate position,
+/// never both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamFeedRequest {
+    /// Append `text` (every character must be in the grammar alphabet).
+    Tokens {
+        /// The session to feed.
+        session: u64,
+        /// The characters to append.
+        text: String,
+    },
+    /// Rewind the stream to absolute position `to`.
+    Truncate {
+        /// The session to rewind.
+        session: u64,
+        /// The absolute position to rewind to.
+        to: u64,
+    },
+}
+
+impl StreamFeedRequest {
+    /// Parse and bounds-check a `/stream/feed` body.
+    pub fn from_json(body: &Json) -> Result<StreamFeedRequest, ApiError> {
+        let session = session_from_json(body)?;
+        match (body.get("tokens"), body.get("truncate")) {
+            (Some(_), Some(_)) => Err(ApiError::BadRequest(
+                "give either \"tokens\" or \"truncate\", not both".into(),
+            )),
+            (Some(t), None) => {
+                let text = t
+                    .as_str()
+                    .ok_or_else(|| ApiError::BadRequest("\"tokens\" must be a string".into()))?;
+                if text.chars().count() > MAX_FEED_CHARS {
+                    return Err(ApiError::BadRequest(format!(
+                        "feed longer than {MAX_FEED_CHARS} characters; chunk it"
+                    )));
+                }
+                Ok(StreamFeedRequest::Tokens {
+                    session,
+                    text: text.to_string(),
+                })
+            }
+            (None, Some(to)) => {
+                let to = to.as_usize().ok_or_else(|| {
+                    ApiError::BadRequest("\"truncate\" must be an integer ≥ 0".into())
+                })?;
+                Ok(StreamFeedRequest::Truncate {
+                    session,
+                    to: to as u64,
+                })
+            }
+            (None, None) => Err(ApiError::BadRequest(
+                "missing \"tokens\" (string) or \"truncate\" (position)".into(),
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +576,77 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, k(r#"{"n":4}"#));
+    }
+
+    #[test]
+    fn stream_open_request_bounds() {
+        let r = StreamOpenRequest::from_json(&body(
+            r#"{"grammar":"S -> a S | b","window":8,"regex":"a*b","name":"t"}"#,
+        ))
+        .unwrap();
+        assert_eq!(r.window, 8);
+        assert_eq!(r.regex.as_deref(), Some("a*b"));
+        assert_eq!(r.name, "t");
+
+        // regex and name are optional.
+        let r = StreamOpenRequest::from_json(&body(r#"{"grammar":"S -> a","window":1}"#)).unwrap();
+        assert_eq!(r.regex, None);
+        assert_eq!(r.name, "");
+
+        for src in [
+            r#"{"grammar":"S -> a"}"#,
+            r#"{"grammar":"S -> a","window":0}"#,
+            r#"{"grammar":"S -> a","window":1025}"#,
+            r#"{"window":4}"#,
+            r#"{"grammar":"S -> a","window":4,"regex":7}"#,
+        ] {
+            let e = StreamOpenRequest::from_json(&body(src)).unwrap_err();
+            assert_eq!(e.status(), 400, "{src}");
+        }
+        let long = format!(
+            r#"{{"grammar":"S -> a","window":4,"regex":"{}"}}"#,
+            "a".repeat(MAX_REGEX_LEN + 1)
+        );
+        assert!(StreamOpenRequest::from_json(&body(&long)).is_err());
+    }
+
+    #[test]
+    fn stream_feed_request_forms() {
+        let r = StreamFeedRequest::from_json(&body(
+            r#"{"session":"00000000000000ab","tokens":"abab"}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            r,
+            StreamFeedRequest::Tokens {
+                session: 0xab,
+                text: "abab".into()
+            }
+        );
+        let r =
+            StreamFeedRequest::from_json(&body(r#"{"session":"ffffffffffffffff","truncate":3}"#))
+                .unwrap();
+        assert_eq!(
+            r,
+            StreamFeedRequest::Truncate {
+                session: u64::MAX,
+                to: 3
+            }
+        );
+        for src in [
+            r#"{"tokens":"ab"}"#,
+            r#"{"session":"xyz","tokens":"ab"}"#,
+            r#"{"session":"0","tokens":"ab","truncate":1}"#,
+            r#"{"session":"0"}"#,
+        ] {
+            let e = StreamFeedRequest::from_json(&body(src)).unwrap_err();
+            assert_eq!(e.status(), 400, "{src}");
+        }
+        let long = format!(
+            r#"{{"session":"0","tokens":"{}"}}"#,
+            "a".repeat(MAX_FEED_CHARS + 1)
+        );
+        assert!(StreamFeedRequest::from_json(&body(&long)).is_err());
     }
 
     #[test]

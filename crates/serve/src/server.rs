@@ -34,10 +34,12 @@
 //! producer remains. That ordering is what makes "drain in-flight
 //! batches" a guarantee instead of a race.
 
-use crate::batch::{Job, ParseJob, ParseOutcome, RectJob, ReplySink};
+use crate::batch::{Job, ParseJob, ParseOutcome, RectJob, ReplySink, StreamJob, StreamOp};
 use crate::http::{render_response, Assembler, Limits, Request, WireError};
 use crate::json::Json;
-use crate::protocol::{ApiError, ParseRequest, RectRequest};
+use crate::protocol::{
+    session_from_json, ApiError, ParseRequest, RectRequest, StreamFeedRequest, StreamOpenRequest,
+};
 use crate::shard::ShardSet;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -149,6 +151,11 @@ pub(crate) struct State {
     requests: AtomicU64,
     /// Live connections (for `/healthz`).
     connections: AtomicUsize,
+    /// Socket `write(2)` calls the event loop has issued — the
+    /// coalescing metric: queued responses on a connection are batched
+    /// into one flush per event-loop wakeup, so pipelined requests cost
+    /// one syscall, not one per response (for `/healthz`; volatile).
+    flush_writes: AtomicU64,
     /// Replies from shard threads, drained by the event loop.
     completions: Mutex<Vec<Completion>>,
     /// Wakes the poller when a completion lands; set once by `run`.
@@ -232,6 +239,7 @@ impl Server {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             connections: AtomicUsize::new(0),
+            flush_writes: AtomicU64::new(0),
             completions: Mutex::new(Vec::new()),
             waker: OnceLock::new(),
             cfg,
@@ -289,6 +297,7 @@ impl Server {
             live: 0,
             accept_registered: true,
             events: Vec::new(),
+            dirty: Vec::new(),
         };
         let result = evloop.run();
 
@@ -336,6 +345,9 @@ struct Conn {
     last_activity: Instant,
     /// Registered interest currently includes writable.
     want_write: bool,
+    /// Queued response bytes await the end-of-wakeup flush (the slot is
+    /// on the event loop's dirty list).
+    flush_pending: bool,
     /// Slot generation, for matching completions.
     gen: u64,
 }
@@ -352,6 +364,10 @@ struct EventLoop {
     live: usize,
     accept_registered: bool,
     events: Vec<Event>,
+    /// Slots with responses queued this wakeup, flushed once at the end
+    /// of the loop iteration so pipelined responses coalesce into one
+    /// `write`.
+    dirty: Vec<usize>,
 }
 
 impl EventLoop {
@@ -369,8 +385,7 @@ impl EventLoop {
             let mut events = std::mem::take(&mut self.events);
             events.clear();
             self.poller.wait(&mut events, Some(timeout))?;
-            for i in 0..events.len() {
-                let ev = events[i];
+            for &ev in events.iter() {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_sweep()?,
                     TOKEN_WAKER => {
@@ -385,6 +400,7 @@ impl EventLoop {
 
             self.deliver_completions();
             self.enforce_deadlines();
+            self.flush_dirty();
             self.maybe_resume_accept()?;
         }
     }
@@ -465,6 +481,7 @@ impl EventLoop {
             deadline: None,
             last_activity: Instant::now(),
             want_write: false,
+            flush_pending: false,
             gen: self.gens[slot],
         });
         self.live += 1;
@@ -501,7 +518,7 @@ impl EventLoop {
     // ---- connection I/O --------------------------------------------
 
     fn on_conn_event(&mut self, slot: usize, ev: Event) {
-        if self.conns.get(slot).map_or(true, Option::is_none) {
+        if self.conns.get(slot).is_none_or(Option::is_none) {
             return; // stale event for a closed connection
         }
         if ev.error {
@@ -624,7 +641,9 @@ impl EventLoop {
     }
 
     /// Serialise a response onto the connection's write buffer and
-    /// flush as far as the socket allows.
+    /// mark the slot dirty; the actual `write` happens once per event-
+    /// loop wakeup in [`EventLoop::flush_dirty`], so pipelined replies
+    /// coalesce into a single syscall.
     fn queue_response(&mut self, slot: usize, status: u16, body: &str, close: bool) {
         let Some(conn) = self.conns[slot].as_mut() else {
             return; // slot already closed; nothing was sent, count nothing
@@ -640,13 +659,38 @@ impl EventLoop {
             // deadline every tick.
             conn.deadline = None;
         }
-        self.flush(slot);
+        if !conn.flush_pending {
+            conn.flush_pending = true;
+            self.dirty.push(slot);
+        }
+    }
+
+    /// Flush every slot that queued a response this wakeup. Runs once
+    /// per loop iteration, after completions and deadlines, so a burst
+    /// of pipelined responses leaves in one `write`.
+    fn flush_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        for slot in dirty {
+            // A writable-edge flush (or a close) may already have
+            // cleared the mark; stale entries are skipped.
+            let pending = self
+                .conns
+                .get(slot)
+                .is_some_and(|c| c.as_ref().is_some_and(|c| c.flush_pending));
+            if pending {
+                self.flush(slot);
+            }
+        }
     }
 
     fn flush(&mut self, slot: usize) {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
         };
+        conn.flush_pending = false;
         while conn.out_pos < conn.out.len() {
             match conn.stream.write(&conn.out[conn.out_pos..]) {
                 Ok(0) => {
@@ -654,6 +698,8 @@ impl EventLoop {
                     return;
                 }
                 Ok(n) => {
+                    self.state.flush_writes.fetch_add(1, Ordering::SeqCst);
+                    obs::vcount!("serve.flush.writes");
                     conn.out_pos += n;
                     conn.last_activity = Instant::now();
                 }
@@ -795,6 +841,9 @@ enum JobSpec {
     },
     /// `/cover/verify` or `/discrepancy`.
     Rect { req: RectRequest, discrepancy: bool },
+    /// `/stream/open`, `/stream/feed`, `/stream/query`, `/stream/close`.
+    /// Routed to the shard owning the deterministic session id.
+    Stream { session: u64, op: StreamOp },
 }
 
 /// Dispatch one request. Infallible: protocol errors become their JSON
@@ -825,6 +874,22 @@ fn route(state: &State, req: &Request) -> Routed {
             obs::count!("serve.requests.discrepancy");
             rect_spec(state, req, true)
         }
+        ("POST", "/stream/open") => {
+            obs::count!("serve.requests.stream_open");
+            stream_open_spec(state, req)
+        }
+        ("POST", "/stream/feed") => {
+            obs::count!("serve.requests.stream_feed");
+            stream_feed_spec(state, req)
+        }
+        ("POST", "/stream/query") => {
+            obs::count!("serve.requests.stream_query");
+            stream_session_spec(state, req, StreamOp::Query)
+        }
+        ("POST", "/stream/close") => {
+            obs::count!("serve.requests.stream_close");
+            stream_session_spec(state, req, StreamOp::Close)
+        }
         ("POST", "/shutdown") => {
             obs::count!("serve.requests.shutdown");
             state.shutdown.store(true, Ordering::SeqCst);
@@ -841,6 +906,10 @@ fn route(state: &State, req: &Request) -> Routed {
             | "/parse"
             | "/cover/verify"
             | "/discrepancy"
+            | "/stream/open"
+            | "/stream/feed"
+            | "/stream/query"
+            | "/stream/close"
             | "/shutdown",
         ) => Err(ApiError::MethodNotAllowed(req.path.clone())),
         (_, path) => Err(ApiError::NotFound(path.to_string())),
@@ -877,6 +946,56 @@ fn rect_spec(state: &State, req: &Request, discrepancy: bool) -> Result<Routed, 
         req: rreq,
         discrepancy,
     }))
+}
+
+/// `POST /stream/open`: body → a validated Open op keyed by the
+/// deterministic session id (a pure function of grammar hash, window,
+/// regex, and name — so every client, thread count, and shard layout
+/// derives the same id).
+fn stream_open_spec(state: &State, req: &Request) -> Result<Routed, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let oreq = parse_body(req).and_then(|b| StreamOpenRequest::from_json(&b))?;
+    let grammar = oreq.spec.build()?;
+    let session = ucfg_stream::session_id(
+        grammar.content_hash(),
+        oreq.window,
+        oreq.regex.as_deref(),
+        &oreq.name,
+    );
+    Ok(Routed::Enqueue(JobSpec::Stream {
+        session,
+        op: StreamOp::Open {
+            grammar,
+            window: oreq.window,
+            regex: oreq.regex,
+            name: oreq.name,
+        },
+    }))
+}
+
+/// `POST /stream/feed`: appends tokens or truncates, per the body.
+fn stream_feed_spec(state: &State, req: &Request) -> Result<Routed, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let freq = parse_body(req).and_then(|b| StreamFeedRequest::from_json(&b))?;
+    let (session, op) = match freq {
+        StreamFeedRequest::Tokens { session, text } => (session, StreamOp::Feed { text }),
+        StreamFeedRequest::Truncate { session, to } => (session, StreamOp::Truncate { to }),
+    };
+    Ok(Routed::Enqueue(JobSpec::Stream { session, op }))
+}
+
+/// `POST /stream/query` and `POST /stream/close`: body carries only
+/// the session id; the op is fixed by the path.
+fn stream_session_spec(state: &State, req: &Request, op: StreamOp) -> Result<Routed, ApiError> {
+    if state.shutting_down() {
+        return Err(ApiError::ShuttingDown);
+    }
+    let session = parse_body(req).and_then(|b| session_from_json(&b))?;
+    Ok(Routed::Enqueue(JobSpec::Stream { session, op }))
 }
 
 /// Enqueue a validated spec on the shard owning its content hash. The
@@ -930,6 +1049,26 @@ fn enqueue_job(state: &Arc<State>, spec: JobSpec, slot: usize, gen: u64) -> Resu
                     reply,
                 }))
         }
+        JobSpec::Stream { session, op } => {
+            let st = Arc::clone(state);
+            let reply = ReplySink::from_fn(move |res: Result<String, ApiError>| {
+                let (status, body) = match res {
+                    Ok(b) => (200, b),
+                    Err(e) => (e.status(), e.body()),
+                };
+                push_completion(&st, slot, gen, status, body);
+            });
+            state
+                .shards
+                .pick(session)
+                .sched
+                .try_enqueue(Job::Stream(StreamJob {
+                    session,
+                    op,
+                    enqueued: Instant::now(),
+                    reply,
+                }))
+        }
     }
 }
 
@@ -940,14 +1079,39 @@ fn single_line(v: Json) -> String {
 }
 
 fn healthz(state: &State) -> String {
+    // Per-shard views. /healthz is excluded from CI byte-diffs (it
+    // already carries uptime), so shard-layout-dependent fields are
+    // fine here.
+    let depths: Vec<Json> = state
+        .shards
+        .shards()
+        .iter()
+        .map(|s| Json::Int(s.sched.queue_len() as i64))
+        .collect();
+    let caps: Vec<Json> = state
+        .shards
+        .shards()
+        .iter()
+        .map(|s| Json::Int(s.sched.depth() as i64))
+        .collect();
     single_line(Json::obj(vec![
         ("status", Json::str("ok")),
         ("queue_depth", Json::Int(state.shards.queue_len() as i64)),
+        ("shard_queue_depths", Json::Arr(depths)),
+        ("shard_queue_capacities", Json::Arr(caps)),
         (
             "connections",
             Json::Int(state.connections.load(Ordering::SeqCst) as i64),
         ),
         ("shards", Json::Int(state.shards.len() as i64)),
+        (
+            "stream_sessions",
+            Json::Int(state.shards.session_count() as i64),
+        ),
+        (
+            "flush_writes",
+            Json::Int(state.flush_writes.load(Ordering::SeqCst) as i64),
+        ),
         (
             "uptime_ms",
             Json::Int(state.started.elapsed().as_millis() as i64),
@@ -1005,6 +1169,7 @@ mod tests {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             connections: AtomicUsize::new(0),
+            flush_writes: AtomicU64::new(0),
             completions: Mutex::new(Vec::new()),
             waker: OnceLock::new(),
             cfg,
@@ -1063,6 +1228,25 @@ mod tests {
                             .try_enqueue(Job::Rect(RectJob {
                                 req,
                                 discrepancy,
+                                enqueued: Instant::now(),
+                                reply,
+                            }))
+                    }
+                    JobSpec::Stream { session, op } => {
+                        let reply = ReplySink::from_fn(move |res: Result<String, ApiError>| {
+                            let msg = match res {
+                                Ok(b) => (200, b),
+                                Err(e) => (e.status(), e.body()),
+                            };
+                            let _ = tx.send(msg);
+                        });
+                        state
+                            .shards
+                            .pick(session)
+                            .sched
+                            .try_enqueue(Job::Stream(StreamJob {
+                                session,
+                                op,
                                 enqueued: Instant::now(),
                                 reply,
                             }))
@@ -1228,6 +1412,7 @@ mod tests {
                     started: Instant::now(),
                     requests: AtomicU64::new(0),
                     connections: AtomicUsize::new(0),
+                    flush_writes: AtomicU64::new(0),
                     completions: Mutex::new(Vec::new()),
                     waker: OnceLock::new(),
                     cfg,
@@ -1247,5 +1432,163 @@ mod tests {
             bodies[0], bodies[1],
             "shard count must not leak into bodies"
         );
+    }
+
+    #[test]
+    fn stream_endpoints_flow_end_to_end() {
+        let state = test_state(8, 5000);
+        let open = r#"{"grammar":"S -> a S b | a b","window":8,"regex":"a(a|b)*b","name":"t"}"#;
+        let (status, body) = route_sync(&state, &post("/stream/open", open));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        let session = v.get("session").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(session.len(), 16);
+        assert_eq!(v.get("product_nonempty"), Some(&Json::Bool(true)));
+
+        // Re-opening the same parameters is idempotent: same id.
+        let (status, body2) = route_sync(&state, &post("/stream/open", open));
+        assert_eq!(status, 200);
+        assert_eq!(body2, body);
+
+        let feed = format!(r#"{{"session":"{session}","tokens":"aabb"}}"#);
+        let (status, body) = route_sync(&state, &post("/stream/feed", &feed));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("fed"), Some(&Json::Int(4)));
+        assert_eq!(v.get("total"), Some(&Json::Int(4)));
+        assert_eq!(v.get("member"), Some(&Json::Bool(true)));
+
+        let q = format!(r#"{{"session":"{session}"}}"#);
+        let (status, body) = route_sync(&state, &post("/stream/query", &q));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("window").and_then(Json::as_str), Some("aabb"));
+        assert_eq!(v.get("member"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("count").and_then(Json::as_str), Some("1"));
+
+        let trunc = format!(r#"{{"session":"{session}","truncate":2}}"#);
+        let (status, body) = route_sync(&state, &post("/stream/feed", &trunc));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("total"), Some(&Json::Int(2)));
+
+        let (status, body) = route_sync(&state, &post("/stream/close", &q));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"closed\":true"));
+        // The session is gone now.
+        let (status, _) = route_sync(&state, &post("/stream/query", &q));
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn stream_endpoints_reject_malformed_requests() {
+        let state = test_state(8, 5000);
+        let (status, _) = route_sync(&state, &get("/stream/open"));
+        assert_eq!(status, 405);
+        let (status, _) = route_sync(&state, &post("/stream/open", "nope"));
+        assert_eq!(status, 400);
+        let (status, body) = route_sync(
+            &state,
+            &post("/stream/open", r#"{"grammar":"S -> a","window":0}"#),
+        );
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = route_sync(
+            &state,
+            &post(
+                "/stream/feed",
+                r#"{"session":"0000000000000001","tokens":"a","truncate":1}"#,
+            ),
+        );
+        assert_eq!(status, 400, "{body}");
+        // Well-formed op on a session nobody opened.
+        let (status, body) = route_sync(
+            &state,
+            &post(
+                "/stream/feed",
+                r#"{"session":"0000000000000001","tokens":"a"}"#,
+            ),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("no such session"), "{body}");
+    }
+
+    #[test]
+    fn stream_responses_match_across_shard_counts() {
+        let bodies: Vec<Vec<String>> = [1usize, 4]
+            .into_iter()
+            .map(|shards| {
+                let cfg = ServeConfig {
+                    shards,
+                    ..ServeConfig::default()
+                };
+                let state = Arc::new(State {
+                    shards: ShardSet::new(
+                        cfg.shards,
+                        cfg.cache_capacity,
+                        cfg.queue_depth,
+                        Duration::from_millis(cfg.deadline_ms),
+                    ),
+                    shutdown: AtomicBool::new(false),
+                    started: Instant::now(),
+                    requests: AtomicU64::new(0),
+                    connections: AtomicUsize::new(0),
+                    flush_writes: AtomicU64::new(0),
+                    completions: Mutex::new(Vec::new()),
+                    waker: OnceLock::new(),
+                    cfg,
+                });
+                state.shards.spawn().unwrap();
+                let mut out = Vec::new();
+                let open =
+                    r#"{"grammar":"S -> a S b | a b","window":4,"regex":"a(a|b)*b","name":"d"}"#;
+                let (_, body) = route_sync(&state, &post("/stream/open", open));
+                out.push(body.clone());
+                let session = Json::parse(body.trim_end())
+                    .unwrap()
+                    .get("session")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                for step in [
+                    format!(r#"{{"session":"{session}","tokens":"aab"}}"#),
+                    format!(r#"{{"session":"{session}","tokens":"baab"}}"#),
+                    format!(r#"{{"session":"{session}","truncate":5}}"#),
+                ] {
+                    out.push(route_sync(&state, &post("/stream/feed", &step)).1);
+                }
+                let q = format!(r#"{{"session":"{session}"}}"#);
+                out.push(route_sync(&state, &post("/stream/query", &q)).1);
+                out.push(route_sync(&state, &post("/stream/close", &q)).1);
+                out
+            })
+            .collect();
+        assert_eq!(
+            bodies[0], bodies[1],
+            "shard count must not leak into stream bodies"
+        );
+    }
+
+    #[test]
+    fn healthz_reports_per_shard_queues_and_sessions() {
+        let state = test_state(8, 1000);
+        let (_, body) = route_sync(&state, &get("/healthz"));
+        let v = Json::parse(body.trim_end()).unwrap();
+        let Some(Json::Arr(depths)) = v.get("shard_queue_depths") else {
+            panic!("missing shard_queue_depths: {body}");
+        };
+        let Some(Json::Arr(caps)) = v.get("shard_queue_capacities") else {
+            panic!("missing shard_queue_capacities: {body}");
+        };
+        assert_eq!(depths.len(), state.shards.len());
+        assert_eq!(caps.len(), state.shards.len());
+        assert!(caps.iter().all(|c| matches!(c, Json::Int(n) if *n >= 1)));
+        assert_eq!(v.get("stream_sessions"), Some(&Json::Int(0)));
+
+        let open = r#"{"grammar":"S -> a S b | a b","window":4,"name":"h"}"#;
+        let (status, _) = route_sync(&state, &post("/stream/open", open));
+        assert_eq!(status, 200);
+        let (_, body) = route_sync(&state, &get("/healthz"));
+        let v = Json::parse(body.trim_end()).unwrap();
+        assert_eq!(v.get("stream_sessions"), Some(&Json::Int(1)));
     }
 }

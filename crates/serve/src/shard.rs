@@ -20,7 +20,7 @@
 //! across shard layouts (responses themselves stay byte-identical
 //! because each job's result is a pure function of the request).
 
-use crate::batch::Scheduler;
+use crate::batch::{Scheduler, SessionStore, MAX_SESSIONS_PER_SHARD};
 use crate::cache::ArtifactCache;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -36,6 +36,9 @@ pub struct Shard {
     pub cache: Mutex<ArtifactCache>,
     /// This shard's bounded batch queue.
     pub sched: Scheduler,
+    /// This shard's live stream sessions (rendezvous-routed by the
+    /// deterministic session id, like cache keys).
+    pub sessions: Mutex<SessionStore>,
 }
 
 /// The fixed set of shards behind a server.
@@ -61,6 +64,7 @@ impl ShardSet {
                     index,
                     cache: Mutex::new(ArtifactCache::with_shard(per_shard_cache, index)),
                     sched: Scheduler::new(queue_depth, deadline),
+                    sessions: Mutex::new(SessionStore::new(MAX_SESSIONS_PER_SHARD)),
                 })
             })
             .collect();
@@ -97,6 +101,14 @@ impl ShardSet {
         self.shards.iter().map(|s| s.sched.queue_len()).sum()
     }
 
+    /// Total live stream sessions across shards (for `/healthz`).
+    pub fn session_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.sessions.lock().expect("sessions poisoned").len())
+            .sum()
+    }
+
     /// Spawn one drain thread per shard. Join the handles after
     /// [`ShardSet::stop`].
     pub fn spawn(&self) -> io::Result<Vec<thread::JoinHandle<()>>> {
@@ -106,7 +118,7 @@ impl ShardSet {
                 let shard = Arc::clone(s);
                 thread::Builder::new()
                     .name(format!("ucfg-serve-shard-{}", shard.index))
-                    .spawn(move || shard.sched.run(&shard.cache))
+                    .spawn(move || shard.sched.run(&shard.cache, &shard.sessions))
             })
             .collect()
     }

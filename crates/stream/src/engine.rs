@@ -1,0 +1,335 @@
+//! The incremental Earley chart shared by [`crate::incremental::StreamParser`]
+//! and [`crate::window::WindowParser`].
+//!
+//! The engine exploits a locality property of Earley's algorithm:
+//! processing chart set `k` only ever *writes* into set `k` (predict,
+//! complete) and set `k + 1` (scan), and only ever *reads* sets `≤ k`.
+//! Once a set is closed under predict/complete it is final — appending a
+//! token never revisits it. That makes three operations cheap:
+//!
+//! * **append** — scan the last closed set into a fresh set, then close
+//!   the new set; every earlier set is reused verbatim (the
+//!   `stream.chart_cells_reused` counter measures exactly this);
+//! * **truncate** — drop the suffix of sets/tokens; the kept prefix is
+//!   already final, so rewinding is a pair of `truncate` calls;
+//! * **evict** — drop the *front* of the chart (sliding windows). Items
+//!   whose origin predates the new base form a closed ecosystem: their
+//!   completions only advance waiters in dropped sets, so discarding
+//!   them cannot change any item whose origin survives.
+//!
+//! The predict/scan/complete order and the Aycock–Horspool nullable fix
+//! mirror `ucfg_grammar::earley` item for item, so a chart grown by
+//! appends is identical — same items, same per-set insertion order — to
+//! the chart a from-scratch recognition of the same tokens would build.
+//! The differential tests in `tests/differential.rs` pin that down.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use ucfg_grammar::analysis::nullable;
+use ucfg_grammar::symbol::{Symbol, Terminal};
+use ucfg_grammar::Grammar;
+use ucfg_support::fnv::Fnv1a;
+use ucfg_support::obs;
+
+/// An Earley item: rule `rule` with the dot before position `dot`,
+/// started at **absolute** stream position `origin` (absolute so that
+/// window eviction never has to rewrite surviving items).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) struct Item {
+    pub rule: u32,
+    pub dot: u32,
+    pub origin: u64,
+}
+
+/// The growable chart. `sets[i]` is the Earley set at absolute position
+/// `base + i`; `tokens[i]` sits between `sets[i]` and `sets[i + 1]`.
+/// Every set is closed under predict/complete at all times.
+pub(crate) struct Chart {
+    g: Arc<Grammar>,
+    nullable: Vec<bool>,
+    /// Seed start-rule items at *every* position (sliding-window mode),
+    /// not just position 0, so "does the suffix starting at j parse?"
+    /// can be read off the newest set.
+    all_starts: bool,
+    /// Absolute position of `sets[0]`.
+    base: u64,
+    tokens: VecDeque<Terminal>,
+    sets: VecDeque<Vec<Item>>,
+    seen: VecDeque<HashSet<Item>>,
+    /// Total live items across all sets (the append-time reuse metric).
+    cells: u64,
+}
+
+impl Chart {
+    /// An empty chart at position 0 (set 0 seeded and closed).
+    pub fn new(g: Arc<Grammar>, all_starts: bool) -> Chart {
+        let nullable = nullable(&g);
+        let mut chart = Chart {
+            g,
+            nullable,
+            all_starts,
+            base: 0,
+            tokens: VecDeque::new(),
+            sets: VecDeque::from([Vec::new()]),
+            seen: VecDeque::from([HashSet::new()]),
+            cells: 0,
+        };
+        chart.seed(0);
+        chart.close(0);
+        chart
+    }
+
+    /// The grammar this chart parses against.
+    pub fn grammar(&self) -> &Arc<Grammar> {
+        &self.g
+    }
+
+    /// Absolute position of the oldest retained set.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Absolute position of the newest set (= total tokens ever
+    /// appended minus those truncated away).
+    pub fn total(&self) -> u64 {
+        self.base + self.tokens.len() as u64
+    }
+
+    /// Retained tokens, oldest first.
+    pub fn tokens(&self) -> impl Iterator<Item = Terminal> + '_ {
+        self.tokens.iter().copied()
+    }
+
+    /// Number of retained tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Total live chart items (all retained sets).
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    fn push(&mut self, k: usize, it: Item) {
+        if self.seen[k].insert(it) {
+            self.sets[k].push(it);
+            self.cells += 1;
+        }
+    }
+
+    /// Seed start-rule items with origin `base + k` into set `k`.
+    fn seed(&mut self, k: usize) {
+        let g = Arc::clone(&self.g);
+        let origin = self.base + k as u64;
+        for (ri, r) in g.rules().iter().enumerate() {
+            if r.lhs == g.start() {
+                self.push(
+                    k,
+                    Item {
+                        rule: ri as u32,
+                        dot: 0,
+                        origin,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Close set `k` under predict and complete (scans are deferred to
+    /// [`Chart::append`]). Mirrors `ucfg_grammar::earley`, including the
+    /// Aycock–Horspool nullable advance.
+    fn close(&mut self, k: usize) {
+        let g = Arc::clone(&self.g);
+        let mut i = 0;
+        while i < self.sets[k].len() {
+            let it = self.sets[k][i];
+            i += 1;
+            let rule = &g.rules()[it.rule as usize];
+            if (it.dot as usize) < rule.rhs.len() {
+                match rule.rhs[it.dot as usize] {
+                    Symbol::N(b) => {
+                        // Predict.
+                        let origin = self.base + k as u64;
+                        for (ri, r) in g.rules().iter().enumerate() {
+                            if r.lhs == b {
+                                self.push(
+                                    k,
+                                    Item {
+                                        rule: ri as u32,
+                                        dot: 0,
+                                        origin,
+                                    },
+                                );
+                            }
+                        }
+                        if self.nullable[b.index()] {
+                            self.push(
+                                k,
+                                Item {
+                                    rule: it.rule,
+                                    dot: it.dot + 1,
+                                    origin: it.origin,
+                                },
+                            );
+                        }
+                    }
+                    // Scan waits for the next token.
+                    Symbol::T(_) => {}
+                }
+            } else {
+                // Complete. An origin that predates the window base
+                // points at an evicted set; its waiters were evicted
+                // with it and can only beget more pre-base items.
+                let lhs = rule.lhs;
+                if it.origin < self.base {
+                    continue;
+                }
+                let o = (it.origin - self.base) as usize;
+                let to_advance: Vec<Item> = self.sets[o]
+                    .iter()
+                    .filter(|p| {
+                        let pr = &g.rules()[p.rule as usize];
+                        (p.dot as usize) < pr.rhs.len() && pr.rhs[p.dot as usize] == Symbol::N(lhs)
+                    })
+                    .copied()
+                    .collect();
+                for p in to_advance {
+                    self.push(
+                        k,
+                        Item {
+                            rule: p.rule,
+                            dot: p.dot + 1,
+                            origin: p.origin,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Append one token: scan the last closed set into a fresh set, seed
+    /// it (all-starts mode), and close it. Every previously closed set
+    /// is reused untouched.
+    pub fn append(&mut self, t: Terminal) {
+        if obs::enabled() {
+            obs::counter("stream.tokens").add(1);
+            obs::counter("stream.chart_cells_reused").add(self.cells);
+        }
+        let k = self.sets.len() - 1;
+        self.sets.push_back(Vec::new());
+        self.seen.push_back(HashSet::new());
+        let new = k + 1;
+        let g = Arc::clone(&self.g);
+        let mut i = 0;
+        while i < self.sets[k].len() {
+            let it = self.sets[k][i];
+            i += 1;
+            if it.origin < self.base {
+                continue; // stale pre-base item awaiting a prune
+            }
+            let rule = &g.rules()[it.rule as usize];
+            if (it.dot as usize) < rule.rhs.len() {
+                if let Symbol::T(x) = rule.rhs[it.dot as usize] {
+                    if x == t {
+                        self.push(
+                            new,
+                            Item {
+                                rule: it.rule,
+                                dot: it.dot + 1,
+                                origin: it.origin,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.tokens.push_back(t);
+        if self.all_starts {
+            self.seed(new);
+        }
+        self.close(new);
+    }
+
+    /// Rewind to absolute position `to` (keep the first `to - base`
+    /// retained tokens). The kept sets are final, so this is a pure
+    /// truncation. Panics if `to` is outside `[base, total]` — callers
+    /// validate.
+    pub fn truncate(&mut self, to: u64) {
+        assert!(
+            to >= self.base && to <= self.total(),
+            "truncate {to} outside [{}, {}]",
+            self.base,
+            self.total()
+        );
+        let keep = (to - self.base) as usize;
+        self.tokens.truncate(keep);
+        self.sets.truncate(keep + 1);
+        self.seen.truncate(keep + 1);
+        self.cells = self.sets.iter().map(|s| s.len() as u64).sum();
+    }
+
+    /// Drop the oldest set and token, advancing the base by one. Stale
+    /// items (origin < base) left in surviving sets are skipped by the
+    /// scan/complete steps and removed by the next [`Chart::prune`].
+    pub fn evict_front(&mut self) {
+        debug_assert!(!self.tokens.is_empty(), "evicting an empty chart");
+        let dropped = self.sets.pop_front().expect("non-empty chart");
+        self.seen.pop_front();
+        self.tokens.pop_front();
+        self.cells -= dropped.len() as u64;
+        self.base += 1;
+    }
+
+    /// Remove items whose origin predates the base from every retained
+    /// set. Called periodically (amortised) by the window layer so set
+    /// sizes stay proportional to the window.
+    pub fn prune(&mut self) {
+        let base = self.base;
+        for (set, seen) in self.sets.iter_mut().zip(self.seen.iter_mut()) {
+            if set.iter().all(|it| it.origin >= base) {
+                continue;
+            }
+            set.retain(|it| it.origin >= base);
+            seen.retain(|it| it.origin >= base);
+        }
+        self.cells = self.sets.iter().map(|s| s.len() as u64).sum();
+    }
+
+    /// Is there a complete start-rule item with origin `j` in the newest
+    /// set — i.e. does `tokens[j..total]` belong to the language?
+    pub fn suffix_complete(&self, j: u64) -> bool {
+        let g = &self.g;
+        self.sets
+            .back()
+            .expect("chart has a newest set")
+            .iter()
+            .any(|it| {
+                let r = &g.rules()[it.rule as usize];
+                r.lhs == g.start() && it.origin == j && it.dot as usize == r.rhs.len()
+            })
+    }
+
+    /// An order-insensitive digest of the retained chart: base, tokens,
+    /// and every set as a sorted item list. Two charts with equal
+    /// fingerprints hold identical item sets at identical positions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.base)
+            .write_usize(self.tokens.len())
+            .write_u8(u8::from(self.all_starts));
+        for t in &self.tokens {
+            h.write_u64(t.index() as u64);
+        }
+        for set in &self.sets {
+            let mut items: Vec<Item> = set.clone();
+            items.sort_unstable();
+            h.write_usize(items.len());
+            for it in items {
+                h.write_u64(u64::from(it.rule))
+                    .write_u64(u64::from(it.dot))
+                    .write_u64(it.origin);
+            }
+        }
+        h.finish()
+    }
+}
